@@ -1,0 +1,61 @@
+// Command gasf-experiments regenerates the paper's evaluation tables and
+// figures (Chapters 4 and 5) plus the ablation studies.
+//
+// Usage:
+//
+//	gasf-experiments [-run ID] [-list] [-n tuples] [-seed s] [-runs k] [-quick]
+//
+// With no -run flag every experiment executes in paper order. Output is a
+// text rendering of each table/figure's rows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gasf/internal/experiments"
+)
+
+func main() {
+	var (
+		runID = flag.String("run", "", "experiment ID to run (default: all)")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		n     = flag.Int("n", 10000, "trace length in tuples")
+		seed  = flag.Int64("seed", 1, "random seed for traces and spec draws")
+		runs  = flag.Int("runs", 10, "repetitions for box-plot experiments")
+		quick = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-12s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{N: *n, Seed: *seed, Runs: *runs, Quick: *quick}
+	var runners []experiments.Runner
+	if *runID == "" {
+		runners = experiments.Registry()
+	} else {
+		r, err := experiments.Find(*runID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		rep, err := r.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s — %s (%.1fs)\n\n%s\n", rep.ID, r.Title, time.Since(start).Seconds(), rep.Text)
+	}
+}

@@ -1,0 +1,78 @@
+// Sensor sampling for multiple queries (§5.5.3).
+//
+// One buoy thermistor serves four continuous queries with different
+// shapes: two stratified-sampling queries (dashboards that need denser
+// samples when the water is dynamic) and two delta-compression queries
+// (threshold monitors at different granularities). Group-aware filtering
+// coordinates all four so the sensor transmits the smallest tuple union
+// that satisfies every query — stretching the battery of the sensor node.
+//
+//	go run ./examples/multiquery
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gasf"
+)
+
+func buildFilters(stat float64) ([]gasf.Filter, error) {
+	dash1, err := gasf.NewSamplingFilter("dashboard-fast", "tmpr4", time.Second, 20*stat, 50, 20, gasf.Random)
+	if err != nil {
+		return nil, err
+	}
+	dash2, err := gasf.NewSamplingFilter("dashboard-slow", "tmpr4", time.Second, 30*stat, 40, 10, gasf.Random)
+	if err != nil {
+		return nil, err
+	}
+	monitorFine, err := gasf.NewDCFilter("monitor-fine", "tmpr4", 1.5*stat, 0.75*stat)
+	if err != nil {
+		return nil, err
+	}
+	monitorCoarse, err := gasf.NewDCFilter("monitor-coarse", "tmpr4", 3*stat, 1.5*stat)
+	if err != nil {
+		return nil, err
+	}
+	return []gasf.Filter{dash1, dash2, monitorFine, monitorCoarse}, nil
+}
+
+func main() {
+	series, err := gasf.NAMOS(gasf.TraceConfig{N: 8000, Seed: 17})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stat, err := series.MeanAbsChange("tmpr4")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	filters, err := buildFilters(stat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ga, err := gasf.Run(filters, series, gasf.Options{Algorithm: gasf.RG})
+	if err != nil {
+		log.Fatal(err)
+	}
+	siFilters, err := buildFilters(stat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	si, err := gasf.RunSelfInterested(siFilters, series, gasf.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("thermistor stream: %d tuples (srcStatistics %.4f)\n\n", series.Len(), stat)
+	fmt.Println("per-query deliveries (identical under both modes — every query is satisfied):")
+	for _, f := range filters {
+		fmt.Printf("  %-16s %5d tuples\n", f.ID(), ga.Stats.PerFilter[f.ID()])
+	}
+	fmt.Printf("\nsensor transmissions (union): group-aware %d | self-interested %d\n",
+		ga.Stats.DistinctOutputs, si.Stats.DistinctOutputs)
+	ratio := float64(ga.Stats.DistinctOutputs) / float64(si.Stats.DistinctOutputs)
+	fmt.Printf("the sensor radio carries %.0f%% of the self-interested load —\n", ratio*100)
+	fmt.Printf("%.0f%% fewer packets drawn from the battery.\n", 100*(1-ratio))
+}

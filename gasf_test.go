@@ -1,0 +1,116 @@
+package gasf_test
+
+import (
+	"testing"
+	"time"
+
+	"gasf"
+)
+
+// TestFacadeQuickstart exercises the public API end to end the way the
+// README shows it.
+func TestFacadeQuickstart(t *testing.T) {
+	a, err := gasf.NewDCFilter("A", "temperature", 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gasf.NewDCFilter("B", "temperature", 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := gasf.PaperExample()
+	res, err := gasf.Run([]gasf.Filter{a, b}, sr, gasf.Options{Algorithm: gasf.RG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := gasf.RunSelfInterested([]gasf.Filter{a, b}, sr, gasf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §2.1.3: A and B individually output 5 distinct tuples; coordinated
+	// they need only 3.
+	if res.Stats.DistinctOutputs != 3 {
+		t.Errorf("GA outputs = %d, want 3", res.Stats.DistinctOutputs)
+	}
+	if si.Stats.DistinctOutputs != 5 {
+		t.Errorf("SI outputs = %d, want 5", si.Stats.DistinctOutputs)
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	if _, err := gasf.NewTrendFilter("t", "v", 1, 0.4, time.Second); err != nil {
+		t.Errorf("NewTrendFilter: %v", err)
+	}
+	if _, err := gasf.NewAvgFilter("a", []string{"x", "y"}, 1, 0.4); err != nil {
+		t.Errorf("NewAvgFilter: %v", err)
+	}
+	if _, err := gasf.NewSamplingFilter("s", "v", time.Second, 1, 50, 20, gasf.Random); err != nil {
+		t.Errorf("NewSamplingFilter: %v", err)
+	}
+	if _, err := gasf.NewStatefulDCFilter("sf", "v", 1, 0.4); err != nil {
+		t.Errorf("NewStatefulDCFilter: %v", err)
+	}
+	sp, err := gasf.ParseSpec("DC1(fluoro, 3.0, 1.5)")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if _, err := sp.Build("x"); err != nil {
+		t.Errorf("Spec.Build: %v", err)
+	}
+}
+
+func TestFacadeEngineIncremental(t *testing.T) {
+	a, err := gasf.NewDCFilter("A", "temperature", 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := gasf.NewEngine([]gasf.Filter{a}, gasf.Options{Algorithm: gasf.PS, Strategy: gasf.PerCandidateSet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := gasf.PaperExample()
+	for i := 0; i < sr.Len(); i++ {
+		if err := e.Step(sr.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Result().Stats.DistinctOutputs == 0 {
+		t.Error("no outputs from incremental engine")
+	}
+}
+
+func TestFacadeSchemaAndSeries(t *testing.T) {
+	s, err := gasf.NewSchema("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := gasf.NewSeries(s)
+	tp, err := gasf.NewTuple(s, 0, time.Unix(0, 0), []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Append(tp); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Len() != 1 {
+		t.Errorf("series len = %d", sr.Len())
+	}
+}
+
+func TestFacadeTraces(t *testing.T) {
+	for name, gen := range map[string]func(gasf.TraceConfig) (*gasf.Series, error){
+		"namos": gasf.NAMOS, "cow": gasf.CowTrace, "seismic": gasf.SeismicTrace, "fire": gasf.FireTrace,
+	} {
+		sr, err := gen(gasf.TraceConfig{N: 100, Seed: 1})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if sr.Len() != 100 {
+			t.Errorf("%s: len = %d", name, sr.Len())
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package adapt implements the adaptive-control extensions the paper
+// sketches as future work:
+//
+//   - selectivity monitoring and group partitioning (§4.8: "It is desirable
+//     to isolate those 'bad' filters from the rest, or not to apply
+//     group-aware filtering when they are present");
+//   - windowed quality degradation (§3.1: applications "are willing to
+//     adapt their data requirements according to system conditions",
+//     §3.5.3's self-tuning control loop applied to bandwidth).
+package adapt
+
+import (
+	"fmt"
+	"sort"
+
+	"gasf/internal/core"
+	"gasf/internal/filter"
+	"gasf/internal/tuple"
+)
+
+// Selectivity measures a filter's self-interested selectivity on a sample
+// series: the fraction of input tuples its baseline selects. High
+// selectivity means the filter wants most of the stream and leaves little
+// room for group-aware savings.
+func Selectivity(f filter.Filter, sample *tuple.Series) (float64, error) {
+	if sample == nil || sample.Len() == 0 {
+		return 0, fmt.Errorf("adapt: empty sample")
+	}
+	si := f.SelfInterested()
+	selected := 0
+	for i := 0; i < sample.Len(); i++ {
+		selected += len(si.Process(sample.At(i)))
+	}
+	selected += len(si.Flush())
+	return float64(selected) / float64(sample.Len()), nil
+}
+
+// Partition splits a group by measured selectivity: filters at or below
+// the threshold join the coordinated (group-aware) set; the rest are
+// served directly with self-interested filtering, so their near-raw demand
+// neither inflates group CPU nor drags decisions. It returns the measured
+// selectivities keyed by filter ID.
+func Partition(filters []filter.Filter, sample *tuple.Series, threshold float64) (coordinated, direct []filter.Filter, selectivity map[string]float64, err error) {
+	if threshold <= 0 || threshold > 1 {
+		return nil, nil, nil, fmt.Errorf("adapt: threshold %g outside (0, 1]", threshold)
+	}
+	selectivity = make(map[string]float64, len(filters))
+	for _, f := range filters {
+		s, err := Selectivity(f, sample)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("adapt: measuring %s: %w", f.ID(), err)
+		}
+		selectivity[f.ID()] = s
+		if s <= threshold {
+			coordinated = append(coordinated, f)
+		} else {
+			direct = append(direct, f)
+		}
+	}
+	return coordinated, direct, selectivity, nil
+}
+
+// RunPartitioned executes a partitioned group over a series: the
+// coordinated filters run through the group-aware engine, the direct
+// filters through the self-interested baseline, and the transmissions are
+// merged into one result (union bandwidth accounting across both).
+func RunPartitioned(coordinated, direct []filter.Filter, sr *tuple.Series, opts core.Options) (*core.Result, error) {
+	if len(coordinated)+len(direct) == 0 {
+		return nil, fmt.Errorf("adapt: no filters")
+	}
+	merged := &core.Result{Stats: core.Stats{PerFilter: make(map[string]int)}}
+	distinct := make(map[int]bool)
+	fold := func(res *core.Result) {
+		merged.Transmissions = append(merged.Transmissions, res.Transmissions...)
+		merged.Stats.Inputs = res.Stats.Inputs
+		merged.Stats.Transmissions += res.Stats.Transmissions
+		merged.Stats.Deliveries += res.Stats.Deliveries
+		merged.Stats.CPU += res.Stats.CPU
+		merged.Stats.GreedyCPU += res.Stats.GreedyCPU
+		merged.Stats.Regions += res.Stats.Regions
+		merged.Stats.RegionsCut += res.Stats.RegionsCut
+		merged.Stats.RegionTupleSum += res.Stats.RegionTupleSum
+		merged.Stats.Latencies = append(merged.Stats.Latencies, res.Stats.Latencies...)
+		for id, n := range res.Stats.PerFilter {
+			merged.Stats.PerFilter[id] += n
+		}
+		for _, tr := range res.Transmissions {
+			if !distinct[tr.Tuple.Seq] {
+				distinct[tr.Tuple.Seq] = true
+				merged.Stats.DistinctOutputs++
+			}
+		}
+	}
+	if len(coordinated) > 0 {
+		res, err := core.Run(coordinated, sr, opts)
+		if err != nil {
+			return nil, err
+		}
+		fold(res)
+	}
+	if len(direct) > 0 {
+		res, err := core.RunSelfInterested(direct, sr, opts)
+		if err != nil {
+			return nil, err
+		}
+		fold(res)
+	}
+	sort.SliceStable(merged.Transmissions, func(i, j int) bool {
+		if !merged.Transmissions[i].ReleasedAt.Equal(merged.Transmissions[j].ReleasedAt) {
+			return merged.Transmissions[i].ReleasedAt.Before(merged.Transmissions[j].ReleasedAt)
+		}
+		return merged.Transmissions[i].Tuple.Seq < merged.Transmissions[j].Tuple.Seq
+	})
+	return merged, nil
+}
+
+// Scalable is implemented by filters whose granularity can be degraded at
+// run time (the DC family).
+type Scalable interface {
+	SetScale(scale float64) error
+	Scale() float64
+}
+
+// DegradeConfig parameterizes the bandwidth controller.
+type DegradeConfig struct {
+	// BudgetOI is the maximum tolerated output/input ratio per control
+	// window; above it the controller degrades granularity.
+	BudgetOI float64
+	// Window is the control period in input tuples.
+	Window int
+	// Step is the multiplicative scale adjustment per control action;
+	// 0 means 1.25.
+	Step float64
+	// MaxScale caps degradation; 0 means 8.
+	MaxScale float64
+}
+
+func (c DegradeConfig) withDefaults() (DegradeConfig, error) {
+	if c.BudgetOI <= 0 || c.BudgetOI > 1 {
+		return c, fmt.Errorf("adapt: budget O/I %g outside (0, 1]", c.BudgetOI)
+	}
+	if c.Window <= 0 {
+		return c, fmt.Errorf("adapt: window must be positive, got %d", c.Window)
+	}
+	if c.Step == 0 {
+		c.Step = 1.25
+	}
+	if c.Step <= 1 {
+		return c, fmt.Errorf("adapt: step must exceed 1, got %g", c.Step)
+	}
+	if c.MaxScale == 0 {
+		c.MaxScale = 8
+	}
+	if c.MaxScale < 1 {
+		return c, fmt.Errorf("adapt: max scale %g below 1", c.MaxScale)
+	}
+	return c, nil
+}
+
+// DegradeResult reports a degrading run.
+type DegradeResult struct {
+	Result *core.Result
+	// ScaleTrajectory records the granularity scale at the end of each
+	// control window.
+	ScaleTrajectory []float64
+	// WindowOI records the measured O/I of each window.
+	WindowOI []float64
+}
+
+// RunDegrading drives the group through the engine under a bandwidth
+// budget: at each window boundary it compares the window's output/input
+// ratio to the budget and scales every Scalable filter's granularity up
+// (coarser) when over budget, or back down toward the configured
+// granularity when comfortably under (below 70% of budget) — the
+// self-tuning control pattern of §3.5.3.
+func RunDegrading(filters []filter.Filter, sr *tuple.Series, opts core.Options, cfg DegradeConfig) (*DegradeResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	var scalables []Scalable
+	for _, f := range filters {
+		if s, ok := f.(Scalable); ok {
+			scalables = append(scalables, s)
+		}
+	}
+	if len(scalables) == 0 {
+		return nil, fmt.Errorf("adapt: no scalable filters in the group")
+	}
+	e, err := core.NewEngine(filters, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &DegradeResult{}
+	scale := 1.0
+	lastOutputs := 0
+	for i := 0; i < sr.Len(); i++ {
+		if err := e.Step(sr.At(i)); err != nil {
+			return nil, err
+		}
+		if (i+1)%cfg.Window != 0 {
+			continue
+		}
+		produced := e.Result().Stats.DistinctOutputs - lastOutputs
+		lastOutputs = e.Result().Stats.DistinctOutputs
+		oi := float64(produced) / float64(cfg.Window)
+		out.WindowOI = append(out.WindowOI, oi)
+		switch {
+		case oi > cfg.BudgetOI && scale < cfg.MaxScale:
+			scale *= cfg.Step
+			if scale > cfg.MaxScale {
+				scale = cfg.MaxScale
+			}
+		case oi < 0.7*cfg.BudgetOI && scale > 1:
+			scale /= cfg.Step
+			if scale < 1 {
+				scale = 1
+			}
+		}
+		for _, s := range scalables {
+			if err := s.SetScale(scale); err != nil {
+				return nil, err
+			}
+		}
+		out.ScaleTrajectory = append(out.ScaleTrajectory, scale)
+	}
+	if err := e.Finish(); err != nil {
+		return nil, err
+	}
+	out.Result = e.Result()
+	return out, nil
+}

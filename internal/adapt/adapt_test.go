@@ -1,0 +1,284 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+
+	"gasf/internal/core"
+	"gasf/internal/filter"
+	"gasf/internal/trace"
+	"gasf/internal/tuple"
+)
+
+func namos(t *testing.T, n int) *tuple.Series {
+	t.Helper()
+	sr, err := trace.NAMOS(trace.Config{N: n, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+func dc(t *testing.T, id string, delta, slack float64) filter.Filter {
+	t.Helper()
+	f, err := filter.NewDC1(id, "tmpr4", delta, slack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSelectivityOrdersByGranularity(t *testing.T) {
+	sr := namos(t, 1500)
+	stat, err := sr.MeanAbsChange("tmpr4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine := dc(t, "fine", 1*stat, 0.5*stat)
+	coarse := dc(t, "coarse", 10*stat, 5*stat)
+	sf, err := Selectivity(fine, sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Selectivity(coarse, sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf <= sc {
+		t.Errorf("fine filter selectivity %.3f not above coarse %.3f", sf, sc)
+	}
+	if sf <= 0 || sf > 1 || sc <= 0 || sc > 1 {
+		t.Errorf("selectivities out of range: %g, %g", sf, sc)
+	}
+	if _, err := Selectivity(fine, nil); err == nil {
+		t.Error("nil sample should fail")
+	}
+}
+
+func TestPartitionIsolatesBadFilter(t *testing.T) {
+	sr := namos(t, 2000)
+	stat, err := sr.MeanAbsChange("tmpr4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "bad" filter wants nearly every tuple (§4.8): delta far below
+	// typical change.
+	filters := []filter.Filter{
+		dc(t, "good1", 2*stat, stat),
+		dc(t, "good2", 3*stat, 1.5*stat),
+		dc(t, "bad", 0.05*stat, 0.025*stat),
+	}
+	sample, err := sr.Slice(0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordinated, direct, sel, err := Partition(filters, sample, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coordinated) != 2 || len(direct) != 1 || direct[0].ID() != "bad" {
+		t.Fatalf("partition wrong: coordinated %d, direct %v (selectivity %v)",
+			len(coordinated), direct, sel)
+	}
+	if sel["bad"] < 0.5 {
+		t.Errorf("bad filter selectivity %.3f unexpectedly low", sel["bad"])
+	}
+
+	res, err := RunPartitioned(coordinated, direct, sr, core.Options{Algorithm: core.RG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every filter still gets served: counts match the all-SI baseline.
+	si, err := core.RunSelfInterested(filters, sr, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, n := range si.Stats.PerFilter {
+		if res.Stats.PerFilter[id] != n {
+			t.Errorf("filter %s deliveries = %d, want %d", id, res.Stats.PerFilter[id], n)
+		}
+	}
+	// Transmissions are ordered by release time.
+	for i := 1; i < len(res.Transmissions); i++ {
+		if res.Transmissions[i].ReleasedAt.Before(res.Transmissions[i-1].ReleasedAt) {
+			t.Fatal("merged transmissions out of order")
+		}
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	sr := namos(t, 100)
+	if _, _, _, err := Partition(nil, sr, 0); err == nil {
+		t.Error("zero threshold should fail")
+	}
+	if _, _, _, err := Partition(nil, sr, 1.5); err == nil {
+		t.Error("threshold above 1 should fail")
+	}
+	if _, err := RunPartitioned(nil, nil, sr, core.Options{}); err == nil {
+		t.Error("empty partition should fail")
+	}
+}
+
+func TestDCSetScaleSemantics(t *testing.T) {
+	s := tuple.MustSchema("v")
+	sr := tuple.NewSeries(s)
+	for i, v := range []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100} {
+		if err := sr.Append(tuple.MustNew(s, i, trace.Epoch.Add(time.Duration(i)*trace.DefaultInterval), []float64{v})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := filter.NewDC1("f", "v", 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetScale(0); err == nil {
+		t.Error("non-positive scale should fail")
+	}
+	// At scale 1, every step of 10 triggers a reference.
+	refs := 0
+	for i := 0; i < 5; i++ {
+		ev, err := f.Process(sr.At(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Closed != nil {
+			refs++
+		}
+	}
+	if refs == 0 {
+		t.Fatal("no references at scale 1")
+	}
+	// Degrade 3x: effective delta 30, so two of every three steps stop
+	// producing references.
+	if err := f.SetScale(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Scale(); got != 3 {
+		t.Fatalf("Scale() = %g", got)
+	}
+	coarseRefs := 0
+	for i := 5; i < sr.Len(); i++ {
+		ev, err := f.Process(sr.At(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Closed != nil {
+			coarseRefs++
+		}
+	}
+	// Values 50..100 move 50 units: at delta 30 that is at most 2
+	// references (vs 5 at scale 1).
+	if coarseRefs > 2 {
+		t.Errorf("degraded filter produced %d references over 50 units, want <= 2", coarseRefs)
+	}
+}
+
+func TestRunDegradingRespondsToLoad(t *testing.T) {
+	// A stream whose volatility jumps mid-way: quiet drift then violent
+	// swings.
+	s := tuple.MustSchema("v")
+	sr := tuple.NewSeries(s)
+	v := 0.0
+	for i := 0; i < 2000; i++ {
+		if i < 1000 {
+			v += 0.1
+		} else {
+			// Strong moves each tuple.
+			if i%2 == 0 {
+				v += 6
+			} else {
+				v -= 3
+			}
+		}
+		if err := sr.Append(tuple.MustNew(s, i, trace.Epoch.Add(time.Duration(i)*trace.DefaultInterval), []float64{v})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f1, err := filter.NewDC1("a", "v", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := filter.NewDC1("b", "v", 3, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunDegrading([]filter.Filter{f1, f2}, sr, core.Options{Algorithm: core.RG},
+		DegradeConfig{BudgetOI: 0.2, Window: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ScaleTrajectory) != 10 {
+		t.Fatalf("trajectory length = %d, want 10 windows", len(res.ScaleTrajectory))
+	}
+	// Quiet phase: scale stays at 1. Volatile phase: controller degrades.
+	if res.ScaleTrajectory[3] != 1 {
+		t.Errorf("scale %.2f during quiet phase, want 1", res.ScaleTrajectory[3])
+	}
+	final := res.ScaleTrajectory[len(res.ScaleTrajectory)-1]
+	if final <= 1 {
+		t.Errorf("controller never degraded under load: trajectory %v (window O/I %v)",
+			res.ScaleTrajectory, res.WindowOI)
+	}
+	// The degraded windows must come back under (or near) budget.
+	last := res.WindowOI[len(res.WindowOI)-1]
+	if last > 3*0.2 {
+		t.Errorf("final window O/I %.3f far above budget despite degradation", last)
+	}
+	if res.Result.Stats.DistinctOutputs == 0 {
+		t.Error("no outputs")
+	}
+}
+
+func TestRunDegradingValidation(t *testing.T) {
+	sr := namos(t, 300)
+	f := dc(t, "a", 1, 0.5)
+	bad := []struct {
+		name string
+		cfg  DegradeConfig
+	}{
+		{"zero budget", DegradeConfig{Window: 10}},
+		{"budget above 1", DegradeConfig{BudgetOI: 2, Window: 10}},
+		{"zero window", DegradeConfig{BudgetOI: 0.5}},
+		{"step below 1", DegradeConfig{BudgetOI: 0.5, Window: 10, Step: 0.5}},
+		{"max scale below 1", DegradeConfig{BudgetOI: 0.5, Window: 10, MaxScale: 0.5}},
+	}
+	for _, tc := range bad {
+		if _, err := RunDegrading([]filter.Filter{f}, sr, core.Options{}, tc.cfg); err == nil {
+			t.Errorf("%s should fail", tc.name)
+		}
+	}
+	// A group with no scalable filters is rejected.
+	ss, err := filter.NewSS("ss", "tmpr4", time.Second, 1, 50, 20, filter.Random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunDegrading([]filter.Filter{ss}, sr, core.Options{}, DegradeConfig{BudgetOI: 0.5, Window: 10}); err == nil {
+		t.Error("group without scalable filters should fail")
+	}
+}
+
+// TestDegradationReducesOutput: a tight budget forces degradation and the
+// degraded run transmits strictly less than the unconstrained run, while
+// consecutive deliveries still move by at least the *configured*
+// delta - slack (degradation only widens spacing, never narrows it).
+func TestDegradationReducesOutput(t *testing.T) {
+	sr := namos(t, 2000)
+	stat, err := sr.MeanAbsChange("tmpr4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := RunDegrading([]filter.Filter{dc(t, "a", 2*stat, stat)}, sr,
+		core.Options{Algorithm: core.RG},
+		DegradeConfig{BudgetOI: 0.02, Window: 250, MaxScale: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := core.Run([]filter.Filter{dc(t, "a", 2*stat, stat)}, sr, core.Options{Algorithm: core.RG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Result.Stats.DistinctOutputs >= plain.Stats.DistinctOutputs {
+		t.Errorf("degraded outputs %d not below unconstrained %d (trajectory %v)",
+			degraded.Result.Stats.DistinctOutputs, plain.Stats.DistinctOutputs, degraded.ScaleTrajectory)
+	}
+}

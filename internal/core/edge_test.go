@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gasf/internal/filter"
+	"gasf/internal/trace"
+	"gasf/internal/tuple"
+)
+
+// TestEmptyStream: a run over zero tuples is valid and empty.
+func TestEmptyStream(t *testing.T) {
+	f, err := filter.NewDC1("f", "v", 1, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := tuple.NewSeries(tuple.MustSchema("v"))
+	res, err := Run([]filter.Filter{f}, sr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Inputs != 0 || res.Stats.DistinctOutputs != 0 || len(res.Transmissions) != 0 {
+		t.Errorf("empty stream produced %+v", res.Stats)
+	}
+}
+
+// TestSingleTupleStream: one tuple yields exactly one output to every
+// filter (the first tuple is always a reference).
+func TestSingleTupleStream(t *testing.T) {
+	f1, _ := filter.NewDC1("a", "v", 1, 0.4)
+	f2, _ := filter.NewDC1("b", "v", 5, 2)
+	s := tuple.MustSchema("v")
+	sr := tuple.NewSeries(s)
+	if err := sr.Append(tuple.MustNew(s, 0, trace.Epoch, []float64{3})); err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{RG, PS} {
+		res, err := Run([]filter.Filter{f1, f2}, sr, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.DistinctOutputs != 1 {
+			t.Errorf("%v: distinct = %d, want 1", alg, res.Stats.DistinctOutputs)
+		}
+		if res.Stats.PerFilter["a"] != 1 || res.Stats.PerFilter["b"] != 1 {
+			t.Errorf("%v: per-filter = %v", alg, res.Stats.PerFilter)
+		}
+		f1.Reset()
+		f2.Reset()
+	}
+}
+
+// TestSingleFilterGroupMatchesBaselineCount: with one filter there is no
+// sharing, so GA and SI output counts coincide exactly (GA may pick
+// different tuples within slack, but one per reference).
+func TestSingleFilterGroupMatchesBaselineCount(t *testing.T) {
+	sr, err := trace.NAMOS(trace.Config{N: 1200, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat, err := sr.MeanAbsChange("tmpr4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() filter.Filter {
+		f, _ := filter.NewDC1("solo", "tmpr4", 2*stat, stat)
+		return f
+	}
+	ga, err := Run([]filter.Filter{mk()}, sr, Options{Algorithm: RG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := RunSelfInterested([]filter.Filter{mk()}, sr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga.Stats.DistinctOutputs != si.Stats.DistinctOutputs {
+		t.Errorf("solo GA %d != SI %d", ga.Stats.DistinctOutputs, si.Stats.DistinctOutputs)
+	}
+}
+
+// TestFinishReleasesBatchedTail: outputs stuck behind a batch boundary are
+// flushed by Finish.
+func TestFinishReleasesBatchedTail(t *testing.T) {
+	f, _ := filter.NewDC1("f", "temperature", 50, 10)
+	res, err := Run([]filter.Filter{f}, trace.PaperExample(),
+		Options{Algorithm: RG, Strategy: Batched, BatchSize: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DistinctOutputs == 0 {
+		t.Error("batched tail never released")
+	}
+	// Everything released at the last tuple's timestamp.
+	last := trace.PaperExample().At(9).TS
+	for _, tr := range res.Transmissions {
+		if !tr.ReleasedAt.Equal(last) {
+			t.Errorf("batched release at %v, want %v", tr.ReleasedAt, last)
+		}
+	}
+}
+
+// TestMulticastDelayAppliesUniformly: the constant shifts every latency
+// sample.
+func TestMulticastDelayAppliesUniformly(t *testing.T) {
+	f, _ := filter.NewDC1("f", "temperature", 50, 10)
+	base, err := Run([]filter.Filter{f}, trace.PaperExample(), Options{Algorithm: RG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mc = 30 * time.Millisecond
+	f2, _ := filter.NewDC1("f", "temperature", 50, 10)
+	with, err := Run([]filter.Filter{f2}, trace.PaperExample(), Options{Algorithm: RG, MulticastDelay: mc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Stats.Latencies) != len(with.Stats.Latencies) {
+		t.Fatal("sample counts differ")
+	}
+	for i := range base.Stats.Latencies {
+		if with.Stats.Latencies[i]-base.Stats.Latencies[i] != mc {
+			t.Errorf("sample %d: %v vs %v, want +%v", i, with.Stats.Latencies[i], base.Stats.Latencies[i], mc)
+		}
+	}
+}

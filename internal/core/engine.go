@@ -1,0 +1,607 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gasf/internal/filter"
+	"gasf/internal/hitting"
+	"gasf/internal/predict"
+	"gasf/internal/region"
+	"gasf/internal/tuple"
+)
+
+// Engine coordinates a group of filters over one source stream. It owns the
+// global state of the two-stage process (Fig 2.4): group utilities of
+// tuples, the current region of connected candidate sets, decided outputs,
+// and the output scheduler.
+//
+// An Engine is single-source and not safe for concurrent use; the Solar
+// layer runs one engine per source node.
+type Engine struct {
+	filters []filter.Filter
+	opts    Options
+
+	// util maps tuple sequence number to group utility: the number of
+	// filters currently holding the tuple in a candidate set.
+	util map[int]int
+	// open tracks, per filter, the admitted tuples of the open
+	// (unclosed) candidate set, in arrival order.
+	open map[string][]*tuple.Tuple
+	// tracker accumulates closed sets into regions.
+	tracker region.Tracker
+	// predictor models greedy run time for timely cuts (§3.3).
+	predictor *predict.RunTimePredictor
+	// accounted marks sets whose utility contribution has been removed.
+	accounted map[*filter.CandidateSet]bool
+	// decidedPicks records chosen outputs of sets decided before region
+	// emission (PS sets and stateful sets), so the RG greedy can treat
+	// them as singleton proxies.
+	decidedPicks map[*filter.CandidateSet][]*tuple.Tuple
+	// attached holds decided outputs awaiting their region's closure
+	// (EarliestRegion strategy).
+	attached map[*filter.CandidateSet][]pendingOut
+	// batchBuf holds outputs awaiting the next batch boundary.
+	batchBuf   []pendingOut
+	batchCount int
+	// stepBuf holds outputs decided during the current step under the
+	// PerCandidateSet strategy; the multicaster sends decided outputs
+	// after each input tuple (Fig 2.10, line 11), merging same-tuple
+	// decisions made by different filters in the same step.
+	stepBuf []pendingOut
+	// chosen is the PS global state of recently chosen tuples
+	// (heuristic 1), pruned by the chosen horizon.
+	chosen  map[int]time.Time
+	chosenQ []chosenRec
+
+	distinct       map[int]bool
+	maxReleasedSeq int
+	result         Result
+	now            time.Time
+	started        bool
+	lastTS         time.Time
+	finished       bool
+}
+
+type chosenRec struct {
+	seq int
+	at  time.Time
+}
+
+// NewEngine builds an engine over the given filter group.
+func NewEngine(filters []filter.Filter, opts Options) (*Engine, error) {
+	opts, err := opts.validate()
+	if err != nil {
+		return nil, err
+	}
+	if len(filters) == 0 {
+		return nil, fmt.Errorf("core: engine needs at least one filter")
+	}
+	seen := make(map[string]bool, len(filters))
+	for _, f := range filters {
+		if f == nil {
+			return nil, fmt.Errorf("core: nil filter")
+		}
+		if seen[f.ID()] {
+			return nil, fmt.Errorf("core: duplicate filter id %q", f.ID())
+		}
+		seen[f.ID()] = true
+	}
+	cp := make([]filter.Filter, len(filters))
+	copy(cp, filters)
+	return &Engine{
+		filters:        cp,
+		opts:           opts,
+		util:           make(map[int]int),
+		open:           make(map[string][]*tuple.Tuple),
+		predictor:      predict.NewRunTimePredictor(opts.PredictWindow, opts.PredictMargin),
+		accounted:      make(map[*filter.CandidateSet]bool),
+		decidedPicks:   make(map[*filter.CandidateSet][]*tuple.Tuple),
+		attached:       make(map[*filter.CandidateSet][]pendingOut),
+		chosen:         make(map[int]time.Time),
+		distinct:       make(map[int]bool),
+		maxReleasedSeq: -1,
+		result:         Result{Stats: Stats{PerFilter: make(map[string]int)}},
+	}, nil
+}
+
+// Step feeds the next stream tuple through the group. Source timestamps
+// must be strictly increasing — region closure detection depends on it.
+func (e *Engine) Step(t *tuple.Tuple) error {
+	if e.finished {
+		return fmt.Errorf("core: Step after Finish")
+	}
+	if e.started && !t.TS.After(e.lastTS) {
+		return fmt.Errorf("core: tuple %d timestamp %v not after previous %v", t.Seq, t.TS, e.lastTS)
+	}
+	start := time.Now()
+	e.now = t.TS
+
+	// Stage one: every filter admits candidates (Fig 2.4). Under PS with
+	// cuts, each filter first checks whether admitting the new tuple
+	// would violate its time constraint and cuts beforehand (Fig 3.5:
+	// "admitting a new tuple will likely violate the time constraint").
+	for _, f := range e.filters {
+		if e.opts.Cuts && e.opts.Algorithm == PS {
+			if list := e.open[f.ID()]; len(list) > 0 && t.TS.Sub(list[0].TS) >= e.opts.MaxDelay {
+				if err := e.cutFilter(f); err != nil {
+					return err
+				}
+			}
+		}
+		ev, err := f.Process(t)
+		if err != nil {
+			return fmt.Errorf("core: filter %s: %w", f.ID(), err)
+		}
+		if err := e.apply(f, t, ev); err != nil {
+			return err
+		}
+	}
+
+	// Timely cuts for RG (Fig 3.3): test the group time constraint after
+	// the group processed the tuple.
+	if e.opts.Cuts && e.opts.Algorithm == RG {
+		if err := e.maybeCut(); err != nil {
+			return err
+		}
+	}
+
+	// Stage two: emit regions that can no longer grow and decide their
+	// outputs.
+	if err := e.emitRegions(); err != nil {
+		return err
+	}
+
+	// Release outputs decided this step (PerCandidateSet strategy).
+	if len(e.stepBuf) > 0 {
+		e.mergeRelease(e.stepBuf, e.now)
+		e.stepBuf = e.stepBuf[:0]
+	}
+
+	// Batched output boundary.
+	if e.opts.Strategy == Batched {
+		e.batchCount++
+		if e.batchCount >= e.opts.BatchSize {
+			e.batchCount = 0
+			e.releaseBatch()
+		}
+	}
+
+	e.started, e.lastTS = true, t.TS
+	e.result.Stats.Inputs++
+	e.result.Stats.CPU += time.Since(start)
+	return nil
+}
+
+// Finish flushes all open and pending state at end of stream and releases
+// every remaining output.
+func (e *Engine) Finish() error {
+	if e.finished {
+		return nil
+	}
+	start := time.Now()
+	for _, f := range e.filters {
+		cs, dismissed := f.Cut()
+		e.applyDismissals(f.ID(), dismissed)
+		if cs != nil {
+			e.removeOpenMembers(f.ID(), cs)
+			if err := e.handleClosed(f, cs); err != nil {
+				return err
+			}
+		}
+	}
+	for _, r := range e.tracker.Flush() {
+		if err := e.handleRegion(r); err != nil {
+			return err
+		}
+	}
+	if len(e.stepBuf) > 0 {
+		e.mergeRelease(e.stepBuf, e.now)
+		e.stepBuf = nil
+	}
+	e.releaseBatch()
+	e.finished = true
+	e.result.Stats.CPU += time.Since(start)
+	return nil
+}
+
+// Result returns the accumulated transmissions and statistics. Call after
+// Finish for complete results.
+func (e *Engine) Result() *Result { return &e.result }
+
+// Run drives a complete series through a fresh engine.
+func Run(filters []filter.Filter, sr *tuple.Series, opts Options) (*Result, error) {
+	e, err := NewEngine(filters, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < sr.Len(); i++ {
+		if err := e.Step(sr.At(i)); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.Finish(); err != nil {
+		return nil, err
+	}
+	return e.Result(), nil
+}
+
+// apply folds one filter event into the global state, following stateful
+// decision loops to completion.
+func (e *Engine) apply(f filter.Filter, t *tuple.Tuple, ev filter.Event) error {
+	for {
+		if ev.Admitted {
+			e.util[t.Seq]++
+			e.open[f.ID()] = append(e.open[f.ID()], t)
+		}
+		e.applyDismissals(f.ID(), ev.Dismissed)
+		if ev.Closed == nil {
+			return nil
+		}
+		cs := ev.Closed
+		e.removeOpenMembers(f.ID(), cs)
+		if !f.Stateful() {
+			return e.handleClosed(f, cs)
+		}
+		// Stateful sets are decided immediately (§2.3.3); the filter
+		// rebases and may re-admit the closing tuple.
+		picks := e.decideSet(cs)
+		e.stageDecided(cs, picks)
+		e.tracker.Add(cs)
+		ev = f.ObserveChosen(picks)
+	}
+}
+
+// handleClosed routes a freshly closed candidate set: PS decides it now;
+// RG leaves it for the region greedy. Stateful sets never reach here.
+func (e *Engine) handleClosed(f filter.Filter, cs *filter.CandidateSet) error {
+	if f.Stateful() {
+		// Reached only from cuts and Finish, where no tuple is pending
+		// inside the filter: ObserveChosen just rebases.
+		picks := e.decideSet(cs)
+		e.stageDecided(cs, picks)
+		e.tracker.Add(cs)
+		if ev := f.ObserveChosen(picks); ev.Admitted || ev.Closed != nil || len(ev.Dismissed) > 0 {
+			return fmt.Errorf("core: filter %s produced events while rebasing after a cut", f.ID())
+		}
+		return nil
+	}
+	if e.opts.Algorithm == PS {
+		picks := e.decideSet(cs)
+		e.stageDecided(cs, picks)
+	}
+	e.tracker.Add(cs)
+	return nil
+}
+
+// applyDismissals decrements utilities and open tracking for dismissed
+// tuples.
+func (e *Engine) applyDismissals(filterID string, dismissed []*tuple.Tuple) {
+	for _, d := range dismissed {
+		e.decUtil(d.Seq)
+		e.removeOpen(filterID, d.Seq)
+	}
+}
+
+func (e *Engine) decUtil(seq int) {
+	if n := e.util[seq] - 1; n > 0 {
+		e.util[seq] = n
+	} else {
+		delete(e.util, seq)
+	}
+}
+
+func (e *Engine) removeOpen(filterID string, seq int) {
+	list := e.open[filterID]
+	for i, t := range list {
+		if t.Seq == seq {
+			e.open[filterID] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// removeOpenMembers drops a closed set's members from the filter's open
+// tracking.
+func (e *Engine) removeOpenMembers(filterID string, cs *filter.CandidateSet) {
+	member := make(map[int]bool, len(cs.Members))
+	for _, m := range cs.Members {
+		member[m.Seq] = true
+	}
+	list := e.open[filterID]
+	keep := list[:0]
+	for _, t := range list {
+		if !member[t.Seq] {
+			keep = append(keep, t)
+		}
+	}
+	e.open[filterID] = keep
+}
+
+// openMins returns the earliest admitted timestamp of each filter's open
+// set.
+func (e *Engine) openMins() []time.Time {
+	var mins []time.Time
+	for _, f := range e.filters {
+		if list := e.open[f.ID()]; len(list) > 0 {
+			mins = append(mins, list[0].TS)
+		}
+	}
+	return mins
+}
+
+// emitRegions extracts final regions and decides/releases their outputs.
+func (e *Engine) emitRegions() error {
+	regions := e.tracker.Ready(e.openMins(), e.now)
+	for _, r := range regions {
+		if err := e.handleRegion(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleRegion decides (RG) and/or releases (per strategy) a closed
+// region's outputs.
+func (e *Engine) handleRegion(r *region.Region) error {
+	st := &e.result.Stats
+	st.Regions++
+	if r.ClosedByCut() {
+		st.RegionsCut++
+	}
+	st.RegionTupleSum += r.TupleCount()
+
+	// Collect attached decided outputs (EarliestRegion holds them until
+	// the region closes).
+	var outs []pendingOut
+	for _, cs := range r.Sets {
+		if held, ok := e.attached[cs]; ok {
+			outs = append(outs, held...)
+			delete(e.attached, cs)
+		}
+	}
+
+	// Undecided sets (RG stateless) are decided by the greedy hitting
+	// set; already-decided sets join as singleton proxies so sharing
+	// with their chosen tuples is considered (§2.3.3).
+	var undecided []*filter.CandidateSet
+	var greedySets []*filter.CandidateSet
+	proxy := make(map[*filter.CandidateSet]bool)
+	for _, cs := range r.Sets {
+		if picks, ok := e.decidedPicks[cs]; ok {
+			p := &filter.CandidateSet{
+				Owner:      cs.Owner,
+				Ordinal:    cs.Ordinal,
+				Members:    picks,
+				PickDegree: len(picks),
+			}
+			proxy[p] = true
+			greedySets = append(greedySets, p)
+			delete(e.decidedPicks, cs)
+			continue
+		}
+		undecided = append(undecided, cs)
+		greedySets = append(greedySets, cs)
+	}
+	if len(undecided) > 0 {
+		start := time.Now()
+		picks, err := hitting.GreedyWithOptions(greedySets, e.opts.Ties == PreferEarliest)
+		elapsed := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("core: deciding region: %w", err)
+		}
+		st.GreedyCPU += elapsed
+		e.predictor.Observe(r.TupleCount(), elapsed)
+		for _, cs := range undecided {
+			if !e.accounted[cs] {
+				for _, m := range cs.Members {
+					e.decUtil(m.Seq)
+				}
+			}
+		}
+		for _, pk := range picks {
+			var dests []string
+			seen := make(map[string]bool)
+			for _, cs := range pk.Sets {
+				if proxy[cs] || seen[cs.Owner] {
+					continue
+				}
+				seen[cs.Owner] = true
+				dests = append(dests, cs.Owner)
+			}
+			if len(dests) > 0 {
+				outs = append(outs, pendingOut{t: pk.Tuple, dests: dests, decidedAt: e.now})
+			}
+		}
+	}
+	for _, cs := range r.Sets {
+		delete(e.accounted, cs)
+	}
+
+	switch e.opts.Strategy {
+	case Batched:
+		e.batchBuf = append(e.batchBuf, outs...)
+	default:
+		e.mergeRelease(outs, e.now)
+	}
+	if e.opts.EmitPunctuations {
+		_, max := r.Cover()
+		e.result.Punctuations = append(e.result.Punctuations, Punctuation{At: e.now, Horizon: max})
+	}
+	return nil
+}
+
+// releaseBatch releases the batched output buffer.
+func (e *Engine) releaseBatch() {
+	if len(e.batchBuf) == 0 {
+		return
+	}
+	e.mergeRelease(e.batchBuf, e.now)
+	e.batchBuf = nil
+}
+
+// decideSet chooses outputs for one candidate set with the PS heuristics
+// (Fig 2.10): prefer tuples already chosen by other filters, then the
+// highest group utility, ties broken toward the more recent tuple. It
+// removes the set's utility contribution and records the choices in the
+// group state.
+func (e *Engine) decideSet(cs *filter.CandidateSet) []*tuple.Tuple {
+	eligible := cs.Eligible()
+	k := cs.PickDegree
+	if k <= 0 {
+		k = 1
+	}
+	if k > len(eligible) {
+		k = len(eligible)
+	}
+	used := make(map[int]bool, k)
+	picks := make([]*tuple.Tuple, 0, k)
+	for len(picks) < k {
+		var best *tuple.Tuple
+		// Heuristic 1: a tuple already chosen by another filter.
+		for _, m := range eligible {
+			if used[m.Seq] {
+				continue
+			}
+			if _, ok := e.chosen[m.Seq]; !ok {
+				continue
+			}
+			if e.prefer(m, best) {
+				best = m
+			}
+		}
+		// Heuristic 2: the highest group utility.
+		if best == nil {
+			bestU := -1
+			for _, m := range eligible {
+				if used[m.Seq] {
+					continue
+				}
+				u := e.util[m.Seq]
+				if u > bestU || (u == bestU && e.prefer(m, best)) {
+					best, bestU = m, u
+				}
+			}
+		}
+		if best == nil {
+			break
+		}
+		used[best.Seq] = true
+		picks = append(picks, best)
+	}
+	if !e.accounted[cs] {
+		for _, m := range cs.Members {
+			e.decUtil(m.Seq)
+		}
+		e.accounted[cs] = true
+	}
+	for _, p := range picks {
+		e.recordChosen(p)
+	}
+	return picks
+}
+
+// prefer reports whether m beats best under the engine's tie-break rule;
+// a nil best always loses.
+func (e *Engine) prefer(m, best *tuple.Tuple) bool {
+	if best == nil {
+		return true
+	}
+	if e.opts.Ties == PreferEarliest {
+		return m.TS.Before(best.TS) || (m.TS.Equal(best.TS) && m.Seq < best.Seq)
+	}
+	return m.TS.After(best.TS) || (m.TS.Equal(best.TS) && m.Seq > best.Seq)
+}
+
+// stageDecided routes a decided set's outputs per the output strategy and
+// records the picks for region-time proxying.
+func (e *Engine) stageDecided(cs *filter.CandidateSet, picks []*tuple.Tuple) {
+	e.decidedPicks[cs] = picks
+	outs := make([]pendingOut, 0, len(picks))
+	for _, p := range picks {
+		outs = append(outs, pendingOut{t: p, dests: []string{cs.Owner}, decidedAt: e.now})
+	}
+	switch e.opts.Strategy {
+	case PerCandidateSet:
+		e.stepBuf = append(e.stepBuf, outs...)
+	case Batched:
+		e.batchBuf = append(e.batchBuf, outs...)
+	default: // EarliestRegion: hold until the region closes.
+		e.attached[cs] = outs
+	}
+}
+
+// recordChosen adds a pick to the PS chosen-tuple memory and prunes
+// entries beyond the horizon.
+func (e *Engine) recordChosen(t *tuple.Tuple) {
+	e.chosen[t.Seq] = e.now
+	e.chosenQ = append(e.chosenQ, chosenRec{seq: t.Seq, at: e.now})
+	cutoff := e.now.Add(-e.opts.ChosenHorizon)
+	for len(e.chosenQ) > 0 && e.chosenQ[0].at.Before(cutoff) {
+		rec := e.chosenQ[0]
+		e.chosenQ = e.chosenQ[1:]
+		if at, ok := e.chosen[rec.seq]; ok && !at.After(rec.at) {
+			delete(e.chosen, rec.seq)
+		}
+	}
+}
+
+// maybeCut tests the RG group time constraint and force-closes all open
+// sets when it is about to be violated (Fig 3.3). PS cuts are handled
+// per-filter before each Process call in Step.
+func (e *Engine) maybeCut() error {
+	// Region-based cuts: elapsed region span plus the predicted greedy
+	// run time for one more tuple must stay within the budget.
+	oldest, ok := e.oldestActive()
+	if !ok {
+		return nil
+	}
+	size := e.activeTupleCount()
+	predicted := e.predictor.Predict(size + 1)
+	if e.now.Sub(oldest)+predicted < e.opts.MaxDelay {
+		return nil
+	}
+	for _, f := range e.filters {
+		if err := e.cutFilter(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cutFilter force-closes one filter's open candidate set.
+func (e *Engine) cutFilter(f filter.Filter) error {
+	cs, dismissed := f.Cut()
+	e.applyDismissals(f.ID(), dismissed)
+	if cs == nil {
+		return nil
+	}
+	e.removeOpenMembers(f.ID(), cs)
+	return e.handleClosed(f, cs)
+}
+
+// oldestActive returns the earliest timestamp across pending closed sets
+// and open admissions — the start of the current region span.
+func (e *Engine) oldestActive() (time.Time, bool) {
+	oldest, ok := e.tracker.EarliestPending()
+	for _, f := range e.filters {
+		if list := e.open[f.ID()]; len(list) > 0 {
+			if !ok || list[0].TS.Before(oldest) {
+				oldest, ok = list[0].TS, true
+			}
+		}
+	}
+	return oldest, ok
+}
+
+// activeTupleCount approximates the size of the accumulating region: open
+// admissions plus pending closed-set members (distinct per filter, may
+// overlap across filters; the predictor only needs a consistent scale).
+func (e *Engine) activeTupleCount() int {
+	n := 0
+	for _, f := range e.filters {
+		n += len(e.open[f.ID()])
+	}
+	n += e.tracker.PendingSets()
+	return n
+}

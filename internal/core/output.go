@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"gasf/internal/tuple"
+)
+
+// Transmission is one multicast send: a tuple, the applications that must
+// receive it, and the (virtual) time it was released to the multicaster.
+// The multicast protocol labels each tuple with its destination list so it
+// crosses any network link at most once (§1.2).
+type Transmission struct {
+	Tuple        *tuple.Tuple
+	Destinations []string
+	ReleasedAt   time.Time
+}
+
+// Punctuation is a control marker mixed into the output stream (§3.4):
+// after a punctuation is released, no further output will carry a source
+// timestamp at or before Horizon. Downstream operators use punctuations to
+// bound reordering when outputs are released per candidate set.
+type Punctuation struct {
+	// At is the release time of the punctuation (region closure).
+	At time.Time
+	// Horizon is the end of the closed region's time cover.
+	Horizon time.Time
+}
+
+// Stats aggregates the metrics of one engine run (§4.4).
+type Stats struct {
+	// Inputs is the number of tuples consumed.
+	Inputs int
+	// DistinctOutputs is the size of the union of all chosen outputs —
+	// the numerator of the O/I ratio.
+	DistinctOutputs int
+	// Transmissions counts multicast send events.
+	Transmissions int
+	// Deliveries counts (tuple, destination) pairs delivered.
+	Deliveries int
+	// PerFilter counts deliveries per filter/application ID.
+	PerFilter map[string]int
+	// Regions counts closed regions; RegionsCut counts those closed (in
+	// part) by a timely cut (Fig 4.11).
+	Regions, RegionsCut int
+	// RegionTupleSum accumulates region sizes in tuples, for average
+	// region size diagnostics.
+	RegionTupleSum int
+	// CPU is the measured wall time of the engine's per-tuple
+	// processing; GreedyCPU is the share spent in hitting-set decisions
+	// (stage two), which feeds the run-time predictor.
+	CPU, GreedyCPU time.Duration
+	// Latencies holds one source-to-release latency sample per delivery
+	// (including the MulticastDelay constant).
+	Latencies []time.Duration
+	// MultiplexDisorder counts transmissions whose tuple precedes (by
+	// sequence) an already-released tuple — the disorder that eager
+	// output strategies introduce in the multiplexed stream (§3.4).
+	MultiplexDisorder int
+}
+
+// OIRatio returns output/input: distinct output tuples over input tuples.
+func (s *Stats) OIRatio() float64 {
+	if s.Inputs == 0 {
+		return 0
+	}
+	return float64(s.DistinctOutputs) / float64(s.Inputs)
+}
+
+// CPUPerTuple returns mean processing time per input tuple.
+func (s *Stats) CPUPerTuple() time.Duration {
+	if s.Inputs == 0 {
+		return 0
+	}
+	return s.CPU / time.Duration(s.Inputs)
+}
+
+// MeanLatency returns the mean delivery latency.
+func (s *Stats) MeanLatency() time.Duration {
+	if len(s.Latencies) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range s.Latencies {
+		sum += l
+	}
+	return sum / time.Duration(len(s.Latencies))
+}
+
+// MeanRegionTuples returns the average region size in tuples.
+func (s *Stats) MeanRegionTuples() float64 {
+	if s.Regions == 0 {
+		return 0
+	}
+	return float64(s.RegionTupleSum) / float64(s.Regions)
+}
+
+// Result is the outcome of a complete run.
+type Result struct {
+	Transmissions []Transmission
+	// Punctuations are emitted only when Options.EmitPunctuations is
+	// set.
+	Punctuations []Punctuation
+	Stats        Stats
+}
+
+// pendingOut is a decided output waiting for its release time.
+type pendingOut struct {
+	t         *tuple.Tuple
+	dests     []string
+	decidedAt time.Time
+}
+
+// mergeRelease folds pending outputs released at the same instant into
+// transmissions, merging destination lists of the same tuple, and records
+// stats. Destination lists are sorted for determinism.
+func (e *Engine) mergeRelease(outs []pendingOut, releasedAt time.Time) {
+	if len(outs) == 0 {
+		return
+	}
+	bySeq := make(map[int]*Transmission)
+	order := make([]int, 0, len(outs))
+	for _, po := range outs {
+		tr, ok := bySeq[po.t.Seq]
+		if !ok {
+			tr = &Transmission{Tuple: po.t, ReleasedAt: releasedAt}
+			bySeq[po.t.Seq] = tr
+			order = append(order, po.t.Seq)
+		}
+		tr.Destinations = append(tr.Destinations, po.dests...)
+	}
+	sort.Ints(order)
+	for _, seq := range order {
+		tr := bySeq[seq]
+		sort.Strings(tr.Destinations)
+		e.result.Transmissions = append(e.result.Transmissions, *tr)
+		st := &e.result.Stats
+		if seq < e.maxReleasedSeq {
+			st.MultiplexDisorder++
+		} else {
+			e.maxReleasedSeq = seq
+		}
+		st.Transmissions++
+		st.Deliveries += len(tr.Destinations)
+		if !e.distinct[seq] {
+			e.distinct[seq] = true
+			st.DistinctOutputs++
+		}
+		lat := releasedAt.Sub(tr.Tuple.TS) + e.opts.MulticastDelay
+		for _, d := range tr.Destinations {
+			st.PerFilter[d]++
+			st.Latencies = append(st.Latencies, lat)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gasf/internal/filter"
+	"gasf/internal/tuple"
+)
+
+// RunSelfInterested runs the paper's baseline: every filter selects its own
+// outputs greedily, with no slack exploitation and no group coordination.
+// The outputs of all filters are multiplexed (a tuple selected by several
+// filters in the same step is transmitted once, labeled with all of them),
+// which is exactly the "filter-then-multicast" configuration of Fig 1.2.
+//
+// Only the MulticastDelay option is honored; the other options configure
+// group-aware machinery the baseline does not have.
+func RunSelfInterested(filters []filter.Filter, sr *tuple.Series, opts Options) (*Result, error) {
+	if len(filters) == 0 {
+		return nil, fmt.Errorf("core: baseline needs at least one filter")
+	}
+	sis := make([]filter.SIFilter, len(filters))
+	seen := make(map[string]bool, len(filters))
+	for i, f := range filters {
+		if seen[f.ID()] {
+			return nil, fmt.Errorf("core: duplicate filter id %q", f.ID())
+		}
+		seen[f.ID()] = true
+		sis[i] = f.SelfInterested()
+	}
+
+	res := &Result{Stats: Stats{PerFilter: make(map[string]int)}}
+	distinct := make(map[int]bool)
+	release := func(now time.Time, selections map[int]*siSel) {
+		seqs := make([]int, 0, len(selections))
+		for seq := range selections {
+			seqs = append(seqs, seq)
+		}
+		sort.Ints(seqs)
+		for _, seq := range seqs {
+			sel := selections[seq]
+			sort.Strings(sel.dests)
+			tr := Transmission{Tuple: sel.t, Destinations: sel.dests, ReleasedAt: now}
+			res.Transmissions = append(res.Transmissions, tr)
+			res.Stats.Transmissions++
+			res.Stats.Deliveries += len(sel.dests)
+			if !distinct[sel.t.Seq] {
+				distinct[sel.t.Seq] = true
+				res.Stats.DistinctOutputs++
+			}
+			lat := now.Sub(sel.t.TS) + opts.MulticastDelay
+			for _, d := range sel.dests {
+				res.Stats.PerFilter[d]++
+				res.Stats.Latencies = append(res.Stats.Latencies, lat)
+			}
+		}
+	}
+
+	var now time.Time
+	for i := 0; i < sr.Len(); i++ {
+		t := sr.At(i)
+		now = t.TS
+		start := time.Now()
+		step := make(map[int]*siSel)
+		for _, si := range sis {
+			for _, sel := range si.Process(t) {
+				addSel(step, sel, si.ID())
+			}
+		}
+		res.Stats.Inputs++
+		res.Stats.CPU += time.Since(start)
+		release(now, step)
+	}
+	start := time.Now()
+	final := make(map[int]*siSel)
+	for _, si := range sis {
+		for _, sel := range si.Flush() {
+			addSel(final, sel, si.ID())
+		}
+	}
+	res.Stats.CPU += time.Since(start)
+	release(now, final)
+	return res, nil
+}
+
+type siSel struct {
+	t     *tuple.Tuple
+	dests []string
+}
+
+func addSel(m map[int]*siSel, t *tuple.Tuple, dest string) {
+	if s, ok := m[t.Seq]; ok {
+		s.dests = append(s.dests, dest)
+		return
+	}
+	m[t.Seq] = &siSel{t: t, dests: []string{dest}}
+}

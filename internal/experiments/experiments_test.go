@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps test workloads small.
+func quickCfg() Config { return Config{Quick: true, Seed: 1} }
+
+// TestRegistryComplete: every evaluation table and figure has a runner.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"F1.3",
+		"T4.1", "F4.2", "F4.3-4.5", "F4.6-4.8", "F4.9", "F4.10", "F4.11",
+		"F4.12", "F4.13", "F4.14", "F4.15", "F4.16", "F4.17", "F4.18",
+		"F4.19", "F4.20", "F4.21-4.23", "F4.24",
+		"T5.2", "F5.2", "T5.3", "F5.3",
+		"A1", "A2", "A3",
+	}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d runners, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Errorf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+	}
+	if _, err := Find("F4.2"); err != nil {
+		t.Errorf("Find(F4.2): %v", err)
+	}
+	if _, err := Find("f4.2"); err != nil {
+		t.Errorf("Find is case-sensitive: %v", err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("Find(nope) should fail")
+	}
+}
+
+// TestAllExperimentsRun executes every runner on the quick config; each
+// must produce a non-empty report.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, r := range Registry() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			rep, err := r.Run(quickCfg())
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if rep.Text == "" {
+				t.Errorf("%s produced empty text", r.ID)
+			}
+			if len(rep.Values) == 0 {
+				t.Errorf("%s produced no values", r.ID)
+			}
+		})
+	}
+}
+
+// TestFig42Shape: the headline result — every group-aware variant beats SI
+// on O/I ratio for all three groups.
+func TestFig42Shape(t *testing.T) {
+	rep, err := Fig42OIRatios(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []string{"DC_Fluoro", "DC_Hybrid", "DC_Tmpr"} {
+		si := rep.Values[g+"/SI"]
+		if si <= 0 {
+			t.Fatalf("%s SI ratio missing", g)
+		}
+		for _, alg := range []string{"RG", "RG+C", "PS", "PS+C"} {
+			ga := rep.Values[g+"/"+alg]
+			if ga > si {
+				t.Errorf("%s/%s O/I %.4f above SI %.4f", g, alg, ga, si)
+			}
+			if ga > 0.9*si {
+				t.Logf("%s/%s saves only %.1f%% (GA %.4f vs SI %.4f)", g, alg, 100*(1-ga/si), ga, si)
+			}
+		}
+	}
+}
+
+// TestFig49Shape: latency decreases monotonically (within 1 ms noise) as
+// the budget tightens.
+func TestFig49Shape(t *testing.T) {
+	rep, err := Fig49CutLatency(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := rep.Values["budget1"]
+	for i := 2; i <= 5; i++ {
+		cur := rep.Values[intKey("budget", i)]
+		if cur > prev+1 {
+			t.Errorf("latency rose from %.2f to %.2f at budget %d", prev, cur, i)
+		}
+		prev = cur
+	}
+}
+
+func intKey(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}
+
+// TestFig411Shape: percent of regions cut grows as the budget tightens.
+func TestFig411Shape(t *testing.T) {
+	rep, err := Fig411PercentCut(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Values["budget5"] <= rep.Values["budget1"] {
+		t.Errorf("percent cut did not increase: %.1f -> %.1f",
+			rep.Values["budget1"], rep.Values["budget5"])
+	}
+}
+
+// TestFig415Shape: the output ratio decreases as slack grows (Fig 4.15's
+// monotone trend), and sits near 1.0 at 3% slack.
+func TestFig415Shape(t *testing.T) {
+	rep, err := Fig415SlackSweep(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Values["slack3"] < 0.9 {
+		t.Errorf("3%% slack ratio %.4f unexpectedly low", rep.Values["slack3"])
+	}
+	if rep.Values["slack50"] >= rep.Values["slack3"] {
+		t.Errorf("ratio did not fall with slack: 3%%=%.4f 50%%=%.4f",
+			rep.Values["slack3"], rep.Values["slack50"])
+	}
+}
+
+// TestFig417Shape: larger groups trend toward lower output ratios.
+func TestFig417Shape(t *testing.T) {
+	rep, err := Fig417GroupSize(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := rep.Values["n3"], rep.Values["n20"]
+	if small == 0 || large == 0 {
+		t.Fatalf("missing endpoints: %v", rep.Values)
+	}
+	if large > small {
+		t.Errorf("output ratio grew with group size: n3=%.4f n20=%.4f", small, large)
+	}
+}
+
+// TestFig53Shape: the CPU overhead ratio is above 1 for every group (group
+// awareness costs CPU; that is the trade).
+func TestFig53Shape(t *testing.T) {
+	rep, err := Fig53OverheadRatio(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ratio := range rep.Values {
+		if ratio <= 1 {
+			t.Errorf("group %s overhead ratio %.2f <= 1", name, ratio)
+		}
+	}
+}
+
+// TestAblationSegmentationEqualOutputs: Theorem 2 in action — identical
+// O/I with and without region-time release.
+func TestAblationSegmentationEqualOutputs(t *testing.T) {
+	rep, err := AblationSegmentation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Values["region/oi"] != rep.Values["whole/oi"] {
+		t.Errorf("segmentation changed output: %.4f vs %.4f",
+			rep.Values["region/oi"], rep.Values["whole/oi"])
+	}
+	if rep.Values["whole/latency"] <= rep.Values["region/latency"] {
+		t.Errorf("whole-stream latency %.2f not above per-region %.2f",
+			rep.Values["whole/latency"], rep.Values["region/latency"])
+	}
+}
+
+// TestAblationGreedyGap: the greedy solution never beats exact, and the
+// overall gap stays within the theoretical H(max set) bound — in practice
+// tiny.
+func TestAblationGreedyGap(t *testing.T) {
+	rep, err := AblationGreedyVsExact(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Values["greedy"] < rep.Values["exact"] {
+		t.Errorf("greedy %v beat exact %v", rep.Values["greedy"], rep.Values["exact"])
+	}
+	if rep.Values["overall"] > 1.5 {
+		t.Errorf("greedy/exact overall ratio %.3f suspiciously large", rep.Values["overall"])
+	}
+}
+
+// TestBatchOutputRatioHelper sanity-checks the §5.4 metric computation.
+func TestBatchOutputRatioHelper(t *testing.T) {
+	rep, err := Fig52OutputRatio(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, v := range rep.Values {
+		if strings.HasSuffix(key, "/avg") || strings.HasSuffix(key, "/median") {
+			if v <= 0 || v > 1.2 {
+				t.Errorf("%s = %.4f outside plausible output-ratio range", key, v)
+			}
+		}
+	}
+}
+
+// TestRenderValuesStable: deterministic rendering.
+func TestRenderValuesStable(t *testing.T) {
+	vals := map[string]float64{"b": 2, "a": 1}
+	if got := RenderValues(vals); got != "a=1 b=2" {
+		t.Errorf("RenderValues = %q", got)
+	}
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+// TestFig13Ordering: the intro's trade-off holds end to end over the
+// overlay: raw > self-interested > group-aware on the wireless medium, and
+// group-aware never exceeds self-interested on links.
+func TestFig13Ordering(t *testing.T) {
+	rep, err := Fig13Bandwidth(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := rep.Values["no filtering + multicast/wireless"]
+	si := rep.Values["self-interested filtering + multicast/wireless"]
+	ga := rep.Values["group-aware filtering + multicast/wireless"]
+	if !(ga < si && si < raw) {
+		t.Errorf("wireless ordering violated: GA %.0f, SI %.0f, raw %.0f", ga, si, raw)
+	}
+	gaLink := rep.Values["group-aware filtering + multicast/link"]
+	siLink := rep.Values["self-interested filtering + multicast/link"]
+	if gaLink > siLink {
+		t.Errorf("link bytes: GA %.0f above SI %.0f", gaLink, siLink)
+	}
+}

@@ -1,0 +1,484 @@
+package filter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gasf/internal/trace"
+	"gasf/internal/tuple"
+)
+
+// runFilter processes a whole series through f, returning the closed
+// candidate sets (including a final flush via Cut).
+func runFilter(t *testing.T, f Filter, sr *tuple.Series) []*CandidateSet {
+	t.Helper()
+	var sets []*CandidateSet
+	for i := 0; i < sr.Len(); i++ {
+		ev, err := f.Process(sr.At(i))
+		if err != nil {
+			t.Fatalf("Process(%d): %v", i, err)
+		}
+		if ev.Closed != nil {
+			sets = append(sets, ev.Closed)
+		}
+	}
+	if cs, _ := f.Cut(); cs != nil {
+		sets = append(sets, cs)
+	}
+	return sets
+}
+
+// runSI processes a whole series through the SI baseline.
+func runSI(f SIFilter, sr *tuple.Series) []*tuple.Tuple {
+	var out []*tuple.Tuple
+	for i := 0; i < sr.Len(); i++ {
+		out = append(out, f.Process(sr.At(i))...)
+	}
+	return append(out, f.Flush()...)
+}
+
+// seqs extracts member sequence numbers.
+func seqs(cs *CandidateSet) []int {
+	out := make([]int, len(cs.Members))
+	for i, m := range cs.Members {
+		out[i] = m.Seq
+	}
+	return out
+}
+
+func eqInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// vals maps tuple seq -> value for the paper example.
+var paperVals = []float64{0, 35, 29, 45, 50, 59, 80, 97, 100, 112}
+
+// TestPaperExampleCandidateSets reproduces Fig 2.5 exactly: the candidate
+// sets of the three DC filters A=(10,50), B=(5,40), C=(25,80) on the
+// worked example.
+func TestPaperExampleCandidateSets(t *testing.T) {
+	sr := trace.PaperExample()
+	tests := []struct {
+		name         string
+		slack, delta float64
+		wantSets     [][]int // member seqs per set
+		wantRefs     []int   // reference seq per set
+	}{
+		{
+			name: "A (10,50)", slack: 10, delta: 50,
+			wantSets: [][]int{{0}, {3, 4, 5}, {7, 8}}, // {0},{45,50,59},{97,100}
+			wantRefs: []int{0, 4, 8},                  // 0, 50, 100
+		},
+		{
+			name: "B (5,40)", slack: 5, delta: 40,
+			wantSets: [][]int{{0}, {3, 4}, {7, 8}}, // {0},{45,50},{97,100}
+			wantRefs: []int{0, 3, 7},               // 0, 45, 97
+		},
+		{
+			name: "C (25,80)", slack: 25, delta: 80,
+			wantSets: [][]int{{0}, {5, 6, 7, 8}}, // {0},{59,80,97,100}
+			wantRefs: []int{0, 6},                // 0, 80
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := NewDC1("f", "temperature", tc.delta, tc.slack)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sets := runFilter(t, f, sr)
+			if len(sets) != len(tc.wantSets) {
+				t.Fatalf("got %d sets, want %d: %v", len(sets), len(tc.wantSets), sets)
+			}
+			for i, cs := range sets {
+				if !eqInts(seqs(cs), tc.wantSets[i]) {
+					t.Errorf("set %d members = %v, want %v", i, seqs(cs), tc.wantSets[i])
+				}
+				if cs.Reference == nil || cs.Reference.Seq != tc.wantRefs[i] {
+					t.Errorf("set %d reference = %v, want seq %d", i, cs.Reference, tc.wantRefs[i])
+				}
+				if cs.Ordinal != i {
+					t.Errorf("set %d ordinal = %d", i, cs.Ordinal)
+				}
+				if cs.PickDegree != 1 {
+					t.Errorf("set %d pick degree = %d, want 1", i, cs.PickDegree)
+				}
+			}
+		})
+	}
+}
+
+// TestReferencesMatchSelfInterested: the references of group-aware sets are
+// exactly the SI baseline's selections (the paper's claim that region-based
+// filtering preserves the compression ratio, §2.3.3).
+func TestReferencesMatchSelfInterested(t *testing.T) {
+	sr := trace.PaperExample()
+	f, err := NewDC1("f", "temperature", 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := runFilter(t, f, sr)
+	si := runSI(f.SelfInterested(), sr)
+	if len(sets) != len(si) {
+		t.Fatalf("GA produced %d sets, SI selected %d tuples", len(sets), len(si))
+	}
+	for i := range sets {
+		if sets[i].Reference.Seq != si[i].Seq {
+			t.Errorf("set %d reference seq %d != SI selection seq %d", i, sets[i].Reference.Seq, si[i].Seq)
+		}
+	}
+}
+
+// TestContiguityBreakDismissesTentatives: a tuple that is neither
+// admissible nor a reference flushes the tentative buffer (so candidates
+// stay contiguous with the reference).
+func TestContiguityBreakDismissesTentatives(t *testing.T) {
+	s := tuple.MustSchema("v")
+	sr := tuple.NewSeries(s)
+	for i, v := range []float64{0, 44, 10, 50, 52, 90} {
+		if err := sr.Append(tuple.MustNew(s, i, trace.Epoch.Add(time.Duration(i)*time.Millisecond), []float64{v})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := NewDC1("f", "v", 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 = ref. 44 tentative (>=40). 10 breaks contiguity -> dismiss 44.
+	// 50 = ref (>=50); set {50, 52} closes at 90.
+	var dismissed []int
+	var sets []*CandidateSet
+	for i := 0; i < sr.Len(); i++ {
+		ev, err := f.Process(sr.At(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range ev.Dismissed {
+			dismissed = append(dismissed, d.Seq)
+		}
+		if ev.Closed != nil {
+			sets = append(sets, ev.Closed)
+		}
+	}
+	if !eqInts(dismissed, []int{1}) {
+		t.Errorf("dismissed = %v, want [1] (the 44 tuple)", dismissed)
+	}
+	if len(sets) != 2 || !eqInts(seqs(sets[1]), []int{3, 4}) {
+		t.Errorf("sets = %v, want second set {3,4} = values {50,52}", sets)
+	}
+}
+
+// TestDismissalAtReferenceArrival: tentative tuples more than slack away
+// from the reference are dismissed when it arrives (§2.3.3), keeping only
+// the contiguous suffix.
+func TestDismissalAtReferenceArrival(t *testing.T) {
+	s := tuple.MustSchema("v")
+	sr := tuple.NewSeries(s)
+	// After ref 0 with (10, 50): 41 tentative, 48 tentative, 55 ref.
+	// |41-55|=14 > 10 -> dismissed; |48-55|=7 <= 10 -> kept.
+	for i, v := range []float64{0, 20, 41, 48, 55, 100} {
+		if err := sr.Append(tuple.MustNew(s, i, trace.Epoch.Add(time.Duration(i)*time.Millisecond), []float64{v})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := NewDC1("f", "v", 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dismissedAtRef []int
+	var sets []*CandidateSet
+	for i := 0; i < sr.Len(); i++ {
+		ev, err := f.Process(sr.At(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 4 {
+			for _, d := range ev.Dismissed {
+				dismissedAtRef = append(dismissedAtRef, d.Seq)
+			}
+		}
+		if ev.Closed != nil {
+			sets = append(sets, ev.Closed)
+		}
+	}
+	if !eqInts(dismissedAtRef, []int{2}) {
+		t.Errorf("dismissed at reference = %v, want [2] (value 41)", dismissedAtRef)
+	}
+	if len(sets) < 2 || !eqInts(seqs(sets[1]), []int{3, 4}) {
+		t.Errorf("second set = %v, want members {3,4} = values {48,55}", sets)
+	}
+}
+
+// TestCutClosesOpenSet: Cut on an in-reference filter closes the set and
+// marks it; on a seeking filter it dismisses tentatives.
+func TestCutClosesOpenSet(t *testing.T) {
+	s := tuple.MustSchema("v")
+	mk := func(vals ...float64) *tuple.Series {
+		sr := tuple.NewSeries(s)
+		for i, v := range vals {
+			if err := sr.Append(tuple.MustNew(s, i, trace.Epoch.Add(time.Duration(i)*time.Millisecond), []float64{v})); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sr
+	}
+
+	t.Run("in reference", func(t *testing.T) {
+		f, err := NewDC1("f", "v", 50, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr := mk(0, 20, 50, 55) // {0} closed at 20; ref 50 open with {50,55}
+		for i := 0; i < sr.Len(); i++ {
+			if _, err := f.Process(sr.At(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cs, dismissed := f.Cut()
+		if cs == nil || !eqInts(seqs(cs), []int{2, 3}) {
+			t.Fatalf("Cut returned %v, want set {2,3}", cs)
+		}
+		if !cs.ClosedByCut {
+			t.Error("ClosedByCut not set")
+		}
+		if len(dismissed) != 0 {
+			t.Errorf("dismissed = %v, want none", dismissed)
+		}
+	})
+
+	t.Run("seeking with tentatives", func(t *testing.T) {
+		f, err := NewDC1("f", "v", 50, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr := mk(0, 20, 45) // {0} closed; 45 tentative (>=40)
+		for i := 0; i < sr.Len(); i++ {
+			if _, err := f.Process(sr.At(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cs, dismissed := f.Cut()
+		if cs != nil {
+			t.Fatalf("Cut returned set %v for tentative-only filter", cs)
+		}
+		if len(dismissed) != 1 || dismissed[0].Seq != 2 {
+			t.Errorf("dismissed = %v, want the tentative 45", dismissed)
+		}
+	})
+
+	t.Run("fresh filter", func(t *testing.T) {
+		f, err := NewDC1("f", "v", 50, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs, dis := f.Cut(); cs != nil || dis != nil {
+			t.Error("Cut on a fresh filter should be a no-op")
+		}
+	})
+}
+
+// TestDCConstructorValidation covers parameter checks.
+func TestDCConstructorValidation(t *testing.T) {
+	tests := []struct {
+		name         string
+		id           string
+		delta, slack float64
+		wantErr      bool
+	}{
+		{"valid", "f", 50, 10, false},
+		{"empty id", "", 50, 10, true},
+		{"zero delta", "f", 0, 0, true},
+		{"negative delta", "f", -1, 0, true},
+		{"negative slack", "f", 50, -1, true},
+		{"slack over half delta", "f", 50, 26, true},
+		{"slack exactly half", "f", 50, 25, false},
+		{"zero slack", "f", 50, 0, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewDC1(tc.id, "v", tc.delta, tc.slack)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("NewDC1 error = %v, wantErr = %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestDCUnknownAttribute: processing fails cleanly when the attribute is
+// missing from the stream schema.
+func TestDCUnknownAttribute(t *testing.T) {
+	f, err := NewDC1("f", "nope", 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := trace.PaperExample()
+	if _, err := f.Process(sr.At(0)); err == nil {
+		t.Error("Process with unknown attribute should fail")
+	}
+}
+
+// TestZeroSlackDegeneratesToSelfInterested: with slack 0, every candidate
+// set is the singleton {reference}.
+func TestZeroSlackDegeneratesToSelfInterested(t *testing.T) {
+	sr := trace.PaperExample()
+	f, err := NewDC1("f", "temperature", 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := runFilter(t, f, sr)
+	si := runSI(f.SelfInterested(), sr)
+	if len(sets) != len(si) {
+		t.Fatalf("sets %d != SI %d", len(sets), len(si))
+	}
+	for i, cs := range sets {
+		if len(cs.Members) != 1 || cs.Members[0].Seq != si[i].Seq {
+			t.Errorf("set %d = %v, want singleton {%d}", i, seqs(cs), si[i].Seq)
+		}
+	}
+}
+
+// TestDC2Trend: the trend filter fires on rate changes rather than level
+// changes.
+func TestDC2Trend(t *testing.T) {
+	s := tuple.MustSchema("v")
+	sr := tuple.NewSeries(s)
+	// Values rise by 1 per 10ms tick (trend 100/s) for 5 tuples, then by
+	// 5 per tick (trend 500/s). A DC2 with delta 300 (on trend/s) fires
+	// when the slope changes.
+	vals := []float64{0, 1, 2, 3, 4, 9, 14, 19, 24}
+	for i, v := range vals {
+		if err := sr.Append(tuple.MustNew(s, i, trace.Epoch.Add(time.Duration(i)*trace.DefaultInterval), []float64{v})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := NewDC2("f", "v", 300, 50, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := runFilter(t, f, sr)
+	// First tuple (trend 0) is ref; trend jumps to 100 (no fire, <300);
+	// at seq 5 trend = 500 -> |500-0| >= 300 fires.
+	if len(sets) < 2 {
+		t.Fatalf("got %d sets, want >= 2", len(sets))
+	}
+	if sets[1].Reference.Seq != 5 {
+		t.Errorf("second reference at seq %d, want 5 (slope change)", sets[1].Reference.Seq)
+	}
+}
+
+// TestDC3Average: the multi-attribute filter fires on the mean.
+func TestDC3Average(t *testing.T) {
+	s := tuple.MustSchema("a", "b")
+	sr := tuple.NewSeries(s)
+	rows := [][2]float64{{0, 0}, {10, 0}, {10, 10}, {30, 30}, {60, 60}}
+	for i, r := range rows {
+		if err := sr.Append(tuple.MustNew(s, i, trace.Epoch.Add(time.Duration(i)*time.Millisecond), []float64{r[0], r[1]})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := NewDC3("f", []string{"a", "b"}, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := runFilter(t, f, sr)
+	// Means: 0, 5, 10, 30, 60. Refs: 0 (first), 30 (|30-0|>=20), 60.
+	var refs []int
+	for _, cs := range sets {
+		refs = append(refs, cs.Reference.Seq)
+	}
+	if !eqInts(refs, []int{0, 3, 4}) {
+		t.Errorf("references = %v, want [0 3 4]", refs)
+	}
+}
+
+// randomWalkSeries builds a bounded random walk for property tests.
+func randomWalkSeries(seed int64, n int) *tuple.Series {
+	s := tuple.MustSchema("v")
+	sr := tuple.NewSeries(s)
+	rng := rand.New(rand.NewSource(seed))
+	v := 0.0
+	for i := 0; i < n; i++ {
+		v += (rng.Float64()*2 - 1) * 8
+		if err := sr.Append(tuple.MustNew(s, i, trace.Epoch.Add(time.Duration(i)*trace.DefaultInterval), []float64{v})); err != nil {
+			panic(err)
+		}
+	}
+	return sr
+}
+
+// TestDCInvariantsProperty checks, over random walks and random (delta,
+// slack) pairs, the core invariants of reference-based candidate sets:
+//  1. references equal the SI baseline selections (count and identity);
+//  2. every member is within slack of its reference;
+//  3. members are contiguous in sequence numbers;
+//  4. time covers of consecutive sets do not intersect (Axiom 1);
+//  5. no tuple appears in two sets.
+func TestDCInvariantsProperty(t *testing.T) {
+	f := func(seedRaw uint32, deltaRaw, slackFracRaw uint8) bool {
+		seed := int64(seedRaw)
+		delta := 4 + float64(deltaRaw%60)
+		slack := float64(slackFracRaw%51) / 100 * delta // 0..50% of delta
+		sr := randomWalkSeries(seed, 400)
+		dc, err := NewDC1("f", "v", delta, slack)
+		if err != nil {
+			return false
+		}
+		var sets []*CandidateSet
+		for i := 0; i < sr.Len(); i++ {
+			ev, err := dc.Process(sr.At(i))
+			if err != nil {
+				return false
+			}
+			if ev.Closed != nil {
+				sets = append(sets, ev.Closed)
+			}
+		}
+		if cs, _ := dc.Cut(); cs != nil {
+			sets = append(sets, cs)
+		}
+		si := runSI(dc.SelfInterested(), sr)
+		if len(sets) != len(si) {
+			return false
+		}
+		seen := make(map[int]bool)
+		for i, cs := range sets {
+			if cs.Reference == nil || cs.Reference.Seq != si[i].Seq {
+				return false
+			}
+			refV := cs.Reference.ValueAt(0)
+			prev := -1
+			for _, m := range cs.Members {
+				if math.Abs(m.ValueAt(0)-refV) > slack+1e-9 {
+					return false
+				}
+				if seen[m.Seq] {
+					return false
+				}
+				seen[m.Seq] = true
+				if prev >= 0 && m.Seq != prev+1 {
+					return false
+				}
+				prev = m.Seq
+			}
+			if i > 0 && sets[i-1].CoverIntersects(cs) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,247 @@
+package filter
+
+import (
+	"testing"
+	"time"
+
+	"gasf/internal/trace"
+	"gasf/internal/tuple"
+)
+
+// flatThenDynamic builds a series: 100 near-constant tuples then 100
+// strongly varying ones, 10ms apart.
+func flatThenDynamic(t *testing.T) *tuple.Series {
+	t.Helper()
+	s := tuple.MustSchema("v")
+	sr := tuple.NewSeries(s)
+	for i := 0; i < 200; i++ {
+		v := 1.0
+		if i >= 100 {
+			// Alternate +-2: range 4 within the segment.
+			if i%2 == 0 {
+				v = 3
+			} else {
+				v = -1
+			}
+		}
+		if err := sr.Append(tuple.MustNew(s, i, trace.Epoch.Add(time.Duration(i)*trace.DefaultInterval), []float64{v})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sr
+}
+
+func TestSSSegmentationAndRates(t *testing.T) {
+	sr := flatThenDynamic(t)
+	// 1s interval = 100 tuples at 10ms. Threshold 1: first segment quiet
+	// (range ~0 -> 20%), second dynamic (range 4 -> 50%).
+	f, err := NewSS("s", "v", time.Second, 1, 50, 20, Random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := runFilter(t, f, sr)
+	if len(sets) != 2 {
+		t.Fatalf("got %d sets, want 2", len(sets))
+	}
+	if n := len(sets[0].Members); n != 100 {
+		t.Errorf("segment 0 has %d members, want 100", n)
+	}
+	if got, want := sets[0].PickDegree, 20; got != want {
+		t.Errorf("quiet segment pick degree = %d, want %d (20%% of 100)", got, want)
+	}
+	if got, want := sets[1].PickDegree, 50; got != want {
+		t.Errorf("dynamic segment pick degree = %d, want %d (50%% of 100)", got, want)
+	}
+	if sets[0].Reference != nil {
+		t.Error("sampling sets must not carry a reference")
+	}
+}
+
+func TestSSCutClosesPartialSegment(t *testing.T) {
+	sr := flatThenDynamic(t)
+	f, err := NewSS("s", "v", time.Second, 1, 50, 20, Random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ { // mid-segment
+		if _, err := f.Process(sr.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs, dismissed := f.Cut()
+	if cs == nil {
+		t.Fatal("Cut returned no set for a non-empty partial segment")
+	}
+	if !cs.ClosedByCut || len(cs.Members) != 30 {
+		t.Errorf("cut set = %v (byCut=%v), want 30 members", len(cs.Members), cs.ClosedByCut)
+	}
+	if len(dismissed) != 0 {
+		t.Errorf("dismissed = %v, want none", dismissed)
+	}
+	// The next tuple starts a new segment.
+	ev, err := f.Process(sr.At(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Admitted || ev.Closed != nil {
+		t.Errorf("post-cut tuple event = %+v, want plain admission", ev)
+	}
+}
+
+func TestSSPickDegreeAtLeastOne(t *testing.T) {
+	s := tuple.MustSchema("v")
+	sr := tuple.NewSeries(s)
+	// 3 tuples at low rate 10% -> round(0.3)=0 -> clamp to 1.
+	for i := 0; i < 3; i++ {
+		if err := sr.Append(tuple.MustNew(s, i, trace.Epoch.Add(time.Duration(i)*trace.DefaultInterval), []float64{1})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := NewSS("s", "v", time.Second, 99, 50, 10, Random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sr.Len(); i++ {
+		if _, err := f.Process(sr.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs, _ := f.Cut()
+	if cs == nil || cs.PickDegree != 1 {
+		t.Fatalf("pick degree = %v, want 1", cs)
+	}
+}
+
+func TestSSValidation(t *testing.T) {
+	mk := func(interval time.Duration, thr, hi, lo float64) error {
+		_, err := NewSS("s", "v", interval, thr, hi, lo, Random)
+		return err
+	}
+	if err := mk(0, 1, 50, 20); err == nil {
+		t.Error("zero interval should fail")
+	}
+	if err := mk(time.Second, -1, 50, 20); err == nil {
+		t.Error("negative threshold should fail")
+	}
+	if err := mk(time.Second, 1, 0, 20); err == nil {
+		t.Error("zero high rate should fail")
+	}
+	if err := mk(time.Second, 1, 120, 20); err == nil {
+		t.Error("rate over 100 should fail")
+	}
+	if err := mk(time.Second, 1, 20, 50); err == nil {
+		t.Error("high < low should fail")
+	}
+	if err := mk(time.Second, 1, 50, 20); err != nil {
+		t.Errorf("valid spec failed: %v", err)
+	}
+}
+
+func TestSSSelfInterestedPickCountsMatch(t *testing.T) {
+	sr := flatThenDynamic(t)
+	f, err := NewSS("s", "v", time.Second, 1, 50, 20, Random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := runFilter(t, f, sr)
+	si := runSI(f.SelfInterested(), sr)
+	wantTotal := 0
+	for _, cs := range sets {
+		wantTotal += cs.PickDegree
+	}
+	if len(si) != wantTotal {
+		t.Errorf("SI picked %d tuples, GA owes %d", len(si), wantTotal)
+	}
+	// SI picks must come from their segments in order.
+	for i := 1; i < len(si); i++ {
+		if si[i].Seq <= si[i-1].Seq {
+			t.Errorf("SI picks out of order at %d: %d then %d", i, si[i-1].Seq, si[i].Seq)
+		}
+	}
+}
+
+func TestEligibleTopBottom(t *testing.T) {
+	s := tuple.MustSchema("v")
+	members := make([]*tuple.Tuple, 0, 5)
+	for i, v := range []float64{5, 9, 1, 7, 3} {
+		members = append(members, tuple.MustNew(s, i, trace.Epoch.Add(time.Duration(i)*time.Millisecond), []float64{v}))
+	}
+	base := CandidateSet{Owner: "s", Members: members, PickDegree: 2, RestrictAttr: 0}
+
+	topSet := base
+	topSet.Restrict = Top
+	got := topSet.Eligible()
+	// Top 2 by value: 9 and 7 (seqs 1, 3), arrival order preserved.
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 3 {
+		t.Errorf("Top eligible = %v", got)
+	}
+
+	botSet := base
+	botSet.Restrict = Bottom
+	got = botSet.Eligible()
+	// Bottom 2: 1 and 3 (seqs 2, 4).
+	if len(got) != 2 || got[0].Seq != 2 || got[1].Seq != 4 {
+		t.Errorf("Bottom eligible = %v", got)
+	}
+
+	randSet := base
+	if n := len(randSet.Eligible()); n != 5 {
+		t.Errorf("Random eligible = %d members, want all 5", n)
+	}
+
+	// Degree >= size: everything eligible.
+	allSet := base
+	allSet.Restrict = Top
+	allSet.PickDegree = 9
+	if n := len(allSet.Eligible()); n != 5 {
+		t.Errorf("oversized degree eligible = %d, want 5", n)
+	}
+}
+
+func TestEligibleTiesKept(t *testing.T) {
+	s := tuple.MustSchema("v")
+	members := make([]*tuple.Tuple, 0, 4)
+	for i, v := range []float64{9, 9, 1, 9} {
+		members = append(members, tuple.MustNew(s, i, trace.Epoch.Add(time.Duration(i)*time.Millisecond), []float64{v}))
+	}
+	cs := CandidateSet{Owner: "s", Members: members, PickDegree: 2, Restrict: Top, RestrictAttr: 0}
+	// Boundary value is 9; all three 9s tie and stay eligible.
+	if n := len(cs.Eligible()); n != 3 {
+		t.Errorf("eligible with ties = %d, want 3", n)
+	}
+}
+
+func TestCoverIntersects(t *testing.T) {
+	s := tuple.MustSchema("v")
+	mk := func(fromMS, toMS int) *CandidateSet {
+		return &CandidateSet{Members: []*tuple.Tuple{
+			tuple.MustNew(s, 0, trace.Epoch.Add(time.Duration(fromMS)*time.Millisecond), []float64{0}),
+			tuple.MustNew(s, 1, trace.Epoch.Add(time.Duration(toMS)*time.Millisecond), []float64{0}),
+		}}
+	}
+	tests := []struct {
+		a, b *CandidateSet
+		want bool
+	}{
+		{mk(0, 10), mk(5, 20), true},
+		{mk(0, 10), mk(10, 20), true}, // touching covers intersect
+		{mk(0, 10), mk(11, 20), false},
+		{mk(5, 8), mk(0, 20), true}, // containment
+	}
+	for i, tc := range tests {
+		if got := tc.a.CoverIntersects(tc.b); got != tc.want {
+			t.Errorf("case %d: CoverIntersects = %v, want %v", i, got, tc.want)
+		}
+		if got := tc.b.CoverIntersects(tc.a); got != tc.want {
+			t.Errorf("case %d (sym): CoverIntersects = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestPrescriptionString(t *testing.T) {
+	for p, want := range map[Prescription]string{Random: "random", Top: "top", Bottom: "bottom", Prescription(9): "Prescription(9)"} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package filter
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gasf/internal/tuple"
+)
+
+// Signal derives the scalar a filter monitors from each stream tuple. It is
+// the "candidate computation" dimension of the taxonomy (§5.2): a list of
+// attributes plus a state-update function. Signals may keep internal state
+// (e.g. the previous value, for trends) and are not safe for concurrent use.
+type Signal interface {
+	// Value derives the monitored scalar from the tuple.
+	Value(t *tuple.Tuple) (float64, error)
+	// Reset clears internal state.
+	Reset()
+	// String describes the signal, e.g. "fluoro" or "trend(tmpr4)".
+	String() string
+}
+
+// attrSignal reads a single attribute (DC1 candidate computation).
+type attrSignal struct {
+	attr  string
+	idx   int
+	bound bool
+}
+
+// NewAttrSignal monitors the raw value of one attribute.
+func NewAttrSignal(attr string) Signal { return &attrSignal{attr: attr} }
+
+func (s *attrSignal) Value(t *tuple.Tuple) (float64, error) {
+	if !s.bound {
+		i, err := t.Schema().Index(s.attr)
+		if err != nil {
+			return 0, fmt.Errorf("filter: binding signal: %w", err)
+		}
+		s.idx, s.bound = i, true
+	}
+	return t.ValueAt(s.idx), nil
+}
+
+func (s *attrSignal) Reset()         { s.bound = false }
+func (s *attrSignal) String() string { return s.attr }
+
+// trendSignal reads the rate of change of one attribute per unit time
+// (DC2 candidate computation, Table 5.1). The trend of the first tuple is
+// defined as zero.
+type trendSignal struct {
+	attr   string
+	unit   time.Duration
+	idx    int
+	bound  bool
+	has    bool
+	prev   float64
+	prevTS time.Time
+}
+
+// NewTrendSignal monitors the change of attr per unit of time. A zero unit
+// defaults to one second.
+func NewTrendSignal(attr string, unit time.Duration) Signal {
+	if unit <= 0 {
+		unit = time.Second
+	}
+	return &trendSignal{attr: attr, unit: unit}
+}
+
+func (s *trendSignal) Value(t *tuple.Tuple) (float64, error) {
+	if !s.bound {
+		i, err := t.Schema().Index(s.attr)
+		if err != nil {
+			return 0, fmt.Errorf("filter: binding signal: %w", err)
+		}
+		s.idx, s.bound = i, true
+	}
+	v := t.ValueAt(s.idx)
+	if !s.has {
+		s.has, s.prev, s.prevTS = true, v, t.TS
+		return 0, nil
+	}
+	dt := t.TS.Sub(s.prevTS)
+	trend := 0.0
+	if dt > 0 {
+		trend = (v - s.prev) / (float64(dt) / float64(s.unit))
+	}
+	s.prev, s.prevTS = v, t.TS
+	return trend, nil
+}
+
+func (s *trendSignal) Reset() { s.bound, s.has = false, false }
+func (s *trendSignal) String() string {
+	return fmt.Sprintf("trend(%s)", s.attr)
+}
+
+// avgSignal reads the mean of several attributes (DC3 candidate
+// computation: co-located sensors of similar capacity, §5.1).
+type avgSignal struct {
+	attrs []string
+	idxs  []int
+	bound bool
+}
+
+// NewAvgSignal monitors the average of the given attributes.
+func NewAvgSignal(attrs ...string) (Signal, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("filter: average signal needs at least one attribute")
+	}
+	cp := make([]string, len(attrs))
+	copy(cp, attrs)
+	return &avgSignal{attrs: cp}, nil
+}
+
+func (s *avgSignal) Value(t *tuple.Tuple) (float64, error) {
+	if !s.bound {
+		s.idxs = make([]int, len(s.attrs))
+		for i, a := range s.attrs {
+			j, err := t.Schema().Index(a)
+			if err != nil {
+				return 0, fmt.Errorf("filter: binding signal: %w", err)
+			}
+			s.idxs[i] = j
+		}
+		s.bound = true
+	}
+	sum := 0.0
+	for _, j := range s.idxs {
+		sum += t.ValueAt(j)
+	}
+	return sum / float64(len(s.idxs)), nil
+}
+
+func (s *avgSignal) Reset() { s.bound = false }
+func (s *avgSignal) String() string {
+	return fmt.Sprintf("avg(%s)", strings.Join(s.attrs, ", "))
+}
+
+// SignalOverSeries evaluates a fresh pass of the signal over a whole series.
+// It is used to compute srcStatistics of derived signals when constructing
+// filter specifications (§4.3 picks deltas from the mean absolute change of
+// the monitored signal).
+func SignalOverSeries(sig Signal, sr *tuple.Series) ([]float64, error) {
+	sig.Reset()
+	out := make([]float64, sr.Len())
+	for i := 0; i < sr.Len(); i++ {
+		v, err := sig.Value(sr.At(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	sig.Reset()
+	return out, nil
+}
+
+// MeanAbsChange computes the mean absolute difference between consecutive
+// values; the srcStatistics measure of §4.3 applied to an arbitrary signal.
+func MeanAbsChange(vals []float64) (float64, error) {
+	if len(vals) < 2 {
+		return 0, fmt.Errorf("filter: need at least 2 values for change statistics, got %d", len(vals))
+	}
+	sum := 0.0
+	for i := 1; i < len(vals); i++ {
+		d := vals[i] - vals[i-1]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(vals)-1), nil
+}

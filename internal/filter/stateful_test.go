@@ -1,0 +1,227 @@
+package filter
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gasf/internal/trace"
+	"gasf/internal/tuple"
+)
+
+func seriesOf(t *testing.T, vals ...float64) *tuple.Series {
+	t.Helper()
+	s := tuple.MustSchema("v")
+	sr := tuple.NewSeries(s)
+	for i, v := range vals {
+		if err := sr.Append(tuple.MustNew(s, i, trace.Epoch.Add(time.Duration(i)*trace.DefaultInterval), []float64{v})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sr
+}
+
+// runStateful drives a stateful filter the way the PS engine does: when a
+// set closes, choose() picks the output, ObserveChosen rebases, and any
+// follow-on events (re-admission of the closing tuple) are folded in.
+func runStateful(t *testing.T, f Filter, sr *tuple.Series, choose func(*CandidateSet) *tuple.Tuple) ([]*CandidateSet, []*tuple.Tuple) {
+	t.Helper()
+	var sets []*CandidateSet
+	var chosen []*tuple.Tuple
+	handle := func(ev Event) {
+		for ev.Closed != nil {
+			sets = append(sets, ev.Closed)
+			pick := choose(ev.Closed)
+			chosen = append(chosen, pick)
+			ev = f.ObserveChosen([]*tuple.Tuple{pick})
+		}
+	}
+	for i := 0; i < sr.Len(); i++ {
+		ev, err := f.Process(sr.At(i))
+		if err != nil {
+			t.Fatalf("Process(%d): %v", i, err)
+		}
+		handle(ev)
+	}
+	if cs, _ := f.Cut(); cs != nil {
+		sets = append(sets, cs)
+		pick := choose(cs)
+		chosen = append(chosen, pick)
+		handle(f.ObserveChosen([]*tuple.Tuple{pick}))
+	}
+	return sets, chosen
+}
+
+// pickRef chooses the reference (first opener) of each set.
+func pickRef(cs *CandidateSet) *tuple.Tuple { return cs.Reference }
+
+// pickLast chooses the most recent member.
+func pickLast(cs *CandidateSet) *tuple.Tuple { return cs.Members[len(cs.Members)-1] }
+
+func TestStatefulDCBandsFollowChosenOutput(t *testing.T) {
+	// (5, 20) stateful filter. Base 0 after first set; band [15, 25].
+	sr := seriesOf(t, 0, 2, 16, 18, 30, 48, 52, 80)
+	f, err := NewStatefulDC("f", "v", 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, chosen := runStateful(t, f, sr, pickLast)
+	// Set 0: {0, 2} (first set: within slack 5 of first tuple 0),
+	//   closed by 16; chosen = 2 -> band [17, 27].
+	// Set 1: 16 re-evaluated: |16-2|=14 outside band; 18 in band {18};
+	//   closed by 30 (|30-2|=28 > 27); chosen = 18 -> band [33, 43].
+	// Set 2: 30 re-evaluated: |30-18|=12 no; 48 overshoots? |48-18|=30
+	//   > 25... band is [15,25] around 18 -> [33,43] in absolute terms;
+	//   48 > 43 -> overshoot singleton {48}; chosen = 48 -> band [63,73].
+	// Then 52: |52-48|=4 no; 80: |80-48|=32 > 25 -> overshoot singleton.
+	if len(sets) != 4 {
+		t.Fatalf("got %d sets: %v", len(sets), sets)
+	}
+	wantMembers := [][]int{{0, 1}, {3}, {5}, {7}}
+	for i, cs := range sets {
+		if !eqInts(seqs(cs), wantMembers[i]) {
+			t.Errorf("set %d members = %v, want %v", i, seqs(cs), wantMembers[i])
+		}
+	}
+	wantChosen := []int{1, 3, 5, 7}
+	for i, c := range chosen {
+		if c.Seq != wantChosen[i] {
+			t.Errorf("chosen %d = seq %d, want %d", i, c.Seq, wantChosen[i])
+		}
+	}
+}
+
+// TestStatefulDCChosenSpacing: the distance between consecutive chosen
+// outputs always lies in [delta-slack, delta+slack] (quality guarantee),
+// except across overshoot jumps which may exceed it.
+func TestStatefulDCChosenSpacing(t *testing.T) {
+	sr := seriesOf(t, 0, 5, 11, 17, 22, 26, 33, 39, 44, 50, 57, 61, 68)
+	const delta, slack = 10.0, 3.0
+	f, err := NewStatefulDC("f", "v", delta, slack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, chosen := runStateful(t, f, sr, pickRef)
+	if len(chosen) < 3 {
+		t.Fatalf("too few outputs: %d", len(chosen))
+	}
+	for i := 1; i < len(chosen); i++ {
+		gap := math.Abs(chosen[i].ValueAt(0) - chosen[i-1].ValueAt(0))
+		if gap < delta-slack-1e-9 {
+			t.Errorf("gap %d = %g below delta-slack = %g", i, gap, delta-slack)
+		}
+	}
+}
+
+func TestStatefulDCProcessBeforeObserveFails(t *testing.T) {
+	sr := seriesOf(t, 0, 1, 30, 60)
+	f, err := NewStatefulDC("f", "v", 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Process(sr.At(0)); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := f.Process(sr.At(2)) // closes first set, parks tuple
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Closed == nil {
+		t.Fatal("expected closure")
+	}
+	if _, err := f.Process(sr.At(3)); err == nil {
+		t.Error("Process before ObserveChosen should fail for stateful filters")
+	}
+}
+
+func TestStatefulDCCut(t *testing.T) {
+	sr := seriesOf(t, 0, 1, 2)
+	f, err := NewStatefulDC("f", "v", 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sr.Len(); i++ {
+		if _, err := f.Process(sr.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs, dismissed := f.Cut()
+	if cs == nil || len(cs.Members) != 3 || !cs.ClosedByCut {
+		t.Fatalf("Cut = %v, want the open 3-member set closed by cut", cs)
+	}
+	if dismissed != nil {
+		t.Errorf("dismissed = %v, want none", dismissed)
+	}
+	// Cut with nothing open is a no-op.
+	if cs, _ := f.Cut(); cs != nil {
+		t.Error("second Cut should return nothing")
+	}
+}
+
+func TestStatefulDCStatefulFlag(t *testing.T) {
+	f, err := NewStatefulDC("f", "v", 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Stateful() {
+		t.Error("StatefulDC.Stateful() = false")
+	}
+	dc, err := NewDC1("g", "v", 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Stateful() {
+		t.Error("DC.Stateful() = true")
+	}
+}
+
+func TestStatefulDCValidation(t *testing.T) {
+	if _, err := NewStatefulDC("", "v", 20, 5); err == nil {
+		t.Error("empty id should fail")
+	}
+	if _, err := NewStatefulDC("f", "v", 0, 0); err == nil {
+		t.Error("zero delta should fail")
+	}
+	if _, err := NewStatefulDC("f", "v", 20, 11); err == nil {
+		t.Error("slack > delta/2 should fail")
+	}
+}
+
+func TestStatefulDCSelfInterested(t *testing.T) {
+	sr := seriesOf(t, 0, 5, 11, 17, 22, 30, 41, 52)
+	f, err := NewStatefulDC("f", "v", 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := runSI(f.SelfInterested(), sr)
+	// SI: 0, then first >= 10 away: 11, then 22, then 33.. -> 41, 52.
+	want := []int{0, 2, 4, 6, 7}
+	var got []int
+	for _, s := range si {
+		got = append(got, s.Seq)
+	}
+	if !eqInts(got, want) {
+		t.Errorf("SI selections = %v, want %v", got, want)
+	}
+}
+
+func TestStatefulDCReset(t *testing.T) {
+	sr := seriesOf(t, 0, 1, 30)
+	f, err := NewStatefulDC("f", "v", 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sr.Len(); i++ {
+		if _, err := f.Process(sr.At(i)); err != nil {
+			break // the stateful guard may fire; Reset must clear it
+		}
+	}
+	f.Reset()
+	ev, err := f.Process(sr.At(0))
+	if err != nil {
+		t.Fatalf("Process after Reset: %v", err)
+	}
+	if !ev.Admitted {
+		t.Error("first tuple after Reset should be admitted")
+	}
+}

@@ -1,0 +1,165 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gasf/internal/trace"
+	"gasf/internal/tuple"
+)
+
+// TestFilterContractSurface exercises the identification and description
+// surface of every filter type: IDs, Spec strings, parameter accessors,
+// statefulness flags, and no-op ObserveChosen for stateless filters.
+func TestFilterContractSurface(t *testing.T) {
+	dc1, err := NewDC1("a", "x", 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc2, err := NewDC2("b", "x", 10, 2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc3, err := NewDC3("c", []string{"x", "y"}, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := NewDCSignal("d", NewAttrSignal("x"), 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewSS("e", "x", time.Second, 1, 50, 20, Top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdc, err := NewStatefulDC("f", "x", 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs := map[Filter]string{
+		dc1: "DC1(x, 10, 2)",
+		dc2: "DC2(x, 10, 2)",
+		dc3: "DC3(avg(x, y), 10, 2)",
+		sig: "DC(x, 10, 2)",
+		sdc: "SDC(x, 10, 2)",
+	}
+	for f, want := range specs {
+		if got := f.Spec(); got != want {
+			t.Errorf("%s.Spec() = %q, want %q", f.ID(), got, want)
+		}
+		if f != sdc && f.Stateful() {
+			t.Errorf("%s unexpectedly stateful", f.ID())
+		}
+		if f != sdc {
+			if ev := f.ObserveChosen(nil); ev.Admitted || ev.Closed != nil {
+				t.Errorf("%s.ObserveChosen not a no-op", f.ID())
+			}
+		}
+	}
+	if !strings.Contains(ss.Spec(), "SS(x") {
+		t.Errorf("SS.Spec() = %q", ss.Spec())
+	}
+	if ss.Stateful() {
+		t.Error("SS unexpectedly stateful")
+	}
+	if dc1.Delta() != 10 || dc1.Slack() != 2 || dc1.SignalName() != "x" {
+		t.Errorf("DC accessors: %g %g %q", dc1.Delta(), dc1.Slack(), dc1.SignalName())
+	}
+	ids := []string{dc1.ID(), dc2.ID(), dc3.ID(), sig.ID(), ss.ID(), sdc.ID()}
+	want := []string{"a", "b", "c", "d", "e", "f"}
+	for i := range ids {
+		if ids[i] != want[i] {
+			t.Errorf("ID %d = %q, want %q", i, ids[i], want[i])
+		}
+	}
+}
+
+// TestSelfInterestedVariantsRun: the SI counterparts of every DC variant
+// run and select the first tuple.
+func TestSelfInterestedVariantsRun(t *testing.T) {
+	s := tuple.MustSchema("x", "y")
+	sr := tuple.NewSeries(s)
+	for i := 0; i < 20; i++ {
+		v := float64(i * 3)
+		if err := sr.Append(tuple.MustNew(s, i, trace.Epoch.Add(time.Duration(i)*trace.DefaultInterval), []float64{v, -v})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dc2, err := NewDC2("b", "x", 100, 40, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc3, err := NewDC3("c", []string{"x", "y"}, 4, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := NewDCSignal("d", NewAttrSignal("x"), 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []Filter{dc2, dc3, sig} {
+		si := f.SelfInterested()
+		if si.ID() != f.ID() {
+			t.Errorf("SI id %q != %q", si.ID(), f.ID())
+		}
+		var picked int
+		for i := 0; i < sr.Len(); i++ {
+			picked += len(si.Process(sr.At(i)))
+		}
+		picked += len(si.Flush())
+		if picked == 0 {
+			t.Errorf("%s SI selected nothing", f.ID())
+		}
+	}
+}
+
+// TestDCResetRestoresInitialState: after Reset the filter reprocesses a
+// stream identically.
+func TestDCResetRestoresInitialState(t *testing.T) {
+	sr := trace.PaperExample()
+	f, err := NewDC1("f", "temperature", 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []int {
+		var refs []int
+		for i := 0; i < sr.Len(); i++ {
+			ev, err := f.Process(sr.At(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.Closed != nil {
+				refs = append(refs, ev.Closed.Reference.Seq)
+			}
+		}
+		return refs
+	}
+	first := run()
+	f.Reset()
+	second := run()
+	if len(first) != len(second) {
+		t.Fatalf("runs differ: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("runs differ at %d: %v vs %v", i, first, second)
+		}
+	}
+}
+
+// TestCandidateSetContainsAndString covers the inspection helpers.
+func TestCandidateSetContainsAndString(t *testing.T) {
+	s := tuple.MustSchema("v")
+	cs := &CandidateSet{
+		Owner:   "A",
+		Members: []*tuple.Tuple{tuple.MustNew(s, 5, trace.Epoch, []float64{1})},
+	}
+	if !cs.Contains(5) || cs.Contains(6) {
+		t.Error("Contains wrong")
+	}
+	if got := cs.String(); !strings.Contains(got, "A-0") || !strings.Contains(got, "[5]") {
+		t.Errorf("String() = %q", got)
+	}
+}

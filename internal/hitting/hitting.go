@@ -1,0 +1,318 @@
+// Package hitting implements the minimum hitting-set solvers at the core of
+// group-aware stream filtering.
+//
+// Theorem 1 of the paper reduces group-aware filtering to minimum hitting
+// set: given the candidate sets of a region, pick one tuple from each set so
+// that the union of picks is smallest. The greedy algorithm (Fig 2.7)
+// achieves the classical H(max |C|) approximation ratio. Chapter 5 extends
+// the problem to multi-degree candidacy (Definition 6): each set i requires
+// pickDegree_i distinct tuples; the greedy generalizes by crediting a chosen
+// tuple to every unsatisfied set that contains it and only retiring a set
+// once its quota is met.
+//
+// An exact branch-and-bound solver is provided for tests and ablations; it
+// verifies the approximation ratio and the region-optimality theorem
+// (Theorem 2) on small instances.
+package hitting
+
+import (
+	"fmt"
+	"sort"
+
+	"gasf/internal/filter"
+	"gasf/internal/tuple"
+)
+
+// Pick is one chosen output tuple together with the candidate sets it was
+// credited to. The multicast layer derives the tuple's destination list
+// from the owners of those sets.
+type Pick struct {
+	Tuple *tuple.Tuple
+	// Sets lists the candidate sets satisfied (in part, for multi-degree
+	// sets) by this pick.
+	Sets []*filter.CandidateSet
+}
+
+// Owners returns the deduplicated owner IDs of the credited sets, in
+// first-seen order.
+func (p Pick) Owners() []string {
+	seen := make(map[string]bool, len(p.Sets))
+	var out []string
+	for _, cs := range p.Sets {
+		if !seen[cs.Owner] {
+			seen[cs.Owner] = true
+			out = append(out, cs.Owner)
+		}
+	}
+	return out
+}
+
+// entry tracks one distinct tuple across the region's candidate sets.
+type entry struct {
+	t      *tuple.Tuple
+	sets   []int // indices of sets in which the tuple is eligible
+	chosen bool
+}
+
+// problem is the normalized hitting-set instance.
+type problem struct {
+	sets    []*filter.CandidateSet
+	need    []int          // remaining picks per set
+	entries []*entry       // distinct eligible tuples
+	bySeq   map[int]*entry // seq -> entry
+	perSet  [][]*entry     // eligible entries per set
+}
+
+// build normalizes candidate sets into a problem instance, validating that
+// each set's quota is satisfiable.
+func build(sets []*filter.CandidateSet) (*problem, error) {
+	p := &problem{
+		sets:   sets,
+		need:   make([]int, len(sets)),
+		bySeq:  make(map[int]*entry),
+		perSet: make([][]*entry, len(sets)),
+	}
+	for i, cs := range sets {
+		if len(cs.Members) == 0 {
+			return nil, fmt.Errorf("hitting: set %s-%d is empty", cs.Owner, cs.Ordinal)
+		}
+		el := cs.Eligible()
+		k := cs.PickDegree
+		if k <= 0 {
+			k = 1
+		}
+		if k > len(el) {
+			k = len(el)
+		}
+		p.need[i] = k
+		for _, m := range el {
+			e, ok := p.bySeq[m.Seq]
+			if !ok {
+				e = &entry{t: m}
+				p.bySeq[m.Seq] = e
+				p.entries = append(p.entries, e)
+			}
+			e.sets = append(e.sets, i)
+			p.perSet[i] = append(p.perSet[i], e)
+		}
+	}
+	// Deterministic entry order: by sequence number.
+	sort.Slice(p.entries, func(a, b int) bool { return p.entries[a].t.Seq < p.entries[b].t.Seq })
+	return p, nil
+}
+
+// utility of an entry: the number of unsatisfied sets it is eligible in and
+// not yet chosen for.
+func (p *problem) utility(e *entry) int {
+	if e.chosen {
+		return 0
+	}
+	u := 0
+	for _, si := range e.sets {
+		if p.need[si] > 0 {
+			u++
+		}
+	}
+	return u
+}
+
+// Greedy solves the (multi-degree) hitting-set instance with the paper's
+// greedy heuristic: repeatedly pick the tuple with the highest group
+// utility, breaking ties by the latest timestamp to favor temporal
+// freshness (Fig 2.7), credit it to every unsatisfied set containing it,
+// and retire sets whose quota is met. Picks are returned in choice order.
+func Greedy(sets []*filter.CandidateSet) ([]Pick, error) {
+	return GreedyWithOptions(sets, false)
+}
+
+// GreedyWithOptions is Greedy with a configurable tie-break: when
+// preferEarliest is set, utility ties go to the earliest tuple instead of
+// the latest (the ablation variant of the paper's freshness rule).
+func GreedyWithOptions(sets []*filter.CandidateSet, preferEarliest bool) ([]Pick, error) {
+	if len(sets) == 0 {
+		return nil, nil
+	}
+	p, err := build(sets)
+	if err != nil {
+		return nil, err
+	}
+	remaining := 0
+	for _, n := range p.need {
+		remaining += n
+	}
+	fresher := func(a, b *entry) bool {
+		if preferEarliest {
+			return a.t.TS.Before(b.t.TS) || (a.t.TS.Equal(b.t.TS) && a.t.Seq < b.t.Seq)
+		}
+		return a.t.TS.After(b.t.TS) || (a.t.TS.Equal(b.t.TS) && a.t.Seq > b.t.Seq)
+	}
+	var picks []Pick
+	for remaining > 0 {
+		var best *entry
+		bestU := 0
+		for _, e := range p.entries {
+			u := p.utility(e)
+			if u == 0 {
+				continue
+			}
+			if best == nil || u > bestU || (u == bestU && fresher(e, best)) {
+				best, bestU = e, u
+			}
+		}
+		if best == nil {
+			// Unreachable: every unsatisfied set has an unchosen
+			// eligible tuple because need <= |eligible|.
+			return nil, fmt.Errorf("hitting: no pickable tuple with %d picks outstanding", remaining)
+		}
+		best.chosen = true
+		pick := Pick{Tuple: best.t}
+		for _, si := range best.sets {
+			if p.need[si] > 0 {
+				p.need[si]--
+				remaining--
+				pick.Sets = append(pick.Sets, p.sets[si])
+			}
+		}
+		picks = append(picks, pick)
+	}
+	return picks, nil
+}
+
+// Exact solves the instance optimally by branch and bound; intended for
+// tests and ablation benches on small regions (it is exponential in the
+// worst case). It minimizes the number of distinct chosen tuples.
+func Exact(sets []*filter.CandidateSet) ([]Pick, error) {
+	if len(sets) == 0 {
+		return nil, nil
+	}
+	p, err := build(sets)
+	if err != nil {
+		return nil, err
+	}
+	best := len(p.entries) + 1
+	var bestChoice []*entry
+	var current []*entry
+
+	var rec func()
+	rec = func() {
+		if len(current) >= best {
+			return // prune
+		}
+		// Find the unsatisfied set with the fewest remaining options.
+		target, options := -1, 0
+		for si := range p.sets {
+			if p.need[si] == 0 {
+				continue
+			}
+			avail := 0
+			for _, e := range p.perSet[si] {
+				if !e.chosen {
+					avail++
+				}
+			}
+			if avail < p.need[si] {
+				return // infeasible branch
+			}
+			if target == -1 || avail < options {
+				target, options = si, avail
+			}
+		}
+		if target == -1 {
+			// All satisfied: record the solution.
+			if len(current) < best {
+				best = len(current)
+				bestChoice = append([]*entry(nil), current...)
+			}
+			return
+		}
+		for _, e := range p.perSet[target] {
+			if e.chosen {
+				continue
+			}
+			e.chosen = true
+			credited := make([]int, 0, len(e.sets))
+			for _, si := range e.sets {
+				if p.need[si] > 0 {
+					p.need[si]--
+					credited = append(credited, si)
+				}
+			}
+			current = append(current, e)
+			rec()
+			current = current[:len(current)-1]
+			for _, si := range credited {
+				p.need[si]++
+			}
+			e.chosen = false
+		}
+	}
+	rec()
+	if bestChoice == nil {
+		return nil, fmt.Errorf("hitting: no feasible solution")
+	}
+	// Rebuild per-set credits for the optimal choice, deterministically
+	// by choice order.
+	for i := range p.need {
+		el := p.sets[i].Eligible()
+		k := p.sets[i].PickDegree
+		if k <= 0 {
+			k = 1
+		}
+		if k > len(el) {
+			k = len(el)
+		}
+		p.need[i] = k
+	}
+	var picks []Pick
+	for _, e := range bestChoice {
+		pick := Pick{Tuple: e.t}
+		for _, si := range e.sets {
+			if p.need[si] > 0 {
+				p.need[si]--
+				pick.Sets = append(pick.Sets, p.sets[si])
+			}
+		}
+		picks = append(picks, pick)
+	}
+	return picks, nil
+}
+
+// Hits reports whether the picks satisfy every set's quota with eligible,
+// distinct tuples — the validity predicate used by tests and by the
+// engine's self-checks.
+func Hits(sets []*filter.CandidateSet, picks []Pick) bool {
+	credit := make(map[*filter.CandidateSet]int)
+	seen := make(map[int]bool)
+	for _, pk := range picks {
+		if seen[pk.Tuple.Seq] {
+			return false // duplicate pick
+		}
+		seen[pk.Tuple.Seq] = true
+		for _, cs := range pk.Sets {
+			eligible := false
+			for _, m := range cs.Eligible() {
+				if m.Seq == pk.Tuple.Seq {
+					eligible = true
+					break
+				}
+			}
+			if !eligible {
+				return false
+			}
+			credit[cs]++
+		}
+	}
+	for _, cs := range sets {
+		k := cs.PickDegree
+		if k <= 0 {
+			k = 1
+		}
+		if el := len(cs.Eligible()); k > el {
+			k = el
+		}
+		if credit[cs] < k {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,183 @@
+// Package metrics provides the statistics used by the paper's evaluation
+// (§4.4): output/input ratios, output ratios relative to the
+// self-interested baseline, and the box-plot summaries (minimum, quartiles,
+// median, maximum, 1.5·IQR outliers) used in Figs 4.3-4.10 and 4.17.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary holds basic aggregates of a sample.
+type Summary struct {
+	N            int
+	Mean, Median float64
+	Min, Max     float64
+	StdDev       float64
+}
+
+// Summarize computes the summary of a sample. It returns a zero Summary
+// for an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(len(xs)))
+	s.Median = Quantile(xs, 0.5)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the sample using linear
+// interpolation between order statistics. The input need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// BoxPlot is the five-number summary with 1.5·IQR outliers, matching the
+// paper's plots: "Any data observation which lies more than 1.5·IQR lower
+// than the first quartile or 1.5·IQR higher than the third quartile is
+// considered an outlier."
+type BoxPlot struct {
+	Q1, Median, Q3 float64
+	// LowWhisker and HighWhisker are the extreme non-outlier values.
+	LowWhisker, HighWhisker float64
+	Outliers                []float64
+}
+
+// NewBoxPlot computes the box plot of a sample.
+func NewBoxPlot(xs []float64) BoxPlot {
+	if len(xs) == 0 {
+		return BoxPlot{}
+	}
+	b := BoxPlot{
+		Q1:     Quantile(xs, 0.25),
+		Median: Quantile(xs, 0.5),
+		Q3:     Quantile(xs, 0.75),
+	}
+	iqr := b.Q3 - b.Q1
+	loFence := b.Q1 - 1.5*iqr
+	hiFence := b.Q3 + 1.5*iqr
+	b.LowWhisker, b.HighWhisker = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x < loFence || x > hiFence {
+			b.Outliers = append(b.Outliers, x)
+			continue
+		}
+		b.LowWhisker = math.Min(b.LowWhisker, x)
+		b.HighWhisker = math.Max(b.HighWhisker, x)
+	}
+	sort.Float64s(b.Outliers)
+	return b
+}
+
+// String renders the box plot on one line.
+func (b BoxPlot) String() string {
+	s := fmt.Sprintf("[%.4g | %.4g %.4g %.4g | %.4g]", b.LowWhisker, b.Q1, b.Median, b.Q3, b.HighWhisker)
+	if len(b.Outliers) > 0 {
+		s += fmt.Sprintf(" outliers=%d", len(b.Outliers))
+	}
+	return s
+}
+
+// Durations converts a duration sample to float64 milliseconds for the
+// statistics helpers.
+func Durations(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// Table is a minimal fixed-width text table for experiment output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

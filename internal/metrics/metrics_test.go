@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Errorf("Mean = %g, want 5", s.Mean)
+	}
+	if s.StdDev != 2 {
+		t.Errorf("StdDev = %g, want 2", s.StdDev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %g/%g", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("Median = %g, want 4.5", s.Median)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Error("empty sample should summarize to zero")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2} // unsorted input allowed
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.5, 2}, {1, 3}, {0.25, 1.5}, {0.75, 2.5}, {-1, 1}, {2, 3},
+	}
+	for _, tc := range tests {
+		if got := Quantile(xs, tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile(empty) should be 0")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestBoxPlotOutliers(t *testing.T) {
+	// Tight cluster with one extreme point.
+	xs := []float64{10, 11, 12, 13, 14, 100}
+	b := NewBoxPlot(xs)
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Errorf("Outliers = %v, want [100]", b.Outliers)
+	}
+	if b.HighWhisker != 14 {
+		t.Errorf("HighWhisker = %g, want 14", b.HighWhisker)
+	}
+	if b.LowWhisker != 10 {
+		t.Errorf("LowWhisker = %g, want 10", b.LowWhisker)
+	}
+	if b.Median != 12.5 {
+		t.Errorf("Median = %g, want 12.5", b.Median)
+	}
+	if !strings.Contains(b.String(), "outliers=1") {
+		t.Errorf("String() = %q missing outlier count", b.String())
+	}
+}
+
+func TestBoxPlotNoOutliers(t *testing.T) {
+	b := NewBoxPlot([]float64{1, 2, 3, 4, 5})
+	if len(b.Outliers) != 0 {
+		t.Errorf("Outliers = %v, want none", b.Outliers)
+	}
+	if b.LowWhisker != 1 || b.HighWhisker != 5 {
+		t.Errorf("whiskers = %g..%g, want 1..5", b.LowWhisker, b.HighWhisker)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []int8, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		qa := float64(aRaw) / 255
+		qb := float64(bRaw) / 255
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		va, vb := Quantile(xs, qa), Quantile(xs, qb)
+		sorted := make([]float64, len(xs))
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		return va <= vb+1e-9 && va >= sorted[0]-1e-9 && vb <= sorted[len(sorted)-1]+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: box-plot whiskers always bracket the median, and every point is
+// either within the whiskers or an outlier.
+func TestBoxPlotPartitionProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		b := NewBoxPlot(xs)
+		if b.LowWhisker > b.Median || b.HighWhisker < b.Median {
+			return false
+		}
+		outlier := make(map[float64]int)
+		for _, o := range b.Outliers {
+			outlier[o]++
+		}
+		for _, x := range xs {
+			if x >= b.LowWhisker && x <= b.HighWhisker {
+				continue
+			}
+			if outlier[x] == 0 {
+				return false
+			}
+			outlier[x]--
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDurations(t *testing.T) {
+	got := Durations([]time.Duration{time.Millisecond, 2500 * time.Microsecond})
+	if got[0] != 1 || got[1] != 2.5 {
+		t.Errorf("Durations = %v, want [1 2.5]", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("algo", "O/I")
+	tb.AddRow("RG", "0.3635")
+	tb.AddRow("SI") // short row padded
+	out := tb.String()
+	if !strings.Contains(out, "algo") || !strings.Contains(out, "0.3635") {
+		t.Errorf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Errorf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+}

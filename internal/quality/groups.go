@@ -1,0 +1,274 @@
+package quality
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"gasf/internal/filter"
+	"gasf/internal/tuple"
+)
+
+// SrcStatistics computes the paper's srcStatistics measure for the signal
+// of a (single-attribute or averaged) spec kind: the mean absolute change
+// between consecutive tuples of the monitored signal (§4.3).
+func SrcStatistics(sr *tuple.Series, attr string) (float64, error) {
+	return sr.MeanAbsChange(attr)
+}
+
+// trendStatistics computes srcStatistics of the trend signal used by DC2.
+func trendStatistics(sr *tuple.Series, attr string) (float64, error) {
+	sig := filter.NewTrendSignal(attr, time.Second)
+	vals, err := filter.SignalOverSeries(sig, sr)
+	if err != nil {
+		return 0, err
+	}
+	return filter.MeanAbsChange(vals)
+}
+
+// avgStatistics computes srcStatistics of the averaged signal used by DC3.
+func avgStatistics(sr *tuple.Series, attrs ...string) (float64, error) {
+	sig, err := filter.NewAvgSignal(attrs...)
+	if err != nil {
+		return 0, err
+	}
+	vals, err := filter.SignalOverSeries(sig, sr)
+	if err != nil {
+		return 0, err
+	}
+	return filter.MeanAbsChange(vals)
+}
+
+// dcSpec builds a DC spec with delta = mult*stat and slack = frac*delta.
+func dcSpec(kind Kind, attrs []string, stat, mult, frac float64) Spec {
+	delta := mult * stat
+	return Spec{Kind: kind, Attrs: attrs, Delta: delta, Slack: frac * delta}
+}
+
+// Table41 builds the three groups of Table 4.1 — DC_Fluoro (four fluoro
+// DC filters), DC_Hybrid (mixed thermistor filters), DC_Tmpr (three tmpr4
+// filters) — deriving deltas from the series' srcStatistics the way §4.3
+// does: "randomly picked delta values between the range of srcStatistics
+// and 3*srcStatistics ... slack values to be about 50% of the
+// corresponding delta values". The random draws are seeded for
+// reproducibility.
+func Table41(sr *tuple.Series, seed int64) ([]Group, error) {
+	rng := rand.New(rand.NewSource(seed))
+	draw := func(stat float64) float64 { return stat * (1 + 2*rng.Float64()) } // [1,3]*stat
+
+	fluoroStat, err := SrcStatistics(sr, "fluoro")
+	if err != nil {
+		return nil, fmt.Errorf("quality: Table41: %w", err)
+	}
+	t2, err := SrcStatistics(sr, "tmpr2")
+	if err != nil {
+		return nil, err
+	}
+	t4, err := SrcStatistics(sr, "tmpr4")
+	if err != nil {
+		return nil, err
+	}
+
+	mk := func(attr string, delta float64) Spec {
+		return Spec{Kind: DC1, Attrs: []string{attr}, Delta: delta, Slack: 0.5 * delta}
+	}
+	// The fourth DC_Fluoro filter of Table 4.1 uses a tighter slack
+	// (DC(fluoro, 0.0702, 0.0100): ~14% of delta).
+	tightDelta := draw(fluoroStat)
+	fluoro := Group{Name: "DC_Fluoro", Specs: []Spec{
+		mk("fluoro", draw(fluoroStat)),
+		mk("fluoro", draw(fluoroStat)),
+		mk("fluoro", draw(fluoroStat)),
+		{Kind: DC1, Attrs: []string{"fluoro"}, Delta: tightDelta, Slack: 0.14 * tightDelta},
+	}}
+	// DC_Hybrid draws deltas from [1, 20]*srcStatistics with slack below
+	// 50% of delta (§4.3).
+	drawWide := func(stat float64) float64 { return stat * (1 + 19*rng.Float64()) }
+	hybrid := Group{Name: "DC_Hybrid", Specs: []Spec{
+		{Kind: DC1, Attrs: []string{"tmpr2"}, Delta: drawWide(t2), Slack: 0},
+		{Kind: DC1, Attrs: []string{"tmpr4"}, Delta: drawWide(t4), Slack: 0},
+		{Kind: DC1, Attrs: []string{"tmpr4"}, Delta: drawWide(t4), Slack: 0},
+	}}
+	for i := range hybrid.Specs {
+		hybrid.Specs[i].Slack = hybrid.Specs[i].Delta * (0.2 + 0.3*rng.Float64()) // <50%
+	}
+	tmpr := Group{Name: "DC_Tmpr", Specs: []Spec{
+		mk("tmpr4", draw(t4)),
+		mk("tmpr4", draw(t4)),
+		mk("tmpr4", draw(t4)),
+	}}
+	return []Group{fluoro, hybrid, tmpr}, nil
+}
+
+// Table52 builds the ten groups of Table 5.2 over a NAMOS-like series:
+// seven homogeneous groups (DC1 on fluoro/tmpr2/tmpr4/tmpr6, DC3, DC2, SS)
+// and three heterogeneous ones. Deltas follow the paper's recipe: ASC,
+// 2*ASC, and a random draw between them; slack = 50% of delta.
+func Table52(sr *tuple.Series, seed int64) ([]Group, error) {
+	rng := rand.New(rand.NewSource(seed))
+
+	fluoro, err := SrcStatistics(sr, "fluoro")
+	if err != nil {
+		return nil, fmt.Errorf("quality: Table52: %w", err)
+	}
+	t2, err := SrcStatistics(sr, "tmpr2")
+	if err != nil {
+		return nil, err
+	}
+	t4, err := SrcStatistics(sr, "tmpr4")
+	if err != nil {
+		return nil, err
+	}
+	t5, err := SrcStatistics(sr, "tmpr5")
+	if err != nil {
+		return nil, err
+	}
+	t6, err := SrcStatistics(sr, "tmpr6")
+	if err != nil {
+		return nil, err
+	}
+	avg, err := avgStatistics(sr, "tmpr2", "tmpr4", "tmpr6")
+	if err != nil {
+		return nil, err
+	}
+	trend, err := trendStatistics(sr, "fluoro")
+	if err != nil {
+		return nil, err
+	}
+
+	trio := func(kind Kind, attrs []string, stat float64) []Spec {
+		return []Spec{
+			dcSpec(kind, attrs, stat, 1, 0.5),
+			dcSpec(kind, attrs, stat, 2, 0.5),
+			dcSpec(kind, attrs, stat, 1+rng.Float64(), 0.5),
+		}
+	}
+	// SS thresholds sit at quantiles of the observed per-segment sample
+	// range, so the three filters disagree on which segments are dynamic
+	// — the disagreement is where multi-degree sharing pays off.
+	rangeQ, err := segmentRangeQuantiles(sr, "tmpr4", time.Second, []float64{0.3, 0.4, 0.5, 0.6})
+	if err != nil {
+		return nil, err
+	}
+	ssSpec := func(threshold, hi, lo float64) Spec {
+		return Spec{
+			Kind: SS, Attrs: []string{"tmpr4"},
+			Interval: time.Second, Threshold: threshold, HighPct: hi, LowPct: lo,
+		}
+	}
+	avgAttrs := []string{"tmpr2", "tmpr4", "tmpr6"}
+	groups := []Group{
+		{Name: "G1", Specs: trio(DC1, []string{"fluoro"}, fluoro)},
+		{Name: "G2", Specs: trio(DC1, []string{"tmpr2"}, t2)},
+		{Name: "G3", Specs: trio(DC1, []string{"tmpr4"}, t4)},
+		{Name: "G4", Specs: trio(DC1, []string{"tmpr6"}, t6)},
+		{Name: "G5", Specs: trio(DC3, avgAttrs, avg)},
+		{Name: "G6", Specs: trio(DC2, []string{"fluoro"}, trend)},
+		{Name: "G7", Specs: []Spec{
+			ssSpec(rangeQ[1], 50, 20), ssSpec(rangeQ[3], 50, 20), ssSpec(rangeQ[2], 50, 20),
+		}},
+		{Name: "G8", Specs: []Spec{
+			dcSpec(DC1, []string{"tmpr4"}, t4, 1, 0.5),
+			dcSpec(DC3, avgAttrs, avg, 1, 0.5),
+			dcSpec(DC1, []string{"tmpr5"}, t5, 1, 0.5),
+		}},
+		{Name: "G9", Specs: []Spec{
+			dcSpec(DC1, []string{"tmpr4"}, t4, 1, 0.5),
+			dcSpec(DC3, avgAttrs, avg, 1, 0.5),
+			dcSpec(DC2, []string{"fluoro"}, trend, 1, 0.5),
+		}},
+		{Name: "G10", Specs: []Spec{
+			dcSpec(DC1, []string{"tmpr4"}, t4, 1, 0.5),
+			dcSpec(DC3, avgAttrs, avg, 1, 0.5),
+			ssSpec(rangeQ[0], 90, 50),
+		}},
+	}
+	return groups, nil
+}
+
+// SourceGroup builds the per-source groups of Fig 4.19 (DC_cow,
+// DC_volcano, DC_fireExp): three DC1 filters on the source's attribute
+// with deltas drawn from [1,3]*srcStatistics and slack = 50% of delta.
+func SourceGroup(name, attr string, sr *tuple.Series, seed int64) (Group, error) {
+	stat, err := SrcStatistics(sr, attr)
+	if err != nil {
+		return Group{}, fmt.Errorf("quality: SourceGroup %s: %w", name, err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	specs := make([]Spec, 3)
+	for i := range specs {
+		specs[i] = dcSpec(DC1, []string{attr}, stat, 1+2*rng.Float64(), 0.5)
+	}
+	return Group{Name: name, Specs: specs}, nil
+}
+
+// segmentRangeQuantiles computes quantiles of the per-segment sample range
+// (max-min of attr over consecutive interval-long windows); used to place
+// stratified-sampling thresholds where segment classification actually
+// varies.
+func segmentRangeQuantiles(sr *tuple.Series, attr string, interval time.Duration, qs []float64) ([]float64, error) {
+	col, err := sr.Column(attr)
+	if err != nil {
+		return nil, err
+	}
+	if sr.Len() < 2 {
+		return nil, fmt.Errorf("quality: series too short for segment ranges")
+	}
+	var ranges []float64
+	segStart := sr.At(0).TS
+	lo, hi := col[0], col[0]
+	for i := 1; i < sr.Len(); i++ {
+		if sr.At(i).TS.Sub(segStart) >= interval {
+			ranges = append(ranges, hi-lo)
+			segStart = sr.At(i).TS
+			lo, hi = col[i], col[i]
+			continue
+		}
+		if col[i] < lo {
+			lo = col[i]
+		}
+		if col[i] > hi {
+			hi = col[i]
+		}
+	}
+	ranges = append(ranges, hi-lo)
+	sort.Float64s(ranges)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		idx := int(q * float64(len(ranges)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ranges) {
+			idx = len(ranges) - 1
+		}
+		out[i] = ranges[idx]
+	}
+	return out, nil
+}
+
+// GroupSizeGroup builds a group of n DC1 filters on one attribute for the
+// group-size experiment (§4.7.3): fixed slack, deltas random in
+// [1,6]*srcStatistics.
+func GroupSizeGroup(attr string, sr *tuple.Series, n int, seed int64) (Group, error) {
+	if n < 1 {
+		return Group{}, fmt.Errorf("quality: group size %d < 1", n)
+	}
+	stat, err := SrcStatistics(sr, attr)
+	if err != nil {
+		return Group{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	specs := make([]Spec, n)
+	slack := 0.5 * stat
+	for i := range specs {
+		delta := stat * (1 + 5*rng.Float64())
+		if slack > delta/2 {
+			// Keep Axiom 1 intact for small draws.
+			delta = 2 * slack
+		}
+		specs[i] = Spec{Kind: DC1, Attrs: []string{attr}, Delta: delta, Slack: slack}
+	}
+	return Group{Name: fmt.Sprintf("DC_n%d", n), Specs: specs}, nil
+}

@@ -1,0 +1,222 @@
+// Package quality implements the quality-specification manager of the
+// prototype (§4.1.1, Fig 4.1): a textual format for filter specifications
+// ("DC1(fluoro, 0.0301, 0.0150)"), a parser, builders that instantiate
+// group-aware filters from specs, and the construction of the paper's
+// evaluation groups (Tables 4.1 and 5.2, Fig 4.19) from measured source
+// statistics exactly as §4.3 prescribes.
+package quality
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"gasf/internal/filter"
+)
+
+// Kind enumerates the filter types of Table 5.1.
+type Kind int
+
+const (
+	// DC1 is single-attribute delta compression.
+	DC1 Kind = iota + 1
+	// DC2 is trend (rate-of-change) delta compression.
+	DC2
+	// DC3 is multi-attribute-average delta compression.
+	DC3
+	// SS is stratified sampling.
+	SS
+	// SDC is stateful delta compression (§2.3.3).
+	SDC
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case DC1:
+		return "DC1"
+	case DC2:
+		return "DC2"
+	case DC3:
+		return "DC3"
+	case SS:
+		return "SS"
+	case SDC:
+		return "SDC"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec is a parsed filter specification: the type plus its parameters.
+type Spec struct {
+	Kind  Kind
+	Attrs []string
+	// Delta and Slack parameterize the DC family.
+	Delta, Slack float64
+	// Interval, Threshold, HighPct and LowPct parameterize SS.
+	Interval        time.Duration
+	Threshold       float64
+	HighPct, LowPct float64
+	Prescription    filter.Prescription
+}
+
+// String renders the spec in the paper's notation.
+func (s Spec) String() string {
+	switch s.Kind {
+	case DC1, DC2, SDC:
+		return fmt.Sprintf("%s(%s, %.4g, %.4g)", s.Kind, s.Attrs[0], s.Delta, s.Slack)
+	case DC3:
+		return fmt.Sprintf("DC3(%s, %.4g, %.4g)", strings.Join(s.Attrs, ", "), s.Delta, s.Slack)
+	case SS:
+		return fmt.Sprintf("SS(%s, %d, %.4g, %g, %g)", s.Attrs[0], s.Interval.Milliseconds(), s.Threshold, s.HighPct, s.LowPct)
+	default:
+		return fmt.Sprintf("Spec(%d)", int(s.Kind))
+	}
+}
+
+// Build instantiates the group-aware filter described by the spec.
+func (s Spec) Build(id string) (filter.Filter, error) {
+	switch s.Kind {
+	case DC1:
+		if len(s.Attrs) != 1 {
+			return nil, fmt.Errorf("quality: DC1 needs one attribute, got %v", s.Attrs)
+		}
+		return filter.NewDC1(id, s.Attrs[0], s.Delta, s.Slack)
+	case DC2:
+		if len(s.Attrs) != 1 {
+			return nil, fmt.Errorf("quality: DC2 needs one attribute, got %v", s.Attrs)
+		}
+		return filter.NewDC2(id, s.Attrs[0], s.Delta, s.Slack, time.Second)
+	case DC3:
+		if len(s.Attrs) < 2 {
+			return nil, fmt.Errorf("quality: DC3 needs at least two attributes, got %v", s.Attrs)
+		}
+		return filter.NewDC3(id, s.Attrs, s.Delta, s.Slack)
+	case SS:
+		if len(s.Attrs) != 1 {
+			return nil, fmt.Errorf("quality: SS needs one attribute, got %v", s.Attrs)
+		}
+		return filter.NewSS(id, s.Attrs[0], s.Interval, s.Threshold, s.HighPct, s.LowPct, s.Prescription)
+	case SDC:
+		if len(s.Attrs) != 1 {
+			return nil, fmt.Errorf("quality: SDC needs one attribute, got %v", s.Attrs)
+		}
+		return filter.NewStatefulDC(id, s.Attrs[0], s.Delta, s.Slack)
+	default:
+		return nil, fmt.Errorf("quality: unknown filter kind %d", int(s.Kind))
+	}
+}
+
+// Parse reads a spec in the paper's notation, e.g.
+//
+//	DC1(fluoro, 0.0301, 0.0150)
+//	DC2(fluoro, 11.59, 5.79)
+//	DC3(tmpr2, tmpr4, tmpr6, 0.03, 0.015)
+//	SS(tmpr4, 1000, 0.15, 50, 20)
+//	SDC(tmpr4, 0.03, 0.015)
+//
+// SS's second argument is the segment interval in milliseconds.
+func Parse(text string) (Spec, error) {
+	text = strings.TrimSpace(text)
+	open := strings.IndexByte(text, '(')
+	if open < 0 || !strings.HasSuffix(text, ")") {
+		return Spec{}, fmt.Errorf("quality: malformed spec %q", text)
+	}
+	name := strings.TrimSpace(text[:open])
+	var kind Kind
+	switch strings.ToUpper(name) {
+	case "DC1", "DC":
+		kind = DC1
+	case "DC2":
+		kind = DC2
+	case "DC3":
+		kind = DC3
+	case "SS":
+		kind = SS
+	case "SDC":
+		kind = SDC
+	default:
+		return Spec{}, fmt.Errorf("quality: unknown filter type %q", name)
+	}
+	var args []string
+	for _, a := range strings.Split(text[open+1:len(text)-1], ",") {
+		args = append(args, strings.TrimSpace(a))
+	}
+	// Split leading attribute names from trailing numbers.
+	numStart := len(args)
+	for i, a := range args {
+		if _, err := strconv.ParseFloat(a, 64); err == nil {
+			numStart = i
+			break
+		}
+	}
+	attrs := args[:numStart]
+	nums := make([]float64, 0, len(args)-numStart)
+	for _, a := range args[numStart:] {
+		v, err := strconv.ParseFloat(a, 64)
+		if err != nil {
+			return Spec{}, fmt.Errorf("quality: bad numeric argument %q in %q", a, text)
+		}
+		nums = append(nums, v)
+	}
+	sp := Spec{Kind: kind, Attrs: attrs}
+	switch kind {
+	case DC1, DC2, SDC:
+		if len(attrs) != 1 || len(nums) != 2 {
+			return Spec{}, fmt.Errorf("quality: %s needs (attr, delta, slack): %q", kind, text)
+		}
+		sp.Delta, sp.Slack = nums[0], nums[1]
+	case DC3:
+		if len(attrs) < 2 || len(nums) != 2 {
+			return Spec{}, fmt.Errorf("quality: DC3 needs (attrs..., delta, slack): %q", text)
+		}
+		sp.Delta, sp.Slack = nums[0], nums[1]
+	case SS:
+		if len(attrs) != 1 || len(nums) != 4 {
+			return Spec{}, fmt.Errorf("quality: SS needs (attr, intervalMs, threshold, highPct, lowPct): %q", text)
+		}
+		sp.Interval = time.Duration(nums[0] * float64(time.Millisecond))
+		sp.Threshold, sp.HighPct, sp.LowPct = nums[1], nums[2], nums[3]
+	}
+	return sp, nil
+}
+
+// MustParse is Parse that panics on error; for tests and static tables.
+func MustParse(text string) Spec {
+	s, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Group is a named set of filter specifications subscribing to one source
+// (one row of Table 4.1 / Table 5.2).
+type Group struct {
+	Name  string
+	Specs []Spec
+}
+
+// Build instantiates the group's filters with ids "<name>/1"..."<name>/n".
+func (g Group) Build() ([]filter.Filter, error) {
+	out := make([]filter.Filter, 0, len(g.Specs))
+	for i, sp := range g.Specs {
+		f, err := sp.Build(fmt.Sprintf("%s/%d", g.Name, i+1))
+		if err != nil {
+			return nil, fmt.Errorf("quality: group %s filter %d: %w", g.Name, i+1, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// String lists the group's specs.
+func (g Group) String() string {
+	parts := make([]string, len(g.Specs))
+	for i, sp := range g.Specs {
+		parts[i] = sp.String()
+	}
+	return g.Name + ": " + strings.Join(parts, "; ")
+}

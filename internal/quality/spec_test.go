@@ -1,0 +1,241 @@
+package quality
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gasf/internal/core"
+	"gasf/internal/trace"
+	"gasf/internal/tuple"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	tests := []struct {
+		text string
+		kind Kind
+	}{
+		{"DC1(fluoro, 0.0301, 0.0150)", DC1},
+		{"DC(fluoro, 0.0301, 0.0150)", DC1}, // paper's short form
+		{"DC2(fluoro, 11.59, 5.79)", DC2},
+		{"DC3(tmpr2, tmpr4, tmpr6, 0.03, 0.015)", DC3},
+		{"SS(tmpr4, 1000, 0.15, 50, 20)", SS},
+		{"SDC(tmpr4, 0.03, 0.015)", SDC},
+		{"  dc1( fluoro , 1 , 0.5 ) ", DC1}, // whitespace and case
+	}
+	for _, tc := range tests {
+		t.Run(tc.text, func(t *testing.T) {
+			sp, err := Parse(tc.text)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if sp.Kind != tc.kind {
+				t.Errorf("Kind = %v, want %v", sp.Kind, tc.kind)
+			}
+			// Round trip: the rendered spec parses back to itself.
+			again, err := Parse(sp.String())
+			if err != nil {
+				t.Fatalf("re-Parse(%q): %v", sp.String(), err)
+			}
+			if again.Kind != sp.Kind || again.Delta != sp.Delta || again.Slack != sp.Slack ||
+				again.Interval != sp.Interval || len(again.Attrs) != len(sp.Attrs) {
+				t.Errorf("round trip changed spec: %+v vs %+v", sp, again)
+			}
+		})
+	}
+}
+
+func TestParseSSParameters(t *testing.T) {
+	sp, err := Parse("SS(tmpr4, 1000, 0.15, 50, 20)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Interval != time.Second {
+		t.Errorf("Interval = %v, want 1s", sp.Interval)
+	}
+	if sp.Threshold != 0.15 || sp.HighPct != 50 || sp.LowPct != 20 {
+		t.Errorf("SS params = %+v", sp)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DC1",
+		"DC1(fluoro, 1, 0.5",
+		"XX(fluoro, 1, 0.5)",
+		"DC1(fluoro, one, 0.5)",
+		"DC1(fluoro, 1)",
+		"DC3(tmpr2, 1, 0.5)",        // too few attrs
+		"SS(tmpr4, 1000, 0.15, 50)", // too few numbers
+		"DC1(a, b, 1, 0.5)",         // too many attrs
+	}
+	for _, text := range bad {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q) should fail", text)
+		}
+	}
+}
+
+func TestSpecBuildAndRun(t *testing.T) {
+	sr, err := trace.NAMOS(trace.Config{N: 500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []string{
+		"DC1(fluoro, 3.0, 1.5)",
+		"DC2(fluoro, 100, 50)",
+		"DC3(tmpr2, tmpr4, tmpr6, 0.03, 0.015)",
+		"SS(tmpr4, 1000, 0.15, 50, 20)",
+		"SDC(tmpr4, 0.05, 0.02)",
+	}
+	for _, text := range specs {
+		t.Run(text, func(t *testing.T) {
+			f, err := MustParse(text).Build("f")
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			for i := 0; i < sr.Len(); i++ {
+				ev, err := f.Process(sr.At(i))
+				if err != nil {
+					t.Fatalf("Process(%d): %v", i, err)
+				}
+				// Stateful sets must be resolved like the engine does.
+				for ev.Closed != nil && f.Stateful() {
+					ev = f.ObserveChosen([]*tuple.Tuple{ev.Closed.Members[0]})
+				}
+			}
+		})
+	}
+}
+
+func TestGroupBuildIDs(t *testing.T) {
+	g := Group{Name: "DC_Tmpr", Specs: []Spec{
+		MustParse("DC1(tmpr4, 0.031, 0.0155)"),
+		MustParse("DC1(tmpr4, 0.062, 0.031)"),
+	}}
+	fs, err := g.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs[0].ID() != "DC_Tmpr/1" || fs[1].ID() != "DC_Tmpr/2" {
+		t.Errorf("ids = %s, %s", fs[0].ID(), fs[1].ID())
+	}
+	if !strings.Contains(g.String(), "DC_Tmpr") {
+		t.Error("Group.String missing name")
+	}
+}
+
+func TestTable41GroupsRunnable(t *testing.T) {
+	sr, err := trace.NAMOS(trace.Config{N: 1500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := Table41(sr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("Table41 groups = %d, want 3", len(groups))
+	}
+	names := map[string]int{"DC_Fluoro": 4, "DC_Hybrid": 3, "DC_Tmpr": 3}
+	for _, g := range groups {
+		want, ok := names[g.Name]
+		if !ok {
+			t.Errorf("unexpected group %s", g.Name)
+			continue
+		}
+		if len(g.Specs) != want {
+			t.Errorf("group %s has %d specs, want %d", g.Name, len(g.Specs), want)
+		}
+		fs, err := g.Build()
+		if err != nil {
+			t.Fatalf("group %s: %v", g.Name, err)
+		}
+		res, err := core.Run(fs, sr, core.Options{})
+		if err != nil {
+			t.Fatalf("group %s run: %v", g.Name, err)
+		}
+		if res.Stats.DistinctOutputs == 0 {
+			t.Errorf("group %s produced no output", g.Name)
+		}
+		if res.Stats.OIRatio() >= 1 {
+			t.Errorf("group %s O/I ratio %.3f >= 1: filters not compressing", g.Name, res.Stats.OIRatio())
+		}
+	}
+}
+
+func TestTable52GroupsRunnable(t *testing.T) {
+	sr, err := trace.NAMOS(trace.Config{N: 1500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := Table52(sr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 10 {
+		t.Fatalf("Table52 groups = %d, want 10", len(groups))
+	}
+	for _, g := range groups {
+		fs, err := g.Build()
+		if err != nil {
+			t.Fatalf("group %s build: %v", g.Name, err)
+		}
+		if len(fs) != 3 {
+			t.Errorf("group %s has %d filters, want 3", g.Name, len(fs))
+		}
+		res, err := core.Run(fs, sr, core.Options{})
+		if err != nil {
+			t.Fatalf("group %s run: %v", g.Name, err)
+		}
+		si, err := core.RunSelfInterested(fs, sr, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.DistinctOutputs > si.Stats.DistinctOutputs {
+			t.Errorf("group %s: GA %d > SI %d", g.Name, res.Stats.DistinctOutputs, si.Stats.DistinctOutputs)
+		}
+	}
+}
+
+func TestSourceGroupAndGroupSize(t *testing.T) {
+	cow, err := trace.Cow(trace.Config{N: 1000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := SourceGroup("DC_cow", "E-orient", cow, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Specs) != 3 {
+		t.Fatalf("SourceGroup specs = %d", len(g.Specs))
+	}
+	for _, sp := range g.Specs {
+		if sp.Slack != 0.5*sp.Delta {
+			t.Errorf("slack %g != delta/2 (%g)", sp.Slack, sp.Delta/2)
+		}
+	}
+
+	namos, err := trace.NAMOS(trace.Config{N: 500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{3, 7, 20} {
+		gg, err := GroupSizeGroup("tmpr4", namos, n, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gg.Specs) != n {
+			t.Errorf("GroupSizeGroup(%d) specs = %d", n, len(gg.Specs))
+		}
+		for _, sp := range gg.Specs {
+			if sp.Slack > sp.Delta/2 {
+				t.Errorf("GroupSizeGroup(%d): slack %g exceeds delta/2 (%g)", n, sp.Slack, sp.Delta/2)
+			}
+		}
+	}
+	if _, err := GroupSizeGroup("tmpr4", namos, 0, 5); err == nil {
+		t.Error("group size 0 should fail")
+	}
+}

@@ -1,0 +1,172 @@
+// Package region implements region-based segmentation (§2.3.2): grouping
+// closed candidate sets into maximal families connected by time-cover
+// intersection (Definitions 2-5), and detecting the earliest moment a
+// region can no longer grow — the point where the greedy hitting-set
+// algorithm may run without sacrificing optimality (Theorem 2) or the
+// approximation ratio (Theorem 3).
+package region
+
+import (
+	"sort"
+	"time"
+
+	"gasf/internal/filter"
+)
+
+// Region is a maximal family of connected candidate sets (Definition 4).
+type Region struct {
+	// Sets are the member candidate sets, ordered by their earliest
+	// timestamp.
+	Sets []*filter.CandidateSet
+}
+
+// Cover returns the region's time cover: the union of its sets' covers
+// (Definition 5). Because member sets are connected, the union is the
+// interval [min, max].
+func (r *Region) Cover() (min, max time.Time) {
+	min, max = r.Sets[0].MinTS(), r.Sets[0].MaxTS()
+	for _, cs := range r.Sets[1:] {
+		if cs.MinTS().Before(min) {
+			min = cs.MinTS()
+		}
+		if cs.MaxTS().After(max) {
+			max = cs.MaxTS()
+		}
+	}
+	return min, max
+}
+
+// TupleCount returns the number of distinct tuples across the region's
+// sets; the paper's region size, which drives the run-time predictor.
+func (r *Region) TupleCount() int {
+	seen := make(map[int]bool)
+	for _, cs := range r.Sets {
+		for _, m := range cs.Members {
+			seen[m.Seq] = true
+		}
+	}
+	return len(seen)
+}
+
+// ClosedByCut reports whether any member set was closed by a timely cut;
+// used for the "percent of regions cut" metric (Fig 4.11).
+func (r *Region) ClosedByCut() bool {
+	for _, cs := range r.Sets {
+		if cs.ClosedByCut {
+			return true
+		}
+	}
+	return false
+}
+
+// Tracker accumulates closed candidate sets and extracts regions as soon
+// as they can no longer grow.
+//
+// A pending component can still grow in two ways only: an open candidate
+// set whose earliest admitted tuple falls inside the component's cover may
+// close into it, or a future set may start inside the cover. Since
+// admissions happen at arrival and source timestamps are strictly
+// increasing, a future set's cover starts after the current stream time;
+// so a component is final once (a) every open set's earliest admitted
+// timestamp is after the component's cover and (b) the stream has advanced
+// to the end of the cover. This is the same condition as the paper's group
+// utility check (a closed set containing a tuple whose utility exceeds the
+// closed-set count implies an open set admitting it), expressed on time
+// covers.
+type Tracker struct {
+	pending []*filter.CandidateSet
+}
+
+// Add registers a closed candidate set.
+func (tr *Tracker) Add(cs *filter.CandidateSet) {
+	tr.pending = append(tr.pending, cs)
+}
+
+// PendingSets returns the number of closed sets not yet emitted.
+func (tr *Tracker) PendingSets() int { return len(tr.pending) }
+
+// EarliestPending returns the earliest timestamp across pending sets, used
+// by the cut controller to compute the current region span.
+func (tr *Tracker) EarliestPending() (time.Time, bool) {
+	if len(tr.pending) == 0 {
+		return time.Time{}, false
+	}
+	min := tr.pending[0].MinTS()
+	for _, cs := range tr.pending[1:] {
+		if cs.MinTS().Before(min) {
+			min = cs.MinTS()
+		}
+	}
+	return min, true
+}
+
+// components partitions the pending sets into connected components by
+// cover intersection. Because connectivity over intervals is exactly
+// interval overlap (with transitive closure), sorting by start time and
+// sweep-merging is sufficient.
+func (tr *Tracker) components() []*Region {
+	if len(tr.pending) == 0 {
+		return nil
+	}
+	sorted := make([]*filter.CandidateSet, len(tr.pending))
+	copy(sorted, tr.pending)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].MinTS().Before(sorted[j].MinTS())
+	})
+	var out []*Region
+	cur := &Region{Sets: []*filter.CandidateSet{sorted[0]}}
+	curMax := sorted[0].MaxTS()
+	for _, cs := range sorted[1:] {
+		if !cs.MinTS().After(curMax) { // touching covers are connected
+			cur.Sets = append(cur.Sets, cs)
+			if cs.MaxTS().After(curMax) {
+				curMax = cs.MaxTS()
+			}
+			continue
+		}
+		out = append(out, cur)
+		cur = &Region{Sets: []*filter.CandidateSet{cs}}
+		curMax = cs.MaxTS()
+	}
+	return append(out, cur)
+}
+
+// Ready extracts and returns every region that can no longer grow, given
+// the earliest admitted timestamps of all currently open candidate sets
+// and the current stream time (the timestamp of the most recently
+// processed tuple). Extracted sets leave the tracker.
+func (tr *Tracker) Ready(openMins []time.Time, now time.Time) []*Region {
+	comps := tr.components()
+	if comps == nil {
+		return nil
+	}
+	var ready []*Region
+	var keep []*filter.CandidateSet
+	for _, r := range comps {
+		_, max := r.Cover()
+		ok := !max.After(now)
+		if ok {
+			for _, om := range openMins {
+				if !om.After(max) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			ready = append(ready, r)
+		} else {
+			keep = append(keep, r.Sets...)
+		}
+	}
+	tr.pending = keep
+	return ready
+}
+
+// Flush extracts every remaining region regardless of growth potential;
+// used at end of stream.
+func (tr *Tracker) Flush() []*Region {
+	out := tr.components()
+	tr.pending = nil
+	return out
+}

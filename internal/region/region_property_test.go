@@ -1,0 +1,108 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestRegionPartitionProperty: for random closed-set collections, Flush
+// produces a partition into components that are (a) internally connected
+// through cover overlap and (b) maximal — no set of one region's cover
+// touches another region's cover.
+func TestRegionPartitionProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw%20)
+		var tr Tracker
+		total := 0
+		for i := 0; i < n; i++ {
+			start := rng.Intn(200)
+			width := rng.Intn(30)
+			tr.Add(setSpan("F", i, start, start+width))
+			total++
+		}
+		regions := tr.Flush()
+		got := 0
+		for _, r := range regions {
+			got += len(r.Sets)
+		}
+		if got != total {
+			return false // partition must cover every set exactly once
+		}
+		// Maximality: covers of distinct regions must not touch.
+		for i := range regions {
+			for j := i + 1; j < len(regions); j++ {
+				iMin, iMax := regions[i].Cover()
+				jMin, jMax := regions[j].Cover()
+				if !(iMax.Before(jMin) || jMax.Before(iMin)) {
+					return false
+				}
+			}
+		}
+		// Internal connectivity: each region's sets, sorted by start,
+		// must chain through overlaps (interval connectivity).
+		for _, r := range regions {
+			maxSeen := time.Time{}
+			for k, cs := range r.Sets {
+				if k == 0 {
+					maxSeen = cs.MaxTS()
+					continue
+				}
+				if cs.MinTS().After(maxSeen) {
+					return false // gap inside a region
+				}
+				if cs.MaxTS().After(maxSeen) {
+					maxSeen = cs.MaxTS()
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReadyNeverEmitsGrowable: whatever the open-set configuration, a
+// region emitted by Ready can never gain a new member afterwards — adding
+// any closed set whose cover starts after every open min and after `now`
+// cannot touch it.
+func TestReadyNeverEmitsGrowable(t *testing.T) {
+	f := func(seed int64, nRaw, openRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tr Tracker
+		n := 1 + int(nRaw%12)
+		maxEnd := 0
+		for i := 0; i < n; i++ {
+			start := rng.Intn(100)
+			width := rng.Intn(20)
+			tr.Add(setSpan("F", i, start, start+width))
+			if start+width > maxEnd {
+				maxEnd = start + width
+			}
+		}
+		var openMins []time.Time
+		for i := 0; i < int(openRaw%4); i++ {
+			openMins = append(openMins, at(rng.Intn(120)))
+		}
+		now := at(rng.Intn(150))
+		emitted := tr.Ready(openMins, now)
+		for _, r := range emitted {
+			_, max := r.Cover()
+			if max.After(now) {
+				return false // stream has not even reached the cover end
+			}
+			for _, om := range openMins {
+				if !om.After(max) {
+					return false // an open set could still join
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package region
+
+import (
+	"testing"
+	"time"
+
+	"gasf/internal/filter"
+	"gasf/internal/tuple"
+)
+
+var schema = tuple.MustSchema("v")
+
+func at(ms int) time.Time {
+	return time.Unix(0, 0).Add(time.Duration(ms) * time.Millisecond)
+}
+
+// setSpan builds a candidate set whose members sit at the given
+// millisecond offsets (seqs equal to offsets for easy identification).
+func setSpan(owner string, ordinal int, offsets ...int) *filter.CandidateSet {
+	members := make([]*tuple.Tuple, len(offsets))
+	for i, o := range offsets {
+		members[i] = tuple.MustNew(schema, o, at(o), []float64{0})
+	}
+	return &filter.CandidateSet{Owner: owner, Ordinal: ordinal, Members: members, PickDegree: 1}
+}
+
+// TestPaperExampleRegions reproduces the region structure of Fig 2.5:
+// region 1 = the three {0} sets; region 2 = the five later sets, connected
+// through C's wide set.
+func TestPaperExampleRegions(t *testing.T) {
+	// Time slots 1..10 -> offsets 0..90 (10ms apart).
+	sets := []*filter.CandidateSet{
+		setSpan("A", 0, 0), setSpan("B", 0, 0), setSpan("C", 0, 0),
+		setSpan("A", 1, 30, 40, 50), // {45,50,59}
+		setSpan("B", 1, 30, 40),     // {45,50}
+		setSpan("C", 1, 50, 60, 70, 80),
+		setSpan("A", 2, 70, 80),
+		setSpan("B", 2, 70, 80),
+	}
+	var tr Tracker
+	for _, cs := range sets {
+		tr.Add(cs)
+	}
+	regions := tr.Flush()
+	if len(regions) != 2 {
+		t.Fatalf("got %d regions, want 2", len(regions))
+	}
+	if len(regions[0].Sets) != 3 {
+		t.Errorf("region 1 has %d sets, want 3", len(regions[0].Sets))
+	}
+	if len(regions[1].Sets) != 5 {
+		t.Errorf("region 2 has %d sets, want 5", len(regions[1].Sets))
+	}
+	if got := regions[1].TupleCount(); got != 6 {
+		t.Errorf("region 2 tuple count = %d, want 6 (seqs 30..80)", got)
+	}
+	min, max := regions[1].Cover()
+	if !min.Equal(at(30)) || !max.Equal(at(80)) {
+		t.Errorf("region 2 cover = [%v, %v], want [30ms, 80ms]", min, max)
+	}
+}
+
+func TestReadyBlockedByOpenSet(t *testing.T) {
+	var tr Tracker
+	tr.Add(setSpan("A", 0, 0, 10))
+	// An open set started at 5ms (inside the cover): region must wait.
+	if got := tr.Ready([]time.Time{at(5)}, at(20)); got != nil {
+		t.Fatalf("Ready returned %v while an open set overlaps", got)
+	}
+	if tr.PendingSets() != 1 {
+		t.Error("blocked set must stay pending")
+	}
+	// Open set now starts after the cover: region closes.
+	regions := tr.Ready([]time.Time{at(11)}, at(20))
+	if len(regions) != 1 {
+		t.Fatalf("Ready = %v, want the region", regions)
+	}
+	if tr.PendingSets() != 0 {
+		t.Error("emitted region left sets pending")
+	}
+}
+
+func TestReadyBlockedByStreamTime(t *testing.T) {
+	var tr Tracker
+	tr.Add(setSpan("A", 0, 0, 30))
+	// Stream has only advanced to 20ms (< cover end): not ready, because
+	// a set touching the cover could still open at time 30.
+	if got := tr.Ready(nil, at(20)); got != nil {
+		t.Fatalf("Ready = %v before stream reached cover end", got)
+	}
+	if got := tr.Ready(nil, at(30)); len(got) != 1 {
+		t.Fatalf("Ready = %v at cover end, want region", got)
+	}
+}
+
+func TestReadyEmitsOnlyFinalComponents(t *testing.T) {
+	var tr Tracker
+	tr.Add(setSpan("A", 0, 0, 10))
+	tr.Add(setSpan("B", 0, 40, 50)) // later component, still growable
+	regions := tr.Ready([]time.Time{at(45)}, at(50))
+	if len(regions) != 1 {
+		t.Fatalf("got %d regions, want 1 (the early component)", len(regions))
+	}
+	if _, max := regions[0].Cover(); !max.Equal(at(10)) {
+		t.Errorf("emitted region cover end = %v, want 10ms", max)
+	}
+	if tr.PendingSets() != 1 {
+		t.Errorf("pending = %d, want 1", tr.PendingSets())
+	}
+}
+
+func TestTouchingCoversConnect(t *testing.T) {
+	var tr Tracker
+	tr.Add(setSpan("A", 0, 0, 10))
+	tr.Add(setSpan("B", 0, 10, 20)) // shares boundary timestamp
+	regions := tr.Flush()
+	if len(regions) != 1 {
+		t.Fatalf("touching covers produced %d regions, want 1", len(regions))
+	}
+}
+
+func TestTransitiveConnectivity(t *testing.T) {
+	// A [0,10], C [40,50] disjoint; B [5,45] bridges them (Definition 3).
+	var tr Tracker
+	tr.Add(setSpan("A", 0, 0, 10))
+	tr.Add(setSpan("C", 0, 40, 50))
+	tr.Add(setSpan("B", 0, 5, 45))
+	regions := tr.Flush()
+	if len(regions) != 1 {
+		t.Fatalf("bridged sets produced %d regions, want 1", len(regions))
+	}
+	if len(regions[0].Sets) != 3 {
+		t.Errorf("region sets = %d, want 3", len(regions[0].Sets))
+	}
+}
+
+func TestEarliestPending(t *testing.T) {
+	var tr Tracker
+	if _, ok := tr.EarliestPending(); ok {
+		t.Error("EarliestPending on empty tracker should report none")
+	}
+	tr.Add(setSpan("B", 0, 40, 50))
+	tr.Add(setSpan("A", 0, 20, 30))
+	got, ok := tr.EarliestPending()
+	if !ok || !got.Equal(at(20)) {
+		t.Errorf("EarliestPending = %v, %v; want 20ms", got, ok)
+	}
+}
+
+func TestClosedByCut(t *testing.T) {
+	cut := setSpan("A", 0, 0)
+	cut.ClosedByCut = true
+	r := &Region{Sets: []*filter.CandidateSet{setSpan("B", 0, 0), cut}}
+	if !r.ClosedByCut() {
+		t.Error("ClosedByCut = false for region with a cut set")
+	}
+	r2 := &Region{Sets: []*filter.CandidateSet{setSpan("B", 0, 0)}}
+	if r2.ClosedByCut() {
+		t.Error("ClosedByCut = true for region without cut sets")
+	}
+}
+
+func TestFlushEmptiesTracker(t *testing.T) {
+	var tr Tracker
+	if got := tr.Flush(); got != nil {
+		t.Errorf("Flush on empty tracker = %v", got)
+	}
+	tr.Add(setSpan("A", 0, 0))
+	tr.Add(setSpan("B", 0, 100))
+	regions := tr.Flush()
+	if len(regions) != 2 || tr.PendingSets() != 0 {
+		t.Errorf("Flush = %d regions, pending %d; want 2, 0", len(regions), tr.PendingSets())
+	}
+}

@@ -1,0 +1,87 @@
+package solar
+
+import (
+	"sync"
+	"testing"
+
+	"gasf/internal/core"
+	"gasf/internal/filter"
+	"gasf/internal/trace"
+	"gasf/internal/tuple"
+)
+
+// TestMultiSourceSystem: two independent sources with separate subscriber
+// groups coexist on one overlay; deliveries never cross sources.
+func TestMultiSourceSystem(t *testing.T) {
+	net := testNet(t)
+	s, err := NewSystem(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Source 1: the temperature example with two apps.
+	if err := s.RegisterSource("temp", net.NodeByIndex(0), core.Options{Algorithm: core.RG}); err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range []struct {
+		app          string
+		delta, slack float64
+	}{{"tA", 50, 10}, {"tB", 40, 5}} {
+		f, err := filter.NewDC1(spec.app, "temperature", spec.delta, spec.slack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Subscribe("temp", Subscription{App: spec.app, Node: net.NodeByIndex(i + 1), Filter: f}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Source 2: a cow collar with one app under PS.
+	if err := s.RegisterSource("cow", net.NodeByIndex(3), core.Options{Algorithm: core.PS}); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := filter.NewDC1("herd", "E-orient", 2.0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe("cow", Subscription{App: "herd", Node: net.NodeByIndex(4), Filter: cf}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+
+	cow, err := trace.Cow(trace.Config{N: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	bySource := make(map[string]map[string]int)
+	results, err := s.RunSeries(map[string]*tuple.Series{
+		"temp": trace.PaperExample(),
+		"cow":  cow,
+	}, func(d Delivery) {
+		mu.Lock()
+		defer mu.Unlock()
+		if bySource[d.Source] == nil {
+			bySource[d.Source] = make(map[string]int)
+		}
+		bySource[d.Source][d.App]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results for %d sources, want 2", len(results))
+	}
+	if bySource["temp"]["herd"] != 0 || bySource["cow"]["tA"] != 0 {
+		t.Errorf("cross-source delivery: %v", bySource)
+	}
+	if bySource["temp"]["tA"] == 0 || bySource["temp"]["tB"] == 0 {
+		t.Errorf("temp apps missing deliveries: %v", bySource)
+	}
+	if bySource["cow"]["herd"] == 0 {
+		t.Errorf("cow app missing deliveries: %v", bySource)
+	}
+}

@@ -1,0 +1,327 @@
+// Package solar is a small data-dissemination middleware in the mold of
+// the Solar system the prototype integrates with (§4.1.1): sources publish
+// streams via source proxies on overlay nodes, applications subscribe with
+// quality specifications, and the middleware deploys a group-aware
+// filtering engine on each source node, multiplexes the filters' decided
+// outputs, and disseminates them through Scribe-style application-level
+// multicast trees.
+//
+// Two execution modes are provided: RunSeries replays finite traces
+// synchronously (deterministic, used by experiments), and Serve runs one
+// goroutine per source over live tuple channels (used by the streaming
+// examples).
+package solar
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gasf/internal/core"
+	"gasf/internal/filter"
+	"gasf/internal/multicast"
+	"gasf/internal/overlay"
+	"gasf/internal/tuple"
+	"gasf/internal/wire"
+)
+
+// Delivery is one tuple arriving at one application.
+type Delivery struct {
+	Source string
+	App    string
+	Tuple  *tuple.Tuple
+	// Latency is the end-to-end filtering-plus-network latency: release
+	// delay at the source node plus the multicast path delay.
+	Latency time.Duration
+}
+
+// Subscription describes one application's interest in a source.
+type Subscription struct {
+	App    string
+	Node   overlay.NodeID
+	Filter filter.Filter
+}
+
+// sourceReg is the per-source state.
+type sourceReg struct {
+	name   string
+	node   overlay.NodeID
+	opts   core.Options
+	subs   []Subscription
+	engine *core.Engine
+	tree   *multicast.Tree
+}
+
+// System wires sources, subscriptions, engines and multicast trees
+// together. Configure with RegisterSource/Subscribe, then call Deploy once;
+// after that use RunSeries or Serve.
+type System struct {
+	net  *overlay.Network
+	acct *multicast.Accounting
+
+	mu       sync.Mutex
+	sources  map[string]*sourceReg
+	deployed bool
+}
+
+// NewSystem creates a system over the given overlay.
+func NewSystem(net *overlay.Network) (*System, error) {
+	if net == nil {
+		return nil, fmt.Errorf("solar: nil network")
+	}
+	return &System{
+		net:     net,
+		acct:    multicast.NewAccounting(),
+		sources: make(map[string]*sourceReg),
+	}, nil
+}
+
+// Accounting exposes the link-traffic ledger.
+func (s *System) Accounting() *multicast.Accounting { return s.acct }
+
+// RegisterSource announces a source hosted on the given node. The engine
+// options configure the group-aware filtering service deployed there.
+func (s *System) RegisterSource(name string, node overlay.NodeID, opts core.Options) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.deployed {
+		return fmt.Errorf("solar: cannot register source %q after Deploy", name)
+	}
+	if _, dup := s.sources[name]; dup {
+		return fmt.Errorf("solar: source %q already registered", name)
+	}
+	s.sources[name] = &sourceReg{name: name, node: node, opts: opts}
+	return nil
+}
+
+// Subscribe attaches an application's filter to a source. The filter's ID
+// must equal the application name; it becomes the multicast destination
+// label.
+func (s *System) Subscribe(source string, sub Subscription) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.deployed {
+		return fmt.Errorf("solar: cannot subscribe after Deploy")
+	}
+	reg, ok := s.sources[source]
+	if !ok {
+		return fmt.Errorf("solar: unknown source %q", source)
+	}
+	if sub.Filter == nil {
+		return fmt.Errorf("solar: subscription for %q has no filter", sub.App)
+	}
+	if sub.Filter.ID() != sub.App {
+		return fmt.Errorf("solar: filter id %q must match app name %q", sub.Filter.ID(), sub.App)
+	}
+	for _, existing := range reg.subs {
+		if existing.App == sub.App {
+			return fmt.Errorf("solar: app %q already subscribed to %q", sub.App, source)
+		}
+	}
+	reg.subs = append(reg.subs, sub)
+	return nil
+}
+
+// Deploy instantiates a group-aware engine on every source node and builds
+// the multicast tree from the source node to the subscriber nodes.
+func (s *System) Deploy() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.deployed {
+		return fmt.Errorf("solar: already deployed")
+	}
+	names := make([]string, 0, len(s.sources))
+	for name := range s.sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		reg := s.sources[name]
+		if len(reg.subs) == 0 {
+			return fmt.Errorf("solar: source %q has no subscribers", name)
+		}
+		filters := make([]filter.Filter, len(reg.subs))
+		members := make(map[string]overlay.NodeID, len(reg.subs))
+		for i, sub := range reg.subs {
+			filters[i] = sub.Filter
+			members[sub.App] = sub.Node
+		}
+		engine, err := core.NewEngine(filters, reg.opts)
+		if err != nil {
+			return fmt.Errorf("solar: source %q: %w", name, err)
+		}
+		tree, err := multicast.BuildTree(s.net, reg.node, members)
+		if err != nil {
+			return fmt.Errorf("solar: source %q: %w", name, err)
+		}
+		reg.engine, reg.tree = engine, tree
+	}
+	s.deployed = true
+	return nil
+}
+
+// TupleSizeBytes returns the wire size of an unlabeled tuple, using the
+// dissemination layer's binary encoding.
+func TupleSizeBytes(t *tuple.Tuple) int { return wire.TupleSize(t) }
+
+// disseminate pushes the engine's new transmissions through the source's
+// multicast tree, accounting the real encoded size of each labeled
+// message.
+func (s *System) disseminate(reg *sourceReg, from int, deliver func(Delivery)) (int, error) {
+	trs := reg.engine.Result().Transmissions
+	for ; from < len(trs); from++ {
+		tr := trs[from]
+		ds, err := reg.tree.MulticastSized(tr.Destinations, func(branch []string) int {
+			// Forwarding nodes prune labels per branch.
+			return wire.TransmissionSize(tr.Tuple, branch)
+		}, s.acct)
+		if err != nil {
+			return from, fmt.Errorf("solar: source %q: %w", reg.name, err)
+		}
+		// Release delay at the source node: how long the tuple waited
+		// for its group decision.
+		wait := tr.ReleasedAt.Sub(tr.Tuple.TS)
+		for _, d := range ds {
+			deliver(Delivery{
+				Source:  reg.name,
+				App:     d.App,
+				Tuple:   tr.Tuple,
+				Latency: wait + d.Delay,
+			})
+		}
+	}
+	return from, nil
+}
+
+// RunSeries synchronously replays one finite series per source through the
+// deployed engines and multicast trees, invoking deliver for every
+// application delivery. It returns the per-source engine results.
+func (s *System) RunSeries(series map[string]*tuple.Series, deliver func(Delivery)) (map[string]*core.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.deployed {
+		return nil, fmt.Errorf("solar: RunSeries before Deploy")
+	}
+	if deliver == nil {
+		deliver = func(Delivery) {}
+	}
+	results := make(map[string]*core.Result, len(series))
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		reg, ok := s.sources[name]
+		if !ok {
+			return nil, fmt.Errorf("solar: unknown source %q", name)
+		}
+		sr := series[name]
+		sent := 0
+		for i := 0; i < sr.Len(); i++ {
+			if err := reg.engine.Step(sr.At(i)); err != nil {
+				return nil, fmt.Errorf("solar: source %q: %w", name, err)
+			}
+			var err error
+			sent, err = s.disseminate(reg, sent, deliver)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := reg.engine.Finish(); err != nil {
+			return nil, fmt.Errorf("solar: source %q: %w", name, err)
+		}
+		if _, err := s.disseminate(reg, sent, deliver); err != nil {
+			return nil, err
+		}
+		results[name] = reg.engine.Result()
+	}
+	return results, nil
+}
+
+// Serve runs one goroutine per source, consuming live tuples from the
+// given channels until they close or ctx is cancelled. deliver is invoked
+// from the source goroutines and must be safe for concurrent use (or the
+// caller serializes by source). Serve returns after all sources drain.
+func (s *System) Serve(ctx context.Context, inputs map[string]<-chan *tuple.Tuple, deliver func(Delivery)) error {
+	s.mu.Lock()
+	if !s.deployed {
+		s.mu.Unlock()
+		return fmt.Errorf("solar: Serve before Deploy")
+	}
+	regs := make([]*sourceReg, 0, len(inputs))
+	for name := range inputs {
+		reg, ok := s.sources[name]
+		if !ok {
+			s.mu.Unlock()
+			return fmt.Errorf("solar: unknown source %q", name)
+		}
+		regs = append(regs, reg)
+	}
+	s.mu.Unlock()
+	if deliver == nil {
+		deliver = func(Delivery) {}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(regs))
+	for _, reg := range regs {
+		in := inputs[reg.name]
+		wg.Add(1)
+		go func(reg *sourceReg, in <-chan *tuple.Tuple) {
+			defer wg.Done()
+			sent := 0
+			for {
+				select {
+				case <-ctx.Done():
+					errs <- ctx.Err()
+					return
+				case t, ok := <-in:
+					if !ok {
+						if err := reg.engine.Finish(); err != nil {
+							errs <- err
+							return
+						}
+						if _, err := s.disseminate(reg, sent, deliver); err != nil {
+							errs <- err
+						}
+						return
+					}
+					if err := reg.engine.Step(t); err != nil {
+						errs <- err
+						return
+					}
+					var err error
+					sent, err = s.disseminate(reg, sent, deliver)
+					if err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(reg, in)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Results returns the per-source engine results accumulated so far.
+func (s *System) Results() map[string]*core.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*core.Result, len(s.sources))
+	for name, reg := range s.sources {
+		if reg.engine != nil {
+			out[name] = reg.engine.Result()
+		}
+	}
+	return out
+}

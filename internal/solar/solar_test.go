@@ -1,0 +1,320 @@
+package solar
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"gasf/internal/core"
+	"gasf/internal/filter"
+	"gasf/internal/overlay"
+	"gasf/internal/trace"
+	"gasf/internal/tuple"
+)
+
+func testNet(t *testing.T) *overlay.Network {
+	t.Helper()
+	n, err := overlay.New(overlay.Config{Nodes: 7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func dcFilter(t *testing.T, id string, delta, slack float64) filter.Filter {
+	t.Helper()
+	f, err := filter.NewDC1(id, "temperature", delta, slack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func buildSystem(t *testing.T, opts core.Options) (*System, *overlay.Network) {
+	t.Helper()
+	net := testNet(t)
+	s, err := NewSystem(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterSource("temp", net.NodeByIndex(0), opts); err != nil {
+		t.Fatal(err)
+	}
+	subs := []struct {
+		app          string
+		delta, slack float64
+	}{
+		{"A", 50, 10}, {"B", 40, 5}, {"C", 80, 25},
+	}
+	for i, sub := range subs {
+		err := s.Subscribe("temp", Subscription{
+			App:    sub.app,
+			Node:   net.NodeByIndex(i + 1),
+			Filter: dcFilter(t, sub.app, sub.delta, sub.slack),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	return s, net
+}
+
+func TestRunSeriesDeliversPaperExample(t *testing.T) {
+	s, _ := buildSystem(t, core.Options{Algorithm: core.RG})
+	var mu sync.Mutex
+	perApp := make(map[string][]float64)
+	results, err := s.RunSeries(map[string]*tuple.Series{"temp": trace.PaperExample()},
+		func(d Delivery) {
+			mu.Lock()
+			defer mu.Unlock()
+			perApp[d.App] = append(perApp[d.App], d.Tuple.ValueAt(0))
+			if d.Latency <= 0 {
+				t.Errorf("non-positive latency for %s", d.App)
+			}
+			if d.Source != "temp" {
+				t.Errorf("source = %q", d.Source)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 2.8 outcome: A and B receive {0, 50, 100}; C receives {0, 100}.
+	want := map[string][]float64{
+		"A": {0, 50, 100},
+		"B": {0, 50, 100},
+		"C": {0, 100},
+	}
+	for app, w := range want {
+		got := perApp[app]
+		if len(got) != len(w) {
+			t.Fatalf("app %s received %v, want %v", app, got, w)
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Errorf("app %s delivery %d = %g, want %g", app, i, got[i], w[i])
+			}
+		}
+	}
+	if results["temp"].Stats.DistinctOutputs != 3 {
+		t.Errorf("distinct outputs = %d, want 3", results["temp"].Stats.DistinctOutputs)
+	}
+	if s.Accounting().TotalBytes() == 0 {
+		t.Error("no multicast traffic accounted")
+	}
+}
+
+// TestBandwidthOrdering reproduces the Fig 1.3 trade-off: no filtering
+// moves the most bytes, self-interested filtering fewer, group-aware
+// filtering the fewest.
+func TestBandwidthOrdering(t *testing.T) {
+	sr, err := trace.NAMOS(trace.Config{N: 1500, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkFilters := func() []filter.Filter {
+		f1, _ := filter.NewDC1("A", "fluoro", 0.10, 0.05)
+		f2, _ := filter.NewDC1("B", "fluoro", 0.22, 0.10)
+		f3, _ := filter.NewDC1("C", "fluoro", 0.16, 0.08)
+		return []filter.Filter{f1, f2, f3}
+	}
+	run := func(transmissions []core.Transmission) int64 {
+		net := testNet(t)
+		s, err := NewSystem(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RegisterSource("buoy", net.NodeByIndex(0), core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		for i, f := range mkFilters() {
+			if err := s.Subscribe("buoy", Subscription{App: f.ID(), Node: net.NodeByIndex(i + 1), Filter: f}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Deploy(); err != nil {
+			t.Fatal(err)
+		}
+		reg := s.sources["buoy"]
+		for _, tr := range transmissions {
+			if _, err := reg.tree.Multicast(tr.Destinations, TupleSizeBytes(tr.Tuple), s.acct); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Accounting().TotalBytes()
+	}
+
+	ga, err := core.Run(mkFilters(), sr, core.Options{Algorithm: core.RG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := core.RunSelfInterested(mkFilters(), sr, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No filtering: every tuple to every app.
+	var raw []core.Transmission
+	for i := 0; i < sr.Len(); i++ {
+		raw = append(raw, core.Transmission{
+			Tuple: sr.At(i), Destinations: []string{"A", "B", "C"}, ReleasedAt: sr.At(i).TS,
+		})
+	}
+	rawBytes := run(raw)
+	siBytes := run(si.Transmissions)
+	gaBytes := run(ga.Transmissions)
+	if !(gaBytes <= siBytes && siBytes < rawBytes) {
+		t.Errorf("wired bandwidth ordering violated: GA %d, SI %d, raw %d", gaBytes, siBytes, rawBytes)
+	}
+}
+
+// TestWirelessBandwidthOrdering checks the paper's actual medium model: on
+// a shared wireless medium each forwarding node transmits a tuple once, so
+// the source's send count equals the output union — where group-aware
+// filtering strictly wins.
+func TestWirelessBandwidthOrdering(t *testing.T) {
+	sr, err := trace.NAMOS(trace.Config{N: 1500, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkFilters := func() []filter.Filter {
+		f1, _ := filter.NewDC1("A", "fluoro", 0.10, 0.05)
+		f2, _ := filter.NewDC1("B", "fluoro", 0.22, 0.10)
+		f3, _ := filter.NewDC1("C", "fluoro", 0.16, 0.08)
+		return []filter.Filter{f1, f2, f3}
+	}
+	wireless := func(transmissions []core.Transmission) int64 {
+		net := testNet(t)
+		s, err := NewSystem(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RegisterSource("buoy", net.NodeByIndex(0), core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		for i, f := range mkFilters() {
+			if err := s.Subscribe("buoy", Subscription{App: f.ID(), Node: net.NodeByIndex(i + 1), Filter: f}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Deploy(); err != nil {
+			t.Fatal(err)
+		}
+		reg := s.sources["buoy"]
+		for _, tr := range transmissions {
+			if _, err := reg.tree.Multicast(tr.Destinations, TupleSizeBytes(tr.Tuple), s.acct); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Accounting().WirelessBytes()
+	}
+	ga, err := core.Run(mkFilters(), sr, core.Options{Algorithm: core.RG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := core.RunSelfInterested(mkFilters(), sr, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaBytes, siBytes := wireless(ga.Transmissions), wireless(si.Transmissions)
+	if gaBytes >= siBytes {
+		t.Errorf("wireless bytes: GA %d not below SI %d", gaBytes, siBytes)
+	}
+}
+
+func TestServeLiveStream(t *testing.T) {
+	s, _ := buildSystem(t, core.Options{Algorithm: core.PS, Strategy: core.PerCandidateSet})
+	in := make(chan *tuple.Tuple)
+	go func() {
+		sr := trace.PaperExample()
+		for i := 0; i < sr.Len(); i++ {
+			in <- sr.At(i)
+		}
+		close(in)
+	}()
+	var mu sync.Mutex
+	count := 0
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := s.Serve(ctx, map[string]<-chan *tuple.Tuple{"temp": in}, func(d Delivery) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 2.11: deliveries are 0->{A,B,C}, 50->{B}, 50->{A},
+	// 100->{A,B,C} = 8 app deliveries.
+	if count != 8 {
+		t.Errorf("deliveries = %d, want 8", count)
+	}
+}
+
+func TestServeCancellation(t *testing.T) {
+	s, _ := buildSystem(t, core.Options{})
+	in := make(chan *tuple.Tuple) // never fed, never closed
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Serve(ctx, map[string]<-chan *tuple.Tuple{"temp": in}, nil)
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("Serve should report cancellation")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after cancel")
+	}
+}
+
+func TestConfigurationErrors(t *testing.T) {
+	net := testNet(t)
+	s, err := NewSystem(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSystem(nil); err == nil {
+		t.Error("nil network should fail")
+	}
+	if err := s.Subscribe("ghost", Subscription{App: "A", Filter: dcFilter(t, "A", 1, 0.4)}); err == nil {
+		t.Error("subscribe to unknown source should fail")
+	}
+	if err := s.RegisterSource("x", net.NodeByIndex(0), core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterSource("x", net.NodeByIndex(0), core.Options{}); err == nil {
+		t.Error("duplicate source should fail")
+	}
+	if err := s.Subscribe("x", Subscription{App: "A", Filter: dcFilter(t, "MISMATCH", 1, 0.4)}); err == nil {
+		t.Error("filter/app id mismatch should fail")
+	}
+	if err := s.Subscribe("x", Subscription{App: "A"}); err == nil {
+		t.Error("nil filter should fail")
+	}
+	if err := s.Deploy(); err == nil {
+		t.Error("deploy with subscriber-less source should fail")
+	}
+	if err := s.Subscribe("x", Subscription{App: "A", Node: net.NodeByIndex(1), Filter: dcFilter(t, "A", 1, 0.4)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe("x", Subscription{App: "A", Node: net.NodeByIndex(2), Filter: dcFilter(t, "A", 2, 0.9)}); err == nil {
+		t.Error("duplicate app subscription should fail")
+	}
+	if err := s.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Deploy(); err == nil {
+		t.Error("double deploy should fail")
+	}
+	if err := s.RegisterSource("late", net.NodeByIndex(0), core.Options{}); err == nil {
+		t.Error("register after deploy should fail")
+	}
+	if _, err := s.RunSeries(map[string]*tuple.Series{"ghost": trace.PaperExample()}, nil); err == nil {
+		t.Error("run with unknown source should fail")
+	}
+}

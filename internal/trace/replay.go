@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"context"
+	"time"
+
+	"gasf/internal/tuple"
+)
+
+// Replayer turns a finite Series back into a live stream, the way the
+// prototype replays NAMOS traces as Solar sources (§4.1.2). It supports two
+// pacing modes:
+//
+//   - paced (Realtime=true): tuples are emitted observing their original
+//     inter-arrival intervals, scaled by Speedup;
+//   - unpaced (Realtime=false): tuples are emitted as fast as the consumer
+//     drains them, which is what the deterministic virtual-clock experiments
+//     use.
+type Replayer struct {
+	// Series is the trace to replay.
+	Series *tuple.Series
+	// Realtime enables wall-clock pacing.
+	Realtime bool
+	// Speedup divides the original intervals when Realtime is set;
+	// 0 or 1 means original speed.
+	Speedup float64
+}
+
+// Run emits every tuple of the series on out, in order, and then closes out.
+// It stops early when ctx is cancelled. Run always closes out before
+// returning so consumers can range over the channel.
+func (r *Replayer) Run(ctx context.Context, out chan<- *tuple.Tuple) error {
+	defer close(out)
+	speed := r.Speedup
+	if speed <= 0 {
+		speed = 1
+	}
+	n := r.Series.Len()
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		t := r.Series.At(i)
+		if r.Realtime && i > 0 {
+			gap := t.TS.Sub(r.Series.At(i - 1).TS)
+			gap = time.Duration(float64(gap) / speed)
+			if gap > 0 {
+				if timer == nil {
+					timer = time.NewTimer(gap)
+				} else {
+					timer.Reset(gap)
+				}
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+		}
+		select {
+		case out <- t:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}

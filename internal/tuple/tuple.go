@@ -1,0 +1,260 @@
+// Package tuple defines the data model shared by every layer of the
+// group-aware stream filtering system: schemas, timestamped tuples, and
+// finite series of tuples.
+//
+// The paper (§2.2.1) models a data source as an infinite, time-ordered
+// series of self-describing tuples, each a collection of attribute-value
+// pairs timestamped at the originating source. We fix a per-source Schema
+// (ordered attribute names) so tuples can store values in a flat slice,
+// which keeps the hot filtering path allocation-free.
+package tuple
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Schema is an immutable, ordered set of attribute names for one source.
+// A Schema must be created with NewSchema; the zero value is unusable.
+type Schema struct {
+	names []string
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given attribute names.
+// Names must be unique and non-empty.
+func NewSchema(names ...string) (*Schema, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("tuple: schema needs at least one attribute")
+	}
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("tuple: empty attribute name at position %d", i)
+		}
+		if _, dup := idx[n]; dup {
+			return nil, fmt.Errorf("tuple: duplicate attribute %q", n)
+		}
+		idx[n] = i
+	}
+	cp := make([]string, len(names))
+	copy(cp, names)
+	return &Schema{names: cp, index: idx}, nil
+}
+
+// MustSchema is NewSchema that panics on error; intended for tests,
+// examples, and compile-time-constant schemas.
+func MustSchema(names ...string) *Schema {
+	s, err := NewSchema(names...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.names) }
+
+// Names returns a copy of the attribute names in schema order.
+func (s *Schema) Names() []string {
+	cp := make([]string, len(s.names))
+	copy(cp, s.names)
+	return cp
+}
+
+// Index returns the position of the named attribute, or an error if the
+// attribute is not part of the schema.
+func (s *Schema) Index(name string) (int, error) {
+	i, ok := s.index[name]
+	if !ok {
+		return 0, fmt.Errorf("tuple: attribute %q not in schema [%s]", name, strings.Join(s.names, ", "))
+	}
+	return i, nil
+}
+
+// Has reports whether the schema contains the named attribute.
+func (s *Schema) Has(name string) bool {
+	_, ok := s.index[name]
+	return ok
+}
+
+// String implements fmt.Stringer.
+func (s *Schema) String() string {
+	return "(" + strings.Join(s.names, ", ") + ")"
+}
+
+// Tuple is one item of a stream: a sequence number assigned by the source,
+// a source timestamp, and one value per schema attribute.
+//
+// Tuples are treated as immutable once emitted by a source; filters do data
+// selection only (§1.2) and never modify values (the data-accuracy
+// requirement of §3.1).
+type Tuple struct {
+	// Seq is the 0-based position of the tuple in its source stream.
+	Seq int
+	// TS is the source timestamp.
+	TS time.Time
+	// Values holds one value per schema attribute, in schema order.
+	Values []float64
+
+	schema *Schema
+}
+
+// New creates a tuple bound to the given schema. The values slice is copied
+// so the caller may reuse its buffer.
+func New(s *Schema, seq int, ts time.Time, values []float64) (*Tuple, error) {
+	if s == nil {
+		return nil, fmt.Errorf("tuple: nil schema")
+	}
+	if len(values) != s.Len() {
+		return nil, fmt.Errorf("tuple: got %d values for schema of %d attributes", len(values), s.Len())
+	}
+	v := make([]float64, len(values))
+	copy(v, values)
+	return &Tuple{Seq: seq, TS: ts, Values: v, schema: s}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(s *Schema, seq int, ts time.Time, values []float64) *Tuple {
+	t, err := New(s, seq, ts, values)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Schema returns the tuple's schema.
+func (t *Tuple) Schema() *Schema { return t.schema }
+
+// Value returns the value of the named attribute.
+func (t *Tuple) Value(name string) (float64, error) {
+	i, err := t.schema.Index(name)
+	if err != nil {
+		return 0, err
+	}
+	return t.Values[i], nil
+}
+
+// ValueAt returns the value at schema position i.
+func (t *Tuple) ValueAt(i int) float64 { return t.Values[i] }
+
+// String implements fmt.Stringer; it prints the seq, timestamp offset and
+// the attribute values.
+func (t *Tuple) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d@%s{", t.Seq, t.TS.Format("15:04:05.000"))
+	for i, n := range t.schema.names {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%g", n, t.Values[i])
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Series is a finite, time-ordered sequence of tuples sharing one schema.
+type Series struct {
+	schema *Schema
+	tuples []*Tuple
+}
+
+// NewSeries creates an empty series for the schema.
+func NewSeries(s *Schema) *Series {
+	return &Series{schema: s}
+}
+
+// SeriesOf builds a series from existing tuples, validating ordering and
+// schema consistency.
+func SeriesOf(s *Schema, tuples []*Tuple) (*Series, error) {
+	sr := NewSeries(s)
+	for _, t := range tuples {
+		if err := sr.Append(t); err != nil {
+			return nil, err
+		}
+	}
+	return sr, nil
+}
+
+// Append adds a tuple to the series. The tuple must use the series schema
+// and must not move time backwards.
+func (sr *Series) Append(t *Tuple) error {
+	if t.schema != sr.schema {
+		return fmt.Errorf("tuple: tuple schema %v differs from series schema %v", t.schema, sr.schema)
+	}
+	if n := len(sr.tuples); n > 0 && t.TS.Before(sr.tuples[n-1].TS) {
+		return fmt.Errorf("tuple: out-of-order tuple %d (ts %v before %v)", t.Seq, t.TS, sr.tuples[n-1].TS)
+	}
+	sr.tuples = append(sr.tuples, t)
+	return nil
+}
+
+// Len returns the number of tuples in the series.
+func (sr *Series) Len() int { return len(sr.tuples) }
+
+// At returns the i-th tuple.
+func (sr *Series) At(i int) *Tuple { return sr.tuples[i] }
+
+// Schema returns the series schema.
+func (sr *Series) Schema() *Schema { return sr.schema }
+
+// Tuples returns a copy of the underlying tuple slice. Tuples themselves are
+// shared (they are immutable by convention).
+func (sr *Series) Tuples() []*Tuple {
+	cp := make([]*Tuple, len(sr.tuples))
+	copy(cp, sr.tuples)
+	return cp
+}
+
+// Slice returns the sub-series [from, to).
+func (sr *Series) Slice(from, to int) (*Series, error) {
+	if from < 0 || to > len(sr.tuples) || from > to {
+		return nil, fmt.Errorf("tuple: slice [%d,%d) out of range 0..%d", from, to, len(sr.tuples))
+	}
+	return &Series{schema: sr.schema, tuples: sr.tuples[from:to]}, nil
+}
+
+// Column extracts the values of one attribute across the whole series.
+func (sr *Series) Column(name string) ([]float64, error) {
+	i, err := sr.schema.Index(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(sr.tuples))
+	for j, t := range sr.tuples {
+		out[j] = t.Values[i]
+	}
+	return out, nil
+}
+
+// MeanAbsChange computes srcStatistics for one attribute: the mean absolute
+// change between consecutive tuples (§4.3). It is the quantity the paper
+// uses to pick delta values for delta-compression filters.
+func (sr *Series) MeanAbsChange(name string) (float64, error) {
+	col, err := sr.Column(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(col) < 2 {
+		return 0, fmt.Errorf("tuple: series too short (%d tuples) for change statistics", len(col))
+	}
+	sum := 0.0
+	for i := 1; i < len(col); i++ {
+		d := col[i] - col[i-1]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(col)-1), nil
+}
+
+// SortedBySeq reports whether tuple sequence numbers are strictly increasing;
+// every source generator must guarantee this.
+func (sr *Series) SortedBySeq() bool {
+	return sort.SliceIsSorted(sr.tuples, func(i, j int) bool {
+		return sr.tuples[i].Seq < sr.tuples[j].Seq
+	})
+}

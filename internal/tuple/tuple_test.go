@@ -1,0 +1,274 @@
+package tuple
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ts(ms int) time.Time {
+	return time.Unix(0, 0).Add(time.Duration(ms) * time.Millisecond)
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		attrs   []string
+		wantErr bool
+	}{
+		{"empty", nil, true},
+		{"single", []string{"a"}, false},
+		{"duplicate", []string{"a", "b", "a"}, true},
+		{"blank name", []string{"a", ""}, true},
+		{"namos", []string{"tmpr1", "tmpr2", "tmpr3", "tmpr4", "tmpr5", "tmpr6", "fluoro"}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSchema(tc.attrs...)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("NewSchema(%v) error = %v, wantErr %v", tc.attrs, err, tc.wantErr)
+			}
+			if err == nil && s.Len() != len(tc.attrs) {
+				t.Errorf("Len() = %d, want %d", s.Len(), len(tc.attrs))
+			}
+		})
+	}
+}
+
+func TestSchemaIndexAndHas(t *testing.T) {
+	s := MustSchema("x", "y", "z")
+	for i, n := range []string{"x", "y", "z"} {
+		got, err := s.Index(n)
+		if err != nil {
+			t.Fatalf("Index(%q) error: %v", n, err)
+		}
+		if got != i {
+			t.Errorf("Index(%q) = %d, want %d", n, got, i)
+		}
+		if !s.Has(n) {
+			t.Errorf("Has(%q) = false, want true", n)
+		}
+	}
+	if _, err := s.Index("missing"); err == nil {
+		t.Error("Index(missing) should fail")
+	}
+	if s.Has("missing") {
+		t.Error("Has(missing) = true, want false")
+	}
+}
+
+func TestSchemaNamesIsCopy(t *testing.T) {
+	s := MustSchema("a", "b")
+	names := s.Names()
+	names[0] = "mutated"
+	if got, _ := s.Index("a"); got != 0 {
+		t.Error("mutating Names() result affected schema")
+	}
+	if s.Names()[0] != "a" {
+		t.Error("schema names were mutated through Names()")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema with duplicate names should panic")
+		}
+	}()
+	MustSchema("a", "a")
+}
+
+func TestNewTupleCopiesValues(t *testing.T) {
+	s := MustSchema("v")
+	buf := []float64{1.5}
+	tp, err := New(s, 0, ts(0), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99
+	if tp.ValueAt(0) != 1.5 {
+		t.Errorf("tuple value mutated through caller buffer: got %g", tp.ValueAt(0))
+	}
+}
+
+func TestNewTupleValidation(t *testing.T) {
+	s := MustSchema("a", "b")
+	if _, err := New(nil, 0, ts(0), []float64{1}); err == nil {
+		t.Error("nil schema should fail")
+	}
+	if _, err := New(s, 0, ts(0), []float64{1}); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if _, err := New(s, 0, ts(0), []float64{1, 2}); err != nil {
+		t.Errorf("valid tuple failed: %v", err)
+	}
+}
+
+func TestTupleValueByName(t *testing.T) {
+	s := MustSchema("tmpr", "fluoro")
+	tp := MustNew(s, 3, ts(30), []float64{21.5, 0.07})
+	v, err := tp.Value("fluoro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0.07 {
+		t.Errorf("Value(fluoro) = %g, want 0.07", v)
+	}
+	if _, err := tp.Value("nope"); err == nil {
+		t.Error("Value(nope) should fail")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	s := MustSchema("a")
+	tp := MustNew(s, 7, ts(10), []float64{42})
+	got := tp.String()
+	for _, want := range []string{"#7", "a=42"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+}
+
+func TestSeriesAppendOrdering(t *testing.T) {
+	s := MustSchema("v")
+	sr := NewSeries(s)
+	if err := sr.Append(MustNew(s, 0, ts(10), []float64{1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Append(MustNew(s, 1, ts(5), []float64{2})); err == nil {
+		t.Error("out-of-order append should fail")
+	}
+	if err := sr.Append(MustNew(s, 1, ts(10), []float64{2})); err != nil {
+		t.Errorf("equal-timestamp append should succeed: %v", err)
+	}
+}
+
+func TestSeriesRejectsForeignSchema(t *testing.T) {
+	s1 := MustSchema("v")
+	s2 := MustSchema("v")
+	sr := NewSeries(s1)
+	if err := sr.Append(MustNew(s2, 0, ts(0), []float64{1})); err == nil {
+		t.Error("append with different schema instance should fail")
+	}
+}
+
+func TestSeriesColumnAndSlice(t *testing.T) {
+	s := MustSchema("a", "b")
+	sr := NewSeries(s)
+	for i := 0; i < 5; i++ {
+		if err := sr.Append(MustNew(s, i, ts(i*10), []float64{float64(i), float64(i * i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col, err := sr.Column("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 4, 9, 16}
+	for i := range want {
+		if col[i] != want[i] {
+			t.Errorf("Column(b)[%d] = %g, want %g", i, col[i], want[i])
+		}
+	}
+	sub, err := sr.Slice(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 2 || sub.At(0).Seq != 1 {
+		t.Errorf("Slice(1,3) wrong: len=%d first=%d", sub.Len(), sub.At(0).Seq)
+	}
+	if _, err := sr.Slice(3, 1); err == nil {
+		t.Error("inverted slice should fail")
+	}
+	if _, err := sr.Slice(0, 99); err == nil {
+		t.Error("overlong slice should fail")
+	}
+}
+
+func TestMeanAbsChange(t *testing.T) {
+	s := MustSchema("v")
+	sr := NewSeries(s)
+	vals := []float64{0, 35, 29, 45, 50, 59, 80, 97, 100}
+	for i, v := range vals {
+		if err := sr.Append(MustNew(s, i, ts(i*10), []float64{v})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := sr.MeanAbsChange("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |35|+|−6|+|16|+|5|+|9|+|21|+|17|+|3| = 112 over 8 gaps.
+	want := 112.0 / 8.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeanAbsChange = %g, want %g", got, want)
+	}
+}
+
+func TestMeanAbsChangeTooShort(t *testing.T) {
+	s := MustSchema("v")
+	sr := NewSeries(s)
+	if err := sr.Append(MustNew(s, 0, ts(0), []float64{1})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.MeanAbsChange("v"); err == nil {
+		t.Error("MeanAbsChange on 1-tuple series should fail")
+	}
+}
+
+func TestTuplesReturnsCopy(t *testing.T) {
+	s := MustSchema("v")
+	sr := NewSeries(s)
+	if err := sr.Append(MustNew(s, 0, ts(0), []float64{1})); err != nil {
+		t.Fatal(err)
+	}
+	tps := sr.Tuples()
+	tps[0] = nil
+	if sr.At(0) == nil {
+		t.Error("mutating Tuples() result affected series")
+	}
+}
+
+// Property: MeanAbsChange is invariant under adding a constant to all values,
+// and scales linearly with the values.
+func TestMeanAbsChangeProperties(t *testing.T) {
+	s := MustSchema("v")
+	f := func(raw []int8, shiftRaw int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		shift := float64(shiftRaw)
+		base := NewSeries(s)
+		shifted := NewSeries(s)
+		scaled := NewSeries(s)
+		for i, r := range raw {
+			v := float64(r)
+			_ = base.Append(MustNew(s, i, ts(i), []float64{v}))
+			_ = shifted.Append(MustNew(s, i, ts(i), []float64{v + shift}))
+			_ = scaled.Append(MustNew(s, i, ts(i), []float64{v * 3}))
+		}
+		b, _ := base.MeanAbsChange("v")
+		sh, _ := shifted.MeanAbsChange("v")
+		sc, _ := scaled.MeanAbsChange("v")
+		return math.Abs(b-sh) < 1e-9 && math.Abs(sc-3*b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedBySeq(t *testing.T) {
+	s := MustSchema("v")
+	sr := NewSeries(s)
+	for i := 0; i < 4; i++ {
+		if err := sr.Append(MustNew(s, i, ts(i), []float64{0})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sr.SortedBySeq() {
+		t.Error("SortedBySeq = false for in-order series")
+	}
+}

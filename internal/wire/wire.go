@@ -1,0 +1,155 @@
+// Package wire implements the binary encoding of tuples and labeled
+// transmissions used by the dissemination layer. The paper's prototype
+// serializes tuples for application-level multicast (§4.1.1); this package
+// provides a compact, deterministic format so bandwidth accounting uses
+// real wire sizes rather than estimates.
+//
+// Format (all integers little-endian):
+//
+//	tuple:        u32 seq | i64 unix-nano timestamp | u16 n | n × f64
+//	transmission: u8 destination count | destinations (uvarint len + bytes) | tuple
+//
+// The schema travels out of band (it is part of the source advertisement),
+// so attribute names are not repeated per tuple.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"gasf/internal/tuple"
+)
+
+// MaxDestinations bounds the destination list of one transmission.
+const MaxDestinations = 255
+
+// maxValues bounds the per-tuple value count (a u16 on the wire).
+const maxValues = 1<<16 - 1
+
+// AppendTuple appends the encoded tuple to buf and returns the extended
+// slice.
+func AppendTuple(buf []byte, t *tuple.Tuple) ([]byte, error) {
+	if t == nil {
+		return nil, fmt.Errorf("wire: nil tuple")
+	}
+	if len(t.Values) > maxValues {
+		return nil, fmt.Errorf("wire: %d values exceed the u16 limit", len(t.Values))
+	}
+	if t.Seq < 0 || int64(t.Seq) > math.MaxUint32 {
+		return nil, fmt.Errorf("wire: sequence %d outside u32 range", t.Seq)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Seq))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.TS.UnixNano()))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t.Values)))
+	for _, v := range t.Values {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf, nil
+}
+
+// TupleSize returns the encoded size of a tuple in bytes.
+func TupleSize(t *tuple.Tuple) int { return 4 + 8 + 2 + 8*len(t.Values) }
+
+// DecodeTuple decodes one tuple bound to the given schema, returning the
+// tuple and the number of bytes consumed.
+func DecodeTuple(s *tuple.Schema, data []byte) (*tuple.Tuple, int, error) {
+	const header = 4 + 8 + 2
+	if len(data) < header {
+		return nil, 0, fmt.Errorf("wire: truncated tuple header (%d bytes)", len(data))
+	}
+	seq := binary.LittleEndian.Uint32(data)
+	ts := time.Unix(0, int64(binary.LittleEndian.Uint64(data[4:])))
+	n := int(binary.LittleEndian.Uint16(data[12:]))
+	if s != nil && n != s.Len() {
+		return nil, 0, fmt.Errorf("wire: tuple carries %d values, schema has %d", n, s.Len())
+	}
+	need := header + 8*n
+	if len(data) < need {
+		return nil, 0, fmt.Errorf("wire: truncated tuple body (%d of %d bytes)", len(data), need)
+	}
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[header+8*i:]))
+	}
+	if s == nil {
+		return nil, 0, fmt.Errorf("wire: nil schema")
+	}
+	t, err := tuple.New(s, int(seq), ts, values)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, need, nil
+}
+
+// AppendTransmission appends a destination-labeled tuple (the paper's
+// tuple-level multicast message: "the multicast protocol allows us to label
+// each tuple with the list of the applications that should receive that
+// tuple", §1.2).
+func AppendTransmission(buf []byte, t *tuple.Tuple, dests []string) ([]byte, error) {
+	if len(dests) == 0 {
+		return nil, fmt.Errorf("wire: transmission needs at least one destination")
+	}
+	if len(dests) > MaxDestinations {
+		return nil, fmt.Errorf("wire: %d destinations exceed the u8 limit", len(dests))
+	}
+	buf = append(buf, byte(len(dests)))
+	for _, d := range dests {
+		if len(d) == 0 {
+			return nil, fmt.Errorf("wire: empty destination label")
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(d)))
+		buf = append(buf, d...)
+	}
+	return AppendTuple(buf, t)
+}
+
+// TransmissionSize returns the encoded size of a labeled transmission.
+func TransmissionSize(t *tuple.Tuple, dests []string) int {
+	n := 1
+	for _, d := range dests {
+		n += uvarintLen(uint64(len(d))) + len(d)
+	}
+	return n + TupleSize(t)
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// DecodeTransmission decodes a labeled transmission, returning the tuple,
+// its destinations, and the bytes consumed.
+func DecodeTransmission(s *tuple.Schema, data []byte) (*tuple.Tuple, []string, int, error) {
+	if len(data) < 1 {
+		return nil, nil, 0, fmt.Errorf("wire: empty transmission")
+	}
+	count := int(data[0])
+	if count == 0 {
+		return nil, nil, 0, fmt.Errorf("wire: transmission with zero destinations")
+	}
+	off := 1
+	dests := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		l, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return nil, nil, 0, fmt.Errorf("wire: bad destination length at offset %d", off)
+		}
+		off += n
+		if l == 0 || uint64(len(data)-off) < l {
+			return nil, nil, 0, fmt.Errorf("wire: truncated destination at offset %d", off)
+		}
+		dests = append(dests, string(data[off:off+int(l)]))
+		off += int(l)
+	}
+	t, n, err := DecodeTuple(s, data[off:])
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return t, dests, off + n, nil
+}

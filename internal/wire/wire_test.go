@@ -1,0 +1,205 @@
+package wire
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gasf/internal/tuple"
+)
+
+var schema = tuple.MustSchema("a", "b", "c")
+
+func sample(t *testing.T) *tuple.Tuple {
+	t.Helper()
+	return tuple.MustNew(schema, 42, time.Unix(1234, 5678), []float64{1.5, -2.25, math.Pi})
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	in := sample(t)
+	buf, err := AppendTuple(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != TupleSize(in) {
+		t.Errorf("encoded %d bytes, TupleSize says %d", len(buf), TupleSize(in))
+	}
+	out, n, err := DecodeTuple(schema, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d bytes", n, len(buf))
+	}
+	if out.Seq != in.Seq || !out.TS.Equal(in.TS) {
+		t.Errorf("header mismatch: %+v vs %+v", out, in)
+	}
+	for i := range in.Values {
+		if out.Values[i] != in.Values[i] {
+			t.Errorf("value %d = %g, want %g", i, out.Values[i], in.Values[i])
+		}
+	}
+}
+
+func TestTupleSpecialFloats(t *testing.T) {
+	in := tuple.MustNew(schema, 0, time.Unix(0, 0), []float64{math.Inf(1), math.NaN(), math.Copysign(0, -1)})
+	buf, err := AppendTuple(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := DecodeTuple(schema, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(out.Values[0], 1) || !math.IsNaN(out.Values[1]) || math.Signbit(out.Values[2]) != true {
+		t.Errorf("special floats mangled: %v", out.Values)
+	}
+}
+
+func TestTupleEncodeErrors(t *testing.T) {
+	if _, err := AppendTuple(nil, nil); err == nil {
+		t.Error("nil tuple should fail")
+	}
+	neg := tuple.MustNew(schema, 0, time.Unix(0, 0), []float64{0, 0, 0})
+	neg.Seq = -1
+	if _, err := AppendTuple(nil, neg); err == nil {
+		t.Error("negative seq should fail")
+	}
+}
+
+func TestDecodeTupleErrors(t *testing.T) {
+	in := sample(t)
+	buf, err := AppendTuple(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeTuple(schema, buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d bytes decoded successfully", cut)
+		}
+	}
+	// Schema arity mismatch.
+	two := tuple.MustSchema("x", "y")
+	if _, _, err := DecodeTuple(two, buf); err == nil {
+		t.Error("schema arity mismatch should fail")
+	}
+	if _, _, err := DecodeTuple(nil, buf); err == nil {
+		t.Error("nil schema should fail")
+	}
+}
+
+func TestTransmissionRoundTrip(t *testing.T) {
+	in := sample(t)
+	dests := []string{"fire-prediction", "responder-safety", "A"}
+	buf, err := AppendTransmission(nil, in, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != TransmissionSize(in, dests) {
+		t.Errorf("encoded %d bytes, TransmissionSize says %d", len(buf), TransmissionSize(in, dests))
+	}
+	out, gotDests, n, err := DecodeTransmission(schema, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d", n, len(buf))
+	}
+	if out.Seq != in.Seq || len(gotDests) != len(dests) {
+		t.Fatalf("mismatch: %v %v", out, gotDests)
+	}
+	for i := range dests {
+		if gotDests[i] != dests[i] {
+			t.Errorf("dest %d = %q, want %q", i, gotDests[i], dests[i])
+		}
+	}
+}
+
+func TestTransmissionErrors(t *testing.T) {
+	in := sample(t)
+	if _, err := AppendTransmission(nil, in, nil); err == nil {
+		t.Error("no destinations should fail")
+	}
+	if _, err := AppendTransmission(nil, in, []string{""}); err == nil {
+		t.Error("empty destination should fail")
+	}
+	big := make([]string, 256)
+	for i := range big {
+		big[i] = "d"
+	}
+	if _, err := AppendTransmission(nil, in, big); err == nil {
+		t.Error("256 destinations should fail")
+	}
+	buf, err := AppendTransmission(nil, in, []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, _, err := DecodeTransmission(schema, buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+	if _, _, _, err := DecodeTransmission(schema, []byte{0}); err == nil {
+		t.Error("zero destination count should fail")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary values and destination
+// labels, and consecutive transmissions concatenate cleanly (streaming).
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seqRaw uint16, vsRaw [3]int32, destRaw [2]uint8) bool {
+		vals := []float64{float64(vsRaw[0]) / 3, float64(vsRaw[1]) * 1e6, float64(vsRaw[2])}
+		in := tuple.MustNew(schema, int(seqRaw), time.Unix(int64(seqRaw), 0), vals)
+		dests := []string{
+			strings.Repeat("a", 1+int(destRaw[0]%40)),
+			"app-" + string(rune('A'+destRaw[1]%26)),
+		}
+		buf, err := AppendTransmission(nil, in, dests)
+		if err != nil {
+			return false
+		}
+		// Concatenate two messages; decode both.
+		buf, err = AppendTransmission(buf, in, dests[:1])
+		if err != nil {
+			return false
+		}
+		t1, d1, n1, err := DecodeTransmission(schema, buf)
+		if err != nil {
+			return false
+		}
+		t2, d2, _, err := DecodeTransmission(schema, buf[n1:])
+		if err != nil {
+			return false
+		}
+		return t1.Seq == in.Seq && t2.Seq == in.Seq &&
+			len(d1) == 2 && len(d2) == 1 &&
+			t1.Values[0] == vals[0] && t2.Values[2] == vals[2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzDecodeTransmission checks the decoder never panics on arbitrary
+// bytes.
+func FuzzDecodeTransmission(f *testing.F) {
+	in := tuple.MustNew(schema, 7, time.Unix(9, 9), []float64{1, 2, 3})
+	seed, err := AppendTransmission(nil, in, []string{"A", "B"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tup, dests, n, err := DecodeTransmission(schema, data)
+		if err != nil {
+			return
+		}
+		if tup == nil || len(dests) == 0 || n <= 0 || n > len(data) {
+			t.Fatalf("inconsistent success: %v %v %d", tup, dests, n)
+		}
+	})
+}
