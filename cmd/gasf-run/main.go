@@ -1,23 +1,30 @@
 // Command gasf-run executes one group of filters over one data source and
 // prints the group-aware filtering statistics next to the self-interested
-// baseline.
+// baseline. With -sources > 1 it replicates the group over that many
+// sources and drives them through the sharded multi-source runtime,
+// printing per-shard counters and aggregate throughput.
 //
 // Usage:
 //
 //	gasf-run -trace namos -spec 'DC1(fluoro, 3.0, 1.5)' -spec 'DC1(fluoro, 5.0, 2.5)' \
 //	         -alg RG -cuts -maxdelay 60ms
+//	gasf-run -trace namos -n 2000 -spec 'DC1(fluoro, 3.0, 1.5)' \
+//	         -sources 100 -shards 4 -queue 128 -flushbatch 32
 //
 // Traces: namos, cow, seismic, fire, chlorine, example (the paper's
 // ten-tuple running example).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"gasf"
 	"gasf/internal/core"
 	"gasf/internal/filter"
 	"gasf/internal/metrics"
@@ -34,6 +41,100 @@ func (s *specList) String() string { return strings.Join(*s, "; ") }
 func (s *specList) Set(v string) error {
 	*s = append(*s, v)
 	return nil
+}
+
+// config is the parsed command line.
+type config struct {
+	specs      specList
+	traceName  string
+	n          int
+	seed       int64
+	alg        string
+	cuts       bool
+	maxDelay   time.Duration
+	strategy   string
+	batch      int
+	mc         time.Duration
+	verbose    bool
+	sources    int
+	shards     int
+	queue      int
+	flushBatch int
+}
+
+// errPrinted marks errors the FlagSet already reported to errW, so main
+// does not print them a second time.
+type errPrinted struct{ error }
+
+func (e errPrinted) Unwrap() error { return e.error }
+
+// parseFlags parses the command line into a config. It is split from main
+// so tests can drive it; errors (including -h) are returned, not fatal.
+// The FlagSet's own diagnostics (usage, unknown flags) go to errW.
+func parseFlags(args []string, errW io.Writer) (config, error) {
+	var cfg config
+	fs := flag.NewFlagSet("gasf-run", flag.ContinueOnError)
+	fs.SetOutput(errW)
+	fs.StringVar(&cfg.traceName, "trace", "namos", "data source: namos|cow|seismic|fire|chlorine|example")
+	fs.IntVar(&cfg.n, "n", 10000, "trace length in tuples")
+	fs.Int64Var(&cfg.seed, "seed", 1, "trace seed")
+	fs.StringVar(&cfg.alg, "alg", "RG", "algorithm: RG|PS")
+	fs.BoolVar(&cfg.cuts, "cuts", false, "enable timely cuts")
+	fs.DurationVar(&cfg.maxDelay, "maxdelay", 60*time.Millisecond, "group time constraint for cuts")
+	fs.StringVar(&cfg.strategy, "strategy", "region", "output strategy: region|pcs|batched")
+	fs.IntVar(&cfg.batch, "batch", 100, "batch size for the batched strategy")
+	fs.DurationVar(&cfg.mc, "multicast", 12*time.Millisecond, "constant delivery delay")
+	fs.BoolVar(&cfg.verbose, "v", false, "print every transmission")
+	fs.IntVar(&cfg.sources, "sources", 1, "replicate the group over this many sources (sharded runtime when > 1)")
+	fs.IntVar(&cfg.shards, "shards", 0, "worker shards for the sharded runtime (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.queue, "queue", 0, "per-shard input queue depth (0 = default)")
+	fs.IntVar(&cfg.flushBatch, "flushbatch", 0, "released-output flush batch size (0 = default)")
+	fs.Var(&cfg.specs, "spec", "filter specification (repeatable), e.g. 'DC1(fluoro, 3.0, 1.5)'")
+	if err := fs.Parse(args); err != nil {
+		return cfg, errPrinted{err}
+	}
+	if len(cfg.specs) == 0 {
+		return cfg, fmt.Errorf("at least one -spec is required")
+	}
+	if cfg.sources < 1 {
+		return cfg, fmt.Errorf("-sources must be at least 1, got %d", cfg.sources)
+	}
+	return cfg, nil
+}
+
+// engineOptions maps the textual flags onto engine options, including the
+// shard runtime knobs.
+func (c config) engineOptions() (core.Options, error) {
+	opts := core.Options{
+		Cuts:           c.cuts,
+		MulticastDelay: c.mc,
+		ShardCount:     c.shards,
+		QueueDepth:     c.queue,
+		FlushBatch:     c.flushBatch,
+	}
+	if c.cuts {
+		opts.MaxDelay = c.maxDelay
+	}
+	switch strings.ToUpper(c.alg) {
+	case "RG":
+		opts.Algorithm = core.RG
+	case "PS":
+		opts.Algorithm = core.PS
+	default:
+		return opts, fmt.Errorf("unknown algorithm %q", c.alg)
+	}
+	switch strings.ToLower(c.strategy) {
+	case "region":
+		opts.Strategy = core.EarliestRegion
+	case "pcs":
+		opts.Strategy = core.PerCandidateSet
+	case "batched":
+		opts.Strategy = core.Batched
+		opts.BatchSize = c.batch
+	default:
+		return opts, fmt.Errorf("unknown strategy %q", c.strategy)
+	}
+	return opts, nil
 }
 
 func buildTrace(name string, n int, seed int64) (*tuple.Series, error) {
@@ -56,73 +157,54 @@ func buildTrace(name string, n int, seed int64) (*tuple.Series, error) {
 	}
 }
 
-func main() {
-	var specs specList
-	var (
-		traceName = flag.String("trace", "namos", "data source: namos|cow|seismic|fire|chlorine|example")
-		n         = flag.Int("n", 10000, "trace length in tuples")
-		seed      = flag.Int64("seed", 1, "trace seed")
-		alg       = flag.String("alg", "RG", "algorithm: RG|PS")
-		cuts      = flag.Bool("cuts", false, "enable timely cuts")
-		maxDelay  = flag.Duration("maxdelay", 60*time.Millisecond, "group time constraint for cuts")
-		strategy  = flag.String("strategy", "region", "output strategy: region|pcs|batched")
-		batch     = flag.Int("batch", 100, "batch size for the batched strategy")
-		mc        = flag.Duration("multicast", 12*time.Millisecond, "constant delivery delay")
-		verbose   = flag.Bool("v", false, "print every transmission")
-	)
-	flag.Var(&specs, "spec", "filter specification (repeatable), e.g. 'DC1(fluoro, 3.0, 1.5)'")
-	flag.Parse()
-
-	if err := run(specs, *traceName, *n, *seed, *alg, *cuts, *maxDelay, *strategy, *batch, *mc, *verbose); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-}
-
-func run(specs specList, traceName string, n int, seed int64, alg string, cuts bool,
-	maxDelay time.Duration, strategy string, batch int, mc time.Duration, verbose bool) error {
-	if len(specs) == 0 {
-		return fmt.Errorf("at least one -spec is required")
-	}
-	sr, err := buildTrace(traceName, n, seed)
-	if err != nil {
-		return err
-	}
+// buildFilters instantiates one fresh filter group from the specs.
+func buildFilters(specs []string) ([]filter.Filter, error) {
 	var filters []filter.Filter
 	for i, text := range specs {
 		sp, err := quality.Parse(text)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		f, err := sp.Build(fmt.Sprintf("app%d", i+1))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		filters = append(filters, f)
 	}
+	return filters, nil
+}
 
-	opts := core.Options{Cuts: cuts, MulticastDelay: mc}
-	if cuts {
-		opts.MaxDelay = maxDelay
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return
 	}
-	switch strings.ToUpper(alg) {
-	case "RG":
-		opts.Algorithm = core.RG
-	case "PS":
-		opts.Algorithm = core.PS
-	default:
-		return fmt.Errorf("unknown algorithm %q", alg)
+	if err == nil {
+		err = run(cfg, os.Stdout)
 	}
-	switch strings.ToLower(strategy) {
-	case "region":
-		opts.Strategy = core.EarliestRegion
-	case "pcs":
-		opts.Strategy = core.PerCandidateSet
-	case "batched":
-		opts.Strategy = core.Batched
-		opts.BatchSize = batch
-	default:
-		return fmt.Errorf("unknown strategy %q", strategy)
+	if err != nil {
+		if _, printed := err.(errPrinted); !printed {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(cfg config, w io.Writer) error {
+	sr, err := buildTrace(cfg.traceName, cfg.n, cfg.seed)
+	if err != nil {
+		return err
+	}
+	opts, err := cfg.engineOptions()
+	if err != nil {
+		return err
+	}
+	if cfg.sources > 1 {
+		return runSharded(cfg, sr, opts, w)
+	}
+	filters, err := buildFilters(cfg.specs)
+	if err != nil {
+		return err
 	}
 
 	res, err := core.Run(filters, sr, opts)
@@ -134,9 +216,9 @@ func run(specs specList, traceName string, n int, seed int64, alg string, cuts b
 		return err
 	}
 
-	if verbose {
+	if cfg.verbose {
 		for _, tr := range res.Transmissions {
-			fmt.Printf("%v -> %v @%s\n", tr.Tuple, tr.Destinations, tr.ReleasedAt.Format("15:04:05.000"))
+			fmt.Fprintf(w, "%v -> %v @%s\n", tr.Tuple, tr.Destinations, tr.ReleasedAt.Format("15:04:05.000"))
 		}
 	}
 
@@ -149,12 +231,59 @@ func run(specs specList, traceName string, n int, seed int64, alg string, cuts b
 	tb.AddRow("mean latency", res.Stats.MeanLatency().String(), si.Stats.MeanLatency().String())
 	tb.AddRow("CPU per tuple", res.Stats.CPUPerTuple().String(), si.Stats.CPUPerTuple().String())
 	tb.AddRow("regions (cut)", fmt.Sprintf("%d (%d)", res.Stats.Regions, res.Stats.RegionsCut), "-")
-	fmt.Print(tb.String())
+	fmt.Fprint(w, tb.String())
 
 	if si.Stats.DistinctOutputs > 0 {
 		ratio := float64(res.Stats.DistinctOutputs) / float64(si.Stats.DistinctOutputs)
-		fmt.Printf("\noutput ratio (GA/SI): %.4f — group awareness saves %.1f%% bandwidth\n",
+		fmt.Fprintf(w, "\noutput ratio (GA/SI): %.4f — group awareness saves %.1f%% bandwidth\n",
 			ratio, 100*(1-ratio))
+	}
+	return nil
+}
+
+// runSharded replicates the filter group over cfg.sources sources and
+// drives them through the public sharded runtime entry point, reporting
+// per-shard counters and aggregate throughput.
+func runSharded(cfg config, sr *tuple.Series, opts core.Options, w io.Writer) error {
+	if cfg.verbose {
+		fmt.Fprintln(w, "note: -v prints transmissions only in single-source mode; ignored with -sources > 1")
+	}
+	groups := make(map[string][]gasf.Filter, cfg.sources)
+	series := make(map[string]*tuple.Series, cfg.sources)
+	for i := 0; i < cfg.sources; i++ {
+		filters, err := buildFilters(cfg.specs)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("src%04d", i)
+		groups[name] = filters
+		series[name] = sr
+	}
+	start := time.Now()
+	results, snaps, err := gasf.RunSharded(groups, series, opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	tb := metrics.NewTable("shard", "sources", "enqueued", "processed", "dropped", "flushes", "max queue")
+	for _, s := range snaps {
+		tb.AddRow(fmt.Sprint(s.Shard), fmt.Sprint(s.Sources), fmt.Sprint(s.Enqueued),
+			fmt.Sprint(s.Processed), fmt.Sprint(s.Dropped), fmt.Sprint(s.Flushes),
+			fmt.Sprint(s.MaxQueueDepth))
+	}
+	fmt.Fprint(w, tb.String())
+
+	var inputs, outputs int
+	for _, res := range results {
+		inputs += res.Stats.Inputs
+		outputs += res.Stats.DistinctOutputs
+	}
+	fmt.Fprintf(w, "\nsources %d  shards %d  tuples %d  elapsed %v  throughput %.0f tuples/s\n",
+		cfg.sources, len(snaps), inputs, elapsed.Round(time.Millisecond),
+		float64(inputs)/elapsed.Seconds())
+	if inputs > 0 {
+		fmt.Fprintf(w, "aggregate O/I ratio: %.4f\n", float64(outputs)/float64(inputs))
 	}
 	return nil
 }

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"gasf/internal/core"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags([]string{"-spec", "DC1(fluoro, 3.0, 1.5)"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.traceName != "namos" || cfg.n != 10000 || cfg.seed != 1 {
+		t.Errorf("trace defaults wrong: %+v", cfg)
+	}
+	if cfg.alg != "RG" || cfg.strategy != "region" || cfg.cuts {
+		t.Errorf("engine defaults wrong: %+v", cfg)
+	}
+	if cfg.sources != 1 || cfg.shards != 0 || cfg.queue != 0 || cfg.flushBatch != 0 {
+		t.Errorf("shard defaults wrong: %+v", cfg)
+	}
+	if len(cfg.specs) != 1 || cfg.specs[0] != "DC1(fluoro, 3.0, 1.5)" {
+		t.Errorf("specs = %v", cfg.specs)
+	}
+}
+
+func TestParseFlagsRepeatedSpecsAndShardKnobs(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-spec", "DC1(fluoro, 3.0, 1.5)",
+		"-spec", "DC1(fluoro, 5.0, 2.5)",
+		"-trace", "cow", "-n", "500", "-seed", "9",
+		"-alg", "PS", "-strategy", "batched", "-batch", "25",
+		"-cuts", "-maxdelay", "90ms",
+		"-sources", "50", "-shards", "4", "-queue", "64", "-flushbatch", "16",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.specs) != 2 {
+		t.Errorf("specs = %v", cfg.specs)
+	}
+	if cfg.traceName != "cow" || cfg.n != 500 || cfg.seed != 9 {
+		t.Errorf("trace flags wrong: %+v", cfg)
+	}
+	if cfg.sources != 50 || cfg.shards != 4 || cfg.queue != 64 || cfg.flushBatch != 16 {
+		t.Errorf("shard flags wrong: %+v", cfg)
+	}
+	if !cfg.cuts || cfg.maxDelay != 90*time.Millisecond {
+		t.Errorf("cut flags wrong: %+v", cfg)
+	}
+}
+
+func TestParseFlagsErrors(t *testing.T) {
+	if _, err := parseFlags(nil, io.Discard); err == nil {
+		t.Error("missing -spec should fail")
+	}
+	if _, err := parseFlags([]string{"-spec", "DC1(f,1,0.4)", "-sources", "0"}, io.Discard); err == nil {
+		t.Error("-sources 0 should fail")
+	}
+	err := func() error {
+		_, err := parseFlags([]string{"-bogus"}, io.Discard)
+		return err
+	}()
+	if err == nil {
+		t.Error("unknown flag should fail")
+	}
+	// FlagSet errors are marked as already printed so main does not
+	// report them twice; our own validation errors are not.
+	if _, printed := err.(errPrinted); !printed {
+		t.Errorf("flag error %v should be marked printed", err)
+	}
+	if _, err := parseFlags(nil, io.Discard); err != nil {
+		if _, printed := err.(errPrinted); printed {
+			t.Errorf("validation error %v should not be marked printed", err)
+		}
+	}
+}
+
+func TestEngineOptionsMapping(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-spec", "DC1(fluoro, 3.0, 1.5)",
+		"-alg", "ps", "-strategy", "batched", "-batch", "7",
+		"-cuts", "-maxdelay", "80ms", "-multicast", "5ms",
+		"-shards", "3", "-queue", "9", "-flushbatch", "2",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := cfg.engineOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Algorithm != core.PS || opts.Strategy != core.Batched || opts.BatchSize != 7 {
+		t.Errorf("engine mapping wrong: %+v", opts)
+	}
+	if !opts.Cuts || opts.MaxDelay != 80*time.Millisecond || opts.MulticastDelay != 5*time.Millisecond {
+		t.Errorf("cut mapping wrong: %+v", opts)
+	}
+	if opts.ShardCount != 3 || opts.QueueDepth != 9 || opts.FlushBatch != 2 {
+		t.Errorf("shard mapping wrong: %+v", opts)
+	}
+
+	cfg.alg = "WAT"
+	if _, err := cfg.engineOptions(); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+	cfg.alg, cfg.strategy = "RG", "yolo"
+	if _, err := cfg.engineOptions(); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+}
+
+func TestBuildTraceNames(t *testing.T) {
+	for _, name := range []string{"namos", "cow", "seismic", "fire", "chlorine", "example"} {
+		sr, err := buildTrace(name, 50, 1)
+		if err != nil {
+			t.Errorf("trace %s: %v", name, err)
+			continue
+		}
+		if sr.Len() == 0 {
+			t.Errorf("trace %s is empty", name)
+		}
+	}
+	if _, err := buildTrace("ghost", 50, 1); err == nil {
+		t.Error("unknown trace should fail")
+	}
+}
+
+func TestRunSingleSource(t *testing.T) {
+	cfg, err := parseFlags([]string{"-trace", "example", "-spec", "DC1(temperature, 50, 10)"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(cfg, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"O/I ratio", "group-aware", "self-interested", "output ratio (GA/SI)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSharded(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-trace", "namos", "-n", "120",
+		"-spec", "DC1(fluoro, 0.10, 0.05)", "-spec", "DC1(fluoro, 0.22, 0.10)",
+		"-sources", "12", "-shards", "3", "-queue", "8", "-flushbatch", "4",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(cfg, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"shard", "sources 12", "shards 3", "tuples/s", "aggregate O/I ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command gasf-shardbench measures the sharded multi-source runtime over
+// the throughput matrix the ROADMAP tracks — 1/2/4/8 shards × 10/100/1000
+// sources — and records the results as JSON (BENCH_shard.json in the
+// repository) so later performance PRs have a trajectory to beat.
+//
+// Each flush pays a modeled blocking dissemination cost (-delay; the
+// paper's testbed measures an application-level multicast invocation cost
+// of roughly 12 ms, §4.1.2). That cost dominates a deployed source node's
+// send path, and sharding overlaps it across sources — which is what the
+// speedup column quantifies. Run with -delay 0 to measure pure engine CPU
+// throughput instead.
+//
+// Usage:
+//
+//	gasf-shardbench -out BENCH_shard.json -tuples 100 -delay 2ms
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gasf/internal/metrics"
+	"gasf/internal/shard"
+)
+
+// report is the serialized benchmark record.
+type report struct {
+	// Schema documents the measurement for future readers.
+	Schema string `json:"schema"`
+	// GeneratedAt is the wall-clock time of the run.
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	// TuplesPerSource and DisseminationDelayUS are the workload knobs.
+	TuplesPerSource      int     `json:"tuples_per_source"`
+	FiltersPerSource     int     `json:"filters_per_source"`
+	DisseminationDelayUS float64 `json:"dissemination_delay_us"`
+	Cells                []cell  `json:"cells"`
+}
+
+// cell is one matrix measurement plus its speedup over the 1-shard
+// baseline of the same source count (the seed's sequential regime).
+type cell struct {
+	shard.CellResult
+	SpeedupVs1Shard float64 `json:"speedup_vs_1_shard"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_shard.json", "output JSON path")
+		tuples  = flag.Int("tuples", 100, "tuples per source")
+		filters = flag.Int("filters", 3, "filters per source group")
+		delay   = flag.Duration("delay", 2*time.Millisecond, "modeled blocking dissemination cost per flush")
+	)
+	flag.Parse()
+	if err := run(*out, *tuples, *filters, *delay); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, tuples, filters int, delay time.Duration) error {
+	rep := report{
+		Schema: "gasf shard throughput matrix v1: sharded runtime, DC1 groups over a shared " +
+			"NAMOS trace, one producer per source, blocking dissemination cost per flush",
+		GeneratedAt:          time.Now().UTC().Format(time.RFC3339),
+		GoVersion:            runtime.Version(),
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		NumCPU:               runtime.NumCPU(),
+		TuplesPerSource:      tuples,
+		FiltersPerSource:     filters,
+		DisseminationDelayUS: float64(delay) / float64(time.Microsecond),
+	}
+	base := make(map[int]float64) // sources -> 1-shard tuples/sec
+	tb := metrics.NewTable("shards", "sources", "tuples", "elapsed", "tuples/s", "speedup vs 1 shard")
+	for _, sources := range []int{10, 100, 1000} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			res, err := shard.RunCell(shard.CellConfig{
+				Shards:             shards,
+				Sources:            sources,
+				TuplesPerSource:    tuples,
+				FiltersPerSource:   filters,
+				DisseminationDelay: delay,
+				Seed:               1,
+			})
+			if err != nil {
+				return fmt.Errorf("cell shards=%d sources=%d: %w", shards, sources, err)
+			}
+			c := cell{CellResult: res}
+			if shards == 1 {
+				base[sources] = res.TuplesPerSec
+			}
+			if b := base[sources]; b > 0 {
+				c.SpeedupVs1Shard = res.TuplesPerSec / b
+			}
+			rep.Cells = append(rep.Cells, c)
+			tb.AddRow(fmt.Sprint(shards), fmt.Sprint(sources), fmt.Sprint(res.Tuples),
+				fmt.Sprintf("%.0fms", res.ElapsedMS), fmt.Sprintf("%.0f", res.TuplesPerSec),
+				fmt.Sprintf("%.2fx", c.SpeedupVs1Shard))
+		}
+	}
+	fmt.Print(tb.String())
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", out)
+	return nil
+}

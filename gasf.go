@@ -26,12 +26,16 @@
 package gasf
 
 import (
+	"context"
+	"fmt"
+	"sort"
 	"time"
 
 	"gasf/internal/adapt"
 	"gasf/internal/core"
 	"gasf/internal/filter"
 	"gasf/internal/quality"
+	"gasf/internal/shard"
 	"gasf/internal/trace"
 	"gasf/internal/tuple"
 )
@@ -174,6 +178,48 @@ func NewEngine(filters []Filter, opts Options) (*Engine, error) {
 // transmissions and statistics.
 func Run(filters []Filter, sr *Series, opts Options) (*Result, error) {
 	return core.Run(filters, sr, opts)
+}
+
+// ShardSnapshot reports one worker shard's runtime counters (tuples
+// enqueued/processed/dropped, flushes, queue depths, throughput).
+type ShardSnapshot = shard.Snapshot
+
+// RunSharded drives many single-source filter groups concurrently on the
+// sharded multi-source runtime: sources are hash-partitioned onto
+// Options.ShardCount worker shards (default GOMAXPROCS) and fed through
+// bounded queues with backpressure. Each source keeps the paper's
+// single-source semantics — its released sequence is identical to a
+// sequential Run of the same group over the same series. groups and
+// series must share the same source names. The returned snapshots carry
+// the per-shard runtime counters of the completed run.
+func RunSharded(groups map[string][]Filter, series map[string]*Series, opts Options) (map[string]*Result, []ShardSnapshot, error) {
+	if len(groups) == 0 {
+		return nil, nil, fmt.Errorf("gasf: RunSharded needs at least one source group")
+	}
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		if _, ok := series[name]; !ok {
+			return nil, nil, fmt.Errorf("gasf: no series for source %q", name)
+		}
+		names = append(names, name)
+	}
+	if len(series) != len(groups) {
+		return nil, nil, fmt.Errorf("gasf: %d series for %d source groups", len(series), len(groups))
+	}
+	sort.Strings(names)
+	rt := shard.New(shard.FromOptions(opts))
+	for _, name := range names {
+		if err := rt.AddGroup(name, groups[name], opts); err != nil {
+			return nil, nil, fmt.Errorf("gasf: %w", err)
+		}
+	}
+	if err := rt.Start(context.Background(), nil); err != nil {
+		return nil, nil, fmt.Errorf("gasf: %w", err)
+	}
+	if err := rt.FeedAll(series); err != nil {
+		return nil, nil, fmt.Errorf("gasf: %w", err)
+	}
+	return rt.Results(), rt.Metrics(), nil
 }
 
 // RunSelfInterested runs the paper's baseline: every filter selects its

@@ -1,0 +1,68 @@
+package gasf_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gasf"
+)
+
+// TestRunShardedMatchesRun checks the public sharded entry point: every
+// source's result must equal a sequential Run of the same group.
+func TestRunShardedMatchesRun(t *testing.T) {
+	sr, err := gasf.NAMOS(gasf.TraceConfig{N: 300, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkGroup := func() []gasf.Filter {
+		a, _ := gasf.NewDCFilter("A", "fluoro", 0.10, 0.05)
+		b, _ := gasf.NewDCFilter("B", "fluoro", 0.22, 0.10)
+		return []gasf.Filter{a, b}
+	}
+	const sources = 9
+	groups := make(map[string][]gasf.Filter, sources)
+	series := make(map[string]*gasf.Series, sources)
+	for i := 0; i < sources; i++ {
+		name := fmt.Sprintf("buoy%d", i)
+		groups[name] = mkGroup()
+		series[name] = sr
+	}
+	opts := gasf.Options{Algorithm: gasf.RG, ShardCount: 3, QueueDepth: 8, FlushBatch: 4}
+	results, snaps, err := gasf.RunSharded(groups, series, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := gasf.Run(mkGroup(), sr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != sources {
+		t.Fatalf("got %d results, want %d", len(results), sources)
+	}
+	for name, res := range results {
+		if res.Stats.DistinctOutputs != want.Stats.DistinctOutputs ||
+			res.Stats.Transmissions != want.Stats.Transmissions {
+			t.Errorf("%s: (distinct, transmissions) = (%d, %d), want (%d, %d)",
+				name, res.Stats.DistinctOutputs, res.Stats.Transmissions,
+				want.Stats.DistinctOutputs, want.Stats.Transmissions)
+		}
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("got %d shard snapshots, want 3", len(snaps))
+	}
+	var processed uint64
+	for _, s := range snaps {
+		processed += s.Processed
+	}
+	if processed != uint64(sources*sr.Len()) {
+		t.Errorf("shards processed %d tuples, want %d", processed, sources*sr.Len())
+	}
+
+	if _, _, err := gasf.RunSharded(nil, nil, opts); err == nil {
+		t.Error("empty groups should fail")
+	}
+	delete(series, "buoy0")
+	if _, _, err := gasf.RunSharded(groups, series, opts); err == nil {
+		t.Error("missing series should fail")
+	}
+}

@@ -1,0 +1,3 @@
+module gasf
+
+go 1.22

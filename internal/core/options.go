@@ -120,6 +120,24 @@ type Options struct {
 	// EmitPunctuations mixes region-closure punctuations into the
 	// result so downstream operators can bound reordering (§3.4).
 	EmitPunctuations bool
+
+	// The following knobs configure the sharded multi-source runtime
+	// (internal/shard) layered above single-source engines. They do not
+	// affect a single Engine; the solar layer derives its system-wide
+	// runtime configuration from them by taking the maximum across the
+	// registered sources.
+
+	// ShardCount is the number of worker shards sources are
+	// hash-partitioned onto; 0 means GOMAXPROCS.
+	ShardCount int
+	// QueueDepth is the bounded per-shard input queue length; feeding a
+	// full queue blocks (backpressure). 0 means the runtime default.
+	QueueDepth int
+	// FlushBatch is the number of released transmissions a shard
+	// accumulates before flushing them to the delivery sink; shards also
+	// flush whenever their queue idles, so the batch bounds throughput
+	// cost, not latency. 0 means the runtime default.
+	FlushBatch int
 }
 
 // validate normalizes and checks the options.
@@ -141,6 +159,10 @@ func (o Options) validate() (Options, error) {
 	}
 	if o.ChosenHorizon == 0 {
 		o.ChosenHorizon = DefaultChosenHorizon
+	}
+	if o.ShardCount < 0 || o.QueueDepth < 0 || o.FlushBatch < 0 {
+		return o, fmt.Errorf("core: negative shard runtime knob (shards %d, queue %d, flush %d)",
+			o.ShardCount, o.QueueDepth, o.FlushBatch)
 	}
 	return o, nil
 }

@@ -1,0 +1,65 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkShardThroughput measures the runtime over the full shards ×
+// sources matrix the ROADMAP tracks (1/2/4/8 shards × 10/100/1000
+// sources). The CI smoke pass runs each cell once with a short trace;
+// cmd/gasf-shardbench runs the same cells with a modeled dissemination
+// cost and records BENCH_shard.json.
+func BenchmarkShardThroughput(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, sources := range []int{10, 100, 1000} {
+			name := fmt.Sprintf("shards=%d/sources=%d", shards, sources)
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				var tuples int
+				for i := 0; i < b.N; i++ {
+					res, err := RunCell(CellConfig{
+						Shards:          shards,
+						Sources:         sources,
+						TuplesPerSource: 50,
+						Seed:            1,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					tuples += res.Tuples
+				}
+				b.ReportMetric(float64(tuples)/b.Elapsed().Seconds(), "tuples/s")
+			})
+		}
+	}
+}
+
+// BenchmarkShardThroughputDissemination is the deployment-shaped variant:
+// each flush pays a blocking dissemination cost (cf. the ~12 ms multicast
+// invocation measured in §4.1.2, scaled down to keep the benchmark
+// short), which sharding overlaps across sources. This is the regime
+// where shard count is expected to scale throughput even on few cores.
+func BenchmarkShardThroughputDissemination(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		name := fmt.Sprintf("shards=%d/sources=100", shards)
+		b.Run(name, func(b *testing.B) {
+			var tuples int
+			for i := 0; i < b.N; i++ {
+				res, err := RunCell(CellConfig{
+					Shards:             shards,
+					Sources:            100,
+					TuplesPerSource:    20,
+					DisseminationDelay: 500 * time.Microsecond,
+					Seed:               1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tuples += res.Tuples
+			}
+			b.ReportMetric(float64(tuples)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}

@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gasf/internal/core"
+	"gasf/internal/filter"
+	"gasf/internal/trace"
+	"gasf/internal/tuple"
+)
+
+// CellConfig parameterizes one throughput measurement: Sources identical
+// single-source workloads (a DC1 filter group over a shared NAMOS trace)
+// driven concurrently through a runtime with Shards shards.
+//
+// DisseminationDelay models the blocking cost of handing one flushed
+// batch to the dissemination layer. The paper's testbed measures an
+// application-level multicast invocation cost of roughly 12 ms (§4.1.2);
+// in a deployment that cost is paid synchronously by the source node's
+// send path, so sharding overlaps it across sources. Zero measures pure
+// engine CPU throughput instead.
+type CellConfig struct {
+	Shards          int
+	Sources         int
+	TuplesPerSource int
+	// FiltersPerSource sizes each source's filter group; 0 means 3.
+	FiltersPerSource   int
+	QueueDepth         int
+	FlushBatch         int
+	DisseminationDelay time.Duration
+	Seed               int64
+}
+
+// CellResult is one measured cell of the throughput matrix.
+type CellResult struct {
+	Shards          int     `json:"shards"`
+	Sources         int     `json:"sources"`
+	TuplesPerSource int     `json:"tuples_per_source"`
+	Tuples          int     `json:"tuples"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+	TuplesPerSec    float64 `json:"tuples_per_sec"`
+	Transmissions   int     `json:"transmissions"`
+	Flushes         uint64  `json:"flushes"`
+	Dropped         uint64  `json:"dropped"`
+	MaxQueueDepth   int     `json:"max_queue_depth"`
+}
+
+// BuildWorkload generates the shared series and per-source filter groups
+// of one cell. Filter construction is excluded from the timed section.
+func BuildWorkload(cfg CellConfig) (*tuple.Series, [][]filter.Filter, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	sr, err := trace.NAMOS(trace.Config{N: cfg.TuplesPerSource, Seed: cfg.Seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	stat, err := sr.MeanAbsChange("tmpr4")
+	if err != nil {
+		return nil, nil, err
+	}
+	nf := cfg.FiltersPerSource
+	if nf <= 0 {
+		nf = 3
+	}
+	groups := make([][]filter.Filter, cfg.Sources)
+	for s := range groups {
+		fs := make([]filter.Filter, nf)
+		for i := range fs {
+			mult := 1 + float64(i)*0.37
+			f, err := filter.NewDC1(fmt.Sprintf("app%d", i+1), "tmpr4", mult*stat, 0.5*mult*stat)
+			if err != nil {
+				return nil, nil, err
+			}
+			fs[i] = f
+		}
+		groups[s] = fs
+	}
+	return sr, groups, nil
+}
+
+// RunCell measures one cell: it builds the workload, then times feeding
+// every source concurrently (one producer goroutine per source, blocking
+// backpressure) until fully drained.
+func RunCell(cfg CellConfig) (CellResult, error) {
+	sr, groups, err := BuildWorkload(cfg)
+	if err != nil {
+		return CellResult{}, err
+	}
+	rt := New(Config{Shards: cfg.Shards, QueueDepth: cfg.QueueDepth, FlushBatch: cfg.FlushBatch})
+	series := make(map[string]*tuple.Series, cfg.Sources)
+	for s := range groups {
+		name := fmt.Sprintf("src%04d", s)
+		if err := rt.AddGroup(name, groups[s], core.Options{Algorithm: core.RG}); err != nil {
+			return CellResult{}, err
+		}
+		series[name] = sr
+	}
+	sink := Sink(nil)
+	if cfg.DisseminationDelay > 0 {
+		delay := cfg.DisseminationDelay
+		sink = func(batch []Out) { time.Sleep(delay) }
+	}
+
+	start := time.Now()
+	if err := rt.Start(context.Background(), sink); err != nil {
+		return CellResult{}, err
+	}
+	if err := rt.FeedAll(series); err != nil {
+		return CellResult{}, err
+	}
+	elapsed := time.Since(start)
+
+	res := CellResult{
+		Shards:          cfg.Shards,
+		Sources:         cfg.Sources,
+		TuplesPerSource: sr.Len(),
+		Tuples:          cfg.Sources * sr.Len(),
+		ElapsedMS:       float64(elapsed) / float64(time.Millisecond),
+		Dropped:         rt.TotalDropped(),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.TuplesPerSec = float64(res.Tuples) / secs
+	}
+	for _, snap := range rt.Metrics() {
+		res.Flushes += snap.Flushes
+		if snap.MaxQueueDepth > res.MaxQueueDepth {
+			res.MaxQueueDepth = snap.MaxQueueDepth
+		}
+	}
+	for _, r := range rt.Results() {
+		res.Transmissions += r.Stats.Transmissions
+	}
+	return res, nil
+}

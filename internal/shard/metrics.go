@@ -1,0 +1,84 @@
+package shard
+
+import "time"
+
+// Snapshot is one shard's counters at a point in time. Counters are
+// monotonic; rates are derived from the runtime's start instant.
+type Snapshot struct {
+	// Shard is the shard index.
+	Shard int
+	// Sources is the number of sources partitioned onto the shard.
+	Sources int
+	// Enqueued counts tuples accepted into the shard queue.
+	Enqueued uint64
+	// Processed counts tuples stepped through an engine.
+	Processed uint64
+	// Dropped counts tuples lost: Offer rejections on a full queue,
+	// tuples abandoned at cancellation, and tuples discarded after a
+	// source's engine failed.
+	Dropped uint64
+	// Flushes counts sink flushes (batched delivery handoffs).
+	Flushes uint64
+	// QueueDepth is the queue length at snapshot time.
+	QueueDepth int
+	// MaxQueueDepth is the highest queue depth observed by the worker.
+	MaxQueueDepth int
+	// Elapsed is the time since Start.
+	Elapsed time.Duration
+	// TuplesPerSec is Processed over Elapsed.
+	TuplesPerSec float64
+}
+
+// Metrics returns a snapshot per shard. Safe to call while the runtime is
+// running.
+func (r *Runtime) Metrics() []Snapshot {
+	r.mu.Lock()
+	started := r.started
+	startAt, endAt := r.startAt, r.endAt
+	r.mu.Unlock()
+	var elapsed time.Duration
+	switch {
+	case !started:
+	case !endAt.IsZero(): // drained: freeze the run's duration
+		elapsed = endAt.Sub(startAt)
+	default:
+		elapsed = time.Since(startAt)
+	}
+	out := make([]Snapshot, len(r.workers))
+	for i, w := range r.workers {
+		s := Snapshot{
+			Shard:         w.id,
+			Sources:       w.srcCount,
+			Enqueued:      w.enqueued.Load(),
+			Processed:     w.processed.Load(),
+			Dropped:       w.dropped.Load(),
+			Flushes:       w.flushes.Load(),
+			QueueDepth:    len(w.in),
+			MaxQueueDepth: int(w.maxQueue.Load()),
+			Elapsed:       elapsed,
+		}
+		if secs := elapsed.Seconds(); secs > 0 {
+			s.TuplesPerSec = float64(s.Processed) / secs
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TotalProcessed sums processed tuples across shards.
+func (r *Runtime) TotalProcessed() uint64 {
+	var n uint64
+	for _, w := range r.workers {
+		n += w.processed.Load()
+	}
+	return n
+}
+
+// TotalDropped sums dropped tuples across shards.
+func (r *Runtime) TotalDropped() uint64 {
+	var n uint64
+	for _, w := range r.workers {
+		n += w.dropped.Load()
+	}
+	return n
+}

@@ -1,0 +1,529 @@
+// Package shard implements the sharded concurrent multi-source runtime:
+// many independent single-source engines (internal/core) hash-partitioned
+// onto a fixed set of worker shards, each shard owning its sources'
+// engines and feeding them through a bounded input queue.
+//
+// The design keeps the paper's single-source semantics intact while
+// letting multi-source workloads scale across cores:
+//
+//   - Every source is assigned to exactly one shard (FNV-1a hash of the
+//     source name modulo the shard count), so all of a source's tuples are
+//     processed by one goroutine in feed order. The per-source released
+//     transmission sequence is therefore identical to a sequential
+//     core.Run over the same tuples — the equivalence property test in
+//     this package asserts byte-identical output.
+//   - Shard input queues are bounded channels: feeding a full shard
+//     blocks the producer (backpressure) unless the non-blocking Offer is
+//     used, in which case the tuple is dropped and counted.
+//   - Released transmissions are flushed to the delivery sink in batches
+//     (Config.FlushBatch) to amortize per-delivery dissemination cost;
+//     a shard flushes early whenever its queue idles, so batching bounds
+//     cost, not latency.
+//   - Each shard keeps lock-free metrics counters (tuples enqueued,
+//     processed, dropped, flush count, observed queue depth) exposed as
+//     Snapshots for monitoring and benchmarks.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gasf/internal/core"
+	"gasf/internal/filter"
+	"gasf/internal/tuple"
+)
+
+// Default queue and batch sizes. The defaults favor throughput under
+// load while the idle-flush rule keeps single-stream latency at one
+// tuple.
+const (
+	DefaultQueueDepth = 256
+	DefaultFlushBatch = 32
+)
+
+// Config sizes the runtime.
+type Config struct {
+	// Shards is the number of worker shards; 0 means GOMAXPROCS.
+	Shards int
+	// QueueDepth is the bounded input queue length per shard; 0 means
+	// DefaultQueueDepth.
+	QueueDepth int
+	// FlushBatch is the released-transmission batch size per flush; 0
+	// means DefaultFlushBatch.
+	FlushBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.FlushBatch <= 0 {
+		c.FlushBatch = DefaultFlushBatch
+	}
+	return c
+}
+
+// FromOptions extracts the runtime knobs from engine options. Zero knobs
+// stay zero so several option sets can be merged before defaults apply.
+func FromOptions(o core.Options) Config {
+	return Config{Shards: o.ShardCount, QueueDepth: o.QueueDepth, FlushBatch: o.FlushBatch}
+}
+
+// Merge combines two configs by taking the larger of each knob.
+func Merge(a, b Config) Config {
+	if b.Shards > a.Shards {
+		a.Shards = b.Shards
+	}
+	if b.QueueDepth > a.QueueDepth {
+		a.QueueDepth = b.QueueDepth
+	}
+	if b.FlushBatch > a.FlushBatch {
+		a.FlushBatch = b.FlushBatch
+	}
+	return a
+}
+
+// Out is one released transmission tagged with its source.
+type Out struct {
+	Source string
+	Tr     core.Transmission
+}
+
+// Sink receives batched flushes of released transmissions. It is invoked
+// from shard worker goroutines: all outputs of one source arrive from the
+// same goroutine in release order, but different sources flush
+// concurrently, so the sink must be safe for concurrent use. The batch
+// slice is reused between flushes and must not be retained.
+type Sink func(batch []Out)
+
+// source is the per-source runtime state, owned by one shard worker after
+// Start (sent/failed/finished are only touched by that worker).
+type source struct {
+	name   string
+	engine *core.Engine
+	shard  int
+	// sent indexes the engine transmissions already handed to the sink.
+	sent int
+	// failed latches the first engine error; later tuples are dropped.
+	failed bool
+	// finished marks that Finish ran on the engine.
+	finished bool
+	// closed is set by FinishSource on the feeding side to reject
+	// further Feed/Offer calls.
+	closed atomic.Bool
+}
+
+// task is one unit of shard work; a nil tuple finishes the source.
+type task struct {
+	src *source
+	t   *tuple.Tuple
+}
+
+// Runtime drives a set of registered sources over Config.Shards worker
+// shards. Configure with AddSource/AddGroup, call Start once, feed tuples
+// with Feed/Offer (per-source calls must be serialized by the caller, as
+// with a single engine), then FinishSource/Drain.
+type Runtime struct {
+	cfg     Config
+	workers []*worker
+
+	mu      sync.Mutex
+	sources map[string]*source
+	started bool
+	drained bool
+
+	ctx     context.Context
+	sink    Sink
+	wg      sync.WaitGroup
+	startAt time.Time
+	endAt   time.Time
+
+	errMu sync.Mutex
+	errs  []error
+}
+
+// New creates a runtime; zero config fields take defaults.
+func New(cfg Config) *Runtime {
+	cfg = cfg.withDefaults()
+	r := &Runtime{cfg: cfg, sources: make(map[string]*source)}
+	r.workers = make([]*worker, cfg.Shards)
+	for i := range r.workers {
+		r.workers[i] = &worker{id: i, rt: r, in: make(chan task, cfg.QueueDepth)}
+	}
+	return r
+}
+
+// Shards returns the shard count in effect.
+func (r *Runtime) Shards() int { return r.cfg.Shards }
+
+// ShardOf returns the shard index a source name partitions onto.
+func (r *Runtime) ShardOf(name string) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(r.cfg.Shards))
+}
+
+// AddSource registers a source with a pre-built engine. Sources must be
+// added before Start.
+func (r *Runtime) AddSource(name string, engine *core.Engine) error {
+	if name == "" {
+		return fmt.Errorf("shard: empty source name")
+	}
+	if engine == nil {
+		return fmt.Errorf("shard: source %q has a nil engine", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return fmt.Errorf("shard: cannot add source %q after Start", name)
+	}
+	if _, dup := r.sources[name]; dup {
+		return fmt.Errorf("shard: source %q already added", name)
+	}
+	sh := r.ShardOf(name)
+	r.sources[name] = &source{name: name, engine: engine, shard: sh}
+	r.workers[sh].srcCount++
+	return nil
+}
+
+// AddGroup registers a source with a fresh engine over the given filter
+// group.
+func (r *Runtime) AddGroup(name string, filters []filter.Filter, opts core.Options) error {
+	e, err := core.NewEngine(filters, opts)
+	if err != nil {
+		return fmt.Errorf("shard: source %q: %w", name, err)
+	}
+	return r.AddSource(name, e)
+}
+
+// Start launches the shard workers. The sink may be nil when only the
+// per-source Results are of interest. The context cancels feeding and
+// stops the workers; tuples still queued at cancellation are dropped.
+func (r *Runtime) Start(ctx context.Context, sink Sink) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return fmt.Errorf("shard: already started")
+	}
+	r.started = true
+	r.ctx = ctx
+	r.sink = sink
+	r.startAt = time.Now()
+	for _, w := range r.workers {
+		r.wg.Add(1)
+		go w.run(ctx)
+	}
+	return nil
+}
+
+// lookup resolves a live source and its worker for feeding.
+func (r *Runtime) lookup(name string) (*source, *worker, error) {
+	r.mu.Lock()
+	src, ok := r.sources[name]
+	started := r.started
+	r.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("shard: unknown source %q", name)
+	}
+	if !started {
+		return nil, nil, fmt.Errorf("shard: Feed before Start")
+	}
+	if src.closed.Load() {
+		return nil, nil, fmt.Errorf("shard: source %q already finished", name)
+	}
+	return src, r.workers[src.shard], nil
+}
+
+// Feed enqueues one tuple for its source's shard, blocking while the
+// shard queue is full (backpressure). It fails once the runtime context
+// is cancelled.
+func (r *Runtime) Feed(name string, t *tuple.Tuple) error {
+	if t == nil {
+		return fmt.Errorf("shard: nil tuple for source %q", name)
+	}
+	src, w, err := r.lookup(name)
+	if err != nil {
+		return err
+	}
+	// Fail fast once cancelled: the workers are exiting, so a racing
+	// send could otherwise park the tuple in a queue nobody reads (the
+	// Drain sweep still counts any that slip through as dropped).
+	if err := r.ctx.Err(); err != nil {
+		w.dropped.Add(1)
+		return err
+	}
+	select {
+	case w.in <- task{src: src, t: t}:
+		w.enqueued.Add(1)
+		return nil
+	case <-r.ctx.Done():
+		w.dropped.Add(1)
+		return r.ctx.Err()
+	}
+}
+
+// Offer is the non-blocking Feed: it reports false, counting a drop,
+// when the shard queue is full, and fails once the runtime context is
+// cancelled.
+func (r *Runtime) Offer(name string, t *tuple.Tuple) (bool, error) {
+	if t == nil {
+		return false, fmt.Errorf("shard: nil tuple for source %q", name)
+	}
+	src, w, err := r.lookup(name)
+	if err != nil {
+		return false, err
+	}
+	if err := r.ctx.Err(); err != nil {
+		w.dropped.Add(1)
+		return false, err
+	}
+	select {
+	case w.in <- task{src: src, t: t}:
+		w.enqueued.Add(1)
+		return true, nil
+	default:
+		w.dropped.Add(1)
+		return false, nil
+	}
+}
+
+// FinishSource marks the end of a source's stream: the shard runs the
+// engine's Finish and flushes its remaining outputs. Further Feed calls
+// for the source fail.
+func (r *Runtime) FinishSource(name string) error {
+	src, w, err := r.lookup(name)
+	if err != nil {
+		return err
+	}
+	src.closed.Store(true)
+	select {
+	case w.in <- task{src: src}:
+		return nil
+	case <-r.ctx.Done():
+		return r.ctx.Err()
+	}
+}
+
+// Drain finishes every source not yet finished, closes the shard queues,
+// and waits for the workers to exit. It must only be called after all
+// feeding goroutines have stopped. It returns the accumulated engine and
+// cancellation errors, if any.
+func (r *Runtime) Drain() error {
+	r.mu.Lock()
+	if !r.started {
+		r.mu.Unlock()
+		return fmt.Errorf("shard: Drain before Start")
+	}
+	if r.drained {
+		r.mu.Unlock()
+		return fmt.Errorf("shard: already drained")
+	}
+	r.drained = true
+	names := make([]string, 0, len(r.sources))
+	for name, src := range r.sources {
+		if !src.closed.Load() {
+			names = append(names, name)
+		}
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	if err := r.ctx.Err(); err != nil {
+		// Cancelled: the workers are gone (or going); engines cannot be
+		// finished, so the drain reports the cancellation instead.
+		r.recordErr(err)
+		names = nil
+	}
+	for _, name := range names {
+		if err := r.FinishSource(name); err != nil {
+			r.recordErr(err)
+			break // context cancelled; remaining finishes would fail too
+		}
+	}
+	for _, w := range r.workers {
+		close(w.in)
+	}
+	r.wg.Wait()
+	// Sweep tuples stranded in the queues: after cancellation a send can
+	// race the exiting worker, so count the leftovers as dropped to keep
+	// Enqueued == Processed + worker drops + sweep drops.
+	for _, w := range r.workers {
+		for tk := range w.in {
+			if tk.t != nil {
+				w.dropped.Add(1)
+			}
+		}
+	}
+	r.mu.Lock()
+	r.endAt = time.Now()
+	r.mu.Unlock()
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return errors.Join(r.errs...)
+}
+
+// FeedAll drives one finite series per source through the runtime — one
+// producer goroutine per source, blocking backpressure — then drains.
+// Feed errors are folded into the drain's joined error, so none are
+// lost when engines fail too.
+func (r *Runtime) FeedAll(series map[string]*tuple.Series) error {
+	var wg sync.WaitGroup
+	for name, sr := range series {
+		wg.Add(1)
+		go func(name string, sr *tuple.Series) {
+			defer wg.Done()
+			for i := 0; i < sr.Len(); i++ {
+				if err := r.Feed(name, sr.At(i)); err != nil {
+					r.recordErr(err)
+					return
+				}
+			}
+		}(name, sr)
+	}
+	wg.Wait()
+	return r.Drain()
+}
+
+func (r *Runtime) recordErr(err error) {
+	r.errMu.Lock()
+	r.errs = append(r.errs, err)
+	r.errMu.Unlock()
+}
+
+// Results returns the per-source engine results. Call after Drain for
+// complete, settled results.
+func (r *Runtime) Results() map[string]*core.Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*core.Result, len(r.sources))
+	for name, src := range r.sources {
+		out[name] = src.engine.Result()
+	}
+	return out
+}
+
+// worker is one shard: a goroutine owning the engines of its sources.
+type worker struct {
+	id       int
+	rt       *Runtime
+	in       chan task
+	srcCount int
+	pending  []Out
+
+	enqueued  atomic.Uint64
+	processed atomic.Uint64
+	dropped   atomic.Uint64
+	flushes   atomic.Uint64
+	maxQueue  atomic.Int64
+}
+
+func (w *worker) run(ctx context.Context) {
+	defer w.rt.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			w.dropQueued()
+			return
+		case tk, ok := <-w.in:
+			if !ok {
+				w.flush()
+				return
+			}
+			w.handle(tk)
+		}
+	}
+}
+
+// dropQueued counts the tuples abandoned in the queue at cancellation.
+func (w *worker) dropQueued() {
+	for {
+		select {
+		case tk, ok := <-w.in:
+			if !ok {
+				return
+			}
+			if tk.t != nil {
+				w.dropped.Add(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (w *worker) handle(tk task) {
+	w.observeDepth(int64(len(w.in)) + 1)
+	src := tk.src
+	if tk.t == nil { // finish marker
+		if !src.failed && !src.finished {
+			if err := src.engine.Finish(); err != nil {
+				w.fail(src, err)
+			} else {
+				w.collect(src)
+			}
+		}
+		src.finished = true
+		w.flush()
+		return
+	}
+	if src.failed {
+		w.dropped.Add(1)
+		return
+	}
+	if err := src.engine.Step(tk.t); err != nil {
+		w.fail(src, err)
+		w.dropped.Add(1) // the failing tuple was not processed
+		return
+	}
+	w.processed.Add(1)
+	w.collect(src)
+	if len(w.pending) >= w.rt.cfg.FlushBatch || len(w.in) == 0 {
+		w.flush()
+	}
+}
+
+// collect stages the engine's newly released transmissions for the next
+// flush.
+func (w *worker) collect(src *source) {
+	trs := src.engine.Result().Transmissions
+	for ; src.sent < len(trs); src.sent++ {
+		w.pending = append(w.pending, Out{Source: src.name, Tr: trs[src.sent]})
+	}
+}
+
+func (w *worker) flush() {
+	if len(w.pending) == 0 {
+		return
+	}
+	w.flushes.Add(1)
+	if w.rt.sink != nil {
+		w.rt.sink(w.pending)
+	}
+	w.pending = w.pending[:0]
+}
+
+func (w *worker) fail(src *source, err error) {
+	src.failed = true
+	w.rt.recordErr(fmt.Errorf("shard %d: source %q: %w", w.id, src.name, err))
+}
+
+func (w *worker) observeDepth(d int64) {
+	for {
+		cur := w.maxQueue.Load()
+		if d <= cur || w.maxQueue.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}

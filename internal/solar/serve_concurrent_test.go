@@ -1,0 +1,223 @@
+package solar
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gasf/internal/core"
+	"gasf/internal/filter"
+	"gasf/internal/overlay"
+	"gasf/internal/trace"
+	"gasf/internal/tuple"
+)
+
+// buildMultiSystem deploys nSources sources, each with two DC1
+// subscribers, spreading nodes over a larger overlay. The shard knobs are
+// set through the per-source engine options to exercise the solar layer's
+// config merge.
+func buildMultiSystem(t *testing.T, nSources int, opts core.Options) (*System, []string) {
+	t.Helper()
+	net, err := overlay.New(overlay.Config{Nodes: 12, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSystem(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, nSources)
+	for i := range names {
+		names[i] = fmt.Sprintf("sensor%02d", i)
+		if err := s.RegisterSource(names[i], net.NodeByIndex(i%12), opts); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 2; j++ {
+			app := fmt.Sprintf("%s-app%d", names[i], j)
+			f, err := filter.NewDC1(app, "temperature", 50/float64(j+1), 10/float64(j+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = s.Subscribe(names[i], Subscription{
+				App:    app,
+				Node:   net.NodeByIndex((i + j + 1) % 12),
+				Filter: f,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	return s, names
+}
+
+// exampleStream writes the paper example's value pattern, n tuples long,
+// to a fresh channel.
+func exampleStream(t *testing.T, n int) (<-chan *tuple.Tuple, func()) {
+	t.Helper()
+	schema := tuple.MustSchema("temperature")
+	ex := trace.PaperExample()
+	ch := make(chan *tuple.Tuple)
+	done := make(chan struct{})
+	go func() {
+		defer close(ch)
+		for i := 0; i < n; i++ {
+			v := ex.At(i % ex.Len()).ValueAt(0)
+			tp := tuple.MustNew(schema, i, trace.Epoch.Add(time.Duration(i)*trace.DefaultInterval), []float64{v})
+			select {
+			case ch <- tp:
+			case <-done:
+				return
+			}
+		}
+	}()
+	return ch, func() { close(done) }
+}
+
+// TestServeConcurrentProducers streams several sources simultaneously to
+// completion: deliveries never cross sources, arrive in release order per
+// source, and every source's delivery count matches its engine result.
+func TestServeConcurrentProducers(t *testing.T) {
+	const nSources = 5
+	opts := core.Options{
+		Algorithm: core.PS, Strategy: core.PerCandidateSet,
+		ShardCount: 3, QueueDepth: 4, FlushBatch: 2,
+	}
+	s, names := buildMultiSystem(t, nSources, opts)
+	inputs := make(map[string]<-chan *tuple.Tuple, nSources)
+	var stops []func()
+	for _, name := range names {
+		ch, stop := exampleStream(t, 60)
+		inputs[name] = ch
+		stops = append(stops, stop)
+	}
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+
+	var mu sync.Mutex
+	counts := make(map[string]map[string]int)
+	lastSeq := make(map[string]int)
+	disorder := 0
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := s.Serve(ctx, inputs, func(d Delivery) {
+		mu.Lock()
+		defer mu.Unlock()
+		if counts[d.Source] == nil {
+			counts[d.Source] = make(map[string]int)
+		}
+		counts[d.Source][d.App]++
+		// Per-source release order: sequence numbers from one source
+		// never run backwards at the sink (PS releases in step order).
+		key := d.Source + "/" + d.App
+		if d.Tuple.Seq < lastSeq[key] {
+			disorder++
+		}
+		lastSeq[key] = d.Tuple.Seq
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if disorder != 0 {
+		t.Errorf("%d out-of-order deliveries within a source/app stream", disorder)
+	}
+	results := s.Results()
+	for _, name := range names {
+		res, ok := results[name]
+		if !ok {
+			t.Fatalf("no result for %s", name)
+		}
+		total := 0
+		for app, n := range counts[name] {
+			if want := res.Stats.PerFilter[app]; n != want {
+				t.Errorf("%s/%s: %d deliveries, engine counted %d", name, app, n, want)
+			}
+			total += n
+		}
+		if total != res.Stats.Deliveries {
+			t.Errorf("%s: %d deliveries, engine counted %d", name, total, res.Stats.Deliveries)
+		}
+		if res.Stats.Inputs != 60 {
+			t.Errorf("%s: consumed %d tuples, want 60", name, res.Stats.Inputs)
+		}
+	}
+	// No cross-source deliveries: apps are namespaced by source.
+	for src, apps := range counts {
+		for app := range apps {
+			if len(app) < len(src) || app[:len(src)] != src {
+				t.Errorf("source %s delivered to foreign app %s", src, app)
+			}
+		}
+	}
+}
+
+// TestServeConcurrentCancellationMidStream cancels while several sources
+// are actively streaming and checks Serve unwinds promptly with the
+// cancellation error.
+func TestServeConcurrentCancellationMidStream(t *testing.T) {
+	const nSources = 4
+	s, names := buildMultiSystem(t, nSources, core.Options{
+		Algorithm: core.PS, Strategy: core.PerCandidateSet,
+		ShardCount: 2, QueueDepth: 2, FlushBatch: 1,
+	})
+	inputs := make(map[string]<-chan *tuple.Tuple, nSources)
+	var stops []func()
+	for _, name := range names {
+		ch, stop := exampleStream(t, 1<<20) // effectively endless
+		inputs[name] = ch
+		stops = append(stops, stop)
+	}
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	delivered := make(chan string, 64)
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Serve(ctx, inputs, func(d Delivery) {
+			select {
+			case delivered <- d.Source:
+			default:
+			}
+		})
+	}()
+
+	// Wait until at least two different sources have delivered
+	// mid-stream, then cancel.
+	seen := make(map[string]bool)
+	timeout := time.After(20 * time.Second)
+	for len(seen) < 2 {
+		select {
+		case src := <-delivered:
+			seen[src] = true
+		case <-timeout:
+			t.Fatal("no concurrent deliveries before timeout")
+		}
+	}
+	// The engines are single-run: starting another run while Serve is
+	// still active must be rejected, not raced.
+	if _, err := s.RunSeries(map[string]*tuple.Series{names[0]: trace.PaperExample()}, nil); err == nil {
+		t.Error("RunSeries during an active Serve should fail")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Serve error = %v, want context.Canceled", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("Serve did not return after mid-stream cancel")
+	}
+}

@@ -6,14 +6,20 @@
 // outputs, and disseminates them through Scribe-style application-level
 // multicast trees.
 //
-// Two execution modes are provided: RunSeries replays finite traces
-// synchronously (deterministic, used by experiments), and Serve runs one
-// goroutine per source over live tuple channels (used by the streaming
-// examples).
+// Two execution modes are provided: RunSeries replays finite traces to
+// completion (deterministic per source, used by experiments), and Serve
+// consumes live tuple channels until they close or the context is
+// cancelled (used by the streaming examples). Both run on the sharded
+// multi-source runtime (internal/shard): sources are hash-partitioned
+// onto worker shards, so multi-source workloads scale across cores while
+// every source keeps the paper's single-source semantics — its tuples
+// are processed in order by one shard and its released sequence is
+// identical to a sequential engine run.
 package solar
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -23,6 +29,7 @@ import (
 	"gasf/internal/filter"
 	"gasf/internal/multicast"
 	"gasf/internal/overlay"
+	"gasf/internal/shard"
 	"gasf/internal/tuple"
 	"gasf/internal/wire"
 )
@@ -64,6 +71,9 @@ type System struct {
 	mu       sync.Mutex
 	sources  map[string]*sourceReg
 	deployed bool
+	// running serializes RunSeries/Serve: the engines are unguarded, so
+	// only one run may drive them at a time.
+	running bool
 }
 
 // NewSystem creates a system over the given overlay.
@@ -166,151 +176,201 @@ func (s *System) Deploy() error {
 // dissemination layer's binary encoding.
 func TupleSizeBytes(t *tuple.Tuple) int { return wire.TupleSize(t) }
 
-// disseminate pushes the engine's new transmissions through the source's
+// disseminate pushes one released transmission through the source's
 // multicast tree, accounting the real encoded size of each labeled
-// message.
-func (s *System) disseminate(reg *sourceReg, from int, deliver func(Delivery)) (int, error) {
-	trs := reg.engine.Result().Transmissions
-	for ; from < len(trs); from++ {
-		tr := trs[from]
-		ds, err := reg.tree.MulticastSized(tr.Destinations, func(branch []string) int {
-			// Forwarding nodes prune labels per branch.
-			return wire.TransmissionSize(tr.Tuple, branch)
-		}, s.acct)
-		if err != nil {
-			return from, fmt.Errorf("solar: source %q: %w", reg.name, err)
-		}
-		// Release delay at the source node: how long the tuple waited
-		// for its group decision.
-		wait := tr.ReleasedAt.Sub(tr.Tuple.TS)
-		for _, d := range ds {
-			deliver(Delivery{
-				Source:  reg.name,
-				App:     d.App,
-				Tuple:   tr.Tuple,
-				Latency: wait + d.Delay,
-			})
-		}
+// message. It is safe to call concurrently for different sources: trees
+// are read-only after Deploy and the accounting ledger is mutex-guarded.
+func (s *System) disseminate(reg *sourceReg, tr core.Transmission, deliver func(Delivery)) error {
+	ds, err := reg.tree.MulticastSized(tr.Destinations, func(branch []string) int {
+		// Forwarding nodes prune labels per branch.
+		return wire.TransmissionSize(tr.Tuple, branch)
+	}, s.acct)
+	if err != nil {
+		return fmt.Errorf("solar: source %q: %w", reg.name, err)
 	}
-	return from, nil
+	// Release delay at the source node: how long the tuple waited
+	// for its group decision.
+	wait := tr.ReleasedAt.Sub(tr.Tuple.TS)
+	for _, d := range ds {
+		deliver(Delivery{
+			Source:  reg.name,
+			App:     d.App,
+			Tuple:   tr.Tuple,
+			Latency: wait + d.Delay,
+		})
+	}
+	return nil
 }
 
-// RunSeries synchronously replays one finite series per source through the
-// deployed engines and multicast trees, invoking deliver for every
-// application delivery. It returns the per-source engine results.
-func (s *System) RunSeries(series map[string]*tuple.Series, deliver func(Delivery)) (map[string]*core.Result, error) {
+// runtimeFor builds a shard runtime over the named deployed sources and
+// marks the system running (released by endRun). The runtime
+// configuration merges the shard knobs (ShardCount, QueueDepth,
+// FlushBatch) of the sources' engine options, taking the maximum of each.
+func (s *System) runtimeFor(names []string) (map[string]*sourceReg, *shard.Runtime, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.deployed {
-		return nil, fmt.Errorf("solar: RunSeries before Deploy")
+		return nil, nil, fmt.Errorf("solar: run before Deploy")
 	}
-	if deliver == nil {
-		deliver = func(Delivery) {}
+	if s.running {
+		return nil, nil, fmt.Errorf("solar: a run is already in progress")
 	}
-	results := make(map[string]*core.Result, len(series))
-	names := make([]string, 0, len(series))
-	for name := range series {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	regs := make(map[string]*sourceReg, len(names))
+	var cfg shard.Config
 	for _, name := range names {
 		reg, ok := s.sources[name]
 		if !ok {
-			return nil, fmt.Errorf("solar: unknown source %q", name)
+			return nil, nil, fmt.Errorf("solar: unknown source %q", name)
 		}
-		sr := series[name]
-		sent := 0
-		for i := 0; i < sr.Len(); i++ {
-			if err := reg.engine.Step(sr.At(i)); err != nil {
-				return nil, fmt.Errorf("solar: source %q: %w", name, err)
-			}
-			var err error
-			sent, err = s.disseminate(reg, sent, deliver)
-			if err != nil {
-				return nil, err
-			}
-		}
-		if err := reg.engine.Finish(); err != nil {
-			return nil, fmt.Errorf("solar: source %q: %w", name, err)
-		}
-		if _, err := s.disseminate(reg, sent, deliver); err != nil {
-			return nil, err
-		}
-		results[name] = reg.engine.Result()
+		regs[name] = reg
+		cfg = shard.Merge(cfg, shard.FromOptions(reg.opts))
 	}
-	return results, nil
+	rt := shard.New(cfg)
+	for _, name := range names {
+		if err := rt.AddSource(name, regs[name].engine); err != nil {
+			return nil, nil, fmt.Errorf("solar: %w", err)
+		}
+	}
+	s.running = true
+	return regs, rt, nil
 }
 
-// Serve runs one goroutine per source, consuming live tuples from the
-// given channels until they close or ctx is cancelled. deliver is invoked
-// from the source goroutines and must be safe for concurrent use (or the
-// caller serializes by source). Serve returns after all sources drain.
-func (s *System) Serve(ctx context.Context, inputs map[string]<-chan *tuple.Tuple, deliver func(Delivery)) error {
+// endRun releases the running latch taken by runtimeFor.
+func (s *System) endRun() {
 	s.mu.Lock()
-	if !s.deployed {
-		s.mu.Unlock()
-		return fmt.Errorf("solar: Serve before Deploy")
-	}
-	regs := make([]*sourceReg, 0, len(inputs))
-	for name := range inputs {
-		reg, ok := s.sources[name]
-		if !ok {
-			s.mu.Unlock()
-			return fmt.Errorf("solar: unknown source %q", name)
-		}
-		regs = append(regs, reg)
-	}
+	s.running = false
 	s.mu.Unlock()
+}
+
+// errCollector accumulates errors from feeders and the delivery sink.
+type errCollector struct {
+	mu   sync.Mutex
+	errs []error
+}
+
+func (c *errCollector) record(err error) {
+	if err == nil {
+		return
+	}
+	c.mu.Lock()
+	c.errs = append(c.errs, err)
+	c.mu.Unlock()
+}
+
+func (c *errCollector) join() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return errors.Join(c.errs...)
+}
+
+// sinkFor adapts the dissemination path to the shard runtime's batched
+// delivery sink.
+func (s *System) sinkFor(regs map[string]*sourceReg, deliver func(Delivery), ec *errCollector) shard.Sink {
+	return func(batch []shard.Out) {
+		for _, o := range batch {
+			ec.record(s.disseminate(regs[o.Source], o.Tr, deliver))
+		}
+	}
+}
+
+// isCtxErr reports whether err stems from context cancellation.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunSeries replays one finite series per source through the deployed
+// engines and multicast trees on the sharded runtime, invoking deliver
+// for every application delivery, and returns the per-source engine
+// results once every source has drained.
+//
+// Each source is fed in order by its own producer and processed by its
+// owning shard, so per-source deliveries arrive in release order;
+// different sources run concurrently, so deliver must be safe for
+// concurrent use. At most one RunSeries/Serve may run at a time
+// (concurrent runs fail with an error).
+func (s *System) RunSeries(series map[string]*tuple.Series, deliver func(Delivery)) (map[string]*core.Result, error) {
+	names := sortedNames(series)
+	regs, rt, err := s.runtimeFor(names)
+	if err != nil {
+		return nil, err
+	}
+	defer s.endRun()
 	if deliver == nil {
 		deliver = func(Delivery) {}
 	}
+	ec := &errCollector{}
+	if err := rt.Start(context.Background(), s.sinkFor(regs, deliver, ec)); err != nil {
+		return nil, err
+	}
+	ec.record(rt.FeedAll(series))
+	if err := ec.join(); err != nil {
+		return nil, err
+	}
+	return rt.Results(), nil
+}
 
+// Serve consumes live tuples from the given channels until they close or
+// ctx is cancelled, feeding them through the sharded runtime. deliver is
+// invoked from shard workers — in release order per source, concurrently
+// across sources — and must be safe for concurrent use. Serve returns
+// after all sources drain; it reports a non-nil error when the context
+// was cancelled or any engine failed.
+func (s *System) Serve(ctx context.Context, inputs map[string]<-chan *tuple.Tuple, deliver func(Delivery)) error {
+	names := sortedNames(inputs)
+	regs, rt, err := s.runtimeFor(names)
+	if err != nil {
+		return err
+	}
+	defer s.endRun()
+	if deliver == nil {
+		deliver = func(Delivery) {}
+	}
+	ec := &errCollector{}
+	if err := rt.Start(ctx, s.sinkFor(regs, deliver, ec)); err != nil {
+		return err
+	}
 	var wg sync.WaitGroup
-	errs := make(chan error, len(regs))
-	for _, reg := range regs {
-		in := inputs[reg.name]
+	for _, name := range names {
+		in := inputs[name]
 		wg.Add(1)
-		go func(reg *sourceReg, in <-chan *tuple.Tuple) {
+		go func(name string, in <-chan *tuple.Tuple) {
 			defer wg.Done()
-			sent := 0
+			// Context errors are not recorded here: every feeder would
+			// report the same cancellation, so the drain below carries
+			// it once instead.
 			for {
 				select {
 				case <-ctx.Done():
-					errs <- ctx.Err()
 					return
 				case t, ok := <-in:
 					if !ok {
-						if err := reg.engine.Finish(); err != nil {
-							errs <- err
-							return
-						}
-						if _, err := s.disseminate(reg, sent, deliver); err != nil {
-							errs <- err
+						if err := rt.FinishSource(name); err != nil && !isCtxErr(err) {
+							ec.record(err)
 						}
 						return
 					}
-					if err := reg.engine.Step(t); err != nil {
-						errs <- err
-						return
-					}
-					var err error
-					sent, err = s.disseminate(reg, sent, deliver)
-					if err != nil {
-						errs <- err
+					if err := rt.Feed(name, t); err != nil {
+						if !isCtxErr(err) {
+							ec.record(err)
+						}
 						return
 					}
 				}
 			}
-		}(reg, in)
+		}(name, in)
 	}
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	ec.record(rt.Drain())
+	return ec.join()
 }
 
 // Results returns the per-source engine results accumulated so far.
