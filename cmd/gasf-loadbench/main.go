@@ -1,0 +1,255 @@
+// Command gasf-loadbench measures the networked server over loopback: it
+// starts an in-process gasf server, drives N publishers by M subscribers
+// through real TCP sessions, and reports ingest throughput, delivery
+// latency percentiles and bytes on the wire as JSON (BENCH_serve.json).
+//
+// Usage:
+//
+//	gasf-loadbench -publishers 8 -subscribers 32 -tuples 20000 \
+//	               -policy block -out BENCH_serve.json
+//
+// Each publisher streams its own source ("bench0".."benchN-1") with
+// wall-clock timestamps; subscribers are spread round-robin across the
+// sources with a pass-all spec, so delivery latency (client receive time
+// minus source timestamp) covers ingest, group decision, release and
+// fan-out.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"gasf/internal/core"
+	"gasf/internal/server"
+	"gasf/internal/tuple"
+)
+
+type latencyStats struct {
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+type report struct {
+	Publishers       int          `json:"publishers"`
+	Subscribers      int          `json:"subscribers"`
+	TuplesPerSource  int          `json:"tuples_per_source"`
+	Policy           string       `json:"policy"`
+	Shards           int          `json:"shards"`
+	SubscriberQueue  int          `json:"subscriber_queue"`
+	ElapsedSec       float64      `json:"elapsed_sec"`
+	TuplesIn         uint64       `json:"tuples_in"`
+	TuplesPerSec     float64      `json:"tuples_per_sec"`
+	Deliveries       int          `json:"deliveries"`
+	DeliveriesPerSec float64      `json:"deliveries_per_sec"`
+	SubscriberDrops  uint64       `json:"subscriber_drops"`
+	BytesIn          uint64       `json:"bytes_in"`
+	BytesOut         uint64       `json:"bytes_out"`
+	Latency          latencyStats `json:"delivery_latency"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gasf-loadbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gasf-loadbench", flag.ContinueOnError)
+	var (
+		publishers  = fs.Int("publishers", 8, "publisher (source) sessions")
+		subscribers = fs.Int("subscribers", 32, "subscriber sessions, spread across sources")
+		tuples      = fs.Int("tuples", 20000, "tuples per publisher")
+		queue       = fs.Int("queue", 1024, "per-subscriber send queue")
+		policy      = fs.String("policy", "block", "slow-consumer policy: block or drop")
+		shards      = fs.Int("shards", 0, "worker shards (0 = GOMAXPROCS)")
+		rate        = fs.Int("rate", 0, "tuples/sec per publisher (0 = unthrottled open loop)")
+		out         = fs.String("out", "BENCH_serve.json", "report path (- for stdout only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *publishers < 1 || *subscribers < 1 || *tuples < 1 {
+		return fmt.Errorf("need at least one publisher, subscriber and tuple")
+	}
+	pol, err := server.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+
+	srv, err := server.Start(server.Config{
+		Engine:          core.Options{ShardCount: *shards},
+		SubscriberQueue: *queue,
+		Policy:          pol,
+	})
+	if err != nil {
+		return err
+	}
+	addr := srv.Addr().String()
+	schema, err := tuple.NewSchema("v")
+	if err != nil {
+		return err
+	}
+
+	// Dial every session up front so the measured window covers steady
+	// streaming, not connection setup.
+	pubs := make([]*server.Publisher, *publishers)
+	for i := range pubs {
+		if pubs[i], err = server.DialPublisher(addr, fmt.Sprintf("bench%d", i), schema); err != nil {
+			return err
+		}
+	}
+	subs := make([]*server.Subscriber, *subscribers)
+	for i := range subs {
+		source := fmt.Sprintf("bench%d", i%*publishers)
+		app := fmt.Sprintf("app%d", i)
+		if subs[i], err = server.DialSubscriber(addr, app, source, "DC1(v, 0.5, 0)"); err != nil {
+			return err
+		}
+	}
+
+	var wg sync.WaitGroup
+	latencies := make([][]time.Duration, *subscribers)
+	errCh := make(chan error, *publishers+*subscribers)
+
+	start := time.Now()
+	for i, sub := range subs {
+		wg.Add(1)
+		go func(i int, sub *server.Subscriber) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, *tuples)
+			for {
+				d, err := sub.Recv()
+				if err == server.ErrStreamEnded {
+					break
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("subscriber %d: %w", i, err)
+					break
+				}
+				lats = append(lats, d.ReceivedAt.Sub(d.Tuple.TS))
+			}
+			latencies[i] = lats
+		}(i, sub)
+	}
+	// Paced publishing sends a burst every tick; unthrottled runs flood
+	// with backpressure only (their latency tail then measures drain
+	// time of the standing queue, not steady state).
+	const tick = 5 * time.Millisecond
+	burst := *tuples // unthrottled: one burst
+	if *rate > 0 {
+		burst = int(float64(*rate) * tick.Seconds())
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	for i, pub := range pubs {
+		wg.Add(1)
+		go func(i int, pub *server.Publisher) {
+			defer wg.Done()
+			ticker := time.NewTicker(tick)
+			defer ticker.Stop()
+			// Values step by 1 so the DC1(v, 0.5, 0) subscribers treat
+			// every tuple as a closed singleton set (pass-all).
+			for n := 0; n < *tuples; {
+				for j := 0; j < burst && n < *tuples; j++ {
+					if err := pub.PublishNow([]float64{float64(n)}); err != nil {
+						errCh <- fmt.Errorf("publisher %d tuple %d: %w", i, n, err)
+						return
+					}
+					n++
+				}
+				if *rate > 0 && n < *tuples {
+					<-ticker.C
+				}
+			}
+			if err := pub.Close(); err != nil {
+				errCh <- fmt.Errorf("publisher %d close: %w", i, err)
+			}
+		}(i, pub)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+
+	c := srv.Counters()
+	var all []time.Duration
+	for _, lats := range latencies {
+		all = append(all, lats...)
+	}
+	rep := report{
+		Publishers:       *publishers,
+		Subscribers:      *subscribers,
+		TuplesPerSource:  *tuples,
+		Policy:           pol.String(),
+		Shards:           srv.Runtime().Shards(),
+		SubscriberQueue:  *queue,
+		ElapsedSec:       elapsed.Seconds(),
+		TuplesIn:         c.TuplesIn,
+		TuplesPerSec:     float64(c.TuplesIn) / elapsed.Seconds(),
+		Deliveries:       len(all),
+		DeliveriesPerSec: float64(len(all)) / elapsed.Seconds(),
+		SubscriberDrops:  c.SubscriberDrops,
+		BytesIn:          c.BytesIn,
+		BytesOut:         c.BytesOut,
+		Latency:          summarize(all),
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", enc)
+	if *out != "-" {
+		if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if rep.TuplesPerSec < 1 {
+		return fmt.Errorf("implausible throughput %.1f tuples/sec", rep.TuplesPerSec)
+	}
+	return nil
+}
+
+// summarize computes latency percentiles in milliseconds.
+func summarize(lats []time.Duration) latencyStats {
+	if len(lats) == 0 {
+		return latencyStats{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(lats)-1))
+		return ms(lats[i])
+	}
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	return latencyStats{
+		P50Ms:  pct(0.50),
+		P90Ms:  pct(0.90),
+		P95Ms:  pct(0.95),
+		P99Ms:  pct(0.99),
+		MeanMs: ms(sum / time.Duration(len(lats))),
+		MaxMs:  ms(lats[len(lats)-1]),
+	}
+}

@@ -1,0 +1,114 @@
+// Command gasf-server runs the networked group-aware stream filtering
+// service: publishers stream wire-encoded tuples over TCP, applications
+// subscribe with quality specifications, and every source runs a
+// group-aware engine on the sharded runtime with live membership.
+//
+// Usage:
+//
+//	gasf-server -addr :7070 -metrics-addr :9090 \
+//	            -alg RG -policy drop -queue 256 \
+//	            -heartbeat 2s -source-timeout 30s
+//
+// The metrics listener serves GET /metrics (Prometheus text: session and
+// shard counters) and GET /healthz.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gasf/internal/core"
+	"gasf/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gasf-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gasf-server", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":7070", "TCP listen address for sources and subscribers")
+		metricsAddr = fs.String("metrics-addr", "", "HTTP listen address for /metrics and /healthz (empty disables)")
+		alg         = fs.String("alg", "RG", "group decision algorithm: RG or PS")
+		cuts        = fs.Bool("cuts", false, "enable timely cuts")
+		maxDelay    = fs.Duration("maxdelay", 0, "group time constraint for -cuts")
+		shards      = fs.Int("shards", 0, "worker shards (0 = GOMAXPROCS)")
+		shardQueue  = fs.Int("shard-queue", 0, "per-shard input queue depth (0 = default)")
+		flushBatch  = fs.Int("flushbatch", 0, "released-transmission flush batch (0 = default)")
+		queue       = fs.Int("queue", 256, "default per-subscriber send queue, in frames")
+		policy      = fs.String("policy", "block", "slow-consumer policy: block or drop")
+		heartbeat   = fs.Duration("heartbeat", 2*time.Second, "subscriber heartbeat / gap-scan interval")
+		srcTimeout  = fs.Duration("source-timeout", 30*time.Second, "expire sources silent for this long (<0 disables)")
+		drainGrace  = fs.Duration("drain-grace", time.Second, "how long shutdown keeps draining connected publishers")
+		quiet       = fs.Bool("quiet", false, "suppress per-session log lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := core.Options{Cuts: *cuts, MaxDelay: *maxDelay,
+		ShardCount: *shards, QueueDepth: *shardQueue, FlushBatch: *flushBatch}
+	switch *alg {
+	case "RG", "rg":
+		opts.Algorithm = core.RG
+	case "PS", "ps":
+		opts.Algorithm = core.PS
+	default:
+		return fmt.Errorf("unknown algorithm %q (want RG or PS)", *alg)
+	}
+	pol, err := server.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	srv, err := server.Start(server.Config{
+		Addr:              *addr,
+		Engine:            opts,
+		SubscriberQueue:   *queue,
+		Policy:            pol,
+		HeartbeatInterval: *heartbeat,
+		SourceTimeout:     *srcTimeout,
+		DrainGrace:        *drainGrace,
+		Logf:              logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: srv.MetricsHandler()}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "gasf-server: metrics:", err)
+			}
+		}()
+		logf("gasf-server: metrics on http://%s/metrics", *metricsAddr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logf("gasf-server: signal received, draining")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if metricsSrv != nil {
+		defer metricsSrv.Shutdown(ctx)
+	}
+	return srv.Shutdown(ctx)
+}

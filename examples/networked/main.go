@@ -1,0 +1,100 @@
+// Networked: the client/server API over a real TCP loopback.
+//
+// An embedded gasf server is started on an ephemeral port; a publisher
+// streams a lake-buoy trace as the source "buoy", while two applications
+// subscribe over TCP with different quality specifications and print
+// what the group-aware filters deliver. A third application joins
+// mid-stream — the live group re-derivation of §4.3 — and a subscriber
+// leaves again before the stream ends.
+//
+//	go run ./examples/networked
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"gasf"
+)
+
+func main() {
+	srv, err := gasf.StartServer(gasf.ServerConfig{Policy: gasf.PolicyDrop})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := srv.Addr().String()
+	fmt.Println("server listening on", addr)
+	client := gasf.NewClient(addr)
+
+	series, err := gasf.NAMOS(gasf.TraceConfig{N: 400, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pub, err := client.Publish("buoy", series.Schema())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	// leaveAfter > 0 makes the application unsubscribe mid-stream (the
+	// server removes its filter from the live group).
+	subscribe := func(app, spec string, leaveAfter int) {
+		sub, err := client.Subscribe(app, "buoy", spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s subscribed with %s\n", app, spec)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			count := 0
+			for {
+				d, err := sub.Recv()
+				if err != nil {
+					fmt.Printf("%s: stream ended after %d deliveries (%v)\n", app, count, err)
+					return
+				}
+				count++
+				if count <= 3 {
+					v, _ := d.Tuple.Value("fluoro")
+					fmt.Printf("%s: tuple %d fluoro=%.3f (shared by %v)\n",
+						app, d.Tuple.Seq, v, d.Destinations)
+				}
+				if leaveAfter > 0 && count == leaveAfter {
+					sub.Close()
+					fmt.Printf("%s: unsubscribed after %d deliveries\n", app, count)
+					return
+				}
+			}
+		}()
+	}
+
+	subscribe("coarse", "DC1(fluoro, 0.5, 0.25)", 10)
+	subscribe("fine", "DC1(fluoro, 0.2, 0.1)", 0)
+
+	for i := 0; i < series.Len(); i++ {
+		if i == series.Len()/2 {
+			// A third application joins mid-stream: the server re-derives
+			// the group at a tuple boundary without disturbing the others.
+			subscribe("trend", "DC2(fluoro, 0.4, 0.2)", 0)
+		}
+		if err := pub.Publish(series.At(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := pub.Close(); err != nil {
+		log.Fatal(err)
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server drained")
+}

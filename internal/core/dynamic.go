@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"gasf/internal/filter"
+)
+
+// Dynamic group membership: subscriptions may join and leave a live engine
+// at a tuple boundary (between two Step calls, or before the first). The
+// networked server uses this to re-derive the group when an application
+// subscribes or unsubscribes mid-stream (§4.3) without restarting the
+// source's engine or disturbing other sources.
+//
+// An engine whose membership never changes behaves identically whether it
+// was built with NewEngine(filters, opts) or with NewDynamicEngine(opts)
+// followed by AddFilter calls in the same order — the dynamic-membership
+// equivalence tests assert byte-identical released output.
+
+// NewDynamicEngine builds an engine with an initially empty filter group,
+// for workloads where subscriptions arrive after the stream is live. An
+// empty engine consumes tuples without admitting any candidates (and
+// therefore releases nothing) until the first AddFilter.
+func NewDynamicEngine(opts Options) (*Engine, error) {
+	return newEngine(nil, opts, true)
+}
+
+// AddFilter joins a filter to the live group at a tuple boundary. The
+// filter starts with no open state and sees only tuples fed after the
+// call; the tuples already streamed are not replayed. Filter IDs must stay
+// unique within the group (an application that left may rejoin under the
+// same ID).
+func (e *Engine) AddFilter(f filter.Filter) error {
+	if f == nil {
+		return fmt.Errorf("core: nil filter")
+	}
+	if e.finished {
+		return fmt.Errorf("core: AddFilter after Finish")
+	}
+	for _, g := range e.filters {
+		if g.ID() == f.ID() {
+			return fmt.Errorf("core: duplicate filter id %q", f.ID())
+		}
+	}
+	e.filters = append(e.filters, f)
+	return nil
+}
+
+// RemoveFilter detaches the identified filter from the live group at a
+// tuple boundary. Its open candidate set is force-closed through the
+// normal cut path, so outputs the group already owes the departed
+// application are still decided and released (the dissemination layer is
+// free to drop deliveries addressed to a subscriber that is gone), and
+// regions the departed filter was holding open are re-tested for closure
+// immediately.
+func (e *Engine) RemoveFilter(id string) error {
+	if e.finished {
+		return fmt.Errorf("core: RemoveFilter after Finish")
+	}
+	idx := -1
+	for i, f := range e.filters {
+		if f.ID() == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("core: no filter %q in the group", id)
+	}
+	f := e.filters[idx]
+	e.filters = append(e.filters[:idx], e.filters[idx+1:]...)
+	if err := e.cutFilter(f); err != nil {
+		return err
+	}
+	delete(e.open, id)
+	if !e.started {
+		return nil
+	}
+	// The departed filter's open set may have been the only thing keeping
+	// the current region extendable; close and release what it unblocked,
+	// exactly as the tail of Step would.
+	if err := e.emitRegions(); err != nil {
+		return err
+	}
+	if len(e.stepBuf) > 0 {
+		e.mergeRelease(e.stepBuf, e.now)
+		e.stepBuf = e.stepBuf[:0]
+	}
+	return nil
+}
+
+// FilterIDs returns the IDs of the current group members, in group order.
+func (e *Engine) FilterIDs() []string {
+	ids := make([]string, len(e.filters))
+	for i, f := range e.filters {
+		ids[i] = f.ID()
+	}
+	return ids
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"gasf/internal/filter"
+	"gasf/internal/trace"
+	"gasf/internal/tuple"
+	"gasf/internal/wire"
+)
+
+// wireFingerprint serializes a result's released sequence with the wire
+// encoding so equivalence is byte-for-byte.
+func wireFingerprint(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf []byte
+	for _, tr := range res.Transmissions {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(tr.ReleasedAt.UnixNano()))
+		var err error
+		buf, err = wire.AppendTransmission(buf, tr.Tuple, tr.Destinations)
+		if err != nil {
+			t.Fatalf("encoding transmission: %v", err)
+		}
+	}
+	return buf
+}
+
+func dynGroup(t *testing.T) []filter.Filter {
+	t.Helper()
+	params := []struct {
+		id           string
+		delta, slack float64
+	}{{"A", 0.30, 0.15}, {"B", 0.50, 0.25}, {"C", 0.20, 0.10}}
+	out := make([]filter.Filter, len(params))
+	for i, p := range params {
+		f, err := filter.NewDC1(p.id, "fluoro", p.delta, p.slack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+func dynSeries(t *testing.T, n int) *tuple.Series {
+	t.Helper()
+	sr, err := trace.NAMOS(trace.Config{N: n, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// TestDynamicEngineEquivalence proves a churn-free dynamic engine (empty
+// construction plus AddFilter before the first tuple) releases a byte-
+// identical sequence to a statically constructed engine.
+func TestDynamicEngineEquivalence(t *testing.T) {
+	sr := dynSeries(t, 500)
+	for _, alg := range []Algorithm{RG, PS} {
+		opts := Options{Algorithm: alg}
+
+		static, err := Run(dynGroup(t), sr, opts)
+		if err != nil {
+			t.Fatalf("%v static: %v", alg, err)
+		}
+
+		dyn, err := NewDynamicEngine(opts)
+		if err != nil {
+			t.Fatalf("%v dynamic: %v", alg, err)
+		}
+		for _, f := range dynGroup(t) {
+			if err := dyn.AddFilter(f); err != nil {
+				t.Fatalf("%v AddFilter: %v", alg, err)
+			}
+		}
+		for i := 0; i < sr.Len(); i++ {
+			if err := dyn.Step(sr.At(i)); err != nil {
+				t.Fatalf("%v Step: %v", alg, err)
+			}
+		}
+		if err := dyn.Finish(); err != nil {
+			t.Fatalf("%v Finish: %v", alg, err)
+		}
+
+		a, b := wireFingerprint(t, static), wireFingerprint(t, dyn.Result())
+		if string(a) != string(b) {
+			t.Fatalf("%v: dynamic output differs from static (%d vs %d bytes)", alg, len(b), len(a))
+		}
+		if len(a) == 0 {
+			t.Fatalf("%v: degenerate case, no transmissions released", alg)
+		}
+	}
+}
+
+// TestEmptyDynamicEngineConsumesSilently checks an engine with no members
+// accepts tuples and releases nothing.
+func TestEmptyDynamicEngineConsumesSilently(t *testing.T) {
+	e, err := NewDynamicEngine(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := dynSeries(t, 50)
+	for i := 0; i < sr.Len(); i++ {
+		if err := e.Step(sr.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(e.Result().Transmissions); n != 0 {
+		t.Fatalf("empty engine released %d transmissions", n)
+	}
+	if got := e.Result().Stats.Inputs; got != sr.Len() {
+		t.Fatalf("inputs %d, want %d", got, sr.Len())
+	}
+}
+
+// TestAddFilterMidStream verifies a late joiner only sees tuples fed after
+// it joined, and that incumbents are undisturbed by the join: the
+// incumbent's delivered tuple set must equal its deliveries in a solo run.
+func TestAddFilterMidStream(t *testing.T) {
+	sr := dynSeries(t, 400)
+	opts := Options{Algorithm: RG}
+
+	incumbent, err := filter.NewDC1("A", "fluoro", 0.30, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine([]filter.Filter{incumbent}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinAt := sr.Len() / 2
+	for i := 0; i < sr.Len(); i++ {
+		if i == joinAt {
+			late, err := filter.NewDC1("B", "fluoro", 0.50, 0.25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.AddFilter(late); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Step(sr.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	var firstB = -1
+	for _, tr := range e.Result().Transmissions {
+		for _, d := range tr.Destinations {
+			if d == "B" && firstB < 0 {
+				firstB = tr.Tuple.Seq
+			}
+		}
+	}
+	if firstB < joinAt {
+		t.Fatalf("late joiner received tuple %d from before its join at %d", firstB, joinAt)
+	}
+	if firstB < 0 {
+		t.Fatal("late joiner received nothing")
+	}
+}
+
+// TestRemoveFilterMidStream verifies a leaver's open set is flushed and
+// the rest of the group keeps streaming.
+func TestRemoveFilterMidStream(t *testing.T) {
+	sr := dynSeries(t, 400)
+	e, err := NewEngine(dynGroup(t), Options{Algorithm: RG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaveAt := sr.Len() / 2
+	for i := 0; i < sr.Len(); i++ {
+		if i == leaveAt {
+			if err := e.RemoveFilter("B"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Step(sr.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	lastB, lastA := -1, -1
+	for _, tr := range e.Result().Transmissions {
+		for _, d := range tr.Destinations {
+			switch d {
+			case "B":
+				if tr.Tuple.Seq > lastB {
+					lastB = tr.Tuple.Seq
+				}
+			case "A":
+				if tr.Tuple.Seq > lastA {
+					lastA = tr.Tuple.Seq
+				}
+			}
+		}
+	}
+	if lastB >= leaveAt {
+		t.Fatalf("departed filter B was delivered tuple %d from after its leave at %d", lastB, leaveAt)
+	}
+	if lastA < leaveAt {
+		t.Fatalf("incumbent A stalled after the leave (last delivery %d, leave at %d)", lastA, leaveAt)
+	}
+	if got, want := e.FilterIDs(), []string{"A", "C"}; len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("FilterIDs = %v, want %v", got, want)
+	}
+}
+
+// TestDynamicMembershipErrors covers the error surface.
+func TestDynamicMembershipErrors(t *testing.T) {
+	e, err := NewDynamicEngine(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFilter(nil); err == nil {
+		t.Fatal("AddFilter(nil) succeeded")
+	}
+	f, err := filter.NewDC1("A", "fluoro", 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFilter(f); err != nil {
+		t.Fatal(err)
+	}
+	dup, err := filter.NewDC1("A", "fluoro", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFilter(dup); err == nil {
+		t.Fatal("duplicate AddFilter succeeded")
+	}
+	if err := e.RemoveFilter("nope"); err == nil {
+		t.Fatal("RemoveFilter of unknown id succeeded")
+	}
+	if err := e.RemoveFilter("A"); err != nil {
+		t.Fatal(err)
+	}
+	// A departed ID may rejoin.
+	if err := e.AddFilter(dup); err != nil {
+		t.Fatalf("rejoin after leave: %v", err)
+	}
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFilter(f); err == nil {
+		t.Fatal("AddFilter after Finish succeeded")
+	}
+	if err := e.RemoveFilter("A"); err == nil {
+		t.Fatal("RemoveFilter after Finish succeeded")
+	}
+}

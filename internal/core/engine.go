@@ -68,13 +68,18 @@ type chosenRec struct {
 	at  time.Time
 }
 
-// NewEngine builds an engine over the given filter group.
+// NewEngine builds an engine over the given filter group. For a group
+// whose membership changes at run time, see NewDynamicEngine.
 func NewEngine(filters []filter.Filter, opts Options) (*Engine, error) {
+	return newEngine(filters, opts, false)
+}
+
+func newEngine(filters []filter.Filter, opts Options, allowEmpty bool) (*Engine, error) {
 	opts, err := opts.validate()
 	if err != nil {
 		return nil, err
 	}
-	if len(filters) == 0 {
+	if len(filters) == 0 && !allowEmpty {
 		return nil, fmt.Errorf("core: engine needs at least one filter")
 	}
 	seen := make(map[string]bool, len(filters))

@@ -203,6 +203,12 @@ func BuildTree(net *overlay.Network, root overlay.NodeID, subscribers map[string
 // Root returns the tree root.
 func (t *Tree) Root() overlay.NodeID { return t.root }
 
+// HasMember reports whether the application is a member of this tree.
+func (t *Tree) HasMember(app string) bool {
+	_, ok := t.memberNode[app]
+	return ok
+}
+
 // Members returns the subscriber IDs in sorted order.
 func (t *Tree) Members() []string {
 	out := make([]string, 0, len(t.memberNode))

@@ -1,0 +1,259 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gasf/internal/tuple"
+	"gasf/internal/wire"
+)
+
+// dialHello dials the server, sends one hello frame, and waits for the
+// hello-ok (or error) answer, returning the ok payload.
+func dialHello(addr string, kind byte, hello []byte, timeout time.Duration) (net.Conn, []byte, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: %w", err)
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := WriteFrame(conn, kind, hello); err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("server: sending hello: %w", err)
+	}
+	k, payload, err := ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("server: reading hello answer: %w", err)
+	}
+	switch k {
+	case FrameHelloOK:
+		conn.SetDeadline(time.Time{})
+		return conn, payload, nil
+	case FrameError:
+		conn.Close()
+		return nil, nil, fmt.Errorf("server: rejected: %s", payload)
+	default:
+		conn.Close()
+		return nil, nil, fmt.Errorf("server: unexpected hello answer kind %d", k)
+	}
+}
+
+// Publisher is a client-side source session: it streams tuples of one
+// schema to the server under an advertised source name.
+type Publisher struct {
+	conn   net.Conn
+	schema *tuple.Schema
+	source string
+
+	mu     sync.Mutex
+	buf    []byte
+	lastTS time.Time
+	seq    int64
+	closed bool
+}
+
+// DialPublisher opens a source session. The schema travels in the
+// handshake; every published tuple must use it.
+func DialPublisher(addr, source string, schema *tuple.Schema) (*Publisher, error) {
+	hello, err := EncodeSourceHello(source, schema)
+	if err != nil {
+		return nil, err
+	}
+	conn, _, err := dialHello(addr, FrameSourceHello, hello, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Publisher{conn: conn, schema: schema, source: source}, nil
+}
+
+// Source returns the advertised source name.
+func (p *Publisher) Source() string { return p.source }
+
+// Publish sends one tuple. Timestamps must be strictly increasing — the
+// group-aware engine's region algebra depends on it — and the tuple must
+// use the advertised schema. Publish applies backpressure: it blocks when
+// the server's shard queue for this source is full.
+func (p *Publisher) Publish(t *tuple.Tuple) error {
+	if t == nil {
+		return fmt.Errorf("server: nil tuple")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.publishLocked(t)
+}
+
+func (p *Publisher) publishLocked(t *tuple.Tuple) error {
+	if p.closed {
+		return fmt.Errorf("server: publisher closed")
+	}
+	if !p.lastTS.IsZero() && !t.TS.After(p.lastTS) {
+		return fmt.Errorf("server: tuple %d timestamp %v not after previous %v", t.Seq, t.TS, p.lastTS)
+	}
+	payload, err := wire.AppendTuple(p.buf[:0], t)
+	if err != nil {
+		return err
+	}
+	p.buf = payload
+	if err := WriteFrame(p.conn, FrameTuple, payload); err != nil {
+		return fmt.Errorf("server: publishing: %w", err)
+	}
+	p.lastTS = t.TS
+	return nil
+}
+
+// PublishNow stamps the values with the current wall clock (strictly
+// after the previous publish) and a fresh sequence number, then
+// publishes. It is the convenient path for live feeds where the client
+// does not manage timestamps itself; PublishNow and Publish may be mixed
+// and called concurrently.
+func (p *Publisher) PublishNow(values []float64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("server: publisher closed")
+	}
+	ts := time.Now()
+	if !ts.After(p.lastTS) {
+		ts = p.lastTS.Add(time.Nanosecond)
+	}
+	t, err := tuple.New(p.schema, int(p.seq), ts, values)
+	if err != nil {
+		return err
+	}
+	p.seq++
+	return p.publishLocked(t)
+}
+
+// Heartbeat tells the server the source is alive during a lull, resetting
+// its flow-gap timer.
+func (p *Publisher) Heartbeat() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("server: publisher closed")
+	}
+	return WriteFrame(p.conn, FrameHeartbeat, nil)
+}
+
+// Close ends the stream gracefully: the server finishes the source's
+// engine, flushes the tail to its subscribers, and retires the session.
+func (p *Publisher) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	_ = WriteFrame(p.conn, FrameGoodbye, nil)
+	return p.conn.Close()
+}
+
+// Delivery is one transmission received by a subscriber: the tuple, the
+// full destination label list the engine decided (this subscriber is one
+// of them), and the client receive instant.
+type Delivery struct {
+	Tuple        *tuple.Tuple
+	Destinations []string
+	ReceivedAt   time.Time
+}
+
+// Subscriber is a client-side application session: it joins a source's
+// group with a quality spec and receives the filtered stream.
+type Subscriber struct {
+	conn   net.Conn
+	schema *tuple.Schema
+	app    string
+	source string
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// DialSubscriber joins a source's group. spec is a quality specification
+// in the paper's notation, e.g. "DC1(temperature, 0.5, 0.25)"; the
+// returned subscriber carries the source schema from the handshake.
+func DialSubscriber(addr, app, source, spec string) (*Subscriber, error) {
+	return DialSubscriberBuffered(addr, app, source, spec, 0)
+}
+
+// DialSubscriberBuffered is DialSubscriber with an explicit server-side
+// send-queue depth for this session (how many deliveries the server
+// buffers before its slow-consumer policy applies); 0 accepts the server
+// default.
+func DialSubscriberBuffered(addr, app, source, spec string, queue int) (*Subscriber, error) {
+	hello, err := EncodeSubHello(app, source, spec, queue)
+	if err != nil {
+		return nil, err
+	}
+	conn, payload, err := dialHello(addr, FrameSubHello, hello, 0)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := DecodeSchema(payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Subscriber{conn: conn, schema: schema, app: app, source: source}, nil
+}
+
+// Schema returns the source schema advertised in the handshake.
+func (c *Subscriber) Schema() *tuple.Schema { return c.schema }
+
+// App returns the application name of this session.
+func (c *Subscriber) App() string { return c.app }
+
+// Source returns the subscribed source name.
+func (c *Subscriber) Source() string { return c.source }
+
+// Recv blocks for the next delivery. It returns io.EOF-wrapped errors on
+// disconnect and a nil Delivery with ErrStreamEnded once the server ends
+// the stream gracefully (source finished or server drained).
+func (c *Subscriber) Recv() (*Delivery, error) {
+	for {
+		kind, payload, err := ReadFrame(c.conn)
+		if err != nil {
+			return nil, fmt.Errorf("server: receiving: %w", err)
+		}
+		switch kind {
+		case FrameTransmission:
+			t, dests, n, err := wire.DecodeTransmission(c.schema, payload)
+			if err != nil {
+				return nil, err
+			}
+			if n != len(payload) {
+				return nil, fmt.Errorf("server: transmission frame carries %d trailing bytes", len(payload)-n)
+			}
+			return &Delivery{Tuple: t, Destinations: dests, ReceivedAt: time.Now()}, nil
+		case FrameHeartbeat:
+			continue
+		case FrameGoodbye:
+			return nil, ErrStreamEnded
+		case FrameError:
+			return nil, fmt.Errorf("server: remote error: %s", payload)
+		default:
+			return nil, fmt.Errorf("server: unexpected frame kind %d", kind)
+		}
+	}
+}
+
+// Close leaves the group: the server removes this application's filter,
+// re-deriving the group for the remaining members.
+func (c *Subscriber) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	_ = WriteFrame(c.conn, FrameGoodbye, nil)
+	return c.conn.Close()
+}
+
+// ErrStreamEnded reports a graceful end of a subscription stream.
+var ErrStreamEnded = fmt.Errorf("server: stream ended")

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// counters is the server's atomic counter block.
+type counters struct {
+	sourcesAccepted     atomic.Uint64
+	sourcesFinished     atomic.Uint64
+	sourcesExpired      atomic.Uint64
+	sourcesFailed       atomic.Uint64
+	subscribersAccepted atomic.Uint64
+	subscriberDrops     atomic.Uint64
+	handshakeRejects    atomic.Uint64
+	tuplesIn            atomic.Uint64
+	transmissionsOut    atomic.Uint64
+	deliveriesOut       atomic.Uint64
+	bytesIn             atomic.Uint64
+	bytesOut            atomic.Uint64
+	heartbeatsIn        atomic.Uint64
+}
+
+// Counters is a point-in-time snapshot of the server session counters.
+type Counters struct {
+	// SourcesActive and SubscribersActive are gauges; the rest are
+	// monotonic totals.
+	SourcesActive, SubscribersActive                                int
+	SourcesAccepted, SourcesFinished, SourcesExpired, SourcesFailed uint64
+	SubscribersAccepted, SubscriberDrops                            uint64
+	HandshakeRejects                                                uint64
+	TuplesIn, TransmissionsOut, DeliveriesOut                       uint64
+	BytesIn, BytesOut                                               uint64
+	HeartbeatsIn                                                    uint64
+}
+
+// Counters snapshots the session counters.
+func (s *Server) Counters() Counters {
+	s.mu.RLock()
+	srcs := len(s.sources)
+	subs := 0
+	for _, m := range s.subs {
+		subs += len(m)
+	}
+	s.mu.RUnlock()
+	return Counters{
+		SourcesActive:       srcs,
+		SubscribersActive:   subs,
+		SourcesAccepted:     s.ctr.sourcesAccepted.Load(),
+		SourcesFinished:     s.ctr.sourcesFinished.Load(),
+		SourcesExpired:      s.ctr.sourcesExpired.Load(),
+		SourcesFailed:       s.ctr.sourcesFailed.Load(),
+		SubscribersAccepted: s.ctr.subscribersAccepted.Load(),
+		SubscriberDrops:     s.ctr.subscriberDrops.Load(),
+		HandshakeRejects:    s.ctr.handshakeRejects.Load(),
+		TuplesIn:            s.ctr.tuplesIn.Load(),
+		TransmissionsOut:    s.ctr.transmissionsOut.Load(),
+		DeliveriesOut:       s.ctr.deliveriesOut.Load(),
+		BytesIn:             s.ctr.bytesIn.Load(),
+		BytesOut:            s.ctr.bytesOut.Load(),
+		HeartbeatsIn:        s.ctr.heartbeatsIn.Load(),
+	}
+}
+
+// MetricsHandler serves /metrics (Prometheus text exposition of the
+// session counters and the per-shard runtime counters) and /healthz.
+func (s *Server) MetricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c := s.Counters()
+		g := func(name, help string, v any) {
+			fmt.Fprintf(w, "# HELP gasf_%s %s\n# TYPE gasf_%s %s\ngasf_%s %v\n",
+				name, help, name, metricType(name), name, v)
+		}
+		g("sources_active", "Connected publisher sessions.", c.SourcesActive)
+		g("subscribers_active", "Connected subscriber sessions.", c.SubscribersActive)
+		g("sources_accepted_total", "Publisher sessions accepted.", c.SourcesAccepted)
+		g("sources_finished_total", "Publisher sessions finished.", c.SourcesFinished)
+		g("sources_expired_total", "Publisher sessions expired by gap detection.", c.SourcesExpired)
+		g("sources_failed_total", "Publisher sessions ended by an error.", c.SourcesFailed)
+		g("subscribers_accepted_total", "Subscriber sessions accepted.", c.SubscribersAccepted)
+		g("subscriber_drops_total", "Deliveries dropped by the slow-consumer policy.", c.SubscriberDrops)
+		g("handshake_rejects_total", "Connections rejected at handshake.", c.HandshakeRejects)
+		g("tuples_in_total", "Tuples ingested from publishers.", c.TuplesIn)
+		g("transmissions_out_total", "Released transmissions fanned out.", c.TransmissionsOut)
+		g("deliveries_out_total", "Per-subscriber deliveries enqueued.", c.DeliveriesOut)
+		g("bytes_in_total", "Frame bytes read from publishers.", c.BytesIn)
+		g("bytes_out_total", "Frame bytes written to subscribers.", c.BytesOut)
+		g("heartbeats_in_total", "Heartbeat frames received.", c.HeartbeatsIn)
+		for _, snap := range s.rt.Metrics() {
+			l := fmt.Sprintf("{shard=\"%d\"}", snap.Shard)
+			fmt.Fprintf(w, "gasf_shard_sources%s %d\n", l, snap.Sources)
+			fmt.Fprintf(w, "gasf_shard_enqueued_total%s %d\n", l, snap.Enqueued)
+			fmt.Fprintf(w, "gasf_shard_processed_total%s %d\n", l, snap.Processed)
+			fmt.Fprintf(w, "gasf_shard_dropped_total%s %d\n", l, snap.Dropped)
+			fmt.Fprintf(w, "gasf_shard_flushes_total%s %d\n", l, snap.Flushes)
+			fmt.Fprintf(w, "gasf_shard_queue_depth%s %d\n", l, snap.QueueDepth)
+			fmt.Fprintf(w, "gasf_shard_queue_depth_max%s %d\n", l, snap.MaxQueueDepth)
+		}
+	})
+	return mux
+}
+
+// metricType says whether a metric name is a counter or a gauge, by the
+// _total suffix convention.
+func metricType(name string) string {
+	if len(name) > 6 && name[len(name)-6:] == "_total" {
+		return "counter"
+	}
+	return "gauge"
+}

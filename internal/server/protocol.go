@@ -1,0 +1,228 @@
+// Package server implements the networked streaming service: a TCP
+// server that accepts source sessions (publishers streaming wire-encoded
+// tuples) and subscriber sessions (applications sending a quality
+// specification and receiving their filtered transmission stream), all
+// multiplexed onto the sharded group-aware filtering runtime
+// (internal/shard) with dynamic group membership (internal/core
+// AddFilter/RemoveFilter).
+//
+// The protocol frames the binary tuple encoding of internal/wire:
+//
+//	frame:  u8 kind | u32 payload length (little-endian) | payload
+//
+// A connection opens with exactly one hello frame declaring its role:
+//
+//	source hello:     name | u16 attr count | attr names   (strings are uvarint length + bytes)
+//	subscriber hello: app name | source name | quality spec (internal/quality notation)
+//
+// The server answers hello-ok (carrying the source schema for
+// subscribers, empty for sources) or error (a message, then close). After
+// the handshake a source streams tuple frames (wire tuple encoding bound
+// to the advertised schema) interleaved with heartbeats; a subscriber
+// receives transmission frames (wire transmission encoding: destination
+// labels + tuple) and heartbeats. Goodbye announces a graceful end of
+// stream in either direction.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"gasf/internal/tuple"
+)
+
+// Frame kinds.
+const (
+	// FrameSourceHello opens a source (publisher) session.
+	FrameSourceHello byte = 1
+	// FrameSubHello opens a subscriber session.
+	FrameSubHello byte = 2
+	// FrameHelloOK acknowledges a hello; for subscribers it carries the
+	// source schema.
+	FrameHelloOK byte = 3
+	// FrameError carries a fatal error message; the sender closes after.
+	FrameError byte = 4
+	// FrameTuple carries one wire-encoded tuple (source -> server).
+	FrameTuple byte = 5
+	// FrameTransmission carries one wire-encoded labeled transmission
+	// (server -> subscriber).
+	FrameTransmission byte = 6
+	// FrameHeartbeat is an empty liveness frame.
+	FrameHeartbeat byte = 7
+	// FrameGoodbye announces a graceful end of stream.
+	FrameGoodbye byte = 8
+)
+
+// MaxFramePayload bounds a frame payload; larger frames are rejected as
+// malformed (a tuple of 65535 float64 values is ~512KiB).
+const MaxFramePayload = 1 << 20
+
+// frameHeaderLen is the encoded size of a frame header.
+const frameHeaderLen = 1 + 4
+
+// AppendFrame appends a framed payload to buf.
+func AppendFrame(buf []byte, kind byte, payload []byte) []byte {
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	return append(buf, payload...)
+}
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, kind byte, payload []byte) error {
+	if len(payload) > MaxFramePayload {
+		return fmt.Errorf("server: frame payload %d exceeds limit", len(payload))
+	}
+	buf := make([]byte, 0, frameHeaderLen+len(payload))
+	_, err := w.Write(AppendFrame(buf, kind, payload))
+	return err
+}
+
+// ReadFrame reads one frame, rejecting payloads over MaxFramePayload.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	kind := hdr[0]
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > MaxFramePayload {
+		return 0, nil, fmt.Errorf("server: frame payload %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("server: truncated frame payload: %w", err)
+	}
+	return kind, payload, nil
+}
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// readString consumes a uvarint-length-prefixed string.
+func readString(data []byte) (string, int, error) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 {
+		return "", 0, fmt.Errorf("server: bad string length")
+	}
+	if uint64(len(data)-n) < l {
+		return "", 0, fmt.Errorf("server: truncated string (%d of %d bytes)", len(data)-n, l)
+	}
+	return string(data[n : n+int(l)]), n + int(l), nil
+}
+
+// EncodeSourceHello encodes a source hello payload.
+func EncodeSourceHello(name string, schema *tuple.Schema) ([]byte, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: empty source name")
+	}
+	if schema == nil {
+		return nil, fmt.Errorf("server: nil schema")
+	}
+	buf := appendString(nil, name)
+	return appendSchema(buf, schema)
+}
+
+// DecodeSourceHello decodes a source hello payload.
+func DecodeSourceHello(data []byte) (name string, schema *tuple.Schema, err error) {
+	name, n, err := readString(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if name == "" {
+		return "", nil, fmt.Errorf("server: empty source name")
+	}
+	schema, _, err = decodeSchema(data[n:])
+	if err != nil {
+		return "", nil, err
+	}
+	return name, schema, nil
+}
+
+// EncodeSubHello encodes a subscriber hello payload. queue requests a
+// per-subscriber send-queue depth; 0 accepts the server default.
+func EncodeSubHello(app, source, spec string, queue int) ([]byte, error) {
+	if app == "" || source == "" || spec == "" {
+		return nil, fmt.Errorf("server: subscriber hello needs app, source and spec")
+	}
+	if queue < 0 {
+		return nil, fmt.Errorf("server: negative queue depth %d", queue)
+	}
+	buf := appendString(nil, app)
+	buf = appendString(buf, source)
+	buf = appendString(buf, spec)
+	return binary.AppendUvarint(buf, uint64(queue)), nil
+}
+
+// DecodeSubHello decodes a subscriber hello payload.
+func DecodeSubHello(data []byte) (app, source, spec string, queue int, err error) {
+	app, n, err := readString(data)
+	if err != nil {
+		return "", "", "", 0, err
+	}
+	source, m, err := readString(data[n:])
+	if err != nil {
+		return "", "", "", 0, err
+	}
+	spec, k, err := readString(data[n+m:])
+	if err != nil {
+		return "", "", "", 0, err
+	}
+	q, qn := binary.Uvarint(data[n+m+k:])
+	if qn <= 0 || q > 1<<20 {
+		return "", "", "", 0, fmt.Errorf("server: bad queue depth in subscriber hello")
+	}
+	if app == "" || source == "" || spec == "" {
+		return "", "", "", 0, fmt.Errorf("server: subscriber hello needs app, source and spec")
+	}
+	return app, source, spec, int(q), nil
+}
+
+// appendSchema appends a schema (u16 count + names).
+func appendSchema(buf []byte, s *tuple.Schema) ([]byte, error) {
+	names := s.Names()
+	if len(names) > 1<<16-1 {
+		return nil, fmt.Errorf("server: schema with %d attributes exceeds the u16 limit", len(names))
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(names)))
+	for _, n := range names {
+		buf = appendString(buf, n)
+	}
+	return buf, nil
+}
+
+// decodeSchema consumes an encoded schema.
+func decodeSchema(data []byte) (*tuple.Schema, int, error) {
+	if len(data) < 2 {
+		return nil, 0, fmt.Errorf("server: truncated schema header")
+	}
+	count := int(binary.LittleEndian.Uint16(data))
+	off := 2
+	names := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		name, n, err := readString(data[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("server: schema attribute %d: %w", i, err)
+		}
+		names = append(names, name)
+		off += n
+	}
+	s, err := tuple.NewSchema(names...)
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: %w", err)
+	}
+	return s, off, nil
+}
+
+// EncodeSchema encodes a schema payload (the hello-ok body sent to
+// subscribers).
+func EncodeSchema(s *tuple.Schema) ([]byte, error) { return appendSchema(nil, s) }
+
+// DecodeSchema decodes a schema payload.
+func DecodeSchema(data []byte) (*tuple.Schema, error) {
+	s, _, err := decodeSchema(data)
+	return s, err
+}

@@ -1,0 +1,736 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gasf/internal/core"
+	"gasf/internal/quality"
+	"gasf/internal/shard"
+	"gasf/internal/tuple"
+	"gasf/internal/wire"
+)
+
+// Policy selects how the server treats a subscriber whose bounded send
+// queue is full.
+type Policy int
+
+const (
+	// PolicyBlock applies backpressure: the shard worker waits for queue
+	// space, which eventually stalls the publishers feeding that shard.
+	// Nothing is lost; the slowest consumer paces its sources.
+	PolicyBlock Policy = iota
+	// PolicyDrop discards the delivery and counts it, keeping fast
+	// subscribers and publishers unaffected by a slow one.
+	PolicyDrop
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBlock:
+		return "block"
+	case PolicyDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy reads a policy name ("block" or "drop").
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return PolicyBlock, nil
+	case "drop":
+		return PolicyDrop, nil
+	default:
+		return 0, fmt.Errorf("server: unknown slow-consumer policy %q (want block or drop)", s)
+	}
+}
+
+// Config parameterizes a Server. The zero value listens on an ephemeral
+// loopback port with default engine options.
+type Config struct {
+	// Addr is the TCP listen address; empty means "127.0.0.1:0".
+	Addr string
+	// Engine configures the group-aware engine deployed per source
+	// (algorithm, cuts, output strategy) and the shard runtime knobs.
+	Engine core.Options
+	// SubscriberQueue bounds each subscriber's send queue, in frames;
+	// 0 means 256. A session may request its own depth in the hello,
+	// clamped to MaxSubscriberQueue.
+	SubscriberQueue int
+	// MaxSubscriberQueue caps the per-session queue depth a subscriber
+	// may request (memory protection); 0 means 65536.
+	MaxSubscriberQueue int
+	// Policy selects the slow-consumer policy (block or drop).
+	Policy Policy
+	// HeartbeatInterval paces server->subscriber heartbeats and the
+	// stalled-source scan; 0 means 2s.
+	HeartbeatInterval time.Duration
+	// SourceTimeout expires a source session that has sent nothing (not
+	// even a heartbeat) for this long — the flow-gap detector. 0 means
+	// 30s; negative disables expiry.
+	SourceTimeout time.Duration
+	// WriteTimeout bounds one frame write to a subscriber; a subscriber
+	// that cannot absorb a frame within it is disconnected. 0 means 10s.
+	WriteTimeout time.Duration
+	// HandshakeTimeout bounds the wait for a connection's hello frame;
+	// 0 means 5s.
+	HandshakeTimeout time.Duration
+	// DrainGrace bounds how long a graceful Shutdown keeps reading from
+	// connected publishers (draining tuples already in flight) before
+	// cutting them; 0 means 1s.
+	DrainGrace time.Duration
+	// Logf, when set, receives one line per session event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.SubscriberQueue <= 0 {
+		c.SubscriberQueue = 256
+	}
+	if c.MaxSubscriberQueue <= 0 {
+		c.MaxSubscriberQueue = 65536
+	}
+	if c.SubscriberQueue > c.MaxSubscriberQueue {
+		c.MaxSubscriberQueue = c.SubscriberQueue
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 2 * time.Second
+	}
+	if c.SourceTimeout == 0 {
+		c.SourceTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 5 * time.Second
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// errDraining rejects sessions arriving during shutdown.
+var errDraining = errors.New("server is draining")
+
+// sourceSession is one connected publisher.
+type sourceSession struct {
+	name     string
+	conn     net.Conn
+	schema   *tuple.Schema
+	lastSeen atomicTime
+	// expired marks that the gap detector closed the connection, so the
+	// reader attributes its exit correctly.
+	expired atomicFlag
+}
+
+// Server is the networked streaming service. Create with Start, stop with
+// Shutdown (graceful drain) or Close (abort).
+type Server struct {
+	cfg Config
+	ln  net.Listener
+	rt  *shard.Runtime
+
+	// rtCancel aborts the shard runtime (hard stop only; a graceful
+	// drain must leave the workers running until Drain returns).
+	rtCancel context.CancelFunc
+
+	// mu guards the session registries; the delivery fan-out (sink) and
+	// metrics snapshots take the read side so shard workers do not
+	// serialize against each other or against handshakes.
+	mu       sync.RWMutex
+	sources  map[string]*sourceSession
+	subs     map[string]map[string]*subscriber // source -> app -> session
+	draining bool
+
+	// opsMu gates runtime operations against Drain: sessions hold the
+	// read side across Feed/Control/FinishSource; Shutdown takes the
+	// write side once all sources are gone, after which rtClosed rejects
+	// stragglers.
+	opsMu    sync.RWMutex
+	rtClosed bool
+
+	srcWG  sync.WaitGroup // source session readers
+	connWG sync.WaitGroup // every session goroutine
+	stop   chan struct{}  // closes background loops
+
+	ctr      counters
+	shutOnce sync.Once
+	shutErr  error
+}
+
+// Start listens and serves until Shutdown or Close.
+func Start(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		ln:       ln,
+		rt:       shard.New(shard.FromOptions(cfg.Engine)),
+		rtCancel: cancel,
+		sources:  make(map[string]*sourceSession),
+		subs:     make(map[string]map[string]*subscriber),
+		stop:     make(chan struct{}),
+	}
+	if err := s.rt.Start(ctx, s.sink); err != nil {
+		cancel()
+		ln.Close()
+		return nil, err
+	}
+	s.connWG.Add(2)
+	go s.acceptLoop()
+	go s.scanLoop()
+	cfg.Logf("server: listening on %s (policy %s, heartbeat %s, source timeout %s)",
+		ln.Addr(), cfg.Policy, cfg.HeartbeatInterval, cfg.SourceTimeout)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Runtime exposes the shard runtime for metrics.
+func (s *Server) Runtime() *shard.Runtime { return s.rt }
+
+// isDraining reports whether Shutdown has begun.
+func (s *Server) isDraining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// runtimeOp runs a runtime operation under the drain gate.
+func (s *Server) runtimeOp(fn func() error) error {
+	s.opsMu.RLock()
+	defer s.opsMu.RUnlock()
+	if s.rtClosed {
+		return errDraining
+	}
+	return fn()
+}
+
+// acceptLoop admits connections until the listener closes.
+func (s *Server) acceptLoop() {
+	defer s.connWG.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.connWG.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// scanLoop expires sources that stopped sending (flow-gap detection): a
+// publisher that neither streams nor heartbeats within SourceTimeout is
+// presumed dead, its session is closed and its stream finished, so its
+// subscribers see a clean end instead of silence.
+func (s *Server) scanLoop() {
+	defer s.connWG.Done()
+	if s.cfg.SourceTimeout < 0 {
+		return
+	}
+	tick := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+		}
+		cutoff := time.Now().Add(-s.cfg.SourceTimeout)
+		s.mu.Lock()
+		var stale []*sourceSession
+		for _, src := range s.sources {
+			if src.lastSeen.load().Before(cutoff) {
+				stale = append(stale, src)
+			}
+		}
+		s.mu.Unlock()
+		for _, src := range stale {
+			src.expired.set()
+			s.ctr.sourcesExpired.Add(1)
+			s.cfg.Logf("server: source %q expired (silent for %s)", src.name, s.cfg.SourceTimeout)
+			// Closing the connection unblocks the session reader, which
+			// finishes the stream and tears down the subscribers.
+			src.conn.Close()
+		}
+	}
+}
+
+// handleConn performs the handshake and dispatches the session.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.connWG.Done()
+	conn.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	kind, payload, err := ReadFrame(conn)
+	if err != nil {
+		s.reject(conn, fmt.Errorf("reading hello: %w", err))
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	switch kind {
+	case FrameSourceHello:
+		s.serveSource(conn, payload)
+	case FrameSubHello:
+		s.serveSubscriber(conn, payload)
+	default:
+		s.reject(conn, fmt.Errorf("connection opened with frame kind %d, want a hello", kind))
+	}
+}
+
+// reject answers a failed handshake with an error frame and closes.
+func (s *Server) reject(conn net.Conn, err error) {
+	s.ctr.handshakeRejects.Add(1)
+	s.cfg.Logf("server: rejecting %s: %v", conn.RemoteAddr(), err)
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	_ = WriteFrame(conn, FrameError, []byte(err.Error()))
+	conn.Close()
+}
+
+// serveSource runs a publisher session: register an engine for the
+// source, stream its tuples into the shard runtime, and on any exit
+// (goodbye, disconnect, expiry, protocol error) finish the stream, flush
+// the tail to its subscribers, and tear the subscribers down.
+func (s *Server) serveSource(conn net.Conn, hello []byte) {
+	name, schema, err := DecodeSourceHello(hello)
+	if err != nil {
+		s.reject(conn, err)
+		return
+	}
+	src := &sourceSession{name: name, conn: conn, schema: schema}
+	src.lastSeen.store(time.Now())
+
+	s.mu.Lock()
+	switch {
+	case s.draining:
+		s.mu.Unlock()
+		s.reject(conn, errDraining)
+		return
+	case s.sources[name] != nil:
+		s.mu.Unlock()
+		s.reject(conn, fmt.Errorf("source %q already connected", name))
+		return
+	}
+	engine, err := core.NewDynamicEngine(s.cfg.Engine)
+	if err == nil {
+		err = s.runtimeOp(func() error { return s.rt.AddSourceLive(name, engine) })
+	}
+	if err != nil {
+		s.mu.Unlock()
+		s.reject(conn, err)
+		return
+	}
+	s.sources[name] = src
+	s.srcWG.Add(1)
+	s.mu.Unlock()
+
+	s.ctr.sourcesAccepted.Add(1)
+	s.cfg.Logf("server: source %q connected from %s %v", name, conn.RemoteAddr(), schema)
+	if err := WriteFrame(conn, FrameHelloOK, nil); err != nil {
+		s.finishSource(src, fmt.Errorf("hello-ok: %w", err))
+		return
+	}
+	s.readSource(src)
+}
+
+// readSource is the publisher read loop.
+func (s *Server) readSource(src *sourceSession) {
+	var lastTS time.Time
+	var readErr error
+	for {
+		kind, payload, err := ReadFrame(src.conn)
+		if err != nil {
+			// EOF, gap expiry and the drain deadline are orderly ends of
+			// stream, not failures.
+			if !errors.Is(err, io.EOF) && !src.expired.isSet() && !s.isDraining() {
+				readErr = err
+			}
+			break
+		}
+		src.lastSeen.store(time.Now())
+		s.ctr.bytesIn.Add(uint64(frameHeaderLen + len(payload)))
+		switch kind {
+		case FrameTuple:
+			t, n, err := wire.DecodeTuple(src.schema, payload)
+			if err == nil && n != len(payload) {
+				err = fmt.Errorf("tuple frame carries %d trailing bytes", len(payload)-n)
+			}
+			if err == nil && !t.TS.After(lastTS) {
+				err = fmt.Errorf("tuple %d timestamp %v not after previous %v", t.Seq, t.TS, lastTS)
+			}
+			if err != nil {
+				readErr = err
+				s.sendError(src.conn, err)
+				break
+			}
+			lastTS = t.TS
+			if err := s.runtimeOp(func() error { return s.rt.Feed(src.name, t) }); err != nil {
+				readErr = err
+				break
+			}
+			s.ctr.tuplesIn.Add(1)
+			continue
+		case FrameHeartbeat:
+			s.ctr.heartbeatsIn.Add(1)
+			continue
+		case FrameGoodbye:
+		default:
+			readErr = fmt.Errorf("unexpected frame kind %d from source", kind)
+			s.sendError(src.conn, readErr)
+		}
+		break
+	}
+	s.finishSource(src, readErr)
+}
+
+// sendError best-effort ships a fatal error to the peer.
+func (s *Server) sendError(conn net.Conn, err error) {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	_ = WriteFrame(conn, FrameError, []byte(err.Error()))
+}
+
+// finishSource ends a publisher session: finish the engine (flushing its
+// final outputs through the sink), tear down the source's subscribers
+// after the tail is delivered, and release the source name for reuse.
+func (s *Server) finishSource(src *sourceSession, cause error) {
+	defer s.srcWG.Done()
+	src.conn.Close()
+	if cause != nil {
+		s.ctr.sourcesFailed.Add(1)
+		s.cfg.Logf("server: source %q failed: %v", src.name, cause)
+	} else {
+		s.cfg.Logf("server: source %q finished", src.name)
+	}
+	if err := s.runtimeOp(func() error { return s.rt.FinishSourceWait(src.name) }); err != nil && !errors.Is(err, errDraining) {
+		s.cfg.Logf("server: finishing source %q: %v", src.name, err)
+	}
+	// The runtime forgets the name before the server registry does, so a
+	// publisher reconnecting under this name either sees the old session
+	// (rejected, retryable) or a fully clean slate — never a half-freed
+	// name whose AddSourceLive would fail.
+	if err := s.runtimeOp(func() error { return s.rt.RemoveSource(src.name) }); err != nil && !errors.Is(err, errDraining) {
+		s.cfg.Logf("server: removing source %q: %v", src.name, err)
+	}
+	s.mu.Lock()
+	delete(s.sources, src.name)
+	subs := s.subs[src.name]
+	delete(s.subs, src.name)
+	s.mu.Unlock()
+	// The finish marker has been processed, so no further sink flush can
+	// touch these subscribers: their queues are complete and may be
+	// flushed and closed.
+	for _, sub := range subs {
+		sub.finishStream()
+	}
+	s.ctr.sourcesFinished.Add(1)
+}
+
+// serveSubscriber runs a subscriber session: parse and validate the
+// quality spec, join the source's live group, then stream transmissions
+// until the subscriber leaves or its source finishes.
+func (s *Server) serveSubscriber(conn net.Conn, hello []byte) {
+	app, source, specText, queue, err := DecodeSubHello(hello)
+	if err != nil {
+		s.reject(conn, err)
+		return
+	}
+	spec, err := quality.Parse(specText)
+	if err != nil {
+		s.reject(conn, err)
+		return
+	}
+	f, err := spec.Build(app)
+	if err != nil {
+		s.reject(conn, err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.reject(conn, errDraining)
+		return
+	}
+	src := s.sources[source]
+	if src == nil {
+		s.mu.Unlock()
+		s.reject(conn, fmt.Errorf("unknown source %q", source))
+		return
+	}
+	for _, attr := range spec.Attrs {
+		if !src.schema.Has(attr) {
+			s.mu.Unlock()
+			s.reject(conn, fmt.Errorf("source %q has no attribute %q (schema %v)", source, attr, src.schema))
+			return
+		}
+	}
+	if s.subs[source][app] != nil {
+		s.mu.Unlock()
+		s.reject(conn, fmt.Errorf("app %q already subscribed to %q", app, source))
+		return
+	}
+	// Transmissions label every destination on the wire (u8 count), so a
+	// group larger than the encoding allows could never be delivered.
+	if len(s.subs[source]) >= wire.MaxDestinations {
+		s.mu.Unlock()
+		s.reject(conn, fmt.Errorf("source %q already has %d subscribers (wire limit)", source, wire.MaxDestinations))
+		return
+	}
+	if queue <= 0 {
+		queue = s.cfg.SubscriberQueue
+	}
+	if queue > s.cfg.MaxSubscriberQueue {
+		queue = s.cfg.MaxSubscriberQueue
+	}
+	sub := newSubscriber(s, app, source, conn, queue)
+	if s.subs[source] == nil {
+		s.subs[source] = make(map[string]*subscriber)
+	}
+	// Registered before the filter joins the group, so the first
+	// delivery the engine decides for this app finds its queue.
+	s.subs[source][app] = sub
+	s.mu.Unlock()
+
+	err = s.runtimeOp(func() error {
+		return s.rt.Control(source, func(e *core.Engine) error { return e.AddFilter(f) })
+	})
+	if err != nil {
+		s.dropSubscriberEntry(sub)
+		s.reject(conn, fmt.Errorf("joining group of %q: %w", source, err))
+		return
+	}
+
+	schemaPayload, err := EncodeSchema(src.schema)
+	if err == nil {
+		err = WriteFrame(conn, FrameHelloOK, schemaPayload)
+	}
+	if err != nil {
+		s.removeSubscriber(sub)
+		conn.Close()
+		return
+	}
+	s.ctr.subscribersAccepted.Add(1)
+	s.cfg.Logf("server: app %q subscribed to %q with %s", app, source, spec)
+	s.connWG.Add(1)
+	go sub.writeLoop()
+	sub.readLoop() // returns when the client leaves or the session ends
+}
+
+// dropSubscriberEntry removes a subscriber from the registry without
+// touching the engine (used when the join itself failed).
+func (s *Server) dropSubscriberEntry(sub *subscriber) {
+	s.mu.Lock()
+	if m := s.subs[sub.source]; m != nil && m[sub.app] == sub {
+		delete(m, sub.app)
+	}
+	s.mu.Unlock()
+}
+
+// removeSubscriber detaches a departing subscriber: its filter leaves the
+// live group (re-deriving the group for the remaining members) and its
+// queue stops accepting deliveries. The registry entry is removed only
+// after the filter has left the engine, so outputs the group still owed
+// the old session cannot reach a new session reusing the app name — the
+// name stays taken (duplicate-rejected) until the detach completes.
+func (s *Server) removeSubscriber(sub *subscriber) {
+	sub.leave() // unblocks any sink send first
+	err := s.runtimeOp(func() error {
+		return s.rt.Control(sub.source, func(e *core.Engine) error { return e.RemoveFilter(sub.app) })
+	})
+	if err != nil && !errors.Is(err, errDraining) {
+		// The source may have finished concurrently; its teardown already
+		// retired the whole group.
+		s.cfg.Logf("server: detaching %q from %q: %v", sub.app, sub.source, err)
+	}
+	s.dropSubscriberEntry(sub)
+	s.cfg.Logf("server: app %q left %q (%d dropped)", sub.app, sub.source, sub.droppedCount())
+}
+
+// sink receives batched released transmissions from the shard workers and
+// fans each out to the connected subscribers named in its destination
+// list. Per-source calls are serialized by the owning worker, so each
+// subscriber's stream arrives in release order.
+func (s *Server) sink(batch []shard.Out) {
+	for i := range batch {
+		o := &batch[i]
+		s.ctr.transmissionsOut.Add(1)
+		s.mu.RLock()
+		targets := make([]*subscriber, 0, len(o.Tr.Destinations))
+		for _, app := range o.Tr.Destinations {
+			if sub := s.subs[o.Source][app]; sub != nil {
+				targets = append(targets, sub)
+			}
+		}
+		s.mu.RUnlock()
+		if len(targets) == 0 {
+			// Every addressee already left (their owed outputs decided
+			// after the leave); nothing to encode.
+			continue
+		}
+		payload, err := wire.AppendTransmission(nil, o.Tr.Tuple, o.Tr.Destinations)
+		if err != nil {
+			s.cfg.Logf("server: encoding transmission of %q: %v", o.Source, err)
+			continue
+		}
+		frame := AppendFrame(make([]byte, 0, frameHeaderLen+len(payload)), FrameTransmission, payload)
+		for _, sub := range targets {
+			sub.send(frame)
+		}
+	}
+}
+
+// Shutdown gracefully drains the server: stop accepting, close publisher
+// sessions, flush every engine and subscriber queue, then close the
+// subscriber sessions with a goodbye. The context bounds the drain; on
+// expiry the remaining work is aborted.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() { s.shutErr = s.shutdown(ctx) })
+	return s.shutErr
+}
+
+// Close aborts the server without draining.
+func (s *Server) Close() error {
+	s.shutOnce.Do(func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		s.shutErr = s.shutdown(ctx)
+	})
+	return s.shutErr
+}
+
+func (s *Server) shutdown(ctx context.Context) error {
+	s.cfg.Logf("server: shutting down")
+	s.mu.Lock()
+	s.draining = true
+	srcs := make([]*sourceSession, 0, len(s.sources))
+	for _, src := range s.sources {
+		srcs = append(srcs, src)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	close(s.stop)
+
+	// Each publisher gets a goodbye and a read deadline: its reader
+	// drains the tuples already in flight, then goes down the normal
+	// finish path — engine Finish, tail flush, subscriber goodbye.
+	for _, src := range srcs {
+		src.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		_ = WriteFrame(src.conn, FrameGoodbye, nil)
+		src.conn.SetReadDeadline(time.Now().Add(s.cfg.DrainGrace))
+	}
+
+	done := make(chan struct{})
+	go func() { s.srcWG.Wait(); close(done) }()
+	aborted := false
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Hard abort: cancel the runtime so blocked feeds and controls
+		// unwind, and cut the connections under the readers.
+		aborted = true
+		s.rtCancel()
+		for _, src := range srcs {
+			src.conn.Close()
+		}
+		<-done
+	}
+
+	// All feeders have stopped; seal the runtime and drain it.
+	s.opsMu.Lock()
+	s.rtClosed = true
+	s.opsMu.Unlock()
+	if aborted {
+		s.rtCancel()
+	}
+	drainErr := s.rt.Drain()
+	s.rtCancel()
+
+	// Workers are gone, so no sink flush can race these closes; any
+	// subscriber still connected gets its queue flushed and a goodbye.
+	s.mu.Lock()
+	var rest []*subscriber
+	for _, m := range s.subs {
+		for _, sub := range m {
+			rest = append(rest, sub)
+		}
+	}
+	s.subs = make(map[string]map[string]*subscriber)
+	s.mu.Unlock()
+	for _, sub := range rest {
+		sub.finishStream()
+	}
+
+	waitDone := make(chan struct{})
+	go func() { s.connWG.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-ctx.Done():
+		if !aborted {
+			drainErr = errors.Join(drainErr, ctx.Err())
+		}
+	}
+	if aborted {
+		// The abort cancelled the runtime on purpose; surfacing the
+		// cancellation itself as an error would make every Close() fail.
+		return stripCtxErrs(drainErr)
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	s.cfg.Logf("server: drained")
+	return nil
+}
+
+// stripCtxErrs removes context-cancellation errors from a (possibly
+// joined) error tree, keeping real failures.
+func stripCtxErrs(err error) error {
+	if err == nil {
+		return nil
+	}
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		var keep []error
+		for _, e := range joined.Unwrap() {
+			if e = stripCtxErrs(e); e != nil {
+				keep = append(keep, e)
+			}
+		}
+		return errors.Join(keep...)
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nil
+	}
+	return err
+}
+
+// atomicTime is a nanosecond-resolution atomic instant.
+type atomicTime struct{ ns atomic.Int64 }
+
+func (a *atomicTime) store(t time.Time) { a.ns.Store(t.UnixNano()) }
+func (a *atomicTime) load() time.Time   { return time.Unix(0, a.ns.Load()) }
+
+// atomicFlag is a set-once boolean.
+type atomicFlag struct{ v atomic.Bool }
+
+func (a *atomicFlag) set()        { a.v.Store(true) }
+func (a *atomicFlag) isSet() bool { return a.v.Load() }

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"net"
+)
+
+// subscriber is one connected application session: a bounded queue of
+// encoded frames between the shard workers (producers, via Server.sink)
+// and a writer goroutine that owns the connection's write side.
+type subscriber struct {
+	s      *Server
+	app    string
+	source string
+	conn   net.Conn
+
+	// out carries encoded frames to the writer. Only the sink sends on
+	// it, only for a live source; it is closed exactly once, after the
+	// source's final flush, to let the writer drain the tail and send
+	// the goodbye.
+	out chan []byte
+	// done is closed when the subscriber leaves (client disconnect or
+	// removal), releasing any sink send blocked on a full queue.
+	done      chan struct{}
+	leaveOnce sync.Once
+	finOnce   sync.Once
+
+	dropped atomic.Uint64
+}
+
+func newSubscriber(s *Server, app, source string, conn net.Conn, queue int) *subscriber {
+	return &subscriber{
+		s:      s,
+		app:    app,
+		source: source,
+		conn:   conn,
+		out:    make(chan []byte, queue),
+		done:   make(chan struct{}),
+	}
+}
+
+// send enqueues one encoded frame under the server's slow-consumer
+// policy. It is called from shard workers; frames for one source arrive
+// from one worker at a time, in release order.
+func (sub *subscriber) send(frame []byte) {
+	select {
+	case <-sub.done:
+		// The subscriber already left; frames queued for it are lost.
+		sub.drop()
+		return
+	default:
+	}
+	switch sub.s.cfg.Policy {
+	case PolicyDrop:
+		select {
+		case sub.out <- frame:
+			sub.s.ctr.deliveriesOut.Add(1)
+		default:
+			sub.drop()
+		}
+	default: // PolicyBlock
+		select {
+		case sub.out <- frame:
+			sub.s.ctr.deliveriesOut.Add(1)
+		case <-sub.done:
+			sub.drop()
+		}
+	}
+}
+
+func (sub *subscriber) drop() {
+	sub.dropped.Add(1)
+	sub.s.ctr.subscriberDrops.Add(1)
+}
+
+// leave marks the subscriber gone: sink sends stop blocking on it and the
+// writer exits without flushing (the peer is not reading anyway).
+func (sub *subscriber) leave() {
+	sub.leaveOnce.Do(func() { close(sub.done) })
+}
+
+// finishStream closes the queue after the source's last flush: the writer
+// drains what remains, sends a goodbye, and closes the connection. Safe
+// only once no sink flush can still target this subscriber.
+func (sub *subscriber) finishStream() {
+	sub.finOnce.Do(func() { close(sub.out) })
+}
+
+// droppedCount returns the deliveries lost to the slow-consumer policy.
+func (sub *subscriber) droppedCount() uint64 { return sub.dropped.Load() }
+
+// writeLoop owns the connection's write side: it streams queued frames,
+// heartbeats when idle, and finishes with a goodbye when the stream ends.
+func (sub *subscriber) writeLoop() {
+	defer sub.s.connWG.Done()
+	defer sub.conn.Close()
+	hb := time.NewTicker(sub.s.cfg.HeartbeatInterval)
+	defer hb.Stop()
+	for {
+		select {
+		case <-sub.done:
+			return
+		case frame, ok := <-sub.out:
+			if !ok {
+				sub.conn.SetWriteDeadline(time.Now().Add(sub.s.cfg.WriteTimeout))
+				_ = WriteFrame(sub.conn, FrameGoodbye, nil)
+				sub.leave()
+				return
+			}
+			sub.conn.SetWriteDeadline(time.Now().Add(sub.s.cfg.WriteTimeout))
+			if _, err := sub.conn.Write(frame); err != nil {
+				sub.s.removeSubscriber(sub)
+				return
+			}
+			sub.s.ctr.bytesOut.Add(uint64(len(frame)))
+		case <-hb.C:
+			sub.conn.SetWriteDeadline(time.Now().Add(sub.s.cfg.WriteTimeout))
+			if err := WriteFrame(sub.conn, FrameHeartbeat, nil); err != nil {
+				sub.s.removeSubscriber(sub)
+				return
+			}
+		}
+	}
+}
+
+// readLoop consumes the client's side of the session until it leaves
+// (goodbye or disconnect); client heartbeats are permitted and ignored.
+func (sub *subscriber) readLoop() {
+	for {
+		kind, _, err := ReadFrame(sub.conn)
+		if err != nil {
+			break
+		}
+		if kind == FrameGoodbye {
+			break
+		}
+	}
+	select {
+	case <-sub.done:
+		// The session already ended server-side (source finished or
+		// shutdown); the registry entry is gone.
+	default:
+		sub.s.removeSubscriber(sub)
+	}
+	sub.conn.Close()
+}

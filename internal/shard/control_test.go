@@ -1,0 +1,251 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gasf/internal/core"
+	"gasf/internal/filter"
+	"gasf/internal/tuple"
+)
+
+func ctlSchema(t *testing.T) *tuple.Schema {
+	t.Helper()
+	s, err := tuple.NewSchema("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// ctlSeries builds n tuples whose value strictly increases, so a
+// (delta=0, slack=0) DC1 filter closes one singleton set per tuple and
+// every tuple is delivered.
+func ctlSeries(t *testing.T, s *tuple.Schema, n int) *tuple.Series {
+	t.Helper()
+	sr := tuple.NewSeries(s)
+	base := time.Unix(0, 0)
+	for i := 0; i < n; i++ {
+		tp, err := tuple.New(s, i, base.Add(time.Duration(i+1)*time.Millisecond), []float64{float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sr.Append(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sr
+}
+
+// passAll builds a filter that delivers every tuple of a ctlSeries: the
+// value steps by 1 between tuples, which exceeds delta, so every tuple
+// closes the previous singleton set.
+func passAll(t *testing.T, id string) filter.Filter {
+	t.Helper()
+	f, err := filter.NewDC1(id, "v", 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestControlAtTupleBoundary feeds tuples around a Control that adds a
+// second filter, and checks the joiner's first delivery is the first tuple
+// fed after the control was enqueued.
+func TestControlAtTupleBoundary(t *testing.T) {
+	s := ctlSchema(t)
+	sr := ctlSeries(t, s, 100)
+	eng, err := core.NewDynamicEngine(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := New(Config{Shards: 2})
+	if err := rt.AddSource("src", eng); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	got := make(map[string][]int)
+	sink := func(batch []Out) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, o := range batch {
+			for _, d := range o.Tr.Destinations {
+				got[d] = append(got[d], o.Tr.Tuple.Seq)
+			}
+		}
+	}
+	if err := rt.Start(context.Background(), sink); err != nil {
+		t.Fatal(err)
+	}
+	fA, fB := passAll(t, "A"), passAll(t, "B")
+	if err := rt.Control("src", func(e *core.Engine) error {
+		return e.AddFilter(fA)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	joinAt := 50
+	for i := 0; i < sr.Len(); i++ {
+		if i == joinAt {
+			if err := rt.Control("src", func(e *core.Engine) error {
+				return e.AddFilter(fB)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rt.Feed("src", sr.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got["A"]) != sr.Len() {
+		t.Fatalf("incumbent A got %d deliveries, want %d", len(got["A"]), sr.Len())
+	}
+	if len(got["B"]) != sr.Len()-joinAt {
+		t.Fatalf("joiner B got %d deliveries, want %d", len(got["B"]), sr.Len()-joinAt)
+	}
+	if got["B"][0] != joinAt {
+		t.Fatalf("joiner B first delivery is tuple %d, want %d", got["B"][0], joinAt)
+	}
+}
+
+// TestControlErrorsPropagate checks fn errors reach the caller and failed
+// or finished sources reject controls.
+func TestControlErrorsPropagate(t *testing.T) {
+	eng, err := core.NewDynamicEngine(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := New(Config{Shards: 1})
+	if err := rt.AddSource("src", eng); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := fmt.Errorf("boom")
+	if err := rt.Control("src", func(*core.Engine) error { return wantErr }); err != wantErr {
+		t.Fatalf("Control error = %v, want %v", err, wantErr)
+	}
+	if err := rt.Control("nope", func(*core.Engine) error { return nil }); err == nil {
+		t.Fatal("Control on unknown source succeeded")
+	}
+	if err := rt.FinishSource("src"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Control("src", func(*core.Engine) error { return nil }); err == nil {
+		t.Fatal("Control on finished source succeeded")
+	}
+	if err := rt.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveSourceAddRemove exercises AddSourceLive while the runtime is
+// running and name reuse after RemoveSource.
+func TestLiveSourceAddRemove(t *testing.T) {
+	s := ctlSchema(t)
+	rt := New(Config{Shards: 2})
+	if err := rt.Start(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		eng, err := core.NewEngine([]filter.Filter{passAll(t, "A")}, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.AddSourceLive("src", eng); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		sr := ctlSeries(t, s, 10)
+		for i := 0; i < sr.Len(); i++ {
+			if err := rt.Feed("src", sr.At(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rt.FinishSource("src"); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.RemoveSource("src"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.RemoveSource("src"); err == nil {
+		t.Fatal("RemoveSource of removed source succeeded")
+	}
+	if err := rt.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for _, snap := range rt.Metrics() {
+		if snap.Sources != 0 {
+			t.Fatalf("shard %d still reports %d sources", snap.Shard, snap.Sources)
+		}
+	}
+}
+
+// TestControlDrainRace hammers Control from another goroutine while the
+// runtime drains: a racing control must get a clean error (runtime
+// drained / source finished), never a send-on-closed-channel panic.
+func TestControlDrainRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		eng, err := core.NewDynamicEngine(core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := New(Config{Shards: 1})
+		if err := rt.AddSource("src", eng); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Start(context.Background(), nil); err != nil {
+			t.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Errors are expected once the drain wins the race; the
+				// assertion is the absence of a panic.
+				_ = rt.Control("src", func(*core.Engine) error { return nil })
+			}
+		}()
+		if err := rt.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		close(stop)
+		wg.Wait()
+	}
+}
+
+// TestRemoveSourceRequiresFinish guards against dropping a live source.
+func TestRemoveSourceRequiresFinish(t *testing.T) {
+	eng, err := core.NewDynamicEngine(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := New(Config{Shards: 1})
+	if err := rt.AddSource("src", eng); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RemoveSource("src"); err == nil {
+		t.Fatal("RemoveSource of unfinished source succeeded")
+	}
+	if err := rt.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -48,7 +48,7 @@ func (r *Runtime) Metrics() []Snapshot {
 	for i, w := range r.workers {
 		s := Snapshot{
 			Shard:         w.id,
-			Sources:       w.srcCount,
+			Sources:       int(w.srcCount.Load()),
 			Enqueued:      w.enqueued.Load(),
 			Processed:     w.processed.Load(),
 			Dropped:       w.dropped.Load(),

@@ -107,15 +107,19 @@ type Out struct {
 type Sink func(batch []Out)
 
 // source is the per-source runtime state, owned by one shard worker after
-// Start (sent/failed/finished are only touched by that worker).
+// Start (sent/failErr/finished are only touched by that worker).
 type source struct {
 	name   string
 	engine *core.Engine
 	shard  int
 	// sent indexes the engine transmissions already handed to the sink.
 	sent int
-	// failed latches the first engine error; later tuples are dropped.
-	failed bool
+	// failed latches the first engine error; later Feed/Offer/Control
+	// calls are rejected so callers learn the stream broke. failErr is
+	// written by the owning worker before the failed Store, so readers
+	// that observed failed==true may read it.
+	failed  atomic.Bool
+	failErr error
 	// finished marks that Finish ran on the engine.
 	finished bool
 	// closed is set by FinishSource on the feeding side to reject
@@ -123,10 +127,24 @@ type source struct {
 	closed atomic.Bool
 }
 
-// task is one unit of shard work; a nil tuple finishes the source.
+// task is one unit of shard work; a nil tuple with a nil control finishes
+// the source.
 type task struct {
 	src *source
 	t   *tuple.Tuple
+	ctl *control
+	// fin, when set on a finish marker, receives the engine's Finish
+	// error after the final flush (FinishSourceWait).
+	fin chan error
+}
+
+// control is a caller-supplied function executed by the source's owning
+// worker at a tuple boundary — after every tuple fed before it, before
+// every tuple fed after. The server uses it to mutate live engine
+// membership (AddFilter/RemoveFilter) without pausing other sources.
+type control struct {
+	fn   func(*core.Engine) error
+	done chan error
 }
 
 // Runtime drives a set of registered sources over Config.Shards worker
@@ -147,6 +165,13 @@ type Runtime struct {
 	wg      sync.WaitGroup
 	startAt time.Time
 	endAt   time.Time
+
+	// sendMu gates queue sends against Drain closing the queues: Feed /
+	// Offer / Control / FinishSource hold the read side across their
+	// send; Drain seals the runtime under the write side before closing,
+	// so a racing send gets a clean error instead of a panic.
+	sendMu sync.RWMutex
+	sealed bool
 
 	errMu sync.Mutex
 	errs  []error
@@ -174,8 +199,20 @@ func (r *Runtime) ShardOf(name string) int {
 }
 
 // AddSource registers a source with a pre-built engine. Sources must be
-// added before Start.
+// added before Start; for sources arriving while the runtime is live, use
+// AddSourceLive.
 func (r *Runtime) AddSource(name string, engine *core.Engine) error {
+	return r.addSource(name, engine, false)
+}
+
+// AddSourceLive registers a source while the runtime is running: tuples
+// may be fed to it as soon as the call returns. The networked server uses
+// it for publishers that connect after startup.
+func (r *Runtime) AddSourceLive(name string, engine *core.Engine) error {
+	return r.addSource(name, engine, true)
+}
+
+func (r *Runtime) addSource(name string, engine *core.Engine, live bool) error {
 	if name == "" {
 		return fmt.Errorf("shard: empty source name")
 	}
@@ -184,15 +221,37 @@ func (r *Runtime) AddSource(name string, engine *core.Engine) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.started {
+	if r.started && !live {
 		return fmt.Errorf("shard: cannot add source %q after Start", name)
+	}
+	if r.drained {
+		return fmt.Errorf("shard: cannot add source %q after Drain", name)
 	}
 	if _, dup := r.sources[name]; dup {
 		return fmt.Errorf("shard: source %q already added", name)
 	}
 	sh := r.ShardOf(name)
 	r.sources[name] = &source{name: name, engine: engine, shard: sh}
-	r.workers[sh].srcCount++
+	r.workers[sh].srcCount.Add(1)
+	return nil
+}
+
+// RemoveSource forgets a finished source, freeing its name for reuse (a
+// publisher reconnecting under the same name gets a fresh engine). The
+// source must have been finished first; its engine result is no longer
+// reported by Results after removal, so read it before removing if needed.
+func (r *Runtime) RemoveSource(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	src, ok := r.sources[name]
+	if !ok {
+		return fmt.Errorf("shard: unknown source %q", name)
+	}
+	if !src.closed.Load() {
+		return fmt.Errorf("shard: source %q not finished", name)
+	}
+	delete(r.sources, name)
+	r.workers[src.shard].srcCount.Add(-1)
 	return nil
 }
 
@@ -229,8 +288,10 @@ func (r *Runtime) Start(ctx context.Context, sink Sink) error {
 	return nil
 }
 
-// lookup resolves a live source and its worker for feeding.
-func (r *Runtime) lookup(name string) (*source, *worker, error) {
+// lookup resolves a live source and its worker for feeding. allowFailed
+// admits a source whose engine has failed (the finish path must still be
+// able to retire it).
+func (r *Runtime) lookup(name string, allowFailed bool) (*source, *worker, error) {
 	r.mu.Lock()
 	src, ok := r.sources[name]
 	started := r.started
@@ -244,17 +305,55 @@ func (r *Runtime) lookup(name string) (*source, *worker, error) {
 	if src.closed.Load() {
 		return nil, nil, fmt.Errorf("shard: source %q already finished", name)
 	}
+	if !allowFailed && src.failed.Load() {
+		// Observing failed==true synchronizes with the worker's Store, so
+		// failErr (written before it) is safe to read here.
+		return nil, nil, fmt.Errorf("shard: source %q failed: %w", name, src.failErr)
+	}
 	return src, r.workers[src.shard], nil
+}
+
+// sendTask delivers one task to a worker queue under the seal gate,
+// blocking while the queue is full.
+func (r *Runtime) sendTask(w *worker, tk task) error {
+	_, err := r.trySend(w, tk, true)
+	return err
+}
+
+// trySend is the one copy of the seal-gated queue-send protocol: it
+// reports whether the task was enqueued, erring when the runtime has
+// drained (sealed) or its context is cancelled. With block false a full
+// queue returns (false, nil) instead of waiting.
+func (r *Runtime) trySend(w *worker, tk task, block bool) (bool, error) {
+	r.sendMu.RLock()
+	defer r.sendMu.RUnlock()
+	if r.sealed {
+		return false, fmt.Errorf("shard: runtime drained")
+	}
+	if block {
+		select {
+		case w.in <- tk:
+			return true, nil
+		case <-r.ctx.Done():
+			return false, r.ctx.Err()
+		}
+	}
+	select {
+	case w.in <- tk:
+		return true, nil
+	default:
+		return false, nil
+	}
 }
 
 // Feed enqueues one tuple for its source's shard, blocking while the
 // shard queue is full (backpressure). It fails once the runtime context
-// is cancelled.
+// is cancelled or the runtime drained.
 func (r *Runtime) Feed(name string, t *tuple.Tuple) error {
 	if t == nil {
 		return fmt.Errorf("shard: nil tuple for source %q", name)
 	}
-	src, w, err := r.lookup(name)
+	src, w, err := r.lookup(name, false)
 	if err != nil {
 		return err
 	}
@@ -265,24 +364,22 @@ func (r *Runtime) Feed(name string, t *tuple.Tuple) error {
 		w.dropped.Add(1)
 		return err
 	}
-	select {
-	case w.in <- task{src: src, t: t}:
-		w.enqueued.Add(1)
-		return nil
-	case <-r.ctx.Done():
+	if err := r.sendTask(w, task{src: src, t: t}); err != nil {
 		w.dropped.Add(1)
-		return r.ctx.Err()
+		return err
 	}
+	w.enqueued.Add(1)
+	return nil
 }
 
 // Offer is the non-blocking Feed: it reports false, counting a drop,
 // when the shard queue is full, and fails once the runtime context is
-// cancelled.
+// cancelled or the runtime drained.
 func (r *Runtime) Offer(name string, t *tuple.Tuple) (bool, error) {
 	if t == nil {
 		return false, fmt.Errorf("shard: nil tuple for source %q", name)
 	}
-	src, w, err := r.lookup(name)
+	src, w, err := r.lookup(name, false)
 	if err != nil {
 		return false, err
 	}
@@ -290,13 +387,41 @@ func (r *Runtime) Offer(name string, t *tuple.Tuple) (bool, error) {
 		w.dropped.Add(1)
 		return false, err
 	}
-	select {
-	case w.in <- task{src: src, t: t}:
-		w.enqueued.Add(1)
-		return true, nil
-	default:
+	sent, err := r.trySend(w, task{src: src, t: t}, false)
+	if !sent {
 		w.dropped.Add(1)
-		return false, nil
+		return false, err
+	}
+	w.enqueued.Add(1)
+	return true, nil
+}
+
+// Control runs fn on the source's engine from its owning shard worker at
+// a tuple boundary, and blocks until fn has run (or the runtime context is
+// cancelled). Tuples fed before the call are processed first; tuples fed
+// after it (by the same feeder) are processed after. fn must not retain
+// the engine past its return. Any outputs fn releases (e.g. a RemoveFilter
+// closing a region) are flushed to the sink before Control returns.
+func (r *Runtime) Control(name string, fn func(*core.Engine) error) error {
+	if fn == nil {
+		return fmt.Errorf("shard: nil control function for source %q", name)
+	}
+	src, w, err := r.lookup(name, false)
+	if err != nil {
+		return err
+	}
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
+	ctl := &control{fn: fn, done: make(chan error, 1)}
+	if err := r.sendTask(w, task{src: src, ctl: ctl}); err != nil {
+		return err
+	}
+	select {
+	case err := <-ctl.done:
+		return err
+	case <-r.ctx.Done():
+		return r.ctx.Err()
 	}
 }
 
@@ -304,17 +429,33 @@ func (r *Runtime) Offer(name string, t *tuple.Tuple) (bool, error) {
 // engine's Finish and flushes its remaining outputs. Further Feed calls
 // for the source fail.
 func (r *Runtime) FinishSource(name string) error {
-	src, w, err := r.lookup(name)
+	return r.finishSource(name, nil)
+}
+
+// FinishSourceWait is FinishSource that blocks until the engine's Finish
+// has run and its final outputs have been flushed to the sink — the
+// networked server uses it to flush a disconnecting publisher's tail
+// before tearing down its subscribers.
+func (r *Runtime) FinishSourceWait(name string) error {
+	fin := make(chan error, 1)
+	if err := r.finishSource(name, fin); err != nil {
+		return err
+	}
+	select {
+	case err := <-fin:
+		return err
+	case <-r.ctx.Done():
+		return r.ctx.Err()
+	}
+}
+
+func (r *Runtime) finishSource(name string, fin chan error) error {
+	src, w, err := r.lookup(name, true)
 	if err != nil {
 		return err
 	}
 	src.closed.Store(true)
-	select {
-	case w.in <- task{src: src}:
-		return nil
-	case <-r.ctx.Done():
-		return r.ctx.Err()
-	}
+	return r.sendTask(w, task{src: src, fin: fin})
 }
 
 // Drain finishes every source not yet finished, closes the shard queues,
@@ -352,6 +493,12 @@ func (r *Runtime) Drain() error {
 			break // context cancelled; remaining finishes would fail too
 		}
 	}
+	// Seal before closing: a concurrent Feed/Control racing this drain
+	// (e.g. a live subscribe as the run ends) errors out instead of
+	// panicking on a closed queue.
+	r.sendMu.Lock()
+	r.sealed = true
+	r.sendMu.Unlock()
 	for _, w := range r.workers {
 		close(w.in)
 	}
@@ -416,11 +563,12 @@ func (r *Runtime) Results() map[string]*core.Result {
 
 // worker is one shard: a goroutine owning the engines of its sources.
 type worker struct {
-	id       int
-	rt       *Runtime
-	in       chan task
-	srcCount int
-	pending  []Out
+	id      int
+	rt      *Runtime
+	in      chan task
+	pending []Out
+
+	srcCount atomic.Int64
 
 	enqueued  atomic.Uint64
 	processed atomic.Uint64
@@ -466,19 +614,41 @@ func (w *worker) dropQueued() {
 func (w *worker) handle(tk task) {
 	w.observeDepth(int64(len(w.in)) + 1)
 	src := tk.src
+	if tk.ctl != nil {
+		var err error
+		if src.failed.Load() {
+			err = fmt.Errorf("shard %d: source %q already failed", w.id, src.name)
+		} else {
+			err = tk.ctl.fn(src.engine)
+			w.collect(src)
+			w.flush()
+		}
+		tk.ctl.done <- err
+		return
+	}
 	if tk.t == nil { // finish marker
-		if !src.failed && !src.finished {
+		var finErr error
+		switch {
+		case src.failed.Load():
+			// The stream already broke; report the original failure so a
+			// FinishSourceWait caller learns the stream did not end clean.
+			finErr = src.failErr
+		case !src.finished:
 			if err := src.engine.Finish(); err != nil {
 				w.fail(src, err)
+				finErr = err
 			} else {
 				w.collect(src)
 			}
 		}
 		src.finished = true
 		w.flush()
+		if tk.fin != nil {
+			tk.fin <- finErr
+		}
 		return
 	}
-	if src.failed {
+	if src.failed.Load() {
 		w.dropped.Add(1)
 		return
 	}
@@ -515,7 +685,8 @@ func (w *worker) flush() {
 }
 
 func (w *worker) fail(src *source, err error) {
-	src.failed = true
+	src.failErr = err
+	src.failed.Store(true)
 	w.rt.recordErr(fmt.Errorf("shard %d: source %q: %w", w.id, src.name, err))
 }
 

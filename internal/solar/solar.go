@@ -74,6 +74,10 @@ type System struct {
 	// running serializes RunSeries/Serve: the engines are unguarded, so
 	// only one run may drive them at a time.
 	running bool
+	// rt is the shard runtime of the active run; SubscribeLive routes
+	// membership changes through it so they land on the source's owning
+	// worker at a tuple boundary.
+	rt *shard.Runtime
 }
 
 // NewSystem creates a system over the given overlay.
@@ -134,9 +138,125 @@ func (s *System) Subscribe(source string, sub Subscription) error {
 	return nil
 }
 
+// SubscribeLive attaches an application's filter to a deployed source,
+// re-deriving the group (§4.3) without restarting it. While a run is
+// active the change is applied by the source's owning shard worker at a
+// tuple boundary, so other sources are undisturbed and the joiner sees
+// exactly the tuples fed after the call returns; between runs it applies
+// immediately. A run with no churn through this path releases output
+// byte-identical to the static Subscribe+Deploy path.
+func (s *System) SubscribeLive(source string, sub Subscription) error {
+	if sub.Filter == nil {
+		return fmt.Errorf("solar: subscription for %q has no filter", sub.App)
+	}
+	if sub.Filter.ID() != sub.App {
+		return fmt.Errorf("solar: filter id %q must match app name %q", sub.Filter.ID(), sub.App)
+	}
+	apply := func(reg *sourceReg) func(*core.Engine) error {
+		return func(e *core.Engine) error {
+			for _, existing := range reg.subs {
+				if existing.App == sub.App {
+					return fmt.Errorf("solar: app %q already subscribed to %q", sub.App, reg.name)
+				}
+			}
+			members := make(map[string]overlay.NodeID, len(reg.subs)+1)
+			for _, x := range reg.subs {
+				members[x.App] = x.Node
+			}
+			members[sub.App] = sub.Node
+			tree, err := multicast.BuildTree(s.net, reg.node, members)
+			if err != nil {
+				return fmt.Errorf("solar: source %q: %w", reg.name, err)
+			}
+			if err := e.AddFilter(sub.Filter); err != nil {
+				return fmt.Errorf("solar: source %q: %w", reg.name, err)
+			}
+			reg.subs = append(reg.subs, sub)
+			reg.tree = tree
+			return nil
+		}
+	}
+	return s.applyLive(source, apply)
+}
+
+// UnsubscribeLive detaches an application from a deployed source. The
+// departing filter's open candidate set is flushed through the engine's
+// cut path; outputs the group still owes the departed application decide
+// normally, and their deliveries to it are dropped at dissemination.
+func (s *System) UnsubscribeLive(source, app string) error {
+	apply := func(reg *sourceReg) func(*core.Engine) error {
+		return func(e *core.Engine) error {
+			idx := -1
+			for i, x := range reg.subs {
+				if x.App == app {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return fmt.Errorf("solar: app %q is not subscribed to %q", app, reg.name)
+			}
+			// The new tree is built first so a routing failure leaves the
+			// subscription intact.
+			var tree *multicast.Tree
+			if len(reg.subs) > 1 {
+				members := make(map[string]overlay.NodeID, len(reg.subs)-1)
+				for i, x := range reg.subs {
+					if i != idx {
+						members[x.App] = x.Node
+					}
+				}
+				var err error
+				tree, err = multicast.BuildTree(s.net, reg.node, members)
+				if err != nil {
+					return fmt.Errorf("solar: source %q: %w", reg.name, err)
+				}
+			}
+			if err := e.RemoveFilter(app); err != nil {
+				return fmt.Errorf("solar: source %q: %w", reg.name, err)
+			}
+			reg.subs = append(reg.subs[:idx], reg.subs[idx+1:]...)
+			reg.tree = tree
+			return nil
+		}
+	}
+	return s.applyLive(source, apply)
+}
+
+// applyLive runs a membership mutation against a deployed source: through
+// the active runtime's control path when a run is live, directly when the
+// system is quiescent (the lock excludes a run from starting mid-change).
+func (s *System) applyLive(source string, apply func(*sourceReg) func(*core.Engine) error) error {
+	s.mu.Lock()
+	if !s.deployed {
+		s.mu.Unlock()
+		return fmt.Errorf("solar: SubscribeLive before Deploy")
+	}
+	reg, ok := s.sources[source]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("solar: unknown source %q", source)
+	}
+	fn := apply(reg)
+	if rt := s.rt; rt != nil {
+		s.mu.Unlock()
+		return rt.Control(source, fn)
+	}
+	defer s.mu.Unlock()
+	return fn(reg.engine)
+}
+
 // Deploy instantiates a group-aware engine on every source node and builds
 // the multicast tree from the source node to the subscriber nodes.
-func (s *System) Deploy() error {
+func (s *System) Deploy() error { return s.deploy(false) }
+
+// DeployDynamic is Deploy for systems whose group membership changes at
+// run time: sources with no subscribers yet are allowed (they get an
+// engine with an empty group that releases nothing until the first
+// SubscribeLive re-derives the group).
+func (s *System) DeployDynamic() error { return s.deploy(true) }
+
+func (s *System) deploy(allowEmpty bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.deployed {
@@ -150,7 +270,15 @@ func (s *System) Deploy() error {
 	for _, name := range names {
 		reg := s.sources[name]
 		if len(reg.subs) == 0 {
-			return fmt.Errorf("solar: source %q has no subscribers", name)
+			if !allowEmpty {
+				return fmt.Errorf("solar: source %q has no subscribers", name)
+			}
+			engine, err := core.NewDynamicEngine(reg.opts)
+			if err != nil {
+				return fmt.Errorf("solar: source %q: %w", name, err)
+			}
+			reg.engine, reg.tree = engine, nil
+			continue
 		}
 		filters := make([]filter.Filter, len(reg.subs))
 		members := make(map[string]overlay.NodeID, len(reg.subs))
@@ -181,7 +309,25 @@ func TupleSizeBytes(t *tuple.Tuple) int { return wire.TupleSize(t) }
 // message. It is safe to call concurrently for different sources: trees
 // are read-only after Deploy and the accounting ledger is mutex-guarded.
 func (s *System) disseminate(reg *sourceReg, tr core.Transmission, deliver func(Delivery)) error {
-	ds, err := reg.tree.MulticastSized(tr.Destinations, func(branch []string) int {
+	// Under dynamic membership a transmission may still carry the label
+	// of a subscriber that has since left (its final owed outputs decide
+	// after the leave); deliveries to departed members are dropped here.
+	// reg.tree is only swapped by the worker that calls disseminate, so
+	// the read is race-free.
+	dests := tr.Destinations
+	if reg.tree == nil {
+		return nil
+	}
+	for _, d := range dests {
+		if !reg.tree.HasMember(d) {
+			dests = prunedDests(reg.tree, dests)
+			break
+		}
+	}
+	if len(dests) == 0 {
+		return nil
+	}
+	ds, err := reg.tree.MulticastSized(dests, func(branch []string) int {
 		// Forwarding nodes prune labels per branch.
 		return wire.TransmissionSize(tr.Tuple, branch)
 	}, s.acct)
@@ -200,6 +346,17 @@ func (s *System) disseminate(reg *sourceReg, tr core.Transmission, deliver func(
 		})
 	}
 	return nil
+}
+
+// prunedDests returns the subset of dests that are members of the tree.
+func prunedDests(tree *multicast.Tree, dests []string) []string {
+	out := make([]string, 0, len(dests))
+	for _, d := range dests {
+		if tree.HasMember(d) {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // runtimeFor builds a shard runtime over the named deployed sources and
@@ -232,6 +389,7 @@ func (s *System) runtimeFor(names []string) (map[string]*sourceReg, *shard.Runti
 		}
 	}
 	s.running = true
+	s.rt = rt
 	return regs, rt, nil
 }
 
@@ -239,6 +397,7 @@ func (s *System) runtimeFor(names []string) (map[string]*sourceReg, *shard.Runti
 func (s *System) endRun() {
 	s.mu.Lock()
 	s.running = false
+	s.rt = nil
 	s.mu.Unlock()
 }
 

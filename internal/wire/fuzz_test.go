@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"gasf/internal/tuple"
+)
+
+// fuzzSchema is the schema malformed inputs are decoded against.
+func fuzzSchema(t testing.TB) *tuple.Schema {
+	t.Helper()
+	s, err := tuple.NewSchema("a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// seedTuple returns a valid encoded tuple for the fuzz corpora.
+func seedTuple(t testing.TB, s *tuple.Schema) []byte {
+	t.Helper()
+	tp, err := tuple.New(s, 7, time.Unix(1, 500), []float64{1.5, -2.25, 3e300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := AppendTuple(nil, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// FuzzDecodeTuple asserts DecodeTuple never panics on malformed input,
+// and that every accepted input round-trips byte-identically.
+func FuzzDecodeTuple(f *testing.F) {
+	s := fuzzSchema(f)
+	f.Add(seedTuple(f, s))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(bytes.Repeat([]byte{0x41}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tp, n, err := DecodeTuple(s, data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if len(tp.Values) != s.Len() {
+			t.Fatalf("decoded %d values for schema of %d", len(tp.Values), s.Len())
+		}
+		re, err := AppendTuple(nil, tp)
+		if err != nil {
+			t.Fatalf("re-encoding accepted tuple: %v", err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("round trip mismatch:\n in  %x\n out %x", data[:n], re)
+		}
+	})
+}
+
+// FuzzDecodeTransmission asserts DecodeTransmission never panics on
+// malformed input and accepted transmissions round-trip byte-identically.
+func FuzzDecodeTransmission(f *testing.F) {
+	s := fuzzSchema(f)
+	tp, err := tuple.New(s, 1, time.Unix(2, 0), []float64{1, 2, 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	tr, err := AppendTransmission(nil, tp, []string{"A", "B"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tr)
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 0x01, 0x41})
+	f.Add([]byte{0xff, 0xfe, 0xfd})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tp, dests, n, err := DecodeTransmission(s, data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if len(dests) == 0 || len(dests) > MaxDestinations {
+			t.Fatalf("accepted %d destinations", len(dests))
+		}
+		re, err := AppendTransmission(nil, tp, dests)
+		if err != nil {
+			t.Fatalf("re-encoding accepted transmission: %v", err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("round trip mismatch:\n in  %x\n out %x", data[:n], re)
+		}
+	})
+}

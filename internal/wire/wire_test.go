@@ -182,24 +182,6 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 }
 
-// FuzzDecodeTransmission checks the decoder never panics on arbitrary
-// bytes.
-func FuzzDecodeTransmission(f *testing.F) {
-	in := tuple.MustNew(schema, 7, time.Unix(9, 9), []float64{1, 2, 3})
-	seed, err := AppendTransmission(nil, in, []string{"A", "B"})
-	if err != nil {
-		f.Fatal(err)
-	}
-	f.Add(seed)
-	f.Add([]byte{})
-	f.Add([]byte{1, 0xFF, 0xFF, 0xFF})
-	f.Fuzz(func(t *testing.T, data []byte) {
-		tup, dests, n, err := DecodeTransmission(schema, data)
-		if err != nil {
-			return
-		}
-		if tup == nil || len(dests) == 0 || n <= 0 || n > len(data) {
-			t.Fatalf("inconsistent success: %v %v %d", tup, dests, n)
-		}
-	})
-}
+// The fuzz targets for the decoders (FuzzDecodeTuple,
+// FuzzDecodeTransmission) live in fuzz_test.go; they also assert the
+// round-trip property on accepted inputs.
