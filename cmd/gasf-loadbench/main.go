@@ -40,10 +40,16 @@ type latencyStats struct {
 }
 
 type report struct {
-	Publishers       int          `json:"publishers"`
-	Subscribers      int          `json:"subscribers"`
-	TuplesPerSource  int          `json:"tuples_per_source"`
-	Policy           string       `json:"policy"`
+	Publishers      int    `json:"publishers"`
+	Subscribers     int    `json:"subscribers"`
+	TuplesPerSource int    `json:"tuples_per_source"`
+	Policy          string `json:"policy"`
+	// RatePerPublisher is the paced publish rate in tuples/sec; 0 means
+	// an unthrottled open loop, whose latency percentiles measure
+	// standing-queue drain rather than steady state — the two
+	// configurations are not comparable.
+	RatePerPublisher int          `json:"rate_per_publisher"`
+	Pacing           string       `json:"pacing"`
 	Shards           int          `json:"shards"`
 	SubscriberQueue  int          `json:"subscriber_queue"`
 	ElapsedSec       float64      `json:"elapsed_sec"`
@@ -190,11 +196,17 @@ func run(args []string) error {
 	for _, lats := range latencies {
 		all = append(all, lats...)
 	}
+	pacing := "open-loop"
+	if *rate > 0 {
+		pacing = "paced"
+	}
 	rep := report{
 		Publishers:       *publishers,
 		Subscribers:      *subscribers,
 		TuplesPerSource:  *tuples,
 		Policy:           pol.String(),
+		RatePerPublisher: *rate,
+		Pacing:           pacing,
 		Shards:           srv.Runtime().Shards(),
 		SubscriberQueue:  *queue,
 		ElapsedSec:       elapsed.Seconds(),

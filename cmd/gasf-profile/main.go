@@ -1,0 +1,122 @@
+// Command gasf-profile runs the hot-path benchmark harness
+// (internal/bench): the per-tuple core step, the wire encode/decode paths
+// and the networked open-loop serve benchmark, with optional pprof
+// capture. It writes BENCH_hotpath.json and can compare the run against a
+// committed baseline with a soft regression threshold, which is how the
+// CI benchmark smoke job keeps the allocation-free hot path honest.
+//
+// Usage:
+//
+//	gasf-profile -out BENCH_hotpath.json
+//	gasf-profile -quick -cpuprofile cpu.pprof -memprofile mem.pprof
+//	gasf-profile -quick -baseline BENCH_hotpath.json -threshold 0.5 [-strict]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"gasf/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gasf-profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gasf-profile", flag.ContinueOnError)
+	var (
+		out        = fs.String("out", "BENCH_hotpath.json", "report path (- for stdout only)")
+		quick      = fs.Bool("quick", false, "shrink workloads for a smoke run")
+		serve      = fs.Bool("serve", true, "include the networked open-loop serve benchmark")
+		publishers = fs.Int("publishers", 0, "serve publishers (0 = default)")
+		subs       = fs.Int("subscribers", 0, "serve subscribers (0 = default)")
+		tuples     = fs.Int("tuples", 0, "serve tuples per publisher (0 = default)")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the whole run")
+		memProf    = fs.String("memprofile", "", "write a heap profile after the run")
+		baseline   = fs.String("baseline", "", "compare against a committed BENCH_hotpath.json")
+		threshold  = fs.Float64("threshold", 0.30, "soft regression threshold (fraction)")
+		strict     = fs.Bool("strict", false, "exit non-zero on regressions instead of warning")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rep, err := bench.Run(bench.Config{
+		Quick:           *quick,
+		Serve:           *serve,
+		Publishers:      *publishers,
+		Subscribers:     *subs,
+		TuplesPerSource: *tuples,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		err = pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", enc)
+	if *out != "-" {
+		if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			return err
+		}
+		var base bench.Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("parsing baseline %s: %w", *baseline, err)
+		}
+		regressions := bench.Compare(rep, &base, *threshold)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "gasf-profile: WARNING:", r)
+		}
+		if len(regressions) > 0 && *strict {
+			return fmt.Errorf("%d benchmark regression(s) beyond the %.0f%% threshold", len(regressions), 100**threshold)
+		}
+		if len(regressions) == 0 {
+			fmt.Fprintln(os.Stderr, "gasf-profile: within baseline thresholds")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,357 @@
+// Package bench is the hot-path benchmark harness behind cmd/gasf-profile
+// and the CI benchmark smoke job: it measures the core engine step, the
+// wire encode/decode paths and the networked serve loop with allocation
+// accounting, and renders the results as the committed BENCH_hotpath.json
+// so regressions are visible in review (DESIGN.md §8).
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"gasf/internal/core"
+	"gasf/internal/filter"
+	"gasf/internal/server"
+	"gasf/internal/trace"
+	"gasf/internal/tuple"
+	"gasf/internal/wire"
+)
+
+// Config sizes a harness run.
+type Config struct {
+	// Quick shrinks the workloads for CI smoke runs.
+	Quick bool
+	// Serve enables the in-process networked open-loop benchmark.
+	Serve bool
+	// Publishers/Subscribers/TuplesPerSource size the serve benchmark;
+	// zero takes defaults (2/8/20000, or 2000 tuples under Quick).
+	Publishers, Subscribers, TuplesPerSource int
+}
+
+// Metric is one benchmark result.
+type Metric struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// ServeMetric is the open-loop serve result.
+type ServeMetric struct {
+	Publishers      int     `json:"publishers"`
+	Subscribers     int     `json:"subscribers"`
+	TuplesPerSource int     `json:"tuples_per_source"`
+	ElapsedSec      float64 `json:"elapsed_sec"`
+	TuplesPerSec    float64 `json:"tuples_per_sec"`
+	DeliveriesTotal uint64  `json:"deliveries_total"`
+	BytesOut        uint64  `json:"bytes_out"`
+}
+
+// Report is the BENCH_hotpath.json document.
+type Report struct {
+	Schema      string       `json:"schema"`
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	NumCPU      int          `json:"num_cpu"`
+	CoreStepRG  Metric       `json:"core_step_rg"`
+	CoreStepPS  Metric       `json:"core_step_ps"`
+	WireEncode  Metric       `json:"wire_encode_transmission"`
+	WireDecode  Metric       `json:"wire_decode_tuple_into"`
+	Serve       *ServeMetric `json:"serve_open_loop,omitempty"`
+}
+
+// Run executes the harness.
+func Run(cfg Config) (*Report, error) {
+	rep := &Report{
+		Schema:      "gasf hot-path benchmarks v1: per-tuple core step (3-filter DC1 group, NAMOS trace), wire transmission encode / tuple decode-into, open-loop networked serve",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+	}
+	var err error
+	if rep.CoreStepRG, err = coreStep(core.RG, cfg.Quick); err != nil {
+		return nil, err
+	}
+	if rep.CoreStepPS, err = coreStep(core.PS, cfg.Quick); err != nil {
+		return nil, err
+	}
+	if rep.WireEncode, err = wireEncode(); err != nil {
+		return nil, err
+	}
+	if rep.WireDecode, err = wireDecode(); err != nil {
+		return nil, err
+	}
+	if cfg.Serve {
+		sm, err := serveOpenLoop(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Serve = sm
+	}
+	return rep, nil
+}
+
+// dc1Series builds the benchmark trace once.
+func dc1Series(n int) (*tuple.Series, float64, error) {
+	sr, err := trace.NAMOS(trace.Config{N: n, Seed: 5})
+	if err != nil {
+		return nil, 0, err
+	}
+	stat, err := sr.MeanAbsChange("fluoro")
+	if err != nil {
+		return nil, 0, err
+	}
+	return sr, stat, nil
+}
+
+func dc1Group(stat float64) ([]filter.Filter, error) {
+	out := make([]filter.Filter, 3)
+	for i := range out {
+		mult := 1 + float64(i)*0.37
+		f, err := filter.NewDC1(string(rune('A'+i)), "fluoro", mult*stat, 0.5*mult*stat)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// coreStep measures one engine Step on the DC1 trace, amortized per input
+// tuple.
+func coreStep(alg core.Algorithm, quick bool) (Metric, error) {
+	n := 2000
+	if quick {
+		n = 500
+	}
+	sr, stat, err := dc1Series(n)
+	if err != nil {
+		return Metric{}, err
+	}
+	var failure error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			group, err := dc1Group(stat)
+			if err != nil {
+				failure = err
+				return
+			}
+			res, err := core.Run(group, sr, core.Options{Algorithm: alg})
+			if err != nil {
+				failure = err
+				return
+			}
+			if res.Stats.Transmissions == 0 {
+				failure = fmt.Errorf("bench: degenerate run released nothing")
+				return
+			}
+		}
+	})
+	if failure != nil {
+		return Metric{}, failure
+	}
+	div := float64(sr.Len())
+	return Metric{
+		NsPerOp:     float64(res.NsPerOp()) / div,
+		AllocsPerOp: float64(res.AllocsPerOp()) / div,
+		BytesPerOp:  float64(res.AllocedBytesPerOp()) / div,
+	}, nil
+}
+
+// wireEncode measures the cached labeled-transmission encode path.
+func wireEncode() (Metric, error) {
+	s, err := tuple.NewSchema("a", "b", "c")
+	if err != nil {
+		return Metric{}, err
+	}
+	tp, err := tuple.New(s, 7, time.Unix(3, 500), []float64{1, -2, 3})
+	if err != nil {
+		return Metric{}, err
+	}
+	dests := []string{"app-a", "app-b", "app-c"}
+	var enc wire.TransmissionEncoder
+	buf := make([]byte, 0, 256)
+	var failure error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf, failure = enc.AppendTransmission(buf[:0], 1, tp, dests)
+			if failure != nil {
+				return
+			}
+		}
+	})
+	return Metric{
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: float64(res.AllocsPerOp()),
+		BytesPerOp:  float64(res.AllocedBytesPerOp()),
+	}, failure
+}
+
+// wireDecode measures the reuse decode path.
+func wireDecode() (Metric, error) {
+	s, err := tuple.NewSchema("a", "b", "c")
+	if err != nil {
+		return Metric{}, err
+	}
+	tp, err := tuple.New(s, 7, time.Unix(3, 500), []float64{1, -2, 3})
+	if err != nil {
+		return Metric{}, err
+	}
+	data, err := wire.AppendTuple(nil, tp)
+	if err != nil {
+		return Metric{}, err
+	}
+	var dst tuple.Tuple
+	var failure error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, failure = wire.DecodeTupleInto(&dst, s, data); failure != nil {
+				return
+			}
+		}
+	})
+	return Metric{
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: float64(res.AllocsPerOp()),
+		BytesPerOp:  float64(res.AllocedBytesPerOp()),
+	}, failure
+}
+
+// serveOpenLoop runs an in-process networked server over loopback with
+// unthrottled publishers (the BENCH_serve open-loop configuration, sized
+// down) and reports ingest throughput.
+func serveOpenLoop(cfg Config) (*ServeMetric, error) {
+	pubs, subs, tuples := cfg.Publishers, cfg.Subscribers, cfg.TuplesPerSource
+	if pubs <= 0 {
+		pubs = 2
+	}
+	if subs <= 0 {
+		subs = 8
+	}
+	if tuples <= 0 {
+		tuples = 20000
+		if cfg.Quick {
+			tuples = 2000
+		}
+	}
+	srv, err := server.Start(server.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	addr := srv.Addr().String()
+	schema, err := tuple.NewSchema("v")
+	if err != nil {
+		return nil, err
+	}
+	publishers := make([]*server.Publisher, pubs)
+	for i := range publishers {
+		if publishers[i], err = server.DialPublisher(addr, fmt.Sprintf("bench%d", i), schema); err != nil {
+			return nil, err
+		}
+	}
+	subscribers := make([]*server.Subscriber, subs)
+	for i := range subscribers {
+		source := fmt.Sprintf("bench%d", i%pubs)
+		if subscribers[i], err = server.DialSubscriber(addr, fmt.Sprintf("app%d", i), source, "DC1(v, 0.5, 0)"); err != nil {
+			return nil, err
+		}
+	}
+
+	errCh := make(chan error, pubs+subs)
+	done := make(chan struct{})
+	var deliveries uint64
+	countCh := make(chan uint64, subs)
+	for i, sub := range subscribers {
+		go func(i int, sub *server.Subscriber) {
+			n := uint64(0)
+			for {
+				_, err := sub.Recv()
+				if err == server.ErrStreamEnded {
+					break
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("subscriber %d: %w", i, err)
+					break
+				}
+				n++
+			}
+			countCh <- n
+		}(i, sub)
+	}
+	start := time.Now()
+	for i, pub := range publishers {
+		go func(i int, pub *server.Publisher) {
+			defer func() { done <- struct{}{} }()
+			for n := 0; n < tuples; n++ {
+				if err := pub.PublishNow([]float64{float64(n)}); err != nil {
+					errCh <- fmt.Errorf("publisher %d tuple %d: %w", i, n, err)
+					return
+				}
+			}
+			if err := pub.Close(); err != nil {
+				errCh <- fmt.Errorf("publisher %d close: %w", i, err)
+			}
+		}(i, pub)
+	}
+	for range publishers {
+		<-done
+	}
+	for range subscribers {
+		deliveries += <-countCh
+	}
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	c := srv.Counters()
+	return &ServeMetric{
+		Publishers:      pubs,
+		Subscribers:     subs,
+		TuplesPerSource: tuples,
+		ElapsedSec:      elapsed.Seconds(),
+		TuplesPerSec:    float64(c.TuplesIn) / elapsed.Seconds(),
+		DeliveriesTotal: deliveries,
+		BytesOut:        c.BytesOut,
+	}, nil
+}
+
+// Compare reports regressions of cur against base beyond the fractional
+// threshold (0.3 = 30% slower, or 30% more allocs). It returns one line
+// per regression; an empty slice means within budget.
+func Compare(cur, base *Report, threshold float64) []string {
+	var out []string
+	check := func(name string, cur, base float64) {
+		if base <= 0 {
+			return
+		}
+		if cur > base*(1+threshold) {
+			out = append(out, fmt.Sprintf("%s regressed: %.1f vs baseline %.1f (+%.0f%%, threshold %.0f%%)",
+				name, cur, base, 100*(cur/base-1), 100*threshold))
+		}
+	}
+	check("core_step_rg ns/op", cur.CoreStepRG.NsPerOp, base.CoreStepRG.NsPerOp)
+	check("core_step_rg allocs/op", cur.CoreStepRG.AllocsPerOp, base.CoreStepRG.AllocsPerOp)
+	check("core_step_ps ns/op", cur.CoreStepPS.NsPerOp, base.CoreStepPS.NsPerOp)
+	check("core_step_ps allocs/op", cur.CoreStepPS.AllocsPerOp, base.CoreStepPS.AllocsPerOp)
+	check("wire_encode ns/op", cur.WireEncode.NsPerOp, base.WireEncode.NsPerOp)
+	check("wire_encode allocs/op", cur.WireEncode.AllocsPerOp, base.WireEncode.AllocsPerOp)
+	check("wire_decode ns/op", cur.WireDecode.NsPerOp, base.WireDecode.NsPerOp)
+	check("wire_decode allocs/op", cur.WireDecode.AllocsPerOp, base.WireDecode.AllocsPerOp)
+	if cur.Serve != nil && base.Serve != nil && base.Serve.TuplesPerSec > 0 {
+		if cur.Serve.TuplesPerSec < base.Serve.TuplesPerSec*(1-threshold) {
+			out = append(out, fmt.Sprintf("serve_open_loop regressed: %.0f tuples/s vs baseline %.0f (-%.0f%%, threshold %.0f%%)",
+				cur.Serve.TuplesPerSec, base.Serve.TuplesPerSec,
+				100*(1-cur.Serve.TuplesPerSec/base.Serve.TuplesPerSec), 100*threshold))
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunQuick exercises the whole harness at smoke size and sanity-checks
+// the report: the micro benchmarks must produce positive timings, the wire
+// paths must be allocation-free, and the report must round-trip as JSON.
+func TestRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke run")
+	}
+	rep, err := Run(Config{Quick: true, Serve: true, Publishers: 1, Subscribers: 2, TuplesPerSource: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CoreStepRG.NsPerOp <= 0 || rep.CoreStepPS.NsPerOp <= 0 {
+		t.Fatalf("degenerate core timings: %+v %+v", rep.CoreStepRG, rep.CoreStepPS)
+	}
+	if rep.WireEncode.AllocsPerOp != 0 {
+		t.Errorf("wire encode allocates %.2f allocs/op, want 0", rep.WireEncode.AllocsPerOp)
+	}
+	if rep.WireDecode.AllocsPerOp != 0 {
+		t.Errorf("wire decode-into allocates %.2f allocs/op, want 0", rep.WireDecode.AllocsPerOp)
+	}
+	if rep.Serve == nil || rep.Serve.TuplesPerSec <= 0 {
+		t.Fatalf("serve benchmark missing or degenerate: %+v", rep.Serve)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Serve == nil || back.Serve.TuplesPerSec != rep.Serve.TuplesPerSec {
+		t.Fatal("report did not round-trip")
+	}
+}
+
+// TestCompare covers the regression comparator's directions and threshold.
+func TestCompare(t *testing.T) {
+	base := &Report{
+		CoreStepRG: Metric{NsPerOp: 1000, AllocsPerOp: 4},
+		WireEncode: Metric{NsPerOp: 50},
+		Serve:      &ServeMetric{TuplesPerSec: 100000},
+	}
+	same := &Report{
+		CoreStepRG: Metric{NsPerOp: 1100, AllocsPerOp: 4},
+		WireEncode: Metric{NsPerOp: 55},
+		Serve:      &ServeMetric{TuplesPerSec: 95000},
+	}
+	if regs := Compare(same, base, 0.30); len(regs) != 0 {
+		t.Fatalf("within-threshold run flagged: %v", regs)
+	}
+	bad := &Report{
+		CoreStepRG: Metric{NsPerOp: 1500, AllocsPerOp: 9},
+		WireEncode: Metric{NsPerOp: 50},
+		Serve:      &ServeMetric{TuplesPerSec: 40000},
+	}
+	regs := Compare(bad, base, 0.30)
+	if len(regs) != 3 {
+		t.Fatalf("want 3 regressions (rg ns, rg allocs, serve), got %d: %v", len(regs), regs)
+	}
+	// Faster-than-baseline must never flag.
+	fast := &Report{
+		CoreStepRG: Metric{NsPerOp: 100, AllocsPerOp: 1},
+		Serve:      &ServeMetric{TuplesPerSec: 900000},
+	}
+	if regs := Compare(fast, base, 0.30); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}

@@ -37,12 +37,12 @@ func (e *Engine) AddFilter(f filter.Filter) error {
 	if e.finished {
 		return fmt.Errorf("core: AddFilter after Finish")
 	}
-	for _, g := range e.filters {
-		if g.ID() == f.ID() {
-			return fmt.Errorf("core: duplicate filter id %q", f.ID())
-		}
+	if _, dup := e.slot[f.ID()]; dup {
+		return fmt.Errorf("core: duplicate filter id %q", f.ID())
 	}
+	e.slot[f.ID()] = len(e.filters)
 	e.filters = append(e.filters, f)
+	e.open = append(e.open, nil)
 	return nil
 }
 
@@ -57,22 +57,21 @@ func (e *Engine) RemoveFilter(id string) error {
 	if e.finished {
 		return fmt.Errorf("core: RemoveFilter after Finish")
 	}
-	idx := -1
-	for i, f := range e.filters {
-		if f.ID() == id {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
+	idx, ok := e.slot[id]
+	if !ok {
 		return fmt.Errorf("core: no filter %q in the group", id)
 	}
-	f := e.filters[idx]
-	e.filters = append(e.filters[:idx], e.filters[idx+1:]...)
-	if err := e.cutFilter(f); err != nil {
+	// Cut while the slot is still live, so the cut path can update the
+	// departing filter's open tracking through the normal machinery.
+	if err := e.cutFilter(idx); err != nil {
 		return err
 	}
-	delete(e.open, id)
+	e.filters = append(e.filters[:idx], e.filters[idx+1:]...)
+	e.open = append(e.open[:idx], e.open[idx+1:]...)
+	delete(e.slot, id)
+	for i := idx; i < len(e.filters); i++ {
+		e.slot[e.filters[i].ID()] = i
+	}
 	if !e.started {
 		return nil
 	}
@@ -84,7 +83,7 @@ func (e *Engine) RemoveFilter(id string) error {
 	}
 	if len(e.stepBuf) > 0 {
 		e.mergeRelease(e.stepBuf, e.now)
-		e.stepBuf = e.stepBuf[:0]
+		e.stepBuf = clearPending(e.stepBuf)
 	}
 	return nil
 }

@@ -18,16 +18,24 @@ import (
 //
 // An Engine is single-source and not safe for concurrent use; the Solar
 // layer runs one engine per source node.
+//
+// The steady-state Step path is allocation-free: utilities live in a
+// generational dense index, open-set tracking and scratch sets are engine-
+// owned and cleared in place, and pendingOut buffers are recycled after
+// release (see state.go and DESIGN.md §8).
 type Engine struct {
 	filters []filter.Filter
 	opts    Options
 
 	// util maps tuple sequence number to group utility: the number of
 	// filters currently holding the tuple in a candidate set.
-	util map[int]int
-	// open tracks, per filter, the admitted tuples of the open
-	// (unclosed) candidate set, in arrival order.
-	open map[string][]*tuple.Tuple
+	util seqCounts
+	// open tracks, per filter (parallel to filters), the admitted tuples
+	// of the open (unclosed) candidate set, in arrival order.
+	open [][]*tuple.Tuple
+	// slot maps filter ID to its index in filters/open; rebuilt on the
+	// (rare) membership changes so the per-tuple path never hashes IDs.
+	slot map[string]int
 	// tracker accumulates closed sets into regions.
 	tracker region.Tracker
 	// predictor models greedy run time for timely cuts (§3.3).
@@ -51,8 +59,9 @@ type Engine struct {
 	stepBuf []pendingOut
 	// chosen is the PS global state of recently chosen tuples
 	// (heuristic 1), pruned by the chosen horizon.
-	chosen  map[int]time.Time
-	chosenQ []chosenRec
+	chosen     map[int]time.Time
+	chosenQ    []chosenRec
+	chosenHead int
 
 	distinct       map[int]bool
 	maxReleasedSeq int
@@ -61,6 +70,29 @@ type Engine struct {
 	started        bool
 	lastTS         time.Time
 	finished       bool
+
+	// Scratch state, owned by the engine and reused across steps.
+
+	// seqScratch marks sequence numbers during batch removals; cleared in
+	// place after each use.
+	seqScratch map[int]struct{}
+	// minsBuf backs openMins.
+	minsBuf []time.Time
+	// regionOuts stages one region's outputs during handleRegion.
+	regionOuts []pendingOut
+	// proxyBuf holds the singleton proxies of one region's greedy input.
+	proxyBuf []*filter.CandidateSet
+	// undecidedBuf / greedyBuf stage one region's set partition.
+	undecidedBuf []*filter.CandidateSet
+	greedyBuf    []*filter.CandidateSet
+	// poFree recycles pendingOut buffers (see state.go).
+	poFree [][]pendingOut
+	// solver decides regions with reusable greedy state.
+	solver hitting.Solver
+	// rel* back mergeRelease (see output.go).
+	relIdx   map[int]int
+	relTrs   []Transmission
+	relOrder []int
 }
 
 type chosenRec struct {
@@ -82,23 +114,23 @@ func newEngine(filters []filter.Filter, opts Options, allowEmpty bool) (*Engine,
 	if len(filters) == 0 && !allowEmpty {
 		return nil, fmt.Errorf("core: engine needs at least one filter")
 	}
-	seen := make(map[string]bool, len(filters))
-	for _, f := range filters {
+	slot := make(map[string]int, len(filters))
+	for i, f := range filters {
 		if f == nil {
 			return nil, fmt.Errorf("core: nil filter")
 		}
-		if seen[f.ID()] {
+		if _, dup := slot[f.ID()]; dup {
 			return nil, fmt.Errorf("core: duplicate filter id %q", f.ID())
 		}
-		seen[f.ID()] = true
+		slot[f.ID()] = i
 	}
 	cp := make([]filter.Filter, len(filters))
 	copy(cp, filters)
 	return &Engine{
 		filters:        cp,
 		opts:           opts,
-		util:           make(map[int]int),
-		open:           make(map[string][]*tuple.Tuple),
+		open:           make([][]*tuple.Tuple, len(cp)),
+		slot:           slot,
 		predictor:      predict.NewRunTimePredictor(opts.PredictWindow, opts.PredictMargin),
 		accounted:      make(map[*filter.CandidateSet]bool),
 		decidedPicks:   make(map[*filter.CandidateSet][]*tuple.Tuple),
@@ -107,6 +139,8 @@ func newEngine(filters []filter.Filter, opts Options, allowEmpty bool) (*Engine,
 		distinct:       make(map[int]bool),
 		maxReleasedSeq: -1,
 		result:         Result{Stats: Stats{PerFilter: make(map[string]int)}},
+		seqScratch:     make(map[int]struct{}),
+		relIdx:         make(map[int]int),
 	}, nil
 }
 
@@ -126,10 +160,10 @@ func (e *Engine) Step(t *tuple.Tuple) error {
 	// cuts, each filter first checks whether admitting the new tuple
 	// would violate its time constraint and cuts beforehand (Fig 3.5:
 	// "admitting a new tuple will likely violate the time constraint").
-	for _, f := range e.filters {
+	for i, f := range e.filters {
 		if e.opts.Cuts && e.opts.Algorithm == PS {
-			if list := e.open[f.ID()]; len(list) > 0 && t.TS.Sub(list[0].TS) >= e.opts.MaxDelay {
-				if err := e.cutFilter(f); err != nil {
+			if list := e.open[i]; len(list) > 0 && t.TS.Sub(list[0].TS) >= e.opts.MaxDelay {
+				if err := e.cutFilter(i); err != nil {
 					return err
 				}
 			}
@@ -138,7 +172,7 @@ func (e *Engine) Step(t *tuple.Tuple) error {
 		if err != nil {
 			return fmt.Errorf("core: filter %s: %w", f.ID(), err)
 		}
-		if err := e.apply(f, t, ev); err != nil {
+		if err := e.apply(i, f, t, ev); err != nil {
 			return err
 		}
 	}
@@ -160,7 +194,7 @@ func (e *Engine) Step(t *tuple.Tuple) error {
 	// Release outputs decided this step (PerCandidateSet strategy).
 	if len(e.stepBuf) > 0 {
 		e.mergeRelease(e.stepBuf, e.now)
-		e.stepBuf = e.stepBuf[:0]
+		e.stepBuf = clearPending(e.stepBuf)
 	}
 
 	// Batched output boundary.
@@ -185,11 +219,11 @@ func (e *Engine) Finish() error {
 		return nil
 	}
 	start := time.Now()
-	for _, f := range e.filters {
+	for i, f := range e.filters {
 		cs, dismissed := f.Cut()
-		e.applyDismissals(f.ID(), dismissed)
+		e.applyDismissals(i, dismissed)
 		if cs != nil {
-			e.removeOpenMembers(f.ID(), cs)
+			e.removeOpenMembers(i, cs)
 			if err := e.handleClosed(f, cs); err != nil {
 				return err
 			}
@@ -202,7 +236,7 @@ func (e *Engine) Finish() error {
 	}
 	if len(e.stepBuf) > 0 {
 		e.mergeRelease(e.stepBuf, e.now)
-		e.stepBuf = nil
+		e.stepBuf = clearPending(e.stepBuf)
 	}
 	e.releaseBatch()
 	e.finished = true
@@ -232,19 +266,19 @@ func Run(filters []filter.Filter, sr *tuple.Series, opts Options) (*Result, erro
 }
 
 // apply folds one filter event into the global state, following stateful
-// decision loops to completion.
-func (e *Engine) apply(f filter.Filter, t *tuple.Tuple, ev filter.Event) error {
+// decision loops to completion. i is the filter's slot.
+func (e *Engine) apply(i int, f filter.Filter, t *tuple.Tuple, ev filter.Event) error {
 	for {
 		if ev.Admitted {
-			e.util[t.Seq]++
-			e.open[f.ID()] = append(e.open[f.ID()], t)
+			e.util.inc(t.Seq)
+			e.open[i] = append(e.open[i], t)
 		}
-		e.applyDismissals(f.ID(), ev.Dismissed)
+		e.applyDismissals(i, ev.Dismissed)
 		if ev.Closed == nil {
 			return nil
 		}
 		cs := ev.Closed
-		e.removeOpenMembers(f.ID(), cs)
+		e.removeOpenMembers(i, cs)
 		if !f.Stateful() {
 			return e.handleClosed(f, cs)
 		}
@@ -280,27 +314,42 @@ func (e *Engine) handleClosed(f filter.Filter, cs *filter.CandidateSet) error {
 }
 
 // applyDismissals decrements utilities and open tracking for dismissed
-// tuples.
-func (e *Engine) applyDismissals(filterID string, dismissed []*tuple.Tuple) {
+// tuples. The open list is compacted in one in-place pass instead of one
+// O(n) copy per dismissal.
+func (e *Engine) applyDismissals(i int, dismissed []*tuple.Tuple) {
+	switch len(dismissed) {
+	case 0:
+		return
+	case 1:
+		e.util.dec(dismissed[0].Seq)
+		e.removeOpen(i, dismissed[0].Seq)
+		return
+	}
+	clear(e.seqScratch)
 	for _, d := range dismissed {
-		e.decUtil(d.Seq)
-		e.removeOpen(filterID, d.Seq)
+		e.util.dec(d.Seq)
+		e.seqScratch[d.Seq] = struct{}{}
 	}
+	list := e.open[i]
+	keep := list[:0]
+	for _, t := range list {
+		if _, drop := e.seqScratch[t.Seq]; !drop {
+			keep = append(keep, t)
+		}
+	}
+	for j := len(keep); j < len(list); j++ {
+		list[j] = nil
+	}
+	e.open[i] = keep
 }
 
-func (e *Engine) decUtil(seq int) {
-	if n := e.util[seq] - 1; n > 0 {
-		e.util[seq] = n
-	} else {
-		delete(e.util, seq)
-	}
-}
-
-func (e *Engine) removeOpen(filterID string, seq int) {
-	list := e.open[filterID]
-	for i, t := range list {
+func (e *Engine) removeOpen(i, seq int) {
+	list := e.open[i]
+	for j, t := range list {
 		if t.Seq == seq {
-			e.open[filterID] = append(list[:i], list[i+1:]...)
+			copy(list[j:], list[j+1:])
+			list[len(list)-1] = nil
+			e.open[i] = list[:len(list)-1]
 			return
 		}
 	}
@@ -308,30 +357,35 @@ func (e *Engine) removeOpen(filterID string, seq int) {
 
 // removeOpenMembers drops a closed set's members from the filter's open
 // tracking.
-func (e *Engine) removeOpenMembers(filterID string, cs *filter.CandidateSet) {
-	member := make(map[int]bool, len(cs.Members))
+func (e *Engine) removeOpenMembers(i int, cs *filter.CandidateSet) {
+	clear(e.seqScratch)
 	for _, m := range cs.Members {
-		member[m.Seq] = true
+		e.seqScratch[m.Seq] = struct{}{}
 	}
-	list := e.open[filterID]
+	list := e.open[i]
 	keep := list[:0]
 	for _, t := range list {
-		if !member[t.Seq] {
+		if _, member := e.seqScratch[t.Seq]; !member {
 			keep = append(keep, t)
 		}
 	}
-	e.open[filterID] = keep
+	for j := len(keep); j < len(list); j++ {
+		list[j] = nil
+	}
+	e.open[i] = keep
 }
 
 // openMins returns the earliest admitted timestamp of each filter's open
-// set.
+// set. The returned slice is engine-owned scratch, valid until the next
+// call.
 func (e *Engine) openMins() []time.Time {
-	var mins []time.Time
-	for _, f := range e.filters {
-		if list := e.open[f.ID()]; len(list) > 0 {
+	mins := e.minsBuf[:0]
+	for i := range e.filters {
+		if list := e.open[i]; len(list) > 0 {
 			mins = append(mins, list[0].TS)
 		}
 	}
+	e.minsBuf = mins
 	return mins
 }
 
@@ -354,24 +408,27 @@ func (e *Engine) handleRegion(r *region.Region) error {
 	if r.ClosedByCut() {
 		st.RegionsCut++
 	}
-	st.RegionTupleSum += r.TupleCount()
+	size := r.TupleCount()
+	st.RegionTupleSum += size
 
 	// Collect attached decided outputs (EarliestRegion holds them until
-	// the region closes).
-	var outs []pendingOut
+	// the region closes). outs is engine-owned scratch; its contents are
+	// copied on release.
+	outs := e.regionOuts[:0]
 	for _, cs := range r.Sets {
 		if held, ok := e.attached[cs]; ok {
 			outs = append(outs, held...)
 			delete(e.attached, cs)
+			e.putPOBuf(held)
 		}
 	}
 
 	// Undecided sets (RG stateless) are decided by the greedy hitting
 	// set; already-decided sets join as singleton proxies so sharing
 	// with their chosen tuples is considered (§2.3.3).
-	var undecided []*filter.CandidateSet
-	var greedySets []*filter.CandidateSet
-	proxy := make(map[*filter.CandidateSet]bool)
+	undecided := e.undecidedBuf[:0]
+	greedySets := e.greedyBuf[:0]
+	proxies := e.proxyBuf[:0]
 	for _, cs := range r.Sets {
 		if picks, ok := e.decidedPicks[cs]; ok {
 			p := &filter.CandidateSet{
@@ -380,7 +437,7 @@ func (e *Engine) handleRegion(r *region.Region) error {
 				Members:    picks,
 				PickDegree: len(picks),
 			}
-			proxy[p] = true
+			proxies = append(proxies, p)
 			greedySets = append(greedySets, p)
 			delete(e.decidedPicks, cs)
 			continue
@@ -390,28 +447,27 @@ func (e *Engine) handleRegion(r *region.Region) error {
 	}
 	if len(undecided) > 0 {
 		start := time.Now()
-		picks, err := hitting.GreedyWithOptions(greedySets, e.opts.Ties == PreferEarliest)
+		picks, err := e.solver.Greedy(greedySets, e.opts.Ties == PreferEarliest)
 		elapsed := time.Since(start)
 		if err != nil {
+			e.saveRegionScratch(outs, undecided, greedySets, proxies)
 			return fmt.Errorf("core: deciding region: %w", err)
 		}
 		st.GreedyCPU += elapsed
-		e.predictor.Observe(r.TupleCount(), elapsed)
+		e.predictor.Observe(size, elapsed)
 		for _, cs := range undecided {
 			if !e.accounted[cs] {
 				for _, m := range cs.Members {
-					e.decUtil(m.Seq)
+					e.util.dec(m.Seq)
 				}
 			}
 		}
 		for _, pk := range picks {
 			var dests []string
-			seen := make(map[string]bool)
 			for _, cs := range pk.Sets {
-				if proxy[cs] || seen[cs.Owner] {
+				if isProxy(proxies, cs) || containsLabel(dests, cs.Owner) {
 					continue
 				}
-				seen[cs.Owner] = true
 				dests = append(dests, cs.Owner)
 			}
 			if len(dests) > 0 {
@@ -433,7 +489,52 @@ func (e *Engine) handleRegion(r *region.Region) error {
 		_, max := r.Cover()
 		e.result.Punctuations = append(e.result.Punctuations, Punctuation{At: e.now, Horizon: max})
 	}
+	e.saveRegionScratch(outs, undecided, greedySets, proxies)
 	return nil
+}
+
+// saveRegionScratch returns handleRegion's scratch slices to the engine
+// with their contents cleared, so recycled buffers do not pin tuples or
+// candidate sets past release.
+func (e *Engine) saveRegionScratch(outs []pendingOut, undecided, greedy, proxies []*filter.CandidateSet) {
+	for i := range outs {
+		outs[i] = pendingOut{}
+	}
+	clearSets(undecided)
+	clearSets(greedy)
+	clearSets(proxies)
+	e.regionOuts = outs[:0]
+	e.undecidedBuf = undecided[:0]
+	e.greedyBuf = greedy[:0]
+	e.proxyBuf = proxies[:0]
+}
+
+func clearSets(s []*filter.CandidateSet) {
+	for i := range s {
+		s[i] = nil
+	}
+}
+
+// isProxy reports whether cs is one of the region's singleton proxies;
+// region set counts are small, so a scan beats a per-region map.
+func isProxy(proxies []*filter.CandidateSet, cs *filter.CandidateSet) bool {
+	for _, p := range proxies {
+		if p == cs {
+			return true
+		}
+	}
+	return false
+}
+
+// containsLabel reports whether the destination list already carries the
+// label.
+func containsLabel(dests []string, label string) bool {
+	for _, d := range dests {
+		if d == label {
+			return true
+		}
+	}
+	return false
 }
 
 // releaseBatch releases the batched output buffer.
@@ -442,7 +543,7 @@ func (e *Engine) releaseBatch() {
 		return
 	}
 	e.mergeRelease(e.batchBuf, e.now)
-	e.batchBuf = nil
+	e.batchBuf = clearPending(e.batchBuf)
 }
 
 // decideSet chooses outputs for one candidate set with the PS heuristics
@@ -459,13 +560,12 @@ func (e *Engine) decideSet(cs *filter.CandidateSet) []*tuple.Tuple {
 	if k > len(eligible) {
 		k = len(eligible)
 	}
-	used := make(map[int]bool, k)
 	picks := make([]*tuple.Tuple, 0, k)
 	for len(picks) < k {
 		var best *tuple.Tuple
 		// Heuristic 1: a tuple already chosen by another filter.
 		for _, m := range eligible {
-			if used[m.Seq] {
+			if picked(picks, m.Seq) {
 				continue
 			}
 			if _, ok := e.chosen[m.Seq]; !ok {
@@ -479,10 +579,10 @@ func (e *Engine) decideSet(cs *filter.CandidateSet) []*tuple.Tuple {
 		if best == nil {
 			bestU := -1
 			for _, m := range eligible {
-				if used[m.Seq] {
+				if picked(picks, m.Seq) {
 					continue
 				}
-				u := e.util[m.Seq]
+				u := e.util.get(m.Seq)
 				if u > bestU || (u == bestU && e.prefer(m, best)) {
 					best, bestU = m, u
 				}
@@ -491,12 +591,11 @@ func (e *Engine) decideSet(cs *filter.CandidateSet) []*tuple.Tuple {
 		if best == nil {
 			break
 		}
-		used[best.Seq] = true
 		picks = append(picks, best)
 	}
 	if !e.accounted[cs] {
 		for _, m := range cs.Members {
-			e.decUtil(m.Seq)
+			e.util.dec(m.Seq)
 		}
 		e.accounted[cs] = true
 	}
@@ -504,6 +603,17 @@ func (e *Engine) decideSet(cs *filter.CandidateSet) []*tuple.Tuple {
 		e.recordChosen(p)
 	}
 	return picks
+}
+
+// picked reports whether the seq is already among the picks; pick degrees
+// are tiny, so a linear scan beats a per-set map.
+func picked(picks []*tuple.Tuple, seq int) bool {
+	for _, p := range picks {
+		if p.Seq == seq {
+			return true
+		}
+	}
+	return false
 }
 
 // prefer reports whether m beats best under the engine's tie-break rule;
@@ -522,32 +632,41 @@ func (e *Engine) prefer(m, best *tuple.Tuple) bool {
 // records the picks for region-time proxying.
 func (e *Engine) stageDecided(cs *filter.CandidateSet, picks []*tuple.Tuple) {
 	e.decidedPicks[cs] = picks
-	outs := make([]pendingOut, 0, len(picks))
-	for _, p := range picks {
-		outs = append(outs, pendingOut{t: p, dests: []string{cs.Owner}, decidedAt: e.now})
-	}
 	switch e.opts.Strategy {
 	case PerCandidateSet:
-		e.stepBuf = append(e.stepBuf, outs...)
+		for _, p := range picks {
+			e.stepBuf = append(e.stepBuf, pendingOut{t: p, dest: cs.Owner, decidedAt: e.now})
+		}
 	case Batched:
-		e.batchBuf = append(e.batchBuf, outs...)
+		for _, p := range picks {
+			e.batchBuf = append(e.batchBuf, pendingOut{t: p, dest: cs.Owner, decidedAt: e.now})
+		}
 	default: // EarliestRegion: hold until the region closes.
+		outs := e.getPOBuf()
+		for _, p := range picks {
+			outs = append(outs, pendingOut{t: p, dest: cs.Owner, decidedAt: e.now})
+		}
 		e.attached[cs] = outs
 	}
 }
 
 // recordChosen adds a pick to the PS chosen-tuple memory and prunes
-// entries beyond the horizon.
+// entries beyond the horizon. chosenQ is a head-indexed queue compacted in
+// place so pruning does not abandon its backing array.
 func (e *Engine) recordChosen(t *tuple.Tuple) {
 	e.chosen[t.Seq] = e.now
 	e.chosenQ = append(e.chosenQ, chosenRec{seq: t.Seq, at: e.now})
 	cutoff := e.now.Add(-e.opts.ChosenHorizon)
-	for len(e.chosenQ) > 0 && e.chosenQ[0].at.Before(cutoff) {
-		rec := e.chosenQ[0]
-		e.chosenQ = e.chosenQ[1:]
+	for e.chosenHead < len(e.chosenQ) && e.chosenQ[e.chosenHead].at.Before(cutoff) {
+		rec := e.chosenQ[e.chosenHead]
+		e.chosenHead++
 		if at, ok := e.chosen[rec.seq]; ok && !at.After(rec.at) {
 			delete(e.chosen, rec.seq)
 		}
+	}
+	if e.chosenHead >= 1024 && e.chosenHead > len(e.chosenQ)-e.chosenHead {
+		n := copy(e.chosenQ, e.chosenQ[e.chosenHead:])
+		e.chosenQ, e.chosenHead = e.chosenQ[:n], 0
 	}
 }
 
@@ -566,22 +685,23 @@ func (e *Engine) maybeCut() error {
 	if e.now.Sub(oldest)+predicted < e.opts.MaxDelay {
 		return nil
 	}
-	for _, f := range e.filters {
-		if err := e.cutFilter(f); err != nil {
+	for i := range e.filters {
+		if err := e.cutFilter(i); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// cutFilter force-closes one filter's open candidate set.
-func (e *Engine) cutFilter(f filter.Filter) error {
+// cutFilter force-closes the open candidate set of the filter at slot i.
+func (e *Engine) cutFilter(i int) error {
+	f := e.filters[i]
 	cs, dismissed := f.Cut()
-	e.applyDismissals(f.ID(), dismissed)
+	e.applyDismissals(i, dismissed)
 	if cs == nil {
 		return nil
 	}
-	e.removeOpenMembers(f.ID(), cs)
+	e.removeOpenMembers(i, cs)
 	return e.handleClosed(f, cs)
 }
 
@@ -589,8 +709,8 @@ func (e *Engine) cutFilter(f filter.Filter) error {
 // and open admissions — the start of the current region span.
 func (e *Engine) oldestActive() (time.Time, bool) {
 	oldest, ok := e.tracker.EarliestPending()
-	for _, f := range e.filters {
-		if list := e.open[f.ID()]; len(list) > 0 {
+	for i := range e.filters {
+		if list := e.open[i]; len(list) > 0 {
 			if !ok || list[0].TS.Before(oldest) {
 				oldest, ok = list[0].TS, true
 			}
@@ -604,8 +724,8 @@ func (e *Engine) oldestActive() (time.Time, bool) {
 // overlap across filters; the predictor only needs a consistent scale).
 func (e *Engine) activeTupleCount() int {
 	n := 0
-	for _, f := range e.filters {
-		n += len(e.open[f.ID()])
+	for i := range e.filters {
+		n += len(e.open[i])
 	}
 	n += e.tracker.PendingSets()
 	return n

@@ -100,7 +100,7 @@ func TestEngineInvariantsProperty(t *testing.T) {
 				return false
 			}
 		}
-		if len(e.util) != 0 || len(e.attached) != 0 || len(e.decidedPicks) != 0 {
+		if e.util.Len() != 0 || len(e.attached) != 0 || len(e.decidedPicks) != 0 {
 			return false
 		}
 		for _, l := range res.Stats.Latencies {

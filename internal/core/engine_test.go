@@ -274,8 +274,8 @@ func TestUtilitiesDrainToZero(t *testing.T) {
 		if err := e.Finish(); err != nil {
 			t.Fatal(err)
 		}
-		if len(e.util) != 0 {
-			t.Errorf("%v: %d utility entries leaked", alg, len(e.util))
+		if e.util.Len() != 0 {
+			t.Errorf("%v: %d utility entries leaked", alg, e.util.Len())
 		}
 		if len(e.attached) != 0 || len(e.decidedPicks) != 0 {
 			t.Errorf("%v: pending decision state leaked (%d attached, %d picks)",

@@ -105,36 +105,60 @@ type Result struct {
 	Stats        Stats
 }
 
-// pendingOut is a decided output waiting for its release time.
+// pendingOut is a decided output waiting for its release time. The common
+// single-destination case (a set decided for its owner) uses dest so
+// staging a decision allocates nothing; region greedy picks shared by
+// several owners carry dests.
 type pendingOut struct {
 	t         *tuple.Tuple
+	dest      string
 	dests     []string
 	decidedAt time.Time
 }
 
 // mergeRelease folds pending outputs released at the same instant into
 // transmissions, merging destination lists of the same tuple, and records
-// stats. Destination lists are sorted for determinism.
+// stats. Destination lists are sorted for determinism. The grouping state
+// (relIdx/relTrs/relOrder) is engine-owned scratch reused across calls;
+// only the retained per-transmission destination list is allocated.
 func (e *Engine) mergeRelease(outs []pendingOut, releasedAt time.Time) {
 	if len(outs) == 0 {
 		return
 	}
-	bySeq := make(map[int]*Transmission)
-	order := make([]int, 0, len(outs))
+	clear(e.relIdx)
+	e.relOrder = e.relOrder[:0]
+	trs := e.relTrs[:0]
 	for _, po := range outs {
-		tr, ok := bySeq[po.t.Seq]
+		i, ok := e.relIdx[po.t.Seq]
 		if !ok {
-			tr = &Transmission{Tuple: po.t, ReleasedAt: releasedAt}
-			bySeq[po.t.Seq] = tr
-			order = append(order, po.t.Seq)
+			i = len(trs)
+			if i < cap(trs) {
+				// Reuse the slot, keeping its Destinations backing array.
+				trs = trs[:i+1]
+				trs[i].Tuple, trs[i].ReleasedAt = po.t, releasedAt
+				trs[i].Destinations = trs[i].Destinations[:0]
+			} else {
+				trs = append(trs, Transmission{Tuple: po.t, ReleasedAt: releasedAt})
+			}
+			e.relIdx[po.t.Seq] = i
+			e.relOrder = append(e.relOrder, po.t.Seq)
 		}
-		tr.Destinations = append(tr.Destinations, po.dests...)
+		if po.dests != nil {
+			trs[i].Destinations = append(trs[i].Destinations, po.dests...)
+		} else {
+			trs[i].Destinations = append(trs[i].Destinations, po.dest)
+		}
 	}
-	sort.Ints(order)
-	for _, seq := range order {
-		tr := bySeq[seq]
+	sort.Ints(e.relOrder)
+	for _, seq := range e.relOrder {
+		tr := &trs[e.relIdx[seq]]
 		sort.Strings(tr.Destinations)
-		e.result.Transmissions = append(e.result.Transmissions, *tr)
+		// The result retains the transmission; give it a right-sized
+		// destination list so the scratch array stays recyclable.
+		dests := make([]string, len(tr.Destinations))
+		copy(dests, tr.Destinations)
+		e.result.Transmissions = append(e.result.Transmissions,
+			Transmission{Tuple: tr.Tuple, Destinations: dests, ReleasedAt: tr.ReleasedAt})
 		st := &e.result.Stats
 		if seq < e.maxReleasedSeq {
 			st.MultiplexDisorder++
@@ -142,15 +166,21 @@ func (e *Engine) mergeRelease(outs []pendingOut, releasedAt time.Time) {
 			e.maxReleasedSeq = seq
 		}
 		st.Transmissions++
-		st.Deliveries += len(tr.Destinations)
+		st.Deliveries += len(dests)
 		if !e.distinct[seq] {
 			e.distinct[seq] = true
 			st.DistinctOutputs++
 		}
 		lat := releasedAt.Sub(tr.Tuple.TS) + e.opts.MulticastDelay
-		for _, d := range tr.Destinations {
+		for _, d := range dests {
 			st.PerFilter[d]++
 			st.Latencies = append(st.Latencies, lat)
 		}
 	}
+	// Drop tuple pointers from the scratch so released tuples are not
+	// pinned by the next window's unused capacity.
+	for i := range trs {
+		trs[i].Tuple = nil
+	}
+	e.relTrs = trs[:0]
 }

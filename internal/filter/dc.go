@@ -52,11 +52,12 @@ type DC struct {
 	lastRef float64 // signal value of the last reference
 	ordinal int     // ordinal of the next set to close
 
-	// Open set state (dcInRef).
+	// Open set state (dcInRef). members is handed off to the closed
+	// CandidateSet, so it is reallocated per set; the tentative buffer is
+	// recycled in place.
 	refTuple *tuple.Tuple
 	refVal   float64
 	members  []*tuple.Tuple
-	memVals  []float64
 
 	// Tentative buffer (dcSeekRef).
 	tentative []*tuple.Tuple
@@ -169,14 +170,13 @@ func (f *DC) Process(t *tuple.Tuple) (Event, error) {
 		// The first tuple is the first reference (a self-interested DC
 		// filter always outputs the first tuple).
 		f.started = true
-		f.openSet(t, v, nil, nil)
+		f.openSet(t, v, nil)
 		return Event{Admitted: true}, nil
 	}
 	switch f.phase {
 	case dcInRef:
 		if math.Abs(v-f.refVal) <= f.curSlack {
 			f.members = append(f.members, t)
-			f.memVals = append(f.memVals, v)
 			return Event{Admitted: true}, nil
 		}
 		// Violation: close the set, then re-process this tuple in the
@@ -209,11 +209,10 @@ func (f *DC) seek(t *tuple.Tuple, v float64) Event {
 				break
 			}
 		}
-		dismissed := make([]*tuple.Tuple, keepFrom)
-		copy(dismissed, f.tentative[:keepFrom])
-		kept := f.tentative[keepFrom:]
-		keptVals := f.tentVals[keepFrom:]
-		f.openSet(t, v, kept, keptVals)
+		// The dismissed view stays valid until the next call into the
+		// filter (the Event contract); the engine consumes it before then.
+		dismissed := f.tentative[:keepFrom]
+		f.openSet(t, v, f.tentative[keepFrom:])
 		return Event{Admitted: true, Dismissed: dismissed}
 	}
 	if math.Abs(v-f.lastRef) >= delta-slack {
@@ -230,18 +229,22 @@ func (f *DC) seek(t *tuple.Tuple, v float64) Event {
 		return Event{}
 	}
 	dismissed := f.tentative
-	f.tentative, f.tentVals = nil, nil
+	// Recycle the buffer in place: the dismissed view is consumed before
+	// the next call can append into it again.
+	f.tentative, f.tentVals = f.tentative[:0], f.tentVals[:0]
 	return Event{Dismissed: dismissed}
 }
 
-// openSet starts the open candidate set around reference t.
-func (f *DC) openSet(ref *tuple.Tuple, refVal float64, kept []*tuple.Tuple, keptVals []float64) {
+// openSet starts the open candidate set around reference t. The members
+// slice is freshly sized because it is handed off to the closed
+// CandidateSet; the tentative buffer is recycled.
+func (f *DC) openSet(ref *tuple.Tuple, refVal float64, kept []*tuple.Tuple) {
 	f.phase = dcInRef
 	f.curSlack = f.slack * f.scale
 	f.refTuple, f.refVal = ref, refVal
-	f.members = append(append([]*tuple.Tuple{}, kept...), ref)
-	f.memVals = append(append([]float64{}, keptVals...), refVal)
-	f.tentative, f.tentVals = nil, nil
+	f.members = make([]*tuple.Tuple, 0, len(kept)+1)
+	f.members = append(append(f.members, kept...), ref)
+	f.tentative, f.tentVals = f.tentative[:0], f.tentVals[:0]
 }
 
 // closeSet finalizes the open set and transitions to seeking the next
@@ -259,7 +262,7 @@ func (f *DC) closeSet(byCut bool) *CandidateSet {
 	f.lastRef = f.refVal
 	f.phase = dcSeekRef
 	f.refTuple = nil
-	f.members, f.memVals = nil, nil
+	f.members = nil
 	return cs
 }
 
@@ -276,7 +279,7 @@ func (f *DC) Cut() (*CandidateSet, []*tuple.Tuple) {
 		return f.closeSet(true), nil
 	}
 	dismissed := f.tentative
-	f.tentative, f.tentVals = nil, nil
+	f.tentative, f.tentVals = f.tentative[:0], f.tentVals[:0]
 	return nil, dismissed
 }
 
@@ -289,7 +292,7 @@ func (f *DC) Reset() {
 	f.lastRef = 0
 	f.ordinal = 0
 	f.refTuple = nil
-	f.members, f.memVals = nil, nil
+	f.members = nil
 	f.tentative, f.tentVals = nil, nil
 }
 

@@ -163,7 +163,9 @@ type Event struct {
 	Admitted bool
 	// Dismissed lists tuples removed from the open set during this step:
 	// tentative candidates that turned out to be more than slack away
-	// from the reference, or whose contiguity broke (§2.3.3).
+	// from the reference, or whose contiguity broke (§2.3.3). The slice
+	// may alias filter-internal buffers and is valid only until the next
+	// call into the filter; consumers must not retain it.
 	Dismissed []*tuple.Tuple
 	// Closed is the candidate set that closed during this step, if any.
 	// A single tuple may close the previous set and be admitted into the

@@ -34,7 +34,6 @@ type StatefulDC struct {
 	firstSet bool // the initial set anchors on the first tuple like stateless DC
 	refTuple *tuple.Tuple
 	members  []*tuple.Tuple
-	memVals  []float64
 
 	// pending is the tuple that closed the last set; it is re-evaluated
 	// once the chosen output is observed, because it may belong to the
@@ -95,7 +94,6 @@ func (f *StatefulDC) Process(t *tuple.Tuple) (Event, error) {
 		f.open, f.firstSet = true, true
 		f.refTuple = t
 		f.members = []*tuple.Tuple{t}
-		f.memVals = []float64{v}
 		return Event{Admitted: true}, nil
 	}
 	if f.open {
@@ -105,7 +103,6 @@ func (f *StatefulDC) Process(t *tuple.Tuple) (Event, error) {
 		}
 		if ok {
 			f.members = append(f.members, t)
-			f.memVals = append(f.memVals, v)
 			return Event{Admitted: true}, nil
 		}
 		// Out of band: close the set and park the tuple until the
@@ -125,7 +122,6 @@ func (f *StatefulDC) admitOrOvershoot(t *tuple.Tuple, v float64) Event {
 		f.open = true
 		f.refTuple = t
 		f.members = []*tuple.Tuple{t}
-		f.memVals = []float64{v}
 		return Event{Admitted: true}
 	}
 	if math.Abs(v-f.base) > f.delta+f.slack {
@@ -133,7 +129,6 @@ func (f *StatefulDC) admitOrOvershoot(t *tuple.Tuple, v float64) Event {
 		f.open = true
 		f.refTuple = t
 		f.members = []*tuple.Tuple{t}
-		f.memVals = []float64{v}
 		closed := f.closeSet(false)
 		// The set is closed immediately; the tuple is consumed, so
 		// nothing is pending.
@@ -155,7 +150,7 @@ func (f *StatefulDC) closeSet(byCut bool) *CandidateSet {
 	f.ordinal++
 	f.open, f.firstSet = false, false
 	f.refTuple = nil
-	f.members, f.memVals = nil, nil
+	f.members = nil
 	return cs
 }
 
@@ -195,7 +190,7 @@ func (f *StatefulDC) Reset() {
 	f.started, f.open, f.firstSet, f.baseSet, f.hasPending = false, false, false, false, false
 	f.base, f.ordinal = 0, 0
 	f.refTuple, f.pending = nil, nil
-	f.members, f.memVals = nil, nil
+	f.members = nil
 }
 
 // SelfInterested implements Filter: the baseline selects the first tuple,

@@ -1,0 +1,146 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"gasf/internal/tuple"
+)
+
+// naiveWindow recomputes max/min of a window by rescanning it — the
+// reference the wedge must match.
+type naiveWindow struct {
+	keys []int64
+	vals []float64
+}
+
+func (n *naiveWindow) push(k int64, v float64) {
+	n.keys = append(n.keys, k)
+	n.vals = append(n.vals, v)
+}
+
+func (n *naiveWindow) evictBefore(from int64) {
+	i := 0
+	for i < len(n.keys) && n.keys[i] < from {
+		i++
+	}
+	n.keys, n.vals = n.keys[i:], n.vals[i:]
+}
+
+func (n *naiveWindow) maxMin() (float64, float64) {
+	max, min := n.vals[0], n.vals[0]
+	for _, v := range n.vals[1:] {
+		if v > max {
+			max = v
+		}
+		if v < min {
+			min = v
+		}
+	}
+	return max, min
+}
+
+// TestMonotonicWedgeMatchesNaive drives random walks with random window
+// sizes through wedge and naive rescan and requires identical extremes.
+func TestMonotonicWedgeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var w MonotonicWedge
+		var ref naiveWindow
+		window := int64(1 + rng.Intn(40))
+		key := int64(0)
+		v := 0.0
+		for i := 0; i < 400; i++ {
+			key += int64(1 + rng.Intn(3))
+			v += rng.NormFloat64()
+			w.Push(key, v)
+			ref.push(key, v)
+			from := key - window
+			w.EvictBefore(from)
+			ref.evictBefore(from)
+			wantMax, wantMin := ref.maxMin()
+			if w.Max() != wantMax || w.Min() != wantMin {
+				t.Fatalf("trial %d step %d: wedge (%g,%g), naive (%g,%g)",
+					trial, i, w.Max(), w.Min(), wantMax, wantMin)
+			}
+		}
+	}
+}
+
+// TestMonotonicWedgeSteadyStateAllocs asserts the wedge's amortized
+// update path stops allocating once its rings are warm.
+func TestMonotonicWedgeSteadyStateAllocs(t *testing.T) {
+	var w MonotonicWedge
+	key := int64(0)
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	// Warm the rings.
+	for i := 0; i < 1024; i++ {
+		key++
+		w.Push(key, vals[i%len(vals)])
+		w.EvictBefore(key - 64)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		key++
+		w.Push(key, vals[i%len(vals)])
+		w.EvictBefore(key - 64)
+		i++
+	})
+	if avg > 0.01 {
+		t.Fatalf("wedge steady state allocates %.3f allocs/op, want 0", avg)
+	}
+}
+
+// TestRangeSignal checks the windowed spread signal end to end against a
+// naive rescan over a synthetic series.
+func TestRangeSignal(t *testing.T) {
+	s := tuple.MustSchema("v")
+	sig, err := NewRangeSignal("v", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	base := time.Unix(100, 0)
+	var ref naiveWindow
+	v := 10.0
+	ts := base
+	for i := 0; i < 300; i++ {
+		ts = ts.Add(time.Duration(500+rng.Intn(1500)) * time.Millisecond)
+		v += rng.NormFloat64()
+		tp := tuple.MustNew(s, i, ts, []float64{v})
+		got, err := sig.Value(tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.push(ts.UnixNano(), v)
+		ref.evictBefore(ts.UnixNano() - int64(5*time.Second))
+		wantMax, wantMin := ref.maxMin()
+		if want := wantMax - wantMin; got != want {
+			t.Fatalf("tuple %d: range %g, want %g", i, got, want)
+		}
+	}
+	// A DC filter over the range signal composes via NewDCSignal.
+	sig.Reset()
+	f, err := NewDCSignal("R", sig, 1.0, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SignalName() != "range(v, 5s)" {
+		t.Fatalf("signal name %q", f.SignalName())
+	}
+}
+
+// TestRangeSignalValidation covers constructor errors.
+func TestRangeSignalValidation(t *testing.T) {
+	if _, err := NewRangeSignal("", time.Second); err == nil {
+		t.Fatal("empty attribute accepted")
+	}
+	if _, err := NewRangeSignal("v", 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}

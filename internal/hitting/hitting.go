@@ -16,7 +16,9 @@
 package hitting
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"gasf/internal/filter"
@@ -129,29 +131,115 @@ func Greedy(sets []*filter.CandidateSet) ([]Pick, error) {
 // preferEarliest is set, utility ties go to the earliest tuple instead of
 // the latest (the ablation variant of the paper's freshness rule).
 func GreedyWithOptions(sets []*filter.CandidateSet, preferEarliest bool) ([]Pick, error) {
+	var s Solver
+	return s.Greedy(sets, preferEarliest)
+}
+
+// Solver runs the greedy heuristic with reusable internal state, so a
+// caller deciding a stream of regions (the engine's hot path) allocates
+// nothing per decision beyond amortized growth. The zero value is ready to
+// use; a Solver is not safe for concurrent use.
+type Solver struct {
+	need    []int
+	entries []gentry
+	byseq   map[int]int
+	picks   []Pick
+}
+
+// gentry tracks one distinct tuple across a region's candidate sets; the
+// Solver recycles the per-entry set lists between solves.
+type gentry struct {
+	t      *tuple.Tuple
+	sets   []int
+	chosen bool
+}
+
+// build normalizes the candidate sets into the solver's scratch state,
+// validating that each set's quota is satisfiable. Entries end up sorted
+// by sequence number for determinism.
+func (s *Solver) build(sets []*filter.CandidateSet) error {
+	if s.byseq == nil {
+		s.byseq = make(map[int]int)
+	} else {
+		clear(s.byseq)
+	}
+	s.need = s.need[:0]
+	s.entries = s.entries[:0]
+	for i, cs := range sets {
+		if len(cs.Members) == 0 {
+			return fmt.Errorf("hitting: set %s-%d is empty", cs.Owner, cs.Ordinal)
+		}
+		el := cs.Eligible()
+		k := cs.PickDegree
+		if k <= 0 {
+			k = 1
+		}
+		if k > len(el) {
+			k = len(el)
+		}
+		s.need = append(s.need, k)
+		for _, m := range el {
+			idx, ok := s.byseq[m.Seq]
+			if !ok {
+				idx = len(s.entries)
+				if idx < cap(s.entries) {
+					s.entries = s.entries[:idx+1]
+					e := &s.entries[idx]
+					e.t, e.sets, e.chosen = m, e.sets[:0], false
+				} else {
+					s.entries = append(s.entries, gentry{t: m})
+				}
+				s.byseq[m.Seq] = idx
+			}
+			s.entries[idx].sets = append(s.entries[idx].sets, i)
+		}
+	}
+	// Deterministic entry order: by sequence number (unique per region).
+	slices.SortFunc(s.entries, func(a, b gentry) int { return cmp.Compare(a.t.Seq, b.t.Seq) })
+	return nil
+}
+
+// utility of an entry: the number of unsatisfied sets it is eligible in
+// and not yet chosen for.
+func (s *Solver) utility(e *gentry) int {
+	if e.chosen {
+		return 0
+	}
+	u := 0
+	for _, si := range e.sets {
+		if s.need[si] > 0 {
+			u++
+		}
+	}
+	return u
+}
+
+// Greedy solves one instance. The returned picks (and their Sets lists)
+// are backed by solver scratch and stay valid only until the next call.
+func (s *Solver) Greedy(sets []*filter.CandidateSet, preferEarliest bool) ([]Pick, error) {
 	if len(sets) == 0 {
 		return nil, nil
 	}
-	p, err := build(sets)
-	if err != nil {
+	if err := s.build(sets); err != nil {
 		return nil, err
 	}
 	remaining := 0
-	for _, n := range p.need {
+	for _, n := range s.need {
 		remaining += n
 	}
-	fresher := func(a, b *entry) bool {
+	fresher := func(a, b *gentry) bool {
 		if preferEarliest {
 			return a.t.TS.Before(b.t.TS) || (a.t.TS.Equal(b.t.TS) && a.t.Seq < b.t.Seq)
 		}
 		return a.t.TS.After(b.t.TS) || (a.t.TS.Equal(b.t.TS) && a.t.Seq > b.t.Seq)
 	}
-	var picks []Pick
+	picks := s.picks[:0]
 	for remaining > 0 {
-		var best *entry
+		var best *gentry
 		bestU := 0
-		for _, e := range p.entries {
-			u := p.utility(e)
+		for i := range s.entries {
+			e := &s.entries[i]
+			u := s.utility(e)
 			if u == 0 {
 				continue
 			}
@@ -165,16 +253,22 @@ func GreedyWithOptions(sets []*filter.CandidateSet, preferEarliest bool) ([]Pick
 			return nil, fmt.Errorf("hitting: no pickable tuple with %d picks outstanding", remaining)
 		}
 		best.chosen = true
-		pick := Pick{Tuple: best.t}
+		i := len(picks)
+		if i < cap(picks) {
+			picks = picks[:i+1]
+			picks[i].Tuple, picks[i].Sets = best.t, picks[i].Sets[:0]
+		} else {
+			picks = append(picks, Pick{Tuple: best.t})
+		}
 		for _, si := range best.sets {
-			if p.need[si] > 0 {
-				p.need[si]--
+			if s.need[si] > 0 {
+				s.need[si]--
 				remaining--
-				pick.Sets = append(pick.Sets, p.sets[si])
+				picks[i].Sets = append(picks[i].Sets, sets[si])
 			}
 		}
-		picks = append(picks, pick)
 	}
+	s.picks = picks
 	return picks, nil
 }
 

@@ -7,7 +7,7 @@
 package region
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"gasf/internal/filter"
@@ -39,6 +39,11 @@ func (r *Region) Cover() (min, max time.Time) {
 // TupleCount returns the number of distinct tuples across the region's
 // sets; the paper's region size, which drives the run-time predictor.
 func (r *Region) TupleCount() int {
+	// Members within one set are distinct, so single-set regions (the
+	// common case) need no cross-set deduplication.
+	if len(r.Sets) == 1 {
+		return len(r.Sets[0].Members)
+	}
 	seen := make(map[int]bool)
 	for _, cs := range r.Sets {
 		for _, m := range cs.Members {
@@ -100,50 +105,53 @@ func (tr *Tracker) EarliestPending() (time.Time, bool) {
 	return min, true
 }
 
-// components partitions the pending sets into connected components by
-// cover intersection. Because connectivity over intervals is exactly
-// interval overlap (with transitive closure), sorting by start time and
-// sweep-merging is sufficient.
-func (tr *Tracker) components() []*Region {
-	if len(tr.pending) == 0 {
-		return nil
-	}
-	sorted := make([]*filter.CandidateSet, len(tr.pending))
-	copy(sorted, tr.pending)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		return sorted[i].MinTS().Before(sorted[j].MinTS())
-	})
-	var out []*Region
-	cur := &Region{Sets: []*filter.CandidateSet{sorted[0]}}
-	curMax := sorted[0].MaxTS()
-	for _, cs := range sorted[1:] {
-		if !cs.MinTS().After(curMax) { // touching covers are connected
-			cur.Sets = append(cur.Sets, cs)
-			if cs.MaxTS().After(curMax) {
-				curMax = cs.MaxTS()
-			}
-			continue
+// sortPending stably orders the pending sets by start time, in place.
+// Connectivity over intervals is exactly interval overlap (with transitive
+// closure), so sorting by start time and sweep-merging yields components.
+func (tr *Tracker) sortPending() {
+	slices.SortStableFunc(tr.pending, func(a, b *filter.CandidateSet) int {
+		switch {
+		case a.MinTS().Before(b.MinTS()):
+			return -1
+		case b.MinTS().Before(a.MinTS()):
+			return 1
+		default:
+			return 0
 		}
-		out = append(out, cur)
-		cur = &Region{Sets: []*filter.CandidateSet{cs}}
-		curMax = cs.MaxTS()
+	})
+}
+
+// componentEnd returns the end index (exclusive) and cover maximum of the
+// connected component starting at index i of the sorted pending slice.
+func (tr *Tracker) componentEnd(i int) (int, time.Time) {
+	curMax := tr.pending[i].MaxTS()
+	j := i + 1
+	for j < len(tr.pending) && !tr.pending[j].MinTS().After(curMax) {
+		// Touching covers are connected.
+		if tr.pending[j].MaxTS().After(curMax) {
+			curMax = tr.pending[j].MaxTS()
+		}
+		j++
 	}
-	return append(out, cur)
+	return j, curMax
 }
 
 // Ready extracts and returns every region that can no longer grow, given
 // the earliest admitted timestamps of all currently open candidate sets
 // and the current stream time (the timestamp of the most recently
-// processed tuple). Extracted sets leave the tracker.
+// processed tuple). Extracted sets leave the tracker. The sweep runs in
+// place over the pending slice: the steady state (no region ready yet)
+// allocates nothing.
 func (tr *Tracker) Ready(openMins []time.Time, now time.Time) []*Region {
-	comps := tr.components()
-	if comps == nil {
+	n := len(tr.pending)
+	if n == 0 {
 		return nil
 	}
+	tr.sortPending()
 	var ready []*Region
-	var keep []*filter.CandidateSet
-	for _, r := range comps {
-		_, max := r.Cover()
+	keep := tr.pending[:0]
+	for i := 0; i < n; {
+		j, max := tr.componentEnd(i)
 		ok := !max.After(now)
 		if ok {
 			for _, om := range openMins {
@@ -154,10 +162,18 @@ func (tr *Tracker) Ready(openMins []time.Time, now time.Time) []*Region {
 			}
 		}
 		if ok {
-			ready = append(ready, r)
+			sets := make([]*filter.CandidateSet, j-i)
+			copy(sets, tr.pending[i:j])
+			ready = append(ready, &Region{Sets: sets})
 		} else {
-			keep = append(keep, r.Sets...)
+			// keep trails i, so this in-place compaction never overwrites
+			// a component not yet visited.
+			keep = append(keep, tr.pending[i:j]...)
 		}
+		i = j
+	}
+	for k := len(keep); k < n; k++ {
+		tr.pending[k] = nil
 	}
 	tr.pending = keep
 	return ready
@@ -166,7 +182,19 @@ func (tr *Tracker) Ready(openMins []time.Time, now time.Time) []*Region {
 // Flush extracts every remaining region regardless of growth potential;
 // used at end of stream.
 func (tr *Tracker) Flush() []*Region {
-	out := tr.components()
+	n := len(tr.pending)
+	if n == 0 {
+		return nil
+	}
+	tr.sortPending()
+	var out []*Region
+	for i := 0; i < n; {
+		j, _ := tr.componentEnd(i)
+		sets := make([]*filter.CandidateSet, j-i)
+		copy(sets, tr.pending[i:j])
+		out = append(out, &Region{Sets: sets})
+		i = j
+	}
 	tr.pending = nil
 	return out
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"fmt"
 	"net"
 	"sync"
@@ -94,12 +95,15 @@ func (p *Publisher) publishLocked(t *tuple.Tuple) error {
 	if !p.lastTS.IsZero() && !t.TS.After(p.lastTS) {
 		return fmt.Errorf("server: tuple %d timestamp %v not after previous %v", t.Seq, t.TS, p.lastTS)
 	}
-	payload, err := wire.AppendTuple(p.buf[:0], t)
+	// Encode the frame in place into the publisher's recycled buffer and
+	// ship it with a single write: no per-publish allocation, one syscall.
+	buf := beginFrame(p.buf[:0], FrameTuple)
+	buf, err := wire.AppendTuple(buf, t)
 	if err != nil {
 		return err
 	}
-	p.buf = payload
-	if err := WriteFrame(p.conn, FrameTuple, payload); err != nil {
+	p.buf = endFrame(buf)
+	if _, err := p.conn.Write(p.buf); err != nil {
 		return fmt.Errorf("server: publishing: %w", err)
 	}
 	p.lastTS = t.TS
@@ -166,6 +170,8 @@ type Delivery struct {
 // group with a quality spec and receives the filtered stream.
 type Subscriber struct {
 	conn   net.Conn
+	br     *bufio.Reader
+	buf    []byte
 	schema *tuple.Schema
 	app    string
 	source string
@@ -199,7 +205,13 @@ func DialSubscriberBuffered(addr, app, source, spec string, queue int) (*Subscri
 		conn.Close()
 		return nil, err
 	}
-	return &Subscriber{conn: conn, schema: schema, app: app, source: source}, nil
+	return &Subscriber{
+		conn:   conn,
+		br:     bufio.NewReaderSize(conn, 32<<10),
+		schema: schema,
+		app:    app,
+		source: source,
+	}, nil
 }
 
 // Schema returns the source schema advertised in the handshake.
@@ -216,7 +228,8 @@ func (c *Subscriber) Source() string { return c.source }
 // the stream gracefully (source finished or server drained).
 func (c *Subscriber) Recv() (*Delivery, error) {
 	for {
-		kind, payload, err := ReadFrame(c.conn)
+		kind, payload, err := ReadFrameInto(c.br, c.buf)
+		c.buf = payload[:cap(payload)]
 		if err != nil {
 			return nil, fmt.Errorf("server: receiving: %w", err)
 		}

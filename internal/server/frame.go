@@ -1,0 +1,40 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// frame is one encoded output frame, shared immutably across every
+// subscriber queue it fans out to. The sink encodes a released
+// transmission exactly once, sets the reference count to the fan-out
+// width, and each consumer releases its reference after writing (or
+// dropping) the frame; the last release returns the buffer to the pool.
+//
+// Ownership rule (DESIGN.md §8): a subscriber may read fr.buf until it
+// calls release, and never after; nobody mutates fr.buf once the frame is
+// shared.
+type frame struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+// getFrame takes an empty frame from the pool.
+func getFrame() *frame {
+	fr := framePool.Get().(*frame)
+	fr.buf = fr.buf[:0]
+	return fr
+}
+
+// retain sets the fan-out count before the frame is shared. It must be
+// called exactly once, before any send.
+func (fr *frame) retain(n int) { fr.refs.Store(int32(n)) }
+
+// release drops one reference, recycling the frame when it was the last.
+func (fr *frame) release() {
+	if fr.refs.Add(-1) == 0 {
+		framePool.Put(fr)
+	}
+}

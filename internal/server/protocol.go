@@ -25,11 +25,13 @@
 package server
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
 
 	"gasf/internal/tuple"
+	"gasf/internal/wire"
 )
 
 // Frame kinds.
@@ -68,32 +70,81 @@ func AppendFrame(buf []byte, kind byte, payload []byte) []byte {
 	return append(buf, payload...)
 }
 
-// WriteFrame writes one frame.
+// WriteFrame writes one frame, staging it in a pooled encode buffer so
+// control-plane writes (hellos, heartbeats, goodbyes, errors) do not
+// allocate per frame.
 func WriteFrame(w io.Writer, kind byte, payload []byte) error {
 	if len(payload) > MaxFramePayload {
 		return fmt.Errorf("server: frame payload %d exceeds limit", len(payload))
 	}
-	buf := make([]byte, 0, frameHeaderLen+len(payload))
-	_, err := w.Write(AppendFrame(buf, kind, payload))
+	bp := wire.GetBuf()
+	buf := AppendFrame((*bp)[:0], kind, payload)
+	_, err := w.Write(buf)
+	*bp = buf
+	wire.PutBuf(bp)
 	return err
 }
 
 // ReadFrame reads one frame, rejecting payloads over MaxFramePayload.
 func ReadFrame(r io.Reader) (byte, []byte, error) {
+	kind, payload, err := ReadFrameInto(r, nil)
+	return kind, payload, err
+}
+
+// ReadFrameInto is ReadFrame with a caller-recycled payload buffer: the
+// returned payload aliases buf (grown as needed) and is valid only until
+// the next call with the same buffer. Read loops that decode payloads
+// without retaining them use it to keep the steady state allocation-free;
+// it returns the payload so the caller can carry the grown buffer
+// forward.
+func ReadFrameInto(r io.Reader, buf []byte) (byte, []byte, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, buf, err
 	}
 	kind := hdr[0]
 	n := binary.LittleEndian.Uint32(hdr[1:])
 	if n > MaxFramePayload {
-		return 0, nil, fmt.Errorf("server: frame payload %d exceeds limit", n)
+		return 0, buf, fmt.Errorf("server: frame payload %d exceeds limit", n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, fmt.Errorf("server: truncated frame payload: %w", err)
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
 	}
-	return kind, payload, nil
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, buf, fmt.Errorf("server: truncated frame payload: %w", err)
+	}
+	return kind, buf, nil
+}
+
+// beginFrame starts encoding a frame in place at the start of buf: it
+// appends the kind and a length placeholder for endFrame to patch. The
+// frame must begin at buf[0].
+func beginFrame(buf []byte, kind byte) []byte {
+	return append(buf, kind, 0, 0, 0, 0)
+}
+
+// endFrame patches the payload length of a frame started with beginFrame.
+func endFrame(buf []byte) []byte {
+	binary.LittleEndian.PutUint32(buf[1:], uint32(len(buf)-frameHeaderLen))
+	return buf
+}
+
+// writeFrameTo writes one frame through a buffered writer without
+// assembling an intermediate buffer.
+func writeFrameTo(bw *bufio.Writer, kind byte, payload []byte) error {
+	if len(payload) > MaxFramePayload {
+		return fmt.Errorf("server: frame payload %d exceeds limit", len(payload))
+	}
+	var hdr [frameHeaderLen]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := bw.Write(payload)
+	return err
 }
 
 // appendString appends a uvarint-length-prefixed string.

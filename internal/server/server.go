@@ -1,11 +1,13 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -139,6 +141,27 @@ type sourceSession struct {
 	// expired marks that the gap detector closed the connection, so the
 	// reader attributes its exit correctly.
 	expired atomicFlag
+	// subEpoch counts subscriber-registry changes for this source; it is
+	// written under Server.mu and read under its read side. The sink's
+	// per-source caches are keyed by it, so a membership change can never
+	// serve stale targets or labels.
+	subEpoch uint64
+	// sink-side state, owned by the source's shard worker (sink calls for
+	// one source are serialized), so it needs no locking of its own.
+	sink sinkState
+}
+
+// sinkState caches the per-source fan-out of the last released
+// transmission: the engine-decided destination list is mapped to live
+// subscriber targets and their labels once per (epoch, list) run instead
+// of once per transmission, and the encoded destination prefix is
+// memoized inside the wire encoder.
+type sinkState struct {
+	epoch   uint64
+	inDests []string // engine destination list the cache was computed for
+	targets []*subscriber
+	labels  []string
+	enc     wire.TransmissionEncoder
 }
 
 // Server is the networked streaming service. Create with Start, stop with
@@ -354,12 +377,17 @@ func (s *Server) serveSource(conn net.Conn, hello []byte) {
 	s.readSource(src)
 }
 
-// readSource is the publisher read loop.
+// readSource is the publisher read loop. Reads are buffered and the
+// payload buffer is recycled across frames (decoded tuples copy what they
+// keep), so steady-state ingest does not allocate per frame.
 func (s *Server) readSource(src *sourceSession) {
 	var lastTS time.Time
 	var readErr error
+	br := bufio.NewReaderSize(src.conn, 32<<10)
+	var payloadBuf []byte
 	for {
-		kind, payload, err := ReadFrame(src.conn)
+		kind, payload, err := ReadFrameInto(br, payloadBuf)
+		payloadBuf = payload[:cap(payload)]
 		if err != nil {
 			// EOF, gap expiry and the drain deadline are orderly ends of
 			// stream, not failures.
@@ -510,6 +538,7 @@ func (s *Server) serveSubscriber(conn net.Conn, hello []byte) {
 	// Registered before the filter joins the group, so the first
 	// delivery the engine decides for this app finds its queue.
 	s.subs[source][app] = sub
+	src.subEpoch++
 	s.mu.Unlock()
 
 	err = s.runtimeOp(func() error {
@@ -543,6 +572,9 @@ func (s *Server) dropSubscriberEntry(sub *subscriber) {
 	s.mu.Lock()
 	if m := s.subs[sub.source]; m != nil && m[sub.app] == sub {
 		delete(m, sub.app)
+		if src := s.sources[sub.source]; src != nil {
+			src.subEpoch++
+		}
 	}
 	s.mu.Unlock()
 }
@@ -571,31 +603,58 @@ func (s *Server) removeSubscriber(sub *subscriber) {
 // fans each out to the connected subscribers named in its destination
 // list. Per-source calls are serialized by the owning worker, so each
 // subscriber's stream arrives in release order.
+//
+// The fan-out path encodes each transmission exactly once into a pooled,
+// refcounted frame shared by every target queue, labels it with the live
+// targets only (departed subscribers stop consuming egress bytes), and
+// reuses the per-source target/label/prefix caches while the subscription
+// epoch and destination list repeat.
 func (s *Server) sink(batch []shard.Out) {
 	for i := range batch {
 		o := &batch[i]
 		s.ctr.transmissionsOut.Add(1)
+
 		s.mu.RLock()
-		targets := make([]*subscriber, 0, len(o.Tr.Destinations))
-		for _, app := range o.Tr.Destinations {
-			if sub := s.subs[o.Source][app]; sub != nil {
-				targets = append(targets, sub)
+		src := s.sources[o.Source]
+		var st *sinkState
+		if src != nil {
+			st = &src.sink
+			if st.epoch != src.subEpoch || !slices.Equal(st.inDests, o.Tr.Destinations) {
+				// Membership or overlap pattern changed: recompute the
+				// live targets and their labels. Label order follows the
+				// engine's sorted destination list, so the encoding stays
+				// deterministic.
+				st.epoch, st.inDests = src.subEpoch, o.Tr.Destinations
+				st.targets, st.labels = st.targets[:0], st.labels[:0]
+				for _, app := range o.Tr.Destinations {
+					if sub := s.subs[o.Source][app]; sub != nil {
+						st.targets = append(st.targets, sub)
+						st.labels = append(st.labels, app)
+					}
+				}
 			}
 		}
 		s.mu.RUnlock()
-		if len(targets) == 0 {
-			// Every addressee already left (their owed outputs decided
-			// after the leave); nothing to encode.
+		if st == nil || len(st.targets) == 0 {
+			// The source is gone, or every addressee already left (their
+			// owed outputs decided after the leave); nothing to encode.
 			continue
 		}
-		payload, err := wire.AppendTransmission(nil, o.Tr.Tuple, o.Tr.Destinations)
+
+		fr := getFrame()
+		buf := beginFrame(fr.buf, FrameTransmission)
+		buf, err := st.enc.AppendTransmission(buf, st.epoch, o.Tr.Tuple, st.labels)
 		if err != nil {
+			fr.buf = fr.buf[:0]
+			fr.retain(1)
+			fr.release()
 			s.cfg.Logf("server: encoding transmission of %q: %v", o.Source, err)
 			continue
 		}
-		frame := AppendFrame(make([]byte, 0, frameHeaderLen+len(payload)), FrameTransmission, payload)
-		for _, sub := range targets {
-			sub.send(frame)
+		fr.buf = endFrame(buf)
+		fr.retain(len(st.targets))
+		for _, sub := range st.targets {
+			sub.send(fr)
 		}
 	}
 }

@@ -1,0 +1,206 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"gasf/internal/core"
+	"gasf/internal/shard"
+	"gasf/internal/tuple"
+	"gasf/internal/wire"
+)
+
+// sinkFixture builds a Server with registries only — no listener, no
+// goroutines — so the fan-out path can be driven deterministically.
+type sinkFixture struct {
+	s      *Server
+	src    *sourceSession
+	schema *tuple.Schema
+}
+
+func newSinkFixture(t *testing.T) *sinkFixture {
+	t.Helper()
+	schema, err := tuple.NewSchema("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Policy: PolicyDrop, Logf: t.Logf}.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		sources: make(map[string]*sourceSession),
+		subs:    make(map[string]map[string]*subscriber),
+	}
+	src := &sourceSession{name: "s1", schema: schema}
+	s.sources["s1"] = src
+	s.subs["s1"] = make(map[string]*subscriber)
+	return &sinkFixture{s: s, src: src, schema: schema}
+}
+
+// subscribe registers a queue-only subscriber session.
+func (fx *sinkFixture) subscribe(app string, queue int) *subscriber {
+	sub := newSubscriber(fx.s, app, "s1", nil, queue)
+	fx.s.mu.Lock()
+	fx.s.subs["s1"][app] = sub
+	fx.src.subEpoch++
+	fx.s.mu.Unlock()
+	return sub
+}
+
+// unsubscribe removes the registry entry the way removeSubscriber does.
+func (fx *sinkFixture) unsubscribe(sub *subscriber) {
+	sub.leave()
+	fx.s.dropSubscriberEntry(sub)
+}
+
+func (fx *sinkFixture) out(t *testing.T, seq int, dests ...string) shard.Out {
+	t.Helper()
+	ts := time.Unix(1, 0).Add(time.Duration(seq) * time.Millisecond)
+	tp, err := tuple.New(fx.schema, seq, ts, []float64{float64(seq)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shard.Out{Source: "s1", Tr: core.Transmission{Tuple: tp, Destinations: dests, ReleasedAt: ts}}
+}
+
+// take pops one frame from a subscriber queue without releasing it.
+func take(t *testing.T, sub *subscriber) *frame {
+	t.Helper()
+	select {
+	case fr := <-sub.out:
+		return fr
+	default:
+		t.Fatal("no frame queued")
+		return nil
+	}
+}
+
+// decodeFrame decodes a transmission frame into tuple and destinations.
+func decodeFrame(t *testing.T, fx *sinkFixture, fr *frame) (*tuple.Tuple, []string) {
+	t.Helper()
+	if len(fr.buf) < frameHeaderLen || fr.buf[0] != FrameTransmission {
+		t.Fatalf("bad frame: %v", fr.buf)
+	}
+	tp, dests, n, err := wire.DecodeTransmission(fx.schema, fr.buf[frameHeaderLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(fr.buf)-frameHeaderLen {
+		t.Fatalf("frame carries %d trailing bytes", len(fr.buf)-frameHeaderLen-n)
+	}
+	return tp, dests
+}
+
+// TestSinkEncodesOnlyLiveLabels is the satellite gate: once a subscriber
+// departs, transmissions the engine still addresses to it must not spend
+// egress bytes on its label — remaining subscribers receive frames
+// labeled with the live targets only.
+func TestSinkEncodesOnlyLiveLabels(t *testing.T) {
+	fx := newSinkFixture(t)
+	subA := fx.subscribe("a", 16)
+	subB := fx.subscribe("b", 16)
+
+	// Both live: the frame carries both labels.
+	fx.s.sink([]shard.Out{fx.out(t, 1, "a", "b")})
+	frA, frB := take(t, subA), take(t, subB)
+	if frA != frB {
+		t.Fatal("fan-out did not share one frame across subscriber queues")
+	}
+	_, dests := decodeFrame(t, fx, frA)
+	if len(dests) != 2 || dests[0] != "a" || dests[1] != "b" {
+		t.Fatalf("live labels %v, want [a b]", dests)
+	}
+	bothLen := len(frA.buf)
+	frA.release()
+	frB.release()
+
+	// b departs; the engine still owes it an output decided earlier.
+	fx.unsubscribe(subB)
+	fx.s.sink([]shard.Out{fx.out(t, 2, "a", "b")})
+	fr := take(t, subA)
+	tp, dests := decodeFrame(t, fx, fr)
+	if tp.Seq != 2 {
+		t.Fatalf("seq %d, want 2", tp.Seq)
+	}
+	if len(dests) != 1 || dests[0] != "a" {
+		t.Fatalf("labels after departure %v, want [a]", dests)
+	}
+	// The departed label stopped consuming egress bytes.
+	want, err := wire.AppendTransmission(nil, tp, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fr.buf) - frameHeaderLen; got != len(want) {
+		t.Fatalf("frame payload %d bytes, want %d (single live label)", got, len(want))
+	}
+	if len(fr.buf) >= bothLen {
+		t.Fatalf("frame with departed label (%dB) not smaller than dual-label frame (%dB)", len(fr.buf), bothLen)
+	}
+	fr.release()
+
+	// Nothing was queued for the departed subscriber.
+	select {
+	case <-subB.out:
+		t.Fatal("departed subscriber received a frame")
+	default:
+	}
+}
+
+// TestSinkEpochInvalidatesCache verifies a subscription change between
+// identical destination lists refreshes the cached targets: a rejoining
+// app must start receiving again immediately.
+func TestSinkEpochInvalidatesCache(t *testing.T) {
+	fx := newSinkFixture(t)
+	subA := fx.subscribe("a", 16)
+	fx.s.sink([]shard.Out{fx.out(t, 1, "a", "b")})
+	take(t, subA).release()
+
+	// b joins between two transmissions with the same destination list.
+	subB := fx.subscribe("b", 16)
+	fx.s.sink([]shard.Out{fx.out(t, 2, "a", "b")})
+	frA, frB := take(t, subA), take(t, subB)
+	_, dests := decodeFrame(t, fx, frB)
+	if len(dests) != 2 {
+		t.Fatalf("labels %v after rejoin, want both", dests)
+	}
+	frA.release()
+	frB.release()
+}
+
+// TestSinkSourceGone covers flushes racing a finished source: no frames,
+// no panic.
+func TestSinkSourceGone(t *testing.T) {
+	fx := newSinkFixture(t)
+	sub := fx.subscribe("a", 16)
+	fx.s.mu.Lock()
+	delete(fx.s.sources, "s1")
+	fx.s.mu.Unlock()
+	fx.s.sink([]shard.Out{fx.out(t, 1, "a")})
+	select {
+	case <-sub.out:
+		t.Fatal("frame delivered for a retired source")
+	default:
+	}
+}
+
+// TestSinkFanoutAllocs is the §8 regression gate for the shared-frame
+// fan-out: steady-state sink → queue → release cycles must not allocate
+// (the pooled frame and cached prefix absorb everything). A tolerance of
+// half an alloc/op absorbs a GC emptying the sync.Pool mid-measurement.
+func TestSinkFanoutAllocs(t *testing.T) {
+	fx := newSinkFixture(t)
+	subA := fx.subscribe("a", 4)
+	subB := fx.subscribe("b", 4)
+	batch := []shard.Out{fx.out(t, 1, "a", "b")}
+	cycle := func() {
+		fx.s.sink(batch)
+		take(t, subA).release()
+		take(t, subB).release()
+	}
+	for i := 0; i < 100; i++ {
+		cycle()
+	}
+	avg := testing.AllocsPerRun(2000, cycle)
+	if avg > 0.5 {
+		t.Fatalf("fan-out path allocates %.2f allocs/op in steady state, want 0", avg)
+	}
+}

@@ -1,27 +1,33 @@
 package server
 
 import (
+	"bufio"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"net"
 )
 
+// subWriteBufSize sizes the per-subscriber buffered writer; coalesced
+// flushes are bounded by it, so one slow frame cannot delay the rest of a
+// burst beyond one buffer.
+const subWriteBufSize = 32 << 10
+
 // subscriber is one connected application session: a bounded queue of
-// encoded frames between the shard workers (producers, via Server.sink)
-// and a writer goroutine that owns the connection's write side.
+// encoded, refcounted frames between the shard workers (producers, via
+// Server.sink) and a writer goroutine that owns the connection's write
+// side.
 type subscriber struct {
 	s      *Server
 	app    string
 	source string
 	conn   net.Conn
 
-	// out carries encoded frames to the writer. Only the sink sends on
+	// out carries shared frames to the writer. Only the sink sends on
 	// it, only for a live source; it is closed exactly once, after the
 	// source's final flush, to let the writer drain the tail and send
 	// the goodbye.
-	out chan []byte
+	out chan *frame
 	// done is closed when the subscriber leaves (client disconnect or
 	// removal), releasing any sink send blocked on a full queue.
 	done      chan struct{}
@@ -37,41 +43,44 @@ func newSubscriber(s *Server, app, source string, conn net.Conn, queue int) *sub
 		app:    app,
 		source: source,
 		conn:   conn,
-		out:    make(chan []byte, queue),
+		out:    make(chan *frame, queue),
 		done:   make(chan struct{}),
 	}
 }
 
-// send enqueues one encoded frame under the server's slow-consumer
-// policy. It is called from shard workers; frames for one source arrive
-// from one worker at a time, in release order.
-func (sub *subscriber) send(frame []byte) {
+// send enqueues one shared frame under the server's slow-consumer policy.
+// It is called from shard workers; frames for one source arrive from one
+// worker at a time, in release order. The frame reference is consumed:
+// either the writer releases it after flushing, or it is released here on
+// a drop.
+func (sub *subscriber) send(fr *frame) {
 	select {
 	case <-sub.done:
 		// The subscriber already left; frames queued for it are lost.
-		sub.drop()
+		sub.drop(fr)
 		return
 	default:
 	}
 	switch sub.s.cfg.Policy {
 	case PolicyDrop:
 		select {
-		case sub.out <- frame:
+		case sub.out <- fr:
 			sub.s.ctr.deliveriesOut.Add(1)
 		default:
-			sub.drop()
+			sub.drop(fr)
 		}
 	default: // PolicyBlock
 		select {
-		case sub.out <- frame:
+		case sub.out <- fr:
 			sub.s.ctr.deliveriesOut.Add(1)
 		case <-sub.done:
-			sub.drop()
+			sub.drop(fr)
 		}
 	}
 }
 
-func (sub *subscriber) drop() {
+func (sub *subscriber) drop(fr *frame) {
+	fr.release()
 	sub.dropped.Add(1)
 	sub.s.ctr.subscriberDrops.Add(1)
 }
@@ -92,33 +101,100 @@ func (sub *subscriber) finishStream() {
 // droppedCount returns the deliveries lost to the slow-consumer policy.
 func (sub *subscriber) droppedCount() uint64 { return sub.dropped.Load() }
 
-// writeLoop owns the connection's write side: it streams queued frames,
-// heartbeats when idle, and finishes with a goodbye when the stream ends.
+// writeFrame copies one shared frame into the buffered writer, counts its
+// egress bytes, and releases the reference (bufio has copied the bytes by
+// the time Write returns).
+func (sub *subscriber) writeFrame(bw *bufio.Writer, fr *frame) error {
+	_, err := bw.Write(fr.buf)
+	if err == nil {
+		sub.s.ctr.bytesOut.Add(uint64(len(fr.buf)))
+	}
+	fr.release()
+	return err
+}
+
+// drainQueued releases frames left in the queue when the writer exits
+// without delivering them (departure or write error), so an abandoning
+// exit does not strand refcounted frames outside the pool. A frame a
+// racing sink enqueues after this sweep is reclaimed by GC; every later
+// send sees done closed and releases its own reference.
+func (sub *subscriber) drainQueued() {
+	for {
+		select {
+		case fr, ok := <-sub.out:
+			if !ok {
+				return
+			}
+			fr.release()
+		default:
+			return
+		}
+	}
+}
+
+// writeLoop owns the connection's write side: it streams queued frames —
+// coalescing whatever is already queued into one buffered flush instead
+// of one Write syscall per frame — heartbeats when idle, and finishes
+// with a goodbye when the stream ends.
 func (sub *subscriber) writeLoop() {
 	defer sub.s.connWG.Done()
 	defer sub.conn.Close()
+	defer sub.drainQueued()
+	bw := bufio.NewWriterSize(sub.conn, subWriteBufSize)
+	goodbye := func() {
+		sub.conn.SetWriteDeadline(time.Now().Add(sub.s.cfg.WriteTimeout))
+		if writeFrameTo(bw, FrameGoodbye, nil) == nil {
+			bw.Flush()
+		}
+		sub.leave()
+	}
 	hb := time.NewTicker(sub.s.cfg.HeartbeatInterval)
 	defer hb.Stop()
 	for {
 		select {
 		case <-sub.done:
 			return
-		case frame, ok := <-sub.out:
+		case fr, ok := <-sub.out:
 			if !ok {
-				sub.conn.SetWriteDeadline(time.Now().Add(sub.s.cfg.WriteTimeout))
-				_ = WriteFrame(sub.conn, FrameGoodbye, nil)
-				sub.leave()
+				goodbye()
 				return
 			}
 			sub.conn.SetWriteDeadline(time.Now().Add(sub.s.cfg.WriteTimeout))
-			if _, err := sub.conn.Write(frame); err != nil {
+			err := sub.writeFrame(bw, fr)
+			closed := false
+		coalesce:
+			// Fold frames already queued into this flush, bounded by the
+			// write buffer so the deadline covers a bounded burst.
+			for err == nil && bw.Buffered() < subWriteBufSize {
+				select {
+				case more, ok := <-sub.out:
+					if !ok {
+						closed = true
+						break coalesce
+					}
+					err = sub.writeFrame(bw, more)
+				default:
+					break coalesce
+				}
+			}
+			if err == nil {
+				err = bw.Flush()
+			}
+			if err != nil {
 				sub.s.removeSubscriber(sub)
 				return
 			}
-			sub.s.ctr.bytesOut.Add(uint64(len(frame)))
+			if closed {
+				goodbye()
+				return
+			}
 		case <-hb.C:
 			sub.conn.SetWriteDeadline(time.Now().Add(sub.s.cfg.WriteTimeout))
-			if err := WriteFrame(sub.conn, FrameHeartbeat, nil); err != nil {
+			err := writeFrameTo(bw, FrameHeartbeat, nil)
+			if err == nil {
+				err = bw.Flush()
+			}
+			if err != nil {
 				sub.s.removeSubscriber(sub)
 				return
 			}
@@ -129,11 +205,14 @@ func (sub *subscriber) writeLoop() {
 // readLoop consumes the client's side of the session until it leaves
 // (goodbye or disconnect); client heartbeats are permitted and ignored.
 func (sub *subscriber) readLoop() {
+	br := bufio.NewReaderSize(sub.conn, 4<<10)
+	var buf []byte
 	for {
-		kind, _, err := ReadFrame(sub.conn)
+		kind, b, err := ReadFrameInto(br, buf)
 		if err != nil {
 			break
 		}
+		buf = b
 		if kind == FrameGoodbye {
 			break
 		}

@@ -116,6 +116,26 @@ func New(s *Schema, seq int, ts time.Time, values []float64) (*Tuple, error) {
 	return &Tuple{Seq: seq, TS: ts, Values: v, schema: s}, nil
 }
 
+// Reuse reinitializes t in place: it binds t to the schema with the given
+// sequence number and timestamp, recycles the Values backing array, and
+// returns the values slice (length s.Len()) for the caller to fill. It is
+// the zero-allocation counterpart of New for hot decode loops; the caller
+// owns t exclusively and must not hand it to consumers that retain tuples
+// (the engine does) while continuing to reuse it.
+func Reuse(t *Tuple, s *Schema, seq int, ts time.Time) ([]float64, error) {
+	if s == nil {
+		return nil, fmt.Errorf("tuple: nil schema")
+	}
+	n := s.Len()
+	if cap(t.Values) < n {
+		t.Values = make([]float64, n)
+	} else {
+		t.Values = t.Values[:n]
+	}
+	t.Seq, t.TS, t.schema = seq, ts, s
+	return t.Values, nil
+}
+
 // MustNew is New that panics on error.
 func MustNew(s *Schema, seq int, ts time.Time, values []float64) *Tuple {
 	t, err := New(s, seq, ts, values)

@@ -1,0 +1,175 @@
+package wire_test
+
+import (
+	"testing"
+	"time"
+
+	"gasf/internal/tuple"
+	"gasf/internal/wire"
+)
+
+func allocTuple(t testing.TB) (*tuple.Schema, *tuple.Tuple) {
+	t.Helper()
+	s, err := tuple.NewSchema("a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := tuple.New(s, 42, time.Unix(7, 12345), []float64{1.5, -2.25, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tp
+}
+
+// TestAppendTupleZeroAllocs is the §8 regression gate: encoding into a
+// pooled (pre-sized) buffer must not heap-allocate.
+func TestAppendTupleZeroAllocs(t *testing.T) {
+	_, tp := allocTuple(t)
+	buf := make([]byte, 0, 256)
+	avg := testing.AllocsPerRun(1000, func() {
+		var err error
+		buf, err = wire.AppendTuple(buf[:0], tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("AppendTuple allocates %.2f allocs/op into a sized buffer, want 0", avg)
+	}
+}
+
+// TestAppendTransmissionZeroAllocs gates the labeled-transmission encode
+// path, including the destination prefix.
+func TestAppendTransmissionZeroAllocs(t *testing.T) {
+	_, tp := allocTuple(t)
+	dests := []string{"app-a", "app-b", "app-c"}
+	buf := make([]byte, 0, 256)
+	avg := testing.AllocsPerRun(1000, func() {
+		var err error
+		buf, err = wire.AppendTransmission(buf[:0], tp, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("AppendTransmission allocates %.2f allocs/op into a sized buffer, want 0", avg)
+	}
+}
+
+// TestTransmissionEncoderCachedZeroAllocs gates the epoch-cached prefix
+// path used by the server's fan-out.
+func TestTransmissionEncoderCachedZeroAllocs(t *testing.T) {
+	_, tp := allocTuple(t)
+	dests := []string{"app-a", "app-b"}
+	var enc wire.TransmissionEncoder
+	buf := make([]byte, 0, 256)
+	var err error
+	// First call populates the cache (and may grow the encoder's state).
+	if buf, err = enc.AppendTransmission(buf[:0], 1, tp, dests); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		buf, err = enc.AppendTransmission(buf[:0], 1, tp, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("cached transmission encode allocates %.2f allocs/op, want 0", avg)
+	}
+	// Sanity: the cached encoding matches the direct one.
+	want, err := wire.AppendTransmission(nil, tp, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(want) {
+		t.Fatal("cached encoding diverges from AppendTransmission")
+	}
+}
+
+// TestTransmissionEncoderEpochInvalidation checks a bumped epoch refreshes
+// the cached prefix even for an equal-looking list.
+func TestTransmissionEncoderEpochInvalidation(t *testing.T) {
+	_, tp := allocTuple(t)
+	var enc wire.TransmissionEncoder
+	a, err := enc.AppendTransmission(nil, 1, tp, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := enc.AppendTransmission(nil, 2, tp, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("same destinations must encode identically across epochs")
+	}
+	if _, err := enc.AppendTransmission(nil, 2, tp, nil); err == nil {
+		t.Fatal("empty destination list accepted")
+	}
+	// The encoder must recover after an error.
+	c, err := enc.AppendTransmission(nil, 3, tp, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c) != string(a) {
+		t.Fatal("encoder did not recover after an error")
+	}
+}
+
+// TestDecodeTupleIntoZeroAllocs gates the reuse decode path.
+func TestDecodeTupleIntoZeroAllocs(t *testing.T) {
+	s, tp := allocTuple(t)
+	data, err := wire.AppendTuple(nil, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst tuple.Tuple
+	// First decode sizes the values slice.
+	if _, err := wire.DecodeTupleInto(&dst, s, data); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		if _, err := wire.DecodeTupleInto(&dst, s, data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("DecodeTupleInto allocates %.2f allocs/op on reuse, want 0", avg)
+	}
+	if dst.Seq != tp.Seq || !dst.TS.Equal(tp.TS) || dst.Values[1] != tp.Values[1] {
+		t.Fatalf("reuse decode mismatch: %+v vs %+v", dst, tp)
+	}
+	if dst.Schema() != s {
+		t.Fatal("reuse decode did not bind the schema")
+	}
+}
+
+// TestDecodeTupleNilSchema pins the hoisted nil-schema validation: it must
+// fail fast, before any header decode or allocation, for any input.
+func TestDecodeTupleNilSchema(t *testing.T) {
+	for _, data := range [][]byte{nil, {1, 2}, make([]byte, 64)} {
+		if _, _, err := wire.DecodeTuple(nil, data); err == nil {
+			t.Fatalf("nil schema accepted for %d-byte input", len(data))
+		}
+		var dst tuple.Tuple
+		if _, err := wire.DecodeTupleInto(&dst, nil, data); err == nil {
+			t.Fatalf("nil schema accepted by DecodeTupleInto for %d-byte input", len(data))
+		}
+	}
+}
+
+// TestBufPool covers the pooled encode buffers.
+func TestBufPool(t *testing.T) {
+	b := wire.GetBuf()
+	if len(*b) != 0 {
+		t.Fatal("pooled buffer not empty")
+	}
+	*b = append(*b, 1, 2, 3)
+	wire.PutBuf(b)
+	wire.PutBuf(nil) // must not panic
+	c := wire.GetBuf()
+	if len(*c) != 0 {
+		t.Fatal("recycled buffer not reset")
+	}
+	wire.PutBuf(c)
+}

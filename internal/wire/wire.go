@@ -17,10 +17,32 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
+	"sync"
 	"time"
 
 	"gasf/internal/tuple"
 )
+
+// bufPool recycles encode buffers so per-transmission encoding does not
+// heap-allocate in steady state. Buffers are held behind pointers to keep
+// Put itself allocation-free.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// GetBuf returns an empty encode buffer from the pool. Return it with
+// PutBuf once the encoded bytes have been flushed or copied.
+func GetBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuf recycles an encode buffer.
+func PutBuf(b *[]byte) {
+	if b != nil {
+		bufPool.Put(b)
+	}
+}
 
 // MaxDestinations bounds the destination list of one transmission.
 const MaxDestinations = 255
@@ -52,29 +74,41 @@ func AppendTuple(buf []byte, t *tuple.Tuple) ([]byte, error) {
 // TupleSize returns the encoded size of a tuple in bytes.
 func TupleSize(t *tuple.Tuple) int { return 4 + 8 + 2 + 8*len(t.Values) }
 
+// tupleHeaderLen is the encoded size of a tuple header (seq + ts + count).
+const tupleHeaderLen = 4 + 8 + 2
+
+// decodeTupleHeader validates the header of an encoded tuple against the
+// schema and returns seq, timestamp and total encoded size.
+func decodeTupleHeader(s *tuple.Schema, data []byte) (seq uint32, ts time.Time, need int, err error) {
+	if s == nil {
+		return 0, time.Time{}, 0, fmt.Errorf("wire: nil schema")
+	}
+	if len(data) < tupleHeaderLen {
+		return 0, time.Time{}, 0, fmt.Errorf("wire: truncated tuple header (%d bytes)", len(data))
+	}
+	seq = binary.LittleEndian.Uint32(data)
+	ts = time.Unix(0, int64(binary.LittleEndian.Uint64(data[4:])))
+	n := int(binary.LittleEndian.Uint16(data[12:]))
+	if n != s.Len() {
+		return 0, time.Time{}, 0, fmt.Errorf("wire: tuple carries %d values, schema has %d", n, s.Len())
+	}
+	need = tupleHeaderLen + 8*n
+	if len(data) < need {
+		return 0, time.Time{}, 0, fmt.Errorf("wire: truncated tuple body (%d of %d bytes)", len(data), need)
+	}
+	return seq, ts, need, nil
+}
+
 // DecodeTuple decodes one tuple bound to the given schema, returning the
 // tuple and the number of bytes consumed.
 func DecodeTuple(s *tuple.Schema, data []byte) (*tuple.Tuple, int, error) {
-	const header = 4 + 8 + 2
-	if len(data) < header {
-		return nil, 0, fmt.Errorf("wire: truncated tuple header (%d bytes)", len(data))
+	seq, ts, need, err := decodeTupleHeader(s, data)
+	if err != nil {
+		return nil, 0, err
 	}
-	seq := binary.LittleEndian.Uint32(data)
-	ts := time.Unix(0, int64(binary.LittleEndian.Uint64(data[4:])))
-	n := int(binary.LittleEndian.Uint16(data[12:]))
-	if s != nil && n != s.Len() {
-		return nil, 0, fmt.Errorf("wire: tuple carries %d values, schema has %d", n, s.Len())
-	}
-	need := header + 8*n
-	if len(data) < need {
-		return nil, 0, fmt.Errorf("wire: truncated tuple body (%d of %d bytes)", len(data), need)
-	}
-	values := make([]float64, n)
+	values := make([]float64, s.Len())
 	for i := range values {
-		values[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[header+8*i:]))
-	}
-	if s == nil {
-		return nil, 0, fmt.Errorf("wire: nil schema")
+		values[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[tupleHeaderLen+8*i:]))
 	}
 	t, err := tuple.New(s, int(seq), ts, values)
 	if err != nil {
@@ -83,11 +117,29 @@ func DecodeTuple(s *tuple.Schema, data []byte) (*tuple.Tuple, int, error) {
 	return t, need, nil
 }
 
-// AppendTransmission appends a destination-labeled tuple (the paper's
-// tuple-level multicast message: "the multicast protocol allows us to label
-// each tuple with the list of the applications that should receive that
-// tuple", §1.2).
-func AppendTransmission(buf []byte, t *tuple.Tuple, dests []string) ([]byte, error) {
+// DecodeTupleInto decodes one tuple in place into dst, reusing dst's
+// Values backing array, and returns the bytes consumed. It is the
+// allocation-free decode path for consumers that do not retain tuples
+// between frames (replay drivers, benchmarks, client receive loops); see
+// tuple.Reuse for the ownership contract.
+func DecodeTupleInto(dst *tuple.Tuple, s *tuple.Schema, data []byte) (int, error) {
+	seq, ts, need, err := decodeTupleHeader(s, data)
+	if err != nil {
+		return 0, err
+	}
+	values, err := tuple.Reuse(dst, s, int(seq), ts)
+	if err != nil {
+		return 0, err
+	}
+	for i := range values {
+		values[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[tupleHeaderLen+8*i:]))
+	}
+	return need, nil
+}
+
+// AppendDestinations appends the destination-list prefix of a labeled
+// transmission (u8 count, then uvarint-length-prefixed labels).
+func AppendDestinations(buf []byte, dests []string) ([]byte, error) {
 	if len(dests) == 0 {
 		return nil, fmt.Errorf("wire: transmission needs at least one destination")
 	}
@@ -102,6 +154,51 @@ func AppendTransmission(buf []byte, t *tuple.Tuple, dests []string) ([]byte, err
 		buf = binary.AppendUvarint(buf, uint64(len(d)))
 		buf = append(buf, d...)
 	}
+	return buf, nil
+}
+
+// AppendTransmission appends a destination-labeled tuple (the paper's
+// tuple-level multicast message: "the multicast protocol allows us to label
+// each tuple with the list of the applications that should receive that
+// tuple", §1.2).
+func AppendTransmission(buf []byte, t *tuple.Tuple, dests []string) ([]byte, error) {
+	buf, err := AppendDestinations(buf, dests)
+	if err != nil {
+		return nil, err
+	}
+	return AppendTuple(buf, t)
+}
+
+// TransmissionEncoder appends labeled transmissions while memoizing the
+// encoded destination-list prefix. A dissemination fan-out typically
+// releases runs of transmissions carrying an identical destination list
+// (one group-membership epoch, one overlap pattern), so the steady state
+// re-encodes the labels zero times. The zero value is ready to use; an
+// encoder is not safe for concurrent use.
+type TransmissionEncoder struct {
+	epoch  uint64
+	dests  []string
+	prefix []byte
+	valid  bool
+}
+
+// AppendTransmission appends the wire encoding of t labeled with dests.
+// epoch identifies the group-membership epoch the destination list was
+// derived under; the cached prefix is reused only when both the epoch and
+// the list match the previous call, so a stale cache can never survive a
+// membership change.
+func (enc *TransmissionEncoder) AppendTransmission(buf []byte, epoch uint64, t *tuple.Tuple, dests []string) ([]byte, error) {
+	if !enc.valid || enc.epoch != epoch || !slices.Equal(enc.dests, dests) {
+		prefix, err := AppendDestinations(enc.prefix[:0], dests)
+		if err != nil {
+			enc.valid = false
+			return nil, err
+		}
+		enc.prefix = prefix
+		enc.dests = append(enc.dests[:0], dests...)
+		enc.epoch, enc.valid = epoch, true
+	}
+	buf = append(buf, enc.prefix...)
 	return AppendTuple(buf, t)
 }
 
