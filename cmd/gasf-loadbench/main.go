@@ -6,13 +6,17 @@
 // Usage:
 //
 //	gasf-loadbench -publishers 8 -subscribers 32 -tuples 20000 \
-//	               -policy block -out BENCH_serve.json
+//	               -policy block -shards 4 -procs 4 \
+//	               -matrix-procs 1,4 -matrix-shards 1,4 \
+//	               -out BENCH_serve.json
 //
 // Each publisher streams its own source ("bench0".."benchN-1") with
 // wall-clock timestamps; subscribers are spread round-robin across the
 // sources with a pass-all spec, so delivery latency (client receive time
 // minus source timestamp) covers ingest, group decision, release and
-// fan-out.
+// fan-out. With -matrix-procs/-matrix-shards the report also carries an
+// open-loop GOMAXPROCS × shards scaling matrix measured with the same
+// session layout.
 package main
 
 import (
@@ -21,11 +25,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
 
 	"gasf/internal/core"
+	"gasf/internal/metrics"
 	"gasf/internal/server"
 	"gasf/internal/tuple"
 )
@@ -50,6 +57,8 @@ type report struct {
 	// configurations are not comparable.
 	RatePerPublisher int          `json:"rate_per_publisher"`
 	Pacing           string       `json:"pacing"`
+	GOMAXPROCS       int          `json:"gomaxprocs"`
+	NumCPU           int          `json:"num_cpu"`
 	Shards           int          `json:"shards"`
 	SubscriberQueue  int          `json:"subscriber_queue"`
 	ElapsedSec       float64      `json:"elapsed_sec"`
@@ -61,6 +70,25 @@ type report struct {
 	BytesIn          uint64       `json:"bytes_in"`
 	BytesOut         uint64       `json:"bytes_out"`
 	Latency          latencyStats `json:"delivery_latency"`
+	// ScalingMatrix is the open-loop GOMAXPROCS × shards sweep (same
+	// publisher/subscriber layout, unthrottled).
+	ScalingMatrix []scaleCell `json:"scaling_matrix,omitempty"`
+}
+
+// scaleCell is one open-loop cell of the scaling matrix.
+type scaleCell struct {
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Shards       int     `json:"shards"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	TuplesIn     uint64  `json:"tuples_in"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	Deliveries   int     `json:"deliveries"`
+}
+
+// benchConfig parameterizes one measured serve run.
+type benchConfig struct {
+	publishers, subscribers, tuples, queue, shards, rate int
+	policy                                               server.Policy
 }
 
 func main() {
@@ -73,14 +101,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gasf-loadbench", flag.ContinueOnError)
 	var (
-		publishers  = fs.Int("publishers", 8, "publisher (source) sessions")
-		subscribers = fs.Int("subscribers", 32, "subscriber sessions, spread across sources")
-		tuples      = fs.Int("tuples", 20000, "tuples per publisher")
-		queue       = fs.Int("queue", 1024, "per-subscriber send queue")
-		policy      = fs.String("policy", "block", "slow-consumer policy: block or drop")
-		shards      = fs.Int("shards", 0, "worker shards (0 = GOMAXPROCS)")
-		rate        = fs.Int("rate", 0, "tuples/sec per publisher (0 = unthrottled open loop)")
-		out         = fs.String("out", "BENCH_serve.json", "report path (- for stdout only)")
+		publishers   = fs.Int("publishers", 8, "publisher (source) sessions")
+		subscribers  = fs.Int("subscribers", 32, "subscriber sessions, spread across sources")
+		tuples       = fs.Int("tuples", 20000, "tuples per publisher")
+		queue        = fs.Int("queue", 1024, "per-subscriber send queue (release cycles)")
+		policy       = fs.String("policy", "block", "slow-consumer policy: block or drop")
+		shards       = fs.Int("shards", 0, "worker shards (0 = GOMAXPROCS)")
+		rate         = fs.Int("rate", 0, "tuples/sec per publisher (0 = unthrottled open loop)")
+		procs        = fs.Int("procs", 0, "GOMAXPROCS for the main run (0 = inherit)")
+		matrixProcs  = fs.String("matrix-procs", "", "comma-separated GOMAXPROCS values for the open-loop scaling matrix (empty = skip)")
+		matrixShards = fs.String("matrix-shards", "", "comma-separated shard counts for the scaling matrix (default: same as -matrix-procs)")
+		out          = fs.String("out", "BENCH_serve.json", "report path (- for stdout only)")
+		cpuProf      = fs.String("cpuprofile", "", "write a CPU profile of the measured run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,50 +124,141 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	mp, err := metrics.ParseIntList(*matrixProcs)
+	if err != nil {
+		return err
+	}
+	ms, err := metrics.ParseIntList(*matrixShards)
+	if err != nil {
+		return err
+	}
+	if len(ms) == 0 {
+		ms = mp
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
 
-	srv, err := server.Start(server.Config{
-		Engine:          core.Options{ShardCount: *shards},
-		SubscriberQueue: *queue,
-		Policy:          pol,
+	rep, err := measure(benchConfig{
+		publishers:  *publishers,
+		subscribers: *subscribers,
+		tuples:      *tuples,
+		queue:       *queue,
+		shards:      *shards,
+		rate:        *rate,
+		policy:      pol,
 	})
 	if err != nil {
 		return err
 	}
+
+	// The scaling matrix re-runs the open-loop configuration per
+	// (GOMAXPROCS, shards) cell; the paced acceptance numbers above stay
+	// untouched by the sweep.
+	restore := runtime.GOMAXPROCS(0)
+	for _, p := range mp {
+		for _, sh := range ms {
+			runtime.GOMAXPROCS(p)
+			cellRep, err := measure(benchConfig{
+				publishers:  *publishers,
+				subscribers: *subscribers,
+				tuples:      *tuples,
+				queue:       *queue,
+				shards:      sh,
+				rate:        0,
+				policy:      pol,
+			})
+			if err != nil {
+				runtime.GOMAXPROCS(restore)
+				return fmt.Errorf("matrix cell procs=%d shards=%d: %w", p, sh, err)
+			}
+			rep.ScalingMatrix = append(rep.ScalingMatrix, scaleCell{
+				GOMAXPROCS:   p,
+				Shards:       sh,
+				ElapsedSec:   cellRep.ElapsedSec,
+				TuplesIn:     cellRep.TuplesIn,
+				TuplesPerSec: cellRep.TuplesPerSec,
+				Deliveries:   cellRep.Deliveries,
+			})
+			fmt.Fprintf(os.Stderr, "matrix: procs=%d shards=%d %.0f tuples/s\n", p, sh, cellRep.TuplesPerSec)
+		}
+	}
+	runtime.GOMAXPROCS(restore)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", enc)
+	if *out != "-" {
+		if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if rep.TuplesPerSec < 1 {
+		return fmt.Errorf("implausible throughput %.1f tuples/sec", rep.TuplesPerSec)
+	}
+	return nil
+}
+
+// measure runs one full serve benchmark: a fresh server, dialed
+// sessions, the publish/receive storm, and a graceful shutdown.
+func measure(cfg benchConfig) (*report, error) {
+	srv, err := server.Start(server.Config{
+		Engine:          core.Options{ShardCount: cfg.shards},
+		SubscriberQueue: cfg.queue,
+		Policy:          cfg.policy,
+	})
+	if err != nil {
+		return nil, err
+	}
 	addr := srv.Addr().String()
 	schema, err := tuple.NewSchema("v")
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	// Dial every session up front so the measured window covers steady
 	// streaming, not connection setup.
-	pubs := make([]*server.Publisher, *publishers)
+	pubs := make([]*server.Publisher, cfg.publishers)
 	for i := range pubs {
 		if pubs[i], err = server.DialPublisher(addr, fmt.Sprintf("bench%d", i), schema); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	subs := make([]*server.Subscriber, *subscribers)
+	subs := make([]*server.Subscriber, cfg.subscribers)
 	for i := range subs {
-		source := fmt.Sprintf("bench%d", i%*publishers)
+		source := fmt.Sprintf("bench%d", i%cfg.publishers)
 		app := fmt.Sprintf("app%d", i)
 		if subs[i], err = server.DialSubscriber(addr, app, source, "DC1(v, 0.5, 0)"); err != nil {
-			return err
+			return nil, err
 		}
 	}
 
 	var wg sync.WaitGroup
-	latencies := make([][]time.Duration, *subscribers)
-	errCh := make(chan error, *publishers+*subscribers)
+	latencies := make([][]time.Duration, cfg.subscribers)
+	errCh := make(chan error, cfg.publishers+cfg.subscribers)
 
 	start := time.Now()
 	for i, sub := range subs {
 		wg.Add(1)
 		go func(i int, sub *server.Subscriber) {
 			defer wg.Done()
-			lats := make([]time.Duration, 0, *tuples)
+			lats := make([]time.Duration, 0, cfg.tuples)
+			var d server.Delivery
 			for {
-				d, err := sub.Recv()
+				err := sub.RecvInto(&d)
 				if err == server.ErrStreamEnded {
 					break
 				}
@@ -150,11 +273,15 @@ func run(args []string) error {
 	}
 	// Paced publishing sends a burst every tick; unthrottled runs flood
 	// with backpressure only (their latency tail then measures drain
-	// time of the standing queue, not steady state).
+	// time of the standing queue, not steady state). Each tick's burst
+	// is published with batched writes (one syscall and one server-side
+	// ring submission per pubBatch frames), so the load generator
+	// measures the pipeline, not its own per-tuple syscalls.
 	const tick = 5 * time.Millisecond
-	burst := *tuples // unthrottled: one burst
-	if *rate > 0 {
-		burst = int(float64(*rate) * tick.Seconds())
+	const pubBatch = 256
+	burst := cfg.tuples // unthrottled: one burst
+	if cfg.rate > 0 {
+		burst = int(float64(cfg.rate) * tick.Seconds())
 		if burst < 1 {
 			burst = 1
 		}
@@ -165,17 +292,32 @@ func run(args []string) error {
 			defer wg.Done()
 			ticker := time.NewTicker(tick)
 			defer ticker.Stop()
+			vals := make([][]float64, 0, pubBatch)
+			backing := make([]float64, pubBatch)
 			// Values step by 1 so the DC1(v, 0.5, 0) subscribers treat
 			// every tuple as a closed singleton set (pass-all).
-			for n := 0; n < *tuples; {
-				for j := 0; j < burst && n < *tuples; j++ {
-					if err := pub.PublishNow([]float64{float64(n)}); err != nil {
+			for n := 0; n < cfg.tuples; {
+				end := n + burst
+				if end > cfg.tuples {
+					end = cfg.tuples
+				}
+				for n < end {
+					k := end - n
+					if k > pubBatch {
+						k = pubBatch
+					}
+					vals = vals[:0]
+					for j := 0; j < k; j++ {
+						backing[j] = float64(n + j)
+						vals = append(vals, backing[j:j+1])
+					}
+					if err := pub.PublishNowBatch(vals); err != nil {
 						errCh <- fmt.Errorf("publisher %d tuple %d: %w", i, n, err)
 						return
 					}
-					n++
+					n += k
 				}
-				if *rate > 0 && n < *tuples {
+				if cfg.rate > 0 && n < cfg.tuples {
 					<-ticker.C
 				}
 			}
@@ -188,7 +330,7 @@ func run(args []string) error {
 	elapsed := time.Since(start)
 	close(errCh)
 	for err := range errCh {
-		return err
+		return nil, err
 	}
 
 	c := srv.Counters()
@@ -197,18 +339,20 @@ func run(args []string) error {
 		all = append(all, lats...)
 	}
 	pacing := "open-loop"
-	if *rate > 0 {
+	if cfg.rate > 0 {
 		pacing = "paced"
 	}
-	rep := report{
-		Publishers:       *publishers,
-		Subscribers:      *subscribers,
-		TuplesPerSource:  *tuples,
-		Policy:           pol.String(),
-		RatePerPublisher: *rate,
+	rep := &report{
+		Publishers:       cfg.publishers,
+		Subscribers:      cfg.subscribers,
+		TuplesPerSource:  cfg.tuples,
+		Policy:           cfg.policy.String(),
+		RatePerPublisher: cfg.rate,
 		Pacing:           pacing,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		NumCPU:           runtime.NumCPU(),
 		Shards:           srv.Runtime().Shards(),
-		SubscriberQueue:  *queue,
+		SubscriberQueue:  cfg.queue,
 		ElapsedSec:       elapsed.Seconds(),
 		TuplesIn:         c.TuplesIn,
 		TuplesPerSec:     float64(c.TuplesIn) / elapsed.Seconds(),
@@ -220,25 +364,12 @@ func run(args []string) error {
 		Latency:          summarize(all),
 	}
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%s\n", enc)
-	if *out != "-" {
-		if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
-			return err
-		}
-	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		return fmt.Errorf("shutdown: %w", err)
+		return nil, fmt.Errorf("shutdown: %w", err)
 	}
-	if rep.TuplesPerSec < 1 {
-		return fmt.Errorf("implausible throughput %.1f tuples/sec", rep.TuplesPerSec)
-	}
-	return nil
+	return rep, nil
 }
 
 // summarize computes latency percentiles in milliseconds.

@@ -21,6 +21,7 @@ import (
 	"runtime/pprof"
 
 	"gasf/internal/bench"
+	"gasf/internal/metrics"
 )
 
 func main() {
@@ -44,8 +45,18 @@ func run(args []string) error {
 		baseline   = fs.String("baseline", "", "compare against a committed BENCH_hotpath.json")
 		threshold  = fs.Float64("threshold", 0.30, "soft regression threshold (fraction)")
 		strict     = fs.Bool("strict", false, "exit non-zero on regressions instead of warning")
+		matrix     = fs.String("matrix", "", "comma-separated GOMAXPROCS values for the open-loop serve scaling matrix (empty = skip)")
+		matrixSh   = fs.String("matrix-shards", "", "comma-separated shard counts for the scaling matrix (default: same as -matrix)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	matrixProcs, err := metrics.ParseIntList(*matrix)
+	if err != nil {
+		return err
+	}
+	matrixShards, err := metrics.ParseIntList(*matrixSh)
+	if err != nil {
 		return err
 	}
 
@@ -67,6 +78,8 @@ func run(args []string) error {
 		Publishers:      *publishers,
 		Subscribers:     *subs,
 		TuplesPerSource: *tuples,
+		MatrixProcs:     matrixProcs,
+		MatrixShards:    matrixShards,
 	})
 	if err != nil {
 		return err

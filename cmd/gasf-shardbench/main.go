@@ -1,7 +1,7 @@
 // Command gasf-shardbench measures the sharded multi-source runtime over
-// the throughput matrix the ROADMAP tracks — 1/2/4/8 shards × 10/100/1000
-// sources — and records the results as JSON (BENCH_shard.json in the
-// repository) so later performance PRs have a trajectory to beat.
+// the GOMAXPROCS × shards × sources scaling matrix the ROADMAP tracks and
+// records the results as JSON (BENCH_shard.json in the repository) so
+// later performance PRs have a trajectory to beat.
 //
 // Each flush pays a modeled blocking dissemination cost (-delay; the
 // paper's testbed measures an application-level multicast invocation cost
@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	gasf-shardbench -out BENCH_shard.json -tuples 100 -delay 2ms
+//	gasf-shardbench -out BENCH_shard.json -tuples 100 -delay 2ms -procs 1,4
 package main
 
 import (
@@ -44,7 +44,8 @@ type report struct {
 }
 
 // cell is one matrix measurement plus its speedup over the 1-shard
-// baseline of the same source count (the seed's sequential regime).
+// baseline at the same GOMAXPROCS and source count (the seed's
+// sequential regime).
 type cell struct {
 	shard.CellResult
 	SpeedupVs1Shard float64 `json:"speedup_vs_1_shard"`
@@ -56,18 +57,27 @@ func main() {
 		tuples  = flag.Int("tuples", 100, "tuples per source")
 		filters = flag.Int("filters", 3, "filters per source group")
 		delay   = flag.Duration("delay", 2*time.Millisecond, "modeled blocking dissemination cost per flush")
+		procs   = flag.String("procs", "1,4", "comma-separated GOMAXPROCS values of the scaling matrix")
 	)
 	flag.Parse()
-	if err := run(*out, *tuples, *filters, *delay); err != nil {
+	procList, err := metrics.ParseIntList(*procs)
+	if err == nil && len(procList) == 0 {
+		err = fmt.Errorf("empty GOMAXPROCS list")
+	}
+	if err == nil {
+		err = run(*out, *tuples, *filters, *delay, procList)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, tuples, filters int, delay time.Duration) error {
+func run(out string, tuples, filters int, delay time.Duration, procList []int) error {
 	rep := report{
-		Schema: "gasf shard throughput matrix v1: sharded runtime, DC1 groups over a shared " +
-			"NAMOS trace, one producer per source, blocking dissemination cost per flush",
+		Schema: "gasf shard throughput matrix v2: batched ring runtime, DC1 groups over a shared " +
+			"NAMOS trace, one producer per source, blocking dissemination cost per flush, " +
+			"GOMAXPROCS x shards x sources cells",
 		GeneratedAt:          time.Now().UTC().Format(time.RFC3339),
 		GoVersion:            runtime.Version(),
 		GOMAXPROCS:           runtime.GOMAXPROCS(0),
@@ -76,32 +86,37 @@ func run(out string, tuples, filters int, delay time.Duration) error {
 		FiltersPerSource:     filters,
 		DisseminationDelayUS: float64(delay) / float64(time.Microsecond),
 	}
-	base := make(map[int]float64) // sources -> 1-shard tuples/sec
-	tb := metrics.NewTable("shards", "sources", "tuples", "elapsed", "tuples/s", "speedup vs 1 shard")
-	for _, sources := range []int{10, 100, 1000} {
-		for _, shards := range []int{1, 2, 4, 8} {
-			res, err := shard.RunCell(shard.CellConfig{
-				Shards:             shards,
-				Sources:            sources,
-				TuplesPerSource:    tuples,
-				FiltersPerSource:   filters,
-				DisseminationDelay: delay,
-				Seed:               1,
-			})
-			if err != nil {
-				return fmt.Errorf("cell shards=%d sources=%d: %w", shards, sources, err)
+	type key struct{ procs, sources int }
+	base := make(map[key]float64) // (procs, sources) -> 1-shard tuples/sec
+	tb := metrics.NewTable("procs", "shards", "sources", "tuples", "elapsed", "tuples/s", "drain-run", "speedup vs 1 shard")
+	for _, p := range procList {
+		for _, sources := range []int{10, 100, 1000} {
+			for _, shards := range []int{1, 2, 4, 8} {
+				res, err := shard.RunCell(shard.CellConfig{
+					Procs:              p,
+					Shards:             shards,
+					Sources:            sources,
+					TuplesPerSource:    tuples,
+					FiltersPerSource:   filters,
+					DisseminationDelay: delay,
+					Seed:               1,
+				})
+				if err != nil {
+					return fmt.Errorf("cell procs=%d shards=%d sources=%d: %w", p, shards, sources, err)
+				}
+				c := cell{CellResult: res}
+				k := key{p, sources}
+				if shards == 1 {
+					base[k] = res.TuplesPerSec
+				}
+				if b := base[k]; b > 0 {
+					c.SpeedupVs1Shard = res.TuplesPerSec / b
+				}
+				rep.Cells = append(rep.Cells, c)
+				tb.AddRow(fmt.Sprint(p), fmt.Sprint(shards), fmt.Sprint(sources), fmt.Sprint(res.Tuples),
+					fmt.Sprintf("%.0fms", res.ElapsedMS), fmt.Sprintf("%.0f", res.TuplesPerSec),
+					fmt.Sprintf("%.1f", res.AvgDrainRun), fmt.Sprintf("%.2fx", c.SpeedupVs1Shard))
 			}
-			c := cell{CellResult: res}
-			if shards == 1 {
-				base[sources] = res.TuplesPerSec
-			}
-			if b := base[sources]; b > 0 {
-				c.SpeedupVs1Shard = res.TuplesPerSec / b
-			}
-			rep.Cells = append(rep.Cells, c)
-			tb.AddRow(fmt.Sprint(shards), fmt.Sprint(sources), fmt.Sprint(res.Tuples),
-				fmt.Sprintf("%.0fms", res.ElapsedMS), fmt.Sprintf("%.0f", res.TuplesPerSec),
-				fmt.Sprintf("%.2fx", c.SpeedupVs1Shard))
 		}
 	}
 	fmt.Print(tb.String())

@@ -28,6 +28,10 @@ type Config struct {
 	// Publishers/Subscribers/TuplesPerSource size the serve benchmark;
 	// zero takes defaults (2/8/20000, or 2000 tuples under Quick).
 	Publishers, Subscribers, TuplesPerSource int
+	// MatrixProcs × MatrixShards name the cells of the open-loop
+	// GOMAXPROCS × shards scaling matrix; empty skips the sweep.
+	// MatrixShards defaults to MatrixProcs.
+	MatrixProcs, MatrixShards []int
 }
 
 // Metric is one benchmark result.
@@ -37,8 +41,11 @@ type Metric struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
-// ServeMetric is the open-loop serve result.
+// ServeMetric is one open-loop serve result (the headline run or one
+// scaling-matrix cell).
 type ServeMetric struct {
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Shards          int     `json:"shards"`
 	Publishers      int     `json:"publishers"`
 	Subscribers     int     `json:"subscribers"`
 	TuplesPerSource int     `json:"tuples_per_source"`
@@ -50,16 +57,17 @@ type ServeMetric struct {
 
 // Report is the BENCH_hotpath.json document.
 type Report struct {
-	Schema      string       `json:"schema"`
-	GeneratedAt string       `json:"generated_at"`
-	GoVersion   string       `json:"go_version"`
-	GOMAXPROCS  int          `json:"gomaxprocs"`
-	NumCPU      int          `json:"num_cpu"`
-	CoreStepRG  Metric       `json:"core_step_rg"`
-	CoreStepPS  Metric       `json:"core_step_ps"`
-	WireEncode  Metric       `json:"wire_encode_transmission"`
-	WireDecode  Metric       `json:"wire_decode_tuple_into"`
-	Serve       *ServeMetric `json:"serve_open_loop,omitempty"`
+	Schema      string        `json:"schema"`
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	NumCPU      int           `json:"num_cpu"`
+	CoreStepRG  Metric        `json:"core_step_rg"`
+	CoreStepPS  Metric        `json:"core_step_ps"`
+	WireEncode  Metric        `json:"wire_encode_transmission"`
+	WireDecode  Metric        `json:"wire_decode_tuple_into"`
+	Serve       *ServeMetric  `json:"serve_open_loop,omitempty"`
+	ServeMatrix []ServeMetric `json:"serve_scaling_matrix,omitempty"`
 }
 
 // Run executes the harness.
@@ -85,11 +93,29 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	if cfg.Serve {
-		sm, err := serveOpenLoop(cfg)
+		sm, err := serveOpenLoop(cfg, 0)
 		if err != nil {
 			return nil, err
 		}
 		rep.Serve = sm
+	}
+	shardsList := cfg.MatrixShards
+	if len(shardsList) == 0 {
+		shardsList = cfg.MatrixProcs
+	}
+	if len(cfg.MatrixProcs) > 0 {
+		restore := runtime.GOMAXPROCS(0)
+		defer runtime.GOMAXPROCS(restore)
+		for _, p := range cfg.MatrixProcs {
+			for _, sh := range shardsList {
+				runtime.GOMAXPROCS(p)
+				sm, err := serveOpenLoop(cfg, sh)
+				if err != nil {
+					return nil, fmt.Errorf("matrix cell procs=%d shards=%d: %w", p, sh, err)
+				}
+				rep.ServeMatrix = append(rep.ServeMatrix, *sm)
+			}
+		}
 	}
 	return rep, nil
 }
@@ -225,8 +251,9 @@ func wireDecode() (Metric, error) {
 
 // serveOpenLoop runs an in-process networked server over loopback with
 // unthrottled publishers (the BENCH_serve open-loop configuration, sized
-// down) and reports ingest throughput.
-func serveOpenLoop(cfg Config) (*ServeMetric, error) {
+// down) and reports ingest throughput. shards 0 leaves the runtime at
+// its GOMAXPROCS default.
+func serveOpenLoop(cfg Config, shards int) (*ServeMetric, error) {
 	pubs, subs, tuples := cfg.Publishers, cfg.Subscribers, cfg.TuplesPerSource
 	if pubs <= 0 {
 		pubs = 2
@@ -240,7 +267,7 @@ func serveOpenLoop(cfg Config) (*ServeMetric, error) {
 			tuples = 2000
 		}
 	}
-	srv, err := server.Start(server.Config{})
+	srv, err := server.Start(server.Config{Engine: core.Options{ShardCount: shards}})
 	if err != nil {
 		return nil, err
 	}
@@ -271,8 +298,9 @@ func serveOpenLoop(cfg Config) (*ServeMetric, error) {
 	for i, sub := range subscribers {
 		go func(i int, sub *server.Subscriber) {
 			n := uint64(0)
+			var d server.Delivery
 			for {
-				_, err := sub.Recv()
+				err := sub.RecvInto(&d)
 				if err == server.ErrStreamEnded {
 					break
 				}
@@ -285,15 +313,30 @@ func serveOpenLoop(cfg Config) (*ServeMetric, error) {
 			countCh <- n
 		}(i, sub)
 	}
+	// Publishers ship pubBatch-sized bursts with one write each, the
+	// same batched load-generation discipline as cmd/gasf-loadbench.
+	const pubBatch = 256
 	start := time.Now()
 	for i, pub := range publishers {
 		go func(i int, pub *server.Publisher) {
 			defer func() { done <- struct{}{} }()
-			for n := 0; n < tuples; n++ {
-				if err := pub.PublishNow([]float64{float64(n)}); err != nil {
+			vals := make([][]float64, 0, pubBatch)
+			backing := make([]float64, pubBatch)
+			for n := 0; n < tuples; {
+				k := tuples - n
+				if k > pubBatch {
+					k = pubBatch
+				}
+				vals = vals[:0]
+				for j := 0; j < k; j++ {
+					backing[j] = float64(n + j)
+					vals = append(vals, backing[j:j+1])
+				}
+				if err := pub.PublishNowBatch(vals); err != nil {
 					errCh <- fmt.Errorf("publisher %d tuple %d: %w", i, n, err)
 					return
 				}
+				n += k
 			}
 			if err := pub.Close(); err != nil {
 				errCh <- fmt.Errorf("publisher %d close: %w", i, err)
@@ -314,6 +357,8 @@ func serveOpenLoop(cfg Config) (*ServeMetric, error) {
 	}
 	c := srv.Counters()
 	return &ServeMetric{
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Shards:          srv.Runtime().Shards(),
 		Publishers:      pubs,
 		Subscribers:     subs,
 		TuplesPerSource: tuples,
@@ -346,11 +391,28 @@ func Compare(cur, base *Report, threshold float64) []string {
 	check("wire_encode allocs/op", cur.WireEncode.AllocsPerOp, base.WireEncode.AllocsPerOp)
 	check("wire_decode ns/op", cur.WireDecode.NsPerOp, base.WireDecode.NsPerOp)
 	check("wire_decode allocs/op", cur.WireDecode.AllocsPerOp, base.WireDecode.AllocsPerOp)
-	if cur.Serve != nil && base.Serve != nil && base.Serve.TuplesPerSec > 0 {
-		if cur.Serve.TuplesPerSec < base.Serve.TuplesPerSec*(1-threshold) {
-			out = append(out, fmt.Sprintf("serve_open_loop regressed: %.0f tuples/s vs baseline %.0f (-%.0f%%, threshold %.0f%%)",
-				cur.Serve.TuplesPerSec, base.Serve.TuplesPerSec,
-				100*(1-cur.Serve.TuplesPerSec/base.Serve.TuplesPerSec), 100*threshold))
+	checkServe := func(name string, cur, base *ServeMetric) {
+		if cur == nil || base == nil || base.TuplesPerSec <= 0 {
+			return
+		}
+		if cur.TuplesPerSec < base.TuplesPerSec*(1-threshold) {
+			out = append(out, fmt.Sprintf("%s regressed: %.0f tuples/s vs baseline %.0f (-%.0f%%, threshold %.0f%%)",
+				name, cur.TuplesPerSec, base.TuplesPerSec,
+				100*(1-cur.TuplesPerSec/base.TuplesPerSec), 100*threshold))
+		}
+	}
+	checkServe("serve_open_loop", cur.Serve, base.Serve)
+	// Matrix cells gate against the baseline cell with the same
+	// (GOMAXPROCS, shards) coordinates; cells absent from the baseline
+	// are informational until the baseline is refreshed.
+	for i := range cur.ServeMatrix {
+		cc := &cur.ServeMatrix[i]
+		for j := range base.ServeMatrix {
+			bc := &base.ServeMatrix[j]
+			if bc.GOMAXPROCS == cc.GOMAXPROCS && bc.Shards == cc.Shards {
+				checkServe(fmt.Sprintf("serve_matrix[procs=%d,shards=%d]", cc.GOMAXPROCS, cc.Shards), cc, bc)
+				break
+			}
 		}
 	}
 	return out

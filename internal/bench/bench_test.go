@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -72,5 +73,33 @@ func TestCompare(t *testing.T) {
 	}
 	if regs := Compare(fast, base, 0.30); len(regs) != 0 {
 		t.Fatalf("improvement flagged: %v", regs)
+	}
+}
+
+// TestCompareMatrix covers the scaling-matrix gate: cells match on
+// (GOMAXPROCS, shards), regress on slower throughput, and cells absent
+// from the baseline stay informational.
+func TestCompareMatrix(t *testing.T) {
+	base := &Report{
+		CoreStepRG: Metric{NsPerOp: 1000},
+		ServeMatrix: []ServeMetric{
+			{GOMAXPROCS: 1, Shards: 1, TuplesPerSec: 100000},
+			{GOMAXPROCS: 4, Shards: 4, TuplesPerSec: 300000},
+		},
+	}
+	cur := &Report{
+		CoreStepRG: Metric{NsPerOp: 1000},
+		ServeMatrix: []ServeMetric{
+			{GOMAXPROCS: 1, Shards: 1, TuplesPerSec: 95000},  // within threshold
+			{GOMAXPROCS: 4, Shards: 4, TuplesPerSec: 150000}, // regressed
+			{GOMAXPROCS: 2, Shards: 2, TuplesPerSec: 1},      // no baseline cell
+		},
+	}
+	regs := Compare(cur, base, 0.30)
+	if len(regs) != 1 {
+		t.Fatalf("want exactly the procs=4 cell flagged, got %v", regs)
+	}
+	if want := "serve_matrix[procs=4,shards=4]"; !strings.Contains(regs[0], want) {
+		t.Fatalf("regression %q does not name %s", regs[0], want)
 	}
 }

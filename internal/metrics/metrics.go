@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -180,4 +181,23 @@ func (t *Table) String() string {
 		writeRow(row)
 	}
 	return b.String()
+}
+
+// ParseIntList reads a comma-separated list of positive ints (the
+// benchmark commands' GOMAXPROCS/shard-list flag syntax); empty input
+// returns nil.
+func ParseIntList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("metrics: bad list value %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

@@ -168,3 +168,18 @@ func TestTableRendering(t *testing.T) {
 		t.Errorf("table has %d lines, want 4:\n%s", len(lines), out)
 	}
 }
+
+func TestParseIntList(t *testing.T) {
+	got, err := ParseIntList(" 1, 4,8 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 8 {
+		t.Fatalf("ParseIntList = %v, %v", got, err)
+	}
+	if got, err := ParseIntList(""); err != nil || got != nil {
+		t.Fatalf("empty input = %v, %v, want nil, nil", got, err)
+	}
+	for _, bad := range []string{"0", "-1", "x", "1,,y"} {
+		if _, err := ParseIntList(bad); err == nil {
+			t.Errorf("ParseIntList(%q) accepted", bad)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -133,6 +134,56 @@ func (p *Publisher) PublishNow(values []float64) error {
 	return p.publishLocked(t)
 }
 
+// PublishNowBatch stamps and publishes a run of tuples with a single
+// write: the frames are encoded back to back into the recycled buffer
+// and cross the network — and, server-side, the shard ring — as one
+// burst instead of one synchronization per tuple. Timestamps are the
+// current wall clock, strictly increasing across the batch.
+func (p *Publisher) PublishNowBatch(values [][]float64) error {
+	if len(values) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("server: publisher closed")
+	}
+	// One clock read per batch; tuples step by a nanosecond so the
+	// strictly-increasing timestamp contract holds within the burst.
+	// Publisher state (seq, lastTS) is committed only once the whole
+	// batch has validated and encoded, so a bad row leaves the session
+	// exactly as it was — all-or-nothing, like Publish.
+	ts := time.Now()
+	seq, lastTS := p.seq, p.lastTS
+	buf := p.buf[:0]
+	for _, vals := range values {
+		if !ts.After(lastTS) {
+			ts = lastTS.Add(time.Nanosecond)
+		}
+		t, err := tuple.New(p.schema, int(seq), ts, vals)
+		if err != nil {
+			return err
+		}
+		// Frames after the first do not start at buf[0], so the length
+		// patch is frame-relative rather than via beginFrame/endFrame.
+		start := len(buf)
+		buf = append(buf, FrameTuple, 0, 0, 0, 0)
+		if buf, err = wire.AppendTuple(buf, t); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(buf[start+1:], uint32(len(buf)-start-frameHeaderLen))
+		seq++
+		lastTS = ts
+		ts = ts.Add(time.Nanosecond)
+	}
+	p.buf = buf
+	if _, err := p.conn.Write(p.buf); err != nil {
+		return fmt.Errorf("server: publishing batch: %w", err)
+	}
+	p.seq, p.lastTS = seq, lastTS
+	return nil
+}
+
 // Heartbeat tells the server the source is alive during a lull, resetting
 // its flow-gap timer.
 func (p *Publisher) Heartbeat() error {
@@ -175,6 +226,12 @@ type Subscriber struct {
 	schema *tuple.Schema
 	app    string
 	source string
+
+	// RecvInto scratch: label views into the recycled payload buffer and
+	// the session's interned label strings (destination sets repeat, so
+	// steady-state receives allocate nothing).
+	labelViews [][]byte
+	labels     map[string]string
 
 	mu     sync.Mutex
 	closed bool
@@ -253,6 +310,65 @@ func (c *Subscriber) Recv() (*Delivery, error) {
 			return nil, fmt.Errorf("server: unexpected frame kind %d", kind)
 		}
 	}
+}
+
+// RecvInto is the allocation-free Recv: it blocks for the next delivery
+// and decodes it into d, reusing d.Tuple (allocated on first use), the
+// Destinations backing array, and per-session interned label strings.
+// Everything reachable from d is valid only until the next RecvInto with
+// the same Delivery; consumers that retain tuples across receives must
+// use Recv. It returns ErrStreamEnded like Recv.
+func (c *Subscriber) RecvInto(d *Delivery) error {
+	for {
+		kind, payload, err := ReadFrameInto(c.br, c.buf)
+		c.buf = payload[:cap(payload)]
+		if err != nil {
+			return fmt.Errorf("server: receiving: %w", err)
+		}
+		switch kind {
+		case FrameTransmission:
+			if d.Tuple == nil {
+				d.Tuple = new(tuple.Tuple)
+			}
+			views, n, err := wire.DecodeTransmissionInto(d.Tuple, c.schema, c.labelViews[:0], payload)
+			c.labelViews = views
+			if err != nil {
+				return err
+			}
+			if n != len(payload) {
+				return fmt.Errorf("server: transmission frame carries %d trailing bytes", len(payload)-n)
+			}
+			d.Destinations = d.Destinations[:0]
+			for _, v := range views {
+				d.Destinations = append(d.Destinations, c.intern(v))
+			}
+			d.ReceivedAt = time.Now()
+			return nil
+		case FrameHeartbeat:
+			continue
+		case FrameGoodbye:
+			return ErrStreamEnded
+		case FrameError:
+			return fmt.Errorf("server: remote error: %s", payload)
+		default:
+			return fmt.Errorf("server: unexpected frame kind %d", kind)
+		}
+	}
+}
+
+// intern maps a label view to a stable per-session string, allocating
+// only the first time a label is seen (the compiler elides the
+// conversion in the map lookup).
+func (c *Subscriber) intern(b []byte) string {
+	if s, ok := c.labels[string(b)]; ok {
+		return s
+	}
+	if c.labels == nil {
+		c.labels = make(map[string]string)
+	}
+	s := string(b)
+	c.labels[s] = s
+	return s
 }
 
 // Close leaves the group: the server removes this application's filter,

@@ -38,3 +38,40 @@ func (fr *frame) release() {
 		framePool.Put(fr)
 	}
 }
+
+// frameBatch is one release cycle's worth of shared frames for one
+// subscriber: the sink stages a subscriber's frames into a pooled batch
+// and hands the whole batch to the subscriber queue with a single
+// channel operation, instead of one per frame. Ownership of the batch
+// (the slice, not the frames' refcounts) moves with it: the sink owns it
+// while staging, the writer (or the dropping sender) owns it after, and
+// whoever releases the frames returns the batch to the pool.
+type frameBatch struct {
+	frames []*frame
+}
+
+var frameBatchPool = sync.Pool{New: func() any { return new(frameBatch) }}
+
+// getBatch takes an empty batch from the pool.
+func getBatch() *frameBatch {
+	b := frameBatchPool.Get().(*frameBatch)
+	b.frames = b.frames[:0]
+	return b
+}
+
+// putBatch recycles a batch whose frames have been handed off (or
+// released); it clears the frame pointers so the pool does not pin them.
+func putBatch(b *frameBatch) {
+	clear(b.frames)
+	b.frames = b.frames[:0]
+	frameBatchPool.Put(b)
+}
+
+// releaseAll drops one reference per staged frame and recycles the
+// batch — the drop/teardown path.
+func (b *frameBatch) releaseAll() {
+	for _, fr := range b.frames {
+		fr.release()
+	}
+	putBatch(b)
+}

@@ -103,6 +103,10 @@ func (s *Server) MetricsHandler() http.Handler {
 			fmt.Fprintf(w, "gasf_shard_flushes_total%s %d\n", l, snap.Flushes)
 			fmt.Fprintf(w, "gasf_shard_queue_depth%s %d\n", l, snap.QueueDepth)
 			fmt.Fprintf(w, "gasf_shard_queue_depth_max%s %d\n", l, snap.MaxQueueDepth)
+			fmt.Fprintf(w, "gasf_shard_ring_drains_total%s %d\n", l, snap.Drains)
+			fmt.Fprintf(w, "gasf_shard_ring_drain_run_avg%s %g\n", l, snap.AvgDrainRun)
+			fmt.Fprintf(w, "gasf_shard_ring_producer_parks_total%s %d\n", l, snap.ProducerParks)
+			fmt.Fprintf(w, "gasf_shard_ring_consumer_parks_total%s %d\n", l, snap.ConsumerParks)
 		}
 	})
 	return mux

@@ -25,7 +25,6 @@
 package server
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -129,22 +128,6 @@ func beginFrame(buf []byte, kind byte) []byte {
 func endFrame(buf []byte) []byte {
 	binary.LittleEndian.PutUint32(buf[1:], uint32(len(buf)-frameHeaderLen))
 	return buf
-}
-
-// writeFrameTo writes one frame through a buffered writer without
-// assembling an intermediate buffer.
-func writeFrameTo(bw *bufio.Writer, kind byte, payload []byte) error {
-	if len(payload) > MaxFramePayload {
-		return fmt.Errorf("server: frame payload %d exceeds limit", len(payload))
-	}
-	var hdr [frameHeaderLen]byte
-	hdr[0] = kind
-	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
-	if _, err := bw.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := bw.Write(payload)
-	return err
 }
 
 // appendString appends a uvarint-length-prefixed string.

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -65,7 +66,9 @@ type Config struct {
 	// Engine configures the group-aware engine deployed per source
 	// (algorithm, cuts, output strategy) and the shard runtime knobs.
 	Engine core.Options
-	// SubscriberQueue bounds each subscriber's send queue, in frames;
+	// SubscriberQueue bounds each subscriber's send queue, in release
+	// cycles (one queued entry carries every frame a shard flush released
+	// to that subscriber, itself bounded by the runtime's FlushBatch);
 	// 0 means 256. A session may request its own depth in the hello,
 	// clamped to MaxSubscriberQueue.
 	SubscriberQueue int
@@ -379,12 +382,55 @@ func (s *Server) serveSource(conn net.Conn, hello []byte) {
 
 // readSource is the publisher read loop. Reads are buffered and the
 // payload buffer is recycled across frames (decoded tuples copy what they
-// keep), so steady-state ingest does not allocate per frame.
+// keep), so steady-state ingest does not allocate per frame. Ingest is
+// opportunistically batched: tuples whose frames are already sitting in
+// the read buffer are submitted to the shard ring together, one
+// synchronization per run, while a lone tuple still submits immediately —
+// batching never waits for bytes that have not arrived.
 func (s *Server) readSource(src *sourceSession) {
 	var lastTS time.Time
 	var readErr error
 	br := bufio.NewReaderSize(src.conn, 32<<10)
 	var payloadBuf []byte
+	flushN := s.cfg.Engine.FlushBatch
+	if flushN <= 0 {
+		flushN = shard.DefaultFlushBatch
+	}
+	batch := make([]*tuple.Tuple, 0, flushN)
+	// frameBuffered reports whether a whole frame — header and payload —
+	// is already sitting in the read buffer. A buffered header alone is
+	// not enough: continuing to accumulate would park staged tuples
+	// behind a blocking read for a payload that may lag arbitrarily. The
+	// Buffered() guard must come first — bufio's Peek otherwise BLOCKS
+	// reading the connection for the missing header bytes, which would
+	// hold the staged batch across an idle gap and cost a full pacing
+	// interval of delivery latency.
+	frameBuffered := func() bool {
+		if br.Buffered() < frameHeaderLen {
+			return false
+		}
+		hdr, err := br.Peek(frameHeaderLen)
+		if err != nil {
+			return false
+		}
+		n := binary.LittleEndian.Uint32(hdr[1:])
+		return uint32(br.Buffered()-frameHeaderLen) >= n
+	}
+	submit := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		// Stamping liveness once per submitted run (not per frame) keeps
+		// the clock off the per-tuple path; runs are far shorter than any
+		// sane SourceTimeout.
+		src.lastSeen.store(time.Now())
+		err := s.runtimeOp(func() error { return s.rt.SubmitBatch(src.name, batch) })
+		if err == nil {
+			s.ctr.tuplesIn.Add(uint64(len(batch)))
+		}
+		batch = batch[:0]
+		return err
+	}
 	for {
 		kind, payload, err := ReadFrameInto(br, payloadBuf)
 		payloadBuf = payload[:cap(payload)]
@@ -396,7 +442,6 @@ func (s *Server) readSource(src *sourceSession) {
 			}
 			break
 		}
-		src.lastSeen.store(time.Now())
 		s.ctr.bytesIn.Add(uint64(frameHeaderLen + len(payload)))
 		switch kind {
 		case FrameTuple:
@@ -413,13 +458,19 @@ func (s *Server) readSource(src *sourceSession) {
 				break
 			}
 			lastTS = t.TS
-			if err := s.runtimeOp(func() error { return s.rt.Feed(src.name, t) }); err != nil {
+			batch = append(batch, t)
+			if len(batch) < flushN && frameBuffered() {
+				// Another whole frame is already buffered: keep
+				// accumulating.
+				continue
+			}
+			if err := submit(); err != nil {
 				readErr = err
 				break
 			}
-			s.ctr.tuplesIn.Add(1)
 			continue
 		case FrameHeartbeat:
+			src.lastSeen.store(time.Now())
 			s.ctr.heartbeatsIn.Add(1)
 			continue
 		case FrameGoodbye:
@@ -428,6 +479,11 @@ func (s *Server) readSource(src *sourceSession) {
 			s.sendError(src.conn, readErr)
 		}
 		break
+	}
+	// Submit the staged tail (tuples validated before the exit) ahead of
+	// the finish marker, so a goodbye or disconnect never drops them.
+	if err := submit(); err != nil && readErr == nil {
+		readErr = err
 	}
 	s.finishSource(src, readErr)
 }
@@ -599,6 +655,15 @@ func (s *Server) removeSubscriber(sub *subscriber) {
 	s.cfg.Logf("server: app %q left %q (%d dropped)", sub.app, sub.source, sub.droppedCount())
 }
 
+// sinkScratch is the per-sink-call staging state (the subscribers
+// touched this cycle), pooled so concurrent shard workers each grab
+// their own and the fan-out cycle stays allocation-free.
+type sinkScratch struct {
+	touched []*subscriber
+}
+
+var sinkScratchPool = sync.Pool{New: func() any { return new(sinkScratch) }}
+
 // sink receives batched released transmissions from the shard workers and
 // fans each out to the connected subscribers named in its destination
 // list. Per-source calls are serialized by the owning worker, so each
@@ -608,8 +673,13 @@ func (s *Server) removeSubscriber(sub *subscriber) {
 // refcounted frame shared by every target queue, labels it with the live
 // targets only (departed subscribers stop consuming egress bytes), and
 // reuses the per-source target/label/prefix caches while the subscription
-// epoch and destination list repeat.
+// epoch and destination list repeat. Frames are staged per subscriber
+// across the whole flush and handed over as one batch per subscriber —
+// one queue operation per release cycle, not one per frame. Staging is
+// safe without locks because a subscriber belongs to exactly one source
+// and one worker owns all of a source's flushes.
 func (s *Server) sink(batch []shard.Out) {
+	sc := sinkScratchPool.Get().(*sinkScratch)
 	for i := range batch {
 		o := &batch[i]
 		s.ctr.transmissionsOut.Add(1)
@@ -654,9 +724,24 @@ func (s *Server) sink(batch []shard.Out) {
 		fr.buf = endFrame(buf)
 		fr.retain(len(st.targets))
 		for _, sub := range st.targets {
-			sub.send(fr)
+			if sub.stage == nil {
+				sub.stage = getBatch()
+				sc.touched = append(sc.touched, sub)
+			}
+			sub.stage.frames = append(sub.stage.frames, fr)
 		}
 	}
+	// Hand each touched subscriber its whole cycle in one queue
+	// operation; the stage pointer is cleared before the send so a
+	// blocked hand-off never leaves worker-owned state behind.
+	for i, sub := range sc.touched {
+		b := sub.stage
+		sub.stage = nil
+		sc.touched[i] = nil
+		sub.sendBatch(b)
+	}
+	sc.touched = sc.touched[:0]
+	sinkScratchPool.Put(sc)
 }
 
 // Shutdown gracefully drains the server: stop accepting, close publisher

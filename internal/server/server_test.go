@@ -162,6 +162,92 @@ func TestPublishSubscribeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestBatchPublishRecvInto drives the batched client paths end to end:
+// PublishNowBatch ships whole bursts in one write (one server-side ring
+// submission per run) and RecvInto receives into reused storage; every
+// tuple must arrive exactly once, in order, with interned labels.
+func TestBatchPublishRecvInto(t *testing.T) {
+	s := startServer(t, Config{})
+	addr := s.Addr().String()
+	schema, err := tuple.NewSchema("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := DialPublisher(addr, "burst", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := DialSubscriber(addr, "A", "burst", "DC1(v, 0.5, 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const tuples = 500
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got []float64
+	var labels []string
+	go func() {
+		defer wg.Done()
+		var d Delivery
+		for {
+			err := sub.RecvInto(&d)
+			if err == ErrStreamEnded {
+				return
+			}
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			got = append(got, d.Tuple.Values[0])
+			labels = append(labels, d.Destinations[0])
+		}
+	}()
+	// Mixed burst sizes, including a single-tuple batch and one empty.
+	if err := pub.PublishNowBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	vals := make([][]float64, 0, 64)
+	backing := make([]float64, 64)
+	n := 0
+	for n < tuples {
+		k := 1 + n%64
+		if n+k > tuples {
+			k = tuples - n
+		}
+		vals = vals[:0]
+		for j := 0; j < k; j++ {
+			backing[j] = float64(n + j)
+			vals = append(vals, backing[j:j+1])
+		}
+		if err := pub.PublishNowBatch(vals); err != nil {
+			t.Fatal(err)
+		}
+		n += k
+	}
+	if err := pub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if len(got) != tuples {
+		t.Fatalf("received %d tuples, want %d", len(got), tuples)
+	}
+	for i, v := range got {
+		if v != float64(i) {
+			t.Fatalf("delivery %d carries value %v, want %d (order or loss)", i, v, i)
+		}
+	}
+	for i := 1; i < len(labels); i++ {
+		if labels[i] != "A" {
+			t.Fatalf("delivery %d labeled %q, want A", i, labels[i])
+		}
+	}
+	if c := s.Counters(); c.TuplesIn != tuples {
+		t.Fatalf("TuplesIn = %d, want %d", c.TuplesIn, tuples)
+	}
+}
+
 // TestNetworkedEquivalence is the acceptance test at the network layer: a
 // churn-free run through the server's live-subscribe path must hand every
 // subscriber a byte stream identical to the wire encoding of a static

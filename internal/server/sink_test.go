@@ -62,11 +62,18 @@ func (fx *sinkFixture) out(t *testing.T, seq int, dests ...string) shard.Out {
 	return shard.Out{Source: "s1", Tr: core.Transmission{Tuple: tp, Destinations: dests, ReleasedAt: ts}}
 }
 
-// take pops one frame from a subscriber queue without releasing it.
+// take pops one release-cycle batch from a subscriber queue, asserts it
+// carries exactly one frame, and returns that frame without releasing
+// it (the batch itself is recycled, as the writer would).
 func take(t *testing.T, sub *subscriber) *frame {
 	t.Helper()
 	select {
-	case fr := <-sub.out:
+	case b := <-sub.out:
+		if len(b.frames) != 1 {
+			t.Fatalf("cycle batch carries %d frames, want 1", len(b.frames))
+		}
+		fr := b.frames[0]
+		putBatch(b)
 		return fr
 	default:
 		t.Fatal("no frame queued")
@@ -182,6 +189,47 @@ func TestSinkSourceGone(t *testing.T) {
 	}
 }
 
+// TestSinkBatchHandoff pins the per-cycle hand-off contract: one sink
+// flush carrying several transmissions reaches each subscriber as ONE
+// queued batch holding all of its frames in release order, not one
+// queue entry per frame.
+func TestSinkBatchHandoff(t *testing.T) {
+	fx := newSinkFixture(t)
+	subA := fx.subscribe("a", 16)
+	subB := fx.subscribe("b", 16)
+	fx.s.sink([]shard.Out{
+		fx.out(t, 1, "a", "b"),
+		fx.out(t, 2, "a"),
+		fx.out(t, 3, "a", "b"),
+	})
+	bA := <-subA.out
+	if got := len(bA.frames); got != 3 {
+		t.Fatalf("a's cycle batch carries %d frames, want 3", got)
+	}
+	for i, want := range []int{1, 2, 3} {
+		tp, _ := decodeFrame(t, fx, bA.frames[i])
+		if tp.Seq != want {
+			t.Fatalf("a's frame %d is seq %d, want %d (release order)", i, tp.Seq, want)
+		}
+	}
+	bB := <-subB.out
+	if got := len(bB.frames); got != 2 {
+		t.Fatalf("b's cycle batch carries %d frames, want 2", got)
+	}
+	if bA.frames[0] != bB.frames[0] || bA.frames[2] != bB.frames[1] {
+		t.Fatal("fan-out did not share frames across subscriber batches")
+	}
+	select {
+	case <-subA.out:
+		t.Fatal("subscriber a got more than one queue entry for one cycle")
+	case <-subB.out:
+		t.Fatal("subscriber b got more than one queue entry for one cycle")
+	default:
+	}
+	bA.releaseAll()
+	bB.releaseAll()
+}
+
 // TestSinkFanoutAllocs is the §8 regression gate for the shared-frame
 // fan-out: steady-state sink → queue → release cycles must not allocate
 // (the pooled frame and cached prefix absorb everything). A tolerance of
@@ -200,7 +248,15 @@ func TestSinkFanoutAllocs(t *testing.T) {
 		cycle()
 	}
 	avg := testing.AllocsPerRun(2000, cycle)
-	if avg > 0.5 {
-		t.Fatalf("fan-out path allocates %.2f allocs/op in steady state, want 0", avg)
+	// Under -race, sync.Pool drops a quarter of its Puts by design, so
+	// the pooled frame/batch/scratch round-trips (4 per cycle) show up as
+	// allocations; the widened budget still catches per-frame or
+	// per-subscriber allocation regressions.
+	budget := 0.5
+	if raceEnabled {
+		budget = 4.5
+	}
+	if avg > budget {
+		t.Fatalf("fan-out path allocates %.2f allocs/op in steady state, budget %.1f", avg, budget)
 	}
 }

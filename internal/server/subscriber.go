@@ -8,26 +8,33 @@ import (
 	"time"
 )
 
-// subWriteBufSize sizes the per-subscriber buffered writer; coalesced
-// flushes are bounded by it, so one slow frame cannot delay the rest of a
-// burst beyond one buffer.
-const subWriteBufSize = 32 << 10
+// subWriteBatchBytes bounds how many frame bytes one egress cycle
+// coalesces into a single vectored write, so one write deadline always
+// covers a bounded burst.
+const subWriteBatchBytes = 32 << 10
 
 // subscriber is one connected application session: a bounded queue of
-// encoded, refcounted frames between the shard workers (producers, via
-// Server.sink) and a writer goroutine that owns the connection's write
-// side.
+// frame batches between the shard workers (producers, via Server.sink,
+// one queue operation per release cycle) and a writer goroutine that
+// owns the connection's write side and drains queued batches into
+// vectored writes.
 type subscriber struct {
 	s      *Server
 	app    string
 	source string
 	conn   net.Conn
 
-	// out carries shared frames to the writer. Only the sink sends on
+	// stage accumulates this subscriber's frames during one sink call.
+	// It is owned by the source's shard worker (per-source sink calls
+	// are serialized), lives only within a single sink invocation, and
+	// is always handed to the queue before the call returns.
+	stage *frameBatch
+
+	// out carries frame batches to the writer. Only the sink sends on
 	// it, only for a live source; it is closed exactly once, after the
 	// source's final flush, to let the writer drain the tail and send
 	// the goodbye.
-	out chan *frame
+	out chan *frameBatch
 	// done is closed when the subscriber leaves (client disconnect or
 	// removal), releasing any sink send blocked on a full queue.
 	done      chan struct{}
@@ -43,46 +50,49 @@ func newSubscriber(s *Server, app, source string, conn net.Conn, queue int) *sub
 		app:    app,
 		source: source,
 		conn:   conn,
-		out:    make(chan *frame, queue),
+		out:    make(chan *frameBatch, queue),
 		done:   make(chan struct{}),
 	}
 }
 
-// send enqueues one shared frame under the server's slow-consumer policy.
-// It is called from shard workers; frames for one source arrive from one
-// worker at a time, in release order. The frame reference is consumed:
-// either the writer releases it after flushing, or it is released here on
+// sendBatch enqueues one release cycle's frames under the server's
+// slow-consumer policy — a single queue operation however many frames
+// the cycle released. It is called from shard workers; batches for one
+// source arrive from one worker at a time, in release order. The batch
+// and every frame reference in it are consumed: either the writer
+// releases them after the vectored write, or they are released here on
 // a drop.
-func (sub *subscriber) send(fr *frame) {
+func (sub *subscriber) sendBatch(b *frameBatch) {
+	n := uint64(len(b.frames))
 	select {
 	case <-sub.done:
 		// The subscriber already left; frames queued for it are lost.
-		sub.drop(fr)
+		sub.drop(b, n)
 		return
 	default:
 	}
 	switch sub.s.cfg.Policy {
 	case PolicyDrop:
 		select {
-		case sub.out <- fr:
-			sub.s.ctr.deliveriesOut.Add(1)
+		case sub.out <- b:
+			sub.s.ctr.deliveriesOut.Add(n)
 		default:
-			sub.drop(fr)
+			sub.drop(b, n)
 		}
 	default: // PolicyBlock
 		select {
-		case sub.out <- fr:
-			sub.s.ctr.deliveriesOut.Add(1)
+		case sub.out <- b:
+			sub.s.ctr.deliveriesOut.Add(n)
 		case <-sub.done:
-			sub.drop(fr)
+			sub.drop(b, n)
 		}
 	}
 }
 
-func (sub *subscriber) drop(fr *frame) {
-	fr.release()
-	sub.dropped.Add(1)
-	sub.s.ctr.subscriberDrops.Add(1)
+func (sub *subscriber) drop(b *frameBatch, n uint64) {
+	b.releaseAll()
+	sub.dropped.Add(n)
+	sub.s.ctr.subscriberDrops.Add(n)
 }
 
 // leave marks the subscriber gone: sink sends stop blocking on it and the
@@ -101,51 +111,84 @@ func (sub *subscriber) finishStream() {
 // droppedCount returns the deliveries lost to the slow-consumer policy.
 func (sub *subscriber) droppedCount() uint64 { return sub.dropped.Load() }
 
-// writeFrame copies one shared frame into the buffered writer, counts its
-// egress bytes, and releases the reference (bufio has copied the bytes by
-// the time Write returns).
-func (sub *subscriber) writeFrame(bw *bufio.Writer, fr *frame) error {
-	_, err := bw.Write(fr.buf)
-	if err == nil {
-		sub.s.ctr.bytesOut.Add(uint64(len(fr.buf)))
-	}
-	fr.release()
-	return err
-}
-
-// drainQueued releases frames left in the queue when the writer exits
+// drainQueued releases batches left in the queue when the writer exits
 // without delivering them (departure or write error), so an abandoning
-// exit does not strand refcounted frames outside the pool. A frame a
+// exit does not strand refcounted frames outside the pool. A batch a
 // racing sink enqueues after this sweep is reclaimed by GC; every later
-// send sees done closed and releases its own reference.
+// send sees done closed and releases its own references.
 func (sub *subscriber) drainQueued() {
 	for {
 		select {
-		case fr, ok := <-sub.out:
+		case b, ok := <-sub.out:
 			if !ok {
 				return
 			}
-			fr.release()
+			b.releaseAll()
 		default:
 			return
 		}
 	}
 }
 
-// writeLoop owns the connection's write side: it streams queued frames —
-// coalescing whatever is already queued into one buffered flush instead
-// of one Write syscall per frame — heartbeats when idle, and finishes
-// with a goodbye when the stream ends.
+// egress is the writer's staging area for one vectored write: the iovec
+// list handed to net.Buffers and the frames behind it, released once the
+// kernel has the bytes.
+type egress struct {
+	bufs   net.Buffers
+	frames []*frame
+	bytes  int
+}
+
+// stage appends a queued batch's frames to the pending vectored write
+// and recycles the batch slice (the frames are now referenced by the
+// egress staging until released).
+func (e *egress) stage(b *frameBatch) {
+	for _, fr := range b.frames {
+		e.bufs = append(e.bufs, fr.buf)
+		e.frames = append(e.frames, fr)
+		e.bytes += len(fr.buf)
+	}
+	putBatch(b)
+}
+
+// flush ships the staged frames with one vectored write (net.Buffers
+// issues writev on TCP, chunking the iovec list as needed) and releases
+// every staged reference — the bytes are with the kernel or lost to the
+// error either way.
+func (e *egress) flush(sub *subscriber) error {
+	if len(e.frames) == 0 {
+		return nil
+	}
+	// WriteTo consumes the slice it is called on (advancing the header
+	// past written buffers), so it runs on a copy: e.bufs keeps the
+	// original header and its capacity survives the reset below.
+	bb := e.bufs
+	n, err := bb.WriteTo(sub.conn)
+	sub.s.ctr.bytesOut.Add(uint64(n))
+	for _, fr := range e.frames {
+		fr.release()
+	}
+	clear(e.frames)
+	clear(e.bufs)
+	e.frames = e.frames[:0]
+	e.bufs = e.bufs[:0]
+	e.bytes = 0
+	return err
+}
+
+// writeLoop owns the connection's write side: it streams queued frame
+// batches — coalescing whatever is already queued into one vectored
+// write instead of one syscall (or one buffer copy) per frame —
+// heartbeats when idle, and finishes with a goodbye when the stream
+// ends.
 func (sub *subscriber) writeLoop() {
 	defer sub.s.connWG.Done()
 	defer sub.conn.Close()
 	defer sub.drainQueued()
-	bw := bufio.NewWriterSize(sub.conn, subWriteBufSize)
+	var e egress
 	goodbye := func() {
 		sub.conn.SetWriteDeadline(time.Now().Add(sub.s.cfg.WriteTimeout))
-		if writeFrameTo(bw, FrameGoodbye, nil) == nil {
-			bw.Flush()
-		}
+		_ = WriteFrame(sub.conn, FrameGoodbye, nil)
 		sub.leave()
 	}
 	hb := time.NewTicker(sub.s.cfg.HeartbeatInterval)
@@ -154,33 +197,30 @@ func (sub *subscriber) writeLoop() {
 		select {
 		case <-sub.done:
 			return
-		case fr, ok := <-sub.out:
+		case b, ok := <-sub.out:
 			if !ok {
 				goodbye()
 				return
 			}
 			sub.conn.SetWriteDeadline(time.Now().Add(sub.s.cfg.WriteTimeout))
-			err := sub.writeFrame(bw, fr)
+			e.stage(b)
 			closed := false
 		coalesce:
-			// Fold frames already queued into this flush, bounded by the
-			// write buffer so the deadline covers a bounded burst.
-			for err == nil && bw.Buffered() < subWriteBufSize {
+			// Fold batches already queued into this vectored write,
+			// bounded so the deadline covers a bounded burst.
+			for e.bytes < subWriteBatchBytes {
 				select {
 				case more, ok := <-sub.out:
 					if !ok {
 						closed = true
 						break coalesce
 					}
-					err = sub.writeFrame(bw, more)
+					e.stage(more)
 				default:
 					break coalesce
 				}
 			}
-			if err == nil {
-				err = bw.Flush()
-			}
-			if err != nil {
+			if err := e.flush(sub); err != nil {
 				sub.s.removeSubscriber(sub)
 				return
 			}
@@ -190,11 +230,7 @@ func (sub *subscriber) writeLoop() {
 			}
 		case <-hb.C:
 			sub.conn.SetWriteDeadline(time.Now().Add(sub.s.cfg.WriteTimeout))
-			err := writeFrameTo(bw, FrameHeartbeat, nil)
-			if err == nil {
-				err = bw.Flush()
-			}
-			if err != nil {
+			if err := WriteFrame(sub.conn, FrameHeartbeat, nil); err != nil {
 				sub.s.removeSubscriber(sub)
 				return
 			}

@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"gasf/internal/core"
@@ -31,10 +32,15 @@ type CellConfig struct {
 	FlushBatch         int
 	DisseminationDelay time.Duration
 	Seed               int64
+	// Procs pins GOMAXPROCS for the measured section (restored after),
+	// making the cell one point of the GOMAXPROCS × shards scaling
+	// matrix; 0 leaves the scheduler as-is.
+	Procs int
 }
 
 // CellResult is one measured cell of the throughput matrix.
 type CellResult struct {
+	Procs           int     `json:"gomaxprocs"`
 	Shards          int     `json:"shards"`
 	Sources         int     `json:"sources"`
 	TuplesPerSource int     `json:"tuples_per_source"`
@@ -45,6 +51,8 @@ type CellResult struct {
 	Flushes         uint64  `json:"flushes"`
 	Dropped         uint64  `json:"dropped"`
 	MaxQueueDepth   int     `json:"max_queue_depth"`
+	AvgDrainRun     float64 `json:"avg_drain_run"`
+	ProducerParks   uint64  `json:"producer_parks"`
 }
 
 // BuildWorkload generates the shared series and per-source filter groups
@@ -89,6 +97,10 @@ func RunCell(cfg CellConfig) (CellResult, error) {
 	if err != nil {
 		return CellResult{}, err
 	}
+	if cfg.Procs > 0 {
+		prev := runtime.GOMAXPROCS(cfg.Procs)
+		defer runtime.GOMAXPROCS(prev)
+	}
 	rt := New(Config{Shards: cfg.Shards, QueueDepth: cfg.QueueDepth, FlushBatch: cfg.FlushBatch})
 	series := make(map[string]*tuple.Series, cfg.Sources)
 	for s := range groups {
@@ -114,6 +126,7 @@ func RunCell(cfg CellConfig) (CellResult, error) {
 	elapsed := time.Since(start)
 
 	res := CellResult{
+		Procs:           runtime.GOMAXPROCS(0),
 		Shards:          cfg.Shards,
 		Sources:         cfg.Sources,
 		TuplesPerSource: sr.Len(),
@@ -124,11 +137,20 @@ func RunCell(cfg CellConfig) (CellResult, error) {
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.TuplesPerSec = float64(res.Tuples) / secs
 	}
+	var drains, drained uint64
 	for _, snap := range rt.Metrics() {
 		res.Flushes += snap.Flushes
+		res.ProducerParks += snap.ProducerParks
+		drains += snap.Drains
+		if snap.Drains > 0 {
+			drained += uint64(snap.AvgDrainRun*float64(snap.Drains) + 0.5)
+		}
 		if snap.MaxQueueDepth > res.MaxQueueDepth {
 			res.MaxQueueDepth = snap.MaxQueueDepth
 		}
+	}
+	if drains > 0 {
+		res.AvgDrainRun = float64(drained) / float64(drains)
 	}
 	for _, r := range rt.Results() {
 		res.Transmissions += r.Stats.Transmissions

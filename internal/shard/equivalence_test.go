@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -197,9 +198,28 @@ func runSharded(t testing.TB, cfg Config, sources []eqSource) map[string]*core.R
 // released sequence is byte-identical to a sequential core.Run of the
 // same group over the same trace.
 func TestShardSequentialEquivalence(t *testing.T) {
-	rng := rand.New(rand.NewSource(20260730))
-	const cases = 20
-	const sourcesPerCase = 3 // 60 randomized (group, trace) pairs
+	runEquivalenceCases(t, 20260730, 20, 3) // 60 randomized (group, trace) pairs
+}
+
+// TestShardEquivalenceAcrossGOMAXPROCS re-runs the byte-identical
+// harness with the scheduler pinned to 1 and then 4 procs: the batched
+// ring pipeline must be oblivious to how much real parallelism backs the
+// shard workers (single-proc interleaving and true concurrency hit
+// different park/unpark and drain-run paths).
+func TestShardEquivalenceAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 4} {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			runtime.GOMAXPROCS(procs)
+			runEquivalenceCases(t, 20260731+int64(procs), 6, 3)
+		})
+	}
+}
+
+func runEquivalenceCases(t *testing.T, seed int64, cases, sourcesPerCase int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
 	for c := 0; c < cases; c++ {
 		cfg := Config{
 			Shards:     1 + rng.Intn(8),

@@ -19,10 +19,24 @@ type Snapshot struct {
 	Dropped uint64
 	// Flushes counts sink flushes (batched delivery handoffs).
 	Flushes uint64
-	// QueueDepth is the queue length at snapshot time.
+	// QueueDepth is the ring occupancy at snapshot time.
 	QueueDepth int
-	// MaxQueueDepth is the highest queue depth observed by the worker.
+	// MaxQueueDepth is the highest ring occupancy observed by the worker.
 	MaxQueueDepth int
+	// Drains counts the worker's ring pops that returned tasks; each is
+	// one consumer-side synchronization.
+	Drains uint64
+	// AvgDrainRun is the mean tasks per drain — the batch-occupancy
+	// figure: 1.0 means the ring degenerated to task-at-a-time hand-off,
+	// higher means producers and the worker amortize synchronization.
+	AvgDrainRun float64
+	// ProducerParks counts producer park events on a full ring (the
+	// backpressure stall signal).
+	ProducerParks uint64
+	// ConsumerParks counts worker park events on an empty ring (idle
+	// transitions; high rates with low AvgDrainRun indicate a trickle
+	// workload, not a saturated one).
+	ConsumerParks uint64
 	// Elapsed is the time since Start.
 	Elapsed time.Duration
 	// TuplesPerSec is Processed over Elapsed.
@@ -53,9 +67,15 @@ func (r *Runtime) Metrics() []Snapshot {
 			Processed:     w.processed.Load(),
 			Dropped:       w.dropped.Load(),
 			Flushes:       w.flushes.Load(),
-			QueueDepth:    len(w.in),
+			QueueDepth:    w.in.Len(),
 			MaxQueueDepth: int(w.maxQueue.Load()),
+			Drains:        w.drains.Load(),
+			ProducerParks: w.in.producerParks.Load(),
+			ConsumerParks: w.in.consumerParks.Load(),
 			Elapsed:       elapsed,
+		}
+		if s.Drains > 0 {
+			s.AvgDrainRun = float64(w.drained.Load()) / float64(s.Drains)
 		}
 		if secs := elapsed.Seconds(); secs > 0 {
 			s.TuplesPerSec = float64(s.Processed) / secs

@@ -12,16 +12,22 @@
 //     transmission sequence is therefore identical to a sequential
 //     core.Run over the same tuples — the equivalence property test in
 //     this package asserts byte-identical output.
-//   - Shard input queues are bounded channels: feeding a full shard
-//     blocks the producer (backpressure) unless the non-blocking Offer is
-//     used, in which case the tuple is dropped and counted.
+//   - Shard inboxes are bounded lock-free MPSC rings (ring.go): producers
+//     reserve runs of slots with one CAS (SubmitBatch crosses the shard
+//     boundary in a single synchronization for a whole flush), the worker
+//     drains whole runs per pop, and park/unpark happens only on
+//     empty/non-empty (consumer doorbell) and full/non-full (producer
+//     gate) transitions. Feeding a full shard blocks the producer
+//     (backpressure) unless the non-blocking Offer is used, in which case
+//     the tuple is dropped and counted.
 //   - Released transmissions are flushed to the delivery sink in batches
 //     (Config.FlushBatch) to amortize per-delivery dissemination cost;
-//     a shard flushes early whenever its queue idles, so batching bounds
+//     a shard flushes early whenever its ring idles, so batching bounds
 //     cost, not latency.
 //   - Each shard keeps lock-free metrics counters (tuples enqueued,
-//     processed, dropped, flush count, observed queue depth) exposed as
-//     Snapshots for monitoring and benchmarks.
+//     processed, dropped, flush count, observed queue depth, drained-run
+//     occupancy and park counts) exposed as Snapshots for monitoring and
+//     benchmarks.
 package shard
 
 import (
@@ -52,8 +58,8 @@ const (
 type Config struct {
 	// Shards is the number of worker shards; 0 means GOMAXPROCS.
 	Shards int
-	// QueueDepth is the bounded input queue length per shard; 0 means
-	// DefaultQueueDepth.
+	// QueueDepth is the bounded input ring capacity per shard, rounded up
+	// to a power of two; 0 means DefaultQueueDepth.
 	QueueDepth int
 	// FlushBatch is the released-transmission batch size per flush; 0
 	// means DefaultFlushBatch.
@@ -183,7 +189,7 @@ func New(cfg Config) *Runtime {
 	r := &Runtime{cfg: cfg, sources: make(map[string]*source)}
 	r.workers = make([]*worker, cfg.Shards)
 	for i := range r.workers {
-		r.workers[i] = &worker{id: i, rt: r, in: make(chan task, cfg.QueueDepth)}
+		r.workers[i] = &worker{id: i, rt: r, in: newRing(cfg.QueueDepth)}
 	}
 	return r
 }
@@ -313,36 +319,38 @@ func (r *Runtime) lookup(name string, allowFailed bool) (*source, *worker, error
 	return src, r.workers[src.shard], nil
 }
 
-// sendTask delivers one task to a worker queue under the seal gate,
-// blocking while the queue is full.
+// sendTask delivers one task to a worker ring under the seal gate,
+// blocking while the ring is full.
 func (r *Runtime) sendTask(w *worker, tk task) error {
-	_, err := r.trySend(w, tk, true)
+	tasks := [1]task{tk}
+	_, err := r.submit(w, tasks[:], true)
 	return err
 }
 
-// trySend is the one copy of the seal-gated queue-send protocol: it
-// reports whether the task was enqueued, erring when the runtime has
+// submit is the one copy of the seal-gated ring-push protocol: it pushes
+// the tasks with as few ring synchronizations as the free space allows
+// and reports how many were enqueued, erring when the runtime has
 // drained (sealed) or its context is cancelled. With block false a full
-// queue returns (false, nil) instead of waiting.
-func (r *Runtime) trySend(w *worker, tk task, block bool) (bool, error) {
+// ring returns the partial count instead of waiting; with block true a
+// short count only accompanies an error.
+func (r *Runtime) submit(w *worker, tasks []task, block bool) (int, error) {
 	r.sendMu.RLock()
 	defer r.sendMu.RUnlock()
 	if r.sealed {
-		return false, fmt.Errorf("shard: runtime drained")
+		return 0, fmt.Errorf("shard: runtime drained")
 	}
-	if block {
-		select {
-		case w.in <- tk:
-			return true, nil
-		case <-r.ctx.Done():
-			return false, r.ctx.Err()
+	pushed := 0
+	for {
+		pushed += w.in.tryPush(tasks[pushed:])
+		if pushed == len(tasks) {
+			return pushed, nil
 		}
-	}
-	select {
-	case w.in <- tk:
-		return true, nil
-	default:
-		return false, nil
+		if !block {
+			return pushed, nil
+		}
+		if err := w.in.waitSpace(r.ctx); err != nil {
+			return pushed, err
+		}
 	}
 }
 
@@ -387,13 +395,60 @@ func (r *Runtime) Offer(name string, t *tuple.Tuple) (bool, error) {
 		w.dropped.Add(1)
 		return false, err
 	}
-	sent, err := r.trySend(w, task{src: src, t: t}, false)
-	if !sent {
+	tasks := [1]task{{src: src, t: t}}
+	sent, err := r.submit(w, tasks[:], false)
+	if sent == 0 {
 		w.dropped.Add(1)
 		return false, err
 	}
 	w.enqueued.Add(1)
 	return true, nil
+}
+
+// taskBufPool recycles the task scratch behind SubmitBatch so batched
+// feeding does not allocate per flush.
+var taskBufPool = sync.Pool{New: func() any {
+	s := make([]task, 0, DefaultFlushBatch)
+	return &s
+}}
+
+// SubmitBatch enqueues a run of tuples for one source, crossing the
+// shard boundary in as few ring synchronizations as free space allows
+// (one CAS when the ring has room) instead of one per tuple. It blocks
+// while the ring is full (backpressure) and preserves feed order: like
+// Feed, per-source calls must be serialized by the caller. The slice is
+// not retained. On error, tuples not enqueued are counted as dropped.
+func (r *Runtime) SubmitBatch(name string, tuples []*tuple.Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	src, w, err := r.lookup(name, false)
+	if err != nil {
+		return err
+	}
+	if err := r.ctx.Err(); err != nil {
+		w.dropped.Add(uint64(len(tuples)))
+		return err
+	}
+	bp := taskBufPool.Get().(*[]task)
+	tasks := (*bp)[:0]
+	for _, t := range tuples {
+		if t == nil {
+			*bp = tasks[:0]
+			taskBufPool.Put(bp)
+			return fmt.Errorf("shard: nil tuple in batch for source %q", name)
+		}
+		tasks = append(tasks, task{src: src, t: t})
+	}
+	pushed, err := r.submit(w, tasks, true)
+	w.enqueued.Add(uint64(pushed))
+	if pushed < len(tasks) {
+		w.dropped.Add(uint64(len(tasks) - pushed))
+	}
+	clear(tasks)
+	*bp = tasks[:0]
+	taskBufPool.Put(bp)
+	return err
 }
 
 // Control runs fn on the source's engine from its owning shard worker at
@@ -495,23 +550,22 @@ func (r *Runtime) Drain() error {
 	}
 	// Seal before closing: a concurrent Feed/Control racing this drain
 	// (e.g. a live subscribe as the run ends) errors out instead of
-	// panicking on a closed queue.
+	// pushing into a closed ring. Taking the write side also waits out
+	// any producer mid-push, so close() below sees every reserved cell
+	// published.
 	r.sendMu.Lock()
 	r.sealed = true
 	r.sendMu.Unlock()
 	for _, w := range r.workers {
-		close(w.in)
+		w.in.close()
 	}
 	r.wg.Wait()
-	// Sweep tuples stranded in the queues: after cancellation a send can
+	// Sweep tuples stranded in the rings: after cancellation a push can
 	// race the exiting worker, so count the leftovers as dropped to keep
-	// Enqueued == Processed + worker drops + sweep drops.
+	// Enqueued == Processed + worker drops + sweep drops. The workers
+	// have exited, so Drain is the sole consumer here.
 	for _, w := range r.workers {
-		for tk := range w.in {
-			if tk.t != nil {
-				w.dropped.Add(1)
-			}
-		}
+		w.dropQueued()
 	}
 	r.mu.Lock()
 	r.endAt = time.Now()
@@ -522,20 +576,26 @@ func (r *Runtime) Drain() error {
 }
 
 // FeedAll drives one finite series per source through the runtime — one
-// producer goroutine per source, blocking backpressure — then drains.
-// Feed errors are folded into the drain's joined error, so none are
-// lost when engines fail too.
+// producer goroutine per source, submitting FlushBatch-sized batches
+// with blocking backpressure — then drains. Feed errors are folded into
+// the drain's joined error, so none are lost when engines fail too.
 func (r *Runtime) FeedAll(series map[string]*tuple.Series) error {
 	var wg sync.WaitGroup
 	for name, sr := range series {
 		wg.Add(1)
 		go func(name string, sr *tuple.Series) {
 			defer wg.Done()
+			batch := make([]*tuple.Tuple, 0, r.cfg.FlushBatch)
 			for i := 0; i < sr.Len(); i++ {
-				if err := r.Feed(name, sr.At(i)); err != nil {
+				batch = append(batch, sr.At(i))
+				if len(batch) < cap(batch) && i+1 < sr.Len() {
+					continue
+				}
+				if err := r.SubmitBatch(name, batch); err != nil {
 					r.recordErr(err)
 					return
 				}
+				batch = batch[:0]
 			}
 		}(name, sr)
 	}
@@ -561,11 +621,15 @@ func (r *Runtime) Results() map[string]*core.Result {
 	return out
 }
 
+// drainRunMax bounds one popRun, so a worker's drain buffer stays small
+// even when the ring is deep.
+const drainRunMax = 256
+
 // worker is one shard: a goroutine owning the engines of its sources.
 type worker struct {
 	id      int
 	rt      *Runtime
-	in      chan task
+	in      *ring
 	pending []Out
 
 	srcCount atomic.Int64
@@ -575,44 +639,67 @@ type worker struct {
 	dropped   atomic.Uint64
 	flushes   atomic.Uint64
 	maxQueue  atomic.Int64
+	drains    atomic.Uint64
+	drained   atomic.Uint64
 }
 
 func (w *worker) run(ctx context.Context) {
 	defer w.rt.wg.Done()
+	n := int(w.in.capacity())
+	if n > drainRunMax {
+		n = drainRunMax
+	}
+	buf := make([]task, n)
 	for {
-		select {
-		case <-ctx.Done():
+		if ctx.Err() != nil {
 			w.dropQueued()
 			return
-		case tk, ok := <-w.in:
-			if !ok {
+		}
+		n := w.in.popRun(buf)
+		if n == 0 {
+			if w.in.isClosed() {
+				// Sealed and empty: every producer is gone and the final
+				// finish markers have been handled.
 				w.flush()
 				return
 			}
-			w.handle(tk)
+			w.in.park(ctx)
+			continue
+		}
+		w.observeDepth(int64(n) + int64(w.in.Len()))
+		w.drains.Add(1)
+		w.drained.Add(uint64(n))
+		for i := range buf[:n] {
+			w.handle(buf[i])
+			buf[i] = task{}
+		}
+		// Idle flush: batching amortizes cost but must not hold output
+		// once the ring has caught up.
+		if len(w.pending) > 0 && !w.in.ready() {
+			w.flush()
 		}
 	}
 }
 
-// dropQueued counts the tuples abandoned in the queue at cancellation.
+// dropQueued counts the tuples abandoned in the ring at cancellation (or
+// swept by Drain after the workers exited).
 func (w *worker) dropQueued() {
+	var buf [64]task
 	for {
-		select {
-		case tk, ok := <-w.in:
-			if !ok {
-				return
-			}
-			if tk.t != nil {
+		n := w.in.popRun(buf[:])
+		if n == 0 {
+			return
+		}
+		for i := 0; i < n; i++ {
+			if buf[i].t != nil {
 				w.dropped.Add(1)
 			}
-		default:
-			return
+			buf[i] = task{}
 		}
 	}
 }
 
 func (w *worker) handle(tk task) {
-	w.observeDepth(int64(len(w.in)) + 1)
 	src := tk.src
 	if tk.ctl != nil {
 		var err error
@@ -659,7 +746,7 @@ func (w *worker) handle(tk task) {
 	}
 	w.processed.Add(1)
 	w.collect(src)
-	if len(w.pending) >= w.rt.cfg.FlushBatch || len(w.in) == 0 {
+	if len(w.pending) >= w.rt.cfg.FlushBatch {
 		w.flush()
 	}
 }

@@ -241,17 +241,21 @@ func TestMetricsCounters(t *testing.T) {
 		t.Fatalf("got %d snapshots, want 3", len(snaps))
 	}
 	var enq, proc, srcs uint64
-	var flushes uint64
+	var flushes, drains uint64
 	for _, s := range snaps {
 		enq += s.Enqueued
 		proc += s.Processed
 		srcs += uint64(s.Sources)
 		flushes += s.Flushes
+		drains += s.Drains
 		if s.QueueDepth != 0 {
 			t.Errorf("shard %d queue depth %d after drain", s.Shard, s.QueueDepth)
 		}
 		if s.Elapsed <= 0 {
 			t.Errorf("shard %d elapsed %v", s.Shard, s.Elapsed)
+		}
+		if s.Drains > 0 && s.AvgDrainRun < 1 {
+			t.Errorf("shard %d avg drain run %.2f < 1 with %d drains", s.Shard, s.AvgDrainRun, s.Drains)
 		}
 	}
 	want := uint64(len(names) * ex.Len())
@@ -263,6 +267,9 @@ func TestMetricsCounters(t *testing.T) {
 	}
 	if flushes == 0 {
 		t.Error("no flushes recorded")
+	}
+	if drains == 0 {
+		t.Error("no ring drains recorded")
 	}
 	if rt.TotalProcessed() != want {
 		t.Errorf("TotalProcessed = %d, want %d", rt.TotalProcessed(), want)

@@ -144,6 +144,37 @@ func TestDecodeTupleIntoZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestDecodeTransmissionIntoZeroAllocs gates the client receive path:
+// decoding a labeled transmission into reused tuple and label storage
+// must not heap-allocate in steady state.
+func TestDecodeTransmissionIntoZeroAllocs(t *testing.T) {
+	s, tp := allocTuple(t)
+	dests := []string{"app-a", "app-b", "app-c"}
+	data, err := wire.AppendTransmission(nil, tp, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst tuple.Tuple
+	var views [][]byte
+	// First decode sizes the values and label slices.
+	if views, _, err = wire.DecodeTransmissionInto(&dst, s, views[:0], data); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		var err error
+		views, _, err = wire.DecodeTransmissionInto(&dst, s, views[:0], data)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("DecodeTransmissionInto allocates %.2f allocs/op on reuse, want 0", avg)
+	}
+	if len(views) != len(dests) || string(views[0]) != "app-a" || dst.Seq != tp.Seq {
+		t.Fatalf("reuse decode mismatch: %v %+v", views, dst)
+	}
+}
+
 // TestDecodeTupleNilSchema pins the hoisted nil-schema validation: it must
 // fail fast, before any header decode or allocation, for any input.
 func TestDecodeTupleNilSchema(t *testing.T) {

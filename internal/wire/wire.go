@@ -220,6 +220,40 @@ func uvarintLen(v uint64) int {
 	return n
 }
 
+// DecodeTransmissionInto decodes a labeled transmission in place: the
+// tuple is decoded into dst (reusing its Values backing array, like
+// DecodeTupleInto) and the destination labels are appended to labels as
+// views into data. The views are valid only until the caller recycles
+// data; consumers that retain labels must copy them out. It is the
+// allocation-free receive path for client loops and benchmarks.
+func DecodeTransmissionInto(dst *tuple.Tuple, s *tuple.Schema, labels [][]byte, data []byte) ([][]byte, int, error) {
+	if len(data) < 1 {
+		return labels, 0, fmt.Errorf("wire: empty transmission")
+	}
+	count := int(data[0])
+	if count == 0 {
+		return labels, 0, fmt.Errorf("wire: transmission with zero destinations")
+	}
+	off := 1
+	for i := 0; i < count; i++ {
+		l, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return labels, 0, fmt.Errorf("wire: bad destination length at offset %d", off)
+		}
+		off += n
+		if l == 0 || uint64(len(data)-off) < l {
+			return labels, 0, fmt.Errorf("wire: truncated destination at offset %d", off)
+		}
+		labels = append(labels, data[off:off+int(l)])
+		off += int(l)
+	}
+	n, err := DecodeTupleInto(dst, s, data[off:])
+	if err != nil {
+		return labels, 0, err
+	}
+	return labels, off + n, nil
+}
+
 // DecodeTransmission decodes a labeled transmission, returning the tuple,
 // its destinations, and the bytes consumed.
 func DecodeTransmission(s *tuple.Schema, data []byte) (*tuple.Tuple, []string, int, error) {

@@ -117,6 +117,42 @@ func TestTransmissionRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTransmissionIntoMatchesDecode(t *testing.T) {
+	in := sample(t)
+	dests := []string{"fire-prediction", "responder-safety", "A"}
+	buf, err := AppendTransmission(nil, in, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst tuple.Tuple
+	views, n, err := DecodeTransmissionInto(&dst, schema, nil, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d", n, len(buf))
+	}
+	if dst.Seq != in.Seq || !dst.TS.Equal(in.TS) {
+		t.Fatalf("header mismatch: %+v", dst)
+	}
+	if len(views) != len(dests) {
+		t.Fatalf("got %d labels, want %d", len(views), len(dests))
+	}
+	for i := range dests {
+		if string(views[i]) != dests[i] {
+			t.Errorf("label %d = %q, want %q", i, views[i], dests[i])
+		}
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeTransmissionInto(&dst, schema, nil, buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+	if _, _, err := DecodeTransmissionInto(&dst, schema, nil, []byte{0}); err == nil {
+		t.Error("zero destination count should fail")
+	}
+}
+
 func TestTransmissionErrors(t *testing.T) {
 	in := sample(t)
 	if _, err := AppendTransmission(nil, in, nil); err == nil {
