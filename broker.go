@@ -1,0 +1,135 @@
+package gasf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"gasf/internal/broker"
+	"gasf/internal/quality"
+)
+
+// This file defines the unified, context-first streaming API: one Broker
+// contract served by two transports — NewEmbedded (in-process, on the
+// sharded runtime directly) and Dial (TCP, against a gasf-server). The
+// same publish/subscribe/churn program runs unchanged on either; the
+// parity test suite holds the two to byte-identical released sequences
+// per subscriber. The batch Run/RunSharded entry points are thin
+// wrappers over an embedded broker, and the older Client type is a
+// deprecated veneer over the same wire sessions Dial uses.
+
+// Broker is the unified streaming surface: long-lived sources publish
+// indefinitely, applications join and leave a source's filter group at
+// tuple boundaries (the paper's group re-derivation, §4.3), and every
+// blocking operation takes a context for cancellation and deadlines.
+//
+// Implementations: NewEmbedded runs the group-aware engines in-process
+// on the sharded runtime; Dial drives a gasf-server over TCP. Both obey
+// the same contract, verified byte-for-byte by the parity suite.
+type Broker interface {
+	// OpenSource registers a live source under a unique name. Tuples may
+	// be published and subscribers may join as soon as it returns.
+	OpenSource(ctx context.Context, name string, schema *Schema) (Source, error)
+	// Subscribe joins a source's live filter group with a quality
+	// specification in the paper's notation (e.g. "DC1(temperature,
+	// 0.5, 0.25)"). The spec is parsed and validated before it travels:
+	// rendering is lossless (ParseSpec(s.String()) == s), so the spec a
+	// subscription reports is exactly the one the group coordinates on.
+	// The join happens at a tuple boundary without disturbing the
+	// source's other subscribers.
+	Subscribe(ctx context.Context, app, source, spec string, opts ...SubOption) (Subscription, error)
+	// Close releases the broker: the embedded transport drains its
+	// runtime (flushing every engine tail through its subscribers); the
+	// networked transport closes the sessions it opened. ctx bounds the
+	// graceful path.
+	Close(ctx context.Context) error
+}
+
+// Source is one live publisher session. Timestamps must be strictly
+// increasing per source — the engine's region algebra depends on it —
+// and every tuple must use the schema advertised at OpenSource.
+type Source interface {
+	// Name returns the source name.
+	Name() string
+	// Schema returns the advertised schema.
+	Schema() *Schema
+	// Publish sends one tuple, blocking under backpressure until ctx is
+	// done.
+	Publish(ctx context.Context, t *Tuple) error
+	// PublishBatch sends a run of tuples in one hand-off: one write on
+	// the wire, one ring synchronization in-process.
+	PublishBatch(ctx context.Context, tuples []*Tuple) error
+	// Sync is the publish barrier: when it returns, every previously
+	// published tuple is ordered at the engine ahead of any membership
+	// change applied afterwards. In-process publishing is already
+	// synchronous, so the embedded Sync is a no-op; over TCP it round
+	// trips a ping through the server's ingest path.
+	Sync(ctx context.Context) error
+	// Finish ends the stream gracefully: the engine's tail is flushed to
+	// the source's subscribers and their streams end.
+	Finish(ctx context.Context) error
+}
+
+// Subscription is one live application session in a source's filter
+// group.
+type Subscription interface {
+	// App returns the application name.
+	App() string
+	// Source returns the subscribed source name.
+	Source() string
+	// Schema returns the source schema.
+	Schema() *Schema
+	// Spec returns the parsed quality specification in effect.
+	Spec() Spec
+	// Recv blocks for the next delivery until ctx is done. It returns
+	// ErrStreamEnded once the stream ends gracefully.
+	Recv(ctx context.Context) (*Delivery, error)
+	// RecvInto is Recv decoding into d, reusing d's tuple and label
+	// storage where the transport allows; everything reachable from d is
+	// valid only until the next RecvInto with the same Delivery.
+	RecvInto(ctx context.Context, d *Delivery) error
+	// Close leaves the group at a tuple boundary, re-deriving it for the
+	// remaining members. When Close returns, the departure has been
+	// applied.
+	Close(ctx context.Context) error
+}
+
+// Delivery is one transmission received by a subscription: the tuple,
+// the destination labels of the subscribers sharing it (pruned to the
+// members live at release time), and the receive instant.
+type Delivery = broker.Delivery
+
+// specFor parses and validates a subscription spec once at the facade,
+// so both transports coordinate on the identical, canonically rendered
+// specification.
+func specFor(spec string) (quality.Spec, error) {
+	sp, err := quality.Parse(spec)
+	if err != nil {
+		return quality.Spec{}, err
+	}
+	return sp, nil
+}
+
+// mapStreamEnd folds the embedded transport's end-of-stream sentinel
+// into the public one shared with the networked path.
+func mapStreamEnd(err error) error {
+	if errors.Is(err, broker.ErrStreamEnded) {
+		return ErrStreamEnded
+	}
+	return err
+}
+
+// dialTimeoutFor derives a session dial timeout from the caller context
+// and the configured default.
+func dialTimeoutFor(ctx context.Context, def time.Duration) time.Duration {
+	if deadline, ok := ctx.Deadline(); ok {
+		if d := time.Until(deadline); def <= 0 || d < def {
+			return d
+		}
+	}
+	return def
+}
+
+// errBrokerClosed rejects operations on a closed broker handle.
+var errBrokerClosed = fmt.Errorf("gasf: broker closed")

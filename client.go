@@ -8,6 +8,11 @@ import (
 // (source) and subscriber (application) sessions over the binary wire
 // protocol. See internal/server for the protocol and DESIGN.md §7 for the
 // server architecture.
+//
+// New code should prefer the unified Broker surface — gasf.Dial returns
+// the same wire sessions behind the transport-agnostic, context-first
+// interface that an embedded broker also implements (see broker.go and
+// DESIGN.md §10). Client remains as a thin veneer for existing callers.
 
 // Publisher is a client-side source session streaming tuples to a server.
 type Publisher = server.Publisher
@@ -50,6 +55,11 @@ func (c *Client) Subscribe(app, source, spec string) (*StreamSub, error) {
 
 // SubscribeBuffered is Subscribe with an explicit server-side send-queue
 // depth for this session; 0 accepts the server default.
+//
+// Deprecated: queue depth is a subscription option on the unified Broker
+// surface — use Dial(addr) and Subscribe(ctx, app, source, spec,
+// WithQueueDepth(queue)) instead. SubscribeBuffered remains a working
+// wrapper over the same wire session.
 func (c *Client) SubscribeBuffered(app, source, spec string, queue int) (*StreamSub, error) {
 	return server.DialSubscriberBuffered(c.Addr, app, source, spec, queue)
 }
@@ -61,7 +71,12 @@ type ServerConfig = server.Config
 // Server is the networked streaming server.
 type Server = server.Server
 
-// Slow-consumer policies for ServerConfig.Policy.
+// SlowPolicy selects how a full subscriber delivery queue is treated —
+// backpressure (PolicyBlock) or counted drops (PolicyDrop). It is shared
+// by ServerConfig.Policy and the broker option WithSlowPolicy.
+type SlowPolicy = server.Policy
+
+// Slow-consumer policies for ServerConfig.Policy and WithSlowPolicy.
 const (
 	// PolicyBlock applies backpressure from slow subscribers up to the
 	// publishers.
@@ -69,6 +84,9 @@ const (
 	// PolicyDrop drops deliveries to slow subscribers and counts them.
 	PolicyDrop = server.PolicyDrop
 )
+
+// ParsePolicy reads a slow-consumer policy name ("block" or "drop").
+func ParsePolicy(s string) (SlowPolicy, error) { return server.ParsePolicy(s) }
 
 // StartServer starts an embedded streaming server; useful for tests and
 // single-process deployments.

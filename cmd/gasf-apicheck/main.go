@@ -1,0 +1,258 @@
+// Command gasf-apicheck guards the public API surface of the gasf
+// facade: it extracts the exported symbols of the root package, compares
+// them to the committed baseline (API.txt), and fails when
+//
+//   - an exported symbol was removed without a deprecation/removal note
+//     naming it in CHANGES.md, or
+//   - the baseline is stale (new exported symbols not yet recorded).
+//
+// Regenerate the baseline with -write after an intentional API change.
+// CI runs the check on every push, so the exported surface can only
+// move deliberately — the apidiff discipline without external tooling.
+//
+// Usage:
+//
+//	gasf-apicheck [-pkg .] [-baseline API.txt] [-changes CHANGES.md] [-write]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		pkgDir   = flag.String("pkg", ".", "directory of the package to inspect")
+		baseline = flag.String("baseline", "API.txt", "committed API baseline")
+		changes  = flag.String("changes", "CHANGES.md", "change log checked for deprecation notes")
+		write    = flag.Bool("write", false, "regenerate the baseline instead of checking")
+	)
+	flag.Parse()
+	symbols, err := exportedSymbols(*pkgDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gasf-apicheck:", err)
+		os.Exit(1)
+	}
+	if *write {
+		if err := os.WriteFile(*baseline, []byte(render(symbols)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "gasf-apicheck:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("gasf-apicheck: wrote %d symbols to %s\n", len(symbols), *baseline)
+		return
+	}
+	base, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gasf-apicheck: %v (run with -write to create the baseline)\n", err)
+		os.Exit(1)
+	}
+	notes, err := os.ReadFile(*changes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gasf-apicheck:", err)
+		os.Exit(1)
+	}
+	problems := check(parseBaseline(string(base)), symbols, string(notes))
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "gasf-apicheck:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("gasf-apicheck: %d exported symbols match %s\n", len(symbols), *baseline)
+}
+
+// check compares the baseline against the current surface. Removals are
+// allowed only with a note in the change log that names the symbol on a
+// line mentioning deprecation or removal; additions require a baseline
+// regeneration so the surface stays consciously tracked.
+func check(base, current []string, changeLog string) []string {
+	cur := make(map[string]bool, len(current))
+	for _, s := range current {
+		cur[s] = true
+	}
+	old := make(map[string]bool, len(base))
+	for _, s := range base {
+		old[s] = true
+	}
+	var problems []string
+	for _, s := range base {
+		if !cur[s] {
+			if !removalNoted(changeLog, s) {
+				problems = append(problems, fmt.Sprintf(
+					"exported symbol %q was removed without a deprecation note in CHANGES.md", s))
+			}
+		}
+	}
+	var added []string
+	for _, s := range current {
+		if !old[s] {
+			added = append(added, s)
+		}
+	}
+	if len(added) > 0 {
+		problems = append(problems, fmt.Sprintf(
+			"baseline is stale: %d new exported symbol(s) (%s); run `go run ./cmd/gasf-apicheck -write` and commit API.txt",
+			len(added), strings.Join(added, ", ")))
+	}
+	return problems
+}
+
+// removalNoted reports whether the change log mentions the symbol's name
+// on a line that speaks of deprecation or removal. The name must appear
+// as a whole word — a note for RunSharded must not authorize removing
+// Run.
+func removalNoted(changeLog, symbol string) bool {
+	name := symbol
+	if i := strings.LastIndexByte(name, ' '); i >= 0 {
+		name = name[i+1:] // "func Run" -> "Run", "method (*X).Y" -> "(*X).Y"
+	}
+	for _, line := range strings.Split(changeLog, "\n") {
+		lower := strings.ToLower(line)
+		if !strings.Contains(lower, "deprecat") && !strings.Contains(lower, "removed") && !strings.Contains(lower, "removal") {
+			continue
+		}
+		if containsWord(line, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsWord reports whether name occurs in line bounded by
+// non-identifier characters on both sides.
+func containsWord(line, name string) bool {
+	isIdent := func(r byte) bool {
+		return r == '_' || ('0' <= r && r <= '9') || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z')
+	}
+	for from := 0; ; {
+		i := strings.Index(line[from:], name)
+		if i < 0 {
+			return false
+		}
+		i += from
+		before := i == 0 || !isIdent(line[i-1])
+		end := i + len(name)
+		after := end == len(line) || !isIdent(line[end])
+		if before && after {
+			return true
+		}
+		from = i + 1
+	}
+}
+
+// exportedSymbols lists the exported top-level declarations of the
+// package in dir (excluding tests): funcs, types, consts, vars, and
+// methods on exported receivers.
+func exportedSymbols(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var symbols []string
+	add := func(kind, name string) {
+		if ast.IsExported(name) {
+			symbols = append(symbols, kind+" "+name)
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Recv == nil {
+						add("func", d.Name.Name)
+						continue
+					}
+					recv, exported := receiverName(d.Recv)
+					if exported && ast.IsExported(d.Name.Name) {
+						symbols = append(symbols, "method "+recv+"."+d.Name.Name)
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch sp := spec.(type) {
+						case *ast.TypeSpec:
+							add("type", sp.Name.Name)
+						case *ast.ValueSpec:
+							kind := "var"
+							if d.Tok == token.CONST {
+								kind = "const"
+							}
+							for _, n := range sp.Names {
+								add(kind, n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(symbols)
+	return dedupe(symbols), nil
+}
+
+// receiverName renders a method receiver type ("(*Embedded)" or
+// "(Spec)") and whether it is exported.
+func receiverName(fields *ast.FieldList) (string, bool) {
+	if len(fields.List) != 1 {
+		return "", false
+	}
+	t := fields.List[0].Type
+	star := ""
+	if se, ok := t.(*ast.StarExpr); ok {
+		star = "*"
+		t = se.X
+	}
+	// Generic receivers (IndexExpr etc.) unwrap to their base name.
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		t = ix.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return "(" + star + id.Name + ")", ast.IsExported(id.Name)
+}
+
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || sorted[i-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func render(symbols []string) string {
+	var b strings.Builder
+	b.WriteString("# Exported API surface of package gasf.\n")
+	b.WriteString("# Maintained by cmd/gasf-apicheck; regenerate with:\n")
+	b.WriteString("#   go run ./cmd/gasf-apicheck -write\n")
+	for _, s := range symbols {
+		b.WriteString(s)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// parseBaseline reads the committed baseline, skipping comments.
+func parseBaseline(text string) []string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out
+}

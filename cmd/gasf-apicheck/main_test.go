@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckAdditionsAndRemovals(t *testing.T) {
+	base := []string{"func Old", "func Stays", "method (*Client).Gone"}
+	current := []string{"func Stays", "func New"}
+
+	// Removal without a note and a stale baseline: two problems.
+	problems := check(base, current, "- PR 9: something unrelated\n")
+	if len(problems) != 3 {
+		t.Fatalf("problems = %v, want 3 (two unnoted removals + stale baseline)", problems)
+	}
+
+	// A deprecation note naming the symbols absolves the removals.
+	log := "- PR 9: deprecated and removed Old and (*Client).Gone in favor of Broker\n"
+	problems = check(base, current, log)
+	if len(problems) != 1 || !strings.Contains(problems[0], "baseline is stale") {
+		t.Fatalf("problems = %v, want only the stale-baseline report", problems)
+	}
+
+	// Matching surfaces are clean.
+	if problems := check(current, current, ""); len(problems) != 0 {
+		t.Fatalf("identical surfaces reported %v", problems)
+	}
+}
+
+func TestRemovalNotedRequiresDeprecationLanguage(t *testing.T) {
+	if removalNoted("- PR 9: renamed Run internals\n", "func Run") {
+		t.Error("note without deprecation language should not absolve a removal")
+	}
+	if !removalNoted("- PR 9: Run is deprecated; use Broker\n", "func Run") {
+		t.Error("deprecation note naming the symbol should absolve it")
+	}
+}
+
+func TestExportedSymbolsSelf(t *testing.T) {
+	// The tool can read its own package; only main-package symbols are
+	// unexported, so the surface is empty.
+	symbols, err := exportedSymbols(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(symbols) != 0 {
+		t.Errorf("command package should export nothing, got %v", symbols)
+	}
+}
+
+func TestExportedSymbolsFacade(t *testing.T) {
+	symbols, err := exportedSymbols("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"func Run", "func NewEmbedded", "func Dial", "type Broker", "method (*Embedded).Results"}
+	have := make(map[string]bool, len(symbols))
+	for _, s := range symbols {
+		have[s] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("facade surface missing %q", w)
+		}
+	}
+}
+
+func TestContainsWordBoundaries(t *testing.T) {
+	if containsWord("deprecated RunSharded wrapper", "Run") {
+		t.Error("Run must not match inside RunSharded")
+	}
+	if !containsWord("deprecated Run; use Broker", "Run") {
+		t.Error("Run should match as a whole word")
+	}
+	if !containsWord("removed (*Client).Gone", "(*Client).Gone") {
+		t.Error("method names with punctuation should match")
+	}
+	if !containsWord("RunSharded and Run deprecated", "Run") {
+		t.Error("later whole-word occurrence should match after a prefix miss")
+	}
+}

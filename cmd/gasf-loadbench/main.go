@@ -22,6 +22,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,10 +32,8 @@ import (
 	"sync"
 	"time"
 
-	"gasf/internal/core"
+	"gasf"
 	"gasf/internal/metrics"
-	"gasf/internal/server"
-	"gasf/internal/tuple"
 )
 
 type latencyStats struct {
@@ -88,7 +87,7 @@ type scaleCell struct {
 // benchConfig parameterizes one measured serve run.
 type benchConfig struct {
 	publishers, subscribers, tuples, queue, shards, rate int
-	policy                                               server.Policy
+	policy                                               gasf.SlowPolicy
 }
 
 func main() {
@@ -120,7 +119,7 @@ func run(args []string) error {
 	if *publishers < 1 || *subscribers < 1 || *tuples < 1 {
 		return fmt.Errorf("need at least one publisher, subscriber and tuple")
 	}
-	pol, err := server.ParsePolicy(*policy)
+	pol, err := gasf.ParsePolicy(*policy)
 	if err != nil {
 		return err
 	}
@@ -212,36 +211,43 @@ func run(args []string) error {
 	return nil
 }
 
-// measure runs one full serve benchmark: a fresh server, dialed
-// sessions, the publish/receive storm, and a graceful shutdown.
+// measure runs one full serve benchmark: a fresh server, a dialed
+// Broker whose sessions drive the load, the publish/receive storm, and a
+// graceful shutdown. The load generator itself runs on the unified
+// context-first API (gasf.Dial), so the measured path is exactly what
+// applications use.
 func measure(cfg benchConfig) (*report, error) {
-	srv, err := server.Start(server.Config{
-		Engine:          core.Options{ShardCount: cfg.shards},
+	ctx := context.Background()
+	srv, err := gasf.StartServer(gasf.ServerConfig{
+		Engine:          gasf.Options{ShardCount: cfg.shards},
 		SubscriberQueue: cfg.queue,
 		Policy:          cfg.policy,
 	})
 	if err != nil {
 		return nil, err
 	}
-	addr := srv.Addr().String()
-	schema, err := tuple.NewSchema("v")
+	b, err := gasf.Dial(srv.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	schema, err := gasf.NewSchema("v")
 	if err != nil {
 		return nil, err
 	}
 
 	// Dial every session up front so the measured window covers steady
 	// streaming, not connection setup.
-	pubs := make([]*server.Publisher, cfg.publishers)
+	pubs := make([]gasf.Source, cfg.publishers)
 	for i := range pubs {
-		if pubs[i], err = server.DialPublisher(addr, fmt.Sprintf("bench%d", i), schema); err != nil {
+		if pubs[i], err = b.OpenSource(ctx, fmt.Sprintf("bench%d", i), schema); err != nil {
 			return nil, err
 		}
 	}
-	subs := make([]*server.Subscriber, cfg.subscribers)
+	subs := make([]gasf.Subscription, cfg.subscribers)
 	for i := range subs {
 		source := fmt.Sprintf("bench%d", i%cfg.publishers)
 		app := fmt.Sprintf("app%d", i)
-		if subs[i], err = server.DialSubscriber(addr, app, source, "DC1(v, 0.5, 0)"); err != nil {
+		if subs[i], err = b.Subscribe(ctx, app, source, "DC1(v, 0.5, 0)"); err != nil {
 			return nil, err
 		}
 	}
@@ -253,13 +259,13 @@ func measure(cfg benchConfig) (*report, error) {
 	start := time.Now()
 	for i, sub := range subs {
 		wg.Add(1)
-		go func(i int, sub *server.Subscriber) {
+		go func(i int, sub gasf.Subscription) {
 			defer wg.Done()
 			lats := make([]time.Duration, 0, cfg.tuples)
-			var d server.Delivery
+			var d gasf.Delivery
 			for {
-				err := sub.RecvInto(&d)
-				if err == server.ErrStreamEnded {
+				err := sub.RecvInto(ctx, &d)
+				if errors.Is(err, gasf.ErrStreamEnded) {
 					break
 				}
 				if err != nil {
@@ -288,14 +294,21 @@ func measure(cfg benchConfig) (*report, error) {
 	}
 	for i, pub := range pubs {
 		wg.Add(1)
-		go func(i int, pub *server.Publisher) {
+		go func(i int, pub gasf.Source) {
 			defer wg.Done()
 			ticker := time.NewTicker(tick)
 			defer ticker.Stop()
-			vals := make([][]float64, 0, pubBatch)
+			batch := make([]*gasf.Tuple, 0, pubBatch)
+			// backing holds the value cells for one burst; NewTuple copies
+			// them, so the measured loop allocates no per-tuple value
+			// slices of its own (matching the pre-migration generator).
 			backing := make([]float64, pubBatch)
+			lastTS := time.Time{}
+			seq := 0
 			// Values step by 1 so the DC1(v, 0.5, 0) subscribers treat
-			// every tuple as a closed singleton set (pass-all).
+			// every tuple as a closed singleton set (pass-all). Wall-clock
+			// stamps, strictly increasing within a burst, keep the
+			// delivery latency measurement end to end.
 			for n := 0; n < cfg.tuples; {
 				end := n + burst
 				if end > cfg.tuples {
@@ -306,12 +319,24 @@ func measure(cfg benchConfig) (*report, error) {
 					if k > pubBatch {
 						k = pubBatch
 					}
-					vals = vals[:0]
+					batch = batch[:0]
+					ts := time.Now()
 					for j := 0; j < k; j++ {
+						if !ts.After(lastTS) {
+							ts = lastTS.Add(time.Nanosecond)
+						}
 						backing[j] = float64(n + j)
-						vals = append(vals, backing[j:j+1])
+						t, err := gasf.NewTuple(schema, seq, ts, backing[j:j+1])
+						if err != nil {
+							errCh <- fmt.Errorf("publisher %d tuple %d: %w", i, n, err)
+							return
+						}
+						batch = append(batch, t)
+						lastTS = ts
+						ts = ts.Add(time.Nanosecond)
+						seq++
 					}
-					if err := pub.PublishNowBatch(vals); err != nil {
+					if err := pub.PublishBatch(ctx, batch); err != nil {
 						errCh <- fmt.Errorf("publisher %d tuple %d: %w", i, n, err)
 						return
 					}
@@ -321,8 +346,8 @@ func measure(cfg benchConfig) (*report, error) {
 					<-ticker.C
 				}
 			}
-			if err := pub.Close(); err != nil {
-				errCh <- fmt.Errorf("publisher %d close: %w", i, err)
+			if err := pub.Finish(ctx); err != nil {
+				errCh <- fmt.Errorf("publisher %d finish: %w", i, err)
 			}
 		}(i, pub)
 	}
@@ -364,9 +389,12 @@ func measure(cfg benchConfig) (*report, error) {
 		Latency:          summarize(all),
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	if err := b.Close(sctx); err != nil {
+		return nil, fmt.Errorf("broker close: %w", err)
+	}
+	if err := srv.Shutdown(sctx); err != nil {
 		return nil, fmt.Errorf("shutdown: %w", err)
 	}
 	return rep, nil

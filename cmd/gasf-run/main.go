@@ -16,12 +16,15 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"gasf"
@@ -241,29 +244,80 @@ func run(cfg config, w io.Writer) error {
 	return nil
 }
 
-// runSharded replicates the filter group over cfg.sources sources and
-// drives them through the public sharded runtime entry point, reporting
-// per-shard counters and aggregate throughput.
+// runSharded replicates the quality-spec group over cfg.sources live
+// sources on an embedded Broker — the unified streaming surface — with
+// one delivery subscription per spec, reporting per-shard counters,
+// delivery volume, and aggregate throughput.
 func runSharded(cfg config, sr *tuple.Series, opts core.Options, w io.Writer) error {
 	if cfg.verbose {
 		fmt.Fprintln(w, "note: -v prints transmissions only in single-source mode; ignored with -sources > 1")
 	}
-	groups := make(map[string][]gasf.Filter, cfg.sources)
-	series := make(map[string]*tuple.Series, cfg.sources)
-	for i := 0; i < cfg.sources; i++ {
-		filters, err := buildFilters(cfg.specs)
-		if err != nil {
-			return err
-		}
-		name := fmt.Sprintf("src%04d", i)
-		groups[name] = filters
-		series[name] = sr
-	}
-	start := time.Now()
-	results, snaps, err := gasf.RunSharded(groups, series, opts)
+	ctx := context.Background()
+	b, err := gasf.NewEmbedded(gasf.WithEngineOptions(opts))
 	if err != nil {
 		return err
 	}
+	start := time.Now()
+	var (
+		wg         sync.WaitGroup
+		deliveries atomic.Uint64
+		errMu      sync.Mutex
+		errs       []error
+	)
+	record := func(err error) {
+		errMu.Lock()
+		errs = append(errs, err)
+		errMu.Unlock()
+	}
+	consume := func(sub gasf.Subscription) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var d gasf.Delivery
+			for {
+				if err := sub.RecvInto(ctx, &d); err != nil {
+					if !errors.Is(err, gasf.ErrStreamEnded) {
+						record(err)
+					}
+					return
+				}
+				deliveries.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < cfg.sources; i++ {
+		name := fmt.Sprintf("src%04d", i)
+		src, err := b.OpenSource(ctx, name, sr.Schema())
+		if err != nil {
+			return err
+		}
+		for j, spec := range cfg.specs {
+			sub, err := b.Subscribe(ctx, fmt.Sprintf("app%d", j+1), name, spec, gasf.WithQueueDepth(1024))
+			if err != nil {
+				return err
+			}
+			consume(sub)
+		}
+		wg.Add(1)
+		go func(src gasf.Source) {
+			defer wg.Done()
+			if err := src.PublishBatch(ctx, sr.Tuples()); err != nil {
+				record(err)
+				return
+			}
+			if err := src.Finish(ctx); err != nil {
+				record(err)
+			}
+		}(src)
+	}
+	wg.Wait()
+	if err := b.Close(ctx); err != nil {
+		record(err)
+	}
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	results, snaps := b.Results(), b.Metrics()
 	elapsed := time.Since(start)
 
 	tb := metrics.NewTable("shard", "sources", "enqueued", "processed", "dropped", "flushes", "max queue")
@@ -279,8 +333,8 @@ func runSharded(cfg config, sr *tuple.Series, opts core.Options, w io.Writer) er
 		inputs += res.Stats.Inputs
 		outputs += res.Stats.DistinctOutputs
 	}
-	fmt.Fprintf(w, "\nsources %d  shards %d  tuples %d  elapsed %v  throughput %.0f tuples/s\n",
-		cfg.sources, len(snaps), inputs, elapsed.Round(time.Millisecond),
+	fmt.Fprintf(w, "\nsources %d  shards %d  tuples %d  deliveries %d  elapsed %v  throughput %.0f tuples/s\n",
+		cfg.sources, len(snaps), inputs, deliveries.Load(), elapsed.Round(time.Millisecond),
 		float64(inputs)/elapsed.Seconds())
 	if inputs > 0 {
 		fmt.Fprintf(w, "aggregate O/I ratio: %.4f\n", float64(outputs)/float64(inputs))

@@ -1,17 +1,23 @@
-// Networked: the client/server API over a real TCP loopback.
+// Networked: the unified Broker API over a real TCP loopback.
 //
-// An embedded gasf server is started on an ephemeral port; a publisher
-// streams a lake-buoy trace as the source "buoy", while two applications
-// subscribe over TCP with different quality specifications and print
+// An embedded gasf server is started on an ephemeral port; gasf.Dial
+// returns a Broker whose sessions speak the framed wire protocol. A
+// publisher streams a lake-buoy trace as the source "buoy", while two
+// applications subscribe with different quality specifications and print
 // what the group-aware filters deliver. A third application joins
-// mid-stream — the live group re-derivation of §4.3 — and a subscriber
-// leaves again before the stream ends.
+// mid-stream at a Sync barrier — the live group re-derivation of §4.3 —
+// and a subscriber leaves again (with an acknowledged departure) before
+// the stream ends.
+//
+// Replace gasf.Dial(addr) with gasf.NewEmbedded() and the same program
+// runs without a server process — see examples/embedded.
 //
 //	go run ./examples/networked
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"sync"
@@ -21,41 +27,49 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	srv, err := gasf.StartServer(gasf.ServerConfig{Policy: gasf.PolicyDrop})
 	if err != nil {
 		log.Fatal(err)
 	}
 	addr := srv.Addr().String()
 	fmt.Println("server listening on", addr)
-	client := gasf.NewClient(addr)
+	b, err := gasf.Dial(addr, gasf.WithDialTimeout(5*time.Second))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	series, err := gasf.NAMOS(gasf.TraceConfig{N: 400, Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	pub, err := client.Publish("buoy", series.Schema())
+	src, err := b.OpenSource(ctx, "buoy", series.Schema())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	var wg sync.WaitGroup
 	// leaveAfter > 0 makes the application unsubscribe mid-stream (the
-	// server removes its filter from the live group).
+	// server removes its filter from the live group and acknowledges the
+	// departure).
 	subscribe := func(app, spec string, leaveAfter int) {
-		sub, err := client.Subscribe(app, "buoy", spec)
+		sub, err := b.Subscribe(ctx, app, "buoy", spec, gasf.WithQueueDepth(512))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s subscribed with %s\n", app, spec)
+		fmt.Printf("%s subscribed with %s\n", app, sub.Spec())
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			count := 0
 			for {
-				d, err := sub.Recv()
+				d, err := sub.Recv(ctx)
 				if err != nil {
-					fmt.Printf("%s: stream ended after %d deliveries (%v)\n", app, count, err)
+					if !errors.Is(err, gasf.ErrStreamEnded) {
+						log.Printf("%s: %v", app, err)
+					}
+					fmt.Printf("%s: stream ended after %d deliveries\n", app, count)
 					return
 				}
 				count++
@@ -65,8 +79,10 @@ func main() {
 						app, d.Tuple.Seq, v, d.Destinations)
 				}
 				if leaveAfter > 0 && count == leaveAfter {
-					sub.Close()
-					fmt.Printf("%s: unsubscribed after %d deliveries\n", app, count)
+					if err := sub.Close(ctx); err != nil {
+						log.Printf("%s: leave: %v", app, err)
+					}
+					fmt.Printf("%s: unsubscribed after %d deliveries (departure acknowledged)\n", app, count)
 					return
 				}
 			}
@@ -78,22 +94,29 @@ func main() {
 
 	for i := 0; i < series.Len(); i++ {
 		if i == series.Len()/2 {
-			// A third application joins mid-stream: the server re-derives
-			// the group at a tuple boundary without disturbing the others.
+			// A third application joins mid-stream. The Sync barrier pins
+			// the tuple boundary: everything published above is processed
+			// before the join re-derives the group.
+			if err := src.Sync(ctx); err != nil {
+				log.Fatal(err)
+			}
 			subscribe("trend", "DC2(fluoro, 0.4, 0.2)", 0)
 		}
-		if err := pub.Publish(series.At(i)); err != nil {
+		if err := src.Publish(ctx, series.At(i)); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := pub.Close(); err != nil {
+	if err := src.Finish(ctx); err != nil {
 		log.Fatal(err)
 	}
 	wg.Wait()
 
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	if err := b.Close(sctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Shutdown(sctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("server drained")

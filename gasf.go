@@ -11,6 +11,19 @@
 //
 // # Quickstart
 //
+// The primary surface is the context-first Broker (broker.go): one
+// interface over an embedded in-process deployment and a networked one.
+//
+//	b, _ := gasf.NewEmbedded(gasf.WithShards(4))
+//	src, _ := b.OpenSource(ctx, "buoy", schema)
+//	sub, _ := b.Subscribe(ctx, "dashboard", "buoy", "DC1(temperature, 0.5, 0.25)")
+//	go src.Publish(ctx, t)
+//	d, _ := sub.Recv(ctx)
+//
+// Swap gasf.NewEmbedded for gasf.Dial("host:7070") and the same program
+// drives a gasf-server over TCP. Finite batch runs keep the historical
+// convenience wrappers, now layered on an embedded broker:
+//
 //	a, _ := gasf.NewDCFilter("A", "temperature", 50, 10)
 //	b, _ := gasf.NewDCFilter("B", "temperature", 40, 5)
 //	res, _ := gasf.Run([]gasf.Filter{a, b}, series, gasf.Options{Algorithm: gasf.RG})
@@ -21,17 +34,20 @@
 // stateful DC), the coordination engine with its algorithms (RG, PS),
 // timely cuts and output strategies, the trace generators used in the
 // paper's evaluation, and the Solar-style dissemination layer. See
-// DESIGN.md for the architecture and EXPERIMENTS.md for the reproduction
-// results.
+// DESIGN.md for the architecture (§10 covers the broker layering) and
+// EXPERIMENTS.md for the reproduction results.
 package gasf
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"gasf/internal/adapt"
+	"gasf/internal/broker"
 	"gasf/internal/core"
 	"gasf/internal/filter"
 	"gasf/internal/quality"
@@ -175,9 +191,25 @@ func NewEngine(filters []Filter, opts Options) (*Engine, error) {
 }
 
 // Run drives a complete series through a fresh engine and returns its
-// transmissions and statistics.
+// transmissions and statistics. It is a convenience wrapper over an
+// embedded Broker (see NewEmbedded): the group joins a single live
+// source, the series is published, and the engine result is returned —
+// byte-identical to the long-lived streaming path the broker serves.
 func Run(filters []Filter, sr *Series, opts Options) (*Result, error) {
-	return core.Run(filters, sr, opts)
+	if sr == nil {
+		return nil, fmt.Errorf("gasf: Run needs a series")
+	}
+	if opts.ShardCount == 0 {
+		// A single finite source needs exactly one worker; GOMAXPROCS
+		// shards would idle.
+		opts.ShardCount = 1
+	}
+	const name = "source"
+	results, _, err := runEmbeddedBatch(map[string][]Filter{name: filters}, map[string]*tuple.Series{name: sr}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return results[name], nil
 }
 
 // ShardSnapshot reports one worker shard's runtime counters (tuples
@@ -191,35 +223,99 @@ type ShardSnapshot = shard.Snapshot
 // single-source semantics — its released sequence is identical to a
 // sequential Run of the same group over the same series. groups and
 // series must share the same source names. The returned snapshots carry
-// the per-shard runtime counters of the completed run.
+// the per-shard runtime counters of the completed run. Like Run, it is a
+// convenience wrapper over an embedded Broker.
 func RunSharded(groups map[string][]Filter, series map[string]*Series, opts Options) (map[string]*Result, []ShardSnapshot, error) {
 	if len(groups) == 0 {
 		return nil, nil, fmt.Errorf("gasf: RunSharded needs at least one source group")
 	}
-	names := make([]string, 0, len(groups))
 	for name := range groups {
 		if _, ok := series[name]; !ok {
 			return nil, nil, fmt.Errorf("gasf: no series for source %q", name)
 		}
-		names = append(names, name)
 	}
 	if len(series) != len(groups) {
 		return nil, nil, fmt.Errorf("gasf: %d series for %d source groups", len(series), len(groups))
 	}
+	return runEmbeddedBatch(groups, series, opts)
+}
+
+// runEmbeddedBatch is the engine room of the Run* wrappers: an embedded
+// broker is started with the given engine options, every group joins its
+// live source with engine-only membership (no delivery plane), each
+// series is published by its own producer with batched hand-offs, and
+// the broker drains. The per-source engine results and shard snapshots
+// of the completed run are returned.
+func runEmbeddedBatch(groups map[string][]Filter, series map[string]*tuple.Series, opts Options) (map[string]*Result, []ShardSnapshot, error) {
+	ctx := context.Background()
+	names := make([]string, 0, len(groups))
+	for name, filters := range groups {
+		if len(filters) == 0 {
+			return nil, nil, fmt.Errorf("gasf: source %q needs at least one filter", name)
+		}
+		names = append(names, name)
+	}
 	sort.Strings(names)
-	rt := shard.New(shard.FromOptions(opts))
+	b, err := broker.New(broker.Config{Engine: opts})
+	if err != nil {
+		return nil, nil, fmt.Errorf("gasf: %w", err)
+	}
+	sources := make(map[string]*broker.Source, len(names))
 	for _, name := range names {
-		if err := rt.AddGroup(name, groups[name], opts); err != nil {
+		src, err := b.OpenSource(name, series[name].Schema())
+		if err == nil {
+			for _, f := range groups[name] {
+				if err = b.AttachFilter(ctx, name, f); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			b.Close(ctx)
 			return nil, nil, fmt.Errorf("gasf: %w", err)
 		}
+		sources[name] = src
 	}
-	if err := rt.Start(context.Background(), nil); err != nil {
+	flush := opts.FlushBatch
+	if flush <= 0 {
+		flush = shard.DefaultFlushBatch
+	}
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		errs  []error
+	)
+	record := func(err error) {
+		errMu.Lock()
+		errs = append(errs, err)
+		errMu.Unlock()
+	}
+	for _, name := range names {
+		wg.Add(1)
+		go func(src *broker.Source, sr *tuple.Series) {
+			defer wg.Done()
+			all := sr.Tuples()
+			for len(all) > 0 {
+				n := min(flush, len(all))
+				if err := src.PublishBatch(ctx, all[:n]); err != nil {
+					record(err)
+					return
+				}
+				all = all[n:]
+			}
+			if err := src.Finish(ctx); err != nil {
+				record(err)
+			}
+		}(sources[name], series[name])
+	}
+	wg.Wait()
+	if err := b.Close(ctx); err != nil {
+		record(err)
+	}
+	if err := errors.Join(errs...); err != nil {
 		return nil, nil, fmt.Errorf("gasf: %w", err)
 	}
-	if err := rt.FeedAll(series); err != nil {
-		return nil, nil, fmt.Errorf("gasf: %w", err)
-	}
-	return rt.Results(), rt.Metrics(), nil
+	return b.Results(), b.Metrics(), nil
 }
 
 // RunSelfInterested runs the paper's baseline: every filter selects its

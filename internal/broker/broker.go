@@ -1,0 +1,783 @@
+// Package broker implements the embedded (in-process) streaming broker:
+// dynamic sources and subscriptions multiplexed onto the sharded
+// group-aware filtering runtime (internal/shard), with the same session
+// semantics as the networked server (internal/server) but no sockets in
+// the loop.
+//
+// The broker is the adapter layer behind the public gasf.Broker API's
+// embedded implementation. It mirrors the server's lifecycle exactly so
+// the two transports stay behaviorally interchangeable — the facade's
+// parity suite asserts byte-identical released sequences per subscriber:
+//
+//   - A source opens with a name and schema, streams strictly
+//     timestamp-ordered tuples, and finishes; finishing flushes the
+//     engine's tail to its subscribers, then ends their streams.
+//   - A subscriber joins a source's live group with a quality
+//     specification at a tuple boundary (the paper's group re-derivation,
+//     §4.3) and leaves the same way; membership changes are applied by
+//     the source's owning shard worker, so other sources are undisturbed.
+//   - Deliveries are fanned out per released transmission with the
+//     destination labels pruned to the live subscribers, exactly as the
+//     server's sink prunes departed sessions from the wire encoding.
+//   - A bounded per-subscription delivery queue applies the block or
+//     drop slow-consumer policy.
+package broker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gasf/internal/core"
+	"gasf/internal/filter"
+	"gasf/internal/quality"
+	"gasf/internal/shard"
+	"gasf/internal/tuple"
+	"gasf/internal/wire"
+)
+
+// Policy selects how a full subscription queue is treated.
+type Policy int
+
+const (
+	// Block applies backpressure: the shard worker waits for queue space,
+	// which eventually stalls the publishers feeding that shard.
+	Block Policy = iota
+	// Drop discards the delivery and counts it, keeping fast subscribers
+	// and publishers unaffected by a slow one.
+	Drop
+)
+
+// Config parameterizes a Broker. The zero value runs default engine
+// options with blocking slow-consumer handling.
+type Config struct {
+	// Engine configures the group-aware engine deployed per source
+	// (algorithm, cuts, output strategy) and the shard runtime knobs.
+	Engine core.Options
+	// SubscriberQueue bounds each subscription's delivery queue, in
+	// deliveries; 0 means 256. A subscription may request its own depth,
+	// clamped to MaxSubscriberQueue.
+	SubscriberQueue int
+	// MaxSubscriberQueue caps the per-subscription queue depth a
+	// subscriber may request (memory protection); 0 means 65536.
+	MaxSubscriberQueue int
+	// Policy selects the slow-consumer policy (block or drop).
+	Policy Policy
+	// EvictTimeout bounds how long a blocking delivery waits on a full
+	// subscription queue before the subscriber is treated as departed
+	// and evicted — the in-process mirror of the server's WriteTimeout,
+	// and what keeps an abandoned blocking subscription from wedging a
+	// shard worker (and with it Finish and a graceful Close) forever.
+	// 0 means 10s; negative disables eviction (unbounded blocking).
+	EvictTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.SubscriberQueue <= 0 {
+		c.SubscriberQueue = 256
+	}
+	if c.MaxSubscriberQueue <= 0 {
+		c.MaxSubscriberQueue = 65536
+	}
+	if c.SubscriberQueue > c.MaxSubscriberQueue {
+		c.MaxSubscriberQueue = c.SubscriberQueue
+	}
+	if c.EvictTimeout == 0 {
+		c.EvictTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// ErrStreamEnded reports a graceful end of a subscription stream (the
+// source finished or the broker closed).
+var ErrStreamEnded = errors.New("broker: stream ended")
+
+// errClosed rejects operations after Close.
+var errClosed = errors.New("broker: closed")
+
+// Delivery is one transmission received by a subscription: the tuple,
+// the destination label list pruned to the subscribers that were live at
+// release time (this subscription is one of them), and the receive
+// instant stamped by Recv.
+type Delivery struct {
+	Tuple        *tuple.Tuple
+	Destinations []string
+	ReceivedAt   time.Time
+}
+
+// Broker is the embedded streaming runtime. Create with New, open
+// publishers with OpenSource, join groups with Subscribe, stop with
+// Close.
+type Broker struct {
+	cfg    Config
+	rt     *shard.Runtime
+	cancel context.CancelFunc
+
+	// mu guards the session registries; the delivery fan-out (sink) takes
+	// the read side so shard workers do not serialize against each other
+	// or against open/subscribe calls.
+	mu      sync.RWMutex
+	sources map[string]*Source
+	subs    map[string]map[string]*Sub
+	closed  bool
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New starts an embedded broker over a fresh shard runtime.
+func New(cfg Config) (*Broker, error) {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	b := &Broker{
+		cfg:     cfg,
+		rt:      shard.New(shard.FromOptions(cfg.Engine)),
+		cancel:  cancel,
+		sources: make(map[string]*Source),
+		subs:    make(map[string]map[string]*Sub),
+	}
+	if err := b.rt.Start(ctx, b.sink); err != nil {
+		cancel()
+		return nil, err
+	}
+	return b, nil
+}
+
+// Runtime exposes the shard runtime for metrics.
+func (b *Broker) Runtime() *shard.Runtime { return b.rt }
+
+// Results returns the per-source engine results accumulated so far; call
+// after the sources finished (or after Close) for settled results.
+// Unlike the networked server, the embedded broker retains finished
+// sources, so batch runs can read their results.
+func (b *Broker) Results() map[string]*core.Result { return b.rt.Results() }
+
+// Metrics returns the per-shard runtime counters.
+func (b *Broker) Metrics() []shard.Snapshot { return b.rt.Metrics() }
+
+// sinkState caches the per-source fan-out of the last released
+// transmission: the engine-decided destination list is mapped to live
+// subscription targets and their labels once per (epoch, list) run
+// instead of once per transmission — the in-process mirror of the
+// server's encode cache. targets/labels are reallocated (never trimmed
+// in place) on recompute because queued Deliveries share the labels
+// slice.
+type sinkState struct {
+	epoch   uint64
+	inDests []string
+	targets []*Sub
+	labels  []string
+}
+
+// Source is one open publisher session.
+type Source struct {
+	b      *Broker
+	name   string
+	schema *tuple.Schema
+
+	// subEpoch counts subscriber-registry changes for this source; it is
+	// written under Broker.mu and read under its read side. The sink's
+	// cache is keyed by it, so a membership change can never serve stale
+	// targets or labels.
+	subEpoch uint64
+	// sink is owned by the source's shard worker (sink calls for one
+	// source are serialized), so it needs no locking of its own.
+	sink sinkState
+
+	mu       sync.Mutex
+	lastTS   time.Time
+	finished bool
+	one      [1]*tuple.Tuple // Publish scratch
+
+	finOnce sync.Once
+	finDone chan struct{}
+	finErr  error
+}
+
+// OpenSource registers a live source: tuples may be published and
+// subscribers may join as soon as the call returns. Source names are
+// unique for the broker's lifetime (a finished source keeps its name and
+// its result; reopening it is an error).
+func (b *Broker) OpenSource(name string, schema *tuple.Schema) (*Source, error) {
+	if name == "" {
+		return nil, fmt.Errorf("broker: empty source name")
+	}
+	if schema == nil {
+		return nil, fmt.Errorf("broker: nil schema for source %q", name)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, errClosed
+	}
+	if b.sources[name] != nil {
+		return nil, fmt.Errorf("broker: source %q already opened", name)
+	}
+	engine, err := core.NewDynamicEngine(b.cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.rt.AddSourceLive(name, engine); err != nil {
+		return nil, err
+	}
+	src := &Source{b: b, name: name, schema: schema, finDone: make(chan struct{})}
+	b.sources[name] = src
+	return src, nil
+}
+
+// Name returns the source name.
+func (s *Source) Name() string { return s.name }
+
+// Schema returns the advertised schema.
+func (s *Source) Schema() *tuple.Schema { return s.schema }
+
+// Publish enqueues one tuple for the source's shard, blocking under
+// backpressure until either ctx or the broker is done. Timestamps must
+// be strictly increasing and the tuple must use the advertised schema —
+// the same contract the networked server enforces at ingest.
+func (s *Source) Publish(ctx context.Context, t *tuple.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.one[0] = t
+	err := s.publishLocked(ctx, s.one[:])
+	s.one[0] = nil
+	return err
+}
+
+// PublishBatch publishes a run of tuples, crossing the shard boundary in
+// one synchronization when the ring has room. Per-source calls must be
+// serialized by the caller's use of one Source handle (the handle locks
+// internally). The slice is not retained.
+func (s *Source) PublishBatch(ctx context.Context, tuples []*tuple.Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.publishLocked(ctx, tuples)
+}
+
+func (s *Source) publishLocked(ctx context.Context, tuples []*tuple.Tuple) error {
+	if s.finished {
+		return fmt.Errorf("broker: source %q finished", s.name)
+	}
+	lastTS := s.lastTS
+	for _, t := range tuples {
+		if t == nil {
+			return fmt.Errorf("broker: nil tuple for source %q", s.name)
+		}
+		if !t.Schema().Equal(s.schema) {
+			return fmt.Errorf("broker: tuple %d does not use the schema %v advertised by source %q", t.Seq, s.schema, s.name)
+		}
+		if !t.TS.After(lastTS) {
+			return fmt.Errorf("broker: tuple %d timestamp %v not after previous %v", t.Seq, t.TS, lastTS)
+		}
+		lastTS = t.TS
+	}
+	// The timestamp cursor advances past every validated tuple even if
+	// the submit fails partway — mirroring the server, which has decoded
+	// (and may have enqueued) them by the time an error surfaces.
+	s.lastTS = lastTS
+	return s.b.rt.SubmitBatchContext(ctx, s.name, tuples)
+}
+
+// Sync is the publish barrier: when it returns, every previously
+// published tuple is ordered in the source's shard ring ahead of any
+// later membership change. The embedded publish path is synchronous, so
+// Sync only reports whether the source is still usable; the networked
+// transport gives it real work.
+func (s *Source) Sync(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finished {
+		return fmt.Errorf("broker: source %q finished", s.name)
+	}
+	return nil
+}
+
+// Finish ends the stream: the engine's Finish runs on the owning shard,
+// its tail is flushed to the subscribers, and their streams end. Finish
+// is idempotent; concurrent calls wait for the same completion. If ctx
+// expires first, finishing continues in the background and the
+// subscribers' streams still end once the tail has flushed.
+func (s *Source) Finish(ctx context.Context) error {
+	s.finOnce.Do(func() {
+		s.mu.Lock()
+		s.finished = true
+		s.mu.Unlock()
+		go func() {
+			err := s.b.rt.FinishSourceWait(s.name)
+			// The finish marker has been processed (or the runtime is
+			// gone), so no further sink flush can touch these
+			// subscriptions: their queues are complete and may be closed.
+			s.b.mu.Lock()
+			subs := s.b.subs[s.name]
+			delete(s.b.subs, s.name)
+			s.b.mu.Unlock()
+			for _, sub := range subs {
+				sub.finishStream()
+			}
+			s.finErr = err
+			close(s.finDone)
+		}()
+	})
+	select {
+	case <-s.finDone:
+		return s.finErr
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// AttachFilter joins a pre-built filter to a source's live group with no
+// delivery session: the engine coordinates it and its outputs appear in
+// the source's Result, but nothing is fanned out for it. The batch Run
+// wrappers in the facade use it to drive finite runs without a delivery
+// plane.
+func (b *Broker) AttachFilter(ctx context.Context, source string, f filter.Filter) error {
+	if f == nil {
+		return fmt.Errorf("broker: nil filter for source %q", source)
+	}
+	return b.rt.ControlContext(ctx, source, func(e *core.Engine) error { return e.AddFilter(f) })
+}
+
+// Sub is one live subscription: a bounded queue of deliveries between
+// the source's shard worker and the receiving application.
+type Sub struct {
+	b      *Broker
+	app    string
+	source string
+	schema *tuple.Schema
+	spec   quality.Spec
+
+	out chan Delivery
+	// fin signals end of stream (closed after the source's final flush,
+	// or at broker teardown); out itself is never closed, so a worker's
+	// in-flight send can never race the teardown. Buffered deliveries
+	// remain receivable after fin closes.
+	fin  chan struct{}
+	done chan struct{}
+
+	leaveOnce sync.Once
+	finOnce   sync.Once
+	dropped   atomic.Uint64
+}
+
+// Subscribe joins a source's live filter group with a quality
+// specification. The join is applied by the source's owning shard worker
+// at a tuple boundary: the subscriber sees exactly the tuples published
+// after Subscribe returns, and the group is re-derived without
+// disturbing the source's other subscribers. queue bounds the delivery
+// queue; 0 accepts the broker default, and requests are clamped to
+// Config.MaxSubscriberQueue.
+func (b *Broker) Subscribe(ctx context.Context, app, source string, spec quality.Spec, queue int) (*Sub, error) {
+	if app == "" {
+		return nil, fmt.Errorf("broker: empty app name")
+	}
+	if queue < 0 {
+		return nil, fmt.Errorf("broker: negative queue depth %d", queue)
+	}
+	f, err := spec.Build(app)
+	if err != nil {
+		return nil, err
+	}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, errClosed
+	}
+	src := b.sources[source]
+	if src == nil {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("broker: unknown source %q", source)
+	}
+	for _, attr := range spec.Attrs {
+		if !src.schema.Has(attr) {
+			b.mu.Unlock()
+			return nil, fmt.Errorf("broker: source %q has no attribute %q (schema %v)", source, attr, src.schema)
+		}
+	}
+	if b.subs[source][app] != nil {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("broker: app %q already subscribed to %q", app, source)
+	}
+	// The wire protocol labels every destination with a u8 count; the
+	// embedded broker mirrors the limit so a group accepted here stays
+	// deliverable over any transport.
+	if len(b.subs[source]) >= wire.MaxDestinations {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("broker: source %q already has %d subscribers (wire limit)", source, wire.MaxDestinations)
+	}
+	if queue <= 0 {
+		queue = b.cfg.SubscriberQueue
+	}
+	if queue > b.cfg.MaxSubscriberQueue {
+		queue = b.cfg.MaxSubscriberQueue
+	}
+	sub := &Sub{
+		b:      b,
+		app:    app,
+		source: source,
+		schema: src.schema,
+		spec:   spec,
+		out:    make(chan Delivery, queue),
+		fin:    make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if b.subs[source] == nil {
+		b.subs[source] = make(map[string]*Sub)
+	}
+	// Registered before the filter joins the group, so the first delivery
+	// the engine decides for this app finds its queue.
+	b.subs[source][app] = sub
+	src.subEpoch++
+	b.mu.Unlock()
+
+	err = b.rt.ControlContext(ctx, source, func(e *core.Engine) error { return e.AddFilter(f) })
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The cancelled wait may have left the AddFilter enqueued — it
+			// will still run at its tuple boundary. Retract it behind it
+			// (same ring, so the retraction is ordered after the join) so
+			// no ghost member coordinates the group; the registry entry —
+			// and with it the app name — is released only once the
+			// retraction settled.
+			go func() {
+				_ = b.rt.Control(source, func(e *core.Engine) error { return e.RemoveFilter(app) })
+				b.dropSubEntry(sub)
+			}()
+		} else {
+			b.dropSubEntry(sub)
+		}
+		return nil, fmt.Errorf("broker: joining group of %q: %w", source, err)
+	}
+	return sub, nil
+}
+
+// dropSubEntry removes a subscription from the registry (the engine side
+// has already been handled — or never joined).
+func (b *Broker) dropSubEntry(sub *Sub) {
+	b.mu.Lock()
+	if m := b.subs[sub.source]; m != nil && m[sub.app] == sub {
+		delete(m, sub.app)
+		if src := b.sources[sub.source]; src != nil {
+			src.subEpoch++
+		}
+	}
+	b.mu.Unlock()
+}
+
+// App returns the application name of this subscription.
+func (s *Sub) App() string { return s.app }
+
+// Source returns the subscribed source name.
+func (s *Sub) Source() string { return s.source }
+
+// Schema returns the source schema.
+func (s *Sub) Schema() *tuple.Schema { return s.schema }
+
+// Spec returns the parsed quality specification the subscription joined
+// with.
+func (s *Sub) Spec() quality.Spec { return s.spec }
+
+// QueueDepth returns the delivery queue depth in effect (the requested
+// depth after defaulting and clamping).
+func (s *Sub) QueueDepth() int { return cap(s.out) }
+
+// Dropped returns the deliveries lost to the drop slow-consumer policy
+// (or to departure).
+func (s *Sub) Dropped() uint64 { return s.dropped.Load() }
+
+// Recv blocks for the next delivery until ctx is done. It returns
+// ErrStreamEnded once the stream ends gracefully (the source finished,
+// the broker closed, or this subscription left the group).
+func (s *Sub) Recv(ctx context.Context) (Delivery, error) {
+	var d Delivery
+	err := s.RecvInto(ctx, &d)
+	return d, err
+}
+
+// RecvInto is Recv decoding into d. The embedded transport shares tuples
+// and label slices immutably, so unlike the networked RecvInto there is
+// no aliasing hazard; the variant exists so both transports satisfy one
+// interface with the allocation profile each can offer.
+func (s *Sub) RecvInto(ctx context.Context, d *Delivery) error {
+	deliver := func(dv Delivery) {
+		d.Tuple, d.Destinations = dv.Tuple, dv.Destinations
+		d.ReceivedAt = time.Now()
+	}
+	select {
+	case dv := <-s.out:
+		deliver(dv)
+		return nil
+	case <-s.fin:
+		// The stream has ended; drain what is still buffered before
+		// reporting the end.
+		select {
+		case dv := <-s.out:
+			deliver(dv)
+			return nil
+		default:
+			return ErrStreamEnded
+		}
+	case <-s.done:
+		return ErrStreamEnded
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close leaves the group: the subscription's filter is removed from the
+// live engine at a tuple boundary, re-deriving the group for the
+// remaining members, and later deliveries stop. Outputs the group still
+// owes the departed application decide normally; their labels are pruned
+// from the remaining subscribers' deliveries, exactly as on the wire.
+func (s *Sub) Close(ctx context.Context) error {
+	s.leaveOnce.Do(func() { close(s.done) })
+	s.b.mu.RLock()
+	registered := s.b.subs[s.source][s.app] == s
+	s.b.mu.RUnlock()
+	if !registered {
+		// Already detached — by eviction, a failed join's cleanup, or a
+		// previous Close; the engine no longer knows this member.
+		return nil
+	}
+	err := s.b.rt.ControlContext(ctx, s.source, func(e *core.Engine) error { return e.RemoveFilter(s.app) })
+	s.b.dropSubEntry(s)
+	if err != nil {
+		// The source may have finished (or the broker drained)
+		// concurrently; its teardown already retired the whole group.
+		if errors.Is(err, shard.ErrSourceFinished) || errors.Is(err, shard.ErrUnknownSource) || errors.Is(err, shard.ErrDrained) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// send enqueues one delivery under the slow-consumer policy. It is
+// called from shard workers; deliveries for one source arrive from one
+// worker at a time, in release order. A blocking send is bounded by
+// Config.EvictTimeout: a subscriber that cannot absorb a delivery
+// within it is evicted (marked departed and detached asynchronously),
+// exactly as the server disconnects a subscriber that cannot absorb a
+// frame within its write timeout — otherwise an abandoned subscription
+// would park the worker forever.
+func (s *Sub) send(d Delivery) {
+	select {
+	case <-s.done:
+		s.dropped.Add(1)
+		return
+	default:
+	}
+	if s.b.cfg.Policy == Drop {
+		select {
+		case s.out <- d:
+		default:
+			s.dropped.Add(1)
+		}
+		return
+	}
+	select {
+	case s.out <- d:
+		return
+	case <-s.done:
+		s.dropped.Add(1)
+		return
+	default:
+	}
+	if s.b.cfg.EvictTimeout < 0 {
+		select {
+		case s.out <- d:
+		case <-s.done:
+			s.dropped.Add(1)
+		}
+		return
+	}
+	t := time.NewTimer(s.b.cfg.EvictTimeout)
+	defer t.Stop()
+	select {
+	case s.out <- d:
+	case <-s.done:
+		s.dropped.Add(1)
+	case <-t.C:
+		s.dropped.Add(1)
+		s.leaveOnce.Do(func() { close(s.done) })
+		// The engine-side detach must not run on this worker (Control
+		// would enqueue into the very ring this worker drains); hand it
+		// to a goroutine, as the server hands removal to its session
+		// goroutines.
+		go func() {
+			err := s.b.rt.Control(s.source, func(e *core.Engine) error { return e.RemoveFilter(s.app) })
+			_ = err // the source may already be finishing; teardown retires the group
+			s.b.dropSubEntry(s)
+		}()
+	}
+}
+
+// finishStream marks the end of the stream after the source's last
+// flush: pending deliveries remain receivable, then Recv returns
+// ErrStreamEnded. The delivery channel itself is never closed, so even
+// an aborted teardown racing a blocked sink send stays safe.
+func (s *Sub) finishStream() {
+	s.finOnce.Do(func() { close(s.fin) })
+}
+
+// sink receives batched released transmissions from the shard workers
+// and fans each out to the live subscriptions named in its destination
+// list. Per-source calls are serialized by the owning worker, so each
+// subscription's stream arrives in release order. The live-target cache
+// mirrors the server's sink: targets and labels are recomputed only when
+// the membership epoch or the destination pattern changes.
+func (b *Broker) sink(batch []shard.Out) {
+	for i := range batch {
+		o := &batch[i]
+		b.mu.RLock()
+		src := b.sources[o.Source]
+		var targets []*Sub
+		var labels []string
+		if src != nil {
+			st := &src.sink
+			if st.epoch != src.subEpoch || !slices.Equal(st.inDests, o.Tr.Destinations) {
+				st.epoch, st.inDests = src.subEpoch, o.Tr.Destinations
+				// Fresh slices on recompute: queued Deliveries alias the
+				// previous labels slice, which must stay immutable.
+				st.targets, st.labels = nil, nil
+				for _, app := range o.Tr.Destinations {
+					if sub := b.subs[o.Source][app]; sub != nil {
+						st.targets = append(st.targets, sub)
+						st.labels = append(st.labels, app)
+					}
+				}
+			}
+			targets, labels = st.targets, st.labels
+		}
+		b.mu.RUnlock()
+		for _, sub := range targets {
+			sub.send(Delivery{Tuple: o.Tr.Tuple, Destinations: labels})
+		}
+	}
+}
+
+// Close drains the broker: open sources are finished (flushing their
+// tails through their subscribers), the shard runtime drains, and every
+// remaining subscription stream ends. ctx bounds the graceful drain; on
+// expiry the runtime is cancelled and the remaining work aborted.
+// Publishes racing Close fail with an error rather than being silently
+// dropped.
+func (b *Broker) Close(ctx context.Context) error {
+	b.closeOnce.Do(func() { b.closeErr = b.close(ctx) })
+	return b.closeErr
+}
+
+func (b *Broker) close(ctx context.Context) error {
+	b.mu.Lock()
+	b.closed = true
+	srcs := make([]*Source, 0, len(b.sources))
+	for _, src := range b.sources {
+		srcs = append(srcs, src)
+	}
+	b.mu.Unlock()
+
+	done := make(chan error, 1)
+	go func() {
+		var errs []error
+		for _, src := range srcs {
+			src.mu.Lock()
+			finished := src.finished
+			src.mu.Unlock()
+			if finished {
+				continue
+			}
+			if err := src.Finish(context.Background()); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if err := b.rt.Drain(); err != nil {
+			errs = append(errs, err)
+		}
+		done <- errors.Join(errs...)
+	}()
+
+	var drainErr error
+	aborted := false
+	select {
+	case drainErr = <-done:
+	case <-ctx.Done():
+		// Hard abort: cancel the runtime so blocked feeds, controls and
+		// finish waits unwind, and mark every subscription departed so a
+		// worker parked in a blocking send (full queue, no consumer) is
+		// released — context cancellation alone cannot reach it.
+		aborted = true
+		b.cancel()
+		b.leaveAll()
+		drainErr = <-done
+	}
+	b.cancel()
+
+	// Workers are gone, so no sink flush can race these closes; any
+	// subscription still open gets its stream ended.
+	b.mu.Lock()
+	var rest []*Sub
+	for _, m := range b.subs {
+		for _, sub := range m {
+			rest = append(rest, sub)
+		}
+	}
+	b.subs = make(map[string]map[string]*Sub)
+	b.mu.Unlock()
+	for _, sub := range rest {
+		sub.finishStream()
+	}
+	if aborted {
+		// The abort cancelled the runtime on purpose; surfacing the
+		// cancellation itself would make every bounded Close fail.
+		return stripCtxErrs(drainErr)
+	}
+	return drainErr
+}
+
+// leaveAll marks every subscription departed, releasing any shard worker
+// blocked on a full delivery queue.
+func (b *Broker) leaveAll() {
+	b.mu.RLock()
+	var all []*Sub
+	for _, m := range b.subs {
+		for _, sub := range m {
+			all = append(all, sub)
+		}
+	}
+	b.mu.RUnlock()
+	for _, sub := range all {
+		sub.leaveOnce.Do(func() { close(sub.done) })
+	}
+}
+
+// stripCtxErrs removes context-cancellation errors from a (possibly
+// joined) error tree, keeping real failures.
+func stripCtxErrs(err error) error {
+	if err == nil {
+		return nil
+	}
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		var keep []error
+		for _, e := range joined.Unwrap() {
+			if e = stripCtxErrs(e); e != nil {
+				keep = append(keep, e)
+			}
+		}
+		return errors.Join(keep...)
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,41 @@
+package quality
+
+import (
+	"testing"
+)
+
+// FuzzSpecRoundTrip asserts the lossless-relay invariant over arbitrary
+// input: any text Parse accepts must render (String) to a text that
+// parses back to the identical Spec. The seeds cover every kind, the
+// paper's short form, whitespace/case normalization, fractional SS
+// intervals and prescription tokens.
+func FuzzSpecRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"DC1(fluoro, 0.0301, 0.0150)",
+		"DC(fluoro, 1, 0.5)",
+		"DC2(fluoro, 11.59, 5.79)",
+		"DC3(tmpr2, tmpr4, tmpr6, 0.03, 0.015)",
+		"SS(tmpr4, 1000, 0.15, 50, 20)",
+		"SS(tmpr4, 0.5, 0.15, 50, 20, top)",
+		"SS(tmpr4, 1234.25, 0.15, 50, 20, bottom)",
+		"SDC(tmpr4, 0.03, 0.015)",
+		"  dc1( fluoro , 1 , 0.5 ) ",
+		"DC1(a, 1e-300, 5e300)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		sp, err := Parse(text)
+		if err != nil {
+			return // malformed input is fine; only accepted specs must relay
+		}
+		rendered := sp.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but re-Parse(%q) failed: %v", text, rendered, err)
+		}
+		if !again.Equal(sp) {
+			t.Fatalf("round trip changed spec:\n input    %q\n rendered %q\n before   %+v\n after    %+v", text, rendered, sp, again)
+		}
+	})
+}

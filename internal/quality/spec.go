@@ -8,6 +8,7 @@ package quality
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -62,18 +63,49 @@ type Spec struct {
 	Prescription    filter.Prescription
 }
 
-// String renders the spec in the paper's notation.
+// fnum renders a float with the shortest representation that parses back
+// to exactly the same value, so rendered specs relay losslessly.
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// String renders the spec in the paper's notation. The rendering is
+// lossless: ParseSpec(s.String()) reproduces s exactly (numbers use the
+// shortest round-trippable form, the SS interval is fractional
+// milliseconds, and a non-default SS prescription is appended as a
+// trailing top/bottom token), so specs can be relayed through the
+// broker API and the wire protocol without drift.
 func (s Spec) String() string {
 	switch s.Kind {
 	case DC1, DC2, SDC:
-		return fmt.Sprintf("%s(%s, %.4g, %.4g)", s.Kind, s.Attrs[0], s.Delta, s.Slack)
+		return fmt.Sprintf("%s(%s, %s, %s)", s.Kind, s.Attrs[0], fnum(s.Delta), fnum(s.Slack))
 	case DC3:
-		return fmt.Sprintf("DC3(%s, %.4g, %.4g)", strings.Join(s.Attrs, ", "), s.Delta, s.Slack)
+		return fmt.Sprintf("DC3(%s, %s, %s)", strings.Join(s.Attrs, ", "), fnum(s.Delta), fnum(s.Slack))
 	case SS:
-		return fmt.Sprintf("SS(%s, %d, %.4g, %g, %g)", s.Attrs[0], s.Interval.Milliseconds(), s.Threshold, s.HighPct, s.LowPct)
+		ms := float64(s.Interval) / float64(time.Millisecond)
+		base := fmt.Sprintf("SS(%s, %s, %s, %s, %s", s.Attrs[0], fnum(ms), fnum(s.Threshold), fnum(s.HighPct), fnum(s.LowPct))
+		if s.Prescription != filter.Random {
+			return base + ", " + s.Prescription.String() + ")"
+		}
+		return base + ")"
 	default:
 		return fmt.Sprintf("Spec(%d)", int(s.Kind))
 	}
+}
+
+// Equal reports whether two specs describe the same filter, field for
+// field. It is the equality the String/Parse round-trip preserves.
+func (s Spec) Equal(o Spec) bool {
+	if s.Kind != o.Kind || s.Delta != o.Delta || s.Slack != o.Slack ||
+		s.Interval != o.Interval || s.Threshold != o.Threshold ||
+		s.HighPct != o.HighPct || s.LowPct != o.LowPct ||
+		s.Prescription != o.Prescription || len(s.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for i := range s.Attrs {
+		if s.Attrs[i] != o.Attrs[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Build instantiates the group-aware filter described by the spec.
@@ -144,6 +176,21 @@ func Parse(text string) (Spec, error) {
 	for _, a := range strings.Split(text[open+1:len(text)-1], ",") {
 		args = append(args, strings.TrimSpace(a))
 	}
+	sp := Spec{Kind: kind}
+	// An SS spec may end with an output prescription token (top, bottom,
+	// or the default random).
+	if kind == SS && len(args) > 0 {
+		switch strings.ToLower(args[len(args)-1]) {
+		case "random":
+			args = args[:len(args)-1]
+		case "top":
+			sp.Prescription = filter.Top
+			args = args[:len(args)-1]
+		case "bottom":
+			sp.Prescription = filter.Bottom
+			args = args[:len(args)-1]
+		}
+	}
 	// Split leading attribute names from trailing numbers.
 	numStart := len(args)
 	for i, a := range args {
@@ -159,9 +206,12 @@ func Parse(text string) (Spec, error) {
 		if err != nil {
 			return Spec{}, fmt.Errorf("quality: bad numeric argument %q in %q", a, text)
 		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Spec{}, fmt.Errorf("quality: non-finite argument %q in %q", a, text)
+		}
 		nums = append(nums, v)
 	}
-	sp := Spec{Kind: kind, Attrs: attrs}
+	sp.Attrs = attrs
 	switch kind {
 	case DC1, DC2, SDC:
 		if len(attrs) != 1 || len(nums) != 2 {
@@ -175,9 +225,15 @@ func Parse(text string) (Spec, error) {
 		sp.Delta, sp.Slack = nums[0], nums[1]
 	case SS:
 		if len(attrs) != 1 || len(nums) != 4 {
-			return Spec{}, fmt.Errorf("quality: SS needs (attr, intervalMs, threshold, highPct, lowPct): %q", text)
+			return Spec{}, fmt.Errorf("quality: SS needs (attr, intervalMs, threshold, highPct, lowPct[, top|bottom|random]): %q", text)
 		}
-		sp.Interval = time.Duration(nums[0] * float64(time.Millisecond))
+		// Bounded so the ms <-> ns conversion round-trips exactly (the
+		// product stays well under 2^50 ns, where one float64 rounding
+		// step is still smaller than half a nanosecond).
+		if nums[0] <= 0 || nums[0] > 1e9 {
+			return Spec{}, fmt.Errorf("quality: SS interval %gms out of range (0, 1e9]: %q", nums[0], text)
+		}
+		sp.Interval = time.Duration(math.Round(nums[0] * float64(time.Millisecond)))
 		sp.Threshold, sp.HighPct, sp.LowPct = nums[1], nums[2], nums[3]
 	}
 	return sp, nil

@@ -1,11 +1,14 @@
 package quality
 
 import (
+	"math"
+	"math/rand"
 	"strings"
 	"testing"
 	"time"
 
 	"gasf/internal/core"
+	"gasf/internal/filter"
 	"gasf/internal/trace"
 	"gasf/internal/tuple"
 )
@@ -42,6 +45,88 @@ func TestParseRoundTrip(t *testing.T) {
 				t.Errorf("round trip changed spec: %+v vs %+v", sp, again)
 			}
 		})
+	}
+}
+
+// TestSpecStringRoundTripProperty is the lossless-relay property: for
+// randomized specs across every kind, parameter range and prescription,
+// Parse(s.String()) reproduces s exactly. The broker API and the wire
+// protocol relay specs as strings, so any loss here would silently
+// change a subscription's quality contract in transit.
+func TestSpecStringRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260730))
+	attrs := []string{"fluoro", "tmpr2", "tmpr4", "tmpr6", "E-orient", "hrr q"}
+	randFloat := func() float64 {
+		// Mix magnitudes: subnormal-ish through large, many digits.
+		v := (rng.Float64() - 0.3) * math.Pow(10, float64(rng.Intn(13)-6))
+		if rng.Intn(8) == 0 {
+			v = math.Float64frombits(rng.Uint64() & 0x7fefffffffffffff) // any finite positive
+		}
+		return v
+	}
+	for i := 0; i < 500; i++ {
+		var sp Spec
+		switch rng.Intn(5) {
+		case 0:
+			sp = Spec{Kind: DC1}
+		case 1:
+			sp = Spec{Kind: DC2}
+		case 2:
+			sp = Spec{Kind: SDC}
+		case 3:
+			sp = Spec{Kind: DC3, Attrs: []string{attrs[rng.Intn(len(attrs))], attrs[rng.Intn(len(attrs))]}}
+		default:
+			sp = Spec{
+				Kind:         SS,
+				Interval:     time.Duration(1+rng.Int63n(int64(1e15))) * time.Nanosecond,
+				Threshold:    randFloat(),
+				HighPct:      randFloat(),
+				LowPct:       randFloat(),
+				Prescription: []filter.Prescription{filter.Random, filter.Top, filter.Bottom}[rng.Intn(3)],
+			}
+		}
+		if len(sp.Attrs) == 0 {
+			sp.Attrs = []string{attrs[rng.Intn(len(attrs))]}
+		}
+		if sp.Kind != SS {
+			sp.Delta, sp.Slack = randFloat(), randFloat()
+		}
+		text := sp.String()
+		again, err := Parse(text)
+		if err != nil {
+			t.Fatalf("case %d: Parse(%q): %v (from %+v)", i, text, err, sp)
+		}
+		if !again.Equal(sp) {
+			t.Fatalf("case %d: round trip changed spec:\n rendered %q\n before %+v\n after  %+v", i, text, sp, again)
+		}
+	}
+}
+
+// TestParsePrescriptionToken pins the trailing SS prescription token.
+func TestParsePrescriptionToken(t *testing.T) {
+	sp, err := Parse("SS(tmpr4, 1000, 0.15, 50, 20, top)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Prescription != filter.Top {
+		t.Errorf("Prescription = %v, want top", sp.Prescription)
+	}
+	sp, err = Parse("SS(tmpr4, 1000, 0.15, 50, 20, Bottom)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Prescription != filter.Bottom {
+		t.Errorf("Prescription = %v, want bottom", sp.Prescription)
+	}
+	sp, err = Parse("SS(tmpr4, 1000, 0.15, 50, 20, random)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Prescription != filter.Random {
+		t.Errorf("Prescription = %v, want random", sp.Prescription)
+	}
+	if sp.String() != "SS(tmpr4, 1000, 0.15, 50, 20)" {
+		t.Errorf("random prescription should render in canonical form, got %q", sp.String())
 	}
 }
 

@@ -2,8 +2,11 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -11,6 +14,39 @@ import (
 	"gasf/internal/tuple"
 	"gasf/internal/wire"
 )
+
+// withConnCtx runs one blocking connection operation under a context: if
+// ctx fires mid-operation, an immediate deadline is armed on the
+// connection so the operation unblocks, and the context error is
+// reported instead of the deadline error. The fast path — a context that
+// can never fire — costs nothing. set must arm the deadline relevant to
+// op (read, write, or both).
+func withConnCtx(ctx context.Context, set func(time.Time) error, op func() error) error {
+	if ctx == nil || ctx.Done() == nil {
+		return op()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	fired := make(chan struct{})
+	stop := context.AfterFunc(ctx, func() {
+		set(time.Unix(1, 0))
+		close(fired)
+	})
+	err := op()
+	if !stop() {
+		// The cancel func has started (perhaps after op finished); wait
+		// for its deadline write to land before disarming, or the
+		// disarm could be overwritten and poison every later call on
+		// the session.
+		<-fired
+		set(time.Time{})
+		if cerr := ctx.Err(); cerr != nil && err != nil {
+			return cerr
+		}
+	}
+	return err
+}
 
 // dialHello dials the server, sends one hello frame, and waits for the
 // hello-ok (or error) answer, returning the ok payload.
@@ -52,21 +88,28 @@ type Publisher struct {
 	schema *tuple.Schema
 	source string
 
-	mu     sync.Mutex
-	buf    []byte
-	lastTS time.Time
-	seq    int64
-	closed bool
+	mu      sync.Mutex
+	buf     []byte
+	lastTS  time.Time
+	seq     int64
+	pingSeq uint64
+	closed  bool
 }
 
 // DialPublisher opens a source session. The schema travels in the
 // handshake; every published tuple must use it.
 func DialPublisher(addr, source string, schema *tuple.Schema) (*Publisher, error) {
+	return DialPublisherTimeout(addr, source, schema, 0)
+}
+
+// DialPublisherTimeout is DialPublisher with an explicit dial-plus-
+// handshake timeout; 0 means the 5s default.
+func DialPublisherTimeout(addr, source string, schema *tuple.Schema, timeout time.Duration) (*Publisher, error) {
 	hello, err := EncodeSourceHello(source, schema)
 	if err != nil {
 		return nil, err
 	}
-	conn, _, err := dialHello(addr, FrameSourceHello, hello, 0)
+	conn, _, err := dialHello(addr, FrameSourceHello, hello, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -184,6 +227,102 @@ func (p *Publisher) PublishNowBatch(values [][]float64) error {
 	return nil
 }
 
+// PublishBatch publishes a run of caller-timestamped tuples with a
+// single write: the frames are encoded back to back into the recycled
+// buffer and cross the network — and, server-side, the shard ring — as
+// one burst. Timestamps must be strictly increasing across the batch and
+// after the previous publish; a bad tuple leaves the session exactly as
+// it was (all-or-nothing, like Publish). The slice is not retained.
+func (p *Publisher) PublishBatch(tuples []*tuple.Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("server: publisher closed")
+	}
+	lastTS := p.lastTS
+	buf := p.buf[:0]
+	for _, t := range tuples {
+		if t == nil {
+			return fmt.Errorf("server: nil tuple in batch")
+		}
+		if !t.TS.After(lastTS) {
+			return fmt.Errorf("server: tuple %d timestamp %v not after previous %v", t.Seq, t.TS, lastTS)
+		}
+		// Frames after the first do not start at buf[0], so the length
+		// patch is frame-relative rather than via beginFrame/endFrame.
+		start := len(buf)
+		buf = append(buf, FrameTuple, 0, 0, 0, 0)
+		var err error
+		if buf, err = wire.AppendTuple(buf, t); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(buf[start+1:], uint32(len(buf)-start-frameHeaderLen))
+		lastTS = t.TS
+	}
+	p.buf = buf
+	if _, err := p.conn.Write(p.buf); err != nil {
+		return fmt.Errorf("server: publishing batch: %w", err)
+	}
+	p.lastTS = lastTS
+	return nil
+}
+
+// PublishContext is Publish bounded by ctx (the write unblocks when ctx
+// fires).
+func (p *Publisher) PublishContext(ctx context.Context, t *tuple.Tuple) error {
+	return withConnCtx(ctx, p.conn.SetWriteDeadline, func() error { return p.Publish(t) })
+}
+
+// PublishBatchContext is PublishBatch bounded by ctx.
+func (p *Publisher) PublishBatchContext(ctx context.Context, tuples []*tuple.Tuple) error {
+	return withConnCtx(ctx, p.conn.SetWriteDeadline, func() error { return p.PublishBatch(tuples) })
+}
+
+// Sync is the publish barrier: it sends a ping and blocks until the
+// server's pong, which the server only sends after submitting every
+// previously published tuple to the shard runtime. When Sync returns,
+// a membership change applied afterwards (a Subscribe or a subscriber
+// departure) is ordered behind those tuples at the engine. It returns
+// ErrStreamEnded if the server is draining.
+func (p *Publisher) Sync(ctx context.Context) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("server: publisher closed")
+	}
+	p.pingSeq++
+	var nonce [8]byte
+	binary.LittleEndian.PutUint64(nonce[:], p.pingSeq)
+	return withConnCtx(ctx, p.conn.SetDeadline, func() error {
+		if err := WriteFrame(p.conn, FramePing, nonce[:]); err != nil {
+			return fmt.Errorf("server: sending ping: %w", err)
+		}
+		for {
+			kind, payload, err := ReadFrame(p.conn)
+			if err != nil {
+				return fmt.Errorf("server: awaiting pong: %w", err)
+			}
+			switch kind {
+			case FramePong:
+				if len(payload) == len(nonce) && [8]byte(payload) == nonce {
+					return nil
+				}
+				// A stale pong from an earlier timed-out Sync; keep
+				// waiting for ours.
+			case FrameGoodbye:
+				return ErrStreamEnded
+			case FrameError:
+				return fmt.Errorf("server: remote error: %s", payload)
+			default:
+				return fmt.Errorf("server: unexpected frame kind %d awaiting pong", kind)
+			}
+		}
+	})
+}
+
 // Heartbeat tells the server the source is alive during a lull, resetting
 // its flow-gap timer.
 func (p *Publisher) Heartbeat() error {
@@ -249,11 +388,17 @@ func DialSubscriber(addr, app, source, spec string) (*Subscriber, error) {
 // buffers before its slow-consumer policy applies); 0 accepts the server
 // default.
 func DialSubscriberBuffered(addr, app, source, spec string, queue int) (*Subscriber, error) {
+	return DialSubscriberTimeout(addr, app, source, spec, queue, 0)
+}
+
+// DialSubscriberTimeout is DialSubscriberBuffered with an explicit
+// dial-plus-handshake timeout; 0 means the 5s default.
+func DialSubscriberTimeout(addr, app, source, spec string, queue int, timeout time.Duration) (*Subscriber, error) {
 	hello, err := EncodeSubHello(app, source, spec, queue)
 	if err != nil {
 		return nil, err
 	}
-	conn, payload, err := dialHello(addr, FrameSubHello, hello, 0)
+	conn, payload, err := dialHello(addr, FrameSubHello, hello, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -371,6 +516,23 @@ func (c *Subscriber) intern(b []byte) string {
 	return s
 }
 
+// RecvContext is Recv bounded by ctx (the blocking read unblocks when
+// ctx fires).
+func (c *Subscriber) RecvContext(ctx context.Context) (*Delivery, error) {
+	var d *Delivery
+	err := withConnCtx(ctx, c.conn.SetReadDeadline, func() error {
+		var e error
+		d, e = c.Recv()
+		return e
+	})
+	return d, err
+}
+
+// RecvIntoContext is RecvInto bounded by ctx.
+func (c *Subscriber) RecvIntoContext(ctx context.Context, d *Delivery) error {
+	return withConnCtx(ctx, c.conn.SetReadDeadline, func() error { return c.RecvInto(d) })
+}
+
 // Close leaves the group: the server removes this application's filter,
 // re-deriving the group for the remaining members.
 func (c *Subscriber) Close() error {
@@ -382,6 +544,56 @@ func (c *Subscriber) Close() error {
 	c.closed = true
 	_ = WriteFrame(c.conn, FrameGoodbye, nil)
 	return c.conn.Close()
+}
+
+// Leave is Close that waits for the server's acknowledgment: it sends
+// the goodbye, then drains (and discards) the remaining stream until the
+// server's final goodbye, which the server writes only after this
+// application's filter has left the live group at a tuple boundary. When
+// Leave returns nil, the group has been re-derived without this member.
+// Leave must not race a concurrent Recv on the same session.
+func (c *Subscriber) Leave(ctx context.Context) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := withConnCtx(ctx, c.conn.SetDeadline, func() error {
+		if err := WriteFrame(c.conn, FrameGoodbye, nil); err != nil {
+			// The server already tore the session down (stream ended or
+			// drained); there is no group membership left to wait on.
+			return nil
+		}
+		for {
+			kind, payload, err := ReadFrameInto(c.br, c.buf)
+			c.buf = payload[:cap(payload)]
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					// The server closes without an ack when the stream
+					// already ended server-side; the group is re-derived
+					// either way.
+					return nil
+				}
+				return fmt.Errorf("server: awaiting departure ack: %w", err)
+			}
+			switch kind {
+			case FrameGoodbye:
+				return nil
+			case FrameError:
+				return fmt.Errorf("server: remote error: %s", payload)
+			default:
+				// Transmissions and heartbeats still in flight are
+				// discarded; the application is leaving.
+			}
+		}
+	})
+	cerr := c.conn.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
 }
 
 // ErrStreamEnded reports a graceful end of a subscription stream.

@@ -21,7 +21,11 @@
 // to the advertised schema) interleaved with heartbeats; a subscriber
 // receives transmission frames (wire transmission encoding: destination
 // labels + tuple) and heartbeats. Goodbye announces a graceful end of
-// stream in either direction.
+// stream in either direction. A source may interleave ping frames: the
+// server answers each with a pong once every earlier tuple has been
+// submitted to the shard runtime (the Sync barrier). A subscriber that
+// sends its goodbye receives a final goodbye back once its filter has
+// left the live group, so a departure can be awaited.
 package server
 
 import (
@@ -53,6 +57,15 @@ const (
 	FrameHeartbeat byte = 7
 	// FrameGoodbye announces a graceful end of stream.
 	FrameGoodbye byte = 8
+	// FramePing is a publish barrier (source -> server): the server
+	// submits every tuple received before it to the shard ring, then
+	// echoes the payload back in a FramePong. When the pong arrives, the
+	// pinged tuples are ordered ahead of any membership change a later
+	// subscribe or unsubscribe applies — the ordering guarantee behind
+	// Source.Sync in the unified broker API.
+	FramePing byte = 9
+	// FramePong answers a FramePing with the same payload.
+	FramePong byte = 10
 )
 
 // MaxFramePayload bounds a frame payload; larger frames are rejected as

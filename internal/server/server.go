@@ -473,6 +473,22 @@ func (s *Server) readSource(src *sourceSession) {
 			src.lastSeen.store(time.Now())
 			s.ctr.heartbeatsIn.Add(1)
 			continue
+		case FramePing:
+			// Publish barrier: everything read before the ping goes to the
+			// shard ring before the pong leaves, so a client that has seen
+			// the pong knows later membership changes order after those
+			// tuples.
+			src.lastSeen.store(time.Now())
+			if err := submit(); err != nil {
+				readErr = err
+				break
+			}
+			src.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			if err := WriteFrame(src.conn, FramePong, payload); err != nil {
+				readErr = fmt.Errorf("answering ping: %w", err)
+				break
+			}
+			continue
 		case FrameGoodbye:
 		default:
 			readErr = fmt.Errorf("unexpected frame kind %d from source", kind)

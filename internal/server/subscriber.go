@@ -37,21 +37,26 @@ type subscriber struct {
 	out chan *frameBatch
 	// done is closed when the subscriber leaves (client disconnect or
 	// removal), releasing any sink send blocked on a full queue.
-	done      chan struct{}
-	leaveOnce sync.Once
-	finOnce   sync.Once
+	done chan struct{}
+	// writerDone is closed when writeLoop exits; the read side waits on
+	// it before writing the departure ack, so the two goroutines never
+	// interleave writes on the connection.
+	writerDone chan struct{}
+	leaveOnce  sync.Once
+	finOnce    sync.Once
 
 	dropped atomic.Uint64
 }
 
 func newSubscriber(s *Server, app, source string, conn net.Conn, queue int) *subscriber {
 	return &subscriber{
-		s:      s,
-		app:    app,
-		source: source,
-		conn:   conn,
-		out:    make(chan *frameBatch, queue),
-		done:   make(chan struct{}),
+		s:          s,
+		app:        app,
+		source:     source,
+		conn:       conn,
+		out:        make(chan *frameBatch, queue),
+		done:       make(chan struct{}),
+		writerDone: make(chan struct{}),
 	}
 }
 
@@ -180,16 +185,19 @@ func (e *egress) flush(sub *subscriber) error {
 // batches — coalescing whatever is already queued into one vectored
 // write instead of one syscall (or one buffer copy) per frame —
 // heartbeats when idle, and finishes with a goodbye when the stream
-// ends.
+// ends. On an externally initiated departure (done closed by readLoop's
+// removal) it exits without closing the connection: the read side still
+// owes the client its departure ack.
 func (sub *subscriber) writeLoop() {
 	defer sub.s.connWG.Done()
-	defer sub.conn.Close()
+	defer close(sub.writerDone)
 	defer sub.drainQueued()
 	var e egress
 	goodbye := func() {
 		sub.conn.SetWriteDeadline(time.Now().Add(sub.s.cfg.WriteTimeout))
 		_ = WriteFrame(sub.conn, FrameGoodbye, nil)
 		sub.leave()
+		sub.conn.Close()
 	}
 	hb := time.NewTicker(sub.s.cfg.HeartbeatInterval)
 	defer hb.Stop()
@@ -222,6 +230,7 @@ func (sub *subscriber) writeLoop() {
 			}
 			if err := e.flush(sub); err != nil {
 				sub.s.removeSubscriber(sub)
+				sub.conn.Close()
 				return
 			}
 			if closed {
@@ -232,6 +241,7 @@ func (sub *subscriber) writeLoop() {
 			sub.conn.SetWriteDeadline(time.Now().Add(sub.s.cfg.WriteTimeout))
 			if err := WriteFrame(sub.conn, FrameHeartbeat, nil); err != nil {
 				sub.s.removeSubscriber(sub)
+				sub.conn.Close()
 				return
 			}
 		}
@@ -240,6 +250,10 @@ func (sub *subscriber) writeLoop() {
 
 // readLoop consumes the client's side of the session until it leaves
 // (goodbye or disconnect); client heartbeats are permitted and ignored.
+// A client-initiated departure is acknowledged with a final goodbye
+// written only after the filter has left the live group and the writer
+// has stopped — a client that waits for the ack (Leave) knows its
+// removal has been applied at a tuple boundary.
 func (sub *subscriber) readLoop() {
 	br := bufio.NewReaderSize(sub.conn, 4<<10)
 	var buf []byte
@@ -259,6 +273,9 @@ func (sub *subscriber) readLoop() {
 		// shutdown); the registry entry is gone.
 	default:
 		sub.s.removeSubscriber(sub)
+		<-sub.writerDone
+		sub.conn.SetWriteDeadline(time.Now().Add(sub.s.cfg.WriteTimeout))
+		_ = WriteFrame(sub.conn, FrameGoodbye, nil)
 	}
 	sub.conn.Close()
 }

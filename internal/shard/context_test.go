@@ -1,0 +1,182 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gasf/internal/core"
+	"gasf/internal/filter"
+	"gasf/internal/trace"
+	"gasf/internal/tuple"
+)
+
+// wedgedRuntime builds a 1-shard runtime whose worker is parked inside a
+// control function until release is closed. With queue 1 the ring is
+// also filled, so producers block; a larger queue leaves room for more
+// tasks behind the parked worker.
+func wedgedRuntime(t *testing.T, queue int) (*Runtime, *tuple.Series, chan struct{}) {
+	t.Helper()
+	f, err := filter.NewDC1("app", "temperature", 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := New(Config{Shards: 1, QueueDepth: queue})
+	if err := rt.AddGroup("src", []filter.Filter{f}, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	go func() {
+		_ = rt.Control("src", func(*core.Engine) error {
+			close(entered)
+			<-release
+			return nil
+		})
+	}()
+	<-entered
+	sr := trace.PaperExample()
+	// One tuple behind the parked worker (fills a single-slot ring).
+	if err := rt.Feed("src", sr.At(0)); err != nil {
+		t.Fatal(err)
+	}
+	return rt, sr, release
+}
+
+// TestSubmitBatchContextDeadline proves a producer blocked on a full
+// ring honors its own deadline: the submit returns DeadlineExceeded
+// while the runtime stays healthy, and feeding resumes once the shard
+// unwedges.
+func TestSubmitBatchContextDeadline(t *testing.T) {
+	rt, sr, release := wedgedRuntime(t, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := rt.SubmitBatchContext(ctx, "src", []*tuple.Tuple{sr.At(1), sr.At(2)})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked submit returned %v, want deadline exceeded", err)
+	}
+	close(release)
+	// The runtime survived the cancelled submit: the remaining tuples
+	// still flow and the drain settles clean.
+	for i := 3; i < sr.Len(); i++ {
+		if err := rt.SubmitBatchContext(context.Background(), "src", []*tuple.Tuple{sr.At(i)}); err != nil {
+			t.Fatalf("submit after cancel: %v", err)
+		}
+	}
+	if err := rt.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	res := rt.Results()["src"]
+	if res.Stats.Inputs == 0 {
+		t.Error("no tuples processed after recovered submit")
+	}
+	snaps := rt.Metrics()
+	var dropped uint64
+	for _, s := range snaps {
+		dropped += s.Dropped
+	}
+	if dropped == 0 {
+		t.Error("cancelled submit should count its unpushed tuples as dropped")
+	}
+}
+
+// TestControlContextDeadline proves a caller waiting on an enqueued
+// control can stop waiting without wedging the runtime — and that the
+// abandoned control still runs at its tuple boundary afterwards. The
+// queue has room, so the control enqueues; only the wait is cancelled.
+func TestControlContextDeadline(t *testing.T) {
+	rt, _, release := wedgedRuntime(t, 8)
+	ran := make(chan struct{})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := rt.ControlContext(ctx, "src", func(*core.Engine) error {
+		close(ran)
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked control returned %v, want deadline exceeded", err)
+	}
+	close(release)
+	select {
+	case <-ran:
+		// The abandoned control still executed once the worker caught up.
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned control never ran")
+	}
+	if err := rt.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestControlContextBlockedEnqueue proves a control whose enqueue itself
+// is cancelled (full ring) reports the deadline and never runs.
+func TestControlContextBlockedEnqueue(t *testing.T) {
+	rt, _, release := wedgedRuntime(t, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := rt.ControlContext(ctx, "src", func(*core.Engine) error {
+		t.Error("cancelled enqueue must not run the control")
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked enqueue returned %v, want deadline exceeded", err)
+	}
+	close(release)
+	if err := rt.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestFinishSourceWaitContext covers the bounded finish wait: with the
+// single-slot ring full behind the wedged worker, even the finish
+// marker's enqueue blocks, and the deadline must still get the caller
+// out.
+func TestFinishSourceWaitContext(t *testing.T) {
+	rt, _, release := wedgedRuntime(t, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := rt.FinishSourceWaitContext(ctx, "src"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked finish wait returned %v, want deadline exceeded", err)
+	}
+	close(release)
+	if err := rt.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestSentinelErrors pins the errors.Is contract layered brokers rely
+// on.
+func TestSentinelErrors(t *testing.T) {
+	rt := New(Config{Shards: 1})
+	f, _ := filter.NewDC1("app", "temperature", 50, 10)
+	if err := rt.AddGroup("src", []filter.Filter{f}, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Feed("ghost", nil); err == nil {
+		t.Fatal("nil tuple should fail")
+	}
+	if _, _, err := rt.lookup("ghost", false); !errors.Is(err, ErrUnknownSource) {
+		t.Errorf("unknown source error = %v, want ErrUnknownSource", err)
+	}
+	if err := rt.FinishSource("src"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rt.lookup("src", false); !errors.Is(err, ErrSourceFinished) {
+		t.Errorf("finished source error = %v, want ErrSourceFinished", err)
+	}
+	if err := rt.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Feed("src", trace.PaperExample().At(0)); err == nil {
+		t.Error("feed after drain should fail")
+	} else if !errors.Is(err, ErrSourceFinished) && !errors.Is(err, ErrDrained) {
+		t.Errorf("post-drain feed error = %v, want a drain/finish sentinel", err)
+	}
+}

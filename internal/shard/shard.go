@@ -54,6 +54,21 @@ const (
 	DefaultFlushBatch = 32
 )
 
+// Sentinel errors wrapped by the runtime's lookup failures, so callers
+// layered above (the embedded broker, the networked server) can treat
+// "the source is gone" distinctly from real faults with errors.Is.
+var (
+	// ErrUnknownSource reports an operation on a source name the runtime
+	// does not know.
+	ErrUnknownSource = errors.New("unknown source")
+	// ErrSourceFinished reports an operation on a source whose stream has
+	// already been finished.
+	ErrSourceFinished = errors.New("finished")
+	// ErrDrained reports an operation against a runtime that has already
+	// drained.
+	ErrDrained = errors.New("drained")
+)
+
 // Config sizes the runtime.
 type Config struct {
 	// Shards is the number of worker shards; 0 means GOMAXPROCS.
@@ -251,7 +266,7 @@ func (r *Runtime) RemoveSource(name string) error {
 	defer r.mu.Unlock()
 	src, ok := r.sources[name]
 	if !ok {
-		return fmt.Errorf("shard: unknown source %q", name)
+		return fmt.Errorf("shard: %w %q", ErrUnknownSource, name)
 	}
 	if !src.closed.Load() {
 		return fmt.Errorf("shard: source %q not finished", name)
@@ -303,13 +318,13 @@ func (r *Runtime) lookup(name string, allowFailed bool) (*source, *worker, error
 	started := r.started
 	r.mu.Unlock()
 	if !ok {
-		return nil, nil, fmt.Errorf("shard: unknown source %q", name)
+		return nil, nil, fmt.Errorf("shard: %w %q", ErrUnknownSource, name)
 	}
 	if !started {
 		return nil, nil, fmt.Errorf("shard: Feed before Start")
 	}
 	if src.closed.Load() {
-		return nil, nil, fmt.Errorf("shard: source %q already finished", name)
+		return nil, nil, fmt.Errorf("shard: source %q already %w", name, ErrSourceFinished)
 	}
 	if !allowFailed && src.failed.Load() {
 		// Observing failed==true synchronizes with the worker's Store, so
@@ -319,25 +334,40 @@ func (r *Runtime) lookup(name string, allowFailed bool) (*source, *worker, error
 	return src, r.workers[src.shard], nil
 }
 
+// boundCtx bounds a caller-supplied context by the runtime context: the
+// returned context is done when either is, so a per-call deadline can
+// never outlive a cancelled runtime (and vice versa). The fast path —
+// callers passing context.Background(), i.e. "runtime lifetime only" —
+// returns the runtime context itself with no allocation.
+func (r *Runtime) boundCtx(ctx context.Context) (context.Context, func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return r.ctx, func() {}
+	}
+	merged, cancel := context.WithCancel(ctx)
+	stop := context.AfterFunc(r.ctx, cancel)
+	return merged, func() { stop(); cancel() }
+}
+
 // sendTask delivers one task to a worker ring under the seal gate,
 // blocking while the ring is full.
 func (r *Runtime) sendTask(w *worker, tk task) error {
 	tasks := [1]task{tk}
-	_, err := r.submit(w, tasks[:], true)
+	_, err := r.submit(r.ctx, w, tasks[:], true)
 	return err
 }
 
 // submit is the one copy of the seal-gated ring-push protocol: it pushes
 // the tasks with as few ring synchronizations as the free space allows
 // and reports how many were enqueued, erring when the runtime has
-// drained (sealed) or its context is cancelled. With block false a full
-// ring returns the partial count instead of waiting; with block true a
-// short count only accompanies an error.
-func (r *Runtime) submit(w *worker, tasks []task, block bool) (int, error) {
+// drained (sealed) or ctx is cancelled. With block false a full ring
+// returns the partial count instead of waiting; with block true a short
+// count only accompanies an error. ctx must already be bounded by the
+// runtime context (r.ctx itself, or a boundCtx merge).
+func (r *Runtime) submit(ctx context.Context, w *worker, tasks []task, block bool) (int, error) {
 	r.sendMu.RLock()
 	defer r.sendMu.RUnlock()
 	if r.sealed {
-		return 0, fmt.Errorf("shard: runtime drained")
+		return 0, fmt.Errorf("shard: runtime %w", ErrDrained)
 	}
 	pushed := 0
 	for {
@@ -348,7 +378,7 @@ func (r *Runtime) submit(w *worker, tasks []task, block bool) (int, error) {
 		if !block {
 			return pushed, nil
 		}
-		if err := w.in.waitSpace(r.ctx); err != nil {
+		if err := w.in.waitSpace(ctx); err != nil {
 			return pushed, err
 		}
 	}
@@ -396,7 +426,7 @@ func (r *Runtime) Offer(name string, t *tuple.Tuple) (bool, error) {
 		return false, err
 	}
 	tasks := [1]task{{src: src, t: t}}
-	sent, err := r.submit(w, tasks[:], false)
+	sent, err := r.submit(r.ctx, w, tasks[:], false)
 	if sent == 0 {
 		w.dropped.Add(1)
 		return false, err
@@ -419,6 +449,14 @@ var taskBufPool = sync.Pool{New: func() any {
 // Feed, per-source calls must be serialized by the caller. The slice is
 // not retained. On error, tuples not enqueued are counted as dropped.
 func (r *Runtime) SubmitBatch(name string, tuples []*tuple.Tuple) error {
+	return r.SubmitBatchContext(context.Background(), name, tuples)
+}
+
+// SubmitBatchContext is SubmitBatch bounded by ctx: a producer blocked on
+// a full ring unblocks — with an error, counting the unpushed tail as
+// dropped — when either ctx or the runtime context is cancelled. The
+// embedded broker uses it to give Publish calls per-caller deadlines.
+func (r *Runtime) SubmitBatchContext(ctx context.Context, name string, tuples []*tuple.Tuple) error {
 	if len(tuples) == 0 {
 		return nil
 	}
@@ -426,7 +464,9 @@ func (r *Runtime) SubmitBatch(name string, tuples []*tuple.Tuple) error {
 	if err != nil {
 		return err
 	}
-	if err := r.ctx.Err(); err != nil {
+	ctx, release := r.boundCtx(ctx)
+	defer release()
+	if err := ctx.Err(); err != nil {
 		w.dropped.Add(uint64(len(tuples)))
 		return err
 	}
@@ -440,7 +480,7 @@ func (r *Runtime) SubmitBatch(name string, tuples []*tuple.Tuple) error {
 		}
 		tasks = append(tasks, task{src: src, t: t})
 	}
-	pushed, err := r.submit(w, tasks, true)
+	pushed, err := r.submit(ctx, w, tasks, true)
 	w.enqueued.Add(uint64(pushed))
 	if pushed < len(tasks) {
 		w.dropped.Add(uint64(len(tasks) - pushed))
@@ -458,6 +498,15 @@ func (r *Runtime) SubmitBatch(name string, tuples []*tuple.Tuple) error {
 // the engine past its return. Any outputs fn releases (e.g. a RemoveFilter
 // closing a region) are flushed to the sink before Control returns.
 func (r *Runtime) Control(name string, fn func(*core.Engine) error) error {
+	return r.ControlContext(context.Background(), name, fn)
+}
+
+// ControlContext is Control bounded by ctx: both the enqueue (which can
+// block behind a full ring) and the wait for the worker to run fn return
+// early when ctx is cancelled. A cancellation after fn was enqueued does
+// not revoke it — fn still runs at its tuple boundary; only the caller
+// stops waiting. A cancellation during the enqueue means fn never runs.
+func (r *Runtime) ControlContext(ctx context.Context, name string, fn func(*core.Engine) error) error {
 	if fn == nil {
 		return fmt.Errorf("shard: nil control function for source %q", name)
 	}
@@ -465,18 +514,21 @@ func (r *Runtime) Control(name string, fn func(*core.Engine) error) error {
 	if err != nil {
 		return err
 	}
-	if err := r.ctx.Err(); err != nil {
+	ctx, release := r.boundCtx(ctx)
+	defer release()
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	ctl := &control{fn: fn, done: make(chan error, 1)}
-	if err := r.sendTask(w, task{src: src, ctl: ctl}); err != nil {
+	tasks := [1]task{{src: src, ctl: ctl}}
+	if _, err := r.submit(ctx, w, tasks[:], true); err != nil {
 		return err
 	}
 	select {
 	case err := <-ctl.done:
 		return err
-	case <-r.ctx.Done():
-		return r.ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -484,33 +536,47 @@ func (r *Runtime) Control(name string, fn func(*core.Engine) error) error {
 // engine's Finish and flushes its remaining outputs. Further Feed calls
 // for the source fail.
 func (r *Runtime) FinishSource(name string) error {
-	return r.finishSource(name, nil)
+	return r.finishSource(r.ctx, name, nil)
 }
 
 // FinishSourceWait is FinishSource that blocks until the engine's Finish
 // has run and its final outputs have been flushed to the sink — the
-// networked server uses it to flush a disconnecting publisher's tail
-// before tearing down its subscribers.
+// networked server and the embedded broker use it to flush a departing
+// publisher's tail before tearing down its subscribers.
 func (r *Runtime) FinishSourceWait(name string) error {
+	return r.FinishSourceWaitContext(context.Background(), name)
+}
+
+// FinishSourceWaitContext is FinishSourceWait bounded by ctx — both the
+// enqueue of the finish marker (which can block behind a full ring) and
+// the wait for the final flush. A cancellation after the marker was
+// enqueued does not un-finish the source: the engine still finishes at
+// its boundary. A cancellation that struck while the marker was still
+// queueing leaves the source closed to feeding; Drain retires it.
+func (r *Runtime) FinishSourceWaitContext(ctx context.Context, name string) error {
+	ctx, release := r.boundCtx(ctx)
+	defer release()
 	fin := make(chan error, 1)
-	if err := r.finishSource(name, fin); err != nil {
+	if err := r.finishSource(ctx, name, fin); err != nil {
 		return err
 	}
 	select {
 	case err := <-fin:
 		return err
-	case <-r.ctx.Done():
-		return r.ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
-func (r *Runtime) finishSource(name string, fin chan error) error {
+func (r *Runtime) finishSource(ctx context.Context, name string, fin chan error) error {
 	src, w, err := r.lookup(name, true)
 	if err != nil {
 		return err
 	}
 	src.closed.Store(true)
-	return r.sendTask(w, task{src: src, fin: fin})
+	tasks := [1]task{{src: src, fin: fin}}
+	_, err = r.submit(ctx, w, tasks[:], true)
+	return err
 }
 
 // Drain finishes every source not yet finished, closes the shard queues,

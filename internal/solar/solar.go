@@ -15,6 +15,13 @@
 // every source keeps the paper's single-source semantics — its tuples
 // are processed in order by one shard and its released sequence is
 // identical to a sequential engine run.
+//
+// Solar models the *network* between source and application (overlay
+// links, multicast trees, per-link byte accounting) and is the
+// simulation surface the experiments measure bandwidth on. The
+// production delivery path is internal/broker (the embedded session
+// adapter behind the public gasf.Broker API) and internal/server (its
+// TCP twin); see DESIGN.md §10 for how the layers relate.
 package solar
 
 import (

@@ -85,6 +85,24 @@ func (s *Schema) String() string {
 	return "(" + strings.Join(s.names, ", ") + ")"
 }
 
+// Equal reports whether two schemas declare the same attributes in the
+// same order. Distinct Schema values created from the same names are
+// equal; tuples bound to either behave identically.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == o {
+		return true
+	}
+	if s == nil || o == nil || len(s.names) != len(o.names) {
+		return false
+	}
+	for i, n := range s.names {
+		if o.names[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
 // Tuple is one item of a stream: a sequence number assigned by the source,
 // a source timestamp, and one value per schema attribute.
 //

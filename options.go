@@ -1,0 +1,255 @@
+package gasf
+
+import (
+	"fmt"
+	"time"
+)
+
+// Functional options configure the Broker constructors, replacing the
+// flag-bag Options struct at the facade boundary. Options that shape the
+// engine or the runtime (shards, queues, algorithm, policy) apply to
+// NewEmbedded — a dialed broker's server owns that configuration, so
+// passing them to Dial is an error rather than a silent no-op.
+// WithQueueDepth is also a SubOption: on a subscription it bounds that
+// session's delivery queue on either transport.
+
+// brokerConfig is the resolved option set.
+type brokerConfig struct {
+	remote      bool // set by Dial before options apply
+	engine      Options
+	subQueue    int
+	maxSubQueue int
+	policy      SlowPolicy
+	dialTimeout time.Duration
+	err         error
+}
+
+func (c *brokerConfig) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("gasf: "+format, args...)
+	}
+}
+
+// Option configures a Broker constructor (NewEmbedded or Dial).
+type Option interface{ applyBroker(*brokerConfig) }
+
+// subConfig is the resolved per-subscription option set.
+type subConfig struct {
+	queue int
+	err   error
+}
+
+// SubOption configures one Subscribe call.
+type SubOption interface{ applySub(*subConfig) }
+
+// BrokerSubOption is an option meaningful both at broker construction
+// and on an individual subscription (WithQueueDepth).
+type BrokerSubOption interface {
+	Option
+	SubOption
+}
+
+// embeddedOption is an Option valid only for NewEmbedded.
+type embeddedOption struct {
+	name string
+	f    func(*brokerConfig)
+}
+
+func (o embeddedOption) applyBroker(c *brokerConfig) {
+	if c.remote {
+		c.fail("option %s does not apply to a dialed broker: the server owns its engine and runtime configuration", o.name)
+		return
+	}
+	o.f(c)
+}
+
+// remoteOption is an Option valid only for Dial.
+type remoteOption struct {
+	name string
+	f    func(*brokerConfig)
+}
+
+func (o remoteOption) applyBroker(c *brokerConfig) {
+	if !c.remote {
+		c.fail("option %s only applies to a dialed broker", o.name)
+		return
+	}
+	o.f(c)
+}
+
+// WithShards sets the number of worker shards sources are
+// hash-partitioned onto; 0 means GOMAXPROCS.
+func WithShards(n int) Option {
+	return embeddedOption{"WithShards", func(c *brokerConfig) {
+		if n < 0 {
+			c.fail("WithShards(%d): shard count cannot be negative", n)
+			return
+		}
+		c.engine.ShardCount = n
+	}}
+}
+
+// WithFlushBatch sets the released-transmission batch size per shard
+// flush; 0 means the runtime default.
+func WithFlushBatch(n int) Option {
+	return embeddedOption{"WithFlushBatch", func(c *brokerConfig) {
+		if n < 0 {
+			c.fail("WithFlushBatch(%d): batch cannot be negative", n)
+			return
+		}
+		c.engine.FlushBatch = n
+	}}
+}
+
+// queueDepthOption carries WithQueueDepth to both scopes.
+type queueDepthOption int
+
+func (n queueDepthOption) applyBroker(c *brokerConfig) {
+	if c.remote {
+		c.fail("option WithQueueDepth does not apply to a dialed broker (pass it to Subscribe to size that session's delivery queue)")
+		return
+	}
+	if n <= 0 {
+		c.fail("WithQueueDepth(%d): depth must be positive", int(n))
+		return
+	}
+	c.engine.QueueDepth = int(n)
+}
+
+func (n queueDepthOption) applySub(c *subConfig) {
+	if n <= 0 {
+		if c.err == nil {
+			c.err = fmt.Errorf("gasf: WithQueueDepth(%d): depth must be positive", int(n))
+		}
+		return
+	}
+	c.queue = int(n)
+}
+
+// WithQueueDepth bounds a queue, by scope: as a broker option it sets
+// the per-shard input ring depth of an embedded broker; as a
+// subscription option it sets that session's delivery queue depth —
+// how many deliveries are buffered before the slow-consumer policy
+// applies — on either transport (the networked path relays it in the
+// subscriber hello, clamped by the server's MaxSubscriberQueue).
+func WithQueueDepth(n int) BrokerSubOption { return queueDepthOption(n) }
+
+// WithSubscriberQueue sets the default delivery queue depth for
+// subscriptions that do not request their own with WithQueueDepth.
+func WithSubscriberQueue(n int) Option {
+	return embeddedOption{"WithSubscriberQueue", func(c *brokerConfig) {
+		if n <= 0 {
+			c.fail("WithSubscriberQueue(%d): depth must be positive", n)
+			return
+		}
+		c.subQueue = n
+	}}
+}
+
+// WithMaxSubscriberQueue caps the per-subscription queue depth a
+// Subscribe may request (memory protection).
+func WithMaxSubscriberQueue(n int) Option {
+	return embeddedOption{"WithMaxSubscriberQueue", func(c *brokerConfig) {
+		if n <= 0 {
+			c.fail("WithMaxSubscriberQueue(%d): depth must be positive", n)
+			return
+		}
+		c.maxSubQueue = n
+	}}
+}
+
+// WithSlowPolicy selects how a full subscription delivery queue is
+// treated: PolicyBlock applies backpressure up to the publishers,
+// PolicyDrop discards deliveries to the slow subscriber and counts them.
+func WithSlowPolicy(p SlowPolicy) Option {
+	return embeddedOption{"WithSlowPolicy", func(c *brokerConfig) {
+		if p != PolicyBlock && p != PolicyDrop {
+			c.fail("WithSlowPolicy(%v): unknown policy", p)
+			return
+		}
+		c.policy = p
+	}}
+}
+
+// WithAlgorithm selects the group-aware decision algorithm (RG or PS)
+// for the engines the broker deploys per source.
+func WithAlgorithm(a Algorithm) Option {
+	return embeddedOption{"WithAlgorithm", func(c *brokerConfig) { c.engine.Algorithm = a }}
+}
+
+// WithStrategy selects the output-scheduling strategy (§3.4).
+func WithStrategy(s OutputStrategy) Option {
+	return embeddedOption{"WithStrategy", func(c *brokerConfig) { c.engine.Strategy = s }}
+}
+
+// WithBatchSize sets the release period, in input tuples, for the
+// Batched output strategy.
+func WithBatchSize(n int) Option {
+	return embeddedOption{"WithBatchSize", func(c *brokerConfig) {
+		if n <= 0 {
+			c.fail("WithBatchSize(%d): size must be positive", n)
+			return
+		}
+		c.engine.BatchSize = n
+	}}
+}
+
+// WithCuts enables timely cuts with the given group time constraint
+// (the conjunction of the group's delay requirements, §3.1).
+func WithCuts(maxDelay time.Duration) Option {
+	return embeddedOption{"WithCuts", func(c *brokerConfig) {
+		if maxDelay <= 0 {
+			c.fail("WithCuts(%v): the group time constraint must be positive", maxDelay)
+			return
+		}
+		c.engine.Cuts = true
+		c.engine.MaxDelay = maxDelay
+	}}
+}
+
+// WithEngineOptions replaces the broker's whole engine option set — the
+// escape hatch for knobs without a dedicated functional option
+// (tie-breaks, punctuations, multicast delay) and the bridge for code
+// migrating from the batch Run* surface. Later options still override
+// individual fields.
+func WithEngineOptions(o Options) Option {
+	return embeddedOption{"WithEngineOptions", func(c *brokerConfig) { c.engine = o }}
+}
+
+// WithDialTimeout bounds each session dial (the TCP connect plus the
+// hello handshake) of a dialed broker; contexts with earlier deadlines
+// tighten it per call. 0 means the transport default of 5s.
+func WithDialTimeout(d time.Duration) Option {
+	return remoteOption{"WithDialTimeout", func(c *brokerConfig) {
+		if d < 0 {
+			c.fail("WithDialTimeout(%v): timeout cannot be negative", d)
+			return
+		}
+		c.dialTimeout = d
+	}}
+}
+
+// resolveBrokerConfig applies opts over the defaults.
+func resolveBrokerConfig(remote bool, opts []Option) (brokerConfig, error) {
+	cfg := brokerConfig{remote: remote, policy: PolicyBlock}
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		o.applyBroker(&cfg)
+	}
+	return cfg, cfg.err
+}
+
+// resolveSubConfig applies opts over the defaults (0 = broker default
+// queue depth).
+func resolveSubConfig(opts []SubOption) (subConfig, error) {
+	var cfg subConfig
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		o.applySub(&cfg)
+	}
+	return cfg, cfg.err
+}

@@ -1,0 +1,131 @@
+package gasf
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// White-box tests for the functional options and their plumbing into the
+// embedded broker.
+
+func TestOptionResolution(t *testing.T) {
+	cfg, err := resolveBrokerConfig(false, []Option{
+		WithShards(3),
+		WithQueueDepth(64),
+		WithFlushBatch(8),
+		WithAlgorithm(PS),
+		WithStrategy(Batched),
+		WithBatchSize(10),
+		WithCuts(50 * time.Millisecond),
+		WithSlowPolicy(PolicyDrop),
+		WithSubscriberQueue(33),
+		WithMaxSubscriberQueue(999),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.engine.ShardCount != 3 || cfg.engine.QueueDepth != 64 || cfg.engine.FlushBatch != 8 {
+		t.Errorf("runtime knobs wrong: %+v", cfg.engine)
+	}
+	if cfg.engine.Algorithm != PS || cfg.engine.Strategy != Batched || cfg.engine.BatchSize != 10 {
+		t.Errorf("engine knobs wrong: %+v", cfg.engine)
+	}
+	if !cfg.engine.Cuts || cfg.engine.MaxDelay != 50*time.Millisecond {
+		t.Errorf("cuts knobs wrong: %+v", cfg.engine)
+	}
+	if cfg.policy != PolicyDrop || cfg.subQueue != 33 || cfg.maxSubQueue != 999 {
+		t.Errorf("delivery knobs wrong: %+v", cfg)
+	}
+}
+
+func TestOptionScopeEnforcement(t *testing.T) {
+	// Engine options are rejected by Dial...
+	if _, err := Dial("localhost:0", WithShards(2)); err == nil {
+		t.Error("Dial(WithShards) should fail")
+	}
+	if _, err := Dial("localhost:0", WithQueueDepth(4)); err == nil {
+		t.Error("Dial(WithQueueDepth) should fail at broker scope")
+	}
+	if _, err := Dial("localhost:0", WithSlowPolicy(PolicyDrop)); err == nil {
+		t.Error("Dial(WithSlowPolicy) should fail")
+	}
+	// ...and dial options by NewEmbedded.
+	if _, err := NewEmbedded(WithDialTimeout(time.Second)); err == nil {
+		t.Error("NewEmbedded(WithDialTimeout) should fail")
+	}
+	// Invalid values fail regardless of scope.
+	if _, err := NewEmbedded(WithQueueDepth(-1)); err == nil {
+		t.Error("negative queue depth should fail")
+	}
+	if _, err := NewEmbedded(WithCuts(0)); err == nil {
+		t.Error("zero cut constraint should fail")
+	}
+	if _, err := NewEmbedded(WithBatchSize(0)); err == nil {
+		t.Error("zero batch size should fail")
+	}
+}
+
+// TestWithEngineOptionsBridge checks the migration escape hatch: a full
+// Options value flows through, and later options override fields.
+func TestWithEngineOptionsBridge(t *testing.T) {
+	base := Options{Algorithm: PS, ShardCount: 7, EmitPunctuations: true}
+	cfg, err := resolveBrokerConfig(false, []Option{WithEngineOptions(base), WithShards(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.engine.Algorithm != PS || !cfg.engine.EmitPunctuations {
+		t.Errorf("engine options lost in bridge: %+v", cfg.engine)
+	}
+	if cfg.engine.ShardCount != 2 {
+		t.Errorf("later option should override: ShardCount = %d", cfg.engine.ShardCount)
+	}
+}
+
+// TestSubscriptionQueueDepthPropagates is the facade half of the
+// SubscribeBuffered satellite: WithQueueDepth on Subscribe reaches the
+// embedded broker's delivery queue (explicit, defaulted, clamped).
+func TestSubscriptionQueueDepthPropagates(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	b, err := NewEmbedded(WithSubscriberQueue(9), WithMaxSubscriberQueue(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close(ctx)
+	schema, err := NewSchema("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.OpenSource(ctx, "src", schema); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := b.Subscribe(ctx, "explicit", "src", "DC1(v, 0.5, 0)", WithQueueDepth(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.(*embeddedSub).queueDepth(); got != 5 {
+		t.Errorf("explicit depth = %d, want 5", got)
+	}
+	sub, err = b.Subscribe(ctx, "defaulted", "src", "DC1(v, 0.5, 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.(*embeddedSub).queueDepth(); got != 9 {
+		t.Errorf("defaulted depth = %d, want 9", got)
+	}
+	sub, err = b.Subscribe(ctx, "clamped", "src", "DC1(v, 0.5, 0)", WithQueueDepth(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.(*embeddedSub).queueDepth(); got != 50 {
+		t.Errorf("clamped depth = %d, want 50", got)
+	}
+	if _, err := b.Subscribe(ctx, "bad", "src", "DC1(v, 0.5, 0)", WithQueueDepth(-3)); err == nil {
+		t.Error("negative subscription queue depth should fail")
+	}
+	// The subscription reports the spec it joined with, canonically.
+	if sp := sub.Spec(); sp.String() != "DC1(v, 0.5, 0)" {
+		t.Errorf("Spec() = %q", sp.String())
+	}
+}

@@ -1,0 +1,238 @@
+package gasf
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"gasf/internal/server"
+)
+
+// Remote is the networked Broker implementation: every Source and
+// Subscription is a TCP session against a gasf-server speaking the
+// framed wire protocol (DESIGN.md §7). The handle itself holds no
+// connection — sessions dial lazily, bounded by WithDialTimeout or the
+// call's context deadline — and Close closes the sessions opened
+// through it.
+type Remote struct {
+	addr string
+	cfg  brokerConfig
+
+	mu       sync.Mutex
+	closed   bool
+	sessions map[any]func() error
+}
+
+var _ Broker = (*Remote)(nil)
+
+// Dial returns a Broker driving the gasf-server at addr, e.g.
+// "localhost:7070". Engine-shaping options belong to the server and are
+// rejected here; WithDialTimeout bounds each session handshake.
+func Dial(addr string, opts ...Option) (*Remote, error) {
+	cfg, err := resolveBrokerConfig(true, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Remote{addr: addr, cfg: cfg, sessions: make(map[any]func() error)}, nil
+}
+
+// track registers a live session for Close; it reports false when the
+// broker is already closed.
+func (r *Remote) track(key any, close func() error) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false
+	}
+	r.sessions[key] = close
+	return true
+}
+
+// untrack forgets a session that closed itself.
+func (r *Remote) untrack(key any) {
+	r.mu.Lock()
+	delete(r.sessions, key)
+	r.mu.Unlock()
+}
+
+// OpenSource implements Broker: it opens a publisher session advertising
+// the schema in the handshake.
+func (r *Remote) OpenSource(ctx context.Context, name string, schema *Schema) (Source, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pub, err := server.DialPublisherTimeout(r.addr, name, schema, dialTimeoutFor(ctx, r.cfg.dialTimeout))
+	if err != nil {
+		return nil, err
+	}
+	src := &remoteSource{r: r, pub: pub, schema: schema}
+	if !r.track(src, pub.Close) {
+		pub.Close()
+		return nil, errBrokerClosed
+	}
+	return src, nil
+}
+
+// Subscribe implements Broker: the spec is parsed and validated locally,
+// then relayed in its canonical (lossless) rendering; the server
+// validates it against the source schema and applies the join at a tuple
+// boundary before the handshake completes.
+func (r *Remote) Subscribe(ctx context.Context, app, source, spec string, opts ...SubOption) (Subscription, error) {
+	sp, err := specFor(spec)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := resolveSubConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ss, err := server.DialSubscriberTimeout(r.addr, app, source, sp.String(), sc.queue, dialTimeoutFor(ctx, r.cfg.dialTimeout))
+	if err != nil {
+		return nil, err
+	}
+	sub := &remoteSub{r: r, sub: ss, sp: sp}
+	if !r.track(sub, ss.Close) {
+		ss.Close()
+		return nil, errBrokerClosed
+	}
+	return sub, nil
+}
+
+// Close implements Broker: publisher sessions close gracefully (the
+// server flushes their tails to their subscribers) and subscriber
+// sessions leave their groups. The server itself keeps running.
+func (r *Remote) Close(ctx context.Context) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	open := make([]func() error, 0, len(r.sessions))
+	for _, close := range r.sessions {
+		open = append(open, close)
+	}
+	r.sessions = nil
+	r.mu.Unlock()
+	var errs []error
+	for _, close := range open {
+		if err := close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// remoteSource adapts a publisher session to the unified interface.
+type remoteSource struct {
+	r      *Remote
+	pub    *server.Publisher
+	schema *Schema
+}
+
+var _ Source = (*remoteSource)(nil)
+
+func (s *remoteSource) Name() string    { return s.pub.Source() }
+func (s *remoteSource) Schema() *Schema { return s.schema }
+
+func (s *remoteSource) Publish(ctx context.Context, t *Tuple) error {
+	return s.pub.PublishContext(ctx, t)
+}
+
+func (s *remoteSource) PublishBatch(ctx context.Context, tuples []*Tuple) error {
+	return s.pub.PublishBatchContext(ctx, tuples)
+}
+
+func (s *remoteSource) Sync(ctx context.Context) error { return s.pub.Sync(ctx) }
+
+// Finish sends the goodbye and closes the session; the server finishes
+// the engine and flushes the tail to the subscribers asynchronously
+// (their streams end once it lands).
+func (s *remoteSource) Finish(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	err := s.pub.Close()
+	s.r.untrack(s)
+	return err
+}
+
+// remoteSub adapts a subscriber session to the unified interface.
+type remoteSub struct {
+	r   *Remote
+	sub *server.Subscriber
+	sp  Spec
+	// ended latches a graceful stream end: the session is closed and
+	// untracked right away (a long-lived Remote would otherwise
+	// accumulate dead sessions whose callers never Close after
+	// ErrStreamEnded), and later receives keep reporting the end.
+	ended bool
+	// scratch backs RecvInto so the session's zero-allocation decode
+	// path carries over: the caller's tuple is lent to the wire decoder
+	// and handed back with the reused label storage.
+	scratch server.Delivery
+}
+
+var _ Subscription = (*remoteSub)(nil)
+
+func (s *remoteSub) App() string     { return s.sub.App() }
+func (s *remoteSub) Source() string  { return s.sub.Source() }
+func (s *remoteSub) Schema() *Schema { return s.sub.Schema() }
+func (s *remoteSub) Spec() Spec      { return s.sp }
+
+func (s *remoteSub) Recv(ctx context.Context) (*Delivery, error) {
+	if s.ended {
+		return nil, ErrStreamEnded
+	}
+	d, err := s.sub.RecvContext(ctx)
+	if err != nil {
+		return nil, s.observeEnd(err)
+	}
+	return &Delivery{Tuple: d.Tuple, Destinations: d.Destinations, ReceivedAt: d.ReceivedAt}, nil
+}
+
+func (s *remoteSub) RecvInto(ctx context.Context, d *Delivery) error {
+	if s.ended {
+		return ErrStreamEnded
+	}
+	s.scratch.Tuple = d.Tuple
+	s.scratch.Destinations = s.scratch.Destinations[:0]
+	if err := s.sub.RecvIntoContext(ctx, &s.scratch); err != nil {
+		return s.observeEnd(err)
+	}
+	d.Tuple = s.scratch.Tuple
+	d.Destinations = s.scratch.Destinations
+	d.ReceivedAt = s.scratch.ReceivedAt
+	return nil
+}
+
+// observeEnd retires the session on a graceful stream end: the server
+// has already said goodbye, so the connection is released immediately
+// and the broker stops tracking it. Recv is per-session serial, so the
+// latch needs no lock.
+func (s *remoteSub) observeEnd(err error) error {
+	if errors.Is(err, ErrStreamEnded) {
+		s.ended = true
+		_ = s.sub.Close()
+		s.r.untrack(s)
+	}
+	return err
+}
+
+// Close leaves the group and waits for the server's departure ack, so a
+// caller that continues publishing afterwards knows the group has been
+// re-derived without this member.
+func (s *remoteSub) Close(ctx context.Context) error {
+	if s.ended {
+		return nil // the stream ended gracefully; the session is gone
+	}
+	err := s.sub.Leave(ctx)
+	s.r.untrack(s)
+	return err
+}
