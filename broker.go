@@ -97,7 +97,11 @@ type Subscription interface {
 
 // Delivery is one transmission received by a subscription: the tuple,
 // the destination labels of the subscribers sharing it (pruned to the
-// members live at release time), and the receive instant.
+// members live at release time), and the receive instant. Against a
+// durable broker (WithDurability, or a server started with -data-dir)
+// Offset is the delivery's position in the source's durable log — the
+// checkpoint a later WithResumeFrom(offset+1) subscription resumes
+// from.
 type Delivery = broker.Delivery
 
 // specFor parses and validates a subscription spec once at the facade,

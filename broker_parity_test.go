@@ -353,3 +353,196 @@ func TestBrokerParitySubscribeBufferedCompat(t *testing.T) {
 	}
 	oldSub.Close()
 }
+
+// driveResume runs the deterministic resume script on one durable
+// broker: app "keeper" consumes the whole stream; app "res" consumes
+// phase 1 while recording its wire-encoded deliveries, leaves at a Sync
+// fence, misses phase 2, then resumes from offset 0 and records the
+// replayed history and the spliced phase-3 live stream. It returns the
+// keeper's full fingerprint, res's pre-leave fingerprint, res's
+// post-resume fingerprint and the post-resume offsets.
+func driveResume(t *testing.T, b gasf.Broker, n1, n2, n3 int) (keeperFP, beforeFP, afterFP []byte, offsets []uint64) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	total := recoverySeries(t, n1+n2+n3, 0)
+	src, err := b.OpenSource(ctx, "src", total.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	publish := func(from, to int) {
+		t.Helper()
+		batch := make([]*gasf.Tuple, 0, to-from)
+		for i := from; i < to; i++ {
+			batch = append(batch, total.At(i))
+		}
+		if err := src.PublishBatch(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.Sync(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	record := func(buf []byte, d *gasf.Delivery) []byte {
+		t.Helper()
+		out, err := wire.AppendTransmission(buf, d.Tuple, d.Destinations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	keeper, err := b.Subscribe(ctx, "keeper", "src", "DC1(v, 0.5, 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keeperDone := make(chan []byte, 1)
+	go func() {
+		var fp []byte
+		for {
+			d, err := keeper.Recv(ctx)
+			if errors.Is(err, gasf.ErrStreamEnded) {
+				keeperDone <- fp
+				return
+			}
+			if err != nil {
+				t.Errorf("keeper: %v", err)
+				keeperDone <- fp
+				return
+			}
+			fp = record(fp, d)
+		}
+	}()
+
+	res, err := b.Subscribe(ctx, "res", "src", "DC1(v, 0.5, 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: n1-1 sets release (the last is held back); res consumes
+	// and records every one, then leaves at a fenced boundary.
+	publish(0, n1)
+	for i := 0; i < n1-1; i++ {
+		d, err := res.Recv(ctx)
+		if err != nil {
+			t.Fatalf("res delivery %d: %v", i, err)
+		}
+		beforeFP = record(beforeFP, d)
+	}
+	if err := res.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: released to the keeper alone.
+	publish(n1, n1+n2)
+
+	// Resume from the beginning; phase 3 then runs live.
+	res2, err := b.Subscribe(ctx, "res", "src", "DC1(v, 0.5, 0)", gasf.WithResumeFrom(0))
+	if err != nil {
+		t.Fatalf("resume subscribe: %v", err)
+	}
+	publish(n1+n2, n1+n2+n3)
+	if err := src.Finish(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		d, err := res2.Recv(ctx)
+		if errors.Is(err, gasf.ErrStreamEnded) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("res after resume, delivery %d: %v", len(offsets), err)
+		}
+		afterFP = record(afterFP, d)
+		offsets = append(offsets, d.Offset)
+	}
+	keeperFP = <-keeperDone
+	return keeperFP, beforeFP, afterFP, offsets
+}
+
+// TestBrokerParityResume is the resume acceptance test on both
+// transports: the replayed history a resumed subscriber receives must be
+// byte-identical to the live stream it consumed before leaving, the
+// spliced live offsets must sit strictly beyond the replayed ones with
+// no gap in the records addressed to the app, and the embedded and
+// networked transports must produce identical fingerprints throughout.
+func TestBrokerParityResume(t *testing.T) {
+	const n1, n2, n3 = 60, 40, 60
+	opts := gasf.Options{ShardCount: 2, QueueDepth: 32, FlushBatch: 4}
+
+	type run struct {
+		keeper, before, after []byte
+		offsets               []uint64
+	}
+	check := func(t *testing.T, r run) {
+		t.Helper()
+		// The replayed prefix is exactly the stream res consumed live
+		// before leaving: byte-identical, same length.
+		if len(r.after) < len(r.before) || !bytes.Equal(r.after[:len(r.before)], r.before) {
+			t.Fatalf("replayed stream diverges from the live stream consumed before leaving (replayed+live %d bytes, live prefix %d bytes)", len(r.after), len(r.before))
+		}
+		// Replay carries offsets 0..n1-2; the live leg follows the phase-2
+		// records (keeper-only, skipped by replay) with no gap in res's
+		// records and strictly increasing offsets.
+		want := (n1 - 1) + n3
+		if len(r.offsets) != want {
+			t.Fatalf("res received %d deliveries after resume, want %d", len(r.offsets), want)
+		}
+		for i, off := range r.offsets {
+			wantOff := uint64(i)
+			if i >= n1-1 {
+				wantOff = uint64(n1 + n2 + (i - (n1 - 1)))
+			}
+			if off != wantOff {
+				t.Fatalf("post-resume delivery %d: offset %d, want %d", i, off, wantOff)
+			}
+		}
+	}
+
+	var runs []run
+	t.Run("embedded", func(t *testing.T) {
+		emb, err := gasf.NewEmbedded(gasf.WithEngineOptions(opts), gasf.WithDurability(t.TempDir()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, b2, a, off := driveResume(t, emb, n1, n2, n3)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := emb.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+		r := run{k, b2, a, off}
+		check(t, r)
+		runs = append(runs, r)
+	})
+	t.Run("networked", func(t *testing.T) {
+		srv, err := gasf.StartServer(gasf.ServerConfig{Engine: opts, DataDir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := gasf.Dial(srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, b2, a, off := driveResume(t, rb, n1, n2, n3)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := rb.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatal(err)
+		}
+		r := run{k, b2, a, off}
+		check(t, r)
+		runs = append(runs, r)
+	})
+	if len(runs) != 2 {
+		t.Fatal("one transport did not run")
+	}
+	if !bytes.Equal(runs[0].keeper, runs[1].keeper) {
+		t.Errorf("keeper fingerprints differ across transports (embedded %d bytes, networked %d bytes)", len(runs[0].keeper), len(runs[1].keeper))
+	}
+	if !bytes.Equal(runs[0].after, runs[1].after) {
+		t.Errorf("resumed fingerprints differ across transports (embedded %d bytes, networked %d bytes)", len(runs[0].after), len(runs[1].after))
+	}
+}

@@ -69,6 +69,13 @@ type report struct {
 	BytesIn          uint64       `json:"bytes_in"`
 	BytesOut         uint64       `json:"bytes_out"`
 	Latency          latencyStats `json:"delivery_latency"`
+	// Replay* report the -resume mode: after the storm every subscriber
+	// leaves and re-subscribes with WithResumeFrom(0) against the
+	// durable log, draining its whole history — the rate is the server's
+	// replay (catch-up) throughput.
+	ReplayDeliveries       int     `json:"replay_deliveries,omitempty"`
+	ReplayElapsedSec       float64 `json:"replay_elapsed_sec,omitempty"`
+	ReplayDeliveriesPerSec float64 `json:"replay_deliveries_per_sec,omitempty"`
 	// ScalingMatrix is the open-loop GOMAXPROCS × shards sweep (same
 	// publisher/subscriber layout, unthrottled).
 	ScalingMatrix []scaleCell `json:"scaling_matrix,omitempty"`
@@ -88,6 +95,10 @@ type scaleCell struct {
 type benchConfig struct {
 	publishers, subscribers, tuples, queue, shards, rate int
 	policy                                               gasf.SlowPolicy
+	// resume runs the durable catch-up benchmark: the server writes a
+	// segment log, the storm subscribers leave after their quota, and a
+	// second wave resumes from offset 0 to measure replay throughput.
+	resume bool
 }
 
 func main() {
@@ -112,6 +123,7 @@ func run(args []string) error {
 		matrixShards = fs.String("matrix-shards", "", "comma-separated shard counts for the scaling matrix (default: same as -matrix-procs)")
 		out          = fs.String("out", "BENCH_serve.json", "report path (- for stdout only)")
 		cpuProf      = fs.String("cpuprofile", "", "write a CPU profile of the measured run")
+		resume       = fs.Bool("resume", false, "durable mode: log to a temp dir, then measure replay throughput of a full catch-up wave")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,6 +134,11 @@ func run(args []string) error {
 	pol, err := gasf.ParsePolicy(*policy)
 	if err != nil {
 		return err
+	}
+	if *resume && pol != gasf.PolicyBlock {
+		// The resume storm counts on every subscriber receiving its full
+		// quota before leaving; dropped deliveries would hang it.
+		return fmt.Errorf("-resume requires -policy block")
 	}
 	mp, err := metrics.ParseIntList(*matrixProcs)
 	if err != nil {
@@ -157,6 +174,7 @@ func run(args []string) error {
 		shards:      *shards,
 		rate:        *rate,
 		policy:      pol,
+		resume:      *resume,
 	})
 	if err != nil {
 		return err
@@ -218,11 +236,20 @@ func run(args []string) error {
 // applications use.
 func measure(cfg benchConfig) (*report, error) {
 	ctx := context.Background()
-	srv, err := gasf.StartServer(gasf.ServerConfig{
+	scfg := gasf.ServerConfig{
 		Engine:          gasf.Options{ShardCount: cfg.shards},
 		SubscriberQueue: cfg.queue,
 		Policy:          cfg.policy,
-	})
+	}
+	if cfg.resume {
+		dir, err := os.MkdirTemp("", "gasf-loadbench-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		scfg.DataDir = dir
+	}
+	srv, err := gasf.StartServer(scfg)
 	if err != nil {
 		return nil, err
 	}
@@ -273,6 +300,17 @@ func measure(cfg benchConfig) (*report, error) {
 					break
 				}
 				lats = append(lats, d.ReceivedAt.Sub(d.Tuple.TS))
+				// Resume mode: the pass-all spec over step-1 values makes
+				// deliveries deterministic — each arriving tuple closes and
+				// releases the previous one's singleton set, so exactly
+				// tuples-1 deliveries precede Finish. Consuming that quota
+				// and leaving frees the app name for the catch-up wave.
+				if cfg.resume && len(lats) == cfg.tuples-1 {
+					if err := sub.Close(ctx); err != nil {
+						errCh <- fmt.Errorf("subscriber %d leave: %w", i, err)
+					}
+					break
+				}
 			}
 			latencies[i] = lats
 		}(i, sub)
@@ -346,6 +384,11 @@ func measure(cfg benchConfig) (*report, error) {
 					<-ticker.C
 				}
 			}
+			// Resume mode keeps the sources open: a finished source tears
+			// down its group, and the catch-up wave still needs to join.
+			if cfg.resume {
+				return
+			}
 			if err := pub.Finish(ctx); err != nil {
 				errCh <- fmt.Errorf("publisher %d finish: %w", i, err)
 			}
@@ -356,6 +399,53 @@ func measure(cfg benchConfig) (*report, error) {
 	close(errCh)
 	for err := range errCh {
 		return nil, err
+	}
+
+	// The catch-up wave: every app re-subscribes with WithResumeFrom(0)
+	// and drains its history from the durable log — at least the storm's
+	// quota names each app, since every storm release happened while all
+	// subscribers were still live.
+	quota := cfg.tuples - 1
+	var replayDeliveries int
+	var replayElapsed time.Duration
+	if cfg.resume {
+		rstart := time.Now()
+		var rwg sync.WaitGroup
+		rerrCh := make(chan error, cfg.subscribers)
+		for i := 0; i < cfg.subscribers; i++ {
+			source := fmt.Sprintf("bench%d", i%cfg.publishers)
+			app := fmt.Sprintf("app%d", i)
+			sub, err := b.Subscribe(ctx, app, source, "DC1(v, 0.5, 0)", gasf.WithResumeFrom(0))
+			if err != nil {
+				return nil, fmt.Errorf("resume subscribe %s: %w", app, err)
+			}
+			rwg.Add(1)
+			go func(i int, sub gasf.Subscription) {
+				defer rwg.Done()
+				var d gasf.Delivery
+				for n := 0; n < quota; n++ {
+					if err := sub.RecvInto(ctx, &d); err != nil {
+						rerrCh <- fmt.Errorf("resume subscriber %d after %d deliveries: %w", i, n, err)
+						return
+					}
+				}
+				if err := sub.Close(ctx); err != nil {
+					rerrCh <- fmt.Errorf("resume subscriber %d leave: %w", i, err)
+				}
+			}(i, sub)
+		}
+		rwg.Wait()
+		replayElapsed = time.Since(rstart)
+		close(rerrCh)
+		for err := range rerrCh {
+			return nil, err
+		}
+		replayDeliveries = cfg.subscribers * quota
+		for _, pub := range pubs {
+			if err := pub.Finish(ctx); err != nil {
+				return nil, fmt.Errorf("finish after resume: %w", err)
+			}
+		}
 	}
 
 	c := srv.Counters()
@@ -387,6 +477,13 @@ func measure(cfg benchConfig) (*report, error) {
 		BytesIn:          c.BytesIn,
 		BytesOut:         c.BytesOut,
 		Latency:          summarize(all),
+	}
+	if cfg.resume {
+		rep.ReplayDeliveries = replayDeliveries
+		rep.ReplayElapsedSec = replayElapsed.Seconds()
+		if s := replayElapsed.Seconds(); s > 0 {
+			rep.ReplayDeliveriesPerSec = float64(replayDeliveries) / s
+		}
 	}
 
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -7,7 +7,14 @@
 //
 //	gasf-server -addr :7070 -metrics-addr :9090 \
 //	            -alg RG -policy drop -queue 256 \
-//	            -heartbeat 2s -source-timeout 30s
+//	            -heartbeat 2s -source-timeout 30s \
+//	            -data-dir /var/lib/gasf -fsync interval
+//
+// With -data-dir set the server is durable: every delivered transmission
+// is appended to a per-source segment log before fan-out, deliveries
+// carry log offsets, and subscribers may resume from a checkpointed
+// offset. Startup recovers the log, truncating any torn tail left by a
+// crash.
 //
 // The metrics listener serves GET /metrics (Prometheus text: session and
 // shard counters) and GET /healthz.
@@ -24,6 +31,7 @@ import (
 	"time"
 
 	"gasf/internal/core"
+	"gasf/internal/seglog"
 	"gasf/internal/server"
 )
 
@@ -51,6 +59,11 @@ func run(args []string) error {
 		srcTimeout  = fs.Duration("source-timeout", 30*time.Second, "expire sources silent for this long (<0 disables)")
 		drainGrace  = fs.Duration("drain-grace", time.Second, "how long shutdown keeps draining connected publishers")
 		quiet       = fs.Bool("quiet", false, "suppress per-session log lines")
+
+		dataDir       = fs.String("data-dir", "", "durable log directory (empty disables durability)")
+		segmentBytes  = fs.Int64("segment-bytes", 0, "log segment rotation size in bytes (0 = 64MiB)")
+		fsync         = fs.String("fsync", "interval", "log fsync policy: interval, never or always")
+		fsyncInterval = fs.Duration("fsync-interval", 0, "background sync interval for -fsync interval (0 = 200ms)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +83,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	fsyncPol, err := seglog.ParsePolicy(*fsync)
+	if err != nil {
+		return err
+	}
 	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
 	if *quiet {
 		logf = func(string, ...any) {}
@@ -84,9 +101,18 @@ func run(args []string) error {
 		SourceTimeout:     *srcTimeout,
 		DrainGrace:        *drainGrace,
 		Logf:              logf,
+		DataDir:           *dataDir,
+		Seglog: seglog.Options{
+			SegmentBytes: *segmentBytes,
+			Fsync:        fsyncPol,
+			Interval:     *fsyncInterval,
+		},
 	})
 	if err != nil {
 		return err
+	}
+	if *dataDir != "" {
+		logf("gasf-server: durable log at %s (fsync=%s)", *dataDir, fsyncPol)
 	}
 
 	var metricsSrv *http.Server

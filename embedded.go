@@ -35,6 +35,8 @@ func NewEmbedded(opts ...Option) (*Embedded, error) {
 		SubscriberQueue:    cfg.subQueue,
 		MaxSubscriberQueue: cfg.maxSubQueue,
 		Policy:             pol,
+		DataDir:            cfg.dataDir,
+		Seglog:             cfg.seglog,
 	})
 	if err != nil {
 		return nil, err
@@ -60,7 +62,11 @@ func (e *Embedded) Subscribe(ctx context.Context, app, source, spec string, opts
 	if err != nil {
 		return nil, err
 	}
-	sub, err := e.b.Subscribe(ctx, app, source, sp, sc.queue)
+	sub, err := e.b.Subscribe(ctx, app, source, sp, broker.SubOptions{
+		Queue:      sc.queue,
+		Resume:     sc.resume,
+		ResumeFrom: sc.resumeFrom,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -35,6 +35,7 @@ import (
 	"gasf/internal/core"
 	"gasf/internal/filter"
 	"gasf/internal/quality"
+	"gasf/internal/seglog"
 	"gasf/internal/shard"
 	"gasf/internal/tuple"
 	"gasf/internal/wire"
@@ -74,6 +75,15 @@ type Config struct {
 	// shard worker (and with it Finish and a graceful Close) forever.
 	// 0 means 10s; negative disables eviction (unbounded blocking).
 	EvictTimeout time.Duration
+	// DataDir, when set, makes the broker durable: every delivered
+	// transmission is appended to a per-source segment log under this
+	// directory before fan-out, deliveries carry their log offsets, and
+	// subscriptions may resume from a recorded offset. New recovers the
+	// log (truncating any torn tail) before accepting work.
+	DataDir string
+	// Seglog tunes the durable log (segment size, fsync policy). Ignored
+	// unless DataDir is set.
+	Seglog seglog.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +117,11 @@ type Delivery struct {
 	Tuple        *tuple.Tuple
 	Destinations []string
 	ReceivedAt   time.Time
+	// Offset is the delivery's position in the source's durable log when
+	// the broker runs with Config.DataDir (0 otherwise, and 0 for the log's
+	// first record). A consumer that checkpointed offset o resumes with
+	// SubOptions.ResumeFrom = o+1.
+	Offset uint64
 }
 
 // Broker is the embedded streaming runtime. Create with New, open
@@ -116,6 +131,12 @@ type Broker struct {
 	cfg    Config
 	rt     *shard.Runtime
 	cancel context.CancelFunc
+
+	// log is the durable per-source segment log, nil unless Config.DataDir
+	// was set. The sink appends before fan-out; replay goroutines read it
+	// concurrently (reads work on snapshots, so they also tolerate Close).
+	log           *seglog.Log
+	logAppendErrs atomic.Uint64
 
 	// mu guards the session registries; the delivery fan-out (sink) takes
 	// the read side so shard workers do not serialize against each other
@@ -129,23 +150,44 @@ type Broker struct {
 	closeErr  error
 }
 
-// New starts an embedded broker over a fresh shard runtime.
+// New starts an embedded broker over a fresh shard runtime. With
+// Config.DataDir set it first opens (and recovers) the durable log, so a
+// failed recovery surfaces here rather than on the first publish.
 func New(cfg Config) (*Broker, error) {
 	cfg = cfg.withDefaults()
+	var log *seglog.Log
+	if cfg.DataDir != "" {
+		var err error
+		if log, err = seglog.Open(cfg.DataDir, cfg.Seglog); err != nil {
+			return nil, fmt.Errorf("broker: opening durable log: %w", err)
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	b := &Broker{
 		cfg:     cfg,
 		rt:      shard.New(shard.FromOptions(cfg.Engine)),
 		cancel:  cancel,
+		log:     log,
 		sources: make(map[string]*Source),
 		subs:    make(map[string]map[string]*Sub),
 	}
 	if err := b.rt.Start(ctx, b.sink); err != nil {
 		cancel()
+		if log != nil {
+			log.Close()
+		}
 		return nil, err
 	}
 	return b, nil
 }
+
+// Durable reports whether the broker writes a durable log (Config.DataDir
+// was set), i.e. whether resuming subscriptions are accepted.
+func (b *Broker) Durable() bool { return b.log != nil }
+
+// LogAppendErrors returns the count of failed durable-log appends
+// (durability degraded; delivery continued).
+func (b *Broker) LogAppendErrors() uint64 { return b.logAppendErrs.Load() }
 
 // Runtime exposes the shard runtime for metrics.
 func (b *Broker) Runtime() *shard.Runtime { return b.rt }
@@ -171,6 +213,14 @@ type sinkState struct {
 	inDests []string
 	targets []*Sub
 	labels  []string
+
+	// enc and encBuf serve the durable log: on a durable broker the sink
+	// encodes each delivered transmission (pruned labels — exactly the
+	// bytes a networked subscriber would receive) and appends it before
+	// fan-out. Owned by the source's shard worker like the rest of the
+	// state, so no locking.
+	enc    wire.TransmissionEncoder
+	encBuf []byte
 }
 
 // Source is one open publisher session.
@@ -365,24 +415,58 @@ type Sub struct {
 	fin  chan struct{}
 	done chan struct{}
 
+	// Resume state. spliceTo is the fence captured inside the AddFilter
+	// control closure — it runs on the owning shard worker at a tuple
+	// boundary, the same goroutine that appends to the log, so every live
+	// delivery for this subscription carries an offset >= spliceTo and the
+	// replayed history [resumeFrom, spliceTo) tiles the log exactly.
+	resume     bool
+	resumeFrom uint64
+	spliceTo   uint64
+	// replay carries the history records; the replay goroutine closes it
+	// at the fence (replayErr is written first, and is safe to read after
+	// observing the close). Recv drains replay before touching live
+	// deliveries; the consumer side of a Sub is single-threaded, as on
+	// every other transport.
+	replay    chan Delivery
+	replayErr error
+
 	leaveOnce sync.Once
 	finOnce   sync.Once
 	dropped   atomic.Uint64
+}
+
+// SubOptions parameterizes Subscribe.
+type SubOptions struct {
+	// Queue bounds the delivery queue; 0 accepts the broker default, and
+	// requests are clamped to Config.MaxSubscriberQueue.
+	Queue int
+	// Resume asks for a catch-up subscription on a durable broker: the
+	// source's log records in [ResumeFrom, fence) addressed to this app
+	// are delivered first (in order, with their offsets), then the live
+	// stream continues seamlessly from the fence.
+	Resume     bool
+	ResumeFrom uint64
 }
 
 // Subscribe joins a source's live filter group with a quality
 // specification. The join is applied by the source's owning shard worker
 // at a tuple boundary: the subscriber sees exactly the tuples published
 // after Subscribe returns, and the group is re-derived without
-// disturbing the source's other subscribers. queue bounds the delivery
-// queue; 0 accepts the broker default, and requests are clamped to
-// Config.MaxSubscriberQueue.
-func (b *Broker) Subscribe(ctx context.Context, app, source string, spec quality.Spec, queue int) (*Sub, error) {
+// disturbing the source's other subscribers. With o.Resume set (durable
+// brokers only) the subscription first replays the source's history from
+// o.ResumeFrom up to the join fence, then continues live — gapless and
+// duplicate-free.
+func (b *Broker) Subscribe(ctx context.Context, app, source string, spec quality.Spec, o SubOptions) (*Sub, error) {
 	if app == "" {
 		return nil, fmt.Errorf("broker: empty app name")
 	}
+	queue := o.Queue
 	if queue < 0 {
 		return nil, fmt.Errorf("broker: negative queue depth %d", queue)
+	}
+	if o.Resume && b.log == nil {
+		return nil, fmt.Errorf("broker: resume requested but the broker has no durable log (set Config.DataDir)")
 	}
 	f, err := spec.Build(app)
 	if err != nil {
@@ -393,6 +477,12 @@ func (b *Broker) Subscribe(ctx context.Context, app, source string, spec quality
 	if b.closed {
 		b.mu.Unlock()
 		return nil, errClosed
+	}
+	if o.Resume {
+		if head := b.log.NextOffset(source); o.ResumeFrom > head {
+			b.mu.Unlock()
+			return nil, fmt.Errorf("broker: resume offset %d is beyond the log head %d of source %q", o.ResumeFrom, head, source)
+		}
 	}
 	src := b.sources[source]
 	if src == nil {
@@ -423,14 +513,19 @@ func (b *Broker) Subscribe(ctx context.Context, app, source string, spec quality
 		queue = b.cfg.MaxSubscriberQueue
 	}
 	sub := &Sub{
-		b:      b,
-		app:    app,
-		source: source,
-		schema: src.schema,
-		spec:   spec,
-		out:    make(chan Delivery, queue),
-		fin:    make(chan struct{}),
-		done:   make(chan struct{}),
+		b:          b,
+		app:        app,
+		source:     source,
+		schema:     src.schema,
+		spec:       spec,
+		out:        make(chan Delivery, queue),
+		fin:        make(chan struct{}),
+		done:       make(chan struct{}),
+		resume:     o.Resume,
+		resumeFrom: o.ResumeFrom,
+	}
+	if sub.resume {
+		sub.replay = make(chan Delivery)
 	}
 	if b.subs[source] == nil {
 		b.subs[source] = make(map[string]*Sub)
@@ -441,7 +536,19 @@ func (b *Broker) Subscribe(ctx context.Context, app, source string, spec quality
 	src.subEpoch++
 	b.mu.Unlock()
 
-	err = b.rt.ControlContext(ctx, source, func(e *core.Engine) error { return e.AddFilter(f) })
+	err = b.rt.ControlContext(ctx, source, func(e *core.Engine) error {
+		if err := e.AddFilter(f); err != nil {
+			return err
+		}
+		if sub.resume {
+			// The splice fence: this closure runs on the owning shard
+			// worker at a tuple boundary, so no append for this source can
+			// interleave — history is everything before this point, live is
+			// everything after.
+			sub.spliceTo = b.log.NextOffset(source)
+		}
+		return nil
+	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			// The cancelled wait may have left the AddFilter enqueued — it
@@ -459,8 +566,43 @@ func (b *Broker) Subscribe(ctx context.Context, app, source string, spec quality
 		}
 		return nil, fmt.Errorf("broker: joining group of %q: %w", source, err)
 	}
+	if sub.resume {
+		go sub.runReplay()
+	}
 	return sub, nil
 }
+
+// runReplay streams the log records of [resumeFrom, spliceTo) addressed
+// to this app onto the replay channel, in offset order, then closes it.
+// Records naming other apps only (delivered while this one was away) are
+// skipped. A decode or read failure is recorded in replayErr before the
+// close, so the consumer surfaces it instead of silently skipping to the
+// live stream over a gap.
+func (s *Sub) runReplay() {
+	defer close(s.replay)
+	err := s.b.log.Read(s.source, s.resumeFrom, s.spliceTo, func(off uint64, payload []byte) error {
+		t, dests, _, err := wire.DecodeTransmission(s.schema, payload)
+		if err != nil {
+			return fmt.Errorf("broker: replaying %q at offset %d: %w", s.source, off, err)
+		}
+		if !slices.Contains(dests, s.app) {
+			return nil
+		}
+		select {
+		case s.replay <- Delivery{Tuple: t, Destinations: dests, Offset: off}:
+			return nil
+		case <-s.done:
+			return errReplayAborted
+		}
+	})
+	if err != nil && !errors.Is(err, errReplayAborted) {
+		s.replayErr = err
+	}
+}
+
+// errReplayAborted marks a replay cut short by the subscription's own
+// departure — an orderly exit, not a failure.
+var errReplayAborted = errors.New("broker: replay aborted by departure")
 
 // dropSubEntry removes a subscription from the registry (the engine side
 // has already been handled — or never joined).
@@ -511,8 +653,38 @@ func (s *Sub) Recv(ctx context.Context) (Delivery, error) {
 // interface with the allocation profile each can offer.
 func (s *Sub) RecvInto(ctx context.Context, d *Delivery) error {
 	deliver := func(dv Delivery) {
-		d.Tuple, d.Destinations = dv.Tuple, dv.Destinations
+		d.Tuple, d.Destinations, d.Offset = dv.Tuple, dv.Destinations, dv.Offset
 		d.ReceivedAt = time.Now()
+	}
+	// History first: a resuming subscription drains the replay channel
+	// before any live delivery. Live deliveries buffer in out meanwhile
+	// (they all carry offsets >= spliceTo), so the two phases tile into
+	// one seamless stream. The consumer side of a Sub is single-threaded,
+	// so clearing s.replay after observing its close is safe — and the
+	// close happens-before that read, making replayErr visible. replayErr
+	// is only read once s.replay is nil (i.e. after the close was
+	// observed), and a failed replay is terminal: falling through to the
+	// live stream would silently cross the gap.
+	if s.replay == nil && s.replayErr != nil {
+		return s.replayErr
+	}
+	for s.replay != nil {
+		select {
+		case dv, ok := <-s.replay:
+			if !ok {
+				s.replay = nil
+				if s.replayErr != nil {
+					return s.replayErr
+				}
+				continue // fall through to the live stream
+			}
+			deliver(dv)
+			return nil
+		case <-s.done:
+			return ErrStreamEnded
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	select {
 	case dv := <-s.out:
@@ -661,8 +833,30 @@ func (b *Broker) sink(batch []shard.Out) {
 			targets, labels = st.targets, st.labels
 		}
 		b.mu.RUnlock()
+		if len(targets) == 0 {
+			continue
+		}
+		// Durable brokers append before fan-out (outside the registry lock;
+		// sinkState is owned by this worker). The log carries exactly the
+		// bytes a networked subscriber receives — the transmission with its
+		// labels pruned to the live group — so replays are byte-equivalent
+		// across transports. An append failure degrades durability, not
+		// delivery: it is counted and the delivery proceeds offset-less.
+		var off uint64
+		if b.log != nil {
+			st := &src.sink
+			payload, err := st.enc.AppendTransmission(st.encBuf[:0], st.epoch, o.Tr.Tuple, labels)
+			if err == nil {
+				st.encBuf = payload
+				off, err = b.log.Append(o.Source, payload)
+			}
+			if err != nil {
+				b.logAppendErrs.Add(1)
+				off = 0
+			}
+		}
 		for _, sub := range targets {
-			sub.send(Delivery{Tuple: o.Tr.Tuple, Destinations: labels})
+			sub.send(Delivery{Tuple: o.Tr.Tuple, Destinations: labels, Offset: off})
 		}
 	}
 }
@@ -722,6 +916,15 @@ func (b *Broker) close(ctx context.Context) error {
 		drainErr = <-done
 	}
 	b.cancel()
+
+	// The workers are gone, so no sink append can race the log close.
+	// Replay goroutines may still be reading — reads work on snapshots
+	// (os.ReadFile), so they are unaffected.
+	if b.log != nil {
+		if err := b.log.Close(); err != nil {
+			drainErr = errors.Join(drainErr, err)
+		}
+	}
 
 	// Workers are gone, so no sink flush can race these closes; any
 	// subscription still open gets its stream ended.

@@ -60,11 +60,11 @@ func TestPubSubChurn(t *testing.T) {
 	defer b.Close(ctx)
 	src := openBench(t, b)
 
-	subA, err := b.Subscribe(ctx, "a", "bench", passAllSpec(t), 0)
+	subA, err := b.Subscribe(ctx, "a", "bench", passAllSpec(t), SubOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	subB, err := b.Subscribe(ctx, "b", "bench", passAllSpec(t), 0)
+	subB, err := b.Subscribe(ctx, "b", "bench", passAllSpec(t), SubOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestPubSubChurn(t *testing.T) {
 	if err := src.Sync(ctx); err != nil {
 		t.Fatalf("sync: %v", err)
 	}
-	subC, err := b.Subscribe(ctx, "c", "bench", passAllSpec(t), 0)
+	subC, err := b.Subscribe(ctx, "c", "bench", passAllSpec(t), SubOptions{})
 	if err != nil {
 		t.Fatalf("mid-stream join: %v", err)
 	}
@@ -140,21 +140,21 @@ func TestQueueDepthPropagation(t *testing.T) {
 	defer b.Close(ctx)
 	openBench(t, b)
 
-	sub, err := b.Subscribe(ctx, "explicit", "bench", passAllSpec(t), 3)
+	sub, err := b.Subscribe(ctx, "explicit", "bench", passAllSpec(t), SubOptions{Queue: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := sub.QueueDepth(); got != 3 {
 		t.Errorf("explicit queue depth = %d, want 3", got)
 	}
-	sub, err = b.Subscribe(ctx, "default", "bench", passAllSpec(t), 0)
+	sub, err = b.Subscribe(ctx, "default", "bench", passAllSpec(t), SubOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := sub.QueueDepth(); got != 7 {
 		t.Errorf("default queue depth = %d, want 7", got)
 	}
-	sub, err = b.Subscribe(ctx, "clamped", "bench", passAllSpec(t), 5000)
+	sub, err = b.Subscribe(ctx, "clamped", "bench", passAllSpec(t), SubOptions{Queue: 5000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestDropPolicy(t *testing.T) {
 	}
 	defer b.Close(ctx)
 	src := openBench(t, b)
-	sub, err := b.Subscribe(ctx, "slow", "bench", passAllSpec(t), 2)
+	sub, err := b.Subscribe(ctx, "slow", "bench", passAllSpec(t), SubOptions{Queue: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,16 +206,16 @@ func TestSubscribeValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	src := openBench(t, b)
-	if _, err := b.Subscribe(ctx, "a", "nope", passAllSpec(t), 0); err == nil {
+	if _, err := b.Subscribe(ctx, "a", "nope", passAllSpec(t), SubOptions{}); err == nil {
 		t.Error("unknown source should fail")
 	}
-	if _, err := b.Subscribe(ctx, "a", "bench", quality.MustParse("DC1(other, 1, 0.5)"), 0); err == nil {
+	if _, err := b.Subscribe(ctx, "a", "bench", quality.MustParse("DC1(other, 1, 0.5)"), SubOptions{}); err == nil {
 		t.Error("unknown attribute should fail")
 	}
-	if _, err := b.Subscribe(ctx, "a", "bench", passAllSpec(t), 0); err != nil {
+	if _, err := b.Subscribe(ctx, "a", "bench", passAllSpec(t), SubOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Subscribe(ctx, "a", "bench", passAllSpec(t), 0); err == nil {
+	if _, err := b.Subscribe(ctx, "a", "bench", passAllSpec(t), SubOptions{}); err == nil {
 		t.Error("duplicate app should fail")
 	}
 	if _, err := b.OpenSource("bench", src.Schema()); err == nil {
@@ -224,7 +224,7 @@ func TestSubscribeValidation(t *testing.T) {
 	if err := b.Close(ctx); err != nil {
 		t.Fatalf("close: %v", err)
 	}
-	if _, err := b.Subscribe(ctx, "late", "bench", passAllSpec(t), 0); err == nil {
+	if _, err := b.Subscribe(ctx, "late", "bench", passAllSpec(t), SubOptions{}); err == nil {
 		t.Error("subscribe after close should fail")
 	}
 	if _, err := b.OpenSource("late", src.Schema()); err == nil {
@@ -283,11 +283,11 @@ func TestBlockEvictionUnwedgesGracefulClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	src := openBench(t, b)
-	abandoned, err := b.Subscribe(ctx, "abandoned", "bench", passAllSpec(t), 1)
+	abandoned, err := b.Subscribe(ctx, "abandoned", "bench", passAllSpec(t), SubOptions{Queue: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	active, err := b.Subscribe(ctx, "active", "bench", passAllSpec(t), 1024)
+	active, err := b.Subscribe(ctx, "active", "bench", passAllSpec(t), SubOptions{Queue: 1024})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +340,7 @@ func TestCloseAbortUnblocks(t *testing.T) {
 	}
 	ctx := testCtx(t)
 	src := openBench(t, b)
-	if _, err := b.Subscribe(ctx, "stuck", "bench", passAllSpec(t), 1); err != nil {
+	if _, err := b.Subscribe(ctx, "stuck", "bench", passAllSpec(t), SubOptions{Queue: 1}); err != nil {
 		t.Fatal(err)
 	}
 	// More pass-all tuples than the queue holds: the worker blocks

@@ -354,6 +354,12 @@ type Delivery struct {
 	Tuple        *tuple.Tuple
 	Destinations []string
 	ReceivedAt   time.Time
+	// Offset is the durable log offset of this transmission, valid when
+	// the server runs with durability (offset-bearing frames). The
+	// checkpoint contract: after processing the delivery at offset o,
+	// resume with o+1 to continue exactly after it. Always 0 against a
+	// non-durable server.
+	Offset uint64
 }
 
 // Subscriber is a client-side application session: it joins a source's
@@ -368,9 +374,11 @@ type Subscriber struct {
 
 	// RecvInto scratch: label views into the recycled payload buffer and
 	// the session's interned label strings (destination sets repeat, so
-	// steady-state receives allocate nothing).
+	// steady-state receives allocate nothing; the interner's bounded
+	// table keeps a long-lived session's memory flat even when the
+	// destination labels churn without repeating).
 	labelViews [][]byte
-	labels     map[string]string
+	labels     wire.Interner
 
 	mu     sync.Mutex
 	closed bool
@@ -394,11 +402,33 @@ func DialSubscriberBuffered(addr, app, source, spec string, queue int) (*Subscri
 // DialSubscriberTimeout is DialSubscriberBuffered with an explicit
 // dial-plus-handshake timeout; 0 means the 5s default.
 func DialSubscriberTimeout(addr, app, source, spec string, queue int, timeout time.Duration) (*Subscriber, error) {
-	hello, err := EncodeSubHello(app, source, spec, queue)
+	return DialSubscriberOpts(addr, app, source, spec, SubDialOpts{Queue: queue, Timeout: timeout})
+}
+
+// SubDialOpts parameterizes a subscriber session dial beyond the
+// required identity (app, source, spec).
+type SubDialOpts struct {
+	// Queue requests a server-side send-queue depth for this session;
+	// 0 accepts the server default.
+	Queue int
+	// Resume requests replay of the source's durable log from
+	// ResumeFrom before the live stream; the server splices the two at
+	// a fenced cut-over so the session sees no gap and no duplicate.
+	// Requires a durable server. Resume from 0 replays everything.
+	Resume     bool
+	ResumeFrom uint64
+	// Timeout bounds the dial plus handshake; 0 means the 5s default.
+	Timeout time.Duration
+}
+
+// DialSubscriberOpts joins a source's group with explicit session
+// options, the full-control variant of DialSubscriber.
+func DialSubscriberOpts(addr, app, source, spec string, o SubDialOpts) (*Subscriber, error) {
+	hello, err := EncodeSubHelloResume(app, source, spec, o.Queue, o.Resume, o.ResumeFrom)
 	if err != nil {
 		return nil, err
 	}
-	conn, payload, err := dialHello(addr, FrameSubHello, hello, timeout)
+	conn, payload, err := dialHello(addr, FrameSubHello, hello, o.Timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -436,15 +466,19 @@ func (c *Subscriber) Recv() (*Delivery, error) {
 			return nil, fmt.Errorf("server: receiving: %w", err)
 		}
 		switch kind {
-		case FrameTransmission:
-			t, dests, n, err := wire.DecodeTransmission(c.schema, payload)
+		case FrameTransmission, FrameTransmissionOff:
+			body, offset, err := splitOffset(kind, payload)
 			if err != nil {
 				return nil, err
 			}
-			if n != len(payload) {
-				return nil, fmt.Errorf("server: transmission frame carries %d trailing bytes", len(payload)-n)
+			t, dests, n, err := wire.DecodeTransmission(c.schema, body)
+			if err != nil {
+				return nil, err
 			}
-			return &Delivery{Tuple: t, Destinations: dests, ReceivedAt: time.Now()}, nil
+			if n != len(body) {
+				return nil, fmt.Errorf("server: transmission frame carries %d trailing bytes", len(body)-n)
+			}
+			return &Delivery{Tuple: t, Destinations: dests, ReceivedAt: time.Now(), Offset: offset}, nil
 		case FrameHeartbeat:
 			continue
 		case FrameGoodbye:
@@ -471,23 +505,28 @@ func (c *Subscriber) RecvInto(d *Delivery) error {
 			return fmt.Errorf("server: receiving: %w", err)
 		}
 		switch kind {
-		case FrameTransmission:
+		case FrameTransmission, FrameTransmissionOff:
+			body, offset, err := splitOffset(kind, payload)
+			if err != nil {
+				return err
+			}
 			if d.Tuple == nil {
 				d.Tuple = new(tuple.Tuple)
 			}
-			views, n, err := wire.DecodeTransmissionInto(d.Tuple, c.schema, c.labelViews[:0], payload)
+			views, n, err := wire.DecodeTransmissionInto(d.Tuple, c.schema, c.labelViews[:0], body)
 			c.labelViews = views
 			if err != nil {
 				return err
 			}
-			if n != len(payload) {
-				return fmt.Errorf("server: transmission frame carries %d trailing bytes", len(payload)-n)
+			if n != len(body) {
+				return fmt.Errorf("server: transmission frame carries %d trailing bytes", len(body)-n)
 			}
 			d.Destinations = d.Destinations[:0]
 			for _, v := range views {
 				d.Destinations = append(d.Destinations, c.intern(v))
 			}
 			d.ReceivedAt = time.Now()
+			d.Offset = offset
 			return nil
 		case FrameHeartbeat:
 			continue
@@ -501,19 +540,22 @@ func (c *Subscriber) RecvInto(d *Delivery) error {
 	}
 }
 
-// intern maps a label view to a stable per-session string, allocating
-// only the first time a label is seen (the compiler elides the
-// conversion in the map lookup).
-func (c *Subscriber) intern(b []byte) string {
-	if s, ok := c.labels[string(b)]; ok {
-		return s
+// intern maps a label view to a stable per-session string via the
+// bounded interner: a resident label allocates nothing, and a churning
+// label stream can never grow the session's memory without bound.
+func (c *Subscriber) intern(b []byte) string { return c.labels.Intern(b) }
+
+// splitOffset strips the durable log offset off an offset-bearing
+// transmission payload; a plain transmission passes through with
+// offset 0.
+func splitOffset(kind byte, payload []byte) (body []byte, offset uint64, err error) {
+	if kind != FrameTransmissionOff {
+		return payload, 0, nil
 	}
-	if c.labels == nil {
-		c.labels = make(map[string]string)
+	if len(payload) < 8 {
+		return nil, 0, fmt.Errorf("server: truncated offset in transmission frame")
 	}
-	s := string(b)
-	c.labels[s] = s
-	return s
+	return payload[8:], binary.LittleEndian.Uint64(payload), nil
 }
 
 // RecvContext is Recv bounded by ctx (the blocking read unblocks when

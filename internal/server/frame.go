@@ -21,8 +21,25 @@ type frame struct {
 
 var framePool = sync.Pool{New: func() any { return new(frame) }}
 
+// frameStats is the pool-traffic ledger behind the leak-detector tests:
+// when enabled, every frame/batch checkout and final release is
+// counted, so a quiesced server must show gets == puts — any imbalance
+// is a reference leaked (or double-released) somewhere in the fan-out,
+// drop, eviction or teardown paths. Disabled (the default) it costs one
+// predictable-branch atomic load per event.
+var frameStats struct {
+	enabled   atomic.Bool
+	frameGets atomic.Uint64
+	framePuts atomic.Uint64
+	batchGets atomic.Uint64
+	batchPuts atomic.Uint64
+}
+
 // getFrame takes an empty frame from the pool.
 func getFrame() *frame {
+	if frameStats.enabled.Load() {
+		frameStats.frameGets.Add(1)
+	}
 	fr := framePool.Get().(*frame)
 	fr.buf = fr.buf[:0]
 	return fr
@@ -35,6 +52,9 @@ func (fr *frame) retain(n int) { fr.refs.Store(int32(n)) }
 // release drops one reference, recycling the frame when it was the last.
 func (fr *frame) release() {
 	if fr.refs.Add(-1) == 0 {
+		if frameStats.enabled.Load() {
+			frameStats.framePuts.Add(1)
+		}
 		framePool.Put(fr)
 	}
 }
@@ -54,6 +74,9 @@ var frameBatchPool = sync.Pool{New: func() any { return new(frameBatch) }}
 
 // getBatch takes an empty batch from the pool.
 func getBatch() *frameBatch {
+	if frameStats.enabled.Load() {
+		frameStats.batchGets.Add(1)
+	}
 	b := frameBatchPool.Get().(*frameBatch)
 	b.frames = b.frames[:0]
 	return b
@@ -62,6 +85,9 @@ func getBatch() *frameBatch {
 // putBatch recycles a batch whose frames have been handed off (or
 // released); it clears the frame pointers so the pool does not pin them.
 func putBatch(b *frameBatch) {
+	if frameStats.enabled.Load() {
+		frameStats.batchPuts.Add(1)
+	}
 	clear(b.frames)
 	b.frames = b.frames[:0]
 	frameBatchPool.Put(b)

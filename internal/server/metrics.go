@@ -21,6 +21,9 @@ type counters struct {
 	bytesIn             atomic.Uint64
 	bytesOut            atomic.Uint64
 	heartbeatsIn        atomic.Uint64
+	logAppendErrors     atomic.Uint64
+	replaysServed       atomic.Uint64
+	replayRecordsOut    atomic.Uint64
 }
 
 // Counters is a point-in-time snapshot of the server session counters.
@@ -34,6 +37,11 @@ type Counters struct {
 	TuplesIn, TransmissionsOut, DeliveriesOut                       uint64
 	BytesIn, BytesOut                                               uint64
 	HeartbeatsIn                                                    uint64
+	// LogAppendErrors counts failed durable-log appends (durability
+	// degraded; delivery continued). ReplaysServed counts resume
+	// sessions that completed their history replay; ReplayRecordsOut
+	// counts the records those replays delivered.
+	LogAppendErrors, ReplaysServed, ReplayRecordsOut uint64
 }
 
 // Counters snapshots the session counters.
@@ -61,6 +69,9 @@ func (s *Server) Counters() Counters {
 		BytesIn:             s.ctr.bytesIn.Load(),
 		BytesOut:            s.ctr.bytesOut.Load(),
 		HeartbeatsIn:        s.ctr.heartbeatsIn.Load(),
+		LogAppendErrors:     s.ctr.logAppendErrors.Load(),
+		ReplaysServed:       s.ctr.replaysServed.Load(),
+		ReplayRecordsOut:    s.ctr.replayRecordsOut.Load(),
 	}
 }
 
@@ -94,6 +105,9 @@ func (s *Server) MetricsHandler() http.Handler {
 		g("bytes_in_total", "Frame bytes read from publishers.", c.BytesIn)
 		g("bytes_out_total", "Frame bytes written to subscribers.", c.BytesOut)
 		g("heartbeats_in_total", "Heartbeat frames received.", c.HeartbeatsIn)
+		g("log_append_errors_total", "Failed durable-log appends.", c.LogAppendErrors)
+		g("replays_served_total", "Resume sessions whose history replay completed.", c.ReplaysServed)
+		g("replay_records_out_total", "Records delivered by history replays.", c.ReplayRecordsOut)
 		for _, snap := range s.rt.Metrics() {
 			l := fmt.Sprintf("{shard=\"%d\"}", snap.Shard)
 			fmt.Fprintf(w, "gasf_shard_sources%s %d\n", l, snap.Sources)

@@ -66,7 +66,22 @@ const (
 	FramePing byte = 9
 	// FramePong answers a FramePing with the same payload.
 	FramePong byte = 10
+	// FrameTransmissionOff carries one labeled transmission prefixed
+	// with its u64 little-endian durable log offset (server ->
+	// subscriber). A durable server sends all transmissions in this
+	// form so every delivery names the checkpoint to resume after;
+	// non-durable servers keep the offset-less FrameTransmission.
+	FrameTransmissionOff byte = 11
 )
+
+// SubProtoVersion is the subscriber protocol version this package
+// speaks. Version 2 (the durability bump) adds the trailing
+// version/resume fields to the subscriber hello and the offset-bearing
+// FrameTransmissionOff delivery frame. A version-1 hello (no trailer)
+// is still decoded, but a durable server rejects it: its encode-once
+// fan-out produces only offset-bearing frames, which a v1 client would
+// not understand.
+const SubProtoVersion = 2
 
 // MaxFramePayload bounds a frame payload; larger frames are rejected as
 // malformed (a tuple of 65535 float64 values is ~512KiB).
@@ -189,9 +204,31 @@ func DecodeSourceHello(data []byte) (name string, schema *tuple.Schema, err erro
 	return name, schema, nil
 }
 
-// EncodeSubHello encodes a subscriber hello payload. queue requests a
-// per-subscriber send-queue depth; 0 accepts the server default.
+// SubHello is a decoded subscriber hello. Version 1 payloads carry
+// app, source, spec and queue; version 2 appends the protocol version
+// and an optional resume point. Resume distinguishes "no resume" from
+// "resume from offset 0".
+type SubHello struct {
+	App, Source, Spec string
+	Queue             int
+	Version           int
+	Resume            bool
+	ResumeFrom        uint64
+}
+
+// EncodeSubHello encodes a subscriber hello payload with no resume
+// request. queue requests a per-subscriber send-queue depth; 0 accepts
+// the server default.
 func EncodeSubHello(app, source, spec string, queue int) ([]byte, error) {
+	return EncodeSubHelloResume(app, source, spec, queue, false, 0)
+}
+
+// EncodeSubHelloResume encodes a subscriber hello payload, optionally
+// requesting replay of the source's durable log from a record offset.
+// The version/resume fields trail the version-1 payload, so old servers
+// that ignore trailing bytes would misparse them — which is why the
+// hello always carries an explicit version for the server to check.
+func EncodeSubHelloResume(app, source, spec string, queue int, resume bool, from uint64) ([]byte, error) {
 	if app == "" || source == "" || spec == "" {
 		return nil, fmt.Errorf("server: subscriber hello needs app, source and spec")
 	}
@@ -201,31 +238,72 @@ func EncodeSubHello(app, source, spec string, queue int) ([]byte, error) {
 	buf := appendString(nil, app)
 	buf = appendString(buf, source)
 	buf = appendString(buf, spec)
-	return binary.AppendUvarint(buf, uint64(queue)), nil
+	buf = binary.AppendUvarint(buf, uint64(queue))
+	buf = binary.AppendUvarint(buf, SubProtoVersion)
+	if resume {
+		buf = append(buf, 1)
+		buf = binary.LittleEndian.AppendUint64(buf, from)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf, nil
 }
 
-// DecodeSubHello decodes a subscriber hello payload.
-func DecodeSubHello(data []byte) (app, source, spec string, queue int, err error) {
+// DecodeSubHello decodes a subscriber hello payload of either protocol
+// version: a payload ending right after the queue depth is version 1.
+func DecodeSubHello(data []byte) (h SubHello, err error) {
 	app, n, err := readString(data)
 	if err != nil {
-		return "", "", "", 0, err
+		return SubHello{}, err
 	}
 	source, m, err := readString(data[n:])
 	if err != nil {
-		return "", "", "", 0, err
+		return SubHello{}, err
 	}
 	spec, k, err := readString(data[n+m:])
 	if err != nil {
-		return "", "", "", 0, err
+		return SubHello{}, err
 	}
-	q, qn := binary.Uvarint(data[n+m+k:])
+	rest := data[n+m+k:]
+	q, qn := binary.Uvarint(rest)
 	if qn <= 0 || q > 1<<20 {
-		return "", "", "", 0, fmt.Errorf("server: bad queue depth in subscriber hello")
+		return SubHello{}, fmt.Errorf("server: bad queue depth in subscriber hello")
 	}
+	rest = rest[qn:]
 	if app == "" || source == "" || spec == "" {
-		return "", "", "", 0, fmt.Errorf("server: subscriber hello needs app, source and spec")
+		return SubHello{}, fmt.Errorf("server: subscriber hello needs app, source and spec")
 	}
-	return app, source, spec, int(q), nil
+	h = SubHello{App: app, Source: source, Spec: spec, Queue: int(q), Version: 1}
+	if len(rest) == 0 {
+		return h, nil
+	}
+	v, vn := binary.Uvarint(rest)
+	if vn <= 0 || v < 2 || v > 1<<10 {
+		return SubHello{}, fmt.Errorf("server: bad protocol version in subscriber hello")
+	}
+	rest = rest[vn:]
+	h.Version = int(v)
+	if len(rest) < 1 {
+		return SubHello{}, fmt.Errorf("server: truncated resume flag in subscriber hello")
+	}
+	flag := rest[0]
+	rest = rest[1:]
+	switch flag {
+	case 0:
+	case 1:
+		if len(rest) < 8 {
+			return SubHello{}, fmt.Errorf("server: truncated resume offset in subscriber hello")
+		}
+		h.Resume = true
+		h.ResumeFrom = binary.LittleEndian.Uint64(rest)
+		rest = rest[8:]
+	default:
+		return SubHello{}, fmt.Errorf("server: bad resume flag in subscriber hello")
+	}
+	if len(rest) != 0 {
+		return SubHello{}, fmt.Errorf("server: trailing bytes in subscriber hello")
+	}
+	return h, nil
 }
 
 // appendSchema appends a schema (u16 count + names).

@@ -15,6 +15,7 @@ import (
 
 	"gasf/internal/core"
 	"gasf/internal/quality"
+	"gasf/internal/seglog"
 	"gasf/internal/shard"
 	"gasf/internal/tuple"
 	"gasf/internal/wire"
@@ -94,6 +95,16 @@ type Config struct {
 	// connected publishers (draining tuples already in flight) before
 	// cutting them; 0 means 1s.
 	DrainGrace time.Duration
+	// DataDir, when set, enables durability: every transmission released
+	// to at least one live subscriber is appended to a per-source
+	// segment log under this directory (internal/seglog) before fan-out,
+	// deliveries carry their log offset, and subscribers may resume from
+	// a checkpointed offset. Startup recovers the log, truncating any
+	// torn tail left by a crash. Empty disables durability.
+	DataDir string
+	// Seglog tunes the segment log (rotation size, fsync policy); zero
+	// values take the seglog defaults. Ignored unless DataDir is set.
+	Seglog seglog.Options
 	// Logf, when set, receives one line per session event.
 	Logf func(format string, args ...any)
 }
@@ -144,6 +155,13 @@ type sourceSession struct {
 	// expired marks that the gap detector closed the connection, so the
 	// reader attributes its exit correctly.
 	expired atomicFlag
+	// ingestBusy marks that the session reader is parked inside the
+	// runtime — a ring submit under backpressure or a Sync barrier
+	// awaiting its pong. A busy source publishes nothing by definition,
+	// so the flow-gap scan must treat the state as liveness, not
+	// silence: reaping it mid-barrier would tear down a healthy session
+	// (and strand the client in Sync).
+	ingestBusy atomic.Bool
 	// subEpoch counts subscriber-registry changes for this source; it is
 	// written under Server.mu and read under its read side. The sink's
 	// per-source caches are keyed by it, so a membership change can never
@@ -173,6 +191,8 @@ type Server struct {
 	cfg Config
 	ln  net.Listener
 	rt  *shard.Runtime
+	// log is the durable segment log, nil unless Config.DataDir is set.
+	log *seglog.Log
 
 	// rtCancel aborts the shard runtime (hard stop only; a graceful
 	// drain must leave the workers running until Drain returns).
@@ -209,11 +229,22 @@ func Start(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	var log *seglog.Log
+	if cfg.DataDir != "" {
+		// Opening the log runs recovery: torn tails are truncated and
+		// each source's next offset restored before any session connects.
+		log, err = seglog.Open(cfg.DataDir, cfg.Seglog)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
 		ln:       ln,
 		rt:       shard.New(shard.FromOptions(cfg.Engine)),
+		log:      log,
 		rtCancel: cancel,
 		sources:  make(map[string]*sourceSession),
 		subs:     make(map[string]map[string]*subscriber),
@@ -222,6 +253,9 @@ func Start(cfg Config) (*Server, error) {
 	if err := s.rt.Start(ctx, s.sink); err != nil {
 		cancel()
 		ln.Close()
+		if log != nil {
+			log.Close()
+		}
 		return nil, err
 	}
 	s.connWG.Add(2)
@@ -289,6 +323,14 @@ func (s *Server) scanLoop() {
 		s.mu.Lock()
 		var stale []*sourceSession
 		for _, src := range s.sources {
+			if src.ingestBusy.Load() {
+				// The reader is parked in a ring submit (downstream
+				// backpressure) or holding a Sync barrier open: tuples are
+				// flowing or fenced, not gapped. An outstanding ping is
+				// liveness — expiring here would reap a healthy source
+				// mid-barrier.
+				continue
+			}
 			if src.lastSeen.load().Before(cutoff) {
 				stale = append(stale, src)
 			}
@@ -424,7 +466,14 @@ func (s *Server) readSource(src *sourceSession) {
 		// the clock off the per-tuple path; runs are far shorter than any
 		// sane SourceTimeout.
 		src.lastSeen.store(time.Now())
+		// The submit may park arbitrarily long on a full shard ring
+		// (block policy downstream); the busy flag keeps the flow-gap
+		// scan from mistaking that stall for a dead publisher, and the
+		// fresh lastSeen on return restarts the gap clock.
+		src.ingestBusy.Store(true)
 		err := s.runtimeOp(func() error { return s.rt.SubmitBatch(src.name, batch) })
+		src.ingestBusy.Store(false)
+		src.lastSeen.store(time.Now())
 		if err == nil {
 			s.ctr.tuplesIn.Add(uint64(len(batch)))
 		}
@@ -483,8 +532,15 @@ func (s *Server) readSource(src *sourceSession) {
 				readErr = err
 				break
 			}
+			// The pong write closes the barrier; it is covered by the busy
+			// flag like the submit so an outstanding ping can never expire
+			// the source mid-barrier.
+			src.ingestBusy.Store(true)
 			src.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-			if err := WriteFrame(src.conn, FramePong, payload); err != nil {
+			err := WriteFrame(src.conn, FramePong, payload)
+			src.ingestBusy.Store(false)
+			src.lastSeen.store(time.Now())
+			if err != nil {
 				readErr = fmt.Errorf("answering ping: %w", err)
 				break
 			}
@@ -550,12 +606,13 @@ func (s *Server) finishSource(src *sourceSession, cause error) {
 // quality spec, join the source's live group, then stream transmissions
 // until the subscriber leaves or its source finishes.
 func (s *Server) serveSubscriber(conn net.Conn, hello []byte) {
-	app, source, specText, queue, err := DecodeSubHello(hello)
+	h, err := DecodeSubHello(hello)
 	if err != nil {
 		s.reject(conn, err)
 		return
 	}
-	spec, err := quality.Parse(specText)
+	app, source, queue := h.App, h.Source, h.Queue
+	spec, err := quality.Parse(h.Spec)
 	if err != nil {
 		s.reject(conn, err)
 		return
@@ -563,6 +620,17 @@ func (s *Server) serveSubscriber(conn net.Conn, hello []byte) {
 	f, err := spec.Build(app)
 	if err != nil {
 		s.reject(conn, err)
+		return
+	}
+	if s.log == nil && h.Resume {
+		s.reject(conn, fmt.Errorf("resume requested but the server has no durable log (start it with a data dir)"))
+		return
+	}
+	if s.log != nil && h.Version < 2 {
+		// A durable server's encode-once fan-out produces only
+		// offset-bearing transmission frames; a protocol-1 client would
+		// not understand them, so the handshake is the place to fail.
+		s.reject(conn, fmt.Errorf("durable server requires subscriber protocol version %d (client speaks %d)", SubProtoVersion, h.Version))
 		return
 	}
 
@@ -597,6 +665,12 @@ func (s *Server) serveSubscriber(conn net.Conn, hello []byte) {
 		s.reject(conn, fmt.Errorf("source %q already has %d subscribers (wire limit)", source, wire.MaxDestinations))
 		return
 	}
+	if h.Resume && h.ResumeFrom > s.log.NextOffset(source) {
+		head := s.log.NextOffset(source)
+		s.mu.Unlock()
+		s.reject(conn, fmt.Errorf("resume offset %d is beyond the log head %d of source %q", h.ResumeFrom, head, source))
+		return
+	}
 	if queue <= 0 {
 		queue = s.cfg.SubscriberQueue
 	}
@@ -604,6 +678,7 @@ func (s *Server) serveSubscriber(conn net.Conn, hello []byte) {
 		queue = s.cfg.MaxSubscriberQueue
 	}
 	sub := newSubscriber(s, app, source, conn, queue)
+	sub.resume, sub.resumeFrom = h.Resume, h.ResumeFrom
 	if s.subs[source] == nil {
 		s.subs[source] = make(map[string]*subscriber)
 	}
@@ -614,7 +689,22 @@ func (s *Server) serveSubscriber(conn net.Conn, hello []byte) {
 	s.mu.Unlock()
 
 	err = s.runtimeOp(func() error {
-		return s.rt.Control(source, func(e *core.Engine) error { return e.AddFilter(f) })
+		return s.rt.Control(source, func(e *core.Engine) error {
+			if err := e.AddFilter(f); err != nil {
+				return err
+			}
+			if sub.resume {
+				// The splice fence: this closure runs on the source's
+				// owning worker at a tuple boundary, the same goroutine
+				// that appends to the log, so every record below the fence
+				// was released before this app joined the group and every
+				// transmission addressed to it lands at or above the
+				// fence. Replaying [resumeFrom, fence) and then streaming
+				// live is gapless and duplicate-free by construction.
+				sub.spliceTo = s.log.NextOffset(source)
+			}
+			return nil
+		})
 	})
 	if err != nil {
 		s.dropSubscriberEntry(sub)
@@ -728,7 +818,16 @@ func (s *Server) sink(batch []shard.Out) {
 		}
 
 		fr := getFrame()
-		buf := beginFrame(fr.buf, FrameTransmission)
+		kind := FrameTransmission
+		if s.log != nil {
+			kind = FrameTransmissionOff
+		}
+		buf := beginFrame(fr.buf, kind)
+		payloadStart := len(buf)
+		if s.log != nil {
+			// Offset placeholder, patched after the append assigns it.
+			buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+		}
 		buf, err := st.enc.AppendTransmission(buf, st.epoch, o.Tr.Tuple, st.labels)
 		if err != nil {
 			fr.buf = fr.buf[:0]
@@ -738,6 +837,22 @@ func (s *Server) sink(batch []shard.Out) {
 			continue
 		}
 		fr.buf = endFrame(buf)
+		if s.log != nil {
+			// The durable record is the exact transmission fanned out to
+			// the live targets — pruned labels included — so a replayed
+			// stream is byte-identical to what a live subscriber received.
+			// The append lands before any subscriber queue sees the frame:
+			// a delivery can never report an offset the log does not hold.
+			off, err := s.log.Append(o.Source, fr.buf[payloadStart+8:])
+			if err != nil {
+				// Durability is degraded, delivery is not: the live stream
+				// continues and the failure is counted and logged. Recovery
+				// truncates whatever half-record the error left behind.
+				s.ctr.logAppendErrors.Add(1)
+				s.cfg.Logf("server: appending %q to segment log: %v", o.Source, err)
+			}
+			binary.LittleEndian.PutUint64(fr.buf[payloadStart:], off)
+		}
 		fr.retain(len(st.targets))
 		for _, sub := range st.targets {
 			if sub.stage == nil {
@@ -825,6 +940,13 @@ func (s *Server) shutdown(ctx context.Context) error {
 	}
 	drainErr := s.rt.Drain()
 	s.rtCancel()
+	if s.log != nil {
+		// The workers are drained: no sink call can append anymore, so
+		// the log can be sealed (final fsync under the sync policies).
+		if err := s.log.Close(); err != nil {
+			drainErr = errors.Join(drainErr, err)
+		}
+	}
 
 	// Workers are gone, so no sink flush can race these closes; any
 	// subscriber still connected gets its queue flushed and a goodbye.

@@ -2,10 +2,14 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
+	"errors"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gasf/internal/wire"
 )
 
 // subWriteBatchBytes bounds how many frame bytes one egress cycle
@@ -45,6 +49,15 @@ type subscriber struct {
 	leaveOnce  sync.Once
 	finOnce    sync.Once
 
+	// resume asks the writer to replay the source's durable log over
+	// [resumeFrom, spliceTo) before draining live deliveries. spliceTo is
+	// the fence captured inside the AddFilter control closure — every
+	// live delivery for this session carries an offset >= spliceTo, so
+	// the replayed history and the live stream tile the log exactly.
+	resume     bool
+	resumeFrom uint64
+	spliceTo   uint64
+
 	dropped atomic.Uint64
 }
 
@@ -80,17 +93,33 @@ func (sub *subscriber) sendBatch(b *frameBatch) {
 	case PolicyDrop:
 		select {
 		case sub.out <- b:
-			sub.s.ctr.deliveriesOut.Add(n)
+			sub.enqueued(n)
 		default:
 			sub.drop(b, n)
 		}
 	default: // PolicyBlock
 		select {
 		case sub.out <- b:
-			sub.s.ctr.deliveriesOut.Add(n)
+			sub.enqueued(n)
 		case <-sub.done:
 			sub.drop(b, n)
 		}
+	}
+}
+
+// enqueued accounts a successful queue hand-off, then re-checks the
+// departure latch: writeLoop's exit sweep (drainQueued) and this send
+// can interleave so the batch lands after the sweep ran, which used to
+// strand its frame references outside the pool forever. If done turns
+// out closed, this sender sweeps the queue itself — channel receives
+// are exactly-once, so however many racing senders sweep, every
+// stranded batch is released exactly once.
+func (sub *subscriber) enqueued(n uint64) {
+	sub.s.ctr.deliveriesOut.Add(n)
+	select {
+	case <-sub.done:
+		sub.drainQueued()
+	default:
 	}
 }
 
@@ -119,8 +148,9 @@ func (sub *subscriber) droppedCount() uint64 { return sub.dropped.Load() }
 // drainQueued releases batches left in the queue when the writer exits
 // without delivering them (departure or write error), so an abandoning
 // exit does not strand refcounted frames outside the pool. A batch a
-// racing sink enqueues after this sweep is reclaimed by GC; every later
-// send sees done closed and releases its own references.
+// racing sink enqueues after this sweep is caught by the sender itself:
+// sendBatch re-checks done after every successful enqueue (enqueued)
+// and runs this sweep again, so no interleaving leaks a frame.
 func (sub *subscriber) drainQueued() {
 	for {
 		select {
@@ -192,6 +222,20 @@ func (sub *subscriber) writeLoop() {
 	defer sub.s.connWG.Done()
 	defer close(sub.writerDone)
 	defer sub.drainQueued()
+	if sub.resume {
+		// History first: stream the app's slice of the durable log up to
+		// the splice fence. Live deliveries released meanwhile queue up
+		// in out (they all carry offsets >= spliceTo) and drain below in
+		// order, so the client sees one seamless, gapless stream.
+		if err := sub.replay(); err != nil {
+			if !errors.Is(err, errReplayAborted) {
+				sub.s.cfg.Logf("server: replaying %q to %q: %v", sub.source, sub.app, err)
+				sub.s.removeSubscriber(sub)
+				sub.conn.Close()
+			}
+			return
+		}
+	}
 	var e egress
 	goodbye := func() {
 		sub.conn.SetWriteDeadline(time.Now().Add(sub.s.cfg.WriteTimeout))
@@ -246,6 +290,46 @@ func (sub *subscriber) writeLoop() {
 			}
 		}
 	}
+}
+
+// errReplayAborted marks a replay cut short by the subscriber's own
+// departure — an orderly exit, not a failure.
+var errReplayAborted = errors.New("server: replay aborted by departure")
+
+// replay streams the records of [resumeFrom, spliceTo) addressed to
+// this app from the durable log, each as an offset-bearing transmission
+// frame. The log holds exactly the bytes the live fan-out delivered, so
+// the replayed stream is byte-identical to what the app would have
+// received live; records not naming the app (delivered while it was
+// away, to others) are skipped without decoding their tuples.
+func (sub *subscriber) replay() error {
+	var buf []byte
+	err := sub.s.log.Read(sub.source, sub.resumeFrom, sub.spliceTo, func(off uint64, payload []byte) error {
+		select {
+		case <-sub.done:
+			return errReplayAborted
+		default:
+		}
+		if !wire.TransmissionHasDestination(payload, sub.app) {
+			return nil
+		}
+		buf = beginFrame(buf[:0], FrameTransmissionOff)
+		buf = binary.LittleEndian.AppendUint64(buf, off)
+		buf = append(buf, payload...)
+		buf = endFrame(buf)
+		sub.conn.SetWriteDeadline(time.Now().Add(sub.s.cfg.WriteTimeout))
+		n, err := sub.conn.Write(buf)
+		sub.s.ctr.bytesOut.Add(uint64(n))
+		if err != nil {
+			return err
+		}
+		sub.s.ctr.replayRecordsOut.Add(1)
+		return nil
+	})
+	if err == nil {
+		sub.s.ctr.replaysServed.Add(1)
+	}
+	return err
 }
 
 // readLoop consumes the client's side of the session until it leaves

@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gasf/internal/tuple"
+)
+
+func TestInternerStableHits(t *testing.T) {
+	var in Interner
+	a := in.Intern([]byte("app-1"))
+	b := in.Intern([]byte("app-1"))
+	if a != "app-1" || b != "app-1" {
+		t.Fatalf("Intern returned %q, %q", a, b)
+	}
+	if in.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", in.Len())
+	}
+}
+
+func TestInternerBoundedUnderChurn(t *testing.T) {
+	var in Interner
+	in.SetLimit(64)
+	// A churning stream of distinct labels must never grow the table
+	// past the limit: each overflow resets the epoch.
+	for i := 0; i < 10_000; i++ {
+		label := fmt.Sprintf("churn-app-%d", i)
+		if got := in.Intern([]byte(label)); got != label {
+			t.Fatalf("Intern(%q) = %q", label, got)
+		}
+		if in.Len() > 64 {
+			t.Fatalf("table grew to %d entries (limit 64) after %d inserts", in.Len(), i+1)
+		}
+	}
+	// A stable label interned after the storm still round-trips.
+	if got := in.Intern([]byte("steady")); got != "steady" {
+		t.Fatalf("Intern(steady) = %q", got)
+	}
+	if got := in.Intern([]byte("steady")); got != "steady" {
+		t.Fatalf("re-Intern(steady) = %q", got)
+	}
+}
+
+func TestInternerSteadyStateAllocs(t *testing.T) {
+	var in Interner
+	labels := [][]byte{[]byte("app-a"), []byte("app-b"), []byte("app-c")}
+	for _, l := range labels {
+		in.Intern(l)
+	}
+	// Re-interning a resident working set is the per-delivery hot path
+	// of a subscriber receive loop: it must not allocate.
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, l := range labels {
+			in.Intern(l)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Intern allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestTransmissionHasDestination(t *testing.T) {
+	s := tuple.MustSchema("v")
+	tp := tuple.MustNew(s, 1, time.Unix(0, 42), []float64{1})
+	data, err := AppendTransmission(nil, tp, []string{"alpha", "beta-longer", "g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []string{"alpha", "beta-longer", "g"} {
+		if !TransmissionHasDestination(data, app) {
+			t.Fatalf("TransmissionHasDestination(%q) = false", app)
+		}
+	}
+	for _, app := range []string{"", "alph", "alphaa", "beta", "gamma", "delta"} {
+		if TransmissionHasDestination(data, app) {
+			t.Fatalf("TransmissionHasDestination(%q) = true", app)
+		}
+	}
+	// Malformed prefixes must report false, never panic.
+	for _, bad := range [][]byte{nil, {}, {3}, {1, 200}, {2, 5, 'a'}} {
+		if TransmissionHasDestination(bad, "alpha") {
+			t.Fatalf("malformed %v matched", bad)
+		}
+	}
+}

@@ -254,6 +254,84 @@ func DecodeTransmissionInto(dst *tuple.Tuple, s *tuple.Schema, labels [][]byte, 
 	return labels, off + n, nil
 }
 
+// TransmissionHasDestination reports whether the encoded transmission
+// names app in its destination list, scanning only the label prefix —
+// the tuple body is never touched. Replay sessions use it to filter a
+// source's log down to one application's stream without decoding, so a
+// malformed prefix simply reports false.
+func TransmissionHasDestination(data []byte, app string) bool {
+	if len(data) < 1 || len(app) == 0 {
+		return false
+	}
+	count := int(data[0])
+	off := 1
+	for i := 0; i < count; i++ {
+		l, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return false
+		}
+		off += n
+		if l == 0 || uint64(len(data)-off) < l {
+			return false
+		}
+		if int(l) == len(app) && string(data[off:off+int(l)]) == app {
+			return true
+		}
+		off += int(l)
+	}
+	return false
+}
+
+// DefaultInternLimit bounds an Interner's table when SetLimit was not
+// called.
+const DefaultInternLimit = 1024
+
+// Interner maps byte-slice label views to stable strings without
+// allocating for labels it has seen before. Long-lived receive loops
+// decode destination labels as views into a recycled frame buffer
+// (DecodeTransmissionInto); interning converts them to strings the
+// caller may retain, and the steady state — a closed working set of
+// application names — costs zero allocations per delivery.
+//
+// The table is bounded: once it holds the limit, the next unseen label
+// resets it wholesale (an epoch reset) instead of growing. A session
+// fed unbounded distinct labels therefore re-allocates occasionally but
+// never leaks, fixing the unbounded growth the per-session intern map
+// used to exhibit under churning destination sets. The zero value is
+// ready to use; an Interner is not safe for concurrent use.
+type Interner struct {
+	m     map[string]string
+	limit int
+}
+
+// SetLimit caps the table at n entries (0 restores the default). It
+// does not shrink an existing table until the next epoch reset.
+func (in *Interner) SetLimit(n int) { in.limit = n }
+
+// Len returns the current table size.
+func (in *Interner) Len() int { return len(in.m) }
+
+// Intern returns a string equal to b, reusing a previously interned
+// string when possible. The map lookup with a []byte key compiles to a
+// non-allocating probe, so hits cost nothing.
+func (in *Interner) Intern(b []byte) string {
+	if s, ok := in.m[string(b)]; ok {
+		return s
+	}
+	limit := in.limit
+	if limit <= 0 {
+		limit = DefaultInternLimit
+	}
+	if in.m == nil || len(in.m) >= limit {
+		// Epoch reset: drop the whole table rather than grow past the
+		// cap. The live working set re-interns within one epoch.
+		in.m = make(map[string]string, min(limit, 16))
+	}
+	s := string(b)
+	in.m[s] = s
+	return s
+}
+
 // DecodeTransmission decodes a labeled transmission, returning the tuple,
 // its destinations, and the bytes consumed.
 func DecodeTransmission(s *tuple.Schema, data []byte) (*tuple.Tuple, []string, int, error) {

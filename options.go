@@ -3,6 +3,8 @@ package gasf
 import (
 	"fmt"
 	"time"
+
+	"gasf/internal/seglog"
 )
 
 // Functional options configure the Broker constructors, replacing the
@@ -21,6 +23,8 @@ type brokerConfig struct {
 	maxSubQueue int
 	policy      SlowPolicy
 	dialTimeout time.Duration
+	dataDir     string
+	seglog      seglog.Options
 	err         error
 }
 
@@ -35,8 +39,10 @@ type Option interface{ applyBroker(*brokerConfig) }
 
 // subConfig is the resolved per-subscription option set.
 type subConfig struct {
-	queue int
-	err   error
+	queue      int
+	resume     bool
+	resumeFrom uint64
+	err        error
 }
 
 // SubOption configures one Subscribe call.
@@ -215,6 +221,82 @@ func WithCuts(maxDelay time.Duration) Option {
 func WithEngineOptions(o Options) Option {
 	return embeddedOption{"WithEngineOptions", func(c *brokerConfig) { c.engine = o }}
 }
+
+// FsyncMode selects when the durable log syncs appended records to
+// stable storage.
+type FsyncMode = seglog.Policy
+
+const (
+	// FsyncInterval (the default) syncs dirty segments on a background
+	// interval: bounded data loss on a crash, negligible publish-path
+	// cost.
+	FsyncInterval FsyncMode = seglog.SyncInterval
+	// FsyncNever leaves syncing to the OS page cache.
+	FsyncNever FsyncMode = seglog.SyncNever
+	// FsyncAlways syncs every append before acknowledging it.
+	FsyncAlways FsyncMode = seglog.SyncAlways
+)
+
+// DurabilityOption tunes the durable log opened by WithDurability.
+type DurabilityOption func(*seglog.Options)
+
+// WithSegmentBytes sets the byte size at which log segments rotate;
+// 0 means the 64 MiB default.
+func WithSegmentBytes(n int64) DurabilityOption {
+	return func(o *seglog.Options) { o.SegmentBytes = n }
+}
+
+// WithFsync selects the log's fsync policy.
+func WithFsync(m FsyncMode) DurabilityOption {
+	return func(o *seglog.Options) { o.Fsync = m }
+}
+
+// WithFsyncInterval sets the background sync interval used by
+// FsyncInterval; 0 means the 200ms default.
+func WithFsyncInterval(d time.Duration) DurabilityOption {
+	return func(o *seglog.Options) { o.Interval = d }
+}
+
+// WithDurability makes an embedded broker durable: every delivered
+// transmission is appended to a per-source segment log under dir before
+// fan-out, deliveries carry their log offsets, and subscriptions may
+// catch up from a recorded offset with WithResumeFrom. NewEmbedded
+// recovers the log (truncating any torn tail) before accepting work.
+// A dialed broker inherits durability from its server (-data-dir), so
+// this option does not apply to Dial.
+func WithDurability(dir string, opts ...DurabilityOption) Option {
+	return embeddedOption{"WithDurability", func(c *brokerConfig) {
+		if dir == "" {
+			c.fail("WithDurability(%q): empty data directory", dir)
+			return
+		}
+		c.dataDir = dir
+		for _, o := range opts {
+			if o != nil {
+				o(&c.seglog)
+			}
+		}
+	}}
+}
+
+// resumeOption carries WithResumeFrom.
+type resumeOption uint64
+
+func (o resumeOption) applySub(c *subConfig) {
+	c.resume = true
+	c.resumeFrom = uint64(o)
+}
+
+// WithResumeFrom asks for a catch-up subscription against a durable
+// broker (an embedded broker built WithDurability, or a server started
+// with -data-dir): the source's durable log records from offset on that
+// name this application are delivered first, in order and with their
+// offsets, then the live stream continues seamlessly — no gap, no
+// duplicate. A consumer that checkpointed Delivery.Offset o resumes
+// with WithResumeFrom(o+1); WithResumeFrom(0) replays from the start.
+// Subscribing with an offset beyond the log head is an error, as is
+// resuming against a broker with no durable log.
+func WithResumeFrom(offset uint64) SubOption { return resumeOption(offset) }
 
 // WithDialTimeout bounds each session dial (the TCP connect plus the
 // hello handshake) of a dialed broker; contexts with earlier deadlines

@@ -1,0 +1,308 @@
+package gasf_test
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"gasf"
+)
+
+// Crash-recovery suite for the durable log: a server killed mid-stream
+// and restarted over the same data directory must recover the log,
+// truncate any torn tail, and serve resumed subscriptions whose replayed
+// history and spliced live stream carry contiguous offsets — no gap, no
+// duplicate — across the crash.
+
+// recoverySeries builds n step tuples (schema "v", value steps by 1) so
+// a "DC1(v, 0.5, 0)" subscriber receives every released tuple.
+func recoverySeries(t *testing.T, n, offset int) *gasf.Series {
+	t.Helper()
+	s, err := gasf.NewSchema("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := gasf.NewSeries(s)
+	base := time.Unix(1, 0)
+	for i := 0; i < n; i++ {
+		tp, err := gasf.NewTuple(s, offset+i, base.Add(time.Duration(offset+i+1)*time.Millisecond), []float64{float64(offset + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sr.Append(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sr
+}
+
+func publishAll(ctx context.Context, t *testing.T, src gasf.Source, sr *gasf.Series) {
+	t.Helper()
+	batch := make([]*gasf.Tuple, 0, sr.Len())
+	for i := 0; i < sr.Len(); i++ {
+		batch = append(batch, sr.At(i))
+	}
+	if err := src.PublishBatch(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// drainSub receives until the stream ends gracefully.
+func drainSub(ctx context.Context, t *testing.T, sub gasf.Subscription) []*gasf.Delivery {
+	t.Helper()
+	var out []*gasf.Delivery
+	for {
+		d, err := sub.Recv(ctx)
+		if errors.Is(err, gasf.ErrStreamEnded) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("after %d deliveries: %v", len(out), err)
+		}
+		out = append(out, d)
+	}
+}
+
+// TestKillRestartRecovery kills a durable server mid-stream (hard abort,
+// no drain) and restarts it over the same directory. The publisher
+// reconnects and continues; the subscriber resumes from its checkpoint
+// and must see one dense offset sequence spanning the crash: the
+// replayed pre-crash records, then the post-crash live stream, with no
+// gap and no duplicate. The one tuple the engine was still holding back
+// at the kill was never released — so it is absent by contract, not
+// lost from the log.
+func TestKillRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	srv, err := gasf.StartServer(gasf.ServerConfig{DataDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := gasf.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave1 := recoverySeries(t, 100, 0)
+	src, err := rb.OpenSource(ctx, "src", wave1.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := rb.Subscribe(ctx, "a", "src", "DC1(v, 0.5, 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishAll(ctx, t, src, wave1)
+	// Consume every released delivery (the last tuple's set is held back
+	// until a later tuple closes it, so 99 of 100 release) — this also
+	// proves all 99 records hit the log before the kill, since the append
+	// happens before the frame reaches the subscriber queue.
+	for i := 0; i < wave1.Len()-1; i++ {
+		d, err := sub.Recv(ctx)
+		if err != nil {
+			t.Fatalf("pre-crash delivery %d: %v", i, err)
+		}
+		if d.Offset != uint64(i) {
+			t.Fatalf("pre-crash delivery %d carries offset %d", i, d.Offset)
+		}
+	}
+	// The app's durable checkpoint lags its reads — it resumes from 41.
+	const checkpoint = 40
+
+	// Crash: abort without draining. The client sessions die with it.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("hard close: %v", err)
+	}
+	closeCtx, closeCancel := context.WithTimeout(context.Background(), time.Second)
+	rb.Close(closeCtx)
+	closeCancel()
+
+	// Restart over the same directory: startup recovery reopens the log.
+	srv2, err := gasf.StartServer(gasf.ServerConfig{DataDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer srv2.Shutdown(ctx)
+	rb2, err := gasf.Dial(srv2.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb2.Close(ctx)
+	src2, err := rb2.OpenSource(ctx, "src", wave1.Schema())
+	if err != nil {
+		t.Fatalf("reopen source: %v", err)
+	}
+	sub2, err := rb2.Subscribe(ctx, "a", "src", "DC1(v, 0.5, 0)", gasf.WithResumeFrom(checkpoint+1))
+	if err != nil {
+		t.Fatalf("resume subscribe: %v", err)
+	}
+	wave2 := recoverySeries(t, 100, wave1.Len())
+	publishAll(ctx, t, src2, wave2)
+	if err := src2.Finish(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	all := drainSub(ctx, t, sub2)
+	// Replay: offsets 41..98 (the pre-crash log past the checkpoint).
+	// Live: offsets 99..198 — wave 2's 99 in-stream releases plus the
+	// tail flushed by Finish, appended right where recovery left the head.
+	replayed := wave1.Len() - 1 - (checkpoint + 1)
+	want := replayed + wave2.Len()
+	if len(all) != want {
+		t.Fatalf("got %d deliveries, want %d", len(all), want)
+	}
+	for i, d := range all {
+		if wantOff := uint64(checkpoint + 1 + i); d.Offset != wantOff {
+			t.Fatalf("delivery %d: offset %d, want %d (gap or duplicate across the crash)", i, d.Offset, wantOff)
+		}
+		wantSeq := checkpoint + 1 + i
+		if i >= replayed {
+			// Tuple 99 was held back and never released: the live leg
+			// starts at wave 2's first tuple.
+			wantSeq = wave1.Len() + (i - replayed)
+		}
+		if d.Tuple.Seq != wantSeq {
+			t.Fatalf("delivery %d: seq %d, want %d", i, d.Tuple.Seq, wantSeq)
+		}
+	}
+}
+
+// TestRecoveryTornTail corrupts the final segment behind a stopped
+// server — once by truncating mid-record (a torn write), once by
+// flipping a payload byte (CRC damage) — and restarts. Recovery must
+// drop exactly the damaged final record: the resumed subscriber replays
+// the intact prefix, the damaged offset is reused by the next live
+// release, and the offset sequence stays dense.
+func TestRecoveryTornTail(t *testing.T) {
+	cases := []struct {
+		name   string
+		damage func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, fi.Size()-5); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"corrupt", func(t *testing.T, path string) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[len(b)-1] ^= 0xFF
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+
+			srv, err := gasf.StartServer(gasf.ServerConfig{DataDir: dir, Logf: t.Logf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := gasf.Dial(srv.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			wave1 := recoverySeries(t, 50, 0)
+			src, err := rb.OpenSource(ctx, "src", wave1.Schema())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub, err := rb.Subscribe(ctx, "a", "src", "DC1(v, 0.5, 0)")
+			if err != nil {
+				t.Fatal(err)
+			}
+			publishAll(ctx, t, src, wave1)
+			if err := src.Finish(ctx); err != nil {
+				t.Fatal(err)
+			}
+			// A graceful finish flushes the held-back tail: offsets 0..49.
+			if n := len(drainSub(ctx, t, sub)); n != wave1.Len() {
+				t.Fatalf("clean run delivered %d of %d", n, wave1.Len())
+			}
+			if err := rb.Close(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if err := srv.Shutdown(ctx); err != nil {
+				t.Fatal(err)
+			}
+
+			// Damage the final record of the last (only) segment.
+			segs, err := filepath.Glob(filepath.Join(dir, hex.EncodeToString([]byte("src")), "*.seg"))
+			if err != nil || len(segs) == 0 {
+				t.Fatalf("locating segments: %v (%d found)", err, len(segs))
+			}
+			sort.Strings(segs)
+			tc.damage(t, segs[len(segs)-1])
+
+			srv2, err := gasf.StartServer(gasf.ServerConfig{DataDir: dir, Logf: t.Logf})
+			if err != nil {
+				t.Fatalf("restart over damaged log: %v", err)
+			}
+			defer srv2.Shutdown(ctx)
+			rb2, err := gasf.Dial(srv2.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rb2.Close(ctx)
+			src2, err := rb2.OpenSource(ctx, "src", wave1.Schema())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The head moved back one record, so the old head is now beyond
+			// it and must be rejected.
+			if _, err := rb2.Subscribe(ctx, "a", "src", "DC1(v, 0.5, 0)",
+				gasf.WithResumeFrom(uint64(wave1.Len())+1)); err == nil {
+				t.Fatal("resume beyond the recovered head succeeded")
+			}
+			sub2, err := rb2.Subscribe(ctx, "a", "src", "DC1(v, 0.5, 0)", gasf.WithResumeFrom(0))
+			if err != nil {
+				t.Fatalf("resume subscribe: %v", err)
+			}
+			wave2 := recoverySeries(t, 50, wave1.Len())
+			publishAll(ctx, t, src2, wave2)
+			if err := src2.Finish(ctx); err != nil {
+				t.Fatal(err)
+			}
+
+			all := drainSub(ctx, t, sub2)
+			// Replay: offsets 0..48 (record 49 was damaged and dropped).
+			// Live: offsets 49..98, seqs 50..99 — the first post-restart
+			// release reuses the truncated offset.
+			replayed := wave1.Len() - 1
+			if len(all) != replayed+wave2.Len() {
+				t.Fatalf("got %d deliveries, want %d", len(all), replayed+wave2.Len())
+			}
+			for i, d := range all {
+				if d.Offset != uint64(i) {
+					t.Fatalf("delivery %d: offset %d (gap or duplicate across recovery)", i, d.Offset)
+				}
+				wantSeq := i
+				if i >= replayed {
+					wantSeq = wave1.Len() + (i - replayed)
+				}
+				if d.Tuple.Seq != wantSeq {
+					t.Fatalf("delivery %d: seq %d, want %d", i, d.Tuple.Seq, wantSeq)
+				}
+			}
+		})
+	}
+}

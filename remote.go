@@ -89,7 +89,12 @@ func (r *Remote) Subscribe(ctx context.Context, app, source, spec string, opts .
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ss, err := server.DialSubscriberTimeout(r.addr, app, source, sp.String(), sc.queue, dialTimeoutFor(ctx, r.cfg.dialTimeout))
+	ss, err := server.DialSubscriberOpts(r.addr, app, source, sp.String(), server.SubDialOpts{
+		Queue:      sc.queue,
+		Resume:     sc.resume,
+		ResumeFrom: sc.resumeFrom,
+		Timeout:    dialTimeoutFor(ctx, r.cfg.dialTimeout),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +199,7 @@ func (s *remoteSub) Recv(ctx context.Context) (*Delivery, error) {
 	if err != nil {
 		return nil, s.observeEnd(err)
 	}
-	return &Delivery{Tuple: d.Tuple, Destinations: d.Destinations, ReceivedAt: d.ReceivedAt}, nil
+	return &Delivery{Tuple: d.Tuple, Destinations: d.Destinations, ReceivedAt: d.ReceivedAt, Offset: d.Offset}, nil
 }
 
 func (s *remoteSub) RecvInto(ctx context.Context, d *Delivery) error {
@@ -209,6 +214,7 @@ func (s *remoteSub) RecvInto(ctx context.Context, d *Delivery) error {
 	d.Tuple = s.scratch.Tuple
 	d.Destinations = s.scratch.Destinations
 	d.ReceivedAt = s.scratch.ReceivedAt
+	d.Offset = s.scratch.Offset
 	return nil
 }
 
