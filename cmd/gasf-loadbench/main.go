@@ -2,6 +2,10 @@
 // starts an in-process gasf server, drives N publishers by M subscribers
 // through real TCP sessions, and reports ingest throughput, delivery
 // latency percentiles and bytes on the wire as JSON (BENCH_serve.json).
+// After the storm it scrapes the server's observability surface: the
+// /metrics exposition must pass the strict parser, and the /debug/gasf
+// introspection dump supplies the server-side delivery-latency quantiles
+// reported next to the client-observed percentiles.
 //
 // Usage:
 //
@@ -25,6 +29,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -34,6 +41,7 @@ import (
 
 	"gasf"
 	"gasf/internal/metrics"
+	"gasf/internal/telemetry"
 )
 
 type latencyStats struct {
@@ -43,6 +51,16 @@ type latencyStats struct {
 	P99Ms  float64 `json:"p99_ms"`
 	MeanMs float64 `json:"mean_ms"`
 	MaxMs  float64 `json:"max_ms"`
+}
+
+// serverLatency carries the server's own view of delivery latency
+// (tuple source timestamp to egress write), read from /debug/gasf:
+// frugal-estimated quantiles, reported next to the client-observed
+// percentiles so the two measurement points can be compared.
+type serverLatency struct {
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	Count uint64  `json:"count"`
 }
 
 type report struct {
@@ -69,6 +87,11 @@ type report struct {
 	BytesIn          uint64       `json:"bytes_in"`
 	BytesOut         uint64       `json:"bytes_out"`
 	Latency          latencyStats `json:"delivery_latency"`
+	// ServerLatency is the server-side delivery-latency view, scraped
+	// from /debug/gasf after the storm (see serverLatency). The scrape
+	// also strict-parses the /metrics exposition, so a malformed metrics
+	// surface fails the bench.
+	ServerLatency *serverLatency `json:"server_delivery_latency,omitempty"`
 	// Replay* report the -resume mode: after the storm every subscriber
 	// leaves and re-subscribes with WithResumeFrom(0) against the
 	// durable log, draining its whole history — the rate is the server's
@@ -485,6 +508,9 @@ func measure(cfg benchConfig) (*report, error) {
 			rep.ReplayDeliveriesPerSec = float64(replayDeliveries) / s
 		}
 	}
+	if rep.ServerLatency, err = scrapeServer(srv); err != nil {
+		return nil, err
+	}
 
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -495,6 +521,54 @@ func measure(cfg benchConfig) (*report, error) {
 		return nil, fmt.Errorf("shutdown: %w", err)
 	}
 	return rep, nil
+}
+
+// scrapeServer exercises the observability surface the way a monitoring
+// stack would — over HTTP against MetricsHandler — and returns the
+// server-side delivery quantiles: /metrics must pass the strict
+// exposition parser, and /debug/gasf supplies the frugal-estimated
+// latency pair.
+func scrapeServer(srv *gasf.Server) (*serverLatency, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	hs := &http.Server{Handler: srv.MetricsHandler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("scrape /metrics: %w", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("read /metrics: %w", err)
+	}
+	if err := telemetry.Validate(body); err != nil {
+		return nil, fmt.Errorf("/metrics exposition invalid: %w", err)
+	}
+
+	resp, err = http.Get(base + "/debug/gasf")
+	if err != nil {
+		return nil, fmt.Errorf("scrape /debug/gasf: %w", err)
+	}
+	var dbg struct {
+		Telemetry *telemetry.Snapshot `json:"telemetry"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&dbg)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("decode /debug/gasf: %w", err)
+	}
+	if dbg.Telemetry == nil {
+		return nil, nil
+	}
+	d := dbg.Telemetry.Delivery
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return &serverLatency{P50Ms: ms(d.P50), P99Ms: ms(d.P99), Count: d.Count}, nil
 }
 
 // summarize computes latency percentiles in milliseconds.

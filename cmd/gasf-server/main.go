@@ -8,7 +8,8 @@
 //	gasf-server -addr :7070 -metrics-addr :9090 \
 //	            -alg RG -policy drop -queue 256 \
 //	            -heartbeat 2s -source-timeout 30s \
-//	            -data-dir /var/lib/gasf -fsync interval
+//	            -data-dir /var/lib/gasf -fsync interval \
+//	            -log-format json -telemetry-sample 64
 //
 // With -data-dir set the server is durable: every delivered transmission
 // is appended to a per-source segment log before fan-out, deliveries
@@ -16,14 +17,21 @@
 // offset. Startup recovers the log, truncating any torn tail left by a
 // crash.
 //
-// The metrics listener serves GET /metrics (Prometheus text: session and
-// shard counters) and GET /healthz.
+// The metrics listener serves the full observability surface:
+// GET /metrics (strict Prometheus text exposition: session and shard
+// counters, stage-duration histograms, delivery-latency summaries),
+// GET /healthz (liveness), GET /readyz (readiness; 503 once a drain has
+// begun), GET /debug/gasf (live JSON introspection of sessions, queue
+// depths, resume offsets and latency quantiles) and the standard
+// /debug/pprof handlers. Logs are structured (log/slog); -log-format
+// selects text or json lines on stderr.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,7 +54,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("gasf-server", flag.ContinueOnError)
 	var (
 		addr        = fs.String("addr", ":7070", "TCP listen address for sources and subscribers")
-		metricsAddr = fs.String("metrics-addr", "", "HTTP listen address for /metrics and /healthz (empty disables)")
+		metricsAddr = fs.String("metrics-addr", "", "HTTP listen address for /metrics, /healthz, /readyz and /debug (empty disables)")
 		alg         = fs.String("alg", "RG", "group decision algorithm: RG or PS")
 		cuts        = fs.Bool("cuts", false, "enable timely cuts")
 		maxDelay    = fs.Duration("maxdelay", 0, "group time constraint for -cuts")
@@ -58,7 +66,9 @@ func run(args []string) error {
 		heartbeat   = fs.Duration("heartbeat", 2*time.Second, "subscriber heartbeat / gap-scan interval")
 		srcTimeout  = fs.Duration("source-timeout", 30*time.Second, "expire sources silent for this long (<0 disables)")
 		drainGrace  = fs.Duration("drain-grace", time.Second, "how long shutdown keeps draining connected publishers")
-		quiet       = fs.Bool("quiet", false, "suppress per-session log lines")
+		quiet       = fs.Bool("quiet", false, "suppress per-session log lines (warnings and errors still print)")
+		logFormat   = fs.String("log-format", "text", "structured log format on stderr: text or json")
+		telSample   = fs.Int("telemetry-sample", 0, "stage-timing sampling period, rounded up to a power of two (0 = default, negative disables telemetry)")
 
 		dataDir       = fs.String("data-dir", "", "durable log directory (empty disables durability)")
 		segmentBytes  = fs.Int64("segment-bytes", 0, "log segment rotation size in bytes (0 = 64MiB)")
@@ -87,21 +97,32 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	level := slog.LevelInfo
 	if *quiet {
-		logf = func(string, ...any) {}
+		level = slog.LevelWarn
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var lg *slog.Logger
+	switch *logFormat {
+	case "text":
+		lg = slog.New(slog.NewTextHandler(os.Stderr, hopts))
+	case "json":
+		lg = slog.New(slog.NewJSONHandler(os.Stderr, hopts))
+	default:
+		return fmt.Errorf("unknown log format %q (want text or json)", *logFormat)
 	}
 
 	srv, err := server.Start(server.Config{
-		Addr:              *addr,
-		Engine:            opts,
-		SubscriberQueue:   *queue,
-		Policy:            pol,
-		HeartbeatInterval: *heartbeat,
-		SourceTimeout:     *srcTimeout,
-		DrainGrace:        *drainGrace,
-		Logf:              logf,
-		DataDir:           *dataDir,
+		Addr:                 *addr,
+		Engine:               opts,
+		SubscriberQueue:      *queue,
+		Policy:               pol,
+		HeartbeatInterval:    *heartbeat,
+		SourceTimeout:        *srcTimeout,
+		DrainGrace:           *drainGrace,
+		Logger:               lg,
+		TelemetrySampleEvery: *telSample,
+		DataDir:              *dataDir,
 		Seglog: seglog.Options{
 			SegmentBytes: *segmentBytes,
 			Fsync:        fsyncPol,
@@ -112,7 +133,7 @@ func run(args []string) error {
 		return err
 	}
 	if *dataDir != "" {
-		logf("gasf-server: durable log at %s (fsync=%s)", *dataDir, fsyncPol)
+		lg.Info("durable log open", "dir", *dataDir, "fsync", fsyncPol.String())
 	}
 
 	var metricsSrv *http.Server
@@ -120,16 +141,16 @@ func run(args []string) error {
 		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: srv.MetricsHandler()}
 		go func() {
 			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "gasf-server: metrics:", err)
+				lg.Error("metrics listener failed", "err", err)
 			}
 		}()
-		logf("gasf-server: metrics on http://%s/metrics", *metricsAddr)
+		lg.Info("metrics listening", "url", fmt.Sprintf("http://%s/metrics", *metricsAddr))
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	logf("gasf-server: signal received, draining")
+	lg.Info("signal received, draining")
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

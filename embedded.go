@@ -31,12 +31,13 @@ func NewEmbedded(opts ...Option) (*Embedded, error) {
 		pol = broker.Drop
 	}
 	b, err := broker.New(broker.Config{
-		Engine:             cfg.engine,
-		SubscriberQueue:    cfg.subQueue,
-		MaxSubscriberQueue: cfg.maxSubQueue,
-		Policy:             pol,
-		DataDir:            cfg.dataDir,
-		Seglog:             cfg.seglog,
+		Engine:               cfg.engine,
+		SubscriberQueue:      cfg.subQueue,
+		MaxSubscriberQueue:   cfg.maxSubQueue,
+		Policy:               pol,
+		DataDir:              cfg.dataDir,
+		Seglog:               cfg.seglog,
+		TelemetrySampleEvery: cfg.telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -85,6 +86,13 @@ func (e *Embedded) Results() map[string]*Result { return e.b.Results() }
 
 // Metrics returns the per-shard runtime counters.
 func (e *Embedded) Metrics() []ShardSnapshot { return e.b.Metrics() }
+
+// Telemetry returns the pipeline telemetry snapshot: frugal-estimated
+// delivery-latency quantiles and the sampled stage-duration histograms.
+// Zero when telemetry was disabled with WithTelemetry(-1). The embedded
+// broker observes delivery latency at the subscriber queue hand-off
+// (there is no egress socket in-process).
+func (e *Embedded) Telemetry() TelemetrySnapshot { return e.b.Telemetry() }
 
 // embeddedSub adapts the internal subscription to the unified interface
 // (pointer deliveries, the shared end-of-stream sentinel).

@@ -52,6 +52,7 @@ import (
 	"gasf/internal/filter"
 	"gasf/internal/quality"
 	"gasf/internal/shard"
+	"gasf/internal/telemetry"
 	"gasf/internal/trace"
 	"gasf/internal/tuple"
 )
@@ -215,6 +216,16 @@ func Run(filters []Filter, sr *Series, opts Options) (*Result, error) {
 // ShardSnapshot reports one worker shard's runtime counters (tuples
 // enqueued/processed/dropped, flushes, queue depths, throughput).
 type ShardSnapshot = shard.Snapshot
+
+// TelemetrySnapshot is a point-in-time read of the pipeline telemetry:
+// the aggregate delivery-latency quantiles (frugal-estimated p50/p99
+// with exact count and sum) and one log-scale duration histogram per
+// instrumented pipeline stage. See Embedded.Telemetry.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// LatencySnapshot reports one latency estimator pair: frugal-estimated
+// p50/p99 plus the exact sample count and sum.
+type LatencySnapshot = telemetry.LatencySnapshot
 
 // RunSharded drives many single-source filter groups concurrently on the
 // sharded multi-source runtime: sources are hash-partitioned onto

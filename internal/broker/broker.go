@@ -37,6 +37,7 @@ import (
 	"gasf/internal/quality"
 	"gasf/internal/seglog"
 	"gasf/internal/shard"
+	"gasf/internal/telemetry"
 	"gasf/internal/tuple"
 	"gasf/internal/wire"
 )
@@ -84,6 +85,11 @@ type Config struct {
 	// Seglog tunes the durable log (segment size, fsync policy). Ignored
 	// unless DataDir is set.
 	Seglog seglog.Options
+	// TelemetrySampleEvery sets the stage-timing sampling period: one in
+	// every N hot-path events per stage is timed (rounded up to a power
+	// of two). 0 means telemetry.DefaultSampleEvery; negative disables
+	// stage timing and latency estimation entirely.
+	TelemetrySampleEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -146,6 +152,10 @@ type Broker struct {
 	subs    map[string]map[string]*Sub
 	closed  bool
 
+	// tel is the stage-timing and latency-estimation pipeline; nil when
+	// Config.TelemetrySampleEvery is negative.
+	tel *telemetry.Pipeline
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -163,13 +173,20 @@ func New(cfg Config) (*Broker, error) {
 		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	var tel *telemetry.Pipeline
+	if cfg.TelemetrySampleEvery >= 0 {
+		tel = telemetry.New(cfg.TelemetrySampleEvery)
+	}
+	sc := shard.FromOptions(cfg.Engine)
+	sc.Telemetry = tel
 	b := &Broker{
 		cfg:     cfg,
-		rt:      shard.New(shard.FromOptions(cfg.Engine)),
+		rt:      shard.New(sc),
 		cancel:  cancel,
 		log:     log,
 		sources: make(map[string]*Source),
 		subs:    make(map[string]map[string]*Sub),
+		tel:     tel,
 	}
 	if err := b.rt.Start(ctx, b.sink); err != nil {
 		cancel()
@@ -200,6 +217,12 @@ func (b *Broker) Results() map[string]*core.Result { return b.rt.Results() }
 
 // Metrics returns the per-shard runtime counters.
 func (b *Broker) Metrics() []shard.Snapshot { return b.rt.Metrics() }
+
+// Telemetry snapshots the stage-timing histograms and delivery-latency
+// quantiles (a zero snapshot when telemetry is disabled). The embedded
+// delivery point is the queue hand-off in the sink, so delivery latency
+// here spans publish to enqueue, not a socket write.
+func (b *Broker) Telemetry() telemetry.Snapshot { return b.tel.Snapshot() }
 
 // sinkState caches the per-source fan-out of the last released
 // transmission: the engine-decided destination list is mapped to live
@@ -243,6 +266,10 @@ type Source struct {
 	finished bool
 	one      [1]*tuple.Tuple // Publish scratch
 
+	// lat estimates the source group's delivery-latency quantiles; fed
+	// by the sink at fan-out. Nil when telemetry is disabled.
+	lat *telemetry.LatencyPair
+
 	finOnce sync.Once
 	finDone chan struct{}
 	finErr  error
@@ -275,6 +302,9 @@ func (b *Broker) OpenSource(name string, schema *tuple.Schema) (*Source, error) 
 		return nil, err
 	}
 	src := &Source{b: b, name: name, schema: schema, finDone: make(chan struct{})}
+	if b.tel != nil {
+		src.lat = telemetry.NewLatencyPair()
+	}
 	b.sources[name] = src
 	return src, nil
 }
@@ -434,7 +464,15 @@ type Sub struct {
 	leaveOnce sync.Once
 	finOnce   sync.Once
 	dropped   atomic.Uint64
+
+	// lat estimates this subscription's delivery-latency quantiles; fed
+	// by the sink at enqueue. Nil when telemetry is disabled.
+	lat *telemetry.LatencyPair
 }
+
+// Latency snapshots the subscription's delivery-latency quantiles (zero
+// when telemetry is disabled).
+func (s *Sub) Latency() telemetry.LatencySnapshot { return s.lat.Snapshot() }
 
 // SubOptions parameterizes Subscribe.
 type SubOptions struct {
@@ -523,6 +561,9 @@ func (b *Broker) Subscribe(ctx context.Context, app, source string, spec quality
 		done:       make(chan struct{}),
 		resume:     o.Resume,
 		resumeFrom: o.ResumeFrom,
+	}
+	if b.tel != nil {
+		sub.lat = telemetry.NewLatencyPair()
 	}
 	if sub.resume {
 		sub.replay = make(chan Delivery)
@@ -810,6 +851,10 @@ func (s *Sub) finishStream() {
 // mirrors the server's sink: targets and labels are recomputed only when
 // the membership epoch or the destination pattern changes.
 func (b *Broker) sink(batch []shard.Out) {
+	var fanStart time.Time
+	if b.tel.Sample(telemetry.StageFanout) {
+		fanStart = time.Now()
+	}
 	for i := range batch {
 		o := &batch[i]
 		b.mu.RLock()
@@ -855,9 +900,27 @@ func (b *Broker) sink(batch []shard.Out) {
 				off = 0
 			}
 		}
+		if b.tel != nil {
+			// The embedded delivery point is the queue hand-off: one
+			// clock read per transmission feeds the group and aggregate
+			// estimators; each target's session estimator sees the same
+			// instant (the enqueue loop below is non-blocking in the
+			// common case).
+			d := time.Since(o.Tr.Tuple.TS)
+			src.lat.Observe(d)
+			for range targets {
+				b.tel.ObserveDelivery(d)
+			}
+			for _, sub := range targets {
+				sub.lat.Observe(d)
+			}
+		}
 		for _, sub := range targets {
 			sub.send(Delivery{Tuple: o.Tr.Tuple, Destinations: labels, Offset: off})
 		}
+	}
+	if !fanStart.IsZero() {
+		b.tel.Observe(telemetry.StageFanout, time.Since(fanStart))
 	}
 }
 

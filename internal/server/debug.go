@@ -1,0 +1,125 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+
+	"gasf/internal/shard"
+	"gasf/internal/telemetry"
+)
+
+// DebugSource is the introspection view of one connected publisher.
+type DebugSource struct {
+	Name        string                     `json:"name"`
+	Remote      string                     `json:"remote,omitempty"`
+	LastSeen    time.Time                  `json:"last_seen"`
+	Subscribers int                        `json:"subscribers"`
+	NextOffset  uint64                     `json:"next_offset,omitempty"`
+	Latency     *telemetry.LatencySnapshot `json:"delivery_latency,omitempty"`
+}
+
+// DebugSubscriber is the introspection view of one subscriber session.
+type DebugSubscriber struct {
+	App        string                     `json:"app"`
+	Source     string                     `json:"source"`
+	QueueLen   int                        `json:"queue_len"`
+	QueueCap   int                        `json:"queue_cap"`
+	Dropped    uint64                     `json:"dropped"`
+	Resume     bool                       `json:"resume,omitempty"`
+	ResumeFrom uint64                     `json:"resume_from,omitempty"`
+	SpliceTo   uint64                     `json:"splice_to,omitempty"`
+	Latency    *telemetry.LatencySnapshot `json:"delivery_latency,omitempty"`
+}
+
+// DebugInfo is the full /debug/gasf introspection dump: live sessions,
+// queue depths, resume offsets, shard runtime state, and the frugal
+// latency quantiles, as one JSON document.
+type DebugInfo struct {
+	Now         time.Time           `json:"now"`
+	Addr        string              `json:"addr"`
+	Draining    bool                `json:"draining"`
+	Durable     bool                `json:"durable"`
+	Policy      string              `json:"policy"`
+	Counters    Counters            `json:"counters"`
+	Telemetry   *telemetry.Snapshot `json:"telemetry,omitempty"`
+	Shards      []shard.Snapshot    `json:"shards"`
+	Sources     []DebugSource       `json:"sources"`
+	Subscribers []DebugSubscriber   `json:"subscribers"`
+}
+
+// Debug snapshots the live introspection state served at /debug/gasf.
+func (s *Server) Debug() DebugInfo {
+	info := DebugInfo{
+		Now:      time.Now(),
+		Addr:     s.ln.Addr().String(),
+		Draining: s.isDraining(),
+		Durable:  s.log != nil,
+		Policy:   s.cfg.Policy.String(),
+		Counters: s.Counters(),
+		Shards:   s.rt.Metrics(),
+	}
+	if s.tel != nil {
+		snap := s.tel.Snapshot()
+		info.Telemetry = &snap
+	}
+	s.mu.RLock()
+	for name, src := range s.sources {
+		d := DebugSource{
+			Name:        name,
+			LastSeen:    src.lastSeen.load(),
+			Subscribers: len(s.subs[name]),
+		}
+		if src.conn != nil {
+			d.Remote = src.conn.RemoteAddr().String()
+		}
+		if s.log != nil {
+			d.NextOffset = s.log.NextOffset(name)
+		}
+		if src.lat != nil {
+			snap := src.lat.Snapshot()
+			d.Latency = &snap
+		}
+		info.Sources = append(info.Sources, d)
+	}
+	for source, m := range s.subs {
+		for app, sub := range m {
+			d := DebugSubscriber{
+				App:        app,
+				Source:     source,
+				QueueLen:   len(sub.out),
+				QueueCap:   cap(sub.out),
+				Dropped:    sub.droppedCount(),
+				Resume:     sub.resume,
+				ResumeFrom: sub.resumeFrom,
+				SpliceTo:   sub.spliceTo,
+			}
+			if sub.lat != nil {
+				snap := sub.lat.Snapshot()
+				d.Latency = &snap
+			}
+			info.Subscribers = append(info.Subscribers, d)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(info.Sources, func(i, j int) bool { return info.Sources[i].Name < info.Sources[j].Name })
+	sort.Slice(info.Subscribers, func(i, j int) bool {
+		a, b := &info.Subscribers[i], &info.Subscribers[j]
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return a.App < b.App
+	})
+	return info
+}
+
+// serveDebug writes the introspection dump as indented JSON.
+func (s *Server) serveDebug(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.Debug()); err != nil {
+		s.lg.Error("writing debug dump", "err", err)
+	}
+}

@@ -3,6 +3,8 @@ package server
 import (
 	"sync"
 	"sync/atomic"
+
+	"gasf/internal/telemetry"
 )
 
 // frame is one encoded output frame, shared immutably across every
@@ -17,6 +19,14 @@ import (
 type frame struct {
 	buf  []byte
 	refs atomic.Int32
+	// ts is the encoded tuple's source timestamp (UnixNano); egress
+	// subtracts it from the write instant to observe delivery latency.
+	// Zero means "do not observe" (telemetry disabled).
+	ts int64
+	// src points at the originating source's latency estimator pair, so
+	// per-group quantiles can be fed from the egress side without a
+	// registry lookup. Nil when telemetry is disabled.
+	src *telemetry.LatencyPair
 }
 
 var framePool = sync.Pool{New: func() any { return new(frame) }}
@@ -42,6 +52,8 @@ func getFrame() *frame {
 	}
 	fr := framePool.Get().(*frame)
 	fr.buf = fr.buf[:0]
+	fr.ts = 0
+	fr.src = nil
 	return fr
 }
 

@@ -2,8 +2,13 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
+	"sort"
 	"sync/atomic"
+
+	"gasf/internal/telemetry"
 )
 
 // counters is the server's atomic counter block.
@@ -75,62 +80,173 @@ func (s *Server) Counters() Counters {
 	}
 }
 
-// MetricsHandler serves /metrics (Prometheus text exposition of the
-// session counters and the per-shard runtime counters) and /healthz.
+// WriteMetrics writes the full Prometheus text exposition: session
+// counters, per-shard runtime series, stage-duration histograms, and
+// the delivery-latency summaries. Every family carries HELP and TYPE
+// and the output satisfies telemetry.Validate.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	x := telemetry.NewWriter(w)
+	c := s.Counters()
+	policy := telemetry.Label{Name: "policy", Value: s.cfg.Policy.String()}
+
+	x.Gauge("gasf_sources_active", "Connected publisher sessions.")
+	x.SampleU(uint64(c.SourcesActive))
+	x.Gauge("gasf_subscribers_active", "Connected subscriber sessions.")
+	x.SampleU(uint64(c.SubscribersActive))
+	x.Counter("gasf_sources_accepted_total", "Publisher sessions accepted.")
+	x.SampleU(c.SourcesAccepted)
+	x.Counter("gasf_sources_finished_total", "Publisher sessions finished.")
+	x.SampleU(c.SourcesFinished)
+	x.Counter("gasf_sources_expired_total", "Publisher sessions expired by gap detection.")
+	x.SampleU(c.SourcesExpired)
+	x.Counter("gasf_sources_failed_total", "Publisher sessions ended by an error.")
+	x.SampleU(c.SourcesFailed)
+	x.Counter("gasf_subscribers_accepted_total", "Subscriber sessions accepted.")
+	x.SampleU(c.SubscribersAccepted)
+	x.Counter("gasf_subscriber_drops_total", "Deliveries dropped by the slow-consumer policy.")
+	x.SampleU(c.SubscriberDrops, policy)
+	x.Counter("gasf_handshake_rejects_total", "Connections rejected at handshake.")
+	x.SampleU(c.HandshakeRejects)
+	x.Counter("gasf_tuples_in_total", "Tuples ingested from publishers.")
+	x.SampleU(c.TuplesIn)
+	x.Counter("gasf_transmissions_out_total", "Released transmissions fanned out.")
+	x.SampleU(c.TransmissionsOut)
+	x.Counter("gasf_deliveries_out_total", "Per-subscriber deliveries enqueued.")
+	x.SampleU(c.DeliveriesOut)
+	x.Counter("gasf_bytes_in_total", "Frame bytes read from publishers.")
+	x.SampleU(c.BytesIn)
+	x.Counter("gasf_bytes_out_total", "Frame bytes written to subscribers.")
+	x.SampleU(c.BytesOut)
+	x.Counter("gasf_heartbeats_in_total", "Heartbeat frames received.")
+	x.SampleU(c.HeartbeatsIn)
+	x.Counter("gasf_log_append_errors_total", "Failed durable-log appends.")
+	x.SampleU(c.LogAppendErrors)
+	x.Counter("gasf_replays_served_total", "Resume sessions whose history replay completed.")
+	x.SampleU(c.ReplaysServed)
+	x.Counter("gasf_replay_records_out_total", "Records delivered by history replays.")
+	x.SampleU(c.ReplayRecordsOut)
+
+	// Per-shard runtime series: one family per metric, one labeled
+	// sample per shard, each family with its own HELP/TYPE metadata.
+	snaps := s.rt.Metrics()
+	shardLabel := func(i int) telemetry.Label {
+		return telemetry.Label{Name: "shard", Value: fmt.Sprintf("%d", snaps[i].Shard)}
+	}
+	x.Gauge("gasf_shard_sources", "Sources currently owned by the shard.")
+	for i := range snaps {
+		x.SampleU(uint64(snaps[i].Sources), shardLabel(i))
+	}
+	x.Counter("gasf_shard_enqueued_total", "Tasks enqueued to the shard ring.")
+	for i := range snaps {
+		x.SampleU(snaps[i].Enqueued, shardLabel(i))
+	}
+	x.Counter("gasf_shard_processed_total", "Tuples processed by the shard worker.")
+	for i := range snaps {
+		x.SampleU(snaps[i].Processed, shardLabel(i))
+	}
+	x.Counter("gasf_shard_dropped_total", "Tasks dropped by the shard (failed source or abort).")
+	for i := range snaps {
+		x.SampleU(snaps[i].Dropped, shardLabel(i))
+	}
+	x.Counter("gasf_shard_flushes_total", "Sink flushes issued by the shard worker.")
+	for i := range snaps {
+		x.SampleU(snaps[i].Flushes, shardLabel(i))
+	}
+	x.Gauge("gasf_shard_queue_depth", "Tasks currently queued in the shard ring.")
+	for i := range snaps {
+		x.Sample(float64(snaps[i].QueueDepth), shardLabel(i))
+	}
+	x.Gauge("gasf_shard_queue_depth_max", "High-water mark of the shard ring depth.")
+	for i := range snaps {
+		x.Sample(float64(snaps[i].MaxQueueDepth), shardLabel(i))
+	}
+	x.Counter("gasf_shard_ring_drains_total", "Consumer drain passes over the shard ring.")
+	for i := range snaps {
+		x.SampleU(snaps[i].Drains, shardLabel(i))
+	}
+	x.Gauge("gasf_shard_ring_drain_run_avg", "Mean tasks popped per ring drain pass.")
+	for i := range snaps {
+		x.Sample(snaps[i].AvgDrainRun, shardLabel(i))
+	}
+	x.Counter("gasf_shard_ring_producer_parks_total", "Producer parks on a full shard ring.")
+	for i := range snaps {
+		x.SampleU(snaps[i].ProducerParks, shardLabel(i))
+	}
+	x.Counter("gasf_shard_ring_consumer_parks_total", "Consumer parks on an empty shard ring.")
+	for i := range snaps {
+		x.SampleU(snaps[i].ConsumerParks, shardLabel(i))
+	}
+
+	if s.tel != nil {
+		x.Gauge("gasf_telemetry_sample_period", "Stage-timing sampling period (one timed event per period per stage).")
+		x.SampleU(uint64(s.tel.SampleEvery()))
+		x.HistogramFamily("gasf_stage_duration_seconds", "Sampled hot-path stage durations (power-of-two nanosecond buckets).")
+		for _, st := range telemetry.Stages() {
+			x.WriteHistogram(s.tel.StageHist(st).Snapshot(), telemetry.Label{Name: "stage", Value: st.Name()})
+		}
+		x.SummaryFamily("gasf_delivery_latency_seconds", "End-to-end delivery latency (tuple source timestamp to egress write), frugal-estimated quantiles.")
+		x.WriteLatencySummary(s.tel.Delivery().Snapshot(), policy)
+		x.SummaryFamily("gasf_group_delivery_latency_seconds", "Per-source-group delivery latency, frugal-estimated quantiles.")
+		for _, g := range s.groupLatencies() {
+			x.WriteLatencySummary(g.snap, telemetry.Label{Name: "source", Value: g.name})
+		}
+	}
+	return x.Err()
+}
+
+type groupLatency struct {
+	name string
+	snap telemetry.LatencySnapshot
+}
+
+// groupLatencies snapshots the per-source latency pairs in name order
+// (deterministic exposition).
+func (s *Server) groupLatencies() []groupLatency {
+	s.mu.RLock()
+	out := make([]groupLatency, 0, len(s.sources))
+	for name, src := range s.sources {
+		if src.lat != nil {
+			out = append(out, groupLatency{name: name, snap: src.lat.Snapshot()})
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// MetricsHandler serves the observability surface: /metrics (strict
+// Prometheus text exposition), /healthz (process liveness), /readyz
+// (load-balancer readiness; 503 once a graceful drain has begun),
+// /debug/gasf (live JSON introspection of sessions, queues, offsets and
+// latency quantiles), and the standard /debug/pprof handlers.
 func (s *Server) MetricsHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.isDraining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		c := s.Counters()
-		g := func(name, help string, v any) {
-			fmt.Fprintf(w, "# HELP gasf_%s %s\n# TYPE gasf_%s %s\ngasf_%s %v\n",
-				name, help, name, metricType(name), name, v)
-		}
-		g("sources_active", "Connected publisher sessions.", c.SourcesActive)
-		g("subscribers_active", "Connected subscriber sessions.", c.SubscribersActive)
-		g("sources_accepted_total", "Publisher sessions accepted.", c.SourcesAccepted)
-		g("sources_finished_total", "Publisher sessions finished.", c.SourcesFinished)
-		g("sources_expired_total", "Publisher sessions expired by gap detection.", c.SourcesExpired)
-		g("sources_failed_total", "Publisher sessions ended by an error.", c.SourcesFailed)
-		g("subscribers_accepted_total", "Subscriber sessions accepted.", c.SubscribersAccepted)
-		g("subscriber_drops_total", "Deliveries dropped by the slow-consumer policy.", c.SubscriberDrops)
-		g("handshake_rejects_total", "Connections rejected at handshake.", c.HandshakeRejects)
-		g("tuples_in_total", "Tuples ingested from publishers.", c.TuplesIn)
-		g("transmissions_out_total", "Released transmissions fanned out.", c.TransmissionsOut)
-		g("deliveries_out_total", "Per-subscriber deliveries enqueued.", c.DeliveriesOut)
-		g("bytes_in_total", "Frame bytes read from publishers.", c.BytesIn)
-		g("bytes_out_total", "Frame bytes written to subscribers.", c.BytesOut)
-		g("heartbeats_in_total", "Heartbeat frames received.", c.HeartbeatsIn)
-		g("log_append_errors_total", "Failed durable-log appends.", c.LogAppendErrors)
-		g("replays_served_total", "Resume sessions whose history replay completed.", c.ReplaysServed)
-		g("replay_records_out_total", "Records delivered by history replays.", c.ReplayRecordsOut)
-		for _, snap := range s.rt.Metrics() {
-			l := fmt.Sprintf("{shard=\"%d\"}", snap.Shard)
-			fmt.Fprintf(w, "gasf_shard_sources%s %d\n", l, snap.Sources)
-			fmt.Fprintf(w, "gasf_shard_enqueued_total%s %d\n", l, snap.Enqueued)
-			fmt.Fprintf(w, "gasf_shard_processed_total%s %d\n", l, snap.Processed)
-			fmt.Fprintf(w, "gasf_shard_dropped_total%s %d\n", l, snap.Dropped)
-			fmt.Fprintf(w, "gasf_shard_flushes_total%s %d\n", l, snap.Flushes)
-			fmt.Fprintf(w, "gasf_shard_queue_depth%s %d\n", l, snap.QueueDepth)
-			fmt.Fprintf(w, "gasf_shard_queue_depth_max%s %d\n", l, snap.MaxQueueDepth)
-			fmt.Fprintf(w, "gasf_shard_ring_drains_total%s %d\n", l, snap.Drains)
-			fmt.Fprintf(w, "gasf_shard_ring_drain_run_avg%s %g\n", l, snap.AvgDrainRun)
-			fmt.Fprintf(w, "gasf_shard_ring_producer_parks_total%s %d\n", l, snap.ProducerParks)
-			fmt.Fprintf(w, "gasf_shard_ring_consumer_parks_total%s %d\n", l, snap.ConsumerParks)
+		if err := s.WriteMetrics(w); err != nil {
+			s.lg.Error("writing metrics", "err", err)
 		}
 	})
+	mux.HandleFunc("/debug/gasf", func(w http.ResponseWriter, r *http.Request) {
+		s.serveDebug(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
-}
-
-// metricType says whether a metric name is a counter or a gauge, by the
-// _total suffix convention.
-func metricType(name string) string {
-	if len(name) > 6 && name[len(name)-6:] == "_total" {
-		return "counter"
-	}
-	return "gauge"
 }

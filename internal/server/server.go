@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"slices"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"gasf/internal/quality"
 	"gasf/internal/seglog"
 	"gasf/internal/shard"
+	"gasf/internal/telemetry"
 	"gasf/internal/tuple"
 	"gasf/internal/wire"
 )
@@ -105,7 +107,18 @@ type Config struct {
 	// Seglog tunes the segment log (rotation size, fsync policy); zero
 	// values take the seglog defaults. Ignored unless DataDir is set.
 	Seglog seglog.Options
-	// Logf, when set, receives one line per session event.
+	// TelemetrySampleEvery sets the stage-timing sampling period: one in
+	// every N hot-path events per stage is timed against the monotonic
+	// clock (rounded up to a power of two). 0 means
+	// telemetry.DefaultSampleEvery; negative disables stage timing and
+	// latency estimation entirely.
+	TelemetrySampleEvery int
+	// Logger, when set, receives structured session logs. When nil, a
+	// non-nil Logf is bridged (one formatted line per event); when both
+	// are nil, logging is discarded.
+	Logger *slog.Logger
+	// Logf, when set and Logger is nil, receives one line per session
+	// event. Kept for printf-style sinks such as testing.T.Logf.
 	Logf func(format string, args ...any)
 }
 
@@ -137,9 +150,6 @@ func (c Config) withDefaults() Config {
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = time.Second
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
-	}
 	return c
 }
 
@@ -170,6 +180,10 @@ type sourceSession struct {
 	// sink-side state, owned by the source's shard worker (sink calls for
 	// one source are serialized), so it needs no locking of its own.
 	sink sinkState
+	// lat estimates the per-group delivery-latency quantiles: every
+	// egress write of a frame from this source feeds it. Nil when
+	// telemetry is disabled.
+	lat *telemetry.LatencyPair
 }
 
 // sinkState caches the per-source fan-out of the last released
@@ -217,6 +231,11 @@ type Server struct {
 	connWG sync.WaitGroup // every session goroutine
 	stop   chan struct{}  // closes background loops
 
+	// lg is the resolved session logger; tel the stage-timing and
+	// latency-estimation pipeline (nil when disabled).
+	lg  *slog.Logger
+	tel *telemetry.Pipeline
+
 	ctr      counters
 	shutOnce sync.Once
 	shutErr  error
@@ -240,15 +259,23 @@ func Start(cfg Config) (*Server, error) {
 		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	var tel *telemetry.Pipeline
+	if cfg.TelemetrySampleEvery >= 0 {
+		tel = telemetry.New(cfg.TelemetrySampleEvery)
+	}
+	sc := shard.FromOptions(cfg.Engine)
+	sc.Telemetry = tel
 	s := &Server{
 		cfg:      cfg,
 		ln:       ln,
-		rt:       shard.New(shard.FromOptions(cfg.Engine)),
+		rt:       shard.New(sc),
 		log:      log,
 		rtCancel: cancel,
 		sources:  make(map[string]*sourceSession),
 		subs:     make(map[string]map[string]*subscriber),
 		stop:     make(chan struct{}),
+		lg:       cfg.resolveLogger(),
+		tel:      tel,
 	}
 	if err := s.rt.Start(ctx, s.sink); err != nil {
 		cancel()
@@ -261,10 +288,17 @@ func Start(cfg Config) (*Server, error) {
 	s.connWG.Add(2)
 	go s.acceptLoop()
 	go s.scanLoop()
-	cfg.Logf("server: listening on %s (policy %s, heartbeat %s, source timeout %s)",
-		ln.Addr(), cfg.Policy, cfg.HeartbeatInterval, cfg.SourceTimeout)
+	s.lg.Info("listening",
+		"addr", ln.Addr().String(),
+		"policy", cfg.Policy.String(),
+		"heartbeat", cfg.HeartbeatInterval,
+		"source_timeout", cfg.SourceTimeout,
+		"telemetry_sample", tel.SampleEvery())
 	return s, nil
 }
+
+// Telemetry exposes the stage-timing pipeline (nil when disabled).
+func (s *Server) Telemetry() *telemetry.Pipeline { return s.tel }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
@@ -339,7 +373,7 @@ func (s *Server) scanLoop() {
 		for _, src := range stale {
 			src.expired.set()
 			s.ctr.sourcesExpired.Add(1)
-			s.cfg.Logf("server: source %q expired (silent for %s)", src.name, s.cfg.SourceTimeout)
+			s.lg.Warn("source expired", "source", src.name, "silent_for", s.cfg.SourceTimeout)
 			// Closing the connection unblocks the session reader, which
 			// finishes the stream and tears down the subscribers.
 			src.conn.Close()
@@ -370,7 +404,7 @@ func (s *Server) handleConn(conn net.Conn) {
 // reject answers a failed handshake with an error frame and closes.
 func (s *Server) reject(conn net.Conn, err error) {
 	s.ctr.handshakeRejects.Add(1)
-	s.cfg.Logf("server: rejecting %s: %v", conn.RemoteAddr(), err)
+	s.lg.Warn("handshake rejected", "remote", conn.RemoteAddr().String(), "err", err)
 	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	_ = WriteFrame(conn, FrameError, []byte(err.Error()))
 	conn.Close()
@@ -387,6 +421,9 @@ func (s *Server) serveSource(conn net.Conn, hello []byte) {
 		return
 	}
 	src := &sourceSession{name: name, conn: conn, schema: schema}
+	if s.tel != nil {
+		src.lat = telemetry.NewLatencyPair()
+	}
 	src.lastSeen.store(time.Now())
 
 	s.mu.Lock()
@@ -414,7 +451,7 @@ func (s *Server) serveSource(conn net.Conn, hello []byte) {
 	s.mu.Unlock()
 
 	s.ctr.sourcesAccepted.Add(1)
-	s.cfg.Logf("server: source %q connected from %s %v", name, conn.RemoteAddr(), schema)
+	s.lg.Info("source connected", "source", name, "remote", conn.RemoteAddr().String(), "schema", schema)
 	if err := WriteFrame(conn, FrameHelloOK, nil); err != nil {
 		s.finishSource(src, fmt.Errorf("hello-ok: %w", err))
 		return
@@ -494,7 +531,16 @@ func (s *Server) readSource(src *sourceSession) {
 		s.ctr.bytesIn.Add(uint64(frameHeaderLen + len(payload)))
 		switch kind {
 		case FrameTuple:
-			t, n, err := wire.DecodeTuple(src.schema, payload)
+			var t *tuple.Tuple
+			var n int
+			var err error
+			if s.tel.Sample(telemetry.StageIngestDecode) {
+				t0 := time.Now()
+				t, n, err = wire.DecodeTuple(src.schema, payload)
+				s.tel.Observe(telemetry.StageIngestDecode, time.Since(t0))
+			} else {
+				t, n, err = wire.DecodeTuple(src.schema, payload)
+			}
 			if err == nil && n != len(payload) {
 				err = fmt.Errorf("tuple frame carries %d trailing bytes", len(payload)-n)
 			}
@@ -574,19 +620,19 @@ func (s *Server) finishSource(src *sourceSession, cause error) {
 	src.conn.Close()
 	if cause != nil {
 		s.ctr.sourcesFailed.Add(1)
-		s.cfg.Logf("server: source %q failed: %v", src.name, cause)
+		s.lg.Warn("source failed", "source", src.name, "err", cause)
 	} else {
-		s.cfg.Logf("server: source %q finished", src.name)
+		s.lg.Info("source finished", "source", src.name)
 	}
 	if err := s.runtimeOp(func() error { return s.rt.FinishSourceWait(src.name) }); err != nil && !errors.Is(err, errDraining) {
-		s.cfg.Logf("server: finishing source %q: %v", src.name, err)
+		s.lg.Warn("finishing source", "source", src.name, "err", err)
 	}
 	// The runtime forgets the name before the server registry does, so a
 	// publisher reconnecting under this name either sees the old session
 	// (rejected, retryable) or a fully clean slate — never a half-freed
 	// name whose AddSourceLive would fail.
 	if err := s.runtimeOp(func() error { return s.rt.RemoveSource(src.name) }); err != nil && !errors.Is(err, errDraining) {
-		s.cfg.Logf("server: removing source %q: %v", src.name, err)
+		s.lg.Warn("removing source", "source", src.name, "err", err)
 	}
 	s.mu.Lock()
 	delete(s.sources, src.name)
@@ -722,7 +768,7 @@ func (s *Server) serveSubscriber(conn net.Conn, hello []byte) {
 		return
 	}
 	s.ctr.subscribersAccepted.Add(1)
-	s.cfg.Logf("server: app %q subscribed to %q with %s", app, source, spec)
+	s.lg.Info("subscriber joined", "app", app, "source", source, "spec", spec)
 	s.connWG.Add(1)
 	go sub.writeLoop()
 	sub.readLoop() // returns when the client leaves or the session ends
@@ -755,10 +801,10 @@ func (s *Server) removeSubscriber(sub *subscriber) {
 	if err != nil && !errors.Is(err, errDraining) {
 		// The source may have finished concurrently; its teardown already
 		// retired the whole group.
-		s.cfg.Logf("server: detaching %q from %q: %v", sub.app, sub.source, err)
+		s.lg.Warn("detaching subscriber", "app", sub.app, "source", sub.source, "err", err)
 	}
 	s.dropSubscriberEntry(sub)
-	s.cfg.Logf("server: app %q left %q (%d dropped)", sub.app, sub.source, sub.droppedCount())
+	s.lg.Info("subscriber left", "app", sub.app, "source", sub.source, "dropped", sub.droppedCount())
 }
 
 // sinkScratch is the per-sink-call staging state (the subscribers
@@ -785,6 +831,10 @@ var sinkScratchPool = sync.Pool{New: func() any { return new(sinkScratch) }}
 // safe without locks because a subscriber belongs to exactly one source
 // and one worker owns all of a source's flushes.
 func (s *Server) sink(batch []shard.Out) {
+	var fanStart time.Time
+	if s.tel.Sample(telemetry.StageFanout) {
+		fanStart = time.Now()
+	}
 	sc := sinkScratchPool.Get().(*sinkScratch)
 	for i := range batch {
 		o := &batch[i]
@@ -833,7 +883,7 @@ func (s *Server) sink(batch []shard.Out) {
 			fr.buf = fr.buf[:0]
 			fr.retain(1)
 			fr.release()
-			s.cfg.Logf("server: encoding transmission of %q: %v", o.Source, err)
+			s.lg.Error("encoding transmission", "source", o.Source, "err", err)
 			continue
 		}
 		fr.buf = endFrame(buf)
@@ -849,10 +899,14 @@ func (s *Server) sink(batch []shard.Out) {
 				// continues and the failure is counted and logged. Recovery
 				// truncates whatever half-record the error left behind.
 				s.ctr.logAppendErrors.Add(1)
-				s.cfg.Logf("server: appending %q to segment log: %v", o.Source, err)
+				s.lg.Error("segment log append", "source", o.Source, "err", err)
 			}
 			binary.LittleEndian.PutUint64(fr.buf[payloadStart:], off)
 		}
+		// The tuple's source timestamp rides on the frame so egress can
+		// turn the write instant into an end-to-end delivery latency.
+		fr.ts = o.Tr.Tuple.TS.UnixNano()
+		fr.src = src.lat
 		fr.retain(len(st.targets))
 		for _, sub := range st.targets {
 			if sub.stage == nil {
@@ -873,6 +927,9 @@ func (s *Server) sink(batch []shard.Out) {
 	}
 	sc.touched = sc.touched[:0]
 	sinkScratchPool.Put(sc)
+	if !fanStart.IsZero() {
+		s.tel.Observe(telemetry.StageFanout, time.Since(fanStart))
+	}
 }
 
 // Shutdown gracefully drains the server: stop accepting, close publisher
@@ -895,7 +952,7 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) shutdown(ctx context.Context) error {
-	s.cfg.Logf("server: shutting down")
+	s.lg.Info("shutting down")
 	s.mu.Lock()
 	s.draining = true
 	srcs := make([]*sourceSession, 0, len(s.sources))
@@ -980,7 +1037,7 @@ func (s *Server) shutdown(ctx context.Context) error {
 	if drainErr != nil {
 		return drainErr
 	}
-	s.cfg.Logf("server: drained")
+	s.lg.Info("drained")
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"gasf/internal/core"
 	"gasf/internal/shard"
+	"gasf/internal/telemetry"
 	"gasf/internal/tuple"
 	"gasf/internal/wire"
 )
@@ -25,12 +26,17 @@ func newSinkFixture(t *testing.T) *sinkFixture {
 		t.Fatal(err)
 	}
 	cfg := Config{Policy: PolicyDrop, Logf: t.Logf}.withDefaults()
+	// Telemetry sampling every event: the fan-out alloc gate below must
+	// hold with the stage timers fully hot, not just at the default
+	// 1-in-64 sampling.
 	s := &Server{
 		cfg:     cfg,
+		lg:      cfg.resolveLogger(),
+		tel:     telemetry.New(1),
 		sources: make(map[string]*sourceSession),
 		subs:    make(map[string]map[string]*subscriber),
 	}
-	src := &sourceSession{name: "s1", schema: schema}
+	src := &sourceSession{name: "s1", schema: schema, lat: telemetry.NewLatencyPair()}
 	s.sources["s1"] = src
 	s.subs["s1"] = make(map[string]*subscriber)
 	return &sinkFixture{s: s, src: src, schema: schema}

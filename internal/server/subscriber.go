@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gasf/internal/telemetry"
 	"gasf/internal/wire"
 )
 
@@ -58,11 +59,16 @@ type subscriber struct {
 	resumeFrom uint64
 	spliceTo   uint64
 
+	// lat estimates this session's delivery-latency quantiles (tuple
+	// source timestamp to egress write). Fed by the writer goroutine,
+	// read by the introspection endpoint. Nil when telemetry is off.
+	lat *telemetry.LatencyPair
+
 	dropped atomic.Uint64
 }
 
 func newSubscriber(s *Server, app, source string, conn net.Conn, queue int) *subscriber {
-	return &subscriber{
+	sub := &subscriber{
 		s:          s,
 		app:        app,
 		source:     source,
@@ -71,6 +77,10 @@ func newSubscriber(s *Server, app, source string, conn net.Conn, queue int) *sub
 		done:       make(chan struct{}),
 		writerDone: make(chan struct{}),
 	}
+	if s.tel != nil {
+		sub.lat = telemetry.NewLatencyPair()
+	}
+	return sub
 }
 
 // sendBatch enqueues one release cycle's frames under the server's
@@ -194,12 +204,36 @@ func (e *egress) flush(sub *subscriber) error {
 	if len(e.frames) == 0 {
 		return nil
 	}
+	tel := sub.s.tel
+	var t0 time.Time
+	if tel.Sample(telemetry.StageEgressWrite) {
+		t0 = time.Now()
+	}
 	// WriteTo consumes the slice it is called on (advancing the header
 	// past written buffers), so it runs on a copy: e.bufs keeps the
 	// original header and its capacity survives the reset below.
 	bb := e.bufs
 	n, err := bb.WriteTo(sub.conn)
 	sub.s.ctr.bytesOut.Add(uint64(n))
+	if !t0.IsZero() {
+		tel.Observe(telemetry.StageEgressWrite, time.Since(t0))
+	}
+	if tel != nil && err == nil {
+		// One clock read covers the whole vectored write; per-frame
+		// latency is the write instant minus the tuple's source
+		// timestamp, fed to the session, group, and aggregate
+		// estimators (all alloc-free frugal updates).
+		now := time.Now().UnixNano()
+		for _, fr := range e.frames {
+			if fr.ts == 0 {
+				continue
+			}
+			d := time.Duration(now - fr.ts)
+			sub.lat.Observe(d)
+			fr.src.Observe(d)
+			tel.ObserveDelivery(d)
+		}
+	}
 	for _, fr := range e.frames {
 		fr.release()
 	}
@@ -229,7 +263,7 @@ func (sub *subscriber) writeLoop() {
 		// order, so the client sees one seamless, gapless stream.
 		if err := sub.replay(); err != nil {
 			if !errors.Is(err, errReplayAborted) {
-				sub.s.cfg.Logf("server: replaying %q to %q: %v", sub.source, sub.app, err)
+				sub.s.lg.Warn("replay failed", "source", sub.source, "app", sub.app, "err", err)
 				sub.s.removeSubscriber(sub)
 				sub.conn.Close()
 			}

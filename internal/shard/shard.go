@@ -43,6 +43,7 @@ import (
 
 	"gasf/internal/core"
 	"gasf/internal/filter"
+	"gasf/internal/telemetry"
 	"gasf/internal/tuple"
 )
 
@@ -79,6 +80,9 @@ type Config struct {
 	// FlushBatch is the released-transmission batch size per flush; 0
 	// means DefaultFlushBatch.
 	FlushBatch int
+	// Telemetry, when non-nil, receives sampled ring-residency and
+	// engine-Step stage timings. Nil disables instrumentation.
+	Telemetry *telemetry.Pipeline
 }
 
 func (c Config) withDefaults() Config {
@@ -157,6 +161,9 @@ type task struct {
 	// fin, when set on a finish marker, receives the engine's Finish
 	// error after the final flush (FinishSourceWait).
 	fin chan error
+	// enq, when non-zero, is the telemetry.Now stamp taken at submit on
+	// a sampled task; the worker turns it into a ring-wait observation.
+	enq int64
 }
 
 // control is a caller-supplied function executed by the source's owning
@@ -479,6 +486,9 @@ func (r *Runtime) SubmitBatchContext(ctx context.Context, name string, tuples []
 			return fmt.Errorf("shard: nil tuple in batch for source %q", name)
 		}
 		tasks = append(tasks, task{src: src, t: t})
+	}
+	if r.cfg.Telemetry.Sample(telemetry.StageRingWait) {
+		tasks[0].enq = telemetry.Now()
 	}
 	pushed, err := r.submit(ctx, w, tasks, true)
 	w.enqueued.Add(uint64(pushed))
@@ -805,8 +815,20 @@ func (w *worker) handle(tk task) {
 		w.dropped.Add(1)
 		return
 	}
-	if err := src.engine.Step(tk.t); err != nil {
-		w.fail(src, err)
+	tel := w.rt.cfg.Telemetry
+	if tk.enq != 0 {
+		tel.Observe(telemetry.StageRingWait, telemetry.Since(tk.enq))
+	}
+	var stepErr error
+	if tel.Sample(telemetry.StageEngineStep) {
+		t0 := time.Now()
+		stepErr = src.engine.Step(tk.t)
+		tel.Observe(telemetry.StageEngineStep, time.Since(t0))
+	} else {
+		stepErr = src.engine.Step(tk.t)
+	}
+	if stepErr != nil {
+		w.fail(src, stepErr)
 		w.dropped.Add(1) // the failing tuple was not processed
 		return
 	}

@@ -1,0 +1,528 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Label is one exposition label pair.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Writer emits Prometheus text exposition format 0.0.4 with the
+// invariants the strict validator checks: every family declares HELP
+// and TYPE exactly once before its samples, family samples are
+// contiguous, counters end in _total, histograms and summaries carry
+// the full _bucket/quantile + _sum + _count complement.
+type Writer struct {
+	w   io.Writer
+	cur string
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) printf(format string, args ...any) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = fmt.Fprintf(w.w, format, args...)
+}
+
+func (w *Writer) family(name, typ, help string) {
+	w.cur = name
+	w.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Counter starts a counter family; name must end in _total.
+func (w *Writer) Counter(name, help string) {
+	if !strings.HasSuffix(name, "_total") {
+		w.fail("counter %q must end in _total", name)
+		return
+	}
+	w.family(name, "counter", help)
+}
+
+// Gauge starts a gauge family.
+func (w *Writer) Gauge(name, help string) { w.family(name, "gauge", help) }
+
+// HistogramFamily starts a histogram family.
+func (w *Writer) HistogramFamily(name, help string) { w.family(name, "histogram", help) }
+
+// SummaryFamily starts a summary family.
+func (w *Writer) SummaryFamily(name, help string) { w.family(name, "summary", help) }
+
+func (w *Writer) fail(format string, args ...any) {
+	if w.err == nil {
+		w.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Sample emits one sample under the current counter or gauge family.
+func (w *Writer) Sample(v float64, labels ...Label) {
+	w.sample(w.cur, "", v, labels, nil)
+}
+
+// SampleU emits one integer-valued sample.
+func (w *Writer) SampleU(v uint64, labels ...Label) {
+	w.Sample(float64(v), labels...)
+}
+
+func (w *Writer) sample(name, suffix string, v float64, labels []Label, extra *Label) {
+	if name == "" {
+		w.fail("sample emitted before any family declaration")
+		return
+	}
+	w.printf("%s%s", name, suffix)
+	if len(labels) > 0 || extra != nil {
+		sep := "{"
+		for _, l := range labels {
+			w.printf(`%s%s="%s"`, sep, l.Name, escapeLabel(l.Value))
+			sep = ","
+		}
+		if extra != nil {
+			w.printf(`%s%s="%s"`, sep, extra.Name, escapeLabel(extra.Value))
+		}
+		w.printf("}")
+	}
+	w.printf(" %s\n", formatValue(v))
+}
+
+// WriteHistogram emits the _bucket/_sum/_count complement for one
+// labelset under the current histogram family.
+func (w *Writer) WriteHistogram(s HistogramSnapshot, labels ...Label) {
+	for i := 0; i < histFinite; i++ {
+		le := Label{Name: "le", Value: formatValue(BucketBound(i))}
+		w.sample(w.cur, "_bucket", float64(s.Cumulative[i]), labels, &le)
+	}
+	inf := Label{Name: "le", Value: "+Inf"}
+	w.sample(w.cur, "_bucket", float64(s.Count), labels, &inf)
+	w.sample(w.cur, "_sum", s.SumSeconds, labels, nil)
+	w.sample(w.cur, "_count", float64(s.Count), labels, nil)
+}
+
+// WriteLatencySummary emits the p50/p99 quantile series plus _sum and
+// _count for one labelset under the current summary family. Durations
+// are exposed in seconds.
+func (w *Writer) WriteLatencySummary(s LatencySnapshot, labels ...Label) {
+	q50 := Label{Name: "quantile", Value: "0.5"}
+	q99 := Label{Name: "quantile", Value: "0.99"}
+	w.sample(w.cur, "", s.P50.Seconds(), labels, &q50)
+	w.sample(w.cur, "", s.P99.Seconds(), labels, &q99)
+	w.sample(w.cur, "_sum", s.SumSeconds, labels, nil)
+	w.sample(w.cur, "_count", float64(s.Count), labels, nil)
+}
+
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// --- strict validator ------------------------------------------------
+
+type famState struct {
+	typ    string
+	help   bool
+	closed bool // a different family's sample/decl has appeared since
+}
+
+// Validate strictly parses a full text exposition. It enforces, beyond
+// basic syntax:
+//   - every sample belongs to a family that declared HELP and TYPE
+//     before the sample appeared;
+//   - each family declares HELP and TYPE exactly once and all its
+//     samples are contiguous;
+//   - counter families end in _total;
+//   - histogram families emit only _bucket/_sum/_count, buckets are
+//     cumulative non-decreasing, the +Inf bucket exists and equals
+//     _count, and _sum is present, for every labelset;
+//   - summary families emit quantile series in [0,1] plus _sum/_count;
+//   - no duplicate series (same name and labelset twice).
+func Validate(data []byte) error {
+	fams := map[string]*famState{}
+	series := map[string]bool{}
+	// histogram/summary coherence accumulators, keyed by family +
+	// labelset (minus le/quantile).
+	type hacc struct {
+		buckets []struct {
+			le float64
+			v  float64
+		}
+		inf, infSet  bool
+		infV         float64
+		sum, count   float64
+		sumOK, cntOK bool
+		quantiles    int
+		isSummaryFam bool
+	}
+	accs := map[string]*hacc{}
+	var cur string
+
+	closeOthers := func(name string) {
+		for n, f := range fams {
+			if n != name {
+				f.closed = true
+			}
+		}
+	}
+
+	lines := strings.Split(string(data), "\n")
+	for ln, raw := range lines {
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			f := fams[name]
+			if f == nil {
+				f = &famState{}
+				fams[name] = f
+			}
+			if f.closed {
+				return fmt.Errorf("line %d: family %s re-opened after other samples", lineNo, name)
+			}
+			switch fields[1] {
+			case "HELP":
+				if f.help {
+					return fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				f.help = true
+			case "TYPE":
+				if f.typ != "" {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: TYPE %s missing type", lineNo, name)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					f.typ = fields[3]
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q for %s", lineNo, fields[3], name)
+				}
+				if f.typ == "counter" && !strings.HasSuffix(name, "_total") {
+					return fmt.Errorf("line %d: counter %s does not end in _total", lineNo, name)
+				}
+			}
+			cur = name
+			closeOthers(name)
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam, suffix := baseFamily(name, fams)
+		if fam == "" {
+			return fmt.Errorf("line %d: sample %s has no preceding HELP/TYPE declaration", lineNo, name)
+		}
+		f := fams[fam]
+		if !f.help || f.typ == "" {
+			return fmt.Errorf("line %d: family %s missing %s before samples", lineNo, fam,
+				map[bool]string{true: "TYPE", false: "HELP"}[f.help])
+		}
+		if f.closed {
+			return fmt.Errorf("line %d: samples for %s are not contiguous", lineNo, fam)
+		}
+		if fam != cur {
+			cur = fam
+			closeOthers(fam)
+		}
+		key := name + "{" + canonLabels(labels) + "}"
+		if series[key] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		series[key] = true
+
+		switch f.typ {
+		case "counter", "gauge", "untyped":
+			if suffix != "" {
+				return fmt.Errorf("line %d: %s sample %s has reserved suffix %s", lineNo, f.typ, name, suffix)
+			}
+		case "histogram", "summary":
+			akey := fam + "{" + canonLabels(stripMeta(labels)) + "}"
+			a := accs[akey]
+			if a == nil {
+				a = &hacc{isSummaryFam: f.typ == "summary"}
+				accs[akey] = a
+			}
+			switch suffix {
+			case "_sum":
+				a.sum, a.sumOK = value, true
+			case "_count":
+				a.count, a.cntOK = value, true
+			case "_bucket":
+				if f.typ != "histogram" {
+					return fmt.Errorf("line %d: _bucket sample in summary %s", lineNo, fam)
+				}
+				le, ok := labelValue(labels, "le")
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket %s missing le label", lineNo, name)
+				}
+				if le == "+Inf" {
+					a.inf, a.infSet, a.infV = true, true, value
+				} else {
+					lf, err := strconv.ParseFloat(le, 64)
+					if err != nil {
+						return fmt.Errorf("line %d: bad le %q: %v", lineNo, le, err)
+					}
+					a.buckets = append(a.buckets, struct{ le, v float64 }{lf, value})
+				}
+			case "":
+				if f.typ != "summary" {
+					return fmt.Errorf("line %d: bare sample %s in histogram family %s", lineNo, name, fam)
+				}
+				q, ok := labelValue(labels, "quantile")
+				if !ok {
+					return fmt.Errorf("line %d: summary sample %s missing quantile label", lineNo, name)
+				}
+				qf, err := strconv.ParseFloat(q, 64)
+				if err != nil || qf < 0 || qf > 1 {
+					return fmt.Errorf("line %d: summary quantile %q outside [0,1]", lineNo, q)
+				}
+				a.quantiles++
+			default:
+				return fmt.Errorf("line %d: unexpected suffix %s under %s family %s", lineNo, suffix, f.typ, fam)
+			}
+		}
+	}
+
+	for key, a := range accs {
+		if !a.sumOK || !a.cntOK {
+			return fmt.Errorf("family labelset %s missing _sum or _count", key)
+		}
+		if a.isSummaryFam {
+			if a.quantiles == 0 {
+				return fmt.Errorf("summary %s has no quantile series", key)
+			}
+			continue
+		}
+		if !a.infSet {
+			return fmt.Errorf("histogram %s missing +Inf bucket", key)
+		}
+		sort.Slice(a.buckets, func(i, j int) bool { return a.buckets[i].le < a.buckets[j].le })
+		prev := 0.0
+		for _, b := range a.buckets {
+			if b.v < prev {
+				return fmt.Errorf("histogram %s buckets not cumulative at le=%g", key, b.le)
+			}
+			prev = b.v
+		}
+		if a.infV < prev {
+			return fmt.Errorf("histogram %s +Inf bucket below finite buckets", key)
+		}
+		if a.infV != a.count {
+			return fmt.Errorf("histogram %s +Inf bucket %g != _count %g", key, a.infV, a.count)
+		}
+		_ = a.inf
+	}
+	return nil
+}
+
+// baseFamily resolves a sample name to its declared family, peeling
+// histogram/summary suffixes only when that family was declared with
+// the matching type.
+func baseFamily(name string, fams map[string]*famState) (fam, suffix string) {
+	if _, ok := fams[name]; ok {
+		return name, ""
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			base := strings.TrimSuffix(name, suf)
+			if f, ok := fams[base]; ok && (f.typ == "histogram" || f.typ == "summary") {
+				return base, suf
+			}
+		}
+	}
+	return "", ""
+}
+
+func stripMeta(labels []Label) []Label {
+	out := labels[:0:0]
+	for _, l := range labels {
+		if l.Name == "le" || l.Name == "quantile" {
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+func labelValue(labels []Label, name string) (string, bool) {
+	for _, l := range labels {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+func canonLabels(labels []Label) string {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	return b.String()
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample parses one exposition sample line.
+func parseSample(line string) (name string, labels []Label, value float64, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " \t")
+			if rest == "" {
+				return "", nil, 0, fmt.Errorf("unterminated label set")
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed label in %q", line)
+			}
+			lname := strings.TrimSpace(rest[:eq])
+			if !validLabelName(lname) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", lname)
+			}
+			rest = rest[eq+1:]
+			if len(rest) == 0 || rest[0] != '"' {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			closed := false
+			for len(rest) > 0 {
+				c := rest[0]
+				if c == '\\' && len(rest) > 1 {
+					switch rest[1] {
+					case 'n':
+						val.WriteByte('\n')
+					case '\\', '"':
+						val.WriteByte(rest[1])
+					default:
+						return "", nil, 0, fmt.Errorf("bad escape \\%c", rest[1])
+					}
+					rest = rest[2:]
+					continue
+				}
+				if c == '"' {
+					rest = rest[1:]
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+				rest = rest[1:]
+			}
+			if !closed {
+				return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+			}
+			labels = append(labels, Label{Name: lname, Value: val.String()})
+			if len(rest) > 0 && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("malformed value in %q", line)
+	}
+	switch fields[0] {
+	case "+Inf":
+		value = math.Inf(1)
+	case "-Inf":
+		value = math.Inf(-1)
+	case "NaN":
+		value = math.NaN()
+	default:
+		value, err = strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+		}
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}

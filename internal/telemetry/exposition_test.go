@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriterProducesValidExposition round-trips the Writer through the
+// strict validator: every family shape the broker emits — gauge,
+// counter, labeled samples, histogram, summary, escaped values — must
+// parse clean.
+func TestWriterProducesValidExposition(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Gauge("t_active", "Active sessions.")
+	w.SampleU(3)
+	w.Counter("t_events_total", "Events with a\nmultiline \\ help.")
+	w.SampleU(7, Label{Name: "shard", Value: "0"})
+	w.SampleU(9, Label{Name: "shard", Value: "1"})
+	w.Counter("t_odd_total", "Label value with \"quotes\" and \\ backslash.")
+	w.SampleU(1, Label{Name: "who", Value: `a"b\c` + "\n"})
+
+	var h Histogram
+	h.Observe(500 * time.Nanosecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(2 * time.Hour) // overflow bucket
+	w.HistogramFamily("t_duration_seconds", "Stage durations.")
+	w.WriteHistogram(h.Snapshot(), Label{Name: "stage", Value: "x"})
+	w.WriteHistogram(h.Snapshot(), Label{Name: "stage", Value: "y"})
+
+	l := NewLatencyPair()
+	l.Observe(time.Millisecond)
+	l.Observe(2 * time.Millisecond)
+	w.SummaryFamily("t_latency_seconds", "Delivery latency.")
+	w.WriteLatencySummary(l.Snapshot(), Label{Name: "policy", Value: "drop"})
+
+	if err := w.Err(); err != nil {
+		t.Fatalf("writer error: %v", err)
+	}
+	if err := Validate([]byte(sb.String())); err != nil {
+		t.Fatalf("writer output failed strict validation: %v\n%s", err, sb.String())
+	}
+}
+
+// TestWriterRejectsBadCounter pins the writer-side guard that produced
+// the original exposition bug class: counters must end in _total.
+func TestWriterRejectsBadCounter(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Counter("t_events", "no suffix")
+	if w.Err() == nil {
+		t.Fatal("counter without _total accepted")
+	}
+}
+
+// TestValidateRejects sweeps the malformed expositions the strict
+// parser must refuse — including the exact historical bug: a series
+// with no HELP/TYPE metadata.
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bare series without metadata", "gasf_shard_enqueued_total 5\n"},
+		{"sample before TYPE", "# HELP a_total h\na_total 1\n"},
+		{"duplicate HELP", "# HELP a_total h\n# HELP a_total h\n# TYPE a_total counter\na_total 1\n"},
+		{"duplicate TYPE", "# HELP a_total h\n# TYPE a_total counter\n# TYPE a_total counter\na_total 1\n"},
+		{"counter without _total", "# HELP a h\n# TYPE a counter\na 1\n"},
+		{"unknown type", "# HELP a h\n# TYPE a widget\na 1\n"},
+		{"non-contiguous family", "# HELP a h\n# TYPE a gauge\na 1\n# HELP b h\n# TYPE b gauge\nb 1\na 2\n"},
+		{"duplicate series", "# HELP a h\n# TYPE a gauge\na{x=\"1\"} 1\na{x=\"1\"} 2\n"},
+		{"gauge with reserved suffix", "# HELP a h\n# TYPE a histogram\n" +
+			"a_bucket{le=\"+Inf\"} 1\na_sum 1\na_count 1\n" +
+			"# HELP a_sum h\n# TYPE a_sum gauge\na_sum 1\n"},
+		{"histogram missing +Inf", "# HELP a h\n# TYPE a histogram\na_bucket{le=\"1\"} 1\na_sum 1\na_count 1\n"},
+		{"histogram missing _sum", "# HELP a h\n# TYPE a histogram\na_bucket{le=\"+Inf\"} 1\na_count 1\n"},
+		{"histogram buckets decreasing", "# HELP a h\n# TYPE a histogram\n" +
+			"a_bucket{le=\"1\"} 5\na_bucket{le=\"2\"} 3\na_bucket{le=\"+Inf\"} 5\na_sum 1\na_count 5\n"},
+		{"histogram +Inf below count", "# HELP a h\n# TYPE a histogram\n" +
+			"a_bucket{le=\"+Inf\"} 4\na_sum 1\na_count 5\n"},
+		{"summary quantile out of range", "# HELP a h\n# TYPE a summary\n" +
+			"a{quantile=\"1.5\"} 1\na_sum 1\na_count 1\n"},
+		{"summary without quantiles", "# HELP a h\n# TYPE a summary\na_sum 1\na_count 1\n"},
+		{"bad label name", "# HELP a h\n# TYPE a gauge\na{__x=\"1\"} 1\n"},
+		{"unterminated labels", "# HELP a h\n# TYPE a gauge\na{x=\"1\" 1\n"},
+		{"bad value", "# HELP a h\n# TYPE a gauge\na one\n"},
+		{"invalid metric name", "# HELP 9a h\n# TYPE 9a gauge\n9a 1\n"},
+	}
+	for _, c := range cases {
+		if err := Validate([]byte(c.in)); err == nil {
+			t.Errorf("%s: accepted\n%s", c.name, c.in)
+		}
+	}
+}
+
+// TestValidateAccepts covers valid corners: escaped label values,
+// timestamps, free-form comments, untyped series, and a full
+// histogram/summary complement.
+func TestValidateAccepts(t *testing.T) {
+	in := "# a free-form comment\n" +
+		"# HELP a_total events\n# TYPE a_total counter\n" +
+		"a_total{x=\"with \\\"quotes\\\" and \\\\ and \\n\"} 5 1700000000\n" +
+		"# HELP b h\n# TYPE b untyped\nb 3.5\n" +
+		"# HELP h_s durations\n# TYPE h_s histogram\n" +
+		"h_s_bucket{le=\"0.1\"} 1\nh_s_bucket{le=\"+Inf\"} 2\nh_s_sum 0.5\nh_s_count 2\n" +
+		"# HELP s_s lat\n# TYPE s_s summary\n" +
+		"s_s{quantile=\"0.5\"} 0.01\ns_s{quantile=\"0.99\"} 0.2\ns_s_sum 1\ns_s_count 9\n"
+	if err := Validate([]byte(in)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}

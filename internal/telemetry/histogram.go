@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram layout: power-of-two nanosecond buckets starting at
+// 2^minShift ns (1.024µs). Bucket 0 holds everything at or below the
+// first bound; the final bucket is the +Inf overflow. 26 finite bounds
+// reach 2^35 ns ≈ 34s, past any sane stage duration.
+const (
+	histMinShift = 10
+	histFinite   = 26
+	histBuckets  = histFinite + 1
+)
+
+// Histogram is a fixed-bucket log-scale duration histogram. Observe is
+// alloc-free and lock-free; buckets are independent atomic words, so a
+// concurrent snapshot is only torn across buckets, never within one.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+}
+
+// bucketOf maps a nanosecond duration to its bucket index: finite
+// bucket i covers (2^(minShift+i-1), 2^(minShift+i)] ns with bucket 0
+// absorbing everything at or below 2^minShift.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns-1)) - histMinShift
+	if b < 0 {
+		return 0
+	}
+	if b >= histFinite {
+		return histFinite // +Inf overflow bucket
+	}
+	return b
+}
+
+// BucketBound returns the inclusive upper bound of finite bucket i in
+// seconds (Prometheus `le` convention). i must be < histFinite.
+func BucketBound(i int) float64 {
+	return float64(uint64(1)<<(histMinShift+i)) / 1e9
+}
+
+// NumBuckets returns the finite bucket count (the exposition adds +Inf).
+func NumBuckets() int { return histFinite }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	h.buckets[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	if ns > 0 {
+		h.sum.Add(ns)
+	}
+}
+
+// HistogramSnapshot is a point-in-time read with cumulative counts in
+// Prometheus order: Cumulative[i] counts samples ≤ BucketBound(i), and
+// Count is the +Inf total.
+type HistogramSnapshot struct {
+	Cumulative [histFinite]uint64 `json:"cumulative"`
+	Count      uint64             `json:"count"`
+	SumSeconds float64            `json:"sum_seconds"`
+}
+
+// Snapshot reads the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	var run uint64
+	for i := 0; i < histFinite; i++ {
+		run += h.buckets[i].Load()
+		s.Cumulative[i] = run
+	}
+	s.Count = run + h.buckets[histBuckets-1].Load()
+	s.SumSeconds = float64(h.sum.Load()) / 1e9
+	return s
+}

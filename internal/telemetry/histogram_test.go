@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the log2 bucket layout: bucket i covers
+// (2^(9+i), 2^(10+i)] nanoseconds, with everything at or below 1.024µs
+// in bucket 0 and everything above the top finite bound in overflow.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0},
+		{0, 0},
+		{1, 0},
+		{1024, 0},                    // top of bucket 0
+		{1025, 1},                    // bottom of bucket 1
+		{2048, 1},                    // top of bucket 1
+		{2049, 2},                    //
+		{1 << 35, histFinite - 1},    // top finite bucket bound
+		{1<<35 + 1, histFinite},      // overflow
+		{int64(1) << 62, histFinite}, // deep overflow
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Every finite bucket's upper bound must land in that bucket, and
+	// one nanosecond more in the next.
+	for i := 0; i < histFinite; i++ {
+		bound := int64(1) << (histMinShift + i)
+		if got := bucketOf(bound); got != i {
+			t.Errorf("bucketOf(2^%d) = %d, want %d", histMinShift+i, got, i)
+		}
+		if got := bucketOf(bound + 1); got != i+1 {
+			t.Errorf("bucketOf(2^%d+1) = %d, want %d", histMinShift+i, got, i+1)
+		}
+	}
+}
+
+// TestHistogramSnapshot checks the cumulative snapshot: counts
+// accumulate across buckets, the total matches, and the sum is in
+// seconds.
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	h.Observe(500 * time.Nanosecond) // bucket 0
+	h.Observe(2 * time.Microsecond)  // bucket 1
+	h.Observe(100 * time.Second)     // overflow
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count %d, want 3", s.Count)
+	}
+	if s.Cumulative[0] != 1 {
+		t.Fatalf("cumulative[0] = %d, want 1", s.Cumulative[0])
+	}
+	if s.Cumulative[1] != 2 {
+		t.Fatalf("cumulative[1] = %d, want 2", s.Cumulative[1])
+	}
+	if last := s.Cumulative[histFinite-1]; last != 2 {
+		t.Fatalf("top finite cumulative %d, want 2 (overflow only in +Inf)", last)
+	}
+	want := (500*time.Nanosecond + 2*time.Microsecond + 100*time.Second).Seconds()
+	if diff := s.SumSeconds - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("sum %.9fs, want %.9fs", s.SumSeconds, want)
+	}
+	for i := 1; i < histFinite; i++ {
+		if s.Cumulative[i] < s.Cumulative[i-1] {
+			t.Fatalf("cumulative counts not monotone at bucket %d", i)
+		}
+	}
+}
+
+// TestBucketBound checks the exposition bounds are increasing seconds.
+func TestBucketBound(t *testing.T) {
+	if got := BucketBound(0); got != 1024e-9 {
+		t.Fatalf("BucketBound(0) = %v, want 1.024e-6", got)
+	}
+	prev := 0.0
+	for i := 0; i < histFinite; i++ {
+		b := BucketBound(i)
+		if b <= prev {
+			t.Fatalf("BucketBound(%d) = %v not increasing past %v", i, b, prev)
+		}
+		prev = b
+	}
+}
+
+// TestPipelineSampling covers the gate: period rounding to a power of
+// two, one sample per period per stage, and nil-safety everywhere.
+func TestPipelineSampling(t *testing.T) {
+	p := New(48) // rounds up to 64
+	if got := p.SampleEvery(); got != 64 {
+		t.Fatalf("SampleEvery() = %d, want 64", got)
+	}
+	hits := 0
+	for i := 0; i < 640; i++ {
+		if p.Sample(StageFanout) {
+			hits++
+		}
+	}
+	if hits != 10 {
+		t.Fatalf("%d samples in 640 events at period 64, want 10", hits)
+	}
+	// Gates are per-stage: another stage starts its own period.
+	p2 := New(4)
+	for i := 0; i < 3; i++ {
+		p2.Sample(StageEgressWrite)
+	}
+	if !p2.Sample(StageEgressWrite) {
+		t.Fatal("4th event at period 4 not sampled")
+	}
+	if p2.Sample(StageIngestDecode) {
+		t.Fatal("fresh stage gate sampled its first event")
+	}
+
+	var nilP *Pipeline
+	if nilP.Sample(StageFanout) {
+		t.Fatal("nil pipeline sampled")
+	}
+	nilP.Observe(StageFanout, time.Second)
+	nilP.ObserveDelivery(time.Second)
+	if nilP.Delivery() != nil {
+		t.Fatal("nil pipeline returned a delivery pair")
+	}
+	if s := nilP.Snapshot(); s.SampleEvery != 0 || len(s.Stages) != 0 {
+		t.Fatal("nil pipeline snapshot not zero")
+	}
+	if nilP.SampleEvery() != 0 {
+		t.Fatal("nil pipeline has a sampling period")
+	}
+}
+
+// TestPipelineSnapshot checks the JSON-ready snapshot covers every
+// stage in pipeline order with its observations.
+func TestPipelineSnapshot(t *testing.T) {
+	p := New(1)
+	p.Observe(StageEngineStep, 5*time.Microsecond)
+	p.ObserveDelivery(3 * time.Millisecond)
+	s := p.Snapshot()
+	if s.SampleEvery != 1 {
+		t.Fatalf("snapshot period %d, want 1", s.SampleEvery)
+	}
+	if len(s.Stages) != len(Stages()) {
+		t.Fatalf("%d stages in snapshot, want %d", len(s.Stages), len(Stages()))
+	}
+	for i, st := range Stages() {
+		if s.Stages[i].Stage != st.Name() {
+			t.Fatalf("stage %d is %q, want %q", i, s.Stages[i].Stage, st.Name())
+		}
+	}
+	if s.Stages[int(StageEngineStep)].Hist.Count != 1 {
+		t.Fatal("engine_step observation missing from snapshot")
+	}
+	if s.Delivery.Count != 1 || s.Delivery.P50 != 3*time.Millisecond {
+		t.Fatalf("delivery snapshot %+v, want one 3ms sample", s.Delivery)
+	}
+}

@@ -25,6 +25,7 @@ type brokerConfig struct {
 	dialTimeout time.Duration
 	dataDir     string
 	seglog      seglog.Options
+	telemetry   int
 	err         error
 }
 
@@ -297,6 +298,24 @@ func (o resumeOption) applySub(c *subConfig) {
 // Subscribing with an offset beyond the log head is an error, as is
 // resuming against a broker with no durable log.
 func WithResumeFrom(offset uint64) SubOption { return resumeOption(offset) }
+
+// WithTelemetry tunes the embedded broker's pipeline telemetry: the
+// frugal delivery-latency quantiles and the sampled stage-timing
+// histograms read back with Embedded.Telemetry. sampleEvery is the
+// stage-timing sampling period, rounded up to a power of two (one timed
+// event per period per stage bounds the steady-state clock cost); 0
+// keeps the default period, and a negative value disables telemetry
+// entirely. Telemetry is on by default — this option exists to widen or
+// narrow the sampling, or to switch the subsystem off.
+func WithTelemetry(sampleEvery int) Option {
+	return embeddedOption{"WithTelemetry", func(c *brokerConfig) {
+		if sampleEvery < 0 {
+			c.telemetry = -1
+			return
+		}
+		c.telemetry = sampleEvery
+	}}
+}
 
 // WithDialTimeout bounds each session dial (the TCP connect plus the
 // hello handshake) of a dialed broker; contexts with earlier deadlines
