@@ -147,9 +147,31 @@ func run(args []string) error {
 		out          = fs.String("out", "BENCH_serve.json", "report path (- for stdout only)")
 		cpuProf      = fs.String("cpuprofile", "", "write a CPU profile of the measured run")
 		resume       = fs.Bool("resume", false, "durable mode: log to a temp dir, then measure replay throughput of a full catch-up wave")
+
+		sources       = fs.Int("sources", 0, "scale mode: cycle this many sources through the server in waves of -resident, hold the last wave idle, and measure per-source memory and flow-gap expiry (skips the storm bench; merges an idle_sources section into -out)")
+		residentSrc   = fs.Int("resident", 5000, "scale mode: concurrent raw publisher sessions per wave (clamped to RLIMIT_NOFILE headroom)")
+		hold          = fs.Duration("hold", 3*time.Second, "scale mode: idle hold over the resident set")
+		scaleTimeout  = fs.Duration("source-timeout", 0, "scale mode: server flow-gap timeout (0 = 2x -hold, at least 2s)")
+		maxHeapPerSrc = fs.Int("max-heap-per-source", 0, "scale mode: fail if heap bytes per idle source exceed this (0 = report only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *sources > 0 {
+		st := *scaleTimeout
+		if st <= 0 {
+			st = max(2*(*hold), 2*time.Second)
+		}
+		if st <= *hold {
+			return fmt.Errorf("-source-timeout %v must exceed -hold %v or the resident set expires mid-hold", st, *hold)
+		}
+		return runScale(scaleConfig{
+			sources:          *sources,
+			resident:         *residentSrc,
+			hold:             *hold,
+			sourceTimeout:    st,
+			maxHeapPerSource: *maxHeapPerSrc,
+		}, *out)
 	}
 	if *publishers < 1 || *subscribers < 1 || *tuples < 1 {
 		return fmt.Errorf("need at least one publisher, subscriber and tuple")

@@ -1,0 +1,373 @@
+// Scale mode (-sources): instead of a publish/receive storm, the bench
+// measures the server's per-source liveness machinery at population
+// scale. A population of N sources is cycled through the server in
+// waves of -resident concurrent raw-frame sessions (connect, handshake,
+// disconnect), the final wave is held open and idle, and the run
+// reports heap bytes per idle source, flow-gap expiry latency, wheel
+// and sketch statistics, and the gap-reconnect detection rate for a
+// reconnect wave of long-silent names. Results merge into -out under
+// the "idle_sources" key so the paced serve numbers in the same file
+// survive.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"syscall"
+	"time"
+
+	"gasf"
+	"gasf/internal/server"
+	"gasf/internal/tuple"
+)
+
+// discardLogger silences per-session log lines during scale runs.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func shutdownCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 30*time.Second)
+}
+
+// idleSourcesReport is the "idle_sources" section of BENCH_serve.json.
+type idleSourcesReport struct {
+	Sources         int     `json:"sources"`
+	Resident        int     `json:"resident"`
+	SourceTimeoutMs float64 `json:"source_timeout_ms"`
+	ScanIntervalMs  float64 `json:"scan_interval_ms"`
+
+	// Connect covers the whole population sweep: every source dialed,
+	// handshaken and (for non-resident waves) disconnected.
+	ConnectElapsedSec float64 `json:"connect_elapsed_sec"`
+	ConnectsPerSec    float64 `json:"connects_per_sec"`
+
+	// The idle hold: resident sessions open and silent. Heap is the
+	// post-GC HeapInuse delta over the pre-resident baseline; CPU is the
+	// process rusage delta across the hold (wheel advance + runtime, no
+	// traffic).
+	HoldSec               float64 `json:"hold_sec"`
+	HeapIdleBytes         uint64  `json:"heap_idle_bytes"`
+	HeapPerIdleSourceB    float64 `json:"heap_bytes_per_idle_source"`
+	HoldCPUSec            float64 `json:"hold_cpu_sec"`
+	HoldCPUPerSourceMicro float64 `json:"hold_cpu_us_per_source_sec"`
+
+	// Expiry: how long after the hold the flow-gap detector took to
+	// expire every resident source, and the server-measured lag between
+	// each source's deadline and its expiry.
+	ExpiryElapsedSec float64 `json:"expiry_elapsed_sec"`
+	ExpiryLagP50Ms   float64 `json:"expiry_lag_p50_ms"`
+	ExpiryLagP99Ms   float64 `json:"expiry_lag_p99_ms"`
+	Expired          uint64  `json:"expired"`
+
+	// Session closures split by cause, mirroring
+	// gasf_source_closures_total: the sweep waves disconnect, the
+	// resident set flow-gaps.
+	ClosedFlowGap    uint64 `json:"closed_flow_gap"`
+	ClosedDisconnect uint64 `json:"closed_disconnect"`
+
+	WheelMaxBucketDepth int64  `json:"wheel_max_bucket_depth"`
+	WheelInspections    uint64 `json:"wheel_inspections"`
+	WheelReschedules    uint64 `json:"wheel_reschedules"`
+	WheelCascades       uint64 `json:"wheel_cascades"`
+	SketchCells         int    `json:"sketch_cells"`
+	SketchOccupied      int64  `json:"sketch_occupied"`
+	SketchEvictions     uint64 `json:"sketch_evictions"`
+
+	// The reconnect wave: long-silent names reconnecting must be flagged
+	// by the tier-2 sketch even though their sessions (and wheel
+	// entries) are long gone.
+	ReconnectWave       int     `json:"reconnect_wave"`
+	ReconnectElapsedSec float64 `json:"reconnect_elapsed_sec"`
+	GapReconnects       uint64  `json:"gap_reconnects"`
+}
+
+// scaleConfig parameterizes one scale run.
+type scaleConfig struct {
+	sources, resident int
+	hold              time.Duration
+	sourceTimeout     time.Duration
+	maxHeapPerSource  int
+}
+
+// raiseFDLimit best-effort raises RLIMIT_NOFILE to its hard cap and
+// returns the resulting soft limit.
+func raiseFDLimit() uint64 {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 1024
+	}
+	if rl.Cur < rl.Max {
+		rl.Cur = rl.Max
+		_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl)
+		_ = syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl)
+	}
+	return rl.Cur
+}
+
+// cpuSeconds returns the process CPU time (user+system) consumed so far.
+func cpuSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	tv := func(t syscall.Timeval) float64 { return float64(t.Sec) + float64(t.Usec)/1e6 }
+	return tv(ru.Utime) + tv(ru.Stime)
+}
+
+// heapInuse returns post-GC heap occupancy.
+func heapInuse() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapInuse
+}
+
+// connectSources dials and handshakes sources[first..first+n) as raw
+// publisher sessions and returns their connections. Local addresses
+// cycle through 127.0.0.x so population sweeps cannot exhaust one
+// address's ephemeral ports.
+func connectSources(addr string, schema *tuple.Schema, first, n int) ([]net.Conn, error) {
+	const dialWorkers = 64
+	const localIPs = 8
+	conns := make([]net.Conn, n)
+	errs := make([]error, dialWorkers)
+	var wg sync.WaitGroup
+	for w := 0; w < dialWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += dialWorkers {
+				idx := first + i
+				d := net.Dialer{
+					Timeout:   10 * time.Second,
+					LocalAddr: &net.TCPAddr{IP: net.IPv4(127, 0, 0, byte(1+idx%localIPs))},
+				}
+				conn, err := d.Dial("tcp", addr)
+				if err != nil {
+					errs[w] = fmt.Errorf("dial source %d: %w", idx, err)
+					return
+				}
+				hello, err := server.EncodeSourceHello(fmt.Sprintf("idle%d", idx), schema)
+				if err == nil {
+					err = server.WriteFrame(conn, server.FrameSourceHello, hello)
+				}
+				var kind byte
+				if err == nil {
+					kind, _, err = server.ReadFrame(conn)
+				}
+				if err == nil && kind != server.FrameHelloOK {
+					err = fmt.Errorf("hello answered with frame kind %d", kind)
+				}
+				if err != nil {
+					conn.Close()
+					errs[w] = fmt.Errorf("handshake source %d: %w", idx, err)
+					return
+				}
+				conns[i] = conn
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			closeConns(conns)
+			return nil, err
+		}
+	}
+	return conns, nil
+}
+
+func closeConns(conns []net.Conn) {
+	for _, c := range conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// measureScale runs the population sweep, idle hold, expiry wait and
+// reconnect wave against a fresh server.
+func measureScale(cfg scaleConfig) (*idleSourcesReport, error) {
+	fdLimit := raiseFDLimit()
+	// A sweep wave holds 2x resident FDs (client+server end per conn),
+	// plus listener/runtime overhead.
+	if maxResident := int(fdLimit)/2 - 512; cfg.resident > maxResident {
+		fmt.Fprintf(os.Stderr, "scale: clamping -resident %d to %d (RLIMIT_NOFILE %d)\n",
+			cfg.resident, maxResident, fdLimit)
+		cfg.resident = maxResident
+	}
+	if cfg.resident < 1 {
+		return nil, fmt.Errorf("resident session budget exhausted by RLIMIT_NOFILE %d", fdLimit)
+	}
+	if cfg.resident > cfg.sources {
+		cfg.resident = cfg.sources
+	}
+
+	srv, err := gasf.StartServer(gasf.ServerConfig{
+		SourceTimeout: cfg.sourceTimeout,
+		// Expiring thousands of sessions logs one warning each; the bench
+		// only wants the numbers.
+		Logger: discardLogger(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		sctx, cancel := shutdownCtx()
+		defer cancel()
+		srv.Shutdown(sctx)
+	}()
+	addr := srv.Addr().String()
+	schema := tuple.MustSchema("v")
+
+	rep := &idleSourcesReport{
+		Sources:         cfg.sources,
+		Resident:        cfg.resident,
+		SourceTimeoutMs: float64(cfg.sourceTimeout) / float64(time.Millisecond),
+		HoldSec:         cfg.hold.Seconds(),
+	}
+
+	// Population sweep: every non-resident source connects, handshakes
+	// and disconnects, wave by wave, seeding the tier-2 sketch with far
+	// more names than ever hold a session at once.
+	connectStart := time.Now()
+	swept := cfg.sources - cfg.resident
+	for first := 0; first < swept; first += cfg.resident {
+		n := min(cfg.resident, swept-first)
+		conns, err := connectSources(addr, schema, first, n)
+		if err != nil {
+			return nil, fmt.Errorf("sweep wave at %d: %w", first, err)
+		}
+		closeConns(conns)
+	}
+
+	// Baseline after the churn has settled, then the resident set.
+	heap0 := heapInuse()
+	resident, err := connectSources(addr, schema, swept, cfg.resident)
+	if err != nil {
+		return nil, fmt.Errorf("resident wave: %w", err)
+	}
+	defer closeConns(resident)
+	connectElapsed := time.Since(connectStart)
+	rep.ConnectElapsedSec = connectElapsed.Seconds()
+	rep.ConnectsPerSec = float64(cfg.sources) / connectElapsed.Seconds()
+	if got := srv.Counters().SourcesActive; got != cfg.resident {
+		return nil, fmt.Errorf("resident hold opened %d sessions, want %d", got, cfg.resident)
+	}
+
+	// Idle hold: nothing moves but the scan loop.
+	cpu0 := cpuSeconds()
+	time.Sleep(cfg.hold)
+	holdCPU := cpuSeconds() - cpu0
+	heap1 := heapInuse()
+	if heap1 > heap0 {
+		rep.HeapIdleBytes = heap1 - heap0
+	}
+	rep.HeapPerIdleSourceB = float64(rep.HeapIdleBytes) / float64(cfg.resident)
+	rep.HoldCPUSec = holdCPU
+	rep.HoldCPUPerSourceMicro = holdCPU / cfg.hold.Seconds() / float64(cfg.resident) * 1e6
+
+	// Expiry: the resident set has been silent since its handshake; wait
+	// for the flow-gap detector to clear it.
+	expiryStart := time.Now()
+	expiryDeadline := expiryStart.Add(cfg.sourceTimeout + 10*time.Second)
+	for srv.Counters().SourcesActive > 0 {
+		if time.Now().After(expiryDeadline) {
+			return nil, fmt.Errorf("flow-gap expiry stalled: %d sources still active %v after the hold",
+				srv.Counters().SourcesActive, time.Since(expiryStart))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	rep.ExpiryElapsedSec = time.Since(expiryStart).Seconds()
+	closeConns(resident) // server already dropped them; release client FDs
+
+	dbg := srv.Debug()
+	if fg := dbg.FlowGap; fg != nil {
+		rep.ScanIntervalMs = float64(fg.ScanInterval) / float64(time.Millisecond)
+		rep.WheelMaxBucketDepth = fg.Wheel.MaxBucketDepth
+		rep.WheelInspections = fg.Wheel.Inspections
+		rep.WheelReschedules = fg.Wheel.Reschedules
+		rep.WheelCascades = fg.Wheel.Cascades
+		rep.SketchCells = fg.Sketch.Cells
+		rep.SketchOccupied = fg.Sketch.Occupied
+		rep.SketchEvictions = fg.Sketch.Evictions
+		if lag := fg.ExpiryLag; lag != nil {
+			rep.ExpiryLagP50Ms = float64(lag.P50) / float64(time.Millisecond)
+			rep.ExpiryLagP99Ms = float64(lag.P99) / float64(time.Millisecond)
+		}
+	}
+
+	// Reconnect wave: the oldest names in the population have been
+	// silent far longer than the timeout; the sketch must flag their
+	// return even though no session state survives for them.
+	wave := min(cfg.resident, cfg.sources)
+	recStart := time.Now()
+	reconnected, err := connectSources(addr, schema, 0, wave)
+	if err != nil {
+		return nil, fmt.Errorf("reconnect wave: %w", err)
+	}
+	rep.ReconnectWave = wave
+	rep.ReconnectElapsedSec = time.Since(recStart).Seconds()
+	closeConns(reconnected)
+
+	c := srv.Counters()
+	rep.Expired = c.SourcesExpired
+	rep.ClosedFlowGap = c.ClosedFlowGap
+	rep.ClosedDisconnect = c.ClosedDisconnect
+	rep.GapReconnects = c.GapReconnects
+
+	// The observability surface must hold up at scale too: strict-parse
+	// /metrics over HTTP the way the storm bench does.
+	if _, err := scrapeServer(srv); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// runScale executes scale mode and merges the section into out.
+func runScale(cfg scaleConfig, out string) error {
+	rep, err := measureScale(cfg)
+	if err != nil {
+		return err
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", enc)
+
+	if out != "-" {
+		// Merge under "idle_sources", preserving an existing report.
+		doc := map[string]json.RawMessage{}
+		if prev, err := os.ReadFile(out); err == nil {
+			if err := json.Unmarshal(prev, &doc); err != nil {
+				return fmt.Errorf("merging into %s: %w", out, err)
+			}
+		}
+		doc["idle_sources"] = json.RawMessage(enc)
+		merged, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(merged, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if cfg.maxHeapPerSource > 0 && rep.HeapPerIdleSourceB > float64(cfg.maxHeapPerSource) {
+		return fmt.Errorf("heap per idle source %.0f B exceeds the -max-heap-per-source ceiling %d B",
+			rep.HeapPerIdleSourceB, cfg.maxHeapPerSource)
+	}
+	if rep.Expired < uint64(cfg.resident) {
+		return fmt.Errorf("only %d of %d resident sources expired", rep.Expired, cfg.resident)
+	}
+	return nil
+}

@@ -65,6 +65,7 @@ func run(args []string) error {
 		policy      = fs.String("policy", "block", "slow-consumer policy: block or drop")
 		heartbeat   = fs.Duration("heartbeat", 2*time.Second, "subscriber heartbeat / gap-scan interval")
 		srcTimeout  = fs.Duration("source-timeout", 30*time.Second, "expire sources silent for this long (<0 disables)")
+		scanEvery   = fs.Duration("scan-interval", 0, "flow-gap wheel granularity; expiry detected at most ~2 intervals late (0 = source-timeout/8, clamped to [10ms,1s])")
 		drainGrace  = fs.Duration("drain-grace", time.Second, "how long shutdown keeps draining connected publishers")
 		quiet       = fs.Bool("quiet", false, "suppress per-session log lines (warnings and errors still print)")
 		logFormat   = fs.String("log-format", "text", "structured log format on stderr: text or json")
@@ -119,6 +120,7 @@ func run(args []string) error {
 		Policy:               pol,
 		HeartbeatInterval:    *heartbeat,
 		SourceTimeout:        *srcTimeout,
+		ScanInterval:         *scanEvery,
 		DrainGrace:           *drainGrace,
 		Logger:               lg,
 		TelemetrySampleEvery: *telSample,

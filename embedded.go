@@ -38,6 +38,8 @@ func NewEmbedded(opts ...Option) (*Embedded, error) {
 		DataDir:              cfg.dataDir,
 		Seglog:               cfg.seglog,
 		TelemetrySampleEvery: cfg.telemetry,
+		SourceTimeout:        cfg.srcTimeout,
+		ScanInterval:         cfg.scanEvery,
 	})
 	if err != nil {
 		return nil, err

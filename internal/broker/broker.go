@@ -34,6 +34,7 @@ import (
 
 	"gasf/internal/core"
 	"gasf/internal/filter"
+	"gasf/internal/flowgap"
 	"gasf/internal/quality"
 	"gasf/internal/seglog"
 	"gasf/internal/shard"
@@ -76,6 +77,21 @@ type Config struct {
 	// shard worker (and with it Finish and a graceful Close) forever.
 	// 0 means 10s; negative disables eviction (unbounded blocking).
 	EvictTimeout time.Duration
+	// SourceTimeout auto-finishes a silent source: one that neither
+	// publishes nor sits in a backpressured submit for this long is
+	// finished as if its owner had called Finish (engine tail flushed,
+	// subscriber streams ended) — the in-process mirror of the server's
+	// flow-gap expiry, for embedded publishers that abandon a stream
+	// without finishing it. 0 (the default) and negative disable the
+	// tracker entirely: an embedded source then lives until Finish or
+	// Close, the historical semantics.
+	SourceTimeout time.Duration
+	// ScanInterval is the granularity of the flow-gap wheel when
+	// SourceTimeout is set: silence is detected no earlier than
+	// SourceTimeout and no later than about two intervals past it. 0
+	// derives SourceTimeout/8 clamped to [10ms, 1s]. Ignored when
+	// SourceTimeout leaves the tracker disabled.
+	ScanInterval time.Duration
 	// DataDir, when set, makes the broker durable: every delivered
 	// transmission is appended to a per-source segment log under this
 	// directory before fan-out, deliveries carry their log offsets, and
@@ -104,6 +120,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EvictTimeout == 0 {
 		c.EvictTimeout = 10 * time.Second
+	}
+	if c.ScanInterval <= 0 && c.SourceTimeout > 0 {
+		c.ScanInterval = c.SourceTimeout / 8
+		if c.ScanInterval < 10*time.Millisecond {
+			c.ScanInterval = 10 * time.Millisecond
+		}
+		if c.ScanInterval > time.Second {
+			c.ScanInterval = time.Second
+		}
 	}
 	return c
 }
@@ -156,6 +181,16 @@ type Broker struct {
 	// Config.TelemetrySampleEvery is negative.
 	tel *telemetry.Pipeline
 
+	// wheel tracks per-source liveness when Config.SourceTimeout is set
+	// (nil otherwise): publishes touch it off the lock, a background
+	// loop advances it every ScanInterval, and expiry auto-finishes the
+	// silent source. Shared design with the networked server's flow-gap
+	// detector.
+	wheel     *flowgap.Wheel
+	evictStop chan struct{}
+	evictWG   sync.WaitGroup
+	evicted   atomic.Uint64
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -195,8 +230,39 @@ func New(cfg Config) (*Broker, error) {
 		}
 		return nil, err
 	}
+	if cfg.SourceTimeout > 0 {
+		b.wheel = flowgap.NewWheel(cfg.ScanInterval, cfg.SourceTimeout, b.expireSource)
+		b.evictStop = make(chan struct{})
+		b.evictWG.Add(1)
+		go func() {
+			defer b.evictWG.Done()
+			tk := time.NewTicker(cfg.ScanInterval)
+			defer tk.Stop()
+			for {
+				select {
+				case <-b.evictStop:
+					return
+				case now := <-tk.C:
+					b.wheel.Advance(now)
+				}
+			}
+		}()
+	}
 	return b, nil
 }
+
+// expireSource is the wheel's expiry callback: the silent source is
+// finished exactly as if its owner had called Finish, off the advance
+// loop so a long tail flush cannot stall expiry of other sources.
+func (b *Broker) expireSource(data any, _ time.Duration) {
+	src := data.(*Source)
+	b.evicted.Add(1)
+	go src.Finish(context.Background())
+}
+
+// Evicted returns the count of sources auto-finished by flow-gap expiry
+// (always 0 unless Config.SourceTimeout enabled the tracker).
+func (b *Broker) Evicted() uint64 { return b.evicted.Load() }
 
 // Durable reports whether the broker writes a durable log (Config.DataDir
 // was set), i.e. whether resuming subscriptions are accepted.
@@ -261,6 +327,12 @@ type Source struct {
 	// source are serialized), so it needs no locking of its own.
 	sink sinkState
 
+	// gap is the source's liveness entry in the broker's flow-gap wheel
+	// (untracked when eviction is disabled). Publishes touch it and hold
+	// its busy flag across the shard submit, so a source stalled in
+	// backpressure is never mistaken for a silent one.
+	gap flowgap.Entry
+
 	mu       sync.Mutex
 	lastTS   time.Time
 	finished bool
@@ -306,6 +378,7 @@ func (b *Broker) OpenSource(name string, schema *tuple.Schema) (*Source, error) 
 		src.lat = telemetry.NewLatencyPair()
 	}
 	b.sources[name] = src
+	b.wheel.Add(&src.gap, src)
 	return src, nil
 }
 
@@ -362,6 +435,13 @@ func (s *Source) publishLocked(ctx context.Context, tuples []*tuple.Tuple) error
 	// the submit fails partway — mirroring the server, which has decoded
 	// (and may have enqueued) them by the time an error surfaces.
 	s.lastTS = lastTS
+	if w := s.b.wheel; w != nil {
+		w.Touch(&s.gap)
+		s.gap.SetBusy(true)
+		err := s.b.rt.SubmitBatchContext(ctx, s.name, tuples)
+		s.gap.SetBusy(false)
+		return err
+	}
 	return s.b.rt.SubmitBatchContext(ctx, s.name, tuples)
 }
 
@@ -379,6 +459,8 @@ func (s *Source) Sync(ctx context.Context) error {
 	if s.finished {
 		return fmt.Errorf("broker: source %q finished", s.name)
 	}
+	// A barrier is proof of life even with nothing published.
+	s.b.wheel.Touch(&s.gap)
 	return nil
 }
 
@@ -392,6 +474,10 @@ func (s *Source) Finish(ctx context.Context) error {
 		s.mu.Lock()
 		s.finished = true
 		s.mu.Unlock()
+		// Drop the liveness entry; a finished source is not a silent one.
+		// (Unclean removal — Finish racing the expiry callback — is fine:
+		// sources are heap-allocated and never reused.)
+		s.b.wheel.Remove(&s.gap)
 		go func() {
 			err := s.b.rt.FinishSourceWait(s.name)
 			// The finish marker has been processed (or the runtime is
@@ -936,6 +1022,12 @@ func (b *Broker) Close(ctx context.Context) error {
 }
 
 func (b *Broker) close(ctx context.Context) error {
+	// Stop flow-gap expiry first: Close owns the remaining finishes, and
+	// an eviction racing the drain would only duplicate them.
+	if b.wheel != nil {
+		close(b.evictStop)
+		b.evictWG.Wait()
+	}
 	b.mu.Lock()
 	b.closed = true
 	srcs := make([]*Source, 0, len(b.sources))

@@ -354,3 +354,77 @@ func TestCloseAbortUnblocks(t *testing.T) {
 		t.Fatalf("aborted close took %v", elapsed)
 	}
 }
+
+// TestSourceEviction proves embedded flow-gap expiry: a source that
+// goes silent past SourceTimeout is auto-finished (its subscriber's
+// stream ends), while a source that keeps publishing — and one parked
+// at Sync barriers — survive.
+func TestSourceEviction(t *testing.T) {
+	b, err := New(Config{
+		Engine:        core.Options{ShardCount: 1},
+		SourceTimeout: 150 * time.Millisecond,
+		ScanInterval:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(t)
+	defer b.Close(ctx)
+
+	schema := tuple.MustSchema("v")
+	silent, err := b.OpenSource("silent", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := b.OpenSource("live", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	barrier, err := b.OpenSource("barrier", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := b.Subscribe(ctx, "watcher", "silent", passAllSpec(t), SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	publishSeq(t, ctx, silent, 0, 4)
+	// silent now goes quiet; live publishes and barrier Syncs through
+	// several timeouts.
+	deadline := time.Now().Add(600 * time.Millisecond)
+	for i := 0; time.Now().Before(deadline); i++ {
+		publishSeq(t, ctx, live, i, 1)
+		if err := barrier.Sync(ctx); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// The silent source's stream must have ended: drain the deliveries,
+	// then expect the end-of-stream sentinel.
+	got := 0
+	for {
+		recvCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		_, err := sub.Recv(recvCtx)
+		cancel()
+		if err != nil {
+			if !errors.Is(err, ErrStreamEnded) {
+				t.Fatalf("Recv: %v, want ErrStreamEnded", err)
+			}
+			break
+		}
+		got++
+	}
+	if got == 0 {
+		t.Error("published deliveries lost to eviction")
+	}
+	if n := b.Evicted(); n != 1 {
+		t.Errorf("Evicted = %d, want 1 (only the silent source)", n)
+	}
+	// Survivors still work.
+	publishSeq(t, ctx, live, 10_000, 1)
+	if err := barrier.Sync(ctx); err != nil {
+		t.Errorf("barrier source evicted despite Syncs: %v", err)
+	}
+}

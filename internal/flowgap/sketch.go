@@ -1,0 +1,165 @@
+package flowgap
+
+import "sync/atomic"
+
+// Sketch is the tier-2 gap detector: a bounded-memory map from flow
+// name to last-seen tick, in the spirit of the flow-gap sketches of
+// "Detecting Flow Gaps in Data Streams" — the population it remembers
+// may be far larger than the sessions currently connected, and the
+// memory never grows with it.
+//
+// Layout: a power-of-two array of rows, four cells per row, one atomic
+// uint64 per cell packing a 16-bit fingerprint of the name with a
+// 32-bit last-seen tick (stored +1 so a packed zero means empty). A
+// record hashes to one row; within the row its fingerprint picks the
+// cell, and when all four cells are foreign the oldest (minimum tick)
+// is evicted — silence tracking wants the recently-heard flows, so
+// age is the right victim ordering.
+//
+// Being a sketch, answers are approximate in two bounded ways:
+//
+//   - False positive: a different name with the same row and
+//     fingerprint serves its tick as ours (probability ~ occupancy ×
+//     2^-16 per lookup).
+//   - False negative: our cell was evicted by row overflow, so a real
+//     gap goes unreported (probability grows with row load; negligible
+//     below ~25% global occupancy, see the property test).
+//
+// Both failure modes degrade detection quality, never correctness of
+// the broker: a false positive mislabels a reconnect as gap-recovered,
+// a false negative misses the label. Updates are lock-free and lossy
+// under contention (a lost update re-records on the next touch).
+type Sketch struct {
+	mask  uint64
+	cells []atomic.Uint64
+
+	occupied  atomic.Int64
+	records   atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// sketchWays is the row associativity.
+const sketchWays = 4
+
+// SketchStats is a point-in-time snapshot of the sketch.
+type SketchStats struct {
+	Cells     int    `json:"cells"`
+	Occupied  int64  `json:"occupied"`
+	Records   uint64 `json:"records"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// NewSketch returns a sketch with at least the given number of cells
+// (rounded up to a power-of-two row count; minimum 256 cells). Size it
+// at ~4x the expected population for negligible false negatives.
+func NewSketch(cells int) *Sketch {
+	rows := 64
+	for rows*sketchWays < cells {
+		rows <<= 1
+	}
+	return &Sketch{
+		mask:  uint64(rows - 1),
+		cells: make([]atomic.Uint64, rows*sketchWays),
+	}
+}
+
+// fnv1a is FNV-1a 64: cheap, alloc-free, good enough dispersion for a
+// fingerprinted cuckoo-style row.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func pack(fp uint16, tick int64) uint64 {
+	// Stored tick is +1 so an empty cell (all zeroes) is unambiguous;
+	// the low 32 bits wrap after ~4 billion ticks, beyond any plausible
+	// process lifetime at sane tick granularities.
+	return uint64(fp)<<48 | uint64(uint32(tick)+1)
+}
+
+func unpackTick(v uint64) int64 { return int64(uint32(v)) - 1 }
+func unpackFP(v uint64) uint16  { return uint16(v >> 48) }
+
+// Record notes that name was heard at tick. It returns the previously
+// recorded tick, with known=false when the sketch had no cell for the
+// name (first sight, or evicted since).
+func (s *Sketch) Record(name string, tick int64) (prev int64, known bool) {
+	if s == nil {
+		return 0, false
+	}
+	s.records.Add(1)
+	h := fnv1a(name)
+	fp := uint16(h >> 48)
+	row := (h & s.mask) * sketchWays
+	packed := pack(fp, tick)
+
+	var emptyIdx, minIdx = -1, -1
+	var minVal uint64
+	for i := 0; i < sketchWays; i++ {
+		c := &s.cells[row+uint64(i)]
+		v := c.Load()
+		if v == 0 {
+			if emptyIdx < 0 {
+				emptyIdx = i
+			}
+			continue
+		}
+		if unpackFP(v) == fp {
+			c.Store(packed)
+			return unpackTick(v), true
+		}
+		if minIdx < 0 || v&0xffffffff < minVal&0xffffffff {
+			minIdx, minVal = i, v
+		}
+	}
+	if emptyIdx >= 0 {
+		// Claim the empty cell with a CAS so two first-sight racers
+		// cannot both count an occupation; the loser falls back to a
+		// plain store (one lossy overwrite, self-healing on next touch).
+		c := &s.cells[row+uint64(emptyIdx)]
+		if c.CompareAndSwap(0, packed) {
+			s.occupied.Add(1)
+		} else {
+			c.Store(packed)
+		}
+		return 0, false
+	}
+	// Row full of foreign flows: evict the oldest.
+	s.cells[row+uint64(minIdx)].Store(packed)
+	s.evictions.Add(1)
+	return 0, false
+}
+
+// LastSeen returns the recorded last-seen tick for name, if any.
+func (s *Sketch) LastSeen(name string) (tick int64, known bool) {
+	if s == nil {
+		return 0, false
+	}
+	h := fnv1a(name)
+	fp := uint16(h >> 48)
+	row := (h & s.mask) * sketchWays
+	for i := 0; i < sketchWays; i++ {
+		v := s.cells[row+uint64(i)].Load()
+		if v != 0 && unpackFP(v) == fp {
+			return unpackTick(v), true
+		}
+	}
+	return 0, false
+}
+
+// Stats snapshots the sketch counters.
+func (s *Sketch) Stats() SketchStats {
+	if s == nil {
+		return SketchStats{}
+	}
+	return SketchStats{
+		Cells:     len(s.cells),
+		Occupied:  s.occupied.Load(),
+		Records:   s.records.Load(),
+		Evictions: s.evictions.Load(),
+	}
+}

@@ -1,0 +1,190 @@
+package flowgap
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestSketchRecordAndLastSeen(t *testing.T) {
+	s := NewSketch(1024)
+	if _, known := s.LastSeen("a"); known {
+		t.Fatal("empty sketch knows a name")
+	}
+	if prev, known := s.Record("a", 5); known || prev != 0 {
+		t.Fatalf("first record: prev=%d known=%v", prev, known)
+	}
+	if tick, known := s.LastSeen("a"); !known || tick != 5 {
+		t.Fatalf("LastSeen = %d,%v want 5,true", tick, known)
+	}
+	if prev, known := s.Record("a", 9); !known || prev != 5 {
+		t.Fatalf("second record: prev=%d known=%v want 5,true", prev, known)
+	}
+	if tick, known := s.LastSeen("a"); !known || tick != 9 {
+		t.Fatalf("LastSeen after update = %d,%v", tick, known)
+	}
+	st := s.Stats()
+	if st.Occupied != 1 || st.Records != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSketchTickZeroRoundTrips(t *testing.T) {
+	s := NewSketch(256)
+	s.Record("z", 0)
+	if tick, known := s.LastSeen("z"); !known || tick != 0 {
+		t.Fatalf("tick 0 round trip = %d,%v", tick, known)
+	}
+}
+
+// TestSketchErrorBounds is the exact-vs-sketch property test: it replays
+// the same stream of (name, tick) records into the sketch and into an
+// exact map and pins the two failure modes.
+//
+//   - False negative (a recorded flow the sketch forgot or mis-ticks):
+//     bounded by row-overflow eviction, negligible at low occupancy and
+//     degrading gracefully as load grows.
+//   - False positive (a never-recorded flow the sketch claims to know):
+//     a fingerprint collision within one row, ~occupancy x 2^-16.
+func TestSketchErrorBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const cells = 1 << 12 // 4096 cells, 1024 rows
+	for _, tc := range []struct {
+		load       float64 // flows as a fraction of cells
+		maxFNRate  float64
+		maxFPRate  float64
+		wantUsable bool
+	}{
+		{load: 0.25, maxFNRate: 0.01, maxFPRate: 0.001},
+		{load: 0.50, maxFNRate: 0.10, maxFPRate: 0.001},
+	} {
+		t.Run(fmt.Sprintf("load=%.2f", tc.load), func(t *testing.T) {
+			s := NewSketch(cells)
+			exact := make(map[string]int64)
+			n := int(tc.load * cells)
+			// Record each flow once at a distinct tick, in random order,
+			// with a few re-records mixed in (which must never hurt).
+			for i := 0; i < n; i++ {
+				name := fmt.Sprintf("flow-%d-%d", i, rng.Int63())
+				tick := int64(i + 1)
+				s.Record(name, tick)
+				exact[name] = tick
+				if rng.Intn(4) == 0 {
+					tick += int64(n)
+					s.Record(name, tick)
+					exact[name] = tick
+				}
+			}
+
+			// False negatives: recorded flows the sketch lost or answers
+			// with the wrong tick.
+			fn := 0
+			for name, want := range exact {
+				got, known := s.LastSeen(name)
+				if !known || got != want {
+					fn++
+				}
+			}
+			fnRate := float64(fn) / float64(len(exact))
+			if fnRate > tc.maxFNRate {
+				t.Errorf("false-negative rate %.4f > %.4f at load %.2f (evictions=%d)",
+					fnRate, tc.maxFNRate, tc.load, s.Stats().Evictions)
+			}
+
+			// False positives: flows never recorded that the sketch
+			// claims to know.
+			const probes = 20000
+			fp := 0
+			for i := 0; i < probes; i++ {
+				name := fmt.Sprintf("absent-%d-%d", i, rng.Int63())
+				if _, known := s.LastSeen(name); known {
+					fp++
+				}
+			}
+			fpRate := float64(fp) / probes
+			if fpRate > tc.maxFPRate {
+				t.Errorf("false-positive rate %.5f > %.5f at load %.2f", fpRate, tc.maxFPRate, tc.load)
+			}
+			t.Logf("load %.2f: FN %.4f (cap %.4f), FP %.5f (cap %.5f), evictions %d, occupied %d/%d",
+				tc.load, fnRate, tc.maxFNRate, fpRate, tc.maxFPRate,
+				s.Stats().Evictions, s.Stats().Occupied, cells)
+		})
+	}
+}
+
+// TestSketchEvictsOldest pins the victim policy: overflowing a row must
+// evict the stalest tick, keeping recent flows answerable.
+func TestSketchEvictsOldest(t *testing.T) {
+	s := NewSketch(256) // 64 rows
+	// Find sketchWays+1 names landing in the same row with distinct
+	// fingerprints.
+	row := func(name string) uint64 { return fnv1a(name) & s.mask }
+	var names []string
+	var target uint64
+	for i := 0; len(names) <= sketchWays; i++ {
+		name := fmt.Sprintf("n%d", i)
+		if len(names) == 0 {
+			target = row(name)
+			names = append(names, name)
+			continue
+		}
+		if row(name) != target {
+			continue
+		}
+		dup := false
+		for _, prev := range names {
+			if uint16(fnv1a(prev)>>48) == uint16(fnv1a(name)>>48) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			names = append(names, name)
+		}
+	}
+	for i, name := range names {
+		s.Record(name, int64(i+1)) // names[0] is oldest
+	}
+	// The overflow (names[4] into a 4-way row) must have evicted
+	// names[0] and kept the rest.
+	if _, known := s.LastSeen(names[0]); known {
+		t.Fatal("oldest cell survived an overflow eviction")
+	}
+	for i := 1; i < len(names); i++ {
+		if tick, known := s.LastSeen(names[i]); !known || tick != int64(i+1) {
+			t.Fatalf("recent flow %d lost (tick=%d known=%v)", i, tick, known)
+		}
+	}
+}
+
+// TestSketchConcurrent hammers the sketch from many goroutines; run
+// with -race. Lossy interleavings are allowed, torn state is not: any
+// answered tick must be one that was actually recorded for that name.
+func TestSketchConcurrent(t *testing.T) {
+	s := NewSketch(1 << 10)
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("w%d", g)
+			for i := 1; i <= perWorker; i++ {
+				s.Record(name, int64(i))
+				if tick, known := s.LastSeen(name); known && (tick < 0 || tick > perWorker) {
+					t.Errorf("worker %d read out-of-range tick %d", g, tick)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < workers; g++ {
+		name := fmt.Sprintf("w%d", g)
+		if tick, known := s.LastSeen(name); !known || tick != perWorker {
+			t.Fatalf("%s final tick = %d,%v want %d,true", name, tick, known, perWorker)
+		}
+	}
+}

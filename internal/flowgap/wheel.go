@@ -1,0 +1,429 @@
+// Package flowgap is the broker's two-tier liveness tracker for
+// flow-gap detection at large source populations.
+//
+// Tier 1 (Wheel) tracks the connected sessions: a hierarchical timer
+// wheel over coarse monotonic ticks. Touching an entry on the ingest
+// hot path is one atomic load plus one atomic store — no lock, no
+// clock read, no wheel mutation — because entries are scheduled
+// lazily: a bucket coming due re-inspects its entries against their
+// last-touch tick and reschedules the live ones instead of moving
+// them on every touch. Expiry cost is proportional to the entries
+// actually due, not to the population, and the wheel mutex is never
+// held while expiry callbacks run.
+//
+// Tier 2 (Sketch) remembers when each member of a source population —
+// including the sources not currently connected — was last heard, in
+// bounded memory, so a reconnecting publisher can be classified as
+// "returning after a silence gap" without keeping per-name state for
+// millions of names. See sketch.go.
+package flowgap
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Wheel geometry: 256 fine buckets of one tick each, cascading into 64
+// coarse buckets of 256 ticks each, for a 16384-tick horizon. Deadlines
+// beyond the horizon are clamped to its edge and re-examined there —
+// inspection is driven by the entry's touch tick, so a clamped deadline
+// only costs an extra look, never an early expiry.
+const (
+	l0Bits = 8
+	l0Size = 1 << l0Bits
+	l0Mask = l0Size - 1
+	l1Bits = 6
+	l1Size = 1 << l1Bits
+	l1Mask = l1Size - 1
+	span   = l0Size * l1Size
+)
+
+// Entry is one tracked session's liveness state, embedded in the
+// session so tracking adds no allocation of its own. The touch word
+// and busy bit are lock-free and writable from the session's own
+// goroutines; everything else belongs to the wheel and is guarded by
+// its mutex.
+type Entry struct {
+	// touch is the tick of the last observed liveness (frame read,
+	// heartbeat, submit return). Written by Wheel.Touch, read by the
+	// wheel when the entry's bucket comes due.
+	touch atomic.Int64
+	// busy marks a session parked inside the runtime — a ring submit
+	// under backpressure or a Sync barrier awaiting its pong. A busy
+	// source publishes nothing by definition, so the wheel treats the
+	// state as liveness, not silence: reaping it mid-barrier would tear
+	// down a healthy session.
+	busy atomic.Bool
+
+	// Wheel-owned intrusive state, guarded by Wheel.mu.
+	data       any
+	next, prev *Entry
+	bucket     *bucket
+	// claimed marks that an Advance pass has collected the entry for
+	// expiry and its callback may be in flight; Remove reports it so
+	// the owner knows the entry is not clean to recycle yet.
+	claimed bool
+}
+
+// SetBusy flags or clears the parked-in-runtime state.
+func (e *Entry) SetBusy(v bool) { e.busy.Store(v) }
+
+// Busy reports the parked-in-runtime state.
+func (e *Entry) Busy() bool { return e.busy.Load() }
+
+// LastTouch returns the tick of the last recorded liveness.
+func (e *Entry) LastTouch() int64 { return e.touch.Load() }
+
+// Reset clears an entry for reuse. The entry must not be in a wheel.
+func (e *Entry) Reset() {
+	e.touch.Store(0)
+	e.busy.Store(false)
+	e.data, e.next, e.prev, e.bucket = nil, nil, nil, nil
+	e.claimed = false
+}
+
+// bucket is an intrusive doubly-linked list head.
+type bucket struct{ head *Entry }
+
+func (b *bucket) push(e *Entry) {
+	e.prev = nil
+	e.next = b.head
+	if b.head != nil {
+		b.head.prev = e
+	}
+	b.head = e
+	e.bucket = b
+}
+
+func (b *bucket) unlink(e *Entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		b.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	e.next, e.prev, e.bucket = nil, nil, nil
+}
+
+// expiry is one collected expiration, copied out of the entry so the
+// callback phase never reads wheel-owned fields without the lock.
+type expiry struct {
+	e    *Entry
+	data any
+	lag  time.Duration
+}
+
+// Wheel is the tier-1 tracker. Add/Remove/Touch are safe for
+// concurrent use; Advance must be driven by a single goroutine (the
+// scan loop). All methods are nil-safe so a disabled detector costs
+// one branch.
+type Wheel struct {
+	tick         time.Duration
+	timeoutTicks int64
+	start        time.Time
+	// now caches the current tick so Touch never reads the clock; it
+	// advances only in Advance, making expiry strictly late relative to
+	// the configured timeout (by up to two ticks), never early.
+	now atomic.Int64
+
+	onExpire func(data any, lag time.Duration)
+
+	mu      sync.Mutex
+	l0      [l0Size]bucket
+	l1      [l1Size]bucket
+	cur     int64 // next unprocessed tick; every queued deadline is >= cur
+	size    int
+	scratch []expiry
+
+	// Stats, updated under mu or atomically.
+	maxDepth    atomic.Int64
+	inspections atomic.Uint64
+	reschedules atomic.Uint64
+	cascades    atomic.Uint64
+	expirations atomic.Uint64
+}
+
+// WheelStats is a point-in-time snapshot of the wheel.
+type WheelStats struct {
+	Entries        int           `json:"entries"`
+	NowTick        int64         `json:"now_tick"`
+	Tick           time.Duration `json:"tick_ns"`
+	TimeoutTicks   int64         `json:"timeout_ticks"`
+	MaxBucketDepth int64         `json:"max_bucket_depth"`
+	Inspections    uint64        `json:"inspections"`
+	Reschedules    uint64        `json:"reschedules"`
+	Cascades       uint64        `json:"cascades"`
+	Expirations    uint64        `json:"expirations"`
+}
+
+// NewWheel returns a wheel with the given tick granularity and silence
+// timeout. onExpire is invoked from Advance — outside the wheel mutex —
+// once per expired entry, with the entry's data and how far past its
+// deadline the expiry fired.
+func NewWheel(tick, timeout time.Duration, onExpire func(data any, lag time.Duration)) *Wheel {
+	if tick <= 0 {
+		tick = time.Second
+	}
+	tt := int64((timeout + tick - 1) / tick)
+	if tt < 1 {
+		tt = 1
+	}
+	return &Wheel{
+		tick:         tick,
+		timeoutTicks: tt,
+		start:        time.Now(),
+		onExpire:     onExpire,
+	}
+}
+
+// Tick returns the wheel granularity.
+func (w *Wheel) Tick() time.Duration {
+	if w == nil {
+		return 0
+	}
+	return w.tick
+}
+
+// TimeoutTicks returns the silence threshold in ticks.
+func (w *Wheel) TimeoutTicks() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.timeoutTicks
+}
+
+// NowTick returns the cached current tick.
+func (w *Wheel) NowTick() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.now.Load()
+}
+
+// TickTime converts a tick to the wall instant of its start.
+func (w *Wheel) TickTime(tick int64) time.Time {
+	if w == nil {
+		return time.Time{}
+	}
+	return w.start.Add(time.Duration(tick) * w.tick)
+}
+
+// Touch records liveness for e: one atomic load (the cached tick) and
+// one atomic store. The wheel itself is untouched; the new tick is
+// honored when the entry's bucket next comes due.
+func (w *Wheel) Touch(e *Entry) {
+	if w == nil {
+		return
+	}
+	e.touch.Store(w.now.Load())
+}
+
+// Add inserts e with the given payload, due one timeout from now.
+func (w *Wheel) Add(e *Entry, data any) {
+	if w == nil {
+		return
+	}
+	now := w.now.Load()
+	e.touch.Store(now)
+	w.mu.Lock()
+	e.data = data
+	e.claimed = false
+	w.schedule(e, now+w.timeoutTicks)
+	w.size++
+	w.mu.Unlock()
+}
+
+// Remove takes e out of the wheel. It reports whether the entry is
+// clean: false means an Advance pass has claimed it for expiry and its
+// callback may still be running, so the owner must not recycle the
+// entry (or whatever embeds it) — letting the garbage collector take
+// that rare loser is the whole synchronization.
+func (w *Wheel) Remove(e *Entry) bool {
+	if w == nil {
+		return true
+	}
+	w.mu.Lock()
+	if e.bucket != nil {
+		e.bucket.unlink(e)
+		w.size--
+	}
+	clean := !e.claimed
+	if clean {
+		e.data = nil
+	}
+	w.mu.Unlock()
+	return clean
+}
+
+// schedule queues e at the given absolute tick. Caller holds mu.
+func (w *Wheel) schedule(e *Entry, deadline int64) {
+	if deadline < w.cur {
+		deadline = w.cur
+	}
+	if deadline-w.cur >= span {
+		// Beyond the horizon: park at the edge and re-inspect there.
+		deadline = w.cur + span - 1
+	}
+	if deadline-w.cur < l0Size {
+		w.l0[deadline&l0Mask].push(e)
+	} else {
+		w.l1[(deadline>>l0Bits)&l1Mask].push(e)
+	}
+}
+
+// Advance moves the wheel to the tick containing now, inspecting every
+// bucket that came due: live entries (touched within the timeout, or
+// busy) are rescheduled at their next possible deadline; silent ones
+// are expired via the callback. Returns the number of expirations.
+// Must be called from a single goroutine.
+func (w *Wheel) Advance(now time.Time) int {
+	if w == nil {
+		return 0
+	}
+	target := int64(now.Sub(w.start) / w.tick)
+	if target < 0 {
+		target = 0
+	}
+	w.now.Store(target)
+	w.mu.Lock()
+	if w.size == 0 {
+		// Empty wheel: nothing can be queued below cur, so the pass is
+		// pure bookkeeping however long the wheel idled.
+		if target >= w.cur {
+			w.cur = target + 1
+		}
+	} else if target >= w.cur {
+		// One full revolution visits every bucket, so a pass longer
+		// than the horizon (a stalled scan loop, a suspended laptop)
+		// can skip ahead: entries are inspected against their touch
+		// tick, not their bucket position, so a late inspection is
+		// still a correct one.
+		if target-w.cur >= span {
+			w.cur = target - span + 1
+		}
+		for t := w.cur; t <= target; t++ {
+			// schedule() places buckets relative to cur, so it must track
+			// the tick being processed: a mid-pass reschedule is relative
+			// to t, not to where the pass started.
+			w.cur = t
+			if t&l0Mask == 0 {
+				w.cascade(t)
+			}
+			w.drain(t, now)
+		}
+		w.cur = target + 1
+	}
+	out := w.scratch
+	w.mu.Unlock()
+
+	if len(out) == 0 {
+		return 0
+	}
+	for i := range out {
+		if w.onExpire != nil {
+			w.onExpire(out[i].data, out[i].lag)
+		}
+	}
+	// Callbacks done: release the claims so owners can recycle entries
+	// removed from here on.
+	w.mu.Lock()
+	for i := range out {
+		out[i].e.claimed = false
+		out[i].e.data = nil
+	}
+	w.mu.Unlock()
+	clear(out)
+	w.scratch = out[:0]
+	return len(out)
+}
+
+// cascade redistributes the coarse bucket whose window starts at tick t
+// into the fine buckets. Caller holds mu.
+func (w *Wheel) cascade(t int64) {
+	b := &w.l1[(t>>l0Bits)&l1Mask]
+	e := b.head
+	b.head = nil
+	for e != nil {
+		next := e.next
+		e.next, e.prev, e.bucket = nil, nil, nil
+		// Entries in this window have deadlines in [t, t+l0Size), all
+		// within fine range of cur (== t during the pass).
+		due := e.touch.Load() + w.timeoutTicks
+		w.schedule(e, due)
+		w.cascades.Add(1)
+		e = next
+	}
+}
+
+// drain inspects the fine bucket for tick t. Caller holds mu.
+func (w *Wheel) drain(t int64, now time.Time) {
+	b := &w.l0[t&l0Mask]
+	e := b.head
+	b.head = nil
+	depth := int64(0)
+	for e != nil {
+		next := e.next
+		e.next, e.prev, e.bucket = nil, nil, nil
+		depth++
+		w.inspections.Add(1)
+		due := e.touch.Load() + w.timeoutTicks
+		switch {
+		case e.busy.Load():
+			// Parked in the runtime: liveness by definition. Re-arm a
+			// full timeout out; the flag clearing refreshes touch.
+			w.schedule(e, t+w.timeoutTicks)
+			w.reschedules.Add(1)
+		case due > t:
+			// Touched since it was queued: sleep until the new deadline.
+			w.schedule(e, due)
+			w.reschedules.Add(1)
+		default:
+			e.claimed = true
+			w.size--
+			w.expirations.Add(1)
+			lag := now.Sub(w.TickTime(due))
+			if lag < 0 {
+				lag = 0
+			}
+			w.scratch = append(w.scratch, expiry{e: e, data: e.data, lag: lag})
+		}
+		e = next
+	}
+	if depth > w.maxDepth.Load() {
+		w.maxDepth.Store(depth)
+	}
+}
+
+// Size returns the tracked-entry count.
+func (w *Wheel) Size() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Stats snapshots the wheel counters.
+func (w *Wheel) Stats() WheelStats {
+	if w == nil {
+		return WheelStats{}
+	}
+	w.mu.Lock()
+	size := w.size
+	w.mu.Unlock()
+	return WheelStats{
+		Entries:        size,
+		NowTick:        w.now.Load(),
+		Tick:           w.tick,
+		TimeoutTicks:   w.timeoutTicks,
+		MaxBucketDepth: w.maxDepth.Load(),
+		Inspections:    w.inspections.Load(),
+		Reschedules:    w.reschedules.Load(),
+		Cascades:       w.cascades.Load(),
+		Expirations:    w.expirations.Load(),
+	}
+}

@@ -1,0 +1,231 @@
+package flowgap
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// advanceTo drives the wheel tick-by-tick to the given tick using
+// synthetic wall times, the way the scan loop would.
+func advanceTo(w *Wheel, tick int64) int {
+	n := 0
+	n += w.Advance(w.start.Add(time.Duration(tick) * w.tick))
+	return n
+}
+
+func newTestWheel(timeoutTicks int64, onExpire func(any, time.Duration)) *Wheel {
+	return NewWheel(time.Millisecond, time.Duration(timeoutTicks)*time.Millisecond, onExpire)
+}
+
+func TestWheelExpiresSilentEntry(t *testing.T) {
+	var expired []string
+	w := newTestWheel(10, func(d any, lag time.Duration) {
+		expired = append(expired, d.(string))
+		if lag < 0 {
+			t.Errorf("negative lag %v", lag)
+		}
+	})
+	var e Entry
+	w.Add(&e, "a")
+	if n := advanceTo(w, 9); n != 0 {
+		t.Fatalf("expired %d entries before the timeout elapsed: %v", n, expired)
+	}
+	if n := advanceTo(w, 10); n != 1 || len(expired) != 1 || expired[0] != "a" {
+		t.Fatalf("expired=%v n=%d, want [a] at the deadline tick", expired, n)
+	}
+	if w.Size() != 0 {
+		t.Fatalf("size %d after expiry", w.Size())
+	}
+}
+
+func TestWheelTouchKeepsAlive(t *testing.T) {
+	var expired atomic.Int64
+	w := newTestWheel(10, func(any, time.Duration) { expired.Add(1) })
+	var live, dead Entry
+	w.Add(&live, "live")
+	w.Add(&dead, "dead")
+	for tick := int64(1); tick <= 100; tick++ {
+		w.Touch(&live)
+		advanceTo(w, tick)
+	}
+	if got := expired.Load(); got != 1 {
+		t.Fatalf("expired %d entries, want only the silent one", got)
+	}
+	if w.Size() != 1 {
+		t.Fatalf("size %d, want the touched entry still tracked", w.Size())
+	}
+}
+
+func TestWheelBusyEntryImmune(t *testing.T) {
+	var expired atomic.Int64
+	w := newTestWheel(5, func(any, time.Duration) { expired.Add(1) })
+	var e Entry
+	w.Add(&e, "busy")
+	e.SetBusy(true)
+	advanceTo(w, 100)
+	if got := expired.Load(); got != 0 {
+		t.Fatalf("busy entry expired (%d)", got)
+	}
+	// Clearing busy without touching: expires one timeout after the
+	// last re-arm.
+	e.SetBusy(false)
+	advanceTo(w, 200)
+	if got := expired.Load(); got != 1 {
+		t.Fatalf("entry did not expire after busy cleared (%d)", got)
+	}
+}
+
+func TestWheelRemoveClean(t *testing.T) {
+	w := newTestWheel(10, func(any, time.Duration) {})
+	var e Entry
+	w.Add(&e, "a")
+	if !w.Remove(&e) {
+		t.Fatal("unclaimed entry reported unclean")
+	}
+	if w.Size() != 0 {
+		t.Fatalf("size %d after remove", w.Size())
+	}
+	// Removing twice is a no-op.
+	if !w.Remove(&e) {
+		t.Fatal("second remove reported unclean")
+	}
+}
+
+func TestWheelRemoveDuringExpiryCallbackIsUnclean(t *testing.T) {
+	w := NewWheel(time.Millisecond, 5*time.Millisecond, nil)
+	var e Entry
+	results := make(chan bool, 1)
+	w.onExpire = func(d any, _ time.Duration) {
+		// Concurrent removal while the callback runs: the claim must
+		// deny the clean bill.
+		results <- w.Remove(&e)
+	}
+	w.Add(&e, "a")
+	advanceTo(w, 100)
+	if clean := <-results; clean {
+		t.Fatal("Remove during expiry callback reported clean")
+	}
+	// After Advance returned, the claim is released.
+	if !w.Remove(&e) {
+		t.Fatal("Remove after Advance completed reported unclean")
+	}
+}
+
+// TestWheelLongTimeoutCascades exercises the coarse level: a timeout
+// beyond the fine span must still expire (via cascade), and ahead of
+// schedule never.
+func TestWheelLongTimeoutCascades(t *testing.T) {
+	var expired atomic.Int64
+	timeout := int64(3*l0Size + 17)
+	w := newTestWheel(timeout, func(any, time.Duration) { expired.Add(1) })
+	var e Entry
+	w.Add(&e, "far")
+	advanceTo(w, timeout-1)
+	if got := expired.Load(); got != 0 {
+		t.Fatalf("expired %d ticks early", timeout-1)
+	}
+	advanceTo(w, timeout+1)
+	if got := expired.Load(); got != 1 {
+		t.Fatalf("long-timeout entry not expired (%d)", got)
+	}
+	if s := w.Stats(); s.Cascades == 0 {
+		t.Fatal("no cascades recorded for a beyond-fine-span timeout")
+	}
+}
+
+// TestWheelBeyondHorizon pins the clamp: a timeout past the whole wheel
+// span parks at the horizon edge and is re-inspected, expiring late but
+// never early and never lost.
+func TestWheelBeyondHorizon(t *testing.T) {
+	var expired atomic.Int64
+	timeout := int64(span + 123)
+	w := newTestWheel(timeout, func(any, time.Duration) { expired.Add(1) })
+	var e Entry
+	w.Add(&e, "huge")
+	advanceTo(w, timeout-1)
+	if got := expired.Load(); got != 0 {
+		t.Fatal("expired before its timeout")
+	}
+	advanceTo(w, timeout+span)
+	if got := expired.Load(); got != 1 {
+		t.Fatalf("beyond-horizon entry lost (expired=%d)", got)
+	}
+}
+
+// TestWheelStalledScanJump pins the skip-ahead: a scan loop stalled for
+// many horizons still expires everything due, in one bounded pass.
+func TestWheelStalledScanJump(t *testing.T) {
+	var expired atomic.Int64
+	w := newTestWheel(10, func(any, time.Duration) { expired.Add(1) })
+	entries := make([]Entry, 100)
+	for i := range entries {
+		w.Add(&entries[i], i)
+	}
+	advanceTo(w, 10*span)
+	if got := expired.Load(); got != 100 {
+		t.Fatalf("expired %d of 100 after a stalled-scan jump", got)
+	}
+	if w.Size() != 0 {
+		t.Fatalf("size %d after jump", w.Size())
+	}
+}
+
+// TestWheelChurnRace hammers concurrent Add/Touch/Remove against an
+// advancing wheel; run with -race. Every entry must end either removed
+// by its owner or expired, never both leaked.
+func TestWheelChurnRace(t *testing.T) {
+	var expired atomic.Int64
+	w := NewWheel(100*time.Microsecond, time.Millisecond, func(any, time.Duration) {
+		expired.Add(1)
+	})
+	stop := make(chan struct{})
+	var advWG sync.WaitGroup
+	advWG.Add(1)
+	go func() {
+		defer advWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				w.Advance(time.Now())
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	var removedClean atomic.Int64
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				var e Entry
+				w.Add(&e, g*perWorker+i)
+				for j := 0; j < 3; j++ {
+					w.Touch(&e)
+					e.SetBusy(j%2 == 0)
+				}
+				e.SetBusy(false)
+				if i%3 == 0 {
+					time.Sleep(2 * time.Millisecond) // let some expire
+				}
+				if w.Remove(&e) {
+					removedClean.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	advWG.Wait()
+	if w.Size() != 0 {
+		t.Fatalf("size %d after churn, want 0", w.Size())
+	}
+	t.Logf("churn: %d removed clean, %d expired", removedClean.Load(), expired.Load())
+}

@@ -1,0 +1,78 @@
+// Package intern provides a concurrency-safe bounded string interner.
+//
+// Long-lived registries keyed by names that repeat across sessions
+// (source names surviving reconnect cycles, app names) otherwise retain
+// one heap copy per session generation; interning pins one canonical
+// copy and lets every later arrival share it. The table is bounded the
+// same way wire.Interner is: when it fills, it is reset wholesale — an
+// epoch flip — so an adversarial or unbounded name population costs
+// re-interning, never unbounded memory.
+package intern
+
+import "sync"
+
+// DefaultLimit bounds a Pool's table when New is given no limit.
+const DefaultLimit = 1 << 16
+
+// Pool is a bounded, concurrency-safe string interner. The read path
+// (a hit) takes only the read lock.
+type Pool struct {
+	limit int
+	mu    sync.RWMutex
+	m     map[string]string
+	// epochs counts wholesale resets (table overflow).
+	epochs uint64
+}
+
+// New returns a pool bounded to limit entries (0 means DefaultLimit).
+func New(limit int) *Pool {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	return &Pool{limit: limit, m: make(map[string]string)}
+}
+
+// Intern returns the canonical copy of s, inserting it if absent.
+func (p *Pool) Intern(s string) string {
+	if p == nil {
+		return s
+	}
+	p.mu.RLock()
+	c, ok := p.m[s]
+	p.mu.RUnlock()
+	if ok {
+		return c
+	}
+	p.mu.Lock()
+	if c, ok = p.m[s]; ok {
+		p.mu.Unlock()
+		return c
+	}
+	if len(p.m) >= p.limit {
+		p.m = make(map[string]string)
+		p.epochs++
+	}
+	p.m[s] = s
+	p.mu.Unlock()
+	return s
+}
+
+// Len returns the current table size.
+func (p *Pool) Len() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.m)
+}
+
+// Epochs returns how many times the table overflowed and was reset.
+func (p *Pool) Epochs() uint64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.epochs
+}

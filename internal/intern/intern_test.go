@@ -1,0 +1,78 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestInternCanonicalizes(t *testing.T) {
+	p := New(0)
+	a := p.Intern(string([]byte("source-7")))
+	b := p.Intern(string([]byte("source-7")))
+	if a != b {
+		t.Fatal("interned strings differ")
+	}
+	if unsafe.StringData(a) != unsafe.StringData(b) {
+		t.Fatal("interned copies do not share backing data")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", p.Len())
+	}
+}
+
+func TestInternOverflowResets(t *testing.T) {
+	p := New(8)
+	for i := 0; i < 20; i++ {
+		p.Intern(fmt.Sprintf("name-%d", i))
+	}
+	if p.Len() > 8 {
+		t.Fatalf("table grew past its limit: %d", p.Len())
+	}
+	if p.Epochs() == 0 {
+		t.Fatal("overflow never reset the table")
+	}
+	// Interning still works after a reset.
+	a := p.Intern("name-19")
+	b := p.Intern("name-19")
+	if unsafe.StringData(a) != unsafe.StringData(b) {
+		t.Fatal("post-reset interning broken")
+	}
+}
+
+func TestInternConcurrent(t *testing.T) {
+	p := New(1024)
+	var wg sync.WaitGroup
+	out := make([][]string, 8)
+	for g := range out {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got := make([]string, 64)
+			for i := range got {
+				got[i] = p.Intern(fmt.Sprintf("shared-%d", i))
+			}
+			out[g] = got
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < 64; i++ {
+		want := unsafe.StringData(out[0][i])
+		for g := 1; g < len(out); g++ {
+			if unsafe.StringData(out[g][i]) != want {
+				t.Fatalf("goroutines disagree on canonical copy of shared-%d", i)
+			}
+		}
+	}
+}
+
+func TestInternNilSafe(t *testing.T) {
+	var p *Pool
+	if got := p.Intern("x"); got != "x" {
+		t.Fatalf("nil pool returned %q", got)
+	}
+	if p.Len() != 0 || p.Epochs() != 0 {
+		t.Fatal("nil pool stats nonzero")
+	}
+}

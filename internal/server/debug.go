@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"gasf/internal/flowgap"
 	"gasf/internal/shard"
 	"gasf/internal/telemetry"
 )
@@ -33,6 +34,17 @@ type DebugSubscriber struct {
 	Latency    *telemetry.LatencySnapshot `json:"delivery_latency,omitempty"`
 }
 
+// DebugFlowGap is the introspection view of the two-tier flow-gap
+// detector: the timer wheel over connected sessions and the
+// bounded-memory silence sketch over the whole source population.
+type DebugFlowGap struct {
+	ScanInterval  time.Duration              `json:"scan_interval_ns"`
+	SourceTimeout time.Duration              `json:"source_timeout_ns"`
+	Wheel         flowgap.WheelStats         `json:"wheel"`
+	Sketch        flowgap.SketchStats        `json:"sketch"`
+	ExpiryLag     *telemetry.LatencySnapshot `json:"expiry_lag,omitempty"`
+}
+
 // DebugInfo is the full /debug/gasf introspection dump: live sessions,
 // queue depths, resume offsets, shard runtime state, and the frugal
 // latency quantiles, as one JSON document.
@@ -44,6 +56,7 @@ type DebugInfo struct {
 	Policy      string              `json:"policy"`
 	Counters    Counters            `json:"counters"`
 	Telemetry   *telemetry.Snapshot `json:"telemetry,omitempty"`
+	FlowGap     *DebugFlowGap       `json:"flow_gap,omitempty"`
 	Shards      []shard.Snapshot    `json:"shards"`
 	Sources     []DebugSource       `json:"sources"`
 	Subscribers []DebugSubscriber   `json:"subscribers"`
@@ -64,11 +77,25 @@ func (s *Server) Debug() DebugInfo {
 		snap := s.tel.Snapshot()
 		info.Telemetry = &snap
 	}
+	if s.wheel != nil {
+		fg := &DebugFlowGap{
+			ScanInterval:  s.cfg.ScanInterval,
+			SourceTimeout: s.cfg.SourceTimeout,
+			Wheel:         s.wheel.Stats(),
+			Sketch:        s.sketch.Stats(),
+		}
+		lag := s.expiryLag.Snapshot()
+		fg.ExpiryLag = &lag
+		info.FlowGap = fg
+	}
 	s.mu.RLock()
 	for name, src := range s.sources {
 		d := DebugSource{
-			Name:        name,
-			LastSeen:    src.lastSeen.load(),
+			Name: name,
+			// Liveness is tracked in wheel ticks; the instant shown is
+			// the start of the last-touch tick (zero when expiry is
+			// disabled and liveness untracked).
+			LastSeen:    s.wheel.TickTime(src.gap.LastTouch()),
 			Subscribers: len(s.subs[name]),
 		}
 		if src.conn != nil {

@@ -29,6 +29,14 @@ type counters struct {
 	logAppendErrors     atomic.Uint64
 	replaysServed       atomic.Uint64
 	replayRecordsOut    atomic.Uint64
+	// Session closures split by cause (one increment per finished
+	// session, exactly one of these), plus the tier-2 detector's
+	// gap-recovered reconnects.
+	closedFlowGap    atomic.Uint64
+	closedDisconnect atomic.Uint64
+	closedDrain      atomic.Uint64
+	closedFinished   atomic.Uint64
+	gapReconnects    atomic.Uint64
 }
 
 // Counters is a point-in-time snapshot of the server session counters.
@@ -47,6 +55,13 @@ type Counters struct {
 	// sessions that completed their history replay; ReplayRecordsOut
 	// counts the records those replays delivered.
 	LogAppendErrors, ReplaysServed, ReplayRecordsOut uint64
+	// Closed* split every source-session closure by its cause: expired
+	// by the flow-gap detector, disconnected with an error, cut by a
+	// drain, or cleanly finished. GapReconnects counts sources that
+	// reconnected after the tier-2 sketch had last heard them longer
+	// than SourceTimeout ago.
+	ClosedFlowGap, ClosedDisconnect, ClosedDrain, ClosedFinished uint64
+	GapReconnects                                                uint64
 }
 
 // Counters snapshots the session counters.
@@ -77,6 +92,11 @@ func (s *Server) Counters() Counters {
 		LogAppendErrors:     s.ctr.logAppendErrors.Load(),
 		ReplaysServed:       s.ctr.replaysServed.Load(),
 		ReplayRecordsOut:    s.ctr.replayRecordsOut.Load(),
+		ClosedFlowGap:       s.ctr.closedFlowGap.Load(),
+		ClosedDisconnect:    s.ctr.closedDisconnect.Load(),
+		ClosedDrain:         s.ctr.closedDrain.Load(),
+		ClosedFinished:      s.ctr.closedFinished.Load(),
+		GapReconnects:       s.ctr.gapReconnects.Load(),
 	}
 }
 
@@ -125,6 +145,36 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	x.SampleU(c.ReplaysServed)
 	x.Counter("gasf_replay_records_out_total", "Records delivered by history replays.")
 	x.SampleU(c.ReplayRecordsOut)
+	x.Counter("gasf_source_closures_total", "Publisher session closures by cause.")
+	x.SampleU(c.ClosedFlowGap, telemetry.Label{Name: "reason", Value: "flow_gap"})
+	x.SampleU(c.ClosedDisconnect, telemetry.Label{Name: "reason", Value: "disconnect"})
+	x.SampleU(c.ClosedDrain, telemetry.Label{Name: "reason", Value: "drain"})
+	x.SampleU(c.ClosedFinished, telemetry.Label{Name: "reason", Value: "finished"})
+	x.Counter("gasf_source_gap_reconnects_total", "Sources that reconnected after a detected flow gap.")
+	x.SampleU(c.GapReconnects)
+
+	if s.wheel != nil {
+		ws := s.wheel.Stats()
+		x.Gauge("gasf_wheel_entries", "Sessions tracked by the flow-gap timer wheel.")
+		x.SampleU(uint64(ws.Entries))
+		x.Gauge("gasf_wheel_bucket_depth_max", "Deepest wheel bucket drained in one tick (high-water).")
+		x.SampleU(uint64(ws.MaxBucketDepth))
+		x.Counter("gasf_wheel_inspections_total", "Wheel entries inspected at their deadline.")
+		x.SampleU(ws.Inspections)
+		x.Counter("gasf_wheel_reschedules_total", "Inspected entries found live and re-armed.")
+		x.SampleU(ws.Reschedules)
+		x.Counter("gasf_wheel_cascades_total", "Entries redistributed from the coarse wheel level.")
+		x.SampleU(ws.Cascades)
+		sk := s.sketch.Stats()
+		x.Gauge("gasf_gap_sketch_cells", "Cells in the tier-2 silence sketch.")
+		x.SampleU(uint64(sk.Cells))
+		x.Gauge("gasf_gap_sketch_occupied", "Occupied cells in the tier-2 silence sketch.")
+		x.SampleU(uint64(sk.Occupied))
+		x.Counter("gasf_gap_sketch_evictions_total", "Sketch cells evicted by row overflow.")
+		x.SampleU(sk.Evictions)
+		x.SummaryFamily("gasf_expiry_latency_seconds", "How far past its silence deadline each source expiry fired, frugal-estimated quantiles.")
+		x.WriteLatencySummary(s.expiryLag.Snapshot())
+	}
 
 	// Per-shard runtime series: one family per metric, one labeled
 	// sample per shard, each family with its own HELP/TYPE metadata.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -15,6 +16,8 @@ import (
 	"time"
 
 	"gasf/internal/core"
+	"gasf/internal/flowgap"
+	"gasf/internal/intern"
 	"gasf/internal/quality"
 	"gasf/internal/seglog"
 	"gasf/internal/shard"
@@ -87,6 +90,13 @@ type Config struct {
 	// even a heartbeat) for this long — the flow-gap detector. 0 means
 	// 30s; negative disables expiry.
 	SourceTimeout time.Duration
+	// ScanInterval is the granularity of the flow-gap wheel: both the
+	// cadence of its advance loop and the tick its liveness timestamps
+	// are quantized to. Detection is therefore late by at most two
+	// intervals past SourceTimeout, never early. 0 derives a default
+	// from SourceTimeout (one eighth, clamped between 10ms and 1s);
+	// ignored when SourceTimeout is negative.
+	ScanInterval time.Duration
 	// WriteTimeout bounds one frame write to a subscriber; a subscriber
 	// that cannot absorb a frame within it is disconnected. 0 means 10s.
 	WriteTimeout time.Duration
@@ -141,6 +151,15 @@ func (c Config) withDefaults() Config {
 	if c.SourceTimeout == 0 {
 		c.SourceTimeout = 30 * time.Second
 	}
+	if c.ScanInterval <= 0 && c.SourceTimeout > 0 {
+		c.ScanInterval = c.SourceTimeout / 8
+		if c.ScanInterval < 10*time.Millisecond {
+			c.ScanInterval = 10 * time.Millisecond
+		}
+		if c.ScanInterval > time.Second {
+			c.ScanInterval = time.Second
+		}
+	}
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
 	}
@@ -156,22 +175,28 @@ func (c Config) withDefaults() Config {
 // errDraining rejects sessions arriving during shutdown.
 var errDraining = errors.New("server is draining")
 
-// sourceSession is one connected publisher.
+// sourceSession is one connected publisher. Sessions are pooled: at
+// million-source scale the churn of connect/expire cycles would
+// otherwise allocate a session, its sink caches and its latency pair
+// per reconnect.
 type sourceSession struct {
-	name     string
-	conn     net.Conn
-	schema   *tuple.Schema
-	lastSeen atomicTime
+	// name is interned (Server.names): reconnect generations of the
+	// same source share one heap copy instead of retaining one each.
+	name   string
+	conn   net.Conn
+	schema *tuple.Schema
+	// gap is the session's entry in the flow-gap wheel: the last-seen
+	// tick (one atomic word, quantized to ScanInterval — no time.Time,
+	// no clock read on the hot path) plus the busy bit that marks a
+	// reader parked inside the runtime — a ring submit under
+	// backpressure or a Sync barrier awaiting its pong. A busy source
+	// publishes nothing by definition, so the flow-gap wheel must treat
+	// the state as liveness, not silence: reaping it mid-barrier would
+	// tear down a healthy session (and strand the client in Sync).
+	gap flowgap.Entry
 	// expired marks that the gap detector closed the connection, so the
 	// reader attributes its exit correctly.
 	expired atomicFlag
-	// ingestBusy marks that the session reader is parked inside the
-	// runtime — a ring submit under backpressure or a Sync barrier
-	// awaiting its pong. A busy source publishes nothing by definition,
-	// so the flow-gap scan must treat the state as liveness, not
-	// silence: reaping it mid-barrier would tear down a healthy session
-	// (and strand the client in Sync).
-	ingestBusy atomic.Bool
 	// subEpoch counts subscriber-registry changes for this source; it is
 	// written under Server.mu and read under its read side. The sink's
 	// per-source caches are keyed by it, so a membership change can never
@@ -182,8 +207,41 @@ type sourceSession struct {
 	sink sinkState
 	// lat estimates the per-group delivery-latency quantiles: every
 	// egress write of a frame from this source feeds it. Nil when
-	// telemetry is disabled.
+	// telemetry is disabled. Each session generation gets a fresh pair:
+	// queued frames retain the pointer past the session's end, so a
+	// recycled session must never reuse its predecessor's.
 	lat *telemetry.LatencyPair
+}
+
+var sourceSessionPool = sync.Pool{New: func() any { return new(sourceSession) }}
+
+// newSourceSession checks a recycled session out of the pool and
+// resets every field a previous generation could have dirtied.
+func (s *Server) newSourceSession(name string, conn net.Conn, schema *tuple.Schema) *sourceSession {
+	src := sourceSessionPool.Get().(*sourceSession)
+	src.name, src.conn, src.schema = name, conn, schema
+	src.gap.Reset()
+	src.expired.clear()
+	src.subEpoch = 0
+	src.sink.reset()
+	src.lat = nil
+	if s.tel != nil {
+		src.lat = telemetry.NewLatencyPair()
+	}
+	return src
+}
+
+// reset clears the sink-side caches for session reuse: stale subscriber
+// pointers must not pin sessions in the pool, and the encoder's
+// memoized destination prefix must not survive into a generation whose
+// epochs restart at zero.
+func (st *sinkState) reset() {
+	st.epoch = 0
+	st.inDests = nil
+	clear(st.targets)
+	st.targets = st.targets[:0]
+	st.labels = st.labels[:0]
+	st.enc = wire.TransmissionEncoder{}
 }
 
 // sinkState caches the per-source fan-out of the last released
@@ -236,6 +294,17 @@ type Server struct {
 	lg  *slog.Logger
 	tel *telemetry.Pipeline
 
+	// The flow-gap detector. wheel is tier 1 (connected sessions,
+	// nil when SourceTimeout is negative); sketch is tier 2, the
+	// bounded-memory last-heard record over the whole source population,
+	// connected or not, used to label reconnects that follow a silence
+	// gap. names interns source names across session generations, and
+	// expiryLag tracks how far past their deadline expiries fire.
+	wheel     *flowgap.Wheel
+	sketch    *flowgap.Sketch
+	names     *intern.Pool
+	expiryLag *telemetry.LatencyPair
+
 	ctr      counters
 	shutOnce sync.Once
 	shutErr  error
@@ -276,6 +345,12 @@ func Start(cfg Config) (*Server, error) {
 		stop:     make(chan struct{}),
 		lg:       cfg.resolveLogger(),
 		tel:      tel,
+		names:    intern.New(0),
+	}
+	if cfg.SourceTimeout > 0 {
+		s.wheel = flowgap.NewWheel(cfg.ScanInterval, cfg.SourceTimeout, s.expireSource)
+		s.sketch = flowgap.NewSketch(gapSketchCells)
+		s.expiryLag = telemetry.NewLatencyPair()
 	}
 	if err := s.rt.Start(ctx, s.sink); err != nil {
 		cancel()
@@ -293,6 +368,7 @@ func Start(cfg Config) (*Server, error) {
 		"policy", cfg.Policy.String(),
 		"heartbeat", cfg.HeartbeatInterval,
 		"source_timeout", cfg.SourceTimeout,
+		"scan_interval", cfg.ScanInterval,
 		"telemetry_sample", tel.SampleEvery())
 	return s, nil
 }
@@ -336,16 +412,26 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// scanLoop expires sources that stopped sending (flow-gap detection): a
-// publisher that neither streams nor heartbeats within SourceTimeout is
-// presumed dead, its session is closed and its stream finished, so its
-// subscribers see a clean end instead of silence.
+// gapSketchCells sizes the tier-2 silence sketch: 2^18 cells x 8 bytes
+// = 2MiB fixed, ~40% occupancy at a 100k-name population (see the
+// flowgap property test for the occupancy/error trade-off) and never
+// growing past it — larger populations degrade detection gracefully
+// via oldest-first eviction rather than growing memory.
+const gapSketchCells = 1 << 18
+
+// scanLoop drives flow-gap detection: a publisher that neither streams
+// nor heartbeats within SourceTimeout is presumed dead, its session is
+// closed and its stream finished, so its subscribers see a clean end
+// instead of silence. Each tick advances the timer wheel, which only
+// inspects the sessions whose liveness deadline falls due — never the
+// whole population, and never under the server mutex — so handshakes
+// and ingest are unaffected by how many idle sources are tracked.
 func (s *Server) scanLoop() {
 	defer s.connWG.Done()
-	if s.cfg.SourceTimeout < 0 {
+	if s.wheel == nil {
 		return
 	}
-	tick := time.NewTicker(s.cfg.HeartbeatInterval)
+	tick := time.NewTicker(s.cfg.ScanInterval)
 	defer tick.Stop()
 	for {
 		select {
@@ -353,32 +439,20 @@ func (s *Server) scanLoop() {
 			return
 		case <-tick.C:
 		}
-		cutoff := time.Now().Add(-s.cfg.SourceTimeout)
-		s.mu.Lock()
-		var stale []*sourceSession
-		for _, src := range s.sources {
-			if src.ingestBusy.Load() {
-				// The reader is parked in a ring submit (downstream
-				// backpressure) or holding a Sync barrier open: tuples are
-				// flowing or fenced, not gapped. An outstanding ping is
-				// liveness — expiring here would reap a healthy source
-				// mid-barrier.
-				continue
-			}
-			if src.lastSeen.load().Before(cutoff) {
-				stale = append(stale, src)
-			}
-		}
-		s.mu.Unlock()
-		for _, src := range stale {
-			src.expired.set()
-			s.ctr.sourcesExpired.Add(1)
-			s.lg.Warn("source expired", "source", src.name, "silent_for", s.cfg.SourceTimeout)
-			// Closing the connection unblocks the session reader, which
-			// finishes the stream and tears down the subscribers.
-			src.conn.Close()
-		}
+		s.wheel.Advance(time.Now())
 	}
+}
+
+// expireSource is the wheel's expiry callback (runs on the scan loop,
+// outside every lock). Closing the connection unblocks the session
+// reader, which finishes the stream and tears down the subscribers.
+func (s *Server) expireSource(data any, lag time.Duration) {
+	src := data.(*sourceSession)
+	src.expired.set()
+	s.ctr.sourcesExpired.Add(1)
+	s.expiryLag.Observe(lag)
+	s.lg.Warn("source expired", "source", src.name, "silent_for", s.cfg.SourceTimeout, "lag", lag)
+	src.conn.Close()
 }
 
 // handleConn performs the handshake and dispatches the session.
@@ -420,11 +494,9 @@ func (s *Server) serveSource(conn net.Conn, hello []byte) {
 		s.reject(conn, err)
 		return
 	}
-	src := &sourceSession{name: name, conn: conn, schema: schema}
-	if s.tel != nil {
-		src.lat = telemetry.NewLatencyPair()
-	}
-	src.lastSeen.store(time.Now())
+	// Interning shares one heap copy of the name across reconnect
+	// generations and with the long-lived registries keyed by it.
+	name = s.names.Intern(name)
 
 	s.mu.Lock()
 	switch {
@@ -446,10 +518,25 @@ func (s *Server) serveSource(conn net.Conn, hello []byte) {
 		s.reject(conn, err)
 		return
 	}
+	src := s.newSourceSession(name, conn, schema)
 	s.sources[name] = src
 	s.srcWG.Add(1)
 	s.mu.Unlock()
 
+	if s.wheel != nil {
+		// Tier 2 first: was this name silent past the timeout since we
+		// last heard it (possibly sessions ago)? That is a gap-recovered
+		// reconnect — the sketch remembers populations far larger than
+		// the connected set, in bounded memory.
+		now := s.wheel.NowTick()
+		if last, known := s.sketch.LastSeen(name); known && now-last >= s.wheel.TimeoutTicks() {
+			s.ctr.gapReconnects.Add(1)
+			s.lg.Info("source returned after flow gap", "source", name,
+				"silent_for", time.Duration(now-last)*s.wheel.Tick())
+		}
+		s.sketch.Record(name, now)
+		s.wheel.Add(&src.gap, src)
+	}
 	s.ctr.sourcesAccepted.Add(1)
 	s.lg.Info("source connected", "source", name, "remote", conn.RemoteAddr().String(), "schema", schema)
 	if err := WriteFrame(conn, FrameHelloOK, nil); err != nil {
@@ -458,6 +545,16 @@ func (s *Server) serveSource(conn net.Conn, hello []byte) {
 	}
 	s.readSource(src)
 }
+
+// Ingest read-buffer sizing: every session starts on a small buffer —
+// at scale most sources are idle heartbeaters, and a 32KiB buffer per
+// idle session is the difference between ~3GiB and ~50MiB at 100k
+// sources — and upgrades to the streaming size on its first tuple
+// frame, when it has proven it is a streamer.
+const (
+	idleReadBuf   = 512
+	streamReadBuf = 32 << 10
+)
 
 // readSource is the publisher read loop. Reads are buffered and the
 // payload buffer is recycled across frames (decoded tuples copy what they
@@ -469,7 +566,8 @@ func (s *Server) serveSource(conn net.Conn, hello []byte) {
 func (s *Server) readSource(src *sourceSession) {
 	var lastTS time.Time
 	var readErr error
-	br := bufio.NewReaderSize(src.conn, 32<<10)
+	br := bufio.NewReaderSize(src.conn, idleReadBuf)
+	upgraded := false
 	var payloadBuf []byte
 	flushN := s.cfg.Engine.FlushBatch
 	if flushN <= 0 {
@@ -500,17 +598,17 @@ func (s *Server) readSource(src *sourceSession) {
 			return nil
 		}
 		// Stamping liveness once per submitted run (not per frame) keeps
-		// the clock off the per-tuple path; runs are far shorter than any
-		// sane SourceTimeout.
-		src.lastSeen.store(time.Now())
+		// even the wheel's one-atomic-store touch off the per-tuple
+		// path; runs are far shorter than any sane SourceTimeout.
+		s.wheel.Touch(&src.gap)
 		// The submit may park arbitrarily long on a full shard ring
 		// (block policy downstream); the busy flag keeps the flow-gap
-		// scan from mistaking that stall for a dead publisher, and the
-		// fresh lastSeen on return restarts the gap clock.
-		src.ingestBusy.Store(true)
+		// wheel from mistaking that stall for a dead publisher, and the
+		// fresh touch on return restarts the gap clock.
+		src.gap.SetBusy(true)
 		err := s.runtimeOp(func() error { return s.rt.SubmitBatch(src.name, batch) })
-		src.ingestBusy.Store(false)
-		src.lastSeen.store(time.Now())
+		src.gap.SetBusy(false)
+		s.wheel.Touch(&src.gap)
 		if err == nil {
 			s.ctr.tuplesIn.Add(uint64(len(batch)))
 		}
@@ -531,6 +629,21 @@ func (s *Server) readSource(src *sourceSession) {
 		s.ctr.bytesIn.Add(uint64(frameHeaderLen + len(payload)))
 		switch kind {
 		case FrameTuple:
+			if !upgraded {
+				// First tuple: this session is a streamer, not an idle
+				// heartbeater — move it to the full-size read buffer.
+				// Bytes already buffered (frames behind this one) are
+				// spliced ahead of the connection so nothing is lost.
+				upgraded = true
+				if n := br.Buffered(); n > 0 {
+					pending, _ := br.Peek(n)
+					br = bufio.NewReaderSize(
+						io.MultiReader(bytes.NewReader(append([]byte(nil), pending...)), src.conn),
+						streamReadBuf)
+				} else {
+					br = bufio.NewReaderSize(src.conn, streamReadBuf)
+				}
+			}
 			var t *tuple.Tuple
 			var n int
 			var err error
@@ -565,7 +678,7 @@ func (s *Server) readSource(src *sourceSession) {
 			}
 			continue
 		case FrameHeartbeat:
-			src.lastSeen.store(time.Now())
+			s.wheel.Touch(&src.gap)
 			s.ctr.heartbeatsIn.Add(1)
 			continue
 		case FramePing:
@@ -573,7 +686,7 @@ func (s *Server) readSource(src *sourceSession) {
 			// shard ring before the pong leaves, so a client that has seen
 			// the pong knows later membership changes order after those
 			// tuples.
-			src.lastSeen.store(time.Now())
+			s.wheel.Touch(&src.gap)
 			if err := submit(); err != nil {
 				readErr = err
 				break
@@ -581,11 +694,11 @@ func (s *Server) readSource(src *sourceSession) {
 			// The pong write closes the barrier; it is covered by the busy
 			// flag like the submit so an outstanding ping can never expire
 			// the source mid-barrier.
-			src.ingestBusy.Store(true)
+			src.gap.SetBusy(true)
 			src.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 			err := WriteFrame(src.conn, FramePong, payload)
-			src.ingestBusy.Store(false)
-			src.lastSeen.store(time.Now())
+			src.gap.SetBusy(false)
+			s.wheel.Touch(&src.gap)
 			if err != nil {
 				readErr = fmt.Errorf("answering ping: %w", err)
 				break
@@ -618,6 +731,26 @@ func (s *Server) sendError(conn net.Conn, err error) {
 func (s *Server) finishSource(src *sourceSession, cause error) {
 	defer s.srcWG.Done()
 	src.conn.Close()
+	// Leave the wheel first. clean=false means an expiry pass has
+	// claimed this session and its callback may still be running — the
+	// session must then not be recycled; the GC takes that rare loser.
+	clean := true
+	if s.wheel != nil {
+		clean = s.wheel.Remove(&src.gap)
+		// Tier-2 record of when this name was last heard, so a future
+		// reconnect can be classified against the silence threshold.
+		s.sketch.Record(src.name, s.wheel.NowTick())
+	}
+	switch {
+	case src.expired.isSet():
+		s.ctr.closedFlowGap.Add(1)
+	case s.isDraining():
+		s.ctr.closedDrain.Add(1)
+	case cause != nil:
+		s.ctr.closedDisconnect.Add(1)
+	default:
+		s.ctr.closedFinished.Add(1)
+	}
 	if cause != nil {
 		s.ctr.sourcesFailed.Add(1)
 		s.lg.Warn("source failed", "source", src.name, "err", cause)
@@ -646,6 +779,12 @@ func (s *Server) finishSource(src *sourceSession, cause error) {
 		sub.finishStream()
 	}
 	s.ctr.sourcesFinished.Add(1)
+	// Safe to recycle: the session is out of every registry, the
+	// runtime has drained its flushes (FinishSourceWait), and the wheel
+	// reported no in-flight expiry claim.
+	if clean {
+		sourceSessionPool.Put(src)
+	}
 }
 
 // serveSubscriber runs a subscriber session: parse and validate the
@@ -1062,14 +1201,9 @@ func stripCtxErrs(err error) error {
 	return err
 }
 
-// atomicTime is a nanosecond-resolution atomic instant.
-type atomicTime struct{ ns atomic.Int64 }
-
-func (a *atomicTime) store(t time.Time) { a.ns.Store(t.UnixNano()) }
-func (a *atomicTime) load() time.Time   { return time.Unix(0, a.ns.Load()) }
-
-// atomicFlag is a set-once boolean.
+// atomicFlag is a set-once boolean (clearable only for session reuse).
 type atomicFlag struct{ v atomic.Bool }
 
 func (a *atomicFlag) set()        { a.v.Store(true) }
+func (a *atomicFlag) clear()      { a.v.Store(false) }
 func (a *atomicFlag) isSet() bool { return a.v.Load() }

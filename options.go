@@ -26,6 +26,8 @@ type brokerConfig struct {
 	dataDir     string
 	seglog      seglog.Options
 	telemetry   int
+	srcTimeout  time.Duration
+	scanEvery   time.Duration
 	err         error
 }
 
@@ -317,6 +319,38 @@ func WithTelemetry(sampleEvery int) Option {
 	}}
 }
 
+// WithSourceTimeout enables flow-gap expiry on an embedded broker: a
+// source that neither publishes nor sits in a backpressured submit for
+// d is finished automatically (its engine tail flushes and its
+// subscribers' streams end), exactly as the networked server expires a
+// silent publisher. By default embedded sources live until Finish or
+// Close. A dialed broker inherits its server's -source-timeout, so this
+// option does not apply to Dial.
+func WithSourceTimeout(d time.Duration) Option {
+	return embeddedOption{"WithSourceTimeout", func(c *brokerConfig) {
+		if d <= 0 {
+			c.fail("WithSourceTimeout(%v): the timeout must be positive", d)
+			return
+		}
+		c.srcTimeout = d
+	}}
+}
+
+// WithScanInterval sets the flow-gap detection granularity used with
+// WithSourceTimeout: silence is detected no earlier than the timeout
+// and no later than about two intervals past it. The default derives
+// timeout/8 clamped to [10ms, 1s]; meaningless (and an error to pass)
+// without WithSourceTimeout.
+func WithScanInterval(d time.Duration) Option {
+	return embeddedOption{"WithScanInterval", func(c *brokerConfig) {
+		if d <= 0 {
+			c.fail("WithScanInterval(%v): the interval must be positive", d)
+			return
+		}
+		c.scanEvery = d
+	}}
+}
+
 // WithDialTimeout bounds each session dial (the TCP connect plus the
 // hello handshake) of a dialed broker; contexts with earlier deadlines
 // tighten it per call. 0 means the transport default of 5s.
@@ -338,6 +372,9 @@ func resolveBrokerConfig(remote bool, opts []Option) (brokerConfig, error) {
 			continue
 		}
 		o.applyBroker(&cfg)
+	}
+	if cfg.err == nil && cfg.scanEvery > 0 && cfg.srcTimeout == 0 {
+		cfg.fail("WithScanInterval(%v) requires WithSourceTimeout", cfg.scanEvery)
 	}
 	return cfg, cfg.err
 }

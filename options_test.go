@@ -64,6 +64,22 @@ func TestOptionScopeEnforcement(t *testing.T) {
 	if _, err := NewEmbedded(WithBatchSize(0)); err == nil {
 		t.Error("zero batch size should fail")
 	}
+	// Flow-gap expiry options: embedded-only, and the interval needs
+	// the timeout.
+	if _, err := Dial("localhost:0", WithSourceTimeout(time.Second)); err == nil {
+		t.Error("Dial(WithSourceTimeout) should fail")
+	}
+	if _, err := NewEmbedded(WithSourceTimeout(0)); err == nil {
+		t.Error("zero source timeout should fail")
+	}
+	if _, err := NewEmbedded(WithScanInterval(time.Millisecond)); err == nil {
+		t.Error("WithScanInterval without WithSourceTimeout should fail")
+	}
+	if cfg, err := resolveBrokerConfig(false, []Option{
+		WithSourceTimeout(time.Second), WithScanInterval(50 * time.Millisecond),
+	}); err != nil || cfg.srcTimeout != time.Second || cfg.scanEvery != 50*time.Millisecond {
+		t.Errorf("flow-gap options did not resolve: %+v err=%v", cfg, err)
+	}
 }
 
 // TestWithEngineOptionsBridge checks the migration escape hatch: a full
