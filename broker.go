@@ -8,6 +8,7 @@ import (
 
 	"gasf/internal/broker"
 	"gasf/internal/quality"
+	"gasf/internal/server"
 )
 
 // This file defines the unified, context-first streaming API: one Broker
@@ -89,6 +90,13 @@ type Subscription interface {
 	// storage where the transport allows; everything reachable from d is
 	// valid only until the next RecvInto with the same Delivery.
 	RecvInto(ctx context.Context, d *Delivery) error
+	// QoS returns the quality scale currently applied to this
+	// subscription by the degrade slow-consumer policy: 1 means full
+	// fidelity, larger means the effective spec has been coarsened by
+	// that factor under overload. Always 1 under other policies (and on
+	// the networked transport until the server's first QoS announcement
+	// arrives).
+	QoS() float64
 	// Close leaves the group at a tuple boundary, re-deriving it for the
 	// remaining members. When Close returns, the departure has been
 	// applied.
@@ -115,11 +123,22 @@ func specFor(spec string) (quality.Spec, error) {
 	return sp, nil
 }
 
-// mapStreamEnd folds the embedded transport's end-of-stream sentinel
-// into the public one shared with the networked path.
+// ErrEvicted reports that the broker force-detached a subscription — it
+// blocked past the eviction timeout, or exceeded the drop threshold set
+// with WithEvictAfterDrops (embedded) or ServerConfig.EvictAfterDrops
+// (networked). Recv errors wrap it with the reason; check with
+// errors.Is(err, gasf.ErrEvicted). Distinct from ErrStreamEnded: an
+// evicted consumer lost deliveries, a gracefully ended one did not.
+var ErrEvicted = errors.New("gasf: subscriber evicted")
+
+// mapStreamEnd folds the transports' end-of-stream and eviction
+// sentinels into the public ones shared by both paths.
 func mapStreamEnd(err error) error {
 	if errors.Is(err, broker.ErrStreamEnded) {
 		return ErrStreamEnded
+	}
+	if errors.Is(err, broker.ErrEvicted) || errors.Is(err, server.ErrEvicted) {
+		return fmt.Errorf("%w: %v", ErrEvicted, err)
 	}
 	return err
 }

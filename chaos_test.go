@@ -1,0 +1,463 @@
+package gasf_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gasf"
+	"gasf/internal/faultnet"
+	"gasf/internal/wire"
+)
+
+// Chaos suite: the overload-survival and fault-injection acceptance
+// tests. Degrade-policy subscribers that never see pressure must be
+// byte-identical to block-policy ones; a torn, latency-spiked network
+// must not change any delivered byte; and a server kill/restart behind
+// a partitioning proxy must yield gapless, duplicate-free resumed
+// delivery through auto-reconnecting clients.
+
+// calmScript returns sc with every subscriber queue raised far above
+// the script's tuple count, so a degrade governor at default watermarks
+// can never observe pressure: parity with block is then a determinism
+// claim, not a timing accident.
+func calmScript(sc parityScript) parityScript {
+	raise := func(evs []parityEvent) []parityEvent {
+		out := make([]parityEvent, len(evs))
+		for i, ev := range evs {
+			if ev.join {
+				ev.queue = 4096
+			}
+			out[i] = ev
+		}
+		return out
+	}
+	sc.initial = raise(sc.initial)
+	phases := make([]parityPhase, len(sc.phases))
+	for i, ph := range sc.phases {
+		ph.events = raise(ph.events)
+		phases[i] = ph
+	}
+	sc.phases = phases
+	return sc
+}
+
+func compareFPs(t *testing.T, label string, want, got map[string][]byte) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: app sets differ: %d vs %d", label, len(want), len(got))
+	}
+	for app, w := range want {
+		g, ok := got[app]
+		if !ok {
+			t.Errorf("%s: app %s missing", label, app)
+			continue
+		}
+		if !bytes.Equal(w, g) {
+			t.Errorf("%s: app %s released sequences differ (%d vs %d bytes)", label, app, len(w), len(g))
+		}
+	}
+}
+
+// TestBrokerParityDegradeUnpressured proves the degrade policy is pure
+// overhead-free backpressure until pressure actually arrives: a
+// never-pressured degrade subscriber receives the byte-identical wire
+// sequence a block subscriber does, on both transports.
+func TestBrokerParityDegradeUnpressured(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	sc := calmScript(randomParityScript(t, rng, 0))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	runEmbedded := func(opts ...gasf.Option) map[string][]byte {
+		emb, err := gasf.NewEmbedded(append([]gasf.Option{gasf.WithEngineOptions(sc.opts)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps := driveParity(t, emb, sc)
+		if err := emb.Close(ctx); err != nil {
+			t.Fatalf("embedded close: %v", err)
+		}
+		return fps
+	}
+	blockFPs := runEmbedded()
+	degradeFPs := runEmbedded(gasf.WithSlowPolicy(gasf.PolicyDegrade))
+	compareFPs(t, "embedded block vs degrade", blockFPs, degradeFPs)
+
+	runServer := func(pol gasf.SlowPolicy) map[string][]byte {
+		srv, err := gasf.StartServer(gasf.ServerConfig{Engine: sc.opts, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := gasf.Dial(srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps := driveParity(t, rb, sc)
+		if err := rb.Close(ctx); err != nil {
+			t.Fatalf("client close: %v", err)
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("server shutdown: %v", err)
+		}
+		return fps
+	}
+	netBlockFPs := runServer(gasf.PolicyBlock)
+	netDegradeFPs := runServer(gasf.PolicyDegrade)
+	compareFPs(t, "networked block vs degrade", netBlockFPs, netDegradeFPs)
+	compareFPs(t, "embedded vs networked degrade", degradeFPs, netDegradeFPs)
+}
+
+// TestBrokerParityFaultyNetwork runs the parity script through a proxy
+// injecting lossless faults — torn writes and latency spikes — and
+// demands the delivered byte streams match a clean direct run exactly:
+// frame reassembly must survive arbitrary write boundaries.
+func TestBrokerParityFaultyNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	sc := randomParityScript(t, rng, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	run := func(through func(addr string) string) map[string][]byte {
+		srv, err := gasf.StartServer(gasf.ServerConfig{Engine: sc.opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := gasf.Dial(through(srv.Addr().String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps := driveParity(t, rb, sc)
+		if err := rb.Close(ctx); err != nil {
+			t.Fatalf("client close: %v", err)
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("server shutdown: %v", err)
+		}
+		return fps
+	}
+
+	direct := run(func(addr string) string { return addr })
+	var proxy *faultnet.Proxy
+	faulty := run(func(addr string) string {
+		p, err := faultnet.NewProxy(addr, faultnet.Faults{
+			Seed:          17,
+			PartialWrites: true,
+			LatencyEvery:  13,
+			Spike:         300 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxy = p
+		return p.Addr()
+	})
+	defer proxy.Close()
+	compareFPs(t, "direct vs faulty network", direct, faulty)
+}
+
+// TestChaosKillRestartResume is the end-to-end overload-survival
+// acceptance test for auto-resume: a durable server behind a torn-write
+// proxy is hard-killed mid-stream and restarted on a new port; the
+// proxy partitions every live connection. A reconnecting client must
+// splice transparently — the publisher republishes its unacked window,
+// the subscriber resumes from its last offset — and the subscriber's
+// full stream must be gapless, duplicate-free and byte-identical to
+// the released series.
+func TestChaosKillRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	srv, err := gasf.StartServer(gasf.ServerConfig{DataDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := faultnet.NewProxy(srv.Addr().String(), faultnet.Faults{Seed: 23, PartialWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	rb, err := gasf.Dial(proxy.Addr(), gasf.WithReconnect(gasf.Backoff{
+		Base: 20 * time.Millisecond,
+		Max:  250 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave1 := recoverySeries(t, 100, 0)
+	src, err := rb.OpenSource(ctx, "src", wave1.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := rb.Subscribe(ctx, "a", "src", "DC1(v, 0.5, 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishAll(ctx, t, src, wave1)
+
+	// The consumer sits in Recv throughout — the live pattern auto-resume
+	// serves: its pending receive fails the instant the partition hits,
+	// and the redial loop re-establishes the session on its own.
+	var (
+		mu        sync.Mutex
+		collected []*gasf.Delivery
+		count     atomic.Int64
+	)
+	consumerDone := make(chan error, 1)
+	go func() {
+		for {
+			d, err := sub.Recv(ctx)
+			if errors.Is(err, gasf.ErrStreamEnded) {
+				consumerDone <- nil
+				return
+			}
+			if err != nil {
+				consumerDone <- err
+				return
+			}
+			mu.Lock()
+			collected = append(collected, d)
+			mu.Unlock()
+			count.Add(1)
+		}
+	}()
+	waitCount := func(n int, what string) {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for count.Load() < int64(n) {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s (%d/%d deliveries)", what, count.Load(), n)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	// Every released pre-crash delivery lands (the engine holds the last
+	// tuple's set open, so 99 of 100 release).
+	waitCount(wave1.Len()-1, "pre-crash deliveries")
+
+	// Crash: hard abort, then partition every surviving relay.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("hard close: %v", err)
+	}
+	proxy.CutAll()
+
+	// Restart over the same directory on a fresh port; the proxy's
+	// stable front address is retargeted underneath the clients.
+	srv2, err := gasf.StartServer(gasf.ServerConfig{DataDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy.SetBackend(srv2.Addr().String())
+	proxy.CutAll()
+
+	// Reattach the publisher first: the barrier forces its redial with an
+	// empty replay window (wave 1 was acknowledged before the crash), so
+	// the source is live on the restarted server before any new data.
+	if err := src.Sync(ctx); err != nil {
+		t.Fatalf("post-restart sync: %v", err)
+	}
+	// Then let the subscriber's auto-resume land before publishing: a
+	// release fanned out while no subscriber is attached belongs to
+	// nobody and is gone (filtering semantics), which would be a real
+	// gap. Applications get this ordering for free when the publisher
+	// keeps streaming — the subscriber's redial wins long before the
+	// next release — but the test pins it explicitly.
+	joinDeadline := time.Now().Add(60 * time.Second)
+	for len(srv2.Debug().Subscribers) == 0 {
+		if time.Now().After(joinDeadline) {
+			t.Fatal("subscriber auto-resume never reattached")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The same handles keep working: the publisher splices onto the
+	// recovered log, the subscriber resumed from its last offset.
+	wave2 := recoverySeries(t, 100, 100)
+	publishAll(ctx, t, src, wave2)
+	waitCount(wave1.Len()-1+wave2.Len()-1, "post-crash deliveries")
+	if err := src.Finish(ctx); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	if err := <-consumerDone; err != nil {
+		t.Fatalf("consumer: %v", err)
+	}
+
+	// Offsets must continue densely across the crash: no gap, no
+	// duplicate. Wave-1's held-back tuple (seq 99) was never released,
+	// so wave 2 starts at offset 99 with seq 100.
+	var fp []byte
+	record := func(d *gasf.Delivery) {
+		buf, err := wire.AppendTransmission(fp, d.Tuple, d.Destinations)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		fp = buf
+	}
+	if want := wave1.Len() - 1 + wave2.Len(); len(collected) != want {
+		t.Fatalf("deliveries = %d, want %d", len(collected), want)
+	}
+	for i, d := range collected {
+		if d.Offset != uint64(i) {
+			t.Errorf("delivery %d carries offset %d (gap or duplicate across the crash)", i, d.Offset)
+		}
+		wantSeq := i
+		if i >= wave1.Len()-1 {
+			wantSeq = wave1.Len() + (i - (wave1.Len() - 1))
+		}
+		if d.Tuple.Seq != wantSeq {
+			t.Errorf("delivery %d carries seq %d, want %d", i, d.Tuple.Seq, wantSeq)
+		}
+		record(d)
+	}
+
+	// Byte-identity: the spliced stream is exactly the released series —
+	// wave 1 minus its held-back tail, then all of wave 2 — addressed to
+	// this app, wire-encoded.
+	var want []byte
+	appendWant := func(sr *gasf.Series, n int) {
+		for i := 0; i < n; i++ {
+			buf, err := wire.AppendTransmission(want, sr.At(i), []string{"a"})
+			if err != nil {
+				t.Fatalf("encode expectation: %v", err)
+			}
+			want = buf
+		}
+	}
+	appendWant(wave1, wave1.Len()-1)
+	appendWant(wave2, wave2.Len())
+	if !bytes.Equal(fp, want) {
+		t.Fatalf("resumed stream is not byte-identical to the released series (%d vs %d bytes)", len(fp), len(want))
+	}
+
+	closeCtx, closeCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer closeCancel()
+	if err := rb.Close(closeCtx); err != nil {
+		t.Errorf("client close: %v", err)
+	}
+	if err := srv2.Shutdown(closeCtx); err != nil {
+		t.Errorf("server shutdown: %v", err)
+	}
+}
+
+// TestEvictedErrEmbedded pins the typed eviction error on the embedded
+// transport: a drop-policy subscriber past its drop budget ends with
+// gasf.ErrEvicted, not a bare stream end.
+func TestEvictedErrEmbedded(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	b, err := gasf.NewEmbedded(gasf.WithSlowPolicy(gasf.PolicyDrop), gasf.WithEvictAfterDrops(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close(ctx)
+
+	sr := recoverySeries(t, 500, 0)
+	src, err := b.OpenSource(ctx, "src", sr.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := b.Subscribe(ctx, "a", "src", "DC1(v, 0.5, 0)", gasf.WithQueueDepth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishAll(ctx, t, src, sr)
+	if err := src.Finish(ctx); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	// The subscriber never consumed: 499 deliveries overflowed its
+	// 1-deep queue, far past the 1-drop budget.
+	var recvErr error
+	for {
+		if _, recvErr = sub.Recv(ctx); recvErr != nil {
+			break
+		}
+	}
+	if !errors.Is(recvErr, gasf.ErrEvicted) {
+		t.Fatalf("Recv after eviction = %v, want gasf.ErrEvicted", recvErr)
+	}
+}
+
+// TestEvictedErrNetworked pins the typed eviction error across the
+// wire: the server's eviction notice frame must surface to the client
+// as gasf.ErrEvicted. Wide tuples make the flood outrun kernel socket
+// buffering, so the send queue observably overflows.
+func TestEvictedErrNetworked(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	srv, err := gasf.StartServer(gasf.ServerConfig{Policy: gasf.PolicyDrop, EvictAfterDrops: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := gasf.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const fields = 64
+	names := make([]string, fields)
+	names[0] = "v"
+	for i := 1; i < fields; i++ {
+		names[i] = "p" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	schema, err := gasf.NewSchema(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := rb.OpenSource(ctx, "src", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := rb.Subscribe(ctx, "a", "src", "DC1(v, 0.5, 0)", gasf.WithQueueDepth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := time.Unix(1, 0)
+	vals := make([]float64, fields)
+	const total = 20000
+	for off := 0; off < total; off += 1000 {
+		batch := make([]*gasf.Tuple, 0, 1000)
+		for i := 0; i < 1000; i++ {
+			seq := off + i
+			vals[0] = float64(seq)
+			tp, err := gasf.NewTuple(schema, seq, base.Add(time.Duration(seq+1)*time.Millisecond), vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch = append(batch, tp)
+		}
+		if err := src.PublishBatch(ctx, batch); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+	}
+	if err := src.Sync(ctx); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+
+	// Only now start reading: the flood overflowed the 1-deep queue
+	// while the write loop was wedged against full socket buffers, so
+	// the eviction notice is already on its way.
+	var recvErr error
+	for {
+		if _, recvErr = sub.Recv(ctx); recvErr != nil {
+			break
+		}
+	}
+	if !errors.Is(recvErr, gasf.ErrEvicted) {
+		t.Fatalf("Recv after eviction = %v, want gasf.ErrEvicted", recvErr)
+	}
+
+	closeCtx, closeCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer closeCancel()
+	rb.Close(closeCtx)
+	if err := srv.Shutdown(closeCtx); err != nil {
+		t.Errorf("server shutdown: %v", err)
+	}
+}

@@ -83,9 +83,15 @@ const (
 	PolicyBlock = server.PolicyBlock
 	// PolicyDrop drops deliveries to slow subscribers and counts them.
 	PolicyDrop = server.PolicyDrop
+	// PolicyDegrade blocks like PolicyBlock but adaptively coarsens the
+	// precision of pressured subscriptions whose filters support scaling
+	// (the DC family), announcing each change in Subscription.QoS and
+	// restoring full fidelity stepwise once the pressure clears.
+	PolicyDegrade = server.PolicyDegrade
 )
 
-// ParsePolicy reads a slow-consumer policy name ("block" or "drop").
+// ParsePolicy reads a slow-consumer policy name ("block", "drop" or
+// "degrade").
 func ParsePolicy(s string) (SlowPolicy, error) { return server.ParsePolicy(s) }
 
 // StartServer starts an embedded streaming server; useful for tests and

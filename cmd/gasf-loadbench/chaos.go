@@ -1,0 +1,311 @@
+// Chaos mode for gasf-loadbench: a durable server is run behind a
+// fault-injecting proxy (torn writes, latency spikes) and hard-killed
+// mid-run; a restarted server over the same log directory is swapped in
+// behind the proxy's stable front address. Publishers and subscribers
+// ride gasf.WithReconnect the whole time, and the run fails unless
+// every subscriber ends with the full, gapless, duplicate-free stream —
+// dense log offsets and the exact expected sequence numbers across the
+// restart. Results merge into -out under the "chaos" key.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gasf"
+	"gasf/internal/faultnet"
+)
+
+// chaosConfig parameterizes one chaos run.
+type chaosConfig struct {
+	publishers, subscribers, tuples, queue int
+	seed                                   int64
+}
+
+// chaosReport is the "chaos" section of BENCH_serve.json.
+type chaosReport struct {
+	Publishers              int     `json:"publishers"`
+	Subscribers             int     `json:"subscribers"`
+	TuplesPerSource         int     `json:"tuples_per_source"`
+	FaultSeed               int64   `json:"fault_seed"`
+	ServerRestarts          int     `json:"server_restarts"`
+	DeliveriesPerSubscriber int     `json:"deliveries_per_subscriber"`
+	ElapsedSec              float64 `json:"elapsed_sec"`
+}
+
+// chaosEpoch anchors the deterministic per-seq timestamp schedule; the
+// engine only needs strictly increasing stamps per source, and deriving
+// them from seq keeps them increasing across the restart too.
+var chaosEpoch = time.Unix(1, 0)
+
+// runChaos executes chaos mode and merges the section into out.
+func runChaos(cfg chaosConfig, out string) error {
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	dir, err := os.MkdirTemp("", "gasf-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	srv, err := gasf.StartServer(gasf.ServerConfig{DataDir: dir, SubscriberQueue: cfg.queue})
+	if err != nil {
+		return err
+	}
+	proxy, err := faultnet.NewProxy(srv.Addr().String(), faultnet.Faults{
+		Seed:          cfg.seed,
+		PartialWrites: true,
+		LatencyEvery:  29,
+		Spike:         200 * time.Microsecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer proxy.Close()
+
+	b, err := gasf.Dial(proxy.Addr(), gasf.WithReconnect(gasf.Backoff{
+		Base: 20 * time.Millisecond,
+		Max:  250 * time.Millisecond,
+	}))
+	if err != nil {
+		return err
+	}
+	schema, err := gasf.NewSchema("v")
+	if err != nil {
+		return err
+	}
+	srcs := make([]gasf.Source, cfg.publishers)
+	for i := range srcs {
+		if srcs[i], err = b.OpenSource(ctx, fmt.Sprintf("chaos%d", i), schema); err != nil {
+			return err
+		}
+	}
+
+	// Every subscriber records its full (offset, seq) stream; each slice
+	// is written only by its own consumer goroutine and read after the
+	// consumers are done.
+	type subStream struct {
+		offs []uint64
+		seqs []int
+	}
+	streams := make([]subStream, cfg.subscribers)
+	counts := make([]atomic.Int64, cfg.subscribers)
+	subs := make([]gasf.Subscription, cfg.subscribers)
+	for i := range subs {
+		app := fmt.Sprintf("app%d", i)
+		source := fmt.Sprintf("chaos%d", i%cfg.publishers)
+		if subs[i], err = b.Subscribe(ctx, app, source, "DC1(v, 0.5, 0)"); err != nil {
+			return err
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.subscribers)
+	for i, sub := range subs {
+		wg.Add(1)
+		go func(i int, sub gasf.Subscription) {
+			defer wg.Done()
+			for {
+				d, err := sub.Recv(ctx)
+				if errors.Is(err, gasf.ErrStreamEnded) {
+					return
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("subscriber %d: %w", i, err)
+					return
+				}
+				streams[i].offs = append(streams[i].offs, d.Offset)
+				streams[i].seqs = append(streams[i].seqs, d.Tuple.Seq)
+				counts[i].Add(1)
+			}
+		}(i, sub)
+	}
+
+	// publish streams [from, to) into every source with step-1 values
+	// (pass-all under DC1(v, 0.5, 0)) and syncs, so the replay window is
+	// acknowledged before anything else happens.
+	publish := func(from, to int) error {
+		const pubBatch = 256
+		backing := make([]float64, pubBatch)
+		batch := make([]*gasf.Tuple, 0, pubBatch)
+		for _, src := range srcs {
+			for n := from; n < to; {
+				k := min(to-n, pubBatch)
+				batch = batch[:0]
+				for j := 0; j < k; j++ {
+					seq := n + j
+					backing[j] = float64(seq)
+					tp, err := gasf.NewTuple(schema, seq,
+						chaosEpoch.Add(time.Duration(seq)*time.Millisecond), backing[j:j+1])
+					if err != nil {
+						return err
+					}
+					batch = append(batch, tp)
+				}
+				if err := src.PublishBatch(ctx, batch); err != nil {
+					return err
+				}
+				n += k
+			}
+			if err := src.Sync(ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	waitCounts := func(n int, what string) error {
+		deadline := time.Now().Add(2 * time.Minute)
+		for {
+			ok := true
+			for i := range counts {
+				if counts[i].Load() < int64(n) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("timed out waiting for %s (want %d per subscriber)", what, n)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Wave 1, then the crash: hard server abort plus a partition of
+	// every surviving relay. The engine holds each source's last tuple
+	// open, so exactly half-1 deliveries precede the crash.
+	half := cfg.tuples / 2
+	if err := publish(0, half); err != nil {
+		return fmt.Errorf("wave 1: %w", err)
+	}
+	if err := waitCounts(half-1, "pre-crash deliveries"); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "chaos: killing server after %d deliveries/subscriber\n", half-1)
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("hard close: %w", err)
+	}
+	proxy.CutAll()
+
+	srv2, err := gasf.StartServer(gasf.ServerConfig{DataDir: dir, SubscriberQueue: cfg.queue})
+	if err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	proxy.SetBackend(srv2.Addr().String())
+	proxy.CutAll()
+
+	// Reattach the publishers first (the barrier forces each redial with
+	// an empty, acknowledged replay window), then wait for every
+	// subscriber's auto-resume to land before new data flows: a release
+	// fanned out while no subscriber is attached belongs to nobody and
+	// is gone, which would read as a gap.
+	for _, src := range srcs {
+		if err := src.Sync(ctx); err != nil {
+			return fmt.Errorf("post-restart sync: %w", err)
+		}
+	}
+	joinDeadline := time.Now().Add(2 * time.Minute)
+	for len(srv2.Debug().Subscribers) < cfg.subscribers {
+		if time.Now().After(joinDeadline) {
+			return fmt.Errorf("only %d/%d subscribers auto-resumed after the restart",
+				len(srv2.Debug().Subscribers), cfg.subscribers)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	fmt.Fprintln(os.Stderr, "chaos: restarted server, all sessions resumed; publishing wave 2")
+
+	if err := publish(half, cfg.tuples); err != nil {
+		return fmt.Errorf("wave 2: %w", err)
+	}
+	if err := waitCounts(cfg.tuples-2, "post-crash deliveries"); err != nil {
+		return err
+	}
+	for _, src := range srcs {
+		if err := src.Finish(ctx); err != nil {
+			return fmt.Errorf("finish: %w", err)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+
+	// Gapless and duplicate-free, per subscriber: offsets dense from 0,
+	// seqs exactly the released series — wave 1 minus its held-back tail
+	// (seq half-1 was in the open set at the crash and is gone by
+	// contract), then all of wave 2.
+	want := cfg.tuples - 1
+	for i := range streams {
+		st := &streams[i]
+		if len(st.offs) != want {
+			return fmt.Errorf("subscriber %d: %d deliveries, want %d (loss or duplication across the restart)",
+				i, len(st.offs), want)
+		}
+		for j, off := range st.offs {
+			if off != uint64(j) {
+				return fmt.Errorf("subscriber %d delivery %d carries offset %d (gap or duplicate across the restart)",
+					i, j, off)
+			}
+			wantSeq := j
+			if j >= half-1 {
+				wantSeq = j + 1
+			}
+			if st.seqs[j] != wantSeq {
+				return fmt.Errorf("subscriber %d delivery %d carries seq %d, want %d",
+					i, j, st.seqs[j], wantSeq)
+			}
+		}
+	}
+
+	closeCtx, closeCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer closeCancel()
+	if err := b.Close(closeCtx); err != nil {
+		return fmt.Errorf("client close: %w", err)
+	}
+	if err := srv2.Shutdown(closeCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+
+	rep := chaosReport{
+		Publishers:              cfg.publishers,
+		Subscribers:             cfg.subscribers,
+		TuplesPerSource:         cfg.tuples,
+		FaultSeed:               cfg.seed,
+		ServerRestarts:          1,
+		DeliveriesPerSubscriber: want,
+		ElapsedSec:              time.Since(start).Seconds(),
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", enc)
+	if out != "-" {
+		// Merge under "chaos", preserving an existing report.
+		doc := map[string]json.RawMessage{}
+		if prev, err := os.ReadFile(out); err == nil {
+			if err := json.Unmarshal(prev, &doc); err != nil {
+				return fmt.Errorf("merging into %s: %w", out, err)
+			}
+		}
+		doc["chaos"] = json.RawMessage(enc)
+		merged, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(merged, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

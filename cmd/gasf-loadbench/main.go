@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"gasf"
+	"gasf/internal/bench"
 	"gasf/internal/metrics"
 	"gasf/internal/telemetry"
 )
@@ -102,6 +103,40 @@ type report struct {
 	// ScalingMatrix is the open-loop GOMAXPROCS × shards sweep (same
 	// publisher/subscriber layout, unthrottled).
 	ScalingMatrix []scaleCell `json:"scaling_matrix,omitempty"`
+	// Overload is the -overload section: a sustained run publishing at
+	// twice the subscribers' drain capacity under the degrade policy.
+	// The run fails unless it survived losslessly (zero drops, zero
+	// evictions) while actually degrading.
+	Overload *overloadStats `json:"overload,omitempty"`
+	// P99Under2xOverload mirrors Overload.P99Ms at the top level — the
+	// acceptance number gated against the committed baseline via
+	// internal/bench.Compare.
+	P99Under2xOverload float64 `json:"p99_under_2x_overload,omitempty"`
+
+	// Counter snapshots for mode-level assertions; not serialized.
+	qosDegrades         uint64
+	qosRestores         uint64
+	subscriberEvictions uint64
+	maxQoS              float64
+}
+
+// overloadStats is the "overload" section of BENCH_serve.json: what the
+// 2x-overload run looked like and how the degrade policy absorbed it.
+type overloadStats struct {
+	Publishers          int     `json:"publishers"`
+	Subscribers         int     `json:"subscribers"`
+	TuplesPerSource     int     `json:"tuples_per_source"`
+	RatePerPublisher    int     `json:"rate_per_publisher"`
+	DrainPerSubscriber  int     `json:"drain_per_subscriber"`
+	SubscriberQueue     int     `json:"subscriber_queue"`
+	ElapsedSec          float64 `json:"elapsed_sec"`
+	Deliveries          int     `json:"deliveries"`
+	QoSDegrades         uint64  `json:"qos_degrades"`
+	QoSRestores         uint64  `json:"qos_restores"`
+	MaxScaleSeen        float64 `json:"max_scale_seen"`
+	SubscriberDrops     uint64  `json:"subscriber_drops"`
+	SubscriberEvictions uint64  `json:"subscriber_evictions"`
+	P99Ms               float64 `json:"p99_ms"`
 }
 
 // scaleCell is one open-loop cell of the scaling matrix.
@@ -122,6 +157,14 @@ type benchConfig struct {
 	// segment log, the storm subscribers leave after their quota, and a
 	// second wave resumes from offset 0 to measure replay throughput.
 	resume bool
+	// perRecv throttles every subscriber by sleeping this long per
+	// delivery, capping its drain capacity at 1/perRecv tuples/sec —
+	// the pressure source for the -overload mode.
+	perRecv time.Duration
+	// recvBuf pins each subscription's kernel receive buffer (bytes) so
+	// consumer lag surfaces as TCP backpressure at the server instead of
+	// vanishing into autotuned kernel buffering; 0 keeps OS defaults.
+	recvBuf int
 }
 
 func main() {
@@ -147,6 +190,12 @@ func run(args []string) error {
 		out          = fs.String("out", "BENCH_serve.json", "report path (- for stdout only)")
 		cpuProf      = fs.String("cpuprofile", "", "write a CPU profile of the measured run")
 		resume       = fs.Bool("resume", false, "durable mode: log to a temp dir, then measure replay throughput of a full catch-up wave")
+
+		overload       = fs.Bool("overload", false, "after the main run, measure a 2x sustained overload under the degrade policy (publishers paced at twice the subscribers' drain capacity); fails unless it is lossless, and records p99_under_2x_overload in -out")
+		overloadTuples = fs.Int("overload-tuples", 8000, "tuples per publisher for the -overload run")
+
+		chaos     = fs.Bool("chaos", false, "chaos mode: durable server behind a fault-injecting proxy, killed and restarted mid-run; verifies gapless, duplicate-free resumed delivery on every subscriber (skips the storm bench; merges a \"chaos\" section into -out)")
+		chaosSeed = fs.Int64("chaos-seed", 1, "seed for the injected network faults in -chaos")
 
 		sources       = fs.Int("sources", 0, "scale mode: cycle this many sources through the server in waves of -resident, hold the last wave idle, and measure per-source memory and flow-gap expiry (skips the storm bench; merges an idle_sources section into -out)")
 		residentSrc   = fs.Int("resident", 5000, "scale mode: concurrent raw publisher sessions per wave (clamped to RLIMIT_NOFILE headroom)")
@@ -175,6 +224,18 @@ func run(args []string) error {
 	}
 	if *publishers < 1 || *subscribers < 1 || *tuples < 1 {
 		return fmt.Errorf("need at least one publisher, subscriber and tuple")
+	}
+	if *chaos {
+		if *tuples < 8 {
+			return fmt.Errorf("-chaos needs at least 8 tuples per source to split across the restart")
+		}
+		return runChaos(chaosConfig{
+			publishers:  *publishers,
+			subscribers: *subscribers,
+			tuples:      *tuples,
+			queue:       *queue,
+			seed:        *chaosSeed,
+		}, *out)
 	}
 	pol, err := gasf.ParsePolicy(*policy)
 	if err != nil {
@@ -258,6 +319,12 @@ func run(args []string) error {
 	}
 	runtime.GOMAXPROCS(restore)
 
+	if *overload {
+		if err := measureOverload(rep, *overloadTuples, *shards, *out); err != nil {
+			return err
+		}
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -285,6 +352,10 @@ func measure(cfg benchConfig) (*report, error) {
 		Engine:          gasf.Options{ShardCount: cfg.shards},
 		SubscriberQueue: cfg.queue,
 		Policy:          cfg.policy,
+		// Bounded kernel buffering on both legs (paired with recvBuf on
+		// the subscribe side) so a throttled consumer's lag reaches the
+		// server's delivery queue as TCP backpressure within the run.
+		SubscriberSendBuffer: cfg.recvBuf,
 	}
 	if cfg.resume {
 		dir, err := os.MkdirTemp("", "gasf-loadbench-*")
@@ -319,13 +390,18 @@ func measure(cfg benchConfig) (*report, error) {
 	for i := range subs {
 		source := fmt.Sprintf("bench%d", i%cfg.publishers)
 		app := fmt.Sprintf("app%d", i)
-		if subs[i], err = b.Subscribe(ctx, app, source, "DC1(v, 0.5, 0)"); err != nil {
+		var sopts []gasf.SubOption
+		if cfg.recvBuf > 0 {
+			sopts = append(sopts, gasf.WithRecvBuffer(cfg.recvBuf))
+		}
+		if subs[i], err = b.Subscribe(ctx, app, source, "DC1(v, 0.5, 0)", sopts...); err != nil {
 			return nil, err
 		}
 	}
 
 	var wg sync.WaitGroup
 	latencies := make([][]time.Duration, cfg.subscribers)
+	maxQoS := make([]float64, cfg.subscribers)
 	errCh := make(chan error, cfg.publishers+cfg.subscribers)
 
 	start := time.Now()
@@ -345,6 +421,15 @@ func measure(cfg benchConfig) (*report, error) {
 					break
 				}
 				lats = append(lats, d.ReceivedAt.Sub(d.Tuple.TS))
+				// The throttle caps this subscriber's drain capacity; the
+				// QoS probe rides on it because only throttled (-overload)
+				// runs care about the applied degrade scale.
+				if cfg.perRecv > 0 {
+					if q := sub.QoS(); q > maxQoS[i] {
+						maxQoS[i] = q
+					}
+					time.Sleep(cfg.perRecv)
+				}
 				// Resume mode: the pass-all spec over step-1 values makes
 				// deliveries deterministic — each arriving tuple closes and
 				// releases the previous one's singleton set, so exactly
@@ -522,6 +607,15 @@ func measure(cfg benchConfig) (*report, error) {
 		BytesIn:          c.BytesIn,
 		BytesOut:         c.BytesOut,
 		Latency:          summarize(all),
+
+		qosDegrades:         c.QoSDegrades,
+		qosRestores:         c.QoSRestores,
+		subscriberEvictions: c.SubscriberEvictions,
+	}
+	for _, q := range maxQoS {
+		if q > rep.maxQoS {
+			rep.maxQoS = q
+		}
 	}
 	if cfg.resume {
 		rep.ReplayDeliveries = replayDeliveries
@@ -543,6 +637,89 @@ func measure(cfg benchConfig) (*report, error) {
 		return nil, fmt.Errorf("shutdown: %w", err)
 	}
 	return rep, nil
+}
+
+// measureOverload runs the -overload acceptance mode and attaches its
+// results to rep: publishers pace at exactly twice the drain capacity
+// of their throttled subscribers, so without intervention the queues
+// diverge without bound. The degrade policy must absorb the overload by
+// coarsening precision — losslessly (zero drops, zero evictions) and
+// with bounded latency. The resulting p99 lands in
+// rep.P99Under2xOverload, soft-gated against the committed baseline in
+// out via internal/bench.Compare.
+func measureOverload(rep *report, tuples, shards int, out string) error {
+	// Each subscriber sleeps 1ms per delivery (drain capacity 1000
+	// tuples/s); each source publishes at 2000/s. Under the
+	// DC1(v, 0.5, 0) spec over step-1 values, scale 4 (delta 2) halves
+	// the delivered rate to exactly the drain capacity — the governor's
+	// sustainable operating point.
+	const drain = 1000
+	ocfg := benchConfig{
+		publishers:  4,
+		subscribers: 8,
+		tuples:      tuples,
+		queue:       64,
+		shards:      shards,
+		rate:        2 * drain,
+		policy:      gasf.PolicyDegrade,
+		perRecv:     time.Second / drain,
+		recvBuf:     8 << 10,
+	}
+	fmt.Fprintf(os.Stderr, "overload: %d pub at %d tuples/s vs %d sub draining %d/s (degrade policy)\n",
+		ocfg.publishers, ocfg.rate, ocfg.subscribers, drain)
+	orep, err := measure(ocfg)
+	if err != nil {
+		return fmt.Errorf("overload run: %w", err)
+	}
+	if orep.SubscriberDrops != 0 {
+		return fmt.Errorf("overload run dropped %d deliveries; the degrade policy must be lossless", orep.SubscriberDrops)
+	}
+	if orep.subscriberEvictions != 0 {
+		return fmt.Errorf("overload run evicted %d subscribers; the degrade policy must never evict", orep.subscriberEvictions)
+	}
+	if orep.qosDegrades == 0 {
+		return fmt.Errorf("overload run never degraded — not an overload (rate %d/s vs drain %d/s)", ocfg.rate, drain)
+	}
+	rep.Overload = &overloadStats{
+		Publishers:          ocfg.publishers,
+		Subscribers:         ocfg.subscribers,
+		TuplesPerSource:     ocfg.tuples,
+		RatePerPublisher:    ocfg.rate,
+		DrainPerSubscriber:  drain,
+		SubscriberQueue:     ocfg.queue,
+		ElapsedSec:          orep.ElapsedSec,
+		Deliveries:          orep.Deliveries,
+		QoSDegrades:         orep.qosDegrades,
+		QoSRestores:         orep.qosRestores,
+		MaxScaleSeen:        orep.maxQoS,
+		SubscriberDrops:     orep.SubscriberDrops,
+		SubscriberEvictions: orep.subscriberEvictions,
+		P99Ms:               orep.Latency.P99Ms,
+	}
+	rep.P99Under2xOverload = orep.Latency.P99Ms
+	fmt.Fprintf(os.Stderr, "overload: p99 %.1fms, max scale %g, %d degrades / %d restores, zero drops\n",
+		orep.Latency.P99Ms, orep.maxQoS, orep.qosDegrades, orep.qosRestores)
+
+	// Soft-gate against the committed baseline with the same Compare
+	// machinery and spirit as the hotpath bench: a blow-up past the
+	// threshold warns loudly, and the refreshed number still lands in
+	// -out for review.
+	if out != "-" {
+		if prev, err := os.ReadFile(out); err == nil {
+			var base struct {
+				P99 float64 `json:"p99_under_2x_overload"`
+			}
+			if json.Unmarshal(prev, &base) == nil && base.P99 > 0 {
+				regs := bench.Compare(
+					&bench.Report{P99Under2xOverloadMs: rep.P99Under2xOverload},
+					&bench.Report{P99Under2xOverloadMs: base.P99}, 0.5)
+				for _, r := range regs {
+					fmt.Fprintln(os.Stderr, "gasf-loadbench: WARNING:", r)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // scrapeServer exercises the observability surface the way a monitoring

@@ -31,10 +31,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,10 +64,12 @@ func run(args []string) error {
 		shardQueue  = fs.Int("shard-queue", 0, "per-shard input queue depth (0 = default)")
 		flushBatch  = fs.Int("flushbatch", 0, "released-transmission flush batch (0 = default)")
 		queue       = fs.Int("queue", 256, "default per-subscriber send queue, in frames")
-		policy      = fs.String("policy", "block", "slow-consumer policy: block or drop")
+		policy      = fs.String("policy", "block", "slow-consumer policy: block, drop or degrade")
 		heartbeat   = fs.Duration("heartbeat", 2*time.Second, "subscriber heartbeat / gap-scan interval")
 		srcTimeout  = fs.Duration("source-timeout", 30*time.Second, "expire sources silent for this long (<0 disables)")
 		scanEvery   = fs.Duration("scan-interval", 0, "flow-gap wheel granularity; expiry detected at most ~2 intervals late (0 = source-timeout/8, clamped to [10ms,1s])")
+		gapWebhook  = fs.String("gap-webhook", "", "URL to POST a JSON deadman notification to when flow-gap expiry finishes a silent source (empty disables)")
+		evictDrops  = fs.Int("evict-after-drops", 0, "evict a drop-policy subscriber after this many dropped deliveries (0 disables)")
 		drainGrace  = fs.Duration("drain-grace", time.Second, "how long shutdown keeps draining connected publishers")
 		quiet       = fs.Bool("quiet", false, "suppress per-session log lines (warnings and errors still print)")
 		logFormat   = fs.String("log-format", "text", "structured log format on stderr: text or json")
@@ -113,11 +117,18 @@ func run(args []string) error {
 		return fmt.Errorf("unknown log format %q (want text or json)", *logFormat)
 	}
 
+	var onGap func(source string, silentFor time.Duration)
+	if *gapWebhook != "" {
+		onGap = gapNotifier(*gapWebhook, lg)
+	}
+
 	srv, err := server.Start(server.Config{
 		Addr:                 *addr,
 		Engine:               opts,
 		SubscriberQueue:      *queue,
 		Policy:               pol,
+		EvictAfterDrops:      *evictDrops,
+		OnSourceGap:          onGap,
 		HeartbeatInterval:    *heartbeat,
 		SourceTimeout:        *srcTimeout,
 		ScanInterval:         *scanEvery,
@@ -160,4 +171,34 @@ func run(args []string) error {
 		defer metricsSrv.Shutdown(ctx)
 	}
 	return srv.Shutdown(ctx)
+}
+
+// gapNotifier returns an OnSourceGap hook POSTing a JSON deadman
+// notification to url, with bounded retries — the operator's pager for
+// a sensor that stopped reporting. The server invokes the hook off its
+// expiry path, so a slow webhook never delays gap detection.
+func gapNotifier(url string, lg *slog.Logger) func(source string, silentFor time.Duration) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	return func(source string, silentFor time.Duration) {
+		body := fmt.Sprintf(`{"event":"source_gap","source":%q,"silent_for_ms":%d}`,
+			source, silentFor.Milliseconds())
+		var err error
+		for attempt, wait := 0, 250*time.Millisecond; attempt < 3; attempt, wait = attempt+1, wait*4 {
+			if attempt > 0 {
+				time.Sleep(wait)
+			}
+			var resp *http.Response
+			resp, err = client.Post(url, "application/json", strings.NewReader(body))
+			if err != nil {
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode < 300 {
+				return
+			}
+			err = fmt.Errorf("webhook status %s", resp.Status)
+		}
+		lg.Warn("gap webhook delivery failed", "source", source, "url", url, "err", err)
+	}
 }

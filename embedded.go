@@ -2,6 +2,7 @@ package gasf
 
 import (
 	"context"
+	"fmt"
 
 	"gasf/internal/broker"
 )
@@ -27,14 +28,18 @@ func NewEmbedded(opts ...Option) (*Embedded, error) {
 		return nil, err
 	}
 	pol := broker.Block
-	if cfg.policy == PolicyDrop {
+	switch cfg.policy {
+	case PolicyDrop:
 		pol = broker.Drop
+	case PolicyDegrade:
+		pol = broker.Degrade
 	}
 	b, err := broker.New(broker.Config{
 		Engine:               cfg.engine,
 		SubscriberQueue:      cfg.subQueue,
 		MaxSubscriberQueue:   cfg.maxSubQueue,
 		Policy:               pol,
+		EvictAfterDrops:      cfg.evictAfterDrops,
 		DataDir:              cfg.dataDir,
 		Seglog:               cfg.seglog,
 		TelemetrySampleEvery: cfg.telemetry,
@@ -64,6 +69,9 @@ func (e *Embedded) Subscribe(ctx context.Context, app, source, spec string, opts
 	sc, err := resolveSubConfig(opts)
 	if err != nil {
 		return nil, err
+	}
+	if sc.recvBuffer > 0 {
+		return nil, fmt.Errorf("gasf: WithRecvBuffer only applies to a dialed broker (an embedded subscription has no socket)")
 	}
 	sub, err := e.b.Subscribe(ctx, app, source, sp, broker.SubOptions{
 		Queue:      sc.queue,
@@ -108,6 +116,7 @@ func (s *embeddedSub) App() string     { return s.sub.App() }
 func (s *embeddedSub) Source() string  { return s.sub.Source() }
 func (s *embeddedSub) Schema() *Schema { return s.sub.Schema() }
 func (s *embeddedSub) Spec() Spec      { return s.sub.Spec() }
+func (s *embeddedSub) QoS() float64    { return s.sub.QoS() }
 
 func (s *embeddedSub) Recv(ctx context.Context) (*Delivery, error) {
 	d, err := s.sub.Recv(ctx)

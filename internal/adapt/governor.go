@@ -1,0 +1,158 @@
+package adapt
+
+import (
+	"fmt"
+	"time"
+)
+
+// GovernorConfig parameterizes a live degrade Governor: the per-
+// subscriber control loop behind the "degrade" slow-consumer policy.
+// Where DegradeConfig drives the offline, window-based controller
+// (RunDegrading), the Governor reacts to live queue pressure and
+// delivery latency, one sample per delivery hand-off.
+type GovernorConfig struct {
+	// Step is the multiplicative scale change per control action
+	// (coarser by Step on a degrade, finer by Step on a restore);
+	// 0 means 2.
+	Step float64
+	// MaxScale caps degradation; 0 means 8.
+	MaxScale float64
+	// HiFrac is the queue-occupancy fraction at or above which a
+	// degrade step fires; 0 means 0.75.
+	HiFrac float64
+	// LoFrac is the occupancy fraction below which calm accrues toward
+	// a restore step; occupancy between LoFrac and HiFrac is the
+	// hysteresis band where the scale holds. 0 means 0.25.
+	LoFrac float64
+	// LatencyHi, when positive, is a delivery-p99 watermark that counts
+	// as pressure even while the queue is shallow (a consumer can lag
+	// on latency without ever filling its queue). Zero disables the
+	// latency signal.
+	LatencyHi time.Duration
+	// Cooldown is the minimum interval between consecutive degrade
+	// steps, so one sustained burst tightens the spec stepwise instead
+	// of slamming straight to MaxScale; 0 means 250ms.
+	Cooldown time.Duration
+	// RestoreAfter is how long every pressure signal must stay below
+	// its low watermark before one restore step — the hysteresis that
+	// keeps a borderline consumer from flapping; 0 means 2s.
+	RestoreAfter time.Duration
+}
+
+func (c GovernorConfig) withDefaults() (GovernorConfig, error) {
+	if c.Step == 0 {
+		c.Step = 2
+	}
+	if c.Step <= 1 {
+		return c, fmt.Errorf("adapt: governor step must exceed 1, got %g", c.Step)
+	}
+	if c.MaxScale == 0 {
+		c.MaxScale = 8
+	}
+	if c.MaxScale < 1 {
+		return c, fmt.Errorf("adapt: governor max scale %g below 1", c.MaxScale)
+	}
+	if c.HiFrac == 0 {
+		c.HiFrac = 0.75
+	}
+	if c.LoFrac == 0 {
+		c.LoFrac = 0.25
+	}
+	if c.HiFrac <= 0 || c.HiFrac > 1 {
+		return c, fmt.Errorf("adapt: governor high watermark %g outside (0, 1]", c.HiFrac)
+	}
+	if c.LoFrac <= 0 || c.LoFrac >= c.HiFrac {
+		return c, fmt.Errorf("adapt: governor low watermark %g outside (0, %g)", c.LoFrac, c.HiFrac)
+	}
+	if c.LatencyHi < 0 {
+		return c, fmt.Errorf("adapt: governor latency watermark %v negative", c.LatencyHi)
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 250 * time.Millisecond
+	}
+	if c.Cooldown < 0 {
+		return c, fmt.Errorf("adapt: governor cooldown %v negative", c.Cooldown)
+	}
+	if c.RestoreAfter == 0 {
+		c.RestoreAfter = 2 * time.Second
+	}
+	if c.RestoreAfter < 0 {
+		return c, fmt.Errorf("adapt: governor restore-after %v negative", c.RestoreAfter)
+	}
+	return c, nil
+}
+
+// Governor is the degrade-policy state machine for one subscriber: it
+// turns a stream of pressure samples (queue occupancy, delivery p99)
+// into a granularity-scale trajectory with stepwise degradation under
+// pressure and hysteretic stepwise restoration once pressure clears.
+//
+// The Governor is deterministic and holds no clock of its own — every
+// decision is a pure function of the samples fed to Observe — so it is
+// unit-testable without sleeping. It is not safe for concurrent use:
+// the caller (one shard worker per source) serializes Observe.
+type Governor struct {
+	cfg   GovernorConfig
+	scale float64
+	// lastDegrade rate-limits consecutive degrade steps (Cooldown).
+	lastDegrade time.Time
+	// calmSince marks the start of the current continuous calm run;
+	// valid only while calm is true.
+	calmSince time.Time
+	calm      bool
+}
+
+// NewGovernor validates the config and returns a governor at scale 1.
+func NewGovernor(cfg GovernorConfig) (*Governor, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Governor{cfg: cfg, scale: 1}, nil
+}
+
+// Scale returns the current granularity scale (1 = configured quality).
+func (g *Governor) Scale() float64 { return g.scale }
+
+// Observe feeds one pressure sample — the subscriber's queue occupancy
+// out of its capacity and its delivery-p99 estimate (0 when latency is
+// not tracked) — and returns the scale now in effect plus whether this
+// sample changed it. Pressure at or above the high watermark degrades
+// one Step (rate-limited by Cooldown); every signal below its low
+// watermark for RestoreAfter restores one Step; in between the scale
+// holds.
+func (g *Governor) Observe(now time.Time, queueLen, queueCap int, p99 time.Duration) (float64, bool) {
+	pressured := queueCap > 0 && float64(queueLen) >= g.cfg.HiFrac*float64(queueCap)
+	if g.cfg.LatencyHi > 0 && p99 >= g.cfg.LatencyHi {
+		pressured = true
+	}
+	calm := (queueCap <= 0 || float64(queueLen) < g.cfg.LoFrac*float64(queueCap)) &&
+		(g.cfg.LatencyHi <= 0 || p99 < g.cfg.LatencyHi)
+
+	switch {
+	case pressured:
+		g.calm = false
+		if g.scale < g.cfg.MaxScale &&
+			(g.lastDegrade.IsZero() || now.Sub(g.lastDegrade) >= g.cfg.Cooldown) {
+			g.scale = min(g.scale*g.cfg.Step, g.cfg.MaxScale)
+			g.lastDegrade = now
+			return g.scale, true
+		}
+	case calm && g.scale > 1:
+		if !g.calm {
+			g.calm, g.calmSince = true, now
+			break
+		}
+		if now.Sub(g.calmSince) >= g.cfg.RestoreAfter {
+			g.scale = max(g.scale/g.cfg.Step, 1)
+			// Stepwise restore: the next step needs a fresh calm run.
+			g.calmSince = now
+			return g.scale, true
+		}
+	default:
+		// Hysteresis band (or nothing to restore): hold the scale and
+		// restart the calm clock — restoration requires continuous calm.
+		g.calm = false
+	}
+	return g.scale, false
+}

@@ -1,0 +1,131 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+)
+
+// tick advances a synthetic clock; the governor never reads a real one.
+func tick(start time.Time, ms int) time.Time {
+	return start.Add(time.Duration(ms) * time.Millisecond)
+}
+
+func TestGovernorDegradeLadder(t *testing.T) {
+	g, err := NewGovernor(GovernorConfig{Step: 2, MaxScale: 8, Cooldown: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Unix(1000, 0)
+	if s := g.Scale(); s != 1 {
+		t.Fatalf("initial scale = %g, want 1", s)
+	}
+
+	// Full queue: first sample degrades immediately.
+	s, changed := g.Observe(tick(start, 0), 100, 100, 0)
+	if !changed || s != 2 {
+		t.Fatalf("first pressured sample: scale=%g changed=%v, want 2, true", s, changed)
+	}
+	// Still pressured inside the cooldown: holds.
+	if s, changed = g.Observe(tick(start, 50), 100, 100, 0); changed || s != 2 {
+		t.Fatalf("inside cooldown: scale=%g changed=%v, want 2, false", s, changed)
+	}
+	// Cooldown elapsed: next step.
+	if s, changed = g.Observe(tick(start, 100), 90, 100, 0); !changed || s != 4 {
+		t.Fatalf("after cooldown: scale=%g changed=%v, want 4, true", s, changed)
+	}
+	if s, changed = g.Observe(tick(start, 200), 90, 100, 0); !changed || s != 8 {
+		t.Fatalf("third step: scale=%g changed=%v, want 8, true", s, changed)
+	}
+	// Capped at MaxScale.
+	if s, changed = g.Observe(tick(start, 300), 100, 100, 0); changed || s != 8 {
+		t.Fatalf("at cap: scale=%g changed=%v, want 8, false", s, changed)
+	}
+}
+
+func TestGovernorRestoreHysteresis(t *testing.T) {
+	g, err := NewGovernor(GovernorConfig{
+		Step: 2, MaxScale: 8,
+		Cooldown: 10 * time.Millisecond, RestoreAfter: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Unix(2000, 0)
+	g.Observe(tick(start, 0), 100, 100, 0)
+	g.Observe(tick(start, 10), 100, 100, 0) // scale 4
+
+	// Calm begins; restore only after a full continuous RestoreAfter.
+	if s, changed := g.Observe(tick(start, 20), 0, 100, 0); changed || s != 4 {
+		t.Fatalf("calm start: scale=%g changed=%v, want 4, false", s, changed)
+	}
+	if s, changed := g.Observe(tick(start, 500), 0, 100, 0); changed || s != 4 {
+		t.Fatalf("calm accruing: scale=%g changed=%v, want 4, false", s, changed)
+	}
+	// A sample in the hysteresis band (between LoFrac and HiFrac)
+	// restarts the calm clock without degrading.
+	if s, changed := g.Observe(tick(start, 600), 50, 100, 0); changed || s != 4 {
+		t.Fatalf("hysteresis band: scale=%g changed=%v, want 4, false", s, changed)
+	}
+	if s, changed := g.Observe(tick(start, 700), 0, 100, 0); changed || s != 4 {
+		t.Fatalf("calm restart: scale=%g changed=%v, want 4, false", s, changed)
+	}
+	// 1s after the restarted calm run: one restore step.
+	if s, changed := g.Observe(tick(start, 1700), 0, 100, 0); !changed || s != 2 {
+		t.Fatalf("first restore: scale=%g changed=%v, want 2, true", s, changed)
+	}
+	// The next step needs another full calm run.
+	if s, changed := g.Observe(tick(start, 1800), 0, 100, 0); changed || s != 2 {
+		t.Fatalf("between restores: scale=%g changed=%v, want 2, false", s, changed)
+	}
+	if s, changed := g.Observe(tick(start, 2700), 0, 100, 0); !changed || s != 1 {
+		t.Fatalf("second restore: scale=%g changed=%v, want 1, true", s, changed)
+	}
+	// Back at 1: calm samples change nothing.
+	if s, changed := g.Observe(tick(start, 3700), 0, 100, 0); changed || s != 1 {
+		t.Fatalf("restored to 1: scale=%g changed=%v, want 1, false", s, changed)
+	}
+}
+
+func TestGovernorLatencyWatermark(t *testing.T) {
+	g, err := NewGovernor(GovernorConfig{LatencyHi: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Unix(3000, 0)
+	// Queue empty but p99 past the watermark: still pressure.
+	if s, changed := g.Observe(start, 0, 100, 60*time.Millisecond); !changed || s != 2 {
+		t.Fatalf("latency pressure: scale=%g changed=%v, want 2, true", s, changed)
+	}
+	// Latency still hot past the cooldown: pressure persists, next step.
+	if s, changed := g.Observe(tick(start, 5000), 0, 100, 60*time.Millisecond); !changed || s != 4 {
+		t.Fatalf("sustained latency pressure: scale=%g changed=%v, want 4, true", s, changed)
+	}
+	// Latency cools below the watermark with an empty queue: calm
+	// accrues and restores after the default RestoreAfter (2s).
+	if s, changed := g.Observe(tick(start, 5100), 0, 100, 40*time.Millisecond); changed || s != 4 {
+		t.Fatalf("latency calm start: scale=%g changed=%v, want 4, false", s, changed)
+	}
+	if s, changed := g.Observe(tick(start, 7200), 0, 100, 40*time.Millisecond); !changed || s != 2 {
+		t.Fatalf("latency restore: scale=%g changed=%v, want 2, true", s, changed)
+	}
+}
+
+func TestGovernorConfigValidation(t *testing.T) {
+	bad := []GovernorConfig{
+		{Step: 0.5},
+		{MaxScale: 0.5},
+		{HiFrac: 1.5},
+		{LoFrac: 0.9, HiFrac: 0.5},
+		{LatencyHi: -time.Second},
+		{Cooldown: -time.Second},
+		{RestoreAfter: -time.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := NewGovernor(cfg); err == nil {
+			t.Errorf("config %d: expected validation error", i)
+		}
+	}
+	if _, err := NewGovernor(GovernorConfig{}); err != nil {
+		t.Errorf("zero config should take defaults: %v", err)
+	}
+}

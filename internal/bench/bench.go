@@ -68,6 +68,12 @@ type Report struct {
 	WireDecode  Metric        `json:"wire_decode_tuple_into"`
 	Serve       *ServeMetric  `json:"serve_open_loop,omitempty"`
 	ServeMatrix []ServeMetric `json:"serve_scaling_matrix,omitempty"`
+	// P99Under2xOverloadMs is the loadbench -overload acceptance number
+	// (the "p99_under_2x_overload" entry of BENCH_serve.json): the
+	// client-observed p99 delivery latency, in milliseconds, while
+	// publishers sustain twice the subscribers' drain capacity under the
+	// degrade slow-consumer policy. Zero means the mode was not run.
+	P99Under2xOverloadMs float64 `json:"p99_under_2x_overload,omitempty"`
 }
 
 // Run executes the harness.
@@ -391,6 +397,12 @@ func Compare(cur, base *Report, threshold float64) []string {
 	check("wire_encode allocs/op", cur.WireEncode.AllocsPerOp, base.WireEncode.AllocsPerOp)
 	check("wire_decode ns/op", cur.WireDecode.NsPerOp, base.WireDecode.NsPerOp)
 	check("wire_decode allocs/op", cur.WireDecode.AllocsPerOp, base.WireDecode.AllocsPerOp)
+	// Bounded latency under overload: like ns/op, higher is worse. A
+	// baseline (or current run) without the -overload entry skips the
+	// gate rather than failing it.
+	if cur.P99Under2xOverloadMs > 0 {
+		check("p99_under_2x_overload ms", cur.P99Under2xOverloadMs, base.P99Under2xOverloadMs)
+	}
 	checkServe := func(name string, cur, base *ServeMetric) {
 		if cur == nil || base == nil || base.TuplesPerSec <= 0 {
 			return

@@ -27,11 +27,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"gasf/internal/adapt"
 	"gasf/internal/core"
 	"gasf/internal/filter"
 	"gasf/internal/flowgap"
@@ -53,6 +55,13 @@ const (
 	// Drop discards the delivery and counts it, keeping fast subscribers
 	// and publishers unaffected by a slow one.
 	Drop
+	// Degrade blocks like Block but adaptively coarsens the precision of
+	// pressured subscriptions whose filters support scaling
+	// (adapt.Scalable): an adapt.Governor per subscription watches queue
+	// occupancy and delivery p99 and widens the effective quality spec
+	// under overload, restoring it stepwise once calm. Subscriptions whose
+	// filters are not Scalable degrade to plain blocking.
+	Degrade
 )
 
 // Config parameterizes a Broker. The zero value runs default engine
@@ -77,6 +86,15 @@ type Config struct {
 	// shard worker (and with it Finish and a graceful Close) forever.
 	// 0 means 10s; negative disables eviction (unbounded blocking).
 	EvictTimeout time.Duration
+	// EvictAfterDrops evicts a Drop-policy subscription once its dropped
+	// delivery count reaches this threshold: instead of silently losing
+	// deliveries forever, the subscription is detached and Recv surfaces
+	// ErrEvicted. 0 disables (the historical semantics: drop forever).
+	EvictAfterDrops int
+	// Degrade tunes the per-subscription governor used by the Degrade
+	// policy (watermarks, step, cooldown). The zero value takes the
+	// governor defaults. Ignored under other policies.
+	Degrade adapt.GovernorConfig
 	// SourceTimeout auto-finishes a silent source: one that neither
 	// publishes nor sits in a backpressured submit for this long is
 	// finished as if its owner had called Finish (engine tail flushed,
@@ -137,6 +155,11 @@ func (c Config) withDefaults() Config {
 // source finished or the broker closed).
 var ErrStreamEnded = errors.New("broker: stream ended")
 
+// ErrEvicted reports that the broker force-detached the subscription —
+// it blocked past Config.EvictTimeout, or exceeded Config.EvictAfterDrops
+// under the drop policy. Recv errors wrap it with the reason.
+var ErrEvicted = errors.New("broker: subscriber evicted")
+
 // errClosed rejects operations after Close.
 var errClosed = errors.New("broker: closed")
 
@@ -191,6 +214,10 @@ type Broker struct {
 	evictWG   sync.WaitGroup
 	evicted   atomic.Uint64
 
+	// evictedSubs counts subscriptions force-detached (blocked past
+	// EvictTimeout, or past EvictAfterDrops under the drop policy).
+	evictedSubs atomic.Uint64
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -200,6 +227,12 @@ type Broker struct {
 // failed recovery surfaces here rather than on the first publish.
 func New(cfg Config) (*Broker, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Policy == Degrade {
+		// Surface a bad governor config here, not on the first Subscribe.
+		if _, err := adapt.NewGovernor(cfg.Degrade); err != nil {
+			return nil, fmt.Errorf("broker: %w", err)
+		}
+	}
 	var log *seglog.Log
 	if cfg.DataDir != "" {
 		var err error
@@ -263,6 +296,10 @@ func (b *Broker) expireSource(data any, _ time.Duration) {
 // Evicted returns the count of sources auto-finished by flow-gap expiry
 // (always 0 unless Config.SourceTimeout enabled the tracker).
 func (b *Broker) Evicted() uint64 { return b.evicted.Load() }
+
+// EvictedSubs returns the count of subscriptions force-detached for
+// blocking past EvictTimeout or dropping past EvictAfterDrops.
+func (b *Broker) EvictedSubs() uint64 { return b.evictedSubs.Load() }
 
 // Durable reports whether the broker writes a durable log (Config.DataDir
 // was set), i.e. whether resuming subscriptions are accepted.
@@ -551,6 +588,25 @@ type Sub struct {
 	finOnce   sync.Once
 	dropped   atomic.Uint64
 
+	// Degrade-policy state (nil/zero under other policies, or when the
+	// subscription's filter is not adapt.Scalable). The governor is driven
+	// only by the source's shard worker (send calls are serialized), so it
+	// needs no lock; the decided target crosses to scaleLoop — which must
+	// be a separate goroutine, since Control from the worker would
+	// deadlock — via targetScale + scaleKick, and the scale in effect is
+	// published in applied for QoS.
+	gov         *adapt.Governor
+	scalable    adapt.Scalable
+	scaleKick   chan struct{}
+	targetScale atomic.Uint64 // float64 bits
+	applied     atomic.Uint64 // float64 bits
+
+	// evictMsg latches the eviction reason before done closes, so a
+	// receiver unblocked by the close observes it (the close is the
+	// happens-before edge).
+	evictOnce sync.Once
+	evictMsg  atomic.Pointer[string]
+
 	// lat estimates this subscription's delivery-latency quantiles; fed
 	// by the sink at enqueue. Nil when telemetry is disabled.
 	lat *telemetry.LatencyPair
@@ -651,6 +707,19 @@ func (b *Broker) Subscribe(ctx context.Context, app, source string, spec quality
 	if b.tel != nil {
 		sub.lat = telemetry.NewLatencyPair()
 	}
+	if b.cfg.Policy == Degrade {
+		if sc, ok := f.(adapt.Scalable); ok {
+			gov, gerr := adapt.NewGovernor(b.cfg.Degrade)
+			if gerr != nil {
+				b.mu.Unlock()
+				return nil, fmt.Errorf("broker: %w", gerr)
+			}
+			sub.gov, sub.scalable = gov, sc
+			sub.scaleKick = make(chan struct{}, 1)
+			sub.targetScale.Store(math.Float64bits(1))
+			sub.applied.Store(math.Float64bits(1))
+		}
+	}
 	if sub.resume {
 		sub.replay = make(chan Delivery)
 	}
@@ -695,6 +764,9 @@ func (b *Broker) Subscribe(ctx context.Context, app, source string, spec quality
 	}
 	if sub.resume {
 		go sub.runReplay()
+	}
+	if sub.gov != nil {
+		go sub.scaleLoop()
 	}
 	return sub, nil
 }
@@ -765,6 +837,17 @@ func (s *Sub) QueueDepth() int { return cap(s.out) }
 // (or to departure).
 func (s *Sub) Dropped() uint64 { return s.dropped.Load() }
 
+// QoS returns the quality scale currently applied to this subscription
+// by the Degrade policy: 1 means full fidelity, larger means the
+// effective spec has been coarsened by that factor. Always 1 under other
+// policies or when the subscription's filter cannot scale.
+func (s *Sub) QoS() float64 {
+	if s.gov == nil {
+		return 1
+	}
+	return math.Float64frombits(s.applied.Load())
+}
+
 // Recv blocks for the next delivery until ctx is done. It returns
 // ErrStreamEnded once the stream ends gracefully (the source finished,
 // the broker closed, or this subscription left the group).
@@ -808,7 +891,7 @@ func (s *Sub) RecvInto(ctx context.Context, d *Delivery) error {
 			deliver(dv)
 			return nil
 		case <-s.done:
-			return ErrStreamEnded
+			return s.endErr()
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -825,13 +908,22 @@ func (s *Sub) RecvInto(ctx context.Context, d *Delivery) error {
 			deliver(dv)
 			return nil
 		default:
-			return ErrStreamEnded
+			return s.endErr()
 		}
 	case <-s.done:
-		return ErrStreamEnded
+		return s.endErr()
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// endErr reports why the stream ended: a wrapped ErrEvicted when the
+// broker force-detached the subscription, plain ErrStreamEnded otherwise.
+func (s *Sub) endErr() error {
+	if msg := s.evictMsg.Load(); msg != nil {
+		return fmt.Errorf("%w: %s", ErrEvicted, *msg)
+	}
+	return ErrStreamEnded
 }
 
 // Close leaves the group: the subscription's filter is removed from the
@@ -881,9 +973,14 @@ func (s *Sub) send(d Delivery) {
 		select {
 		case s.out <- d:
 		default:
-			s.dropped.Add(1)
+			s.dropDelivery()
 		}
 		return
+	}
+	if s.gov != nil {
+		// Degrade: sample pressure before the (blocking) hand-off so a
+		// filling queue coarsens the spec before it wedges the worker.
+		s.observePressure()
 	}
 	select {
 	case s.out <- d:
@@ -909,16 +1006,86 @@ func (s *Sub) send(d Delivery) {
 		s.dropped.Add(1)
 	case <-t.C:
 		s.dropped.Add(1)
+		s.evictAsync(fmt.Sprintf("delivery blocked longer than EvictTimeout (%v)", s.b.cfg.EvictTimeout))
+	}
+}
+
+// dropDelivery counts a drop-policy loss and evicts the subscription once
+// the configured threshold is crossed — a consumer that persistently
+// cannot keep up learns it was cut off instead of losing data silently.
+func (s *Sub) dropDelivery() {
+	n := s.dropped.Add(1)
+	if limit := s.b.cfg.EvictAfterDrops; limit > 0 && n >= uint64(limit) {
+		s.evictAsync(fmt.Sprintf("%d deliveries dropped (limit %d)", n, limit))
+	}
+}
+
+// evictAsync force-detaches the subscription: the eviction reason is
+// latched (so Recv surfaces ErrEvicted rather than a bare stream end),
+// the subscription is marked departed, and the engine-side retraction is
+// handed to a goroutine — it must not run on the calling shard worker,
+// since Control would enqueue into the very ring that worker drains.
+func (s *Sub) evictAsync(reason string) {
+	s.evictOnce.Do(func() {
+		select {
+		case <-s.done:
+			// Already departed (Close, or broker teardown); nothing to
+			// report and nothing left to detach.
+			return
+		default:
+		}
+		msg := reason
+		s.evictMsg.Store(&msg)
+		s.b.evictedSubs.Add(1)
 		s.leaveOnce.Do(func() { close(s.done) })
-		// The engine-side detach must not run on this worker (Control
-		// would enqueue into the very ring this worker drains); hand it
-		// to a goroutine, as the server hands removal to its session
-		// goroutines.
 		go func() {
 			err := s.b.rt.Control(s.source, func(e *core.Engine) error { return e.RemoveFilter(s.app) })
 			_ = err // the source may already be finishing; teardown retires the group
 			s.b.dropSubEntry(s)
 		}()
+	})
+}
+
+// observePressure feeds the degrade governor one sample (queue occupancy
+// plus delivery p99) and, on a verdict, publishes the new target scale to
+// scaleLoop. Called only from the source's shard worker, which serializes
+// all sends for this subscription, so the governor needs no lock.
+func (s *Sub) observePressure() {
+	var p99 time.Duration
+	if s.lat != nil {
+		p99 = s.lat.Snapshot().P99
+	}
+	scale, changed := s.gov.Observe(time.Now(), len(s.out), cap(s.out), p99)
+	if !changed {
+		return
+	}
+	s.targetScale.Store(math.Float64bits(scale))
+	select {
+	case s.scaleKick <- struct{}{}:
+	default: // a kick is already pending; it will read the newest target
+	}
+}
+
+// scaleLoop applies governor verdicts to the live filter from its own
+// goroutine: SetScale must run on the owning shard worker via Control at
+// a tuple boundary, and calling Control from the worker itself (inside
+// send) would deadlock. Targets are absolute, so coalesced kicks applying
+// only the newest value are correct.
+func (s *Sub) scaleLoop() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.fin:
+			return
+		case <-s.scaleKick:
+		}
+		target := math.Float64frombits(s.targetScale.Load())
+		err := s.b.rt.Control(s.source, func(e *core.Engine) error { return s.scalable.SetScale(target) })
+		if err != nil {
+			continue // source finishing or broker draining; nothing to scale
+		}
+		s.applied.Store(math.Float64bits(target))
 	}
 }
 

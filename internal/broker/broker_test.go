@@ -305,8 +305,8 @@ func TestBlockEvictionUnwedgesGracefulClose(t *testing.T) {
 	for {
 		_, err := abandoned.Recv(ctx)
 		if err != nil {
-			if !errors.Is(err, ErrStreamEnded) {
-				t.Errorf("evicted subscription Recv = %v, want stream end", err)
+			if !errors.Is(err, ErrEvicted) {
+				t.Errorf("evicted subscription Recv = %v, want ErrEvicted", err)
 			}
 			break
 		}

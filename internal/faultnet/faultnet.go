@@ -1,0 +1,330 @@
+// Package faultnet injects deterministic network faults for testing:
+// net.Conn and net.Listener wrappers that tear writes into fragments,
+// add latency spikes and stalls, and reset connections mid-frame, all
+// driven by a seeded per-connection RNG so a failing run replays
+// exactly. A TCP Proxy gives a stable front address whose backend can be
+// swapped (server kill/restart tests) and whose live connections can be
+// cut in one call (partition tests).
+//
+// Fault classes and what they exercise:
+//
+//   - Partial writes: one Write becomes several smaller ones with yields
+//     between them — the peer's reader sees torn frames and must
+//     reassemble across arbitrary boundaries.
+//   - Latency spikes and stalls: periodic injected delays — timeout and
+//     heartbeat paths, and slow-consumer policies, under jitter.
+//   - Resets: the connection is closed after a seeded byte budget,
+//     usually mid-frame — recovery, reconnect and resume paths.
+//
+// Reads are delayed but never corrupted or dropped: byte loss on a
+// stream is indistinguishable from a protocol bug, so loss is modeled at
+// the connection level (resets, CutAll), as on real TCP.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faults selects the fault classes to inject. The zero value injects
+// nothing (wrappers become transparent).
+type Faults struct {
+	// Seed drives every random decision; the i'th connection of a
+	// wrapper uses Seed+i, so one run's faults replay exactly.
+	Seed int64
+	// PartialWrites tears every Write larger than a few bytes into
+	// several random fragments with scheduler yields between them.
+	PartialWrites bool
+	// LatencyEvery injects a Spike delay on every Nth I/O operation per
+	// connection (0 disables).
+	LatencyEvery int
+	// Spike is the injected latency; 0 with LatencyEvery set means 2ms.
+	Spike time.Duration
+	// StallEvery injects a Stall delay on every Nth I/O operation per
+	// connection (0 disables) — the long-pause counterpart of
+	// LatencyEvery.
+	StallEvery int
+	// Stall is the injected pause; 0 with StallEvery set means 50ms.
+	Stall time.Duration
+	// ResetAfter closes the connection once about this many bytes have
+	// crossed it in either direction (jittered ±25% per connection, so a
+	// fleet of connections resets at different points — usually
+	// mid-frame). 0 disables.
+	ResetAfter int64
+}
+
+func (f Faults) withDefaults() Faults {
+	if f.LatencyEvery > 0 && f.Spike == 0 {
+		f.Spike = 2 * time.Millisecond
+	}
+	if f.StallEvery > 0 && f.Stall == 0 {
+		f.Stall = 50 * time.Millisecond
+	}
+	return f
+}
+
+// ErrInjectedReset reports a connection torn down by the ResetAfter
+// fault.
+var ErrInjectedReset = errors.New("faultnet: injected connection reset")
+
+// Conn wraps a net.Conn with fault injection. Create with Wrap.
+type Conn struct {
+	net.Conn
+	f Faults
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	resetAt int64 // byte budget; <=0 means no reset fault
+
+	ops   atomic.Int64
+	bytes atomic.Int64
+	reset atomic.Bool
+}
+
+// Wrap returns conn with the faults injected, seeded by f.Seed alone —
+// for a wrapper-managed sequence of connections use WrapListener or
+// Proxy, which derive one seed per connection.
+func Wrap(conn net.Conn, f Faults) *Conn { return wrap(conn, f, f.Seed) }
+
+func wrap(conn net.Conn, f Faults, seed int64) *Conn {
+	f = f.withDefaults()
+	c := &Conn{Conn: conn, f: f, rng: rand.New(rand.NewSource(seed))}
+	if f.ResetAfter > 0 {
+		// ±25% jitter: connections sharing a config reset at different
+		// byte positions, usually mid-frame.
+		c.resetAt = f.ResetAfter + int64(float64(f.ResetAfter)*(c.rng.Float64()-0.5)/2)
+		if c.resetAt < 1 {
+			c.resetAt = 1
+		}
+	}
+	return c
+}
+
+// delayFor applies the periodic latency and stall faults for one I/O
+// operation.
+func (c *Conn) delayFor() {
+	op := c.ops.Add(1)
+	if c.f.LatencyEvery > 0 && op%int64(c.f.LatencyEvery) == 0 {
+		time.Sleep(c.f.Spike)
+	}
+	if c.f.StallEvery > 0 && op%int64(c.f.StallEvery) == 0 {
+		time.Sleep(c.f.Stall)
+	}
+}
+
+// account charges n transferred bytes against the reset budget and trips
+// the reset once it is exhausted.
+func (c *Conn) account(n int) bool {
+	if c.resetAt <= 0 {
+		return false
+	}
+	if c.bytes.Add(int64(n)) >= c.resetAt && !c.reset.Swap(true) {
+		c.Conn.Close()
+	}
+	return c.reset.Load()
+}
+
+func (c *Conn) Read(b []byte) (int, error) {
+	if c.reset.Load() {
+		return 0, ErrInjectedReset
+	}
+	c.delayFor()
+	n, err := c.Conn.Read(b)
+	if c.account(n) && err != nil {
+		err = ErrInjectedReset
+	}
+	return n, err
+}
+
+func (c *Conn) Write(b []byte) (int, error) {
+	if c.reset.Load() {
+		return 0, ErrInjectedReset
+	}
+	c.delayFor()
+	if !c.f.PartialWrites || len(b) <= 4 {
+		n, err := c.Conn.Write(b)
+		if c.account(n) && err != nil {
+			err = ErrInjectedReset
+		}
+		return n, err
+	}
+	// Tear the write into random fragments with yields between them, so
+	// the peer's reader observes torn frames. The io.Writer contract is
+	// kept: all bytes are written unless an error stops us.
+	written := 0
+	for written < len(b) {
+		c.mu.Lock()
+		frag := 1 + c.rng.Intn(len(b)-written)
+		c.mu.Unlock()
+		n, err := c.Conn.Write(b[written : written+frag])
+		written += n
+		tripped := c.account(n)
+		if err != nil {
+			if tripped {
+				err = ErrInjectedReset
+			}
+			return written, err
+		}
+		if tripped {
+			return written, ErrInjectedReset
+		}
+		if written < len(b) {
+			time.Sleep(time.Microsecond) // yield so the peer can read a torn prefix
+		}
+	}
+	return written, nil
+}
+
+// Listener wraps every accepted connection with faults, deriving one
+// seed per connection. Create with WrapListener.
+type Listener struct {
+	net.Listener
+	f   Faults
+	idx atomic.Int64
+}
+
+// WrapListener returns ln with every accepted connection wrapped; the
+// i'th accepted connection is seeded f.Seed+i.
+func WrapListener(ln net.Listener, f Faults) *Listener {
+	return &Listener{Listener: ln, f: f}
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return wrap(conn, l.f, l.f.Seed+l.idx.Add(1)-1), nil
+}
+
+// Proxy is a faulty TCP relay with a stable front address: clients dial
+// Addr, the proxy dials the current backend per connection and relays
+// bytes through fault-injected conns. The backend can be swapped (a
+// restarted server on a new port keeps the same front address for
+// reconnecting clients), and CutAll resets every live relay at once.
+type Proxy struct {
+	f  Faults
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu      sync.Mutex
+	backend string
+	conns   map[net.Conn]struct{}
+	closed  bool
+	idx     int64
+}
+
+// NewProxy starts a proxy in front of backend (a host:port) on an
+// ephemeral localhost address.
+func NewProxy(backend string, f Faults) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: proxy listen: %w", err)
+	}
+	p := &Proxy{f: f, ln: ln, backend: backend, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's stable front address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetBackend points new connections at a different backend address;
+// existing relays keep their old backend until they die (CutAll them to
+// force the move).
+func (p *Proxy) SetBackend(addr string) {
+	p.mu.Lock()
+	p.backend = addr
+	p.mu.Unlock()
+}
+
+// CutAll closes every live relayed connection — both legs — simulating
+// a network partition or a crashed peer. New connections keep being
+// accepted (against the current backend), so reconnecting clients heal.
+func (p *Proxy) CutAll() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	clear(p.conns)
+	p.mu.Unlock()
+}
+
+// Close stops accepting, cuts every relay, and waits for the relay
+// goroutines to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.CutAll()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		front, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			front.Close()
+			return
+		}
+		backend := p.backend
+		seed := p.f.Seed + p.idx
+		p.idx++
+		p.mu.Unlock()
+
+		back, err := net.Dial("tcp", backend)
+		if err != nil {
+			front.Close()
+			continue
+		}
+		// Faults are injected on the front leg only; doubling them on the
+		// back leg would halve every byte budget.
+		faulty := wrap(front, p.f, seed)
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			front.Close()
+			back.Close()
+			return
+		}
+		p.conns[front] = struct{}{}
+		p.conns[back] = struct{}{}
+		p.mu.Unlock()
+
+		p.wg.Add(2)
+		go p.relay(faulty, back, front, back)
+		go p.relay(back, faulty, front, back)
+	}
+}
+
+// relay copies src to dst until either side dies, then closes both legs
+// and unregisters them.
+func (p *Proxy) relay(dst io.Writer, src io.Reader, front, back net.Conn) {
+	defer p.wg.Done()
+	_, _ = io.Copy(dst, src)
+	front.Close()
+	back.Close()
+	p.mu.Lock()
+	delete(p.conns, front)
+	delete(p.conns, back)
+	p.mu.Unlock()
+}

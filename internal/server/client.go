@@ -7,8 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gasf/internal/tuple"
@@ -87,6 +90,12 @@ type Publisher struct {
 	conn   net.Conn
 	schema *tuple.Schema
 	source string
+	// Resume hint from the handshake: the highest tuple sequence the
+	// server's durable log holds for this source (resumeOK false against
+	// a non-durable or pre-durability server; resumeSeq -1 on a durable
+	// server whose log holds nothing for the source).
+	resumeSeq int64
+	resumeOK  bool
 
 	mu      sync.Mutex
 	buf     []byte
@@ -109,15 +118,30 @@ func DialPublisherTimeout(addr, source string, schema *tuple.Schema, timeout tim
 	if err != nil {
 		return nil, err
 	}
-	conn, _, err := dialHello(addr, FrameSourceHello, hello, timeout)
+	conn, ok, err := dialHello(addr, FrameSourceHello, hello, timeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Publisher{conn: conn, schema: schema, source: source}, nil
+	p := &Publisher{conn: conn, schema: schema, source: source}
+	if seq, durable, err := DecodeSourceHelloOK(ok); err != nil {
+		conn.Close()
+		return nil, err
+	} else if durable {
+		p.resumeSeq, p.resumeOK = seq, true
+	}
+	return p, nil
 }
 
 // Source returns the advertised source name.
 func (p *Publisher) Source() string { return p.source }
+
+// ResumeHint returns the highest tuple sequence the server's durable
+// log already held for this source at the handshake (-1 for none), and
+// whether the server provided a hint at all (only durable servers do).
+// A reconnecting publisher republishes only the tuples of its unacked
+// window with sequences above the hint, keeping the durable stream
+// duplicate-free across the reconnect.
+func (p *Publisher) ResumeHint() (maxSeq int64, ok bool) { return p.resumeSeq, p.resumeOK }
 
 // Publish sends one tuple. Timestamps must be strictly increasing — the
 // group-aware engine's region algebra depends on it — and the tuple must
@@ -286,7 +310,7 @@ func (p *Publisher) PublishBatchContext(ctx context.Context, tuples []*tuple.Tup
 // previously published tuple to the shard runtime. When Sync returns,
 // a membership change applied afterwards (a Subscribe or a subscriber
 // departure) is ordered behind those tuples at the engine. It returns
-// ErrStreamEnded if the server is draining.
+// ErrServerDraining if the server is draining.
 func (p *Publisher) Sync(ctx context.Context) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -313,7 +337,7 @@ func (p *Publisher) Sync(ctx context.Context) error {
 				// A stale pong from an earlier timed-out Sync; keep
 				// waiting for ours.
 			case FrameGoodbye:
-				return ErrStreamEnded
+				return goodbyeEnd(payload)
 			case FrameError:
 				return fmt.Errorf("server: remote error: %s", payload)
 			default:
@@ -380,6 +404,10 @@ type Subscriber struct {
 	labelViews [][]byte
 	labels     wire.Interner
 
+	// qos holds the float64 bits of the last FrameQoS announcement
+	// (0 until any arrives, read as scale 1).
+	qos atomic.Uint64
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -419,6 +447,14 @@ type SubDialOpts struct {
 	ResumeFrom uint64
 	// Timeout bounds the dial plus handshake; 0 means the 5s default.
 	Timeout time.Duration
+	// RecvBuffer, when positive, pins the connection's kernel receive
+	// buffer to roughly this many bytes (and disables its autotuning).
+	// By default the kernel grows the buffer by megabytes for a slow
+	// reader, absorbing a large backlog before TCP backpressure reaches
+	// the server — which delays the server's slow-consumer policy
+	// (block, drop, degrade) from seeing a lagging consumer. A bounded
+	// buffer makes consumer lag propagate promptly.
+	RecvBuffer int
 }
 
 // DialSubscriberOpts joins a source's group with explicit session
@@ -437,6 +473,11 @@ func DialSubscriberOpts(addr, app, source, spec string, o SubDialOpts) (*Subscri
 		conn.Close()
 		return nil, err
 	}
+	if o.RecvBuffer > 0 {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetReadBuffer(o.RecvBuffer)
+		}
+	}
 	return &Subscriber{
 		conn:   conn,
 		br:     bufio.NewReaderSize(conn, 32<<10),
@@ -454,6 +495,17 @@ func (c *Subscriber) App() string { return c.app }
 
 // Source returns the subscribed source name.
 func (c *Subscriber) Source() string { return c.source }
+
+// QoS returns the granularity scale the server last announced for this
+// session with a FrameQoS frame: 1 until any announcement (and always 1
+// outside the degrade slow-consumer policy), larger once the server has
+// coarsened the session's effective spec to survive overload.
+func (c *Subscriber) QoS() float64 {
+	if bits := c.qos.Load(); bits != 0 {
+		return math.Float64frombits(bits)
+	}
+	return 1
+}
 
 // Recv blocks for the next delivery. It returns io.EOF-wrapped errors on
 // disconnect and a nil Delivery with ErrStreamEnded once the server ends
@@ -481,10 +533,15 @@ func (c *Subscriber) Recv() (*Delivery, error) {
 			return &Delivery{Tuple: t, Destinations: dests, ReceivedAt: time.Now(), Offset: offset}, nil
 		case FrameHeartbeat:
 			continue
+		case FrameQoS:
+			if err := c.noteQoS(payload); err != nil {
+				return nil, err
+			}
+			continue
 		case FrameGoodbye:
-			return nil, ErrStreamEnded
+			return nil, goodbyeEnd(payload)
 		case FrameError:
-			return nil, fmt.Errorf("server: remote error: %s", payload)
+			return nil, remoteError(payload)
 		default:
 			return nil, fmt.Errorf("server: unexpected frame kind %d", kind)
 		}
@@ -530,10 +587,15 @@ func (c *Subscriber) RecvInto(d *Delivery) error {
 			return nil
 		case FrameHeartbeat:
 			continue
+		case FrameQoS:
+			if err := c.noteQoS(payload); err != nil {
+				return err
+			}
+			continue
 		case FrameGoodbye:
-			return ErrStreamEnded
+			return goodbyeEnd(payload)
 		case FrameError:
-			return fmt.Errorf("server: remote error: %s", payload)
+			return remoteError(payload)
 		default:
 			return fmt.Errorf("server: unexpected frame kind %d", kind)
 		}
@@ -624,10 +686,10 @@ func (c *Subscriber) Leave(ctx context.Context) error {
 			case FrameGoodbye:
 				return nil
 			case FrameError:
-				return fmt.Errorf("server: remote error: %s", payload)
+				return remoteError(payload)
 			default:
-				// Transmissions and heartbeats still in flight are
-				// discarded; the application is leaving.
+				// Transmissions, heartbeats and QoS frames still in flight
+				// are discarded; the application is leaving.
 			}
 		}
 	})
@@ -638,5 +700,48 @@ func (c *Subscriber) Leave(ctx context.Context) error {
 	return cerr
 }
 
+// noteQoS records a FrameQoS announcement for QoS().
+func (c *Subscriber) noteQoS(payload []byte) error {
+	scale, err := DecodeQoS(payload)
+	if err != nil {
+		return err
+	}
+	c.qos.Store(math.Float64bits(scale))
+	return nil
+}
+
+// remoteError types a server error-frame payload: slow-consumer
+// eviction notices map onto ErrEvicted, everything else stays a generic
+// remote error.
+func remoteError(payload []byte) error {
+	if msg, ok := strings.CutPrefix(string(payload), evictPrefix); ok {
+		return fmt.Errorf("%w: %s", ErrEvicted, msg)
+	}
+	return fmt.Errorf("server: remote error: %s", payload)
+}
+
 // ErrStreamEnded reports a graceful end of a subscription stream.
 var ErrStreamEnded = fmt.Errorf("server: stream ended")
+
+// ErrServerDraining reports a stream end caused by server shutdown or
+// drain (a goodbye frame tagged "drain") rather than by the source
+// finishing. It wraps ErrStreamEnded, so callers treating every graceful
+// end alike keep working; reconnect-aware clients distinguish it to
+// re-establish their sessions against a restarted server.
+var ErrServerDraining = fmt.Errorf("%w: server draining", ErrStreamEnded)
+
+// goodbyeEnd types a received goodbye frame by its payload tag: a
+// shutdown/drain goodbye maps to ErrServerDraining, a plain stream end
+// to ErrStreamEnded.
+func goodbyeEnd(payload []byte) error {
+	if string(payload) == goodbyeDrainTag {
+		return ErrServerDraining
+	}
+	return ErrStreamEnded
+}
+
+// ErrEvicted reports that the server evicted this subscriber session
+// under its slow-consumer policy (for example past EvictAfterDrops).
+// Recv errors wrap it together with the server's reason; test with
+// errors.Is.
+var ErrEvicted = errors.New("server: subscriber evicted")

@@ -37,6 +37,11 @@ type counters struct {
 	closedDrain      atomic.Uint64
 	closedFinished   atomic.Uint64
 	gapReconnects    atomic.Uint64
+	gapNotifications atomic.Uint64
+	// Degrade-policy control actions and drop-threshold evictions.
+	qosDegrades         atomic.Uint64
+	qosRestores         atomic.Uint64
+	subscriberEvictions atomic.Uint64
 }
 
 // Counters is a point-in-time snapshot of the server session counters.
@@ -62,6 +67,12 @@ type Counters struct {
 	// than SourceTimeout ago.
 	ClosedFlowGap, ClosedDisconnect, ClosedDrain, ClosedFinished uint64
 	GapReconnects                                                uint64
+	// GapNotifications counts OnSourceGap hook invocations (deadman
+	// notifications for flow-gap closures).
+	GapNotifications uint64
+	// QoSDegrades and QoSRestores count degrade-policy scale changes;
+	// SubscriberEvictions counts sessions evicted past EvictAfterDrops.
+	QoSDegrades, QoSRestores, SubscriberEvictions uint64
 }
 
 // Counters snapshots the session counters.
@@ -97,6 +108,10 @@ func (s *Server) Counters() Counters {
 		ClosedDrain:         s.ctr.closedDrain.Load(),
 		ClosedFinished:      s.ctr.closedFinished.Load(),
 		GapReconnects:       s.ctr.gapReconnects.Load(),
+		GapNotifications:    s.ctr.gapNotifications.Load(),
+		QoSDegrades:         s.ctr.qosDegrades.Load(),
+		QoSRestores:         s.ctr.qosRestores.Load(),
+		SubscriberEvictions: s.ctr.subscriberEvictions.Load(),
 	}
 }
 
@@ -152,6 +167,14 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	x.SampleU(c.ClosedFinished, telemetry.Label{Name: "reason", Value: "finished"})
 	x.Counter("gasf_source_gap_reconnects_total", "Sources that reconnected after a detected flow gap.")
 	x.SampleU(c.GapReconnects)
+	x.Counter("gasf_gap_notifications_total", "Deadman notifications issued for flow-gap source closures.")
+	x.SampleU(c.GapNotifications)
+	x.Counter("gasf_qos_degrades_total", "Degrade-policy scale increases (quality coarsened under pressure).")
+	x.SampleU(c.QoSDegrades, policy)
+	x.Counter("gasf_qos_restores_total", "Degrade-policy scale decreases (quality restored after calm).")
+	x.SampleU(c.QoSRestores, policy)
+	x.Counter("gasf_subscriber_evictions_total", "Subscriber sessions evicted by the slow-consumer policy.")
+	x.SampleU(c.SubscriberEvictions, policy)
 
 	if s.wheel != nil {
 		ws := s.wheel.Stats()

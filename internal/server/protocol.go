@@ -32,6 +32,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 
 	"gasf/internal/tuple"
 	"gasf/internal/wire"
@@ -55,7 +56,11 @@ const (
 	FrameTransmission byte = 6
 	// FrameHeartbeat is an empty liveness frame.
 	FrameHeartbeat byte = 7
-	// FrameGoodbye announces a graceful end of stream.
+	// FrameGoodbye announces a graceful end of stream. An empty payload
+	// is a plain end (the source finished); the payload goodbyeDrainTag
+	// marks an end forced by server shutdown or drain, which
+	// reconnect-aware clients treat as an invitation to re-establish the
+	// session against a restarted server.
 	FrameGoodbye byte = 8
 	// FramePing is a publish barrier (source -> server): the server
 	// submits every tuple received before it to the shard ring, then
@@ -72,7 +77,22 @@ const (
 	// form so every delivery names the checkpoint to resume after;
 	// non-durable servers keep the offset-less FrameTransmission.
 	FrameTransmissionOff byte = 11
+	// FrameQoS announces a quality-of-service change to a subscriber
+	// (server -> subscriber) under the degrade slow-consumer policy: the
+	// payload is the u64 little-endian bit pattern of the float64
+	// granularity scale now applied to the session's filter (1 = the
+	// subscribed quality, larger = coarser). Informational — the
+	// delivery stream itself is unchanged in framing, only in content.
+	FrameQoS byte = 12
 )
+
+// goodbyeDrainTag is the FrameGoodbye payload marking a stream end
+// forced by server shutdown or drain rather than by the source
+// finishing; clients map it to ErrServerDraining.
+const goodbyeDrainTag = "drain"
+
+// goodbyeDrainPayload is the drain tag as a reusable frame payload.
+var goodbyeDrainPayload = []byte(goodbyeDrainTag)
 
 // SubProtoVersion is the subscriber protocol version this package
 // speaks. Version 2 (the durability bump) adds the trailing
@@ -340,6 +360,59 @@ func decodeSchema(data []byte) (*tuple.Schema, int, error) {
 		return nil, 0, fmt.Errorf("server: %w", err)
 	}
 	return s, off, nil
+}
+
+// EncodeQoS encodes a FrameQoS payload.
+func EncodeQoS(scale float64) []byte {
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], math.Float64bits(scale))
+	return p[:]
+}
+
+// DecodeQoS decodes a FrameQoS payload.
+func DecodeQoS(data []byte) (float64, error) {
+	if len(data) != 8 {
+		return 0, fmt.Errorf("server: bad QoS frame length %d", len(data))
+	}
+	scale := math.Float64frombits(binary.LittleEndian.Uint64(data))
+	if !(scale > 0) || math.IsInf(scale, 0) {
+		return 0, fmt.Errorf("server: bad QoS scale %g", scale)
+	}
+	return scale, nil
+}
+
+// EncodeSourceHelloOK encodes the source hello-ok payload. A non-durable
+// server sends an empty payload (also what pre-durability servers sent,
+// so old publishers need no change). A durable server advertises a
+// resume hint: the highest tuple sequence its log holds for this source
+// (maxSeq < 0 when the log is empty), which a reconnecting publisher
+// uses to trim its republish window to exactly the tuples the log never
+// saw.
+func EncodeSourceHelloOK(maxSeq int64, durable bool) []byte {
+	if !durable {
+		return nil
+	}
+	if maxSeq < 0 {
+		return []byte{0}
+	}
+	buf := make([]byte, 1, 9)
+	buf[0] = 1
+	return binary.LittleEndian.AppendUint64(buf, uint64(maxSeq))
+}
+
+// DecodeSourceHelloOK decodes a source hello-ok payload; durable is
+// false for the empty (non-durable or legacy) form, and maxSeq is -1
+// when a durable log holds nothing for the source.
+func DecodeSourceHelloOK(data []byte) (maxSeq int64, durable bool, err error) {
+	switch {
+	case len(data) == 0:
+		return 0, false, nil
+	case data[0] == 0 && len(data) == 1:
+		return -1, true, nil
+	case data[0] == 1 && len(data) == 9:
+		return int64(binary.LittleEndian.Uint64(data[1:])), true, nil
+	}
+	return 0, false, fmt.Errorf("server: malformed source hello-ok (%d bytes)", len(data))
 }
 
 // EncodeSchema encodes a schema payload (the hello-ok body sent to

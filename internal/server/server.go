@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gasf/internal/adapt"
 	"gasf/internal/core"
 	"gasf/internal/flowgap"
 	"gasf/internal/intern"
@@ -38,6 +39,15 @@ const (
 	// PolicyDrop discards the delivery and counts it, keeping fast
 	// subscribers and publishers unaffected by a slow one.
 	PolicyDrop
+	// PolicyDegrade keeps PolicyBlock's zero-loss backpressure but adds
+	// a per-subscriber adaptive controller: under sustained queue
+	// pressure (or past the delivery-p99 watermark) a subscriber whose
+	// filter implements adapt.Scalable has its effective quality spec
+	// coarsened stepwise at tuple boundaries through the live control
+	// path, each change announced with a FrameQoS frame, and restored
+	// stepwise with hysteresis once pressure clears. A subscriber whose
+	// filter is not Scalable degrades to plain blocking.
+	PolicyDegrade
 )
 
 // String implements fmt.Stringer.
@@ -47,20 +57,24 @@ func (p Policy) String() string {
 		return "block"
 	case PolicyDrop:
 		return "drop"
+	case PolicyDegrade:
+		return "degrade"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
 }
 
-// ParsePolicy reads a policy name ("block" or "drop").
+// ParsePolicy reads a policy name ("block", "drop" or "degrade").
 func ParsePolicy(s string) (Policy, error) {
 	switch s {
 	case "block":
 		return PolicyBlock, nil
 	case "drop":
 		return PolicyDrop, nil
+	case "degrade":
+		return PolicyDegrade, nil
 	default:
-		return 0, fmt.Errorf("server: unknown slow-consumer policy %q (want block or drop)", s)
+		return 0, fmt.Errorf("server: unknown slow-consumer policy %q (want block, drop or degrade)", s)
 	}
 }
 
@@ -81,8 +95,35 @@ type Config struct {
 	// MaxSubscriberQueue caps the per-session queue depth a subscriber
 	// may request (memory protection); 0 means 65536.
 	MaxSubscriberQueue int
-	// Policy selects the slow-consumer policy (block or drop).
+	// Policy selects the slow-consumer policy (block, drop or degrade).
 	Policy Policy
+	// Degrade tunes the per-subscriber degrade controller used by
+	// PolicyDegrade (watermarks, step, cooldown, restore hysteresis);
+	// zero values take the adapt.Governor defaults. Ignored under other
+	// policies.
+	Degrade adapt.GovernorConfig
+	// SubscriberSendBuffer, when positive, pins each subscriber
+	// connection's kernel send buffer to roughly this many bytes (and
+	// disables its autotuning). By default the kernel absorbs a large
+	// backlog for a slow consumer before writes block, which delays the
+	// slow-consumer policy — the delivery queue only backs up once TCP
+	// backpressure reaches the write loop. A bounded buffer makes a
+	// lagging consumer visible to the policy promptly, at the cost of
+	// burst-absorption headroom. 0 keeps the OS default.
+	SubscriberSendBuffer int
+	// EvictAfterDrops, under PolicyDrop, evicts a subscriber once this
+	// many of its deliveries have been dropped: the session ends with a
+	// typed eviction notice (an error frame the client surfaces as
+	// ErrEvicted) instead of thinning silently forever. 0 disables
+	// drop-count eviction.
+	EvictAfterDrops int
+	// OnSourceGap, when set, is invoked once per flow-gap expiry — a
+	// source closed because it went silent past SourceTimeout — with the
+	// source name and how long it had been silent. It runs on its own
+	// goroutine (the scan loop never waits on it), so it may block, e.g.
+	// on a webhook POST. Invocations are counted in
+	// gasf_gap_notifications_total.
+	OnSourceGap func(source string, silentFor time.Duration)
 	// HeartbeatInterval paces server->subscriber heartbeats and the
 	// stalled-source scan; 0 means 2s.
 	HeartbeatInterval time.Duration
@@ -313,6 +354,13 @@ type Server struct {
 // Start listens and serves until Shutdown or Close.
 func Start(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Policy == PolicyDegrade {
+		// Surface a bad controller config here, not at the first
+		// subscriber handshake.
+		if _, err := adapt.NewGovernor(cfg.Degrade); err != nil {
+			return nil, err
+		}
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -452,6 +500,12 @@ func (s *Server) expireSource(data any, lag time.Duration) {
 	s.ctr.sourcesExpired.Add(1)
 	s.expiryLag.Observe(lag)
 	s.lg.Warn("source expired", "source", src.name, "silent_for", s.cfg.SourceTimeout, "lag", lag)
+	if s.cfg.OnSourceGap != nil {
+		// Deadman notification, off the scan loop: the hook may block on
+		// external delivery (webhook, pager) without stalling detection.
+		s.ctr.gapNotifications.Add(1)
+		go s.cfg.OnSourceGap(src.name, s.cfg.SourceTimeout+lag)
+	}
 	src.conn.Close()
 }
 
@@ -539,11 +593,52 @@ func (s *Server) serveSource(conn net.Conn, hello []byte) {
 	}
 	s.ctr.sourcesAccepted.Add(1)
 	s.lg.Info("source connected", "source", name, "remote", conn.RemoteAddr().String(), "schema", schema)
-	if err := WriteFrame(conn, FrameHelloOK, nil); err != nil {
+	if err := WriteFrame(conn, FrameHelloOK, s.sourceResumeHint(name, schema)); err != nil {
 		s.finishSource(src, fmt.Errorf("hello-ok: %w", err))
 		return
 	}
 	s.readSource(src)
+}
+
+// resumeHintTail bounds how many log-tail records the source hello-ok
+// hint scans for the highest logged tuple sequence. Reconnecting
+// publishers keep unacked windows far larger than this, but every tuple
+// past the last Sync barrier that actually reached the log lands in the
+// tail the publisher republishes next — so the maximum over a bounded
+// tail is the maximum that matters.
+const resumeHintTail = 32
+
+// sourceResumeHint builds the source hello-ok payload: on a durable
+// server it names the highest tuple sequence found near the log head for
+// this source, so a reconnecting publisher can trim its republish window
+// to the tuples the log never saw instead of double-logging the overlap.
+// Best-effort: when the tail does not decode under this session's schema
+// (the source came back shaped differently), no hint is sent — a wrong
+// hint could silently drop tuples, a missing one only risks duplicates.
+func (s *Server) sourceResumeHint(name string, schema *tuple.Schema) []byte {
+	if s.log == nil {
+		return nil
+	}
+	head := s.log.NextOffset(name)
+	from := uint64(0)
+	if head > resumeHintTail {
+		from = head - resumeHintTail
+	}
+	maxSeq := int64(-1)
+	err := s.log.Read(name, from, head, func(_ uint64, payload []byte) error {
+		t, _, _, err := wire.DecodeTransmission(schema, payload)
+		if err != nil {
+			return err
+		}
+		if int64(t.Seq) > maxSeq {
+			maxSeq = int64(t.Seq)
+		}
+		return nil
+	})
+	if err != nil && head > 0 {
+		return nil
+	}
+	return EncodeSourceHelloOK(maxSeq, true)
 }
 
 // Ingest read-buffer sizing: every session starts on a small buffer —
@@ -862,8 +957,26 @@ func (s *Server) serveSubscriber(conn net.Conn, hello []byte) {
 	if queue > s.cfg.MaxSubscriberQueue {
 		queue = s.cfg.MaxSubscriberQueue
 	}
+	if s.cfg.SubscriberSendBuffer > 0 {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetWriteBuffer(s.cfg.SubscriberSendBuffer)
+		}
+	}
 	sub := newSubscriber(s, app, source, conn, queue)
 	sub.resume, sub.resumeFrom = h.Resume, h.ResumeFrom
+	if s.cfg.Policy == PolicyDegrade {
+		if sc, ok := f.(adapt.Scalable); ok {
+			// Config validated at Start; a fresh governor per session keeps
+			// each subscriber's trajectory independent.
+			gov, gerr := adapt.NewGovernor(s.cfg.Degrade)
+			if gerr != nil {
+				s.mu.Unlock()
+				s.reject(conn, gerr)
+				return
+			}
+			sub.gov, sub.scalable = gov, sc
+		}
+	}
 	if s.subs[source] == nil {
 		s.subs[source] = make(map[string]*subscriber)
 	}
@@ -910,6 +1023,10 @@ func (s *Server) serveSubscriber(conn net.Conn, hello []byte) {
 	s.lg.Info("subscriber joined", "app", app, "source", source, "spec", spec)
 	s.connWG.Add(1)
 	go sub.writeLoop()
+	if sub.gov != nil {
+		s.connWG.Add(1)
+		go sub.scaleLoop()
+	}
 	sub.readLoop() // returns when the client leaves or the session ends
 }
 
@@ -1102,12 +1219,14 @@ func (s *Server) shutdown(ctx context.Context) error {
 	s.ln.Close()
 	close(s.stop)
 
-	// Each publisher gets a goodbye and a read deadline: its reader
-	// drains the tuples already in flight, then goes down the normal
-	// finish path — engine Finish, tail flush, subscriber goodbye.
+	// Each publisher gets a drain-tagged goodbye and a read deadline: its
+	// reader drains the tuples already in flight, then goes down the
+	// normal finish path — engine Finish, tail flush, subscriber goodbye.
+	// The tag lets a reconnect-aware publisher distinguish this forced
+	// end from its own Finish and redial a restarted server.
 	for _, src := range srcs {
 		src.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		_ = WriteFrame(src.conn, FrameGoodbye, nil)
+		_ = WriteFrame(src.conn, FrameGoodbye, goodbyeDrainPayload)
 		src.conn.SetReadDeadline(time.Now().Add(s.cfg.DrainGrace))
 	}
 

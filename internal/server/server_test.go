@@ -550,6 +550,104 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 }
 
+// TestDrainGoodbyeTagged pins the two flavors of stream end apart: a
+// source finishing yields plain ErrStreamEnded, while a server shutdown
+// tags its goodbyes so both publisher and subscriber sessions surface
+// ErrServerDraining (still wrapping ErrStreamEnded for callers that
+// treat every graceful end alike). Reconnect-aware clients depend on
+// the distinction to redial a restarted server instead of latching the
+// end as final.
+func TestDrainGoodbyeTagged(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// A source-finish end must stay untagged.
+	s1 := startServer(t, Config{})
+	sr := stepSeries(t, 10, 0)
+	pub1, err := DialPublisher(s1.Addr().String(), "src", sr.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub1, err := DialSubscriber(s1.Addr().String(), "A", "src", "DC1(v, 0.5, 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sr.Len(); i++ {
+		if err := pub1.Publish(sr.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pub1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, err := sub1.Recv()
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrStreamEnded) {
+			t.Fatalf("finish end: %v, want ErrStreamEnded", err)
+		}
+		if errors.Is(err, ErrServerDraining) {
+			t.Fatalf("finish end tagged as server drain: %v", err)
+		}
+		break
+	}
+
+	// A shutdown-forced end must be tagged on both session kinds.
+	s2, err := Start(Config{Logf: t.Logf, DrainGrace: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s2.Shutdown(ctx) })
+	pub, err := DialPublisher(s2.Addr().String(), "src", sr.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub2, err := DialSubscriber(s2.Addr().String(), "A", "src", "DC1(v, 0.5, 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sr.Len(); i++ {
+		if err := pub.Publish(sr.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pub.Sync(ctx); err != nil {
+		t.Fatalf("pre-shutdown sync: %v", err)
+	}
+	subErr := make(chan error, 1)
+	go func() {
+		for {
+			if _, err := sub2.Recv(); err != nil {
+				subErr <- err
+				return
+			}
+		}
+	}()
+	shutDone := make(chan struct{})
+	go func() { defer close(shutDone); s2.Shutdown(ctx) }()
+	// The shutdown goodbye is queued ahead of any later pong, so the
+	// first Sync to read past it sees the tag.
+	var syncErr error
+	for syncErr == nil {
+		syncErr = pub.Sync(ctx)
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !errors.Is(syncErr, ErrServerDraining) || !errors.Is(syncErr, ErrStreamEnded) {
+		t.Fatalf("publisher sync across shutdown: %v, want ErrServerDraining wrapping ErrStreamEnded", syncErr)
+	}
+	select {
+	case err := <-subErr:
+		if !errors.Is(err, ErrServerDraining) || !errors.Is(err, ErrStreamEnded) {
+			t.Fatalf("subscriber end across shutdown: %v, want ErrServerDraining wrapping ErrStreamEnded", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("subscriber stream never ended across shutdown")
+	}
+	<-shutDone
+}
+
 // waitFor polls until cond holds or the deadline passes.
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()

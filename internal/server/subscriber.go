@@ -4,11 +4,15 @@ import (
 	"bufio"
 	"encoding/binary"
 	"errors"
+	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"gasf/internal/adapt"
+	"gasf/internal/core"
 	"gasf/internal/telemetry"
 	"gasf/internal/wire"
 )
@@ -65,6 +69,32 @@ type subscriber struct {
 	lat *telemetry.LatencyPair
 
 	dropped atomic.Uint64
+
+	// Degrade-policy state (PolicyDegrade with a Scalable filter only;
+	// gov is nil otherwise). The governor is driven from sendBatch —
+	// one shard worker serializes all sends for a source, so it needs no
+	// lock. scalable is the session's live filter: SetScale must only
+	// run inside a Runtime.Control closure (tuple boundary, owning
+	// worker), which is why decisions go through the applier goroutine
+	// (scaleLoop) instead of being applied inline.
+	gov      *adapt.Governor
+	scalable adapt.Scalable
+	// scaleKick wakes the applier; targetScale carries the float64 bits
+	// of the governor's latest decision. Kicks coalesce — applying only
+	// the newest target is correct because targets are absolute.
+	scaleKick   chan struct{}
+	targetScale atomic.Uint64
+	// qosKick asks the writer to announce the applied scale (qosScale,
+	// float64 bits) to the client with a FrameQoS frame.
+	qosKick  chan struct{}
+	qosScale atomic.Uint64
+
+	// evictKick asks the writer to end the session with a typed notice:
+	// an "evicted: reason" error frame, then disconnect. evictReason is
+	// written once (evictOnce) before the kick.
+	evictKick   chan struct{}
+	evictReason string
+	evictOnce   sync.Once
 }
 
 func newSubscriber(s *Server, app, source string, conn net.Conn, queue int) *subscriber {
@@ -76,7 +106,11 @@ func newSubscriber(s *Server, app, source string, conn net.Conn, queue int) *sub
 		out:        make(chan *frameBatch, queue),
 		done:       make(chan struct{}),
 		writerDone: make(chan struct{}),
+		scaleKick:  make(chan struct{}, 1),
+		qosKick:    make(chan struct{}, 1),
+		evictKick:  make(chan struct{}, 1),
 	}
+	sub.targetScale.Store(math.Float64bits(1))
 	if s.tel != nil {
 		sub.lat = telemetry.NewLatencyPair()
 	}
@@ -107,12 +141,91 @@ func (sub *subscriber) sendBatch(b *frameBatch) {
 		default:
 			sub.drop(b, n)
 		}
+	case PolicyDegrade:
+		// Zero-loss like block; additionally, each hand-off feeds the
+		// governor one pressure sample so a backlog tightens the
+		// subscriber's effective spec instead of stalling the pipeline
+		// indefinitely.
+		sub.observePressure()
+		select {
+		case sub.out <- b:
+			sub.enqueued(n)
+		case <-sub.done:
+			sub.drop(b, n)
+		}
 	default: // PolicyBlock
 		select {
 		case sub.out <- b:
 			sub.enqueued(n)
 		case <-sub.done:
 			sub.drop(b, n)
+		}
+	}
+}
+
+// observePressure feeds the degrade governor one sample — queue
+// occupancy plus the session's delivery-p99 estimate — and hands any
+// scale change to the applier. Runs on the source's owning shard
+// worker, which serializes all sends for this subscriber, so the
+// governor state needs no lock.
+func (sub *subscriber) observePressure() {
+	if sub.gov == nil {
+		return
+	}
+	var p99 time.Duration
+	if sub.lat != nil {
+		p99 = sub.lat.Snapshot().P99
+	}
+	scale, changed := sub.gov.Observe(time.Now(), len(sub.out), cap(sub.out), p99)
+	if !changed {
+		return
+	}
+	prev := math.Float64frombits(sub.targetScale.Load())
+	sub.targetScale.Store(math.Float64bits(scale))
+	if scale > prev {
+		sub.s.ctr.qosDegrades.Add(1)
+		sub.s.lg.Info("subscriber degraded", "app", sub.app, "source", sub.source, "scale", scale, "queue", len(sub.out), "p99", p99)
+	} else {
+		sub.s.ctr.qosRestores.Add(1)
+		sub.s.lg.Info("subscriber restored", "app", sub.app, "source", sub.source, "scale", scale)
+	}
+	select {
+	case sub.scaleKick <- struct{}{}:
+	default:
+	}
+}
+
+// scaleLoop applies governor decisions to the session's live filter.
+// SetScale must run at a tuple boundary on the source's owning worker,
+// and Control must never be called from that worker (it would enqueue
+// into the ring the worker itself drains), so the applier is its own
+// goroutine: the sender records a target and kicks; the applier applies
+// the newest target, then hands the announcement to the writer.
+func (sub *subscriber) scaleLoop() {
+	defer sub.s.connWG.Done()
+	for {
+		select {
+		case <-sub.done:
+			return
+		case <-sub.writerDone:
+			return
+		case <-sub.scaleKick:
+		}
+		target := math.Float64frombits(sub.targetScale.Load())
+		err := sub.s.runtimeOp(func() error {
+			return sub.s.rt.Control(sub.source, func(*core.Engine) error {
+				return sub.scalable.SetScale(target)
+			})
+		})
+		if err != nil {
+			// The source is finishing or the server draining; the session
+			// is about to end anyway.
+			continue
+		}
+		sub.qosScale.Store(math.Float64bits(target))
+		select {
+		case sub.qosKick <- struct{}{}:
+		default:
 		}
 	}
 }
@@ -135,8 +248,38 @@ func (sub *subscriber) enqueued(n uint64) {
 
 func (sub *subscriber) drop(b *frameBatch, n uint64) {
 	b.releaseAll()
-	sub.dropped.Add(n)
+	dropped := sub.dropped.Add(n)
 	sub.s.ctr.subscriberDrops.Add(n)
+	if limit := sub.s.cfg.EvictAfterDrops; limit > 0 && dropped >= uint64(limit) {
+		sub.evict(fmt.Sprintf("%d deliveries dropped (limit %d)", dropped, limit))
+	}
+}
+
+// evictPrefix tags slow-consumer eviction notices inside error frames,
+// so clients can surface a typed ErrEvicted instead of a generic remote
+// error.
+const evictPrefix = "evicted: "
+
+// evict asks the writer to end the session with a typed eviction
+// notice. Unlike the write-timeout eviction (where the socket itself is
+// the problem), a drop-threshold eviction happens while the connection
+// is writable, so the notice is deliverable.
+func (sub *subscriber) evict(reason string) {
+	sub.evictOnce.Do(func() {
+		select {
+		case <-sub.done:
+			// Already departed; drops past the end are not an eviction.
+			return
+		default:
+		}
+		sub.evictReason = reason
+		sub.s.ctr.subscriberEvictions.Add(1)
+		sub.s.lg.Warn("subscriber evicted", "app", sub.app, "source", sub.source, "reason", reason)
+		select {
+		case sub.evictKick <- struct{}{}:
+		default:
+		}
+	})
 }
 
 // leave marks the subscriber gone: sink sends stop blocking on it and the
@@ -272,8 +415,15 @@ func (sub *subscriber) writeLoop() {
 	}
 	var e egress
 	goodbye := func() {
+		// A stream end during server drain is tagged so reconnect-aware
+		// subscribers resume against a restarted server instead of
+		// treating the end as the source finishing.
+		var payload []byte
+		if sub.s.isDraining() {
+			payload = goodbyeDrainPayload
+		}
 		sub.conn.SetWriteDeadline(time.Now().Add(sub.s.cfg.WriteTimeout))
-		_ = WriteFrame(sub.conn, FrameGoodbye, nil)
+		_ = WriteFrame(sub.conn, FrameGoodbye, payload)
 		sub.leave()
 		sub.conn.Close()
 	}
@@ -315,6 +465,22 @@ func (sub *subscriber) writeLoop() {
 				goodbye()
 				return
 			}
+		case <-sub.qosKick:
+			sub.conn.SetWriteDeadline(time.Now().Add(sub.s.cfg.WriteTimeout))
+			if err := WriteFrame(sub.conn, FrameQoS, EncodeQoS(math.Float64frombits(sub.qosScale.Load()))); err != nil {
+				sub.s.removeSubscriber(sub)
+				sub.conn.Close()
+				return
+			}
+		case <-sub.evictKick:
+			// Best-effort notice, then disconnect: the reason rides an
+			// error frame so the client sees a typed eviction, not a bare
+			// EOF.
+			sub.conn.SetWriteDeadline(time.Now().Add(sub.s.cfg.WriteTimeout))
+			_ = WriteFrame(sub.conn, FrameError, []byte(evictPrefix+sub.evictReason))
+			sub.s.removeSubscriber(sub)
+			sub.conn.Close()
+			return
 		case <-hb.C:
 			sub.conn.SetWriteDeadline(time.Now().Add(sub.s.cfg.WriteTimeout))
 			if err := WriteFrame(sub.conn, FrameHeartbeat, nil); err != nil {

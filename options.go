@@ -2,6 +2,7 @@ package gasf
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"gasf/internal/seglog"
@@ -17,18 +18,20 @@ import (
 
 // brokerConfig is the resolved option set.
 type brokerConfig struct {
-	remote      bool // set by Dial before options apply
-	engine      Options
-	subQueue    int
-	maxSubQueue int
-	policy      SlowPolicy
-	dialTimeout time.Duration
-	dataDir     string
-	seglog      seglog.Options
-	telemetry   int
-	srcTimeout  time.Duration
-	scanEvery   time.Duration
-	err         error
+	remote          bool // set by Dial before options apply
+	engine          Options
+	subQueue        int
+	maxSubQueue     int
+	policy          SlowPolicy
+	evictAfterDrops int
+	dialTimeout     time.Duration
+	reconnect       *Backoff
+	dataDir         string
+	seglog          seglog.Options
+	telemetry       int
+	srcTimeout      time.Duration
+	scanEvery       time.Duration
+	err             error
 }
 
 func (c *brokerConfig) fail(format string, args ...any) {
@@ -45,6 +48,7 @@ type subConfig struct {
 	queue      int
 	resume     bool
 	resumeFrom uint64
+	recvBuffer int
 	err        error
 }
 
@@ -169,14 +173,31 @@ func WithMaxSubscriberQueue(n int) Option {
 
 // WithSlowPolicy selects how a full subscription delivery queue is
 // treated: PolicyBlock applies backpressure up to the publishers,
-// PolicyDrop discards deliveries to the slow subscriber and counts them.
+// PolicyDrop discards deliveries to the slow subscriber and counts them,
+// and PolicyDegrade blocks while adaptively coarsening the precision of
+// pressured subscriptions whose filters support scaling (restored
+// stepwise once the pressure clears).
 func WithSlowPolicy(p SlowPolicy) Option {
 	return embeddedOption{"WithSlowPolicy", func(c *brokerConfig) {
-		if p != PolicyBlock && p != PolicyDrop {
+		if p != PolicyBlock && p != PolicyDrop && p != PolicyDegrade {
 			c.fail("WithSlowPolicy(%v): unknown policy", p)
 			return
 		}
 		c.policy = p
+	}}
+}
+
+// WithEvictAfterDrops evicts a PolicyDrop subscription once its dropped
+// delivery count reaches n: instead of losing deliveries silently
+// forever, the subscription is detached and its Recv surfaces
+// ErrEvicted with the reason. 0 (the default) never evicts.
+func WithEvictAfterDrops(n int) Option {
+	return embeddedOption{"WithEvictAfterDrops", func(c *brokerConfig) {
+		if n < 0 {
+			c.fail("WithEvictAfterDrops(%d): threshold cannot be negative", n)
+			return
+		}
+		c.evictAfterDrops = n
 	}}
 }
 
@@ -290,6 +311,30 @@ func (o resumeOption) applySub(c *subConfig) {
 	c.resumeFrom = uint64(o)
 }
 
+// recvBufferOption carries WithRecvBuffer.
+type recvBufferOption int
+
+func (o recvBufferOption) applySub(c *subConfig) {
+	if o <= 0 {
+		if c.err == nil {
+			c.err = fmt.Errorf("gasf: WithRecvBuffer(%d): size must be positive", int(o))
+		}
+		return
+	}
+	c.recvBuffer = int(o)
+}
+
+// WithRecvBuffer pins a dialed subscription's kernel receive buffer to
+// roughly n bytes, disabling its autotuning. By default the kernel
+// grows the buffer by megabytes for a slow reader, absorbing a large
+// backlog before TCP backpressure reaches the server — which keeps the
+// server's slow-consumer policy (block, drop, degrade) from noticing a
+// lagging consumer until long after the lag began. A bounded buffer
+// makes consumer lag propagate to the server promptly, at the cost of
+// burst-absorption headroom. Only meaningful on a dialed broker; an
+// embedded broker has no socket and rejects the option.
+func WithRecvBuffer(n int) SubOption { return recvBufferOption(n) }
+
 // WithResumeFrom asks for a catch-up subscription against a durable
 // broker (an embedded broker built WithDurability, or a server started
 // with -data-dir): the source's durable log records from offset on that
@@ -361,6 +406,90 @@ func WithDialTimeout(d time.Duration) Option {
 			return
 		}
 		c.dialTimeout = d
+	}}
+}
+
+// Backoff parameterizes the retry schedule of WithReconnect: delays grow
+// from Base by Factor per consecutive failure, capped at Max, with a
+// uniform random perturbation of ±Jitter (a fraction of the delay) so a
+// fleet of clients does not thunder back in lockstep after a restart.
+// Zero fields take the defaults noted per field.
+type Backoff struct {
+	// Base is the first retry delay; 0 means 100ms.
+	Base time.Duration
+	// Max caps the grown delay; 0 means 5s.
+	Max time.Duration
+	// Factor multiplies the delay per consecutive failure; 0 means 2.
+	Factor float64
+	// Jitter is the ± perturbation as a fraction of the delay, in [0, 1];
+	// 0 means 0.2.
+	Jitter float64
+}
+
+func (b Backoff) withDefaults() (Backoff, error) {
+	if b.Base < 0 || b.Max < 0 || b.Factor < 0 || b.Jitter < 0 || b.Jitter > 1 {
+		return b, fmt.Errorf("gasf: WithReconnect(%+v): negative field or jitter outside [0, 1]", b)
+	}
+	if b.Base == 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max == 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Max < b.Base {
+		b.Max = b.Base
+	}
+	if b.Factor == 0 {
+		b.Factor = 2
+	}
+	if b.Factor < 1 {
+		return b, fmt.Errorf("gasf: WithReconnect(%+v): factor must be >= 1", b)
+	}
+	if b.Jitter == 0 {
+		b.Jitter = 0.2
+	}
+	return b, nil
+}
+
+// delay returns the backoff delay for the attempt'th consecutive failure
+// (attempt 0 = first retry), jittered.
+func (b Backoff) delay(attempt int) time.Duration {
+	d := float64(b.Base)
+	for i := 0; i < attempt && d < float64(b.Max); i++ {
+		d *= b.Factor
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	// Uniform in [1-Jitter, 1+Jitter).
+	d *= 1 + b.Jitter*(2*rand.Float64()-1)
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// WithReconnect makes a dialed broker's sessions self-healing: when a
+// source or subscription session loses its connection, the operation in
+// flight transparently redials on b's schedule (bounded by the call's
+// context) and resumes. Against a durable server a subscription resumes
+// from its last delivered log offset — gapless and duplicate-free — and
+// a source republishes the tuples not yet fenced by a Sync barrier,
+// trimmed by the server's resume hint. Against a non-durable server the
+// sessions still redial, but continuity is best-effort. A stream end
+// caused by the source finishing, and an eviction, are terminal and
+// never redialed; a stream end forced by server shutdown (the server
+// tags those goodbyes) is treated as connection loss, so sessions ride
+// through a server restart — against a permanently stopped server they
+// keep retrying until the calling context expires.
+func WithReconnect(b Backoff) Option {
+	return remoteOption{"WithReconnect", func(c *brokerConfig) {
+		bo, err := b.withDefaults()
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.reconnect = &bo
 	}}
 }
 

@@ -3,7 +3,13 @@ package gasf
 import (
 	"context"
 	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"gasf/internal/server"
 )
@@ -13,7 +19,9 @@ import (
 // framed wire protocol (DESIGN.md §7). The handle itself holds no
 // connection — sessions dial lazily, bounded by WithDialTimeout or the
 // call's context deadline — and Close closes the sessions opened
-// through it.
+// through it. With WithReconnect the sessions are self-healing: a lost
+// connection is redialed on the configured backoff schedule and the
+// stream resumed (see DESIGN.md §14 for the exact continuity contract).
 type Remote struct {
 	addr string
 	cfg  brokerConfig
@@ -27,7 +35,8 @@ var _ Broker = (*Remote)(nil)
 
 // Dial returns a Broker driving the gasf-server at addr, e.g.
 // "localhost:7070". Engine-shaping options belong to the server and are
-// rejected here; WithDialTimeout bounds each session handshake.
+// rejected here; WithDialTimeout bounds each session handshake and
+// WithReconnect makes the sessions survive connection loss.
 func Dial(addr string, opts ...Option) (*Remote, error) {
 	cfg, err := resolveBrokerConfig(true, opts)
 	if err != nil {
@@ -36,8 +45,9 @@ func Dial(addr string, opts ...Option) (*Remote, error) {
 	return &Remote{addr: addr, cfg: cfg, sessions: make(map[any]func() error)}, nil
 }
 
-// track registers a live session for Close; it reports false when the
-// broker is already closed.
+// track registers a live session for Close (re-registering under the
+// same key replaces the close function after a redial); it reports false
+// when the broker is already closed.
 func (r *Remote) track(key any, close func() error) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -65,7 +75,8 @@ func (r *Remote) OpenSource(ctx context.Context, name string, schema *Schema) (S
 	if err != nil {
 		return nil, err
 	}
-	src := &remoteSource{r: r, pub: pub, schema: schema}
+	src := &remoteSource{r: r, name: name, schema: schema}
+	src.pub.Store(pub)
 	if !r.track(src, pub.Close) {
 		pub.Close()
 		return nil, errBrokerClosed
@@ -94,11 +105,23 @@ func (r *Remote) Subscribe(ctx context.Context, app, source, spec string, opts .
 		Resume:     sc.resume,
 		ResumeFrom: sc.resumeFrom,
 		Timeout:    dialTimeoutFor(ctx, r.cfg.dialTimeout),
+		RecvBuffer: sc.recvBuffer,
 	})
 	if err != nil {
 		return nil, err
 	}
-	sub := &remoteSub{r: r, sub: ss, sp: sp}
+	sub := &remoteSub{
+		r:          r,
+		sp:         sp,
+		app:        app,
+		source:     source,
+		specStr:    sp.String(),
+		queue:      sc.queue,
+		recvBuffer: sc.recvBuffer,
+		origResume: sc.resume,
+		origFrom:   sc.resumeFrom,
+	}
+	sub.sub.Store(ss)
 	if !r.track(sub, ss.Close) {
 		ss.Close()
 		return nil, errBrokerClosed
@@ -134,50 +157,275 @@ func (r *Remote) Close(ctx context.Context) error {
 	return errors.Join(errs...)
 }
 
+// connLost reports whether err looks like a lost connection — the class
+// of failure a redial can heal — rather than a caller-side cancellation
+// or a protocol-level rejection. context.DeadlineExceeded implements
+// net.Error, so the context sentinels are excluded first.
+func connLost(err error) bool {
+	if err == nil ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, server.ErrServerDraining) {
+		// A drain-tagged goodbye: the stream ended because the server is
+		// going down, not because the source finished — exactly the class
+		// of failure a redial against a restarted server heals.
+		return true
+	}
+	if errors.Is(err, ErrStreamEnded) || errors.Is(err, server.ErrEvicted) {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// backoffWait sleeps for the attempt'th backoff delay, bounded by ctx.
+func backoffWait(ctx context.Context, b *Backoff, attempt int) error {
+	t := time.NewTimer(b.delay(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// sourceWindowCap bounds the reconnect republish window, in tuples: the
+// tuples published since the last Sync barrier that a redial would
+// republish. Past the cap the oldest are forgotten (and the window
+// marked truncated, which disables hint-based trimming — better to
+// republish conservatively than to trim against an incomplete window).
+const sourceWindowCap = 65536
+
 // remoteSource adapts a publisher session to the unified interface.
+// Without WithReconnect it is a thin veneer over one session; with it,
+// publishes are serialized under mu, an unacked window of tuples since
+// the last Sync barrier is retained, and a lost connection is redialed
+// with the window republished — trimmed by the server's durable resume
+// hint so a restart does not duplicate what already reached the log.
 type remoteSource struct {
 	r      *Remote
-	pub    *server.Publisher
+	name   string
 	schema *Schema
+	pub    atomic.Pointer[server.Publisher]
+
+	// Reconnect state, all under mu (only touched when r.cfg.reconnect
+	// is set; without it the methods call the session directly, unlocked,
+	// preserving the historical concurrency profile).
+	mu        sync.Mutex
+	window    []*Tuple
+	truncated bool
+	finished  bool
 }
 
 var _ Source = (*remoteSource)(nil)
 
-func (s *remoteSource) Name() string    { return s.pub.Source() }
+func (s *remoteSource) Name() string    { return s.name }
 func (s *remoteSource) Schema() *Schema { return s.schema }
 
 func (s *remoteSource) Publish(ctx context.Context, t *Tuple) error {
-	return s.pub.PublishContext(ctx, t)
+	if s.r.cfg.reconnect == nil {
+		return s.pub.Load().PublishContext(ctx, t)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.publishLocked(ctx, []*Tuple{t})
 }
 
 func (s *remoteSource) PublishBatch(ctx context.Context, tuples []*Tuple) error {
-	return s.pub.PublishBatchContext(ctx, tuples)
+	if s.r.cfg.reconnect == nil {
+		return s.pub.Load().PublishBatchContext(ctx, tuples)
+	}
+	if len(tuples) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.publishLocked(ctx, tuples)
 }
 
-func (s *remoteSource) Sync(ctx context.Context) error { return s.pub.Sync(ctx) }
+func (s *remoteSource) publishLocked(ctx context.Context, tuples []*Tuple) error {
+	if s.finished {
+		return fmt.Errorf("gasf: source %q finished", s.name)
+	}
+	err := s.pub.Load().PublishBatchContext(ctx, tuples)
+	if err == nil {
+		s.remember(tuples)
+		return nil
+	}
+	if !connLost(err) {
+		return err
+	}
+	// The write may have landed partially; remember the batch and let the
+	// redial republish the whole window — the server's resume hint trims
+	// whatever the old connection actually got into the durable log.
+	s.remember(tuples)
+	return s.redialReplayLocked(ctx)
+}
+
+// remember appends tuples to the unacked window, sliding out the oldest
+// past the cap.
+func (s *remoteSource) remember(tuples []*Tuple) {
+	s.window = append(s.window, tuples...)
+	if over := len(s.window) - sourceWindowCap; over > 0 {
+		n := copy(s.window, s.window[over:])
+		clear(s.window[n:])
+		s.window = s.window[:n]
+		s.truncated = true
+	}
+}
+
+// redialReplayLocked redials the publisher session on the backoff
+// schedule (bounded by ctx) and republishes the unacked window, trimmed
+// by the fresh session's resume hint when the window can be trimmed
+// safely. Replayed tuples stay in the window until the next Sync
+// barrier acknowledges them.
+func (s *remoteSource) redialReplayLocked(ctx context.Context) error {
+	bo := s.r.cfg.reconnect
+	s.pub.Load().Close()
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		pub, err := server.DialPublisherTimeout(s.r.addr, s.name, s.schema, dialTimeoutFor(ctx, s.r.cfg.dialTimeout))
+		if err != nil {
+			if wErr := backoffWait(ctx, bo, attempt); wErr != nil {
+				return fmt.Errorf("gasf: reconnecting source %q: %w (last dial error: %v)", s.name, wErr, err)
+			}
+			continue
+		}
+		s.pub.Store(pub)
+		if !s.r.track(s, pub.Close) {
+			pub.Close()
+			return errBrokerClosed
+		}
+		replay := s.window
+		if maxSeq, ok := pub.ResumeHint(); ok && !s.truncated {
+			replay = trimWindow(replay, maxSeq)
+		}
+		if len(replay) == 0 {
+			return nil
+		}
+		err = pub.PublishBatchContext(ctx, replay)
+		if err == nil {
+			return nil
+		}
+		if !connLost(err) {
+			return err
+		}
+		if wErr := backoffWait(ctx, bo, attempt); wErr != nil {
+			return wErr
+		}
+	}
+}
+
+// trimWindow drops the window prefix the server already holds (sequence
+// numbers <= maxSeq from the durable resume hint). Trimming by sequence
+// is only sound when the window's sequence numbers are strictly
+// increasing; otherwise the whole window is republished and the engine's
+// strictly-increasing-timestamp check rejects true duplicates server
+// side on non-durable runs.
+func trimWindow(w []*Tuple, maxSeq int64) []*Tuple {
+	for i := 1; i < len(w); i++ {
+		if w[i].Seq <= w[i-1].Seq {
+			return w
+		}
+	}
+	for i, t := range w {
+		if int64(t.Seq) > maxSeq {
+			return w[i:]
+		}
+	}
+	return nil
+}
+
+func (s *remoteSource) Sync(ctx context.Context) error {
+	if s.r.cfg.reconnect == nil {
+		return s.pub.Load().Sync(ctx)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finished {
+		return fmt.Errorf("gasf: source %q finished", s.name)
+	}
+	for {
+		err := s.pub.Load().Sync(ctx)
+		if err == nil {
+			// The barrier acknowledges everything published so far: the
+			// server has it ordered in the shard ring (and appended, when
+			// durable), so the window can be forgotten.
+			clear(s.window)
+			s.window = s.window[:0]
+			s.truncated = false
+			return nil
+		}
+		if !connLost(err) {
+			return err
+		}
+		if rerr := s.redialReplayLocked(ctx); rerr != nil {
+			return rerr
+		}
+	}
+}
 
 // Finish sends the goodbye and closes the session; the server finishes
 // the engine and flushes the tail to the subscribers asynchronously
-// (their streams end once it lands).
+// (their streams end once it lands). Finish is terminal even with
+// reconnect enabled: a lost connection here is not redialed (the
+// server's flow-gap expiry finishes an abandoned source on its own).
 func (s *remoteSource) Finish(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	err := s.pub.Close()
+	if s.r.cfg.reconnect != nil {
+		s.mu.Lock()
+		s.finished = true
+		s.mu.Unlock()
+	}
+	err := s.pub.Load().Close()
 	s.r.untrack(s)
 	return err
 }
 
 // remoteSub adapts a subscriber session to the unified interface.
+// Without WithReconnect it is a veneer over one session; with it, the
+// subscription tracks the last delivered durable log offset and a lost
+// connection is redialed with Resume from lastOffset+1, splicing the
+// redelivered history onto the live stream gapless and duplicate-free.
+// A source-finish stream end and an eviction are terminal — never
+// redialed; a drain-tagged end (server shutdown) redials like any other
+// connection loss.
 type remoteSub struct {
-	r   *Remote
-	sub *server.Subscriber
-	sp  Spec
-	// ended latches a graceful stream end: the session is closed and
+	r          *Remote
+	sub        atomic.Pointer[server.Subscriber]
+	sp         Spec
+	app        string
+	source     string
+	specStr    string
+	queue      int
+	recvBuffer int
+	origResume bool
+	origFrom   uint64
+
+	// Receive-side state; Recv/RecvInto are per-session serial (the
+	// documented contract on every transport), so none of it needs a
+	// lock.
+	//
+	// ended latches a terminal stream end: the session is closed and
 	// untracked right away (a long-lived Remote would otherwise
 	// accumulate dead sessions whose callers never Close after
-	// ErrStreamEnded), and later receives keep reporting the end.
-	ended bool
+	// ErrStreamEnded), and later receives keep reporting endedErr.
+	ended    bool
+	endedErr error
+	// lastOffset/seen track the newest delivered durable log offset, the
+	// resume point after a reconnect.
+	lastOffset uint64
+	seen       bool
 	// scratch backs RecvInto so the session's zero-allocation decode
 	// path carries over: the caller's tuple is lent to the wire decoder
 	// and handed back with the reused label storage.
@@ -186,49 +434,149 @@ type remoteSub struct {
 
 var _ Subscription = (*remoteSub)(nil)
 
-func (s *remoteSub) App() string     { return s.sub.App() }
-func (s *remoteSub) Source() string  { return s.sub.Source() }
-func (s *remoteSub) Schema() *Schema { return s.sub.Schema() }
+func (s *remoteSub) App() string     { return s.app }
+func (s *remoteSub) Source() string  { return s.source }
+func (s *remoteSub) Schema() *Schema { return s.sub.Load().Schema() }
 func (s *remoteSub) Spec() Spec      { return s.sp }
+
+// QoS returns the quality scale last announced by the server's degrade
+// policy for this session (1 until any announcement arrives; resets to
+// 1 on a reconnect, matching the fresh session's full fidelity).
+func (s *remoteSub) QoS() float64 { return s.sub.Load().QoS() }
 
 func (s *remoteSub) Recv(ctx context.Context) (*Delivery, error) {
 	if s.ended {
-		return nil, ErrStreamEnded
+		return nil, s.endedErr
 	}
-	d, err := s.sub.RecvContext(ctx)
-	if err != nil {
-		return nil, s.observeEnd(err)
+	for {
+		d, err := s.sub.Load().RecvContext(ctx)
+		if err == nil {
+			s.noteOffset(d.Offset)
+			return &Delivery{Tuple: d.Tuple, Destinations: d.Destinations, ReceivedAt: d.ReceivedAt, Offset: d.Offset}, nil
+		}
+		retry, ferr := s.recvErr(ctx, err)
+		if !retry {
+			return nil, ferr
+		}
 	}
-	return &Delivery{Tuple: d.Tuple, Destinations: d.Destinations, ReceivedAt: d.ReceivedAt, Offset: d.Offset}, nil
 }
 
 func (s *remoteSub) RecvInto(ctx context.Context, d *Delivery) error {
 	if s.ended {
-		return ErrStreamEnded
+		return s.endedErr
 	}
-	s.scratch.Tuple = d.Tuple
-	s.scratch.Destinations = s.scratch.Destinations[:0]
-	if err := s.sub.RecvIntoContext(ctx, &s.scratch); err != nil {
-		return s.observeEnd(err)
+	for {
+		s.scratch.Tuple = d.Tuple
+		s.scratch.Destinations = s.scratch.Destinations[:0]
+		err := s.sub.Load().RecvIntoContext(ctx, &s.scratch)
+		if err == nil {
+			d.Tuple = s.scratch.Tuple
+			d.Destinations = s.scratch.Destinations
+			d.ReceivedAt = s.scratch.ReceivedAt
+			d.Offset = s.scratch.Offset
+			s.noteOffset(d.Offset)
+			return nil
+		}
+		retry, ferr := s.recvErr(ctx, err)
+		if !retry {
+			return ferr
+		}
 	}
-	d.Tuple = s.scratch.Tuple
-	d.Destinations = s.scratch.Destinations
-	d.ReceivedAt = s.scratch.ReceivedAt
-	d.Offset = s.scratch.Offset
-	return nil
 }
 
-// observeEnd retires the session on a graceful stream end: the server
-// has already said goodbye, so the connection is released immediately
-// and the broker stops tracking it. Recv is per-session serial, so the
-// latch needs no lock.
-func (s *remoteSub) observeEnd(err error) error {
+func (s *remoteSub) noteOffset(off uint64) {
+	s.lastOffset, s.seen = off, true
+}
+
+// recvErr classifies a receive failure: terminal ends latch the
+// subscription, connection loss redials when reconnect is configured
+// (retry=true resumes the receive on the fresh session), anything else
+// surfaces unchanged.
+func (s *remoteSub) recvErr(ctx context.Context, err error) (retry bool, _ error) {
 	if errors.Is(err, ErrStreamEnded) {
-		s.ended = true
-		_ = s.sub.Close()
-		s.r.untrack(s)
+		if s.r.cfg.reconnect != nil && errors.Is(err, server.ErrServerDraining) {
+			// The server is shutting down, not the source finishing:
+			// redial and resume against its restarted incarnation. (A
+			// permanent shutdown keeps the redial retrying until ctx
+			// expires — the caller's ctx bounds the wait.)
+			if rerr := s.redial(ctx); rerr != nil {
+				return false, rerr
+			}
+			return true, nil
+		}
+		s.end(ErrStreamEnded)
+		return false, ErrStreamEnded
 	}
-	return err
+	if errors.Is(err, server.ErrEvicted) {
+		mapped := mapStreamEnd(err)
+		s.end(mapped)
+		return false, mapped
+	}
+	if s.r.cfg.reconnect == nil || !connLost(err) {
+		return false, err
+	}
+	if rerr := s.redial(ctx); rerr != nil {
+		return false, rerr
+	}
+	return true, nil
+}
+
+// end retires the session on a terminal stream end: the server side is
+// already gone, so the connection is released immediately and the broker
+// stops tracking it.
+func (s *remoteSub) end(err error) {
+	s.ended = true
+	s.endedErr = err
+	_ = s.sub.Load().Close()
+	s.r.untrack(s)
+}
+
+// redial re-establishes the subscriber session on the backoff schedule,
+// bounded by ctx. Against a durable server it resumes from the last
+// delivered offset (or the subscription's original resume point if
+// nothing was delivered yet), splicing history and live stream with no
+// gap and no duplicate. A server without a durable log rejects the
+// resume; the redial then falls back to a plain live re-subscription.
+func (s *remoteSub) redial(ctx context.Context) error {
+	bo := s.r.cfg.reconnect
+	_ = s.sub.Load().Close()
+	resumeFromSeen := s.seen
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		o := server.SubDialOpts{Queue: s.queue, Timeout: dialTimeoutFor(ctx, s.r.cfg.dialTimeout), RecvBuffer: s.recvBuffer}
+		switch {
+		case resumeFromSeen:
+			o.Resume, o.ResumeFrom = true, s.lastOffset+1
+		case s.origResume:
+			o.Resume, o.ResumeFrom = true, s.origFrom
+		}
+		ss, err := server.DialSubscriberOpts(s.r.addr, s.app, s.source, s.specStr, o)
+		if err != nil {
+			if resumeFromSeen && !s.origResume && strings.Contains(err.Error(), "durable") {
+				// The server cannot replay (no durable log — e.g. it was
+				// restarted without one); fall back to a plain live
+				// re-subscription rather than never reconnecting.
+				resumeFromSeen = false
+				continue
+			}
+			// Everything else retries until ctx expires: the server may be
+			// restarting (connection refused), the source may not have
+			// reattached yet (unknown source), or the server may not have
+			// noticed the old session die (already subscribed).
+			if wErr := backoffWait(ctx, bo, attempt); wErr != nil {
+				return fmt.Errorf("gasf: reconnecting subscription %s/%s: %w (last dial error: %v)", s.app, s.source, wErr, err)
+			}
+			continue
+		}
+		s.sub.Store(ss)
+		if !s.r.track(s, ss.Close) {
+			ss.Close()
+			return errBrokerClosed
+		}
+		return nil
+	}
 }
 
 // Close leaves the group and waits for the server's departure ack, so a
@@ -236,9 +584,9 @@ func (s *remoteSub) observeEnd(err error) error {
 // re-derived without this member.
 func (s *remoteSub) Close(ctx context.Context) error {
 	if s.ended {
-		return nil // the stream ended gracefully; the session is gone
+		return nil // the stream ended; the session is gone
 	}
-	err := s.sub.Leave(ctx)
+	err := s.sub.Load().Leave(ctx)
 	s.r.untrack(s)
 	return err
 }
