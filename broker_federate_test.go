@@ -1,0 +1,721 @@
+package gasf_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"gasf"
+	"gasf/internal/faultnet"
+	"gasf/internal/federate"
+	"gasf/internal/wire"
+)
+
+// The federation acceptance suite: the same scripts the single-node
+// parity tests run must yield byte-identical per-subscriber streams
+// when driven through a core/edge deployment — publishers on the
+// source-owning cores, subscribers fanned out from deduplicated
+// upstream relay legs on the edges — including mid-stream churn,
+// rebalanced placement, and a network partition healed by resume.
+
+// fedCluster is an in-process federated deployment: nCores core
+// servers plus nEdges edge servers sharing one placement ring.
+type fedCluster struct {
+	cores     []*gasf.Server
+	edges     []*gasf.Server
+	coreNodes []gasf.FederationNode
+	edgeNodes []gasf.FederationNode
+}
+
+func (fc *fedCluster) coreSpec() string { return gasf.FormatPeers(fc.coreNodes) }
+func (fc *fedCluster) edgeSpec() string { return gasf.FormatPeers(fc.edgeNodes) }
+
+// startFedCluster boots the cores first (peer addresses are unknown
+// until each listener is up, so placement enforcement is installed
+// with UpdatePeers once all cores are listening), then the edges with
+// the completed core ring.
+func startFedCluster(t *testing.T, nCores, nEdges int, engine gasf.Options, durable bool) *fedCluster {
+	t.Helper()
+	fc := &fedCluster{}
+	for i := 0; i < nCores; i++ {
+		cfg := gasf.ServerConfig{
+			Engine:     engine,
+			Federation: gasf.FederationConfig{Role: gasf.RoleCore, Self: fmt.Sprintf("c%d", i)},
+		}
+		if durable {
+			cfg.DataDir = t.TempDir()
+		}
+		srv, err := gasf.StartServer(cfg)
+		if err != nil {
+			t.Fatalf("start core %d: %v", i, err)
+		}
+		shutdownOnCleanup(t, srv)
+		fc.cores = append(fc.cores, srv)
+		fc.coreNodes = append(fc.coreNodes, gasf.FederationNode{Name: fmt.Sprintf("c%d", i), Addr: srv.Addr().String()})
+	}
+	for _, c := range fc.cores {
+		if err := c.UpdatePeers(fc.coreNodes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < nEdges; i++ {
+		srv, err := gasf.StartServer(gasf.ServerConfig{
+			Engine: engine,
+			Federation: gasf.FederationConfig{
+				Role:  gasf.RoleEdge,
+				Self:  fmt.Sprintf("e%d", i),
+				Peers: fc.coreNodes,
+			},
+		})
+		if err != nil {
+			t.Fatalf("start edge %d: %v", i, err)
+		}
+		shutdownOnCleanup(t, srv)
+		fc.edges = append(fc.edges, srv)
+		fc.edgeNodes = append(fc.edgeNodes, gasf.FederationNode{Name: fmt.Sprintf("e%d", i), Addr: srv.Addr().String()})
+	}
+	return fc
+}
+
+// shutdownOnCleanup registers a graceful shutdown; registration order
+// makes edges (registered after their cores) shut down first, so leg
+// goodbyes still find their cores listening.
+func shutdownOnCleanup(t *testing.T, srv *gasf.Server) {
+	t.Helper()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+}
+
+// pollUntil spins on cond with a deadline — for cluster state that
+// converges asynchronously (leg teardown acks, rebalance rejoins).
+func pollUntil(t *testing.T, wait time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(wait)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFederatedParitySingleNode is the cross-node acceptance test:
+// randomized publish/subscribe/churn scripts — including mid-stream
+// joins and acked departures at Sync barriers — produce byte-identical
+// per-subscriber wire sequences on a single networked broker and on a
+// federated deployment, both with one core and with the groups' sources
+// spread over two cores.
+func TestFederatedParitySingleNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	cases := 4
+	if testing.Short() {
+		cases = 2
+	}
+	for c := 0; c < cases; c++ {
+		sc := randomParityScript(t, rng, c)
+		nCores := 1 + c%2
+		t.Run(fmt.Sprintf("case%d_cores%d", c, nCores), func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+
+			srv, err := gasf.StartServer(gasf.ServerConfig{Engine: sc.opts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			single, err := gasf.Dial(srv.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			singleFPs := driveParity(t, single, sc)
+			if err := single.Close(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if err := srv.Shutdown(ctx); err != nil {
+				t.Fatal(err)
+			}
+
+			fc := startFedCluster(t, nCores, 2, sc.opts, false)
+			fb, err := gasf.DialFederated(fc.coreSpec(), fc.edgeSpec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			fedFPs := driveParity(t, fb, sc)
+			if err := fb.Close(ctx); err != nil {
+				t.Fatal(err)
+			}
+
+			if len(singleFPs) != len(fedFPs) {
+				t.Fatalf("app sets differ: single %d, federated %d", len(singleFPs), len(fedFPs))
+			}
+			for app, want := range singleFPs {
+				got, ok := fedFPs[app]
+				if !ok {
+					t.Errorf("app %s missing from federated run", app)
+					continue
+				}
+				if !bytes.Equal(want, got) {
+					t.Errorf("case %d (alg=%v strat=%v cuts=%v): app %s released sequences differ (single %d bytes, federated %d bytes)",
+						c, sc.opts.Algorithm, sc.opts.Strategy, sc.opts.Cuts, app, len(want), len(got))
+				}
+			}
+		})
+	}
+}
+
+// TestFederatedDedupSharing pins the dedup contract the federation
+// exists for: K local sessions subscribing the same (app, source, spec)
+// group share exactly one upstream leg, each receives the full stream,
+// and the last local departure tears the leg down with an acked
+// upstream goodbye. A same-app subscription under a different spec is a
+// conflict, rejected exactly as a single node rejects a duplicate app.
+func TestFederatedDedupSharing(t *testing.T) {
+	const k = 4
+	const n = 200
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	fc := startFedCluster(t, 1, 1, gasf.Options{}, false)
+	b, err := gasf.DialFederated(fc.coreSpec(), fc.edgeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close(ctx)
+
+	sr := recoverySeries(t, n, 0)
+	src, err := b.OpenSource(ctx, "src", sr.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shared []gasf.Subscription
+	for i := 0; i < k; i++ {
+		sub, err := b.Subscribe(ctx, "shared", "src", "DC1(v, 0.5, 0)")
+		if err != nil {
+			t.Fatalf("shared session %d: %v", i, err)
+		}
+		shared = append(shared, sub)
+	}
+	solo, err := b.Subscribe(ctx, "solo", "src", "DC1(v, 0.75, 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Subscribe(ctx, "solo", "src", "DC1(v, 0.25, 0)"); err == nil {
+		t.Fatal("same app under a different spec accepted")
+	} else if !strings.Contains(err.Error(), "different spec") {
+		t.Fatalf("spec conflict surfaced as: %v", err)
+	}
+
+	st := fc.edges[0].FederationStats()
+	if st.UpstreamLegs != 2 || st.LocalSubscribers != k+1 {
+		t.Fatalf("edge stats: %d legs, %d local subscribers, want 2 and %d", st.UpstreamLegs, st.LocalSubscribers, k+1)
+	}
+	if want := float64(k+1) / 2; st.DedupRatio != want {
+		t.Fatalf("dedup ratio %.2f, want %.2f", st.DedupRatio, want)
+	}
+	// The core sees exactly one session per group, tagged with the edge
+	// it relays for — K-1 of the K shared sessions never crossed the
+	// core link.
+	core := fc.cores[0].Debug()
+	if len(core.Subscribers) != 2 {
+		t.Fatalf("core holds %d subscriber sessions, want 2", len(core.Subscribers))
+	}
+	for _, sub := range core.Subscribers {
+		if sub.RelayEdge != "e0" {
+			t.Fatalf("core session %s not tagged as a relay from e0: %+v", sub.App, sub)
+		}
+	}
+
+	if err := src.PublishBatch(ctx, seriesBatch(sr)); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Finish(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var fps [][]byte
+	for i, sub := range shared {
+		fp, count := drainFingerprint(ctx, t, sub)
+		if count != n {
+			t.Fatalf("shared session %d received %d deliveries, want %d", i, count, n)
+		}
+		fps = append(fps, fp)
+	}
+	for i := 1; i < len(fps); i++ {
+		if !bytes.Equal(fps[0], fps[i]) {
+			t.Fatalf("shared sessions 0 and %d received different streams", i)
+		}
+	}
+	if _, count := drainFingerprint(ctx, t, solo); count != n {
+		t.Fatalf("solo received %d deliveries, want %d", count, n)
+	}
+	// Finish ended every stream; the legs must unwind to zero with their
+	// departures acked by the core.
+	pollUntil(t, 10*time.Second, "legs to unwind", func() bool {
+		return fc.edges[0].FederationStats().UpstreamLegs == 0
+	})
+	if got := fc.cores[0].Counters().FedRelayLegsIn; got != 2 {
+		t.Fatalf("core served %d relay legs, want 2", got)
+	}
+}
+
+// seriesBatch collects a series into one publishable batch.
+func seriesBatch(sr *gasf.Series) []*gasf.Tuple {
+	batch := make([]*gasf.Tuple, 0, sr.Len())
+	for i := 0; i < sr.Len(); i++ {
+		batch = append(batch, sr.At(i))
+	}
+	return batch
+}
+
+// drainFingerprint consumes a subscription to its graceful end,
+// returning the wire fingerprint and delivery count.
+func drainFingerprint(ctx context.Context, t *testing.T, sub gasf.Subscription) ([]byte, int) {
+	t.Helper()
+	var fp []byte
+	count := 0
+	for {
+		d, err := sub.Recv(ctx)
+		if errors.Is(err, gasf.ErrStreamEnded) {
+			if err := sub.Close(ctx); err != nil {
+				t.Fatal(err)
+			}
+			return fp, count
+		}
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		fp, err = wire.AppendTransmission(fp, d.Tuple, d.Destinations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+}
+
+// TestFederatedSpecCanonicalization is the regression test for the
+// group key: spec renderings differing only in case, whitespace, float
+// notation, or an explicit default prescription token canonicalize to
+// one Spec.String(), so they join one group and share one upstream leg
+// instead of splitting it.
+func TestFederatedSpecCanonicalization(t *testing.T) {
+	renderings := map[string][]string{
+		"DC1(v, 0.5, 0)": {
+			"DC1(v, 0.5, 0)",
+			"dc1(v,0.5,0)",
+			"DC( v , 5e-1 , 0.0 )",
+			"DC1(v, .5, 0e0)",
+		},
+		"SS(v, 1000, 0.15, 50, 20)": {
+			"SS(v, 1000, 0.15, 50, 20)",
+			"ss(v, 1e3, 1.5e-1, 5e1, 2e1)",
+			"SS(v, 1000.0, 0.150, 50, 20, random)",
+		},
+	}
+	for want, variants := range renderings {
+		for _, text := range variants {
+			sp, err := gasf.ParseSpec(text)
+			if err != nil {
+				t.Fatalf("parse %q: %v", text, err)
+			}
+			if got := sp.String(); got != want {
+				t.Errorf("%q canonicalizes to %q, want %q", text, got, want)
+			}
+		}
+	}
+
+	// And on the wire: every rendering of the group's spec lands in the
+	// same leg — none is rejected as a conflicting spec, none dials a
+	// second upstream session.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	fc := startFedCluster(t, 1, 1, gasf.Options{}, false)
+	b, err := gasf.DialFederated(fc.coreSpec(), fc.edgeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close(ctx)
+	sr := recoverySeries(t, 1, 0)
+	if _, err := b.OpenSource(ctx, "src", sr.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	for i, text := range renderings["DC1(v, 0.5, 0)"] {
+		if _, err := b.Subscribe(ctx, "app", "src", text); err != nil {
+			t.Fatalf("rendering %d %q: %v", i, text, err)
+		}
+	}
+	st := fc.edges[0].FederationStats()
+	if st.UpstreamLegs != 1 || st.LocalSubscribers != 4 {
+		t.Fatalf("edge stats: %d legs, %d local subscribers, want 1 and 4", st.UpstreamLegs, st.LocalSubscribers)
+	}
+}
+
+// TestFederatedRebalance moves a source's ownership between cores with
+// live subscribers attached: UpdatePeers cuts the stale leg, the leg
+// re-resolves the owner and rejoins it, and the subscriber's stream
+// continues with the new core's output — no session restart on the
+// subscriber side.
+func TestFederatedRebalance(t *testing.T) {
+	const n1, n2 = 80, 80
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	fc := startFedCluster(t, 2, 1, gasf.Options{}, false)
+
+	// A source the full ring places on c0, so removing c0 moves it.
+	topo, err := federate.NewTopology(fc.coreNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	source := ""
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("src%d", i)
+		if topo.Owner(name).Name == "c0" {
+			source = name
+			break
+		}
+	}
+	if source == "" {
+		t.Fatal("no source hashed onto c0")
+	}
+
+	total := recoverySeries(t, n1+n2, 0)
+	bSub, err := gasf.DialFederated(fc.coreSpec(), fc.edgeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bSub.Close(ctx)
+	bPub, err := gasf.DialFederated(fc.coreSpec(), fc.edgeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bPub.Close(ctx)
+	src, err := bPub.OpenSource(ctx, source, total.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := bSub.Subscribe(ctx, "w", source, "DC1(v, 0.5, 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1 on c0. The engine holds the last tuple's region open until
+	// the next tuple or a finish, so n1 publishes release n1-1 live.
+	if err := src.PublishBatch(ctx, seriesBatch(total)[:n1]); err != nil {
+		t.Fatal(err)
+	}
+	var values []float64
+	recvN := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			d, err := sub.Recv(ctx)
+			if err != nil {
+				t.Fatalf("delivery %d: %v", len(values), err)
+			}
+			values = append(values, d.Tuple.ValueAt(0))
+		}
+	}
+	recvN(n1 - 1)
+	// The node-leave choreography: drain c0 first — its engine tail
+	// flushes through the leg (the held n1'th release arrives), then the
+	// leg's goodbye carries the drain tag, which means "re-establish",
+	// not "stream over", so the local subscriber session survives — and
+	// only then shrink the ring so the leg's redial resolves to c1.
+	if err := fc.cores[0].Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	recvN(1)
+	newRing := fc.coreNodes[1:2]
+	for _, srv := range append(fc.cores[1:], fc.edges...) {
+		if err := srv.UpdatePeers(newRing); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bPub2, err := gasf.DialFederated(gasf.FormatPeers(newRing), fc.edgeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bPub2.Close(ctx)
+	src2, err := bPub2.OpenSource(ctx, source, total.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The relay app must be back in the group on c1 before phase 2, or
+	// its releases are derived without it (a live-only deployment has no
+	// history to backfill from — exactly the single-node semantics of a
+	// departed subscriber).
+	pollUntil(t, 10*time.Second, "leg to rejoin on c1", func() bool {
+		for _, s := range fc.cores[1].Debug().Subscribers {
+			if s.App == "w" && s.Source == source {
+				return true
+			}
+		}
+		return false
+	})
+	if err := src2.PublishBatch(ctx, seriesBatch(total)[n1:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := src2.Finish(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		d, err := sub.Recv(ctx)
+		if errors.Is(err, gasf.ErrStreamEnded) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("phase 2 delivery %d: %v", len(values), err)
+		}
+		values = append(values, d.Tuple.ValueAt(0))
+	}
+	// Content parity, not offset parity: the new owner's stream restarts
+	// its own numbering, but the subscriber must see every value of both
+	// phases in order with no duplicates.
+	if len(values) != n1+n2 {
+		t.Fatalf("received %d deliveries across the move, want %d", len(values), n1+n2)
+	}
+	for i, v := range values {
+		if v != float64(i) {
+			t.Fatalf("delivery %d carries value %g, want %d", i, v, i)
+		}
+	}
+	if moved := fc.edges[0].Counters().FedLegRedials; moved == 0 {
+		t.Fatal("rebalance did not redial the leg")
+	}
+}
+
+// TestFederatedPartitionResume is the chaos acceptance test: a faultnet
+// partition severs the edge from its durable core mid-stream, in-flight
+// frames are lost with the connection, and the leg's resume from its
+// last seen offset backfills exactly the lost tail — subscribers see a
+// gapless, duplicate-free stream with dense offsets, byte-identical to
+// a single durable node running the same script with no partition.
+func TestFederatedPartitionResume(t *testing.T) {
+	const n1, n2 = 150, 100
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	total := recoverySeries(t, n1+n2, 0)
+
+	// The single-node reference run.
+	refSrv, err := gasf.StartServer(gasf.ServerConfig{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdownOnCleanup(t, refSrv)
+	ref, err := gasf.Dial(refSrv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSrc, err := ref.OpenSource(ctx, "src", total.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSub, err := ref.Subscribe(ctx, "w", "src", "DC1(v, 0.5, 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refSrc.PublishBatch(ctx, seriesBatch(total)); err != nil {
+		t.Fatal(err)
+	}
+	if err := refSrc.Finish(ctx); err != nil {
+		t.Fatal(err)
+	}
+	refFP, refCount := drainFingerprint(ctx, t, refSub)
+	if refCount != n1+n2 {
+		t.Fatalf("reference run released %d deliveries, want %d", refCount, n1+n2)
+	}
+	if err := ref.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The federated run: the edge reaches its durable core only through
+	// a faultnet proxy whose connections can be cut in one call.
+	core, err := gasf.StartServer(gasf.ServerConfig{
+		DataDir:    t.TempDir(),
+		Federation: gasf.FederationConfig{Role: gasf.RoleCore, Self: "c0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdownOnCleanup(t, core)
+	proxy, err := faultnet.NewProxy(core.Addr().String(), faultnet.Faults{Seed: 20260807})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+	proxied := []gasf.FederationNode{{Name: "c0", Addr: proxy.Addr()}}
+	edge, err := gasf.StartServer(gasf.ServerConfig{
+		Federation: gasf.FederationConfig{Role: gasf.RoleEdge, Self: "e0", Peers: proxied},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdownOnCleanup(t, edge)
+	edgeNodes := []gasf.FederationNode{{Name: "e0", Addr: edge.Addr().String()}}
+
+	// The publisher dials the core directly — the partition under test
+	// is the inter-broker link, not the client's.
+	bPub, err := gasf.DialFederated(gasf.FormatPeers([]gasf.FederationNode{{Name: "c0", Addr: core.Addr().String()}}), gasf.FormatPeers(edgeNodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bPub.Close(ctx)
+	bSub, err := gasf.DialFederated(gasf.FormatPeers(proxied), gasf.FormatPeers(edgeNodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bSub.Close(ctx)
+
+	src, err := bPub.OpenSource(ctx, "src", total.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two sessions of the same group: the dedup must survive the
+	// partition too — one leg before, one leg after.
+	var subs []gasf.Subscription
+	for i := 0; i < 2; i++ {
+		sub, err := bSub.Subscribe(ctx, "w", "src", "DC1(v, 0.5, 0)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, sub)
+	}
+	if err := src.PublishBatch(ctx, seriesBatch(total)[:n1]); err != nil {
+		t.Fatal(err)
+	}
+	// Cut once every phase-1 record is in the core's log (n1 publishes
+	// release n1-1 records; the last region stays open until phase 2),
+	// not once it is delivered: whatever of the tail is still crossing
+	// the proxy dies with the connections, and only the leg's resume can
+	// restore it. The leg must have observed at least one offset first —
+	// its resume point is the last offset it has SEEN, so a leg cut
+	// before any delivery has no checkpoint and would rejoin live.
+	pollUntil(t, 10*time.Second, "phase 1 to be logged", func() bool {
+		for _, s := range core.Debug().Sources {
+			if s.Name == "src" {
+				return s.NextOffset >= n1-1
+			}
+		}
+		return false
+	})
+	pollUntil(t, 10*time.Second, "the leg to observe a resume checkpoint", func() bool {
+		fed := edge.Debug().Federation
+		return fed != nil && len(fed.Legs) == 1 && fed.Legs[0].Durable
+	})
+	proxy.CutAll()
+	// The leg redials through the proxy and resumes from its last seen
+	// offset; publishing stays quiet until the group member is back so
+	// phase-2 releases are addressed to it, as in the reference run. The
+	// redial counter is the barrier — the core's old relay session can
+	// outlive the cut for a moment, so its presence alone would race.
+	pollUntil(t, 10*time.Second, "leg to redial after the partition", func() bool {
+		return edge.Counters().FedLegRedials >= 1
+	})
+	pollUntil(t, 10*time.Second, "group member to rejoin the core", func() bool {
+		for _, s := range core.Debug().Subscribers {
+			if s.App == "w" {
+				return true
+			}
+		}
+		return false
+	})
+	if err := src.PublishBatch(ctx, seriesBatch(total)[n1:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Finish(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, sub := range subs {
+		var fp []byte
+		var offsets []uint64
+		for {
+			d, err := sub.Recv(ctx)
+			if errors.Is(err, gasf.ErrStreamEnded) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("session %d delivery %d: %v", i, len(offsets), err)
+			}
+			fp, err = wire.AppendTransmission(fp, d.Tuple, d.Destinations)
+			if err != nil {
+				t.Fatal(err)
+			}
+			offsets = append(offsets, d.Offset)
+		}
+		if len(offsets) != n1+n2 {
+			t.Fatalf("session %d received %d deliveries, want %d", i, len(offsets), n1+n2)
+		}
+		// Dense offsets: gapless and duplicate-free through the healed
+		// partition.
+		for j, off := range offsets {
+			if off != uint64(j) {
+				t.Fatalf("session %d delivery %d carries offset %d, want %d", i, j, off, j)
+			}
+		}
+		if !bytes.Equal(fp, refFP) {
+			t.Errorf("session %d stream differs from the single-node reference (%d vs %d bytes)", i, len(fp), len(refFP))
+		}
+	}
+	ctr := edge.Counters()
+	if ctr.FedLegRedials == 0 || ctr.FedLegResumes == 0 {
+		t.Fatalf("partition healed without the resume path: %d redials, %d resumes", ctr.FedLegRedials, ctr.FedLegResumes)
+	}
+	if legs := edge.FederationStats().UpstreamLegs; legs != 0 {
+		t.Fatalf("%d legs alive after the streams ended", legs)
+	}
+}
+
+// TestFederatedPlacementRejections pins the role boundaries: an edge
+// refuses publishers and resume subscriptions (pointing at the owner),
+// and a core refuses sources the ring places elsewhere.
+func TestFederatedPlacementRejections(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	fc := startFedCluster(t, 2, 1, gasf.Options{}, false)
+	schema, err := gasf.NewSchema("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	edge, err := gasf.Dial(fc.edgeNodes[0].Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge.Close(ctx)
+	if _, err := edge.OpenSource(ctx, "src0", schema); err == nil {
+		t.Fatal("edge accepted a publisher")
+	} else if !strings.Contains(err.Error(), "core") {
+		t.Fatalf("edge publisher rejection does not name the owner: %v", err)
+	}
+	if _, err := edge.Subscribe(ctx, "a", "src0", "DC1(v, 0.5, 0)", gasf.WithResumeFrom(0)); err == nil {
+		t.Fatal("edge accepted a resume subscription")
+	}
+
+	topo, err := federate.NewTopology(fc.coreNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	source := "src0"
+	for i := 0; i < 1000; i++ {
+		source = fmt.Sprintf("src%d", i)
+		if topo.Owner(source).Name == "c1" {
+			break
+		}
+	}
+	wrong, err := gasf.Dial(fc.coreNodes[0].Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wrong.Close(ctx)
+	if _, err := wrong.OpenSource(ctx, source, schema); err == nil {
+		t.Fatal("core accepted a source the ring places elsewhere")
+	} else if !strings.Contains(err.Error(), "c1") {
+		t.Fatalf("misplacement rejection does not name the owner: %v", err)
+	}
+}

@@ -197,6 +197,8 @@ func run(args []string) error {
 		chaos     = fs.Bool("chaos", false, "chaos mode: durable server behind a fault-injecting proxy, killed and restarted mid-run; verifies gapless, duplicate-free resumed delivery on every subscriber (skips the storm bench; merges a \"chaos\" section into -out)")
 		chaosSeed = fs.Int64("chaos-seed", 1, "seed for the injected network faults in -chaos")
 
+		federated = fs.Bool("federated", false, "federated mode: one core plus two edges in-process, subscriber sessions sharing groups; reports the upstream dedup ratio and relay latency (skips the storm bench; merges a \"federation\" section into -out)")
+
 		sources       = fs.Int("sources", 0, "scale mode: cycle this many sources through the server in waves of -resident, hold the last wave idle, and measure per-source memory and flow-gap expiry (skips the storm bench; merges an idle_sources section into -out)")
 		residentSrc   = fs.Int("resident", 5000, "scale mode: concurrent raw publisher sessions per wave (clamped to RLIMIT_NOFILE headroom)")
 		hold          = fs.Duration("hold", 3*time.Second, "scale mode: idle hold over the resident set")
@@ -224,6 +226,14 @@ func run(args []string) error {
 	}
 	if *publishers < 1 || *subscribers < 1 || *tuples < 1 {
 		return fmt.Errorf("need at least one publisher, subscriber and tuple")
+	}
+	if *federated {
+		return runFederated(federatedConfig{
+			publishers:  *publishers,
+			subscribers: *subscribers,
+			tuples:      *tuples,
+			queue:       *queue,
+		}, *out)
 	}
 	if *chaos {
 		if *tuples < 8 {

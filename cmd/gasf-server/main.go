@@ -17,6 +17,12 @@
 // offset. Startup recovers the log, truncating any torn tail left by a
 // crash.
 //
+// With -role core/edge the server joins a federated deployment
+// (DESIGN.md §15): cores own sources placed by consistent hashing over
+// the -peers ring, edges hold subscriber sessions and open at most one
+// upstream relay leg per (core, group), fanning local subscribers out
+// from it. Clients use gasf.DialFederated with the same peer notation.
+//
 // The metrics listener serves the full observability surface:
 // GET /metrics (strict Prometheus text exposition: session and shard
 // counters, stage-duration histograms, delivery-latency summaries),
@@ -41,6 +47,7 @@ import (
 	"time"
 
 	"gasf/internal/core"
+	"gasf/internal/federate"
 	"gasf/internal/seglog"
 	"gasf/internal/server"
 )
@@ -74,6 +81,10 @@ func run(args []string) error {
 		quiet       = fs.Bool("quiet", false, "suppress per-session log lines (warnings and errors still print)")
 		logFormat   = fs.String("log-format", "text", "structured log format on stderr: text or json")
 		telSample   = fs.Int("telemetry-sample", 0, "stage-timing sampling period, rounded up to a power of two (0 = default, negative disables telemetry)")
+
+		role  = fs.String("role", "single", "federation role: single, core or edge")
+		self  = fs.String("self", "", "this node's name in the -peers core list (required for core/edge roles)")
+		peers = fs.String("peers", "", `core placement ring as "name=addr,name=addr" (required for core/edge roles)`)
 
 		dataDir       = fs.String("data-dir", "", "durable log directory (empty disables durability)")
 		segmentBytes  = fs.Int64("segment-bytes", 0, "log segment rotation size in bytes (0 = 64MiB)")
@@ -122,8 +133,24 @@ func run(args []string) error {
 		onGap = gapNotifier(*gapWebhook, lg)
 	}
 
+	fedRole, err := federate.ParseRole(*role)
+	if err != nil {
+		return err
+	}
+	var fedPeers []federate.Node
+	if *peers != "" {
+		if fedPeers, err = federate.ParsePeers(*peers); err != nil {
+			return err
+		}
+	}
+
 	srv, err := server.Start(server.Config{
 		Addr:                 *addr,
+		Federation: server.FederationConfig{
+			Role:  fedRole,
+			Self:  *self,
+			Peers: fedPeers,
+		},
 		Engine:               opts,
 		SubscriberQueue:      *queue,
 		Policy:               pol,
@@ -147,6 +174,9 @@ func run(args []string) error {
 	}
 	if *dataDir != "" {
 		lg.Info("durable log open", "dir", *dataDir, "fsync", fsyncPol.String())
+	}
+	if fedRole != federate.RoleSingle {
+		lg.Info("federation enabled", "role", fedRole.String(), "self", *self, "cores", *peers)
 	}
 
 	var metricsSrv *http.Server

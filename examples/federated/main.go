@@ -1,0 +1,146 @@
+// Federated: the paper's group-aware dedup carried across a broker
+// tier (DESIGN.md §15).
+//
+// Three servers start in-process: one core that owns the sources (the
+// engines run there) and two edges that hold subscriber sessions.
+// gasf.DialFederated routes publishers to the owning core and every
+// member of a group — same source, same application, same canonical
+// quality spec — to the same edge, so the group's filtered stream
+// crosses the core→edge link exactly once however many sessions share
+// it. The example subscribes three sessions of one application plus a
+// differently-specified second application, prints the edge tier's
+// upstream dedup ratio, and shows every session receiving the full
+// stream.
+//
+// In production each server is a gasf-server process:
+//
+//	gasf-server -role core -self c0 -peers c0=host0:7070
+//	gasf-server -role edge -self e0 -peers c0=host0:7070
+//	gasf-server -role edge -self e1 -peers c0=host0:7070
+//
+//	go run ./examples/federated
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"gasf"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// The core boots first; it learns the (single-node) placement ring
+	// once its own address is known.
+	core, err := gasf.StartServer(gasf.ServerConfig{
+		Federation: gasf.FederationConfig{Role: gasf.RoleCore, Self: "c0"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cores := []gasf.FederationNode{{Name: "c0", Addr: core.Addr().String()}}
+	if err := core.UpdatePeers(cores); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two edges join with the completed core ring.
+	var edges []*gasf.Server
+	var edgeNodes []gasf.FederationNode
+	for _, name := range []string{"e0", "e1"} {
+		e, err := gasf.StartServer(gasf.ServerConfig{
+			Federation: gasf.FederationConfig{Role: gasf.RoleEdge, Self: name, Peers: cores},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		edges = append(edges, e)
+		edgeNodes = append(edgeNodes, gasf.FederationNode{Name: name, Addr: e.Addr().String()})
+	}
+	fmt.Printf("federation up: core %s, edges %s\n",
+		gasf.FormatPeers(cores), gasf.FormatPeers(edgeNodes))
+
+	b, err := gasf.DialFederated(gasf.FormatPeers(cores), gasf.FormatPeers(edgeNodes))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	series, err := gasf.NAMOS(gasf.TraceConfig{N: 300, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := b.OpenSource(ctx, "buoy", series.Schema())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	subscribe := func(label, app, spec string) {
+		sub, err := b.Subscribe(ctx, app, "buoy", spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			count := 0
+			for {
+				_, err := sub.Recv(ctx)
+				if errors.Is(err, gasf.ErrStreamEnded) {
+					fmt.Printf("%s: stream ended after %d deliveries\n", label, count)
+					return
+				}
+				if err != nil {
+					log.Printf("%s: %v", label, err)
+					return
+				}
+				count++
+			}
+		}()
+	}
+
+	// Three sessions of the same group: one core→edge leg serves all
+	// of them. The second application is its own group (different spec)
+	// and may land on the other edge.
+	subscribe("dashboard#1", "dashboard", "DC1(fluoro, 0.4, 0.2)")
+	subscribe("dashboard#2", "dashboard", "DC1(fluoro, 0.4, 0.2)")
+	subscribe("dashboard#3", "dashboard", "DC1(fluoro, 0.4, 0.2)")
+	subscribe("archiver", "archiver", "DC1(fluoro, 0.2, 0.1)")
+
+	for _, e := range edges {
+		st := e.FederationStats()
+		if st.UpstreamLegs > 0 {
+			fmt.Printf("edge %s: %d upstream leg(s) serving %d local session(s) — dedup %.1fx\n",
+				st.Self, st.UpstreamLegs, st.LocalSubscribers, st.DedupRatio)
+		}
+	}
+
+	for i := 0; i < series.Len(); i++ {
+		if err := src.Publish(ctx, series.At(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := src.Finish(ctx); err != nil {
+		log.Fatal(err)
+	}
+	wg.Wait()
+
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := b.Close(sctx); err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range edges {
+		if err := e.Shutdown(sctx); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := core.Shutdown(sctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("federation drained")
+}

@@ -74,6 +74,13 @@ type Report struct {
 	// publishers sustain twice the subscribers' drain capacity under the
 	// degrade slow-consumer policy. Zero means the mode was not run.
 	P99Under2xOverloadMs float64 `json:"p99_under_2x_overload,omitempty"`
+	// UpstreamDedupRatio and FederationRelayP99Ms are the loadbench
+	// -federated acceptance numbers (the "federation" section of
+	// BENCH_serve.json): local subscriber sessions per core→edge relay
+	// leg across the edge tier, and the worst edge's p99 relay delivery
+	// latency in milliseconds. Zero means the mode was not run.
+	UpstreamDedupRatio   float64 `json:"upstream_dedup_ratio,omitempty"`
+	FederationRelayP99Ms float64 `json:"federation_relay_p99_ms,omitempty"`
 }
 
 // Run executes the harness.
@@ -402,6 +409,18 @@ func Compare(cur, base *Report, threshold float64) []string {
 	// gate rather than failing it.
 	if cur.P99Under2xOverloadMs > 0 {
 		check("p99_under_2x_overload ms", cur.P99Under2xOverloadMs, base.P99Under2xOverloadMs)
+	}
+	// Federation: relay p99 gates like any latency (higher is worse);
+	// the dedup ratio gates inverted — a LOWER ratio means the edge tier
+	// lost upstream sharing, the one thing it exists to provide.
+	if cur.FederationRelayP99Ms > 0 {
+		check("federation_relay_p99 ms", cur.FederationRelayP99Ms, base.FederationRelayP99Ms)
+	}
+	if cur.UpstreamDedupRatio > 0 && base.UpstreamDedupRatio > 0 &&
+		cur.UpstreamDedupRatio < base.UpstreamDedupRatio*(1-threshold) {
+		out = append(out, fmt.Sprintf("upstream_dedup_ratio regressed: %.2f vs baseline %.2f (-%.0f%%, threshold %.0f%%)",
+			cur.UpstreamDedupRatio, base.UpstreamDedupRatio,
+			100*(1-cur.UpstreamDedupRatio/base.UpstreamDedupRatio), 100*threshold))
 	}
 	checkServe := func(name string, cur, base *ServeMetric) {
 		if cur == nil || base == nil || base.TuplesPerSec <= 0 {

@@ -1,0 +1,182 @@
+package federate
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestParseRole(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Role
+		err  bool
+	}{
+		{"", RoleSingle, false},
+		{"single", RoleSingle, false},
+		{"core", RoleCore, false},
+		{"edge", RoleEdge, false},
+		{"hub", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseRole(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseRole(%q): want error", c.in)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ParseRole(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if RoleCore.String() != "core" || RoleEdge.String() != "edge" || RoleSingle.String() != "single" {
+		t.Errorf("Role.String mismatch: %v %v %v", RoleSingle, RoleCore, RoleEdge)
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	nodes, err := ParsePeers(" core0 = 127.0.0.1:7070 , core1=127.0.0.1:7071, ")
+	if err != nil {
+		t.Fatalf("ParsePeers: %v", err)
+	}
+	if len(nodes) != 2 || nodes[0] != (Node{"core0", "127.0.0.1:7070"}) || nodes[1] != (Node{"core1", "127.0.0.1:7071"}) {
+		t.Fatalf("ParsePeers = %v", nodes)
+	}
+	round, err := ParsePeers(FormatPeers(nodes))
+	if err != nil || len(round) != 2 || round[0] != nodes[0] || round[1] != nodes[1] {
+		t.Fatalf("FormatPeers round-trip = %v, %v", round, err)
+	}
+	for _, bad := range []string{"", "   ", "core0", "=addr", "core0=", "a=1,a=2"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q): want error", bad)
+		}
+	}
+}
+
+// Placement must be a pure function of the peer-name set: any permutation
+// of the peer list, parsed anywhere, owns every source identically.
+func TestTopologyDeterministic(t *testing.T) {
+	a, err := NewTopology([]Node{{"c0", "x"}, {"c1", "y"}, {"c2", "z"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTopology([]Node{{"c2", "z"}, {"c0", "x"}, {"c1", "y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		src := fmt.Sprintf("source-%d", i)
+		if a.Owner(src) != b.Owner(src) {
+			t.Fatalf("owner of %q differs across permuted topologies", src)
+		}
+	}
+}
+
+func TestTopologyBalanceAndStability(t *testing.T) {
+	three, err := NewTopology([]Node{{"c0", ""}, {"c1", ""}, {"c2", ""}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	sources := make([]string, 3000)
+	for i := range sources {
+		sources[i] = fmt.Sprintf("sensor/%d", i)
+		counts[three.Owner(sources[i]).Name]++
+	}
+	for name, n := range counts {
+		// With 64 virtual points per node the split should be within a
+		// loose factor of fair share; this guards against a broken ring
+		// (everything on one node), not against statistical jitter.
+		if n < len(sources)/6 {
+			t.Errorf("core %s owns only %d/%d sources; ring badly unbalanced", name, n, len(sources))
+		}
+	}
+
+	// Removing one core must only move the sources that core owned:
+	// consistent hashing's whole point.
+	two, err := NewTopology([]Node{{"c0", ""}, {"c1", ""}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := Moved(three, two, sources)
+	for _, s := range moved {
+		if three.Owner(s).Name != "c2" {
+			t.Fatalf("source %q moved but was owned by %s, not the removed core", s, three.Owner(s).Name)
+		}
+	}
+	if len(moved) != counts["c2"] {
+		t.Fatalf("moved %d sources, want exactly the %d owned by the removed core", len(moved), counts["c2"])
+	}
+}
+
+func TestTopologyErrors(t *testing.T) {
+	if _, err := NewTopology(nil); err == nil {
+		t.Error("NewTopology(nil): want error")
+	}
+	if _, err := NewTopology([]Node{{"a", "1"}, {"a", "2"}}); err == nil {
+		t.Error("NewTopology duplicate names: want error")
+	}
+}
+
+func TestGroupKeyDistinguishesFields(t *testing.T) {
+	base := GroupKey("temps", "app", "DC1(v, 0.5, 0)")
+	for _, other := range []string{
+		GroupKey("temps2", "app", "DC1(v, 0.5, 0)"),
+		GroupKey("temps", "app2", "DC1(v, 0.5, 0)"),
+		GroupKey("temps", "app", "DC1(v, 0.25, 0)"),
+	} {
+		if other == base {
+			t.Fatalf("distinct identities collide on group key %q", base)
+		}
+	}
+	if GroupKey("temps", "app", "DC1(v, 0.5, 0)") != base {
+		t.Fatal("identical identities must produce identical keys")
+	}
+}
+
+func TestEdgeForRendezvous(t *testing.T) {
+	edges := []Node{{"e0", ""}, {"e1", ""}, {"e2", ""}}
+	if _, err := EdgeFor("k", nil); err == nil {
+		t.Fatal("EdgeFor with no edges: want error")
+	}
+	// Stable and independent of list order.
+	perm := []Node{edges[2], edges[0], edges[1]}
+	hits := map[string]int{}
+	for i := 0; i < 600; i++ {
+		k := GroupKey(fmt.Sprintf("s%d", i%30), fmt.Sprintf("app%d", i), "SS(10ms)")
+		a, err := EdgeFor(k, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := EdgeFor(k, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("EdgeFor(%q) depends on edge order: %v vs %v", k, a, b)
+		}
+		hits[a.Name]++
+	}
+	for _, e := range edges {
+		if hits[e.Name] == 0 {
+			t.Errorf("edge %s never chosen across 600 groups; rendezvous degenerate (%v)", e.Name, hits)
+		}
+	}
+	// Removing the non-winning edge must not move a group (minimal
+	// disruption property of highest-random-weight hashing).
+	k := GroupKey("temps", "app", "SS(10ms)")
+	win, _ := EdgeFor(k, edges)
+	var rest []Node
+	for _, e := range edges {
+		if e != win {
+			rest = append(rest, e)
+		}
+	}
+	if again, _ := EdgeFor(k, append(rest, win)); again != win {
+		t.Fatalf("winner changed when a loser was reordered: %v -> %v", win, again)
+	}
+	if strings.Contains(win.Name, "\x00") {
+		t.Fatal("sanity: node names must not contain NUL")
+	}
+}

@@ -7,6 +7,14 @@
 // The simulator is in-process and deterministic; link delays and
 // capacities default to values calibrated against the paper's Emulab
 // deployments (1-5 Mbps links, §4.1.2/§5.4).
+//
+// The ring's rendezvous primitive (HashKey plus successor ownership) is
+// promoted to the real networked deployment by internal/federate, which
+// places sources on core brokers and congregates each group's relay
+// fan-out on one edge with the same arithmetic. The simulation-only
+// ownership and delay-accounting paths that federate superseded are
+// gone from here; what remains is exactly what the in-process
+// simulations (multicast, solar, experiments) still route with.
 package overlay
 
 import (
@@ -128,10 +136,6 @@ func (n *Network) successorOf(k NodeID) NodeID {
 	return n.ids[i]
 }
 
-// Owner returns the node responsible for a key: its ring successor. This
-// is the rendezvous node for multicast groups keyed by name.
-func (n *Network) Owner(key string) NodeID { return n.successorOf(HashKey(key)) }
-
 // fingerTable computes a node's routing candidates: the ring successor
 // plus successors of id+2^k for k = 4..31 (small powers collapse onto the
 // successor for small rings).
@@ -190,15 +194,4 @@ func (n *Network) Route(from, to NodeID) ([]NodeID, error) {
 		}
 	}
 	return path, nil
-}
-
-// PathDelay returns the end-to-end delay of a hop path: per-hop link delay
-// plus serialization of size bytes on each hop.
-func (n *Network) PathDelay(path []NodeID, sizeBytes int) time.Duration {
-	hops := len(path) - 1
-	if hops <= 0 {
-		return 0
-	}
-	perHop := n.link.Delay + time.Duration(float64(sizeBytes*8)/n.link.Bandwidth*float64(time.Second))
-	return time.Duration(hops) * perHop
 }

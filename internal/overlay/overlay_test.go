@@ -66,39 +66,6 @@ func TestRouteUnknownNode(t *testing.T) {
 	}
 }
 
-func TestOwnerIsStable(t *testing.T) {
-	n, err := New(Config{Nodes: 9, Seed: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	a, b := n.Owner("sensors/chlorine"), n.Owner("sensors/chlorine")
-	if a != b {
-		t.Error("Owner not deterministic")
-	}
-	if _, ok := n.names[a]; !ok {
-		t.Error("Owner returned a non-member id")
-	}
-}
-
-func TestPathDelay(t *testing.T) {
-	n, err := New(Config{Nodes: 4, Link: Link{Delay: 10 * time.Millisecond, Bandwidth: 1e6}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ids := n.Nodes()
-	// Two hops of 10ms + serialization of 1000 bytes at 1 Mbps = 8ms per
-	// hop.
-	path := []NodeID{ids[0], ids[1], ids[2]}
-	got := n.PathDelay(path, 1000)
-	want := 2 * (10*time.Millisecond + 8*time.Millisecond)
-	if got != want {
-		t.Errorf("PathDelay = %v, want %v", got, want)
-	}
-	if n.PathDelay(path[:1], 1000) != 0 {
-		t.Error("single-node path should have zero delay")
-	}
-}
-
 func TestNodeByIndexWraps(t *testing.T) {
 	n, err := New(Config{Nodes: 5})
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"gasf/internal/federate"
 	"gasf/internal/flowgap"
 	"gasf/internal/shard"
 	"gasf/internal/telemetry"
@@ -31,7 +32,32 @@ type DebugSubscriber struct {
 	Resume     bool                       `json:"resume,omitempty"`
 	ResumeFrom uint64                     `json:"resume_from,omitempty"`
 	SpliceTo   uint64                     `json:"splice_to,omitempty"`
+	RelayEdge  string                     `json:"relay_edge,omitempty"`
 	Latency    *telemetry.LatencySnapshot `json:"delivery_latency,omitempty"`
+}
+
+// DebugLeg is the introspection view of one upstream relay leg on an
+// edge node: the group it deduplicates, the core it streams from, and
+// how many local members fan out from it.
+type DebugLeg struct {
+	Source     string `json:"source"`
+	App        string `json:"app"`
+	Spec       string `json:"spec"`
+	Core       string `json:"core"`
+	Members    int    `json:"members"`
+	LastOffset uint64 `json:"last_offset,omitempty"`
+	Durable    bool   `json:"durable,omitempty"`
+}
+
+// DebugFederation is the topology/placement section of /debug/gasf:
+// the node's role, the core placement ring, and (on an edge) every
+// live upstream leg with its local fan-out.
+type DebugFederation struct {
+	Role  string          `json:"role"`
+	Self  string          `json:"self,omitempty"`
+	Cores []federate.Node `json:"cores,omitempty"`
+	Stats FederationStats `json:"stats"`
+	Legs  []DebugLeg      `json:"legs,omitempty"`
 }
 
 // DebugFlowGap is the introspection view of the two-tier flow-gap
@@ -60,6 +86,7 @@ type DebugInfo struct {
 	Shards      []shard.Snapshot    `json:"shards"`
 	Sources     []DebugSource       `json:"sources"`
 	Subscribers []DebugSubscriber   `json:"subscribers"`
+	Federation  *DebugFederation    `json:"federation,omitempty"`
 }
 
 // Debug snapshots the live introspection state served at /debug/gasf.
@@ -122,6 +149,9 @@ func (s *Server) Debug() DebugInfo {
 				ResumeFrom: sub.resumeFrom,
 				SpliceTo:   sub.spliceTo,
 			}
+			if sub.relayEdge != "" {
+				d.RelayEdge = sub.relayEdge
+			}
 			if sub.lat != nil {
 				snap := sub.lat.Snapshot()
 				d.Latency = &snap
@@ -130,6 +160,46 @@ func (s *Server) Debug() DebugInfo {
 		}
 	}
 	s.mu.RUnlock()
+	if s.cfg.Federation.Role != federate.RoleSingle {
+		fed := &DebugFederation{
+			Role:  s.cfg.Federation.Role.String(),
+			Self:  s.cfg.Federation.Self,
+			Stats: s.FederationStats(),
+		}
+		s.fedMu.RLock()
+		if s.topo != nil {
+			fed.Cores = s.topo.Nodes()
+		}
+		s.fedMu.RUnlock()
+		if s.fed != nil {
+			s.fed.mu.Lock()
+			for _, leg := range s.fed.legs {
+				leg.mu.Lock()
+				fed.Legs = append(fed.Legs, DebugLeg{
+					Source:     leg.key.source,
+					App:        leg.key.app,
+					Spec:       leg.key.spec,
+					Core:       leg.coreName,
+					Members:    len(leg.members),
+					LastOffset: leg.lastOffset.Load(),
+					Durable:    leg.durable.Load(),
+				})
+				leg.mu.Unlock()
+			}
+			s.fed.mu.Unlock()
+			sort.Slice(fed.Legs, func(i, j int) bool {
+				a, b := &fed.Legs[i], &fed.Legs[j]
+				if a.Source != b.Source {
+					return a.Source < b.Source
+				}
+				if a.App != b.App {
+					return a.App < b.App
+				}
+				return a.Spec < b.Spec
+			})
+		}
+		info.Federation = fed
+	}
 	sort.Slice(info.Sources, func(i, j int) bool { return info.Sources[i].Name < info.Sources[j].Name })
 	sort.Slice(info.Subscribers, func(i, j int) bool {
 		a, b := &info.Subscribers[i], &info.Subscribers[j]

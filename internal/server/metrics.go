@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"gasf/internal/federate"
 	"gasf/internal/telemetry"
 )
 
@@ -42,6 +43,14 @@ type counters struct {
 	qosDegrades         atomic.Uint64
 	qosRestores         atomic.Uint64
 	subscriberEvictions atomic.Uint64
+	// Federation: upstream-leg lifecycle on an edge (dials, redials,
+	// resumed redials, relayed transmission frames) and relay-leg
+	// sessions accepted on a core.
+	fedLegDials    atomic.Uint64
+	fedLegRedials  atomic.Uint64
+	fedLegResumes  atomic.Uint64
+	fedRelayFrames atomic.Uint64
+	fedRelayLegsIn atomic.Uint64
 }
 
 // Counters is a point-in-time snapshot of the server session counters.
@@ -73,6 +82,11 @@ type Counters struct {
 	// QoSDegrades and QoSRestores count degrade-policy scale changes;
 	// SubscriberEvictions counts sessions evicted past EvictAfterDrops.
 	QoSDegrades, QoSRestores, SubscriberEvictions uint64
+	// Federation: on an edge, upstream-leg dials/redials (and how many
+	// redials resumed from the durable log) plus transmission frames
+	// relayed; on a core, relay-leg sessions accepted from edges.
+	FedLegDials, FedLegRedials, FedLegResumes uint64
+	FedRelayFrames, FedRelayLegsIn            uint64
 }
 
 // Counters snapshots the session counters.
@@ -84,6 +98,12 @@ func (s *Server) Counters() Counters {
 		subs += len(m)
 	}
 	s.mu.RUnlock()
+	if s.fed != nil {
+		// Relay members live outside the registry (they share app names
+		// by design); the leg registry is their census.
+		_, members := s.fed.counts()
+		subs += members
+	}
 	return Counters{
 		SourcesActive:       srcs,
 		SubscribersActive:   subs,
@@ -112,6 +132,11 @@ func (s *Server) Counters() Counters {
 		QoSDegrades:         s.ctr.qosDegrades.Load(),
 		QoSRestores:         s.ctr.qosRestores.Load(),
 		SubscriberEvictions: s.ctr.subscriberEvictions.Load(),
+		FedLegDials:         s.ctr.fedLegDials.Load(),
+		FedLegRedials:       s.ctr.fedLegRedials.Load(),
+		FedLegResumes:       s.ctr.fedLegResumes.Load(),
+		FedRelayFrames:      s.ctr.fedRelayFrames.Load(),
+		FedRelayLegsIn:      s.ctr.fedRelayLegsIn.Load(),
 	}
 }
 
@@ -175,6 +200,31 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	x.SampleU(c.QoSRestores, policy)
 	x.Counter("gasf_subscriber_evictions_total", "Subscriber sessions evicted by the slow-consumer policy.")
 	x.SampleU(c.SubscriberEvictions, policy)
+
+	if s.cfg.Federation.Role != federate.RoleSingle {
+		role := telemetry.Label{Name: "role", Value: s.cfg.Federation.Role.String()}
+		fs := s.FederationStats()
+		x.Gauge("gasf_federation_upstream_legs", "Upstream subscriptions an edge holds against cores (one per source+group).")
+		x.SampleU(uint64(fs.UpstreamLegs), role)
+		x.Gauge("gasf_federation_local_subscribers", "Local subscriber sessions fanned out from upstream legs.")
+		x.SampleU(uint64(fs.LocalSubscribers), role)
+		x.Gauge("gasf_federation_dedup_ratio", "Local subscribers per upstream leg (group-aware inter-node dedup factor).")
+		x.Sample(fs.DedupRatio, role)
+		x.Counter("gasf_federation_leg_dials_total", "Upstream legs opened.")
+		x.SampleU(c.FedLegDials, role)
+		x.Counter("gasf_federation_leg_redials_total", "Upstream legs re-established after a drain, error or rebalance.")
+		x.SampleU(c.FedLegRedials, role)
+		x.Counter("gasf_federation_leg_resumes_total", "Upstream leg redials that resumed from the core's durable log.")
+		x.SampleU(c.FedLegResumes, role)
+		x.Counter("gasf_federation_relay_frames_total", "Transmission frames relayed from cores to local members.")
+		x.SampleU(c.FedRelayFrames, role)
+		x.Counter("gasf_federation_relay_legs_served_total", "Relay-leg sessions accepted from edges (core side).")
+		x.SampleU(c.FedRelayLegsIn, role)
+		if s.fed != nil && s.tel != nil {
+			x.SummaryFamily("gasf_federation_relay_latency_seconds", "Relay delivery latency (tuple source timestamp to edge egress write), sampled, frugal-estimated quantiles.")
+			x.WriteLatencySummary(fs.Relay, role)
+		}
+	}
 
 	if s.wheel != nil {
 		ws := s.wheel.Stats()

@@ -103,6 +103,16 @@ var goodbyeDrainPayload = []byte(goodbyeDrainTag)
 // not understand.
 const SubProtoVersion = 2
 
+// SubProtoVersionRelay is the subscriber protocol version spoken by an
+// edge node's upstream legs (the federation bump): it appends a relay
+// section to the version-2 hello naming the edge the leg belongs to, so
+// the core can account and introspect relay sessions separately from
+// direct subscribers. Everything after the handshake is unchanged — a
+// relay leg receives the exact transmission stream a direct subscriber
+// with the same app and spec would, which is what makes cross-node
+// fan-out byte-identical to the single-node run.
+const SubProtoVersionRelay = 3
+
 // MaxFramePayload bounds a frame payload; larger frames are rejected as
 // malformed (a tuple of 65535 float64 values is ~512KiB).
 const MaxFramePayload = 1 << 20
@@ -226,14 +236,17 @@ func DecodeSourceHello(data []byte) (name string, schema *tuple.Schema, err erro
 
 // SubHello is a decoded subscriber hello. Version 1 payloads carry
 // app, source, spec and queue; version 2 appends the protocol version
-// and an optional resume point. Resume distinguishes "no resume" from
-// "resume from offset 0".
+// and an optional resume point; version 3 appends a relay section
+// identifying an edge node's upstream leg. Resume distinguishes "no
+// resume" from "resume from offset 0".
 type SubHello struct {
 	App, Source, Spec string
 	Queue             int
 	Version           int
 	Resume            bool
 	ResumeFrom        uint64
+	Relay             bool
+	RelayEdge         string
 }
 
 // EncodeSubHello encodes a subscriber hello payload with no resume
@@ -266,6 +279,39 @@ func EncodeSubHelloResume(app, source, spec string, queue int, resume bool, from
 	} else {
 		buf = append(buf, 0)
 	}
+	return buf, nil
+}
+
+// EncodeSubHelloRelay encodes the version-3 subscriber hello an edge
+// node opens an upstream leg with: the version-2 resume form plus a
+// relay section naming the edge. The app and spec are the REAL group
+// identity of the local subscribers the leg serves — never a synthetic
+// relay name — so the core derives exactly the membership a single-node
+// deployment would, and the destination labels inside every
+// transmission stay byte-identical across topologies.
+func EncodeSubHelloRelay(app, source, spec string, queue int, resume bool, from uint64, edge string) ([]byte, error) {
+	if edge == "" {
+		return nil, fmt.Errorf("server: relay hello needs an edge name")
+	}
+	if app == "" || source == "" || spec == "" {
+		return nil, fmt.Errorf("server: subscriber hello needs app, source and spec")
+	}
+	if queue < 0 {
+		return nil, fmt.Errorf("server: negative queue depth %d", queue)
+	}
+	buf := appendString(nil, app)
+	buf = appendString(buf, source)
+	buf = appendString(buf, spec)
+	buf = binary.AppendUvarint(buf, uint64(queue))
+	buf = binary.AppendUvarint(buf, SubProtoVersionRelay)
+	if resume {
+		buf = append(buf, 1)
+		buf = binary.LittleEndian.AppendUint64(buf, from)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = append(buf, 1)
+	buf = appendString(buf, edge)
 	return buf, nil
 }
 
@@ -319,6 +365,28 @@ func DecodeSubHello(data []byte) (h SubHello, err error) {
 		rest = rest[8:]
 	default:
 		return SubHello{}, fmt.Errorf("server: bad resume flag in subscriber hello")
+	}
+	if h.Version >= SubProtoVersionRelay {
+		if len(rest) < 1 {
+			return SubHello{}, fmt.Errorf("server: truncated relay flag in subscriber hello")
+		}
+		flag := rest[0]
+		rest = rest[1:]
+		switch flag {
+		case 0:
+		case 1:
+			edge, en, err := readString(rest)
+			if err != nil {
+				return SubHello{}, fmt.Errorf("server: relay edge name: %w", err)
+			}
+			if edge == "" {
+				return SubHello{}, fmt.Errorf("server: empty relay edge name in subscriber hello")
+			}
+			h.Relay, h.RelayEdge = true, edge
+			rest = rest[en:]
+		default:
+			return SubHello{}, fmt.Errorf("server: bad relay flag in subscriber hello")
+		}
 	}
 	if len(rest) != 0 {
 		return SubHello{}, fmt.Errorf("server: trailing bytes in subscriber hello")

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"testing"
+)
+
+// TestSubHelloRelayVersion pins the version-3 relay handshake: the relay
+// section round-trips exactly, version-2 hellos keep decoding with no
+// relay fields, and malformed relay sections are rejected rather than
+// misread.
+func TestSubHelloRelayVersion(t *testing.T) {
+	enc, err := EncodeSubHelloRelay("app", "src", "DC1(v, 0.5, 0)", 7, true, 42, "edge-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := DecodeSubHello(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != SubProtoVersionRelay || !h.Relay || h.RelayEdge != "edge-1" {
+		t.Fatalf("relay decode: %+v", h)
+	}
+	if !h.Resume || h.ResumeFrom != 42 || h.App != "app" || h.Source != "src" || h.Queue != 7 {
+		t.Fatalf("relay decode lost v2 fields: %+v", h)
+	}
+
+	// The non-resume form still carries the relay section.
+	enc, err = EncodeSubHelloRelay("app", "src", "DC1(v, 0.5, 0)", 0, false, 0, "edge-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err = DecodeSubHello(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Resume || !h.Relay || h.RelayEdge != "edge-2" {
+		t.Fatalf("non-resume relay decode: %+v", h)
+	}
+
+	// A version-2 hello decodes with the relay fields zero.
+	v2, err := EncodeSubHelloResume("app", "src", "DC1(v, 0.5, 0)", 7, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err = DecodeSubHello(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Relay || h.RelayEdge != "" || h.Version != SubProtoVersion {
+		t.Fatalf("v2 decode grew relay fields: %+v", h)
+	}
+
+	// Encode-time rejection: a relay hello must name its edge.
+	if _, err := EncodeSubHelloRelay("app", "src", "DC1(v, 0.5, 0)", 0, false, 0, ""); err == nil {
+		t.Fatal("empty edge name accepted at encode")
+	}
+
+	// Decode-time rejections: trailing junk, a bad relay flag, and a
+	// relay flag with no edge name behind it.
+	good, err := EncodeSubHelloRelay("app", "src", "DC1(v, 0.5, 0)", 0, false, 0, "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSubHello(append(append([]byte(nil), good...), 0xFF)); err == nil {
+		t.Fatal("trailing junk accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-3] = 2 // relay flag precedes the uvarint(1)+1-byte edge name
+	if _, err := DecodeSubHello(bad); err == nil {
+		t.Fatal("bad relay flag accepted")
+	}
+	if _, err := DecodeSubHello(good[:len(good)-2]); err == nil {
+		t.Fatal("truncated relay edge name accepted")
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"gasf/internal/adapt"
 	"gasf/internal/core"
+	"gasf/internal/federate"
 	"gasf/internal/flowgap"
 	"gasf/internal/intern"
 	"gasf/internal/quality"
@@ -171,6 +172,9 @@ type Config struct {
 	// Logf, when set and Logger is nil, receives one line per session
 	// event. Kept for printf-style sinks such as testing.T.Logf.
 	Logf func(format string, args ...any)
+	// Federation places the server in a multi-broker topology (core or
+	// edge role, peer list). The zero value is the standalone broker.
+	Federation FederationConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -346,6 +350,13 @@ type Server struct {
 	names     *intern.Pool
 	expiryLag *telemetry.LatencyPair
 
+	// Federation state: topo is the core placement ring (nil on a
+	// standalone node), swapped under fedMu by UpdatePeers; fed is the
+	// edge's upstream-leg registry (nil unless RoleEdge).
+	fedMu sync.RWMutex
+	topo  *federate.Topology
+	fed   *relayMgr
+
 	ctr      counters
 	shutOnce sync.Once
 	shutErr  error
@@ -354,6 +365,34 @@ type Server struct {
 // Start listens and serves until Shutdown or Close.
 func Start(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	var topo *federate.Topology
+	switch cfg.Federation.Role {
+	case federate.RoleEdge:
+		if cfg.Federation.Self == "" {
+			return nil, fmt.Errorf("server: edge role needs Federation.Self (the node's name)")
+		}
+		if len(cfg.Federation.Peers) == 0 {
+			return nil, fmt.Errorf("server: edge role needs Federation.Peers (the core tier)")
+		}
+		if cfg.DataDir != "" {
+			// Durability lives at the cores, which own the sources and
+			// their logs; an edge log would hold nothing.
+			return nil, fmt.Errorf("server: edge role does not take a data dir (cores own the durable logs)")
+		}
+		t, err := federate.NewTopology(cfg.Federation.Peers)
+		if err != nil {
+			return nil, err
+		}
+		topo = t
+	case federate.RoleCore:
+		if len(cfg.Federation.Peers) > 0 {
+			t, err := federate.NewTopology(cfg.Federation.Peers)
+			if err != nil {
+				return nil, err
+			}
+			topo = t
+		}
+	}
 	if cfg.Policy == PolicyDegrade {
 		// Surface a bad controller config here, not at the first
 		// subscriber handshake.
@@ -394,6 +433,10 @@ func Start(cfg Config) (*Server, error) {
 		lg:       cfg.resolveLogger(),
 		tel:      tel,
 		names:    intern.New(0),
+		topo:     topo,
+	}
+	if cfg.Federation.Role == federate.RoleEdge {
+		s.fed = newRelayMgr(s)
 	}
 	if cfg.SourceTimeout > 0 {
 		s.wheel = flowgap.NewWheel(cfg.ScanInterval, cfg.SourceTimeout, s.expireSource)
@@ -551,6 +594,26 @@ func (s *Server) serveSource(conn net.Conn, hello []byte) {
 	// Interning shares one heap copy of the name across reconnect
 	// generations and with the long-lived registries keyed by it.
 	name = s.names.Intern(name)
+
+	if s.fed != nil {
+		// Edges hold no sources; point the publisher at the owner.
+		if owner, ok := s.ownerOf(name); ok {
+			s.reject(conn, fmt.Errorf("edge node: source %q is owned by core %q at %s", name, owner.Name, owner.Addr))
+		} else {
+			s.reject(conn, fmt.Errorf("edge node: publishers connect to a core, not an edge"))
+		}
+		return
+	}
+	if self := s.cfg.Federation.Self; self != "" && s.cfg.Federation.Role == federate.RoleCore {
+		// Placement enforcement: a core with a configured topology only
+		// accepts the sources the ring assigns to it, so a misrouted
+		// publisher learns the owner instead of silently splitting a
+		// source across cores.
+		if owner, ok := s.ownerOf(name); ok && owner.Name != self {
+			s.reject(conn, fmt.Errorf("source %q is owned by core %q at %s (this is %q)", name, owner.Name, owner.Addr, self))
+			return
+		}
+	}
 
 	s.mu.Lock()
 	switch {
@@ -897,6 +960,10 @@ func (s *Server) serveSubscriber(conn net.Conn, hello []byte) {
 		s.reject(conn, err)
 		return
 	}
+	if s.fed != nil {
+		s.serveEdgeSubscriber(conn, h, spec)
+		return
+	}
 	f, err := spec.Build(app)
 	if err != nil {
 		s.reject(conn, err)
@@ -964,6 +1031,12 @@ func (s *Server) serveSubscriber(conn net.Conn, hello []byte) {
 	}
 	sub := newSubscriber(s, app, source, conn, queue)
 	sub.resume, sub.resumeFrom = h.Resume, h.ResumeFrom
+	if h.Relay {
+		// An edge's upstream leg: the same session in every way, but
+		// tagged with the edge it fans out on for metrics and debug.
+		sub.relayEdge = h.RelayEdge
+		s.ctr.fedRelayLegsIn.Add(1)
+	}
 	if s.cfg.Policy == PolicyDegrade {
 		if sc, ok := f.(adapt.Scalable); ok {
 			// Config validated at Start; a fresh governor per session keeps
@@ -1051,6 +1124,14 @@ func (s *Server) dropSubscriberEntry(sub *subscriber) {
 // name stays taken (duplicate-rejected) until the detach completes.
 func (s *Server) removeSubscriber(sub *subscriber) {
 	sub.leave() // unblocks any sink send first
+	if sub.leg != nil {
+		// Relay members live outside the engine and the registry: the
+		// departure refcounts the leg down, and the last member's leave
+		// tears the upstream subscription through the acked path.
+		s.fed.detach(sub)
+		s.lg.Info("subscriber left", "app", sub.app, "source", sub.source, "dropped", sub.droppedCount())
+		return
+	}
 	err := s.runtimeOp(func() error {
 		return s.rt.Control(sub.source, func(e *core.Engine) error { return e.RemoveFilter(sub.app) })
 	})
@@ -1218,6 +1299,12 @@ func (s *Server) shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 	s.ln.Close()
 	close(s.stop)
+	if s.fed != nil {
+		// Tear down the upstream legs first: every local member's stream
+		// then finishes with the drain-tagged goodbye, and the cores
+		// clean their relay sessions on disconnect.
+		s.fed.shutdown()
+	}
 
 	// Each publisher gets a drain-tagged goodbye and a read deadline: its
 	// reader drains the tuples already in flight, then goes down the

@@ -95,6 +95,15 @@ type subscriber struct {
 	evictKick   chan struct{}
 	evictReason string
 	evictOnce   sync.Once
+
+	// leg, on an edge node, is the upstream relay leg this session fans
+	// out from. Relay members live outside the subscriber registry (a
+	// group's members deliberately share one app name) and outside the
+	// engine; removal refcounts the leg instead of touching a filter.
+	leg *relayLeg
+	// relayEdge, on a core, names the edge an upstream leg session
+	// belongs to (empty for direct subscribers).
+	relayEdge string
 }
 
 func newSubscriber(s *Server, app, source string, conn net.Conn, queue int) *subscriber {
