@@ -671,6 +671,152 @@ func TestFederatedPartitionResume(t *testing.T) {
 	}
 }
 
+// TestFederatedClientReconnectThroughEdge is the regression test for
+// reconnect-aware clients behind an edge: the edge relays the durable
+// core's offset-bearing frames byte-identically, so a WithReconnect
+// client that loses its connection redials asking to resume from its
+// checkpoint — which an edge cannot serve. The typed
+// ErrResumeUnavailable rejection must send the client down the
+// live-fallback path so it reattaches and streams on, rather than
+// retrying the resume forever.
+func TestFederatedClientReconnectThroughEdge(t *testing.T) {
+	const n1, n2 = 60, 60
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	total := recoverySeries(t, n1+n2, 0)
+
+	core, err := gasf.StartServer(gasf.ServerConfig{
+		DataDir:    t.TempDir(),
+		Federation: gasf.FederationConfig{Role: gasf.RoleCore, Self: "c0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdownOnCleanup(t, core)
+	coreNodes := []gasf.FederationNode{{Name: "c0", Addr: core.Addr().String()}}
+	edge, err := gasf.StartServer(gasf.ServerConfig{
+		Federation: gasf.FederationConfig{Role: gasf.RoleEdge, Self: "e0", Peers: coreNodes},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdownOnCleanup(t, edge)
+
+	// The cut under test is the client's own link to the edge; the
+	// edge↔core link stays healthy throughout.
+	proxy, err := faultnet.NewProxy(edge.Addr().String(), faultnet.Faults{Seed: 20260807})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+
+	bPub, err := gasf.Dial(core.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bPub.Close(ctx)
+	bSub, err := gasf.Dial(proxy.Addr(), gasf.WithReconnect(gasf.Backoff{
+		Base: 20 * time.Millisecond,
+		Max:  250 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bSub.Close(ctx)
+
+	src, err := bPub.OpenSource(ctx, "src", total.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second session of the same group, dialed past the proxy, holds
+	// the upstream leg — and with it the group's membership at the core —
+	// alive across the cut, so the only thing under test is the client's
+	// own reconnect, not the leg teardown raced against it.
+	bHold, err := gasf.Dial(edge.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bHold.Close(ctx)
+	hold, err := bHold.Subscribe(ctx, "w", "src", "DC1(v, 0.5, 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := bSub.Subscribe(ctx, "w", "src", "DC1(v, 0.5, 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// n1 publishes release n1-1 live (the last region stays open until
+	// phase 2); the relayed offset-bearing frames give the client a
+	// resume checkpoint, arming the trap.
+	if err := src.PublishBatch(ctx, seriesBatch(total)[:n1]); err != nil {
+		t.Fatal(err)
+	}
+	var values []float64
+	for i := 0; i < n1-1; i++ {
+		d, err := sub.Recv(ctx)
+		if err != nil {
+			t.Fatalf("delivery %d: %v", len(values), err)
+		}
+		values = append(values, d.Tuple.ValueAt(0))
+	}
+	accepted := edge.Counters().SubscribersAccepted
+	proxy.CutAll()
+	// The next receive notices the lost connection and redials: resume
+	// first, the edge's typed refusal, then the live fallback. The
+	// receive itself blocks until phase 2 flows, so it runs aside.
+	next := make(chan error, 1)
+	go func() {
+		d, err := sub.Recv(ctx)
+		if err == nil {
+			values = append(values, d.Tuple.ValueAt(0))
+		}
+		next <- err
+	}()
+	pollUntil(t, 10*time.Second, "client to reattach through the edge", func() bool {
+		return edge.Counters().SubscribersAccepted > accepted
+	})
+	// The reattached session must have joined the held leg, not dialed a
+	// second upstream session for the same group.
+	if st := edge.FederationStats(); st.UpstreamLegs != 1 {
+		t.Fatalf("%d upstream legs after the reconnect, want the shared 1", st.UpstreamLegs)
+	}
+	if err := src.PublishBatch(ctx, seriesBatch(total)[n1:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Finish(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-next; err != nil {
+		t.Fatalf("first receive after the cut: %v", err)
+	}
+	for {
+		d, err := sub.Recv(ctx)
+		if errors.Is(err, gasf.ErrStreamEnded) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("delivery %d: %v", len(values), err)
+		}
+		values = append(values, d.Tuple.ValueAt(0))
+	}
+	// Nothing was published between the cut and the reattach, so the
+	// live fallback loses nothing: the client must see every value —
+	// phase 1, the held tail release, then phase 2 — exactly once.
+	if len(values) != n1+n2 {
+		t.Fatalf("received %d deliveries across the reconnect, want %d", len(values), n1+n2)
+	}
+	for i, v := range values {
+		if v != float64(i) {
+			t.Fatalf("delivery %d carries value %g, want %d", i, v, i)
+		}
+	}
+	// And the holder, which never disconnected, saw the whole stream.
+	if _, count := drainFingerprint(ctx, t, hold); count != n1+n2 {
+		t.Fatalf("holder received %d deliveries, want %d", count, n1+n2)
+	}
+}
+
 // TestFederatedPlacementRejections pins the role boundaries: an edge
 // refuses publishers and resume subscriptions (pointing at the owner),
 // and a core refuses sources the ring places elsewhere.

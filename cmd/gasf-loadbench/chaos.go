@@ -293,7 +293,7 @@ func runChaos(cfg chaosConfig, out string) error {
 	if out != "-" {
 		// Merge under "chaos", preserving an existing report.
 		doc := map[string]json.RawMessage{}
-		if prev, err := os.ReadFile(out); err == nil {
+		if prev, err := os.ReadFile(out); err == nil && len(prev) > 0 {
 			if err := json.Unmarshal(prev, &doc); err != nil {
 				return fmt.Errorf("merging into %s: %w", out, err)
 			}

@@ -301,7 +301,7 @@ func runFederated(cfg federatedConfig, out string) error {
 		}
 	}
 	doc := map[string]json.RawMessage{}
-	if prev, err := os.ReadFile(out); err == nil {
+	if prev, err := os.ReadFile(out); err == nil && len(prev) > 0 {
 		if err := json.Unmarshal(prev, &doc); err != nil {
 			return fmt.Errorf("merging into %s: %w", out, err)
 		}

@@ -347,7 +347,7 @@ func runScale(cfg scaleConfig, out string) error {
 	if out != "-" {
 		// Merge under "idle_sources", preserving an existing report.
 		doc := map[string]json.RawMessage{}
-		if prev, err := os.ReadFile(out); err == nil {
+		if prev, err := os.ReadFile(out); err == nil && len(prev) > 0 {
 			if err := json.Unmarshal(prev, &doc); err != nil {
 				return fmt.Errorf("merging into %s: %w", out, err)
 			}

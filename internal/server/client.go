@@ -77,7 +77,7 @@ func dialHello(addr string, kind byte, hello []byte, timeout time.Duration) (net
 		return conn, payload, nil
 	case FrameError:
 		conn.Close()
-		return nil, nil, fmt.Errorf("server: rejected: %s", payload)
+		return nil, nil, rejectedError(payload)
 	default:
 		conn.Close()
 		return nil, nil, fmt.Errorf("server: unexpected hello answer kind %d", k)
@@ -718,6 +718,40 @@ func remoteError(payload []byte) error {
 		return fmt.Errorf("%w: %s", ErrEvicted, msg)
 	}
 	return fmt.Errorf("server: remote error: %s", payload)
+}
+
+// ErrResumeUnavailable reports a subscriber handshake rejected because
+// the requested resume cannot be served: the server has no durable log,
+// the offset lies beyond the log head, or an edge node delegates resume
+// to its upstream relay leg. Reconnect-aware dialers fall back to a
+// plain live re-subscription on it.
+//
+// The sentinel's message doubles as the machine-readable wire tag:
+// servers wrap it with fmt.Errorf("%w: detail", ...), so the error
+// frame renders as "resume unavailable: detail", and rejectedError
+// re-types the payload by cutting that exact prefix. Match with
+// errors.Is, never by prose.
+var ErrResumeUnavailable = errors.New("resume unavailable")
+
+// ErrAlreadySubscribed reports a subscriber handshake rejected because
+// the (app, source) pair is already held by a live session. It is
+// transient while a departure ack is in flight, so dialers re-creating
+// a session for a departing one may retry it briefly. Tagged on the
+// wire exactly like ErrResumeUnavailable.
+var ErrAlreadySubscribed = errors.New("already subscribed")
+
+// rejectedError types a handshake rejection payload: resume and
+// subscription-conflict rejections carry their sentinel's message as a
+// leading tag, so dialers classify them with errors.Is instead of
+// matching prose that could be reworded.
+func rejectedError(payload []byte) error {
+	msg := string(payload)
+	for _, sentinel := range []error{ErrResumeUnavailable, ErrAlreadySubscribed} {
+		if rest, ok := strings.CutPrefix(msg, sentinel.Error()+": "); ok {
+			return fmt.Errorf("server: rejected: %w: %s", sentinel, rest)
+		}
+	}
+	return fmt.Errorf("server: rejected: %s", msg)
 }
 
 // ErrStreamEnded reports a graceful end of a subscription stream.

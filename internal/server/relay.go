@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"math"
 	"net"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -223,10 +222,11 @@ func (m *relayMgr) detach(sub *subscriber) {
 			break
 		}
 	}
-	last := len(leg.members) == 0 && !leg.closing.Load()
+	// The CAS is the teardown latch: detach and shutdown race to it, and
+	// only the winner closes bye (a second close would panic).
+	last := len(leg.members) == 0 && leg.closing.CompareAndSwap(false, true)
 	var conn net.Conn
 	if last {
-		leg.closing.Store(true)
 		conn = leg.conn
 	}
 	leg.mu.Unlock()
@@ -271,12 +271,23 @@ func (leg *relayLeg) dialFirst() error {
 				return fmt.Errorf("server: upstream schema: %w", derr)
 			}
 			leg.schemaPayload, leg.schema = payload, schema
+			// Publish the conn under the lock, re-checking closing: a
+			// server shutdown that snapshotted this leg mid-dial saw conn
+			// nil and is waiting on done, so the dial must not hand a live
+			// conn to a run loop shutdown can no longer interrupt.
+			leg.mu.Lock()
+			if leg.closing.Load() {
+				leg.mu.Unlock()
+				conn.Close()
+				return errDraining
+			}
 			leg.conn, leg.coreName = conn, core.Name
+			leg.mu.Unlock()
 			m.s.ctr.fedLegDials.Add(1)
 			m.s.lg.Info("upstream leg opened", "source", leg.key.source, "app", leg.key.app, "core", core.Name)
 			return nil
 		}
-		if !strings.Contains(err.Error(), "already subscribed") || time.Now().After(deadline) {
+		if !errors.Is(err, ErrAlreadySubscribed) || time.Now().After(deadline) {
 			return err
 		}
 		select {
@@ -507,7 +518,7 @@ func (leg *relayLeg) redial() bool {
 				"core", core.Name, "resume", resume)
 			return true
 		}
-		if resume && (strings.Contains(err.Error(), "durable") || strings.Contains(err.Error(), "beyond the log head")) {
+		if resume && errors.Is(err, ErrResumeUnavailable) {
 			// The core came back without its log (or without durability);
 			// a live rejoin is the best remaining contract.
 			leg.seenOffset.Store(false)
@@ -541,8 +552,11 @@ func (m *relayMgr) shutdown() {
 	m.legs = make(map[legKey]*relayLeg)
 	m.mu.Unlock()
 	for _, leg := range legs {
-		leg.closing.Store(true)
-		close(leg.bye)
+		if leg.closing.CompareAndSwap(false, true) {
+			// Lost to a concurrent last-member detach otherwise: it owns
+			// bye, and its teardown closes the leg on its own.
+			close(leg.bye)
+		}
 		leg.mu.Lock()
 		conn := leg.conn
 		leg.mu.Unlock()
@@ -582,8 +596,10 @@ func (s *Server) serveEdgeSubscriber(conn net.Conn, h SubHello, spec quality.Spe
 	if h.Resume {
 		// Resume state lives in the core's durable log. A partitioned
 		// edge resumes its upstream legs itself; local clients just
-		// reconnect and stream live.
-		s.reject(conn, fmt.Errorf("edge node does not serve resume (the upstream leg resumes on the subscriber's behalf)"))
+		// reconnect and stream live. The typed rejection is what makes
+		// that true: a reconnecting client redialing with Resume matches
+		// ErrResumeUnavailable and falls back to a live re-subscription.
+		s.reject(conn, fmt.Errorf("%w: an edge node serves live streams only (its upstream leg resumes on the subscribers' behalf)", ErrResumeUnavailable))
 		return
 	}
 	if s.isDraining() {
@@ -611,7 +627,7 @@ func (s *Server) serveEdgeSubscriber(conn net.Conn, h SubHello, spec quality.Spe
 	)
 	for {
 		var err error
-		leg, err = s.fed.ensureLeg(key, h.Queue)
+		leg, err = s.fed.ensureLeg(key, queue)
 		if err != nil {
 			s.reject(conn, err)
 			return

@@ -970,7 +970,7 @@ func (s *Server) serveSubscriber(conn net.Conn, hello []byte) {
 		return
 	}
 	if s.log == nil && h.Resume {
-		s.reject(conn, fmt.Errorf("resume requested but the server has no durable log (start it with a data dir)"))
+		s.reject(conn, fmt.Errorf("%w: the server has no durable log (start it with a data dir)", ErrResumeUnavailable))
 		return
 	}
 	if s.log != nil && h.Version < 2 {
@@ -1002,7 +1002,7 @@ func (s *Server) serveSubscriber(conn net.Conn, hello []byte) {
 	}
 	if s.subs[source][app] != nil {
 		s.mu.Unlock()
-		s.reject(conn, fmt.Errorf("app %q already subscribed to %q", app, source))
+		s.reject(conn, fmt.Errorf("%w: app %q holds a live session on %q", ErrAlreadySubscribed, app, source))
 		return
 	}
 	// Transmissions label every destination on the wire (u8 count), so a
@@ -1015,7 +1015,7 @@ func (s *Server) serveSubscriber(conn net.Conn, hello []byte) {
 	if h.Resume && h.ResumeFrom > s.log.NextOffset(source) {
 		head := s.log.NextOffset(source)
 		s.mu.Unlock()
-		s.reject(conn, fmt.Errorf("resume offset %d is beyond the log head %d of source %q", h.ResumeFrom, head, source))
+		s.reject(conn, fmt.Errorf("%w: resume offset %d is beyond the log head %d of source %q", ErrResumeUnavailable, h.ResumeFrom, head, source))
 		return
 	}
 	if queue <= 0 {

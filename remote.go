@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -554,9 +553,11 @@ func (s *remoteSub) redial(ctx context.Context) error {
 		}
 		ss, err := server.DialSubscriberOpts(s.r.addr, s.app, s.source, s.specStr, o)
 		if err != nil {
-			if resumeFromSeen && !s.origResume && strings.Contains(err.Error(), "durable") {
-				// The server cannot replay (no durable log — e.g. it was
-				// restarted without one); fall back to a plain live
+			if resumeFromSeen && !s.origResume && errors.Is(err, server.ErrResumeUnavailable) {
+				// The server cannot replay: no durable log (e.g. it was
+				// restarted without one), the offset is past the log head,
+				// or the session rides an edge node whose upstream leg owns
+				// the resume state. Fall back to a plain live
 				// re-subscription rather than never reconnecting.
 				resumeFromSeen = false
 				continue
